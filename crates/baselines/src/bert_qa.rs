@@ -1,0 +1,70 @@
+//! The BERTQA baseline (Section 8.1): a state-of-the-art textual QA
+//! system fed the *entire webpage as flat text*.
+//!
+//! Its characteristic failure mode — which Table 2 quantifies — is
+//! structural: it returns a single best span per page, so recall collapses
+//! on tasks whose answers are many separate items, and it has no access to
+//! the tree structure that disambiguates sections.
+
+use webqa_html::parse_html;
+use webqa_nlp::QaModel;
+
+/// The flat-text QA baseline.
+#[derive(Debug, Clone, Default)]
+pub struct BertQa {
+    model: QaModel,
+}
+
+impl BertQa {
+    /// Creates the baseline with the pretrained QA model.
+    pub fn new() -> Self {
+        BertQa { model: QaModel::pretrained() }
+    }
+
+    /// Answers `question` on a webpage by flattening it to text and
+    /// extracting the single best span (empty when the model abstains).
+    pub fn answer_page(&self, question: &str, html: &str) -> Vec<String> {
+        let doc = parse_html(html);
+        let text = doc.text_content(doc.root());
+        match self.model.answer(&text, question) {
+            Some(a) => vec![a.text],
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answers_single_fact_question() {
+        let html = "<h1>CS 101</h1><h2>Staff</h2><p>Instructor: Jane Doe.</p>";
+        let out = BertQa::new().answer_page("Who is the instructor?", html);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains("Jane Doe"), "got {out:?}");
+    }
+
+    #[test]
+    fn returns_at_most_one_span() {
+        // Multi-answer content: the baseline structurally cannot return
+        // all three names.
+        let html = "<h1>R</h1><h2>Students</h2>\
+                    <ul><li>Jane Doe</li><li>Bob Smith</li><li>Mary Anderson</li></ul>";
+        let out = BertQa::new().answer_page("Who are the students?", html);
+        assert!(out.len() <= 1);
+    }
+
+    #[test]
+    fn abstains_on_empty_page() {
+        assert!(BertQa::new().answer_page("Who?", "").is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let html = "<h1>X</h1><p>Deadline: January 5, 2026.</p>";
+        let q = "When is the deadline?";
+        let b = BertQa::new();
+        assert_eq!(b.answer_page(q, html), b.answer_page(q, html));
+    }
+}

@@ -1,0 +1,229 @@
+//! The HYB baseline (Raza & Gulwani 2020, Section 8.1): wrapper induction
+//! by hybrid top-down/bottom-up XPath inference.
+//!
+//! Faithful to the two properties the paper's failure analysis identifies:
+//!
+//! 1. HYB requires programs that **exactly** reproduce the labels — when
+//!    no XPath selects exactly the labeled strings, training fails;
+//! 2. HYB selects whole DOM nodes — it cannot perform sub-node string
+//!    processing (splitting a comma list, extracting an entity span).
+//!
+//! Training: find, on each labeled page, the DOM nodes whose text equals a
+//! label; generalize their concrete paths top-down (dropping positions,
+//! suffixing with `//`); keep candidates that reproduce every page's
+//! labels exactly (bottom-up verification).
+
+use std::collections::HashSet;
+
+use webqa_html::query::{concrete_path, PathExpr, Step};
+use webqa_html::{parse_html, Document};
+
+/// A trained HYB wrapper: an XPath-style selector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hyb {
+    path: PathExpr,
+}
+
+/// Why HYB training failed (mirrors the paper's "synthesis fails in
+/// several cases").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HybError {
+    /// A labeled string is not the exact text of any DOM node — HYB cannot
+    /// express sub-node extraction.
+    LabelNotANode(String),
+    /// No generalized path reproduces all labels exactly on every page.
+    NoConsistentPath,
+    /// No training pages with non-empty labels were provided.
+    NoLabels,
+}
+
+impl std::fmt::Display for HybError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HybError::LabelNotANode(l) => {
+                write!(f, "label {l:?} does not correspond to a DOM node")
+            }
+            HybError::NoConsistentPath => write!(f, "no XPath reproduces all labels exactly"),
+            HybError::NoLabels => write!(f, "no labeled examples"),
+        }
+    }
+}
+
+impl std::error::Error for HybError {}
+
+impl Hyb {
+    /// Trains a wrapper from `(html, labels)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybError`] when exact wrapper induction is impossible —
+    /// the common case on heterogeneous pages, per the paper's analysis.
+    pub fn train(examples: &[(String, Vec<String>)]) -> Result<Hyb, HybError> {
+        if examples.iter().all(|(_, gold)| gold.is_empty()) {
+            return Err(HybError::NoLabels);
+        }
+        let docs: Vec<Document> = examples.iter().map(|(h, _)| parse_html(h)).collect();
+
+        // Step 1 (top-down): on the first labeled page, locate the DOM node
+        // of every label and collect candidate generalizations.
+        let mut candidates: Vec<PathExpr> = Vec::new();
+        let first = examples
+            .iter()
+            .position(|(_, gold)| !gold.is_empty())
+            .expect("checked above");
+        let doc = &docs[first];
+        for label in &examples[first].1 {
+            let node = find_exact_node(doc, label)
+                .ok_or_else(|| HybError::LabelNotANode(label.clone()))?;
+            let concrete = concrete_path(doc, node).ok_or(HybError::NoConsistentPath)?;
+            candidates.extend(generalize(&concrete));
+        }
+
+        // Step 2 (bottom-up): prefer a candidate that reproduces every
+        // page's labels exactly; otherwise fall back to the candidate
+        // exact on the most pages (the deployed system still emits its
+        // best wrapper — this is where HYB's small-but-nonzero scores on
+        // heterogeneous data come from). A candidate exact on no page at
+        // all is a failure.
+        let mut best: Option<(usize, PathExpr)> = None;
+        for cand in candidates {
+            let exact_pages = examples
+                .iter()
+                .zip(&docs)
+                .filter(|((_, gold), doc)| {
+                    let got: HashSet<String> =
+                        cand.select(doc).into_iter().map(|n| doc.text_content(n)).collect();
+                    let want: HashSet<String> = gold.iter().cloned().collect();
+                    got == want
+                })
+                .count();
+            if exact_pages == examples.len() {
+                return Ok(Hyb { path: cand });
+            }
+            if exact_pages > 0 && best.as_ref().map_or(true, |(n, _)| exact_pages > *n) {
+                best = Some((exact_pages, cand));
+            }
+        }
+        match best {
+            Some((_, path)) => Ok(Hyb { path }),
+            None => Err(HybError::NoConsistentPath),
+        }
+    }
+
+    /// Applies the wrapper to a new page.
+    pub fn extract(&self, html: &str) -> Vec<String> {
+        let doc = parse_html(html);
+        self.path.select(&doc).into_iter().map(|n| doc.text_content(n)).collect()
+    }
+
+    /// The learned selector.
+    pub fn path(&self) -> &PathExpr {
+        &self.path
+    }
+}
+
+/// Finds a DOM node whose *exact* text content equals `label`.
+fn find_exact_node(doc: &Document, label: &str) -> Option<webqa_html::NodeId> {
+    doc.iter().find(|&n| doc.tag(n).is_some() && doc.text_content(n) == label)
+}
+
+/// Candidate generalizations of a concrete path, most specific first:
+/// the full positional path, the position-free path, `//`-anchored
+/// suffixes of length 2 and 1.
+fn generalize(path: &PathExpr) -> Vec<PathExpr> {
+    let steps = path.steps();
+    let mut out = vec![path.clone()];
+    // Drop all positional predicates.
+    let no_pos: Vec<Step> = steps
+        .iter()
+        .map(|s| Step { position: None, ..s.clone() })
+        .collect();
+    out.push(PathExpr::from_steps(no_pos.clone()));
+    // Anchored suffixes: //parent/child and //child.
+    if no_pos.len() >= 2 {
+        let mut suffix2 = no_pos[no_pos.len() - 2..].to_vec();
+        suffix2[0].descendant = true;
+        out.push(PathExpr::from_steps(suffix2));
+    }
+    if let Some(last) = no_pos.last() {
+        out.push(PathExpr::from_steps(vec![Step { descendant: true, ..last.clone() }]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIFORM_A: &str =
+        "<html><body><div class='list'><ul><li>alpha</li><li>beta</li></ul></div></body></html>";
+    const UNIFORM_B: &str =
+        "<html><body><div class='list'><ul><li>gamma</li></ul></div></body></html>";
+
+    #[test]
+    fn learns_wrapper_on_uniform_schema() {
+        let examples = vec![
+            (UNIFORM_A.to_string(), vec!["alpha".to_string(), "beta".to_string()]),
+            (UNIFORM_B.to_string(), vec!["gamma".to_string()]),
+        ];
+        let hyb = Hyb::train(&examples).expect("uniform schema is learnable");
+        let out = hyb.extract("<html><body><div class='list'><ul><li>x</li><li>y</li></ul></div></body></html>");
+        assert_eq!(out, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn fails_when_label_is_substring_of_node() {
+        // The label is part of a node's text, not a whole node: HYB cannot
+        // express it (no sub-node string processing).
+        let html = "<html><body><p>PLDI '21 (PC), CAV '20 (PC)</p></body></html>";
+        let examples = vec![(html.to_string(), vec!["PLDI '21 (PC)".to_string()])];
+        assert!(matches!(Hyb::train(&examples), Err(HybError::LabelNotANode(_))));
+    }
+
+    #[test]
+    fn heterogeneous_layouts_yield_a_non_generalizing_wrapper() {
+        // Page 1 keeps items in a list, page 2 in paragraphs at a
+        // different depth — no single generalized path matches both
+        // exactly, so the fallback wrapper is exact on page 1 only and
+        // extracts garbage on page 2 (the paper's low-recall HYB rows).
+        let a = "<html><body><ul><li>one</li></ul><p>noise</p></body></html>";
+        let b = "<html><body><div><div><p>two</p><ul><li>junk</li></ul></div></div></body></html>";
+        let examples = vec![
+            (a.to_string(), vec!["one".to_string()]),
+            (b.to_string(), vec!["two".to_string()]),
+        ];
+        let hyb = Hyb::train(&examples).expect("fallback wrapper");
+        assert_eq!(hyb.extract(a), vec!["one"]);
+        assert_ne!(hyb.extract(b), vec!["two"]);
+    }
+
+    #[test]
+    fn fails_when_any_label_is_not_a_node() {
+        let a = "<html><body><ul><li>one</li><li>distractor</li></ul></body></html>";
+        let examples = vec![(
+            a.to_string(),
+            vec!["one".to_string(), "missing label".to_string()],
+        )];
+        assert!(matches!(Hyb::train(&examples), Err(HybError::LabelNotANode(_))));
+    }
+
+    #[test]
+    fn no_labels_error() {
+        let examples = vec![("<p>x</p>".to_string(), vec![])];
+        assert!(matches!(Hyb::train(&examples), Err(HybError::NoLabels)));
+    }
+
+    #[test]
+    fn positional_path_used_when_needed() {
+        // Only the second li is labeled: the position-free generalization
+        // over-selects, so training must keep the positional path.
+        let a = "<html><body><ul><li>skip</li><li>keep</li></ul></body></html>";
+        let b = "<html><body><ul><li>alpha</li><li>beta</li></ul></body></html>";
+        let examples = vec![
+            (a.to_string(), vec!["keep".to_string()]),
+            (b.to_string(), vec!["beta".to_string()]),
+        ];
+        let hyb = Hyb::train(&examples).expect("positional wrapper exists");
+        assert_eq!(hyb.extract(a), vec!["keep"]);
+    }
+}

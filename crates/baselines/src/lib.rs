@@ -1,0 +1,26 @@
+//! # webqa-baselines
+//!
+//! The three comparison systems of the paper's evaluation (Section 8.1):
+//!
+//! * [`BertQa`] — a textual QA model over the flattened page (single best
+//!   span; collapses on multi-answer tasks);
+//! * [`Hyb`] — wrapper induction à la Raza & Gulwani 2020 (exact-match
+//!   XPath inference; fails when labels need sub-node string processing
+//!   or when layouts are heterogeneous);
+//! * [`EntExtract`] — zero-shot entity/list extraction à la Pasupat &
+//!   Liang 2014 (picks a repeated structure by expected entity type;
+//!   often an irrelevant one).
+//!
+//! Each reimplementation preserves the *failure modes* the paper's
+//! analysis attributes to the original systems — that is what Table 2's
+//! comparison shape depends on.
+
+#![warn(missing_docs)]
+
+mod bert_qa;
+mod ent_extract;
+mod hyb;
+
+pub use bert_qa::BertQa;
+pub use ent_extract::EntExtract;
+pub use hyb::{Hyb, HybError};

@@ -1,0 +1,35 @@
+//! **Figure 14** (Appendix C.2) — "F₁ score achieved in each task of the
+//! Conference domain with respect to the number of labeled examples":
+//! conf_t1..conf_t6 with 1–5 training pages.
+//!
+//! Regenerate with:
+//! `cargo bench -p webqa-bench --bench fig14_examples`
+
+use webqa_bench::{default_config, Setup};
+use webqa_corpus::tasks_in_domain;
+
+fn main() {
+    let setup = Setup::from_env();
+    println!("# Figure 14: F1 vs number of labeled examples (Conference domain)\n");
+    let tasks = tasks_in_domain(webqa_corpus::Domain::Conference);
+
+    print!("{:<10}", "#examples");
+    for t in &tasks {
+        print!(" {:>9}", t.id);
+    }
+    println!();
+
+    for n in 1..=setup.train_pages {
+        print!("{:<10}", n);
+        for task in &tasks {
+            // Shrink the labeled set (the paper removes labeled pages);
+            // the test split stays the same.
+            let s = webqa_bench::run_webqa_with_train(&setup, task, default_config(), n);
+            print!(" {:>9.2}", s.f1);
+        }
+        println!();
+    }
+    println!("\n# paper (Figure 14): F1 generally degrades with fewer examples, but");
+    println!("# sensitivity is task-dependent (conf_t5 needs one example; conf_t4 drops");
+    println!("# sharply below five).");
+}

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for the hot paths of the system: HTML
+//! parsing, page-tree conversion, the three simulated NLP modules, DSL
+//! program evaluation, and one end-to-end extractor synthesis.
+//!
+//! These are the components whose cost the paper's Table 3 timing
+//! ultimately decomposes into.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use webqa_corpus::{generate_pages, Domain};
+use webqa_dsl::{PageTree, Program, QueryContext};
+use webqa_nlp::{keyword_similarity, EntityKind, EntityRecognizer, QaModel};
+use webqa_synth::{synthesize, Example, SynthConfig};
+
+fn sample_html() -> String {
+    generate_pages(Domain::Faculty, 1, 11)[0].html.clone()
+}
+
+fn bench_html(c: &mut Criterion) {
+    let html = sample_html();
+    c.bench_function("html/parse_dom", |b| {
+        b.iter(|| webqa_html::parse_html(black_box(&html)))
+    });
+    c.bench_function("html/page_tree", |b| {
+        b.iter(|| PageTree::parse(black_box(&html)))
+    });
+}
+
+fn bench_nlp(c: &mut Criterion) {
+    let ner = EntityRecognizer::pretrained();
+    let qa = QaModel::pretrained();
+    let text = "Jane Doe served on the PLDI '21 program committee at Rome University \
+                starting January 5, 2021 with Dr. Robert Smith.";
+    c.bench_function("nlp/keyword_similarity", |b| {
+        b.iter(|| keyword_similarity(black_box("Professional Services"), black_box("Committee")))
+    });
+    c.bench_function("nlp/ner", |b| b.iter(|| ner.entities(black_box(text))));
+    c.bench_function("nlp/ner_has_entity", |b| {
+        b.iter(|| ner.has_entity(black_box(text), EntityKind::Person))
+    });
+    c.bench_function("nlp/qa_answer", |b| {
+        b.iter(|| qa.answer(black_box(text), black_box("Who served on the program committee?")))
+    });
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let page = PageTree::parse(&sample_html());
+    let ctx = QueryContext::new(
+        "What program committees or PC has this person served for?",
+        ["Program Committee", "PC"],
+    );
+    let program: Program =
+        "sat(descendants(descendants(root, text(kw(0.80))), leaf), true) -> \
+         filter(split(content, ','), kw(0.50))"
+            .parse()
+            .expect("valid");
+    // Warm the context caches once: steady-state evaluation is the number
+    // that matters for ensemble selection.
+    let _ = program.eval(&ctx, &page);
+    c.bench_function("dsl/program_eval_warm", |b| {
+        b.iter(|| program.eval(black_box(&ctx), black_box(&page)))
+    });
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let pages = generate_pages(Domain::Faculty, 2, 23);
+    let ctx = QueryContext::new("Who are the current PhD students?", ["Current Students", "PhD"]);
+    let examples: Vec<Example> = pages
+        .iter()
+        .map(|p| Example::new(p.tree(), p.gold("fac_t1").to_vec()))
+        .collect();
+    let mut group = c.benchmark_group("synth");
+    group.sample_size(10);
+    group.bench_function("synthesize_fac_t1_2pages", |b| {
+        b.iter(|| synthesize(&SynthConfig::fast(), &ctx, black_box(&examples)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_html, bench_nlp, bench_eval, bench_synthesis);
+criterion_main!(benches);

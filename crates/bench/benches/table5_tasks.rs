@@ -1,0 +1,20 @@
+//! **Table 5** — "Questions and Keywords for each task": the 25 task
+//! definitions used throughout the evaluation.
+//!
+//! Regenerate with:
+//! `cargo bench -p webqa-bench --bench table5_tasks`
+
+use webqa_corpus::{Domain, TASKS};
+
+fn main() {
+    println!("# Table 5: questions and keywords for each task\n");
+    let mut domain: Option<Domain> = None;
+    for t in &TASKS {
+        if domain != Some(t.domain) {
+            println!("--- {} ---", t.domain);
+            domain = Some(t.domain);
+        }
+        println!("{:<10} {:<68} {}", t.id, t.question, t.keywords.join(", "));
+    }
+    println!("\n# verbatim from the paper's Table 5 (25 tasks, 4 domains).");
+}

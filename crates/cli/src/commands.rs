@@ -1,0 +1,532 @@
+//! Implementations of the CLI subcommands.
+
+use std::fmt::Write as _;
+
+use webqa::{score_answers, Config, Modality, Selection, WebQa};
+use webqa_baselines::{BertQa, EntExtract, Hyb};
+use webqa_corpus::{domain_stats, generate_pages, task_by_id, Corpus, Domain, Task, TASKS};
+use webqa_dsl::{lint, normalize, PageTree, Program, QueryContext};
+use webqa_synth::SynthConfig;
+
+use crate::args::ParsedArgs;
+use crate::CliError;
+
+/// The `help` text.
+pub(crate) fn help() -> String {
+    "\
+webqa-cli — web question answering with neurosymbolic program synthesis
+
+USAGE:
+    webqa-cli <COMMAND> [OPTIONS]
+
+COMMANDS:
+    tasks     List the 25 evaluation tasks (Table 5 of the paper)
+                  [--domain faculty|conference|class|clinic]
+    corpus    Generate synthetic webpages
+                  --domain D [--count N] [--seed S] [--page I] [--raw]
+    synth     Synthesize an extraction program for a corpus task
+                  --task ID [--train N] [--pages N] [--seed S] [--paper]
+                  [--strategy transductive|random|shortest]
+                  [--modality both|nl|kw] [--baselines] [--show N] [--json]
+    export    Write generated pages (HTML + gold labels) to a directory
+                  --domain D --out DIR [--count N] [--seed S]
+    run       Run a DSL program on a page
+                  --program SRC --question Q --keywords A,B
+                  (--html SRC | --html-file PATH)
+    check     Lint a DSL program and print its normalized form
+                  --program SRC [--question Q] [--keywords A,B] [--normalize]
+    stats     Structural-heterogeneity statistics of the generated corpus
+                  [--count N] [--seed S] [--domain D]
+    help      Show this message
+"
+    .to_string()
+}
+
+fn parse_domain(s: &str) -> Result<Domain, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "faculty" => Ok(Domain::Faculty),
+        "conference" => Ok(Domain::Conference),
+        "class" => Ok(Domain::Class),
+        "clinic" => Ok(Domain::Clinic),
+        other => Err(CliError::Command(format!(
+            "unknown domain {other:?} (expected faculty|conference|class|clinic)"
+        ))),
+    }
+}
+
+/// `tasks`: the Table 5 catalogue.
+pub(crate) fn tasks(a: &ParsedArgs) -> Result<String, CliError> {
+    a.expect_only(&["domain"])?;
+    let filter = a.get("domain").map(parse_domain).transpose()?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<10} {:<11} {}", "ID", "DOMAIN", "QUESTION / KEYWORDS");
+    for t in &TASKS {
+        if filter.is_some_and(|d| d != t.domain) {
+            continue;
+        }
+        let _ = writeln!(out, "{:<10} {:<11} {}", t.id, format!("{:?}", t.domain), t.question);
+        let _ = writeln!(out, "{:<10} {:<11}   keywords: {}", "", "", t.keywords.join(", "));
+    }
+    Ok(out)
+}
+
+/// `corpus`: generate pages, print an inventory or one page's HTML.
+pub(crate) fn corpus(a: &ParsedArgs) -> Result<String, CliError> {
+    a.expect_only(&["domain", "count", "seed", "page", "raw"])?;
+    let domain = parse_domain(a.require("domain")?)?;
+    let count: usize = a.get_parsed("count", 5, "a positive integer")?;
+    let seed: u64 = a.get_parsed("seed", 0, "an integer")?;
+    let pages = generate_pages(domain, count, seed);
+
+    if let Some(i) = a.get("page") {
+        let i: usize = i.parse().map_err(|_| {
+            CliError::Command(format!("--page {i:?} is not an index into 0..{count}"))
+        })?;
+        let page = pages
+            .get(i)
+            .ok_or_else(|| CliError::Command(format!("page index {i} out of range 0..{count}")))?;
+        if a.switch("raw") {
+            return Ok(page.html.clone());
+        }
+        let tree = page.tree();
+        let mut out = String::new();
+        let _ = writeln!(out, "{}: {} tree nodes", page.name, tree.len());
+        for (task_id, gold) in &page.gold {
+            let _ = writeln!(out, "  {task_id}: {} gold strings", gold.len());
+        }
+        return Ok(out);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{count} {domain:?} pages (seed {seed}):");
+    for p in &pages {
+        let tree = p.tree();
+        let _ = writeln!(out, "  {:<16} {:>4} nodes  {:>6} bytes html", p.name, tree.len(), p.html.len());
+    }
+    Ok(out)
+}
+
+fn parse_strategy(s: &str) -> Result<Selection, CliError> {
+    match s {
+        "transductive" => Ok(Selection::Transductive),
+        "random" => Ok(Selection::Random),
+        "shortest" => Ok(Selection::Shortest),
+        other => Err(CliError::Command(format!(
+            "unknown strategy {other:?} (expected transductive|random|shortest)"
+        ))),
+    }
+}
+
+fn parse_modality(s: &str) -> Result<Modality, CliError> {
+    match s {
+        "both" => Ok(Modality::Both),
+        "nl" => Ok(Modality::QuestionOnly),
+        "kw" => Ok(Modality::KeywordsOnly),
+        other => Err(CliError::Command(format!(
+            "unknown modality {other:?} (expected both|nl|kw)"
+        ))),
+    }
+}
+
+/// `synth`: end-to-end synthesis + evaluation on one corpus task.
+pub(crate) fn synth(a: &ParsedArgs) -> Result<String, CliError> {
+    a.expect_only(&[
+        "task", "train", "pages", "seed", "paper", "strategy", "modality", "baselines", "show",
+        "json",
+    ])?;
+    let task_id = a.require("task")?;
+    let task: &Task = task_by_id(task_id)
+        .ok_or_else(|| CliError::Command(format!("unknown task {task_id:?}; see `tasks`")))?;
+    let n_pages: usize = a.get_parsed("pages", 12, "a positive integer")?;
+    let n_train: usize = a.get_parsed("train", 3, "a positive integer")?;
+    let seed: u64 = a.get_parsed("seed", 0, "an integer")?;
+    let show: usize = a.get_parsed("show", 3, "a positive integer")?;
+    if n_train >= n_pages {
+        return Err(CliError::Command(format!(
+            "--train {n_train} must be smaller than --pages {n_pages}"
+        )));
+    }
+
+    let mut config = Config::default();
+    if a.switch("paper") {
+        config.synth = SynthConfig::paper();
+    }
+    if let Some(s) = a.get("strategy") {
+        config.strategy = parse_strategy(s)?;
+    }
+    if let Some(m) = a.get("modality") {
+        config.modality = parse_modality(m)?;
+    }
+
+    let corpus = Corpus::generate(n_pages, seed);
+    let ds = corpus.dataset(task, n_train);
+    let labeled: Vec<(PageTree, Vec<String>)> =
+        ds.train.iter().map(|p| (p.page.clone(), p.gold.clone())).collect();
+    let unlabeled: Vec<PageTree> = ds.test.iter().map(|p| p.page.clone()).collect();
+
+    let system = WebQa::new(config);
+    let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
+
+    if a.switch("json") {
+        let gold: Vec<Vec<String>> = ds.test.iter().map(|p| p.gold.clone()).collect();
+        let score = score_answers(&result.answers, &gold);
+        let report = SynthReport {
+            task: task.id,
+            question: task.question,
+            train_pages: ds.train.len(),
+            test_pages: ds.test.len(),
+            train_f1: result.synthesis.f1,
+            total_optimal: result.synthesis.total_optimal,
+            selected: result.program.clone(),
+            test: score,
+            stats: result.synthesis.stats,
+        };
+        return serde_json::to_string_pretty(&report)
+            .map(|mut s| {
+                s.push('\n');
+                s
+            })
+            .map_err(|e| CliError::Command(format!("JSON encoding failed: {e}")));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "task {}: {}", task.id, task.question);
+    let _ = writeln!(
+        out,
+        "training: {} pages, optimal F1 {:.3}, {} optimal programs ({} materialized)",
+        ds.train.len(),
+        result.synthesis.f1,
+        result.synthesis.total_optimal,
+        result.synthesis.programs.len()
+    );
+    match &result.program {
+        Some(p) => {
+            let _ = writeln!(out, "selected: {p}");
+        }
+        None => {
+            let _ = writeln!(out, "selected: (no program synthesized)");
+        }
+    }
+    for (i, p) in result.synthesis.programs.iter().take(show).enumerate() {
+        let _ = writeln!(out, "  optimal[{i}]: {p}");
+    }
+
+    let gold: Vec<Vec<String>> = ds.test.iter().map(|p| p.gold.clone()).collect();
+    let score = score_answers(&result.answers, &gold);
+    let _ = writeln!(
+        out,
+        "test ({} pages): P {:.3}  R {:.3}  F1 {:.3}",
+        ds.test.len(),
+        score.precision,
+        score.recall,
+        score.f1
+    );
+
+    if a.switch("baselines") {
+        let bert = BertQa::new();
+        let answers: Vec<Vec<String>> =
+            ds.test.iter().map(|p| bert.answer_page(task.question, &p.html)).collect();
+        let s = score_answers(&answers, &gold);
+        let _ = writeln!(out, "BertQA     : P {:.3}  R {:.3}  F1 {:.3}", s.precision, s.recall, s.f1);
+
+        let train_pairs: Vec<(String, Vec<String>)> =
+            ds.train.iter().map(|p| (p.html.clone(), p.gold.clone())).collect();
+        let answers: Vec<Vec<String>> = match Hyb::train(&train_pairs) {
+            Ok(h) => ds.test.iter().map(|p| h.extract(&p.html)).collect(),
+            Err(_) => vec![Vec::new(); ds.test.len()],
+        };
+        let s = score_answers(&answers, &gold);
+        let _ = writeln!(out, "HYB        : P {:.3}  R {:.3}  F1 {:.3}", s.precision, s.recall, s.f1);
+
+        let ee = EntExtract::new();
+        let answers: Vec<Vec<String>> =
+            ds.test.iter().map(|p| ee.extract(task.question, &p.html)).collect();
+        let s = score_answers(&answers, &gold);
+        let _ = writeln!(out, "EntExtract : P {:.3}  R {:.3}  F1 {:.3}", s.precision, s.recall, s.f1);
+    }
+
+    Ok(out)
+}
+
+/// Machine-readable result of `synth --json`.
+#[derive(Debug, serde::Serialize)]
+struct SynthReport {
+    task: &'static str,
+    question: &'static str,
+    train_pages: usize,
+    test_pages: usize,
+    train_f1: f64,
+    total_optimal: usize,
+    selected: Option<Program>,
+    test: webqa::Score,
+    stats: webqa_synth::SynthStats,
+}
+
+/// `export`: write generated pages and their gold labels to disk.
+pub(crate) fn export(a: &ParsedArgs) -> Result<String, CliError> {
+    a.expect_only(&["domain", "out", "count", "seed"])?;
+    let domain = parse_domain(a.require("domain")?)?;
+    let out_dir = std::path::PathBuf::from(a.require("out")?);
+    let count: usize = a.get_parsed("count", 10, "a positive integer")?;
+    let seed: u64 = a.get_parsed("seed", 0, "an integer")?;
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| CliError::Command(format!("cannot create {}: {e}", out_dir.display())))?;
+    let pages = generate_pages(domain, count, seed);
+    let mut gold_index = serde_json::Map::new();
+    for p in &pages {
+        let file = out_dir.join(format!("{}.html", p.name));
+        std::fs::write(&file, &p.html)
+            .map_err(|e| CliError::Command(format!("cannot write {}: {e}", file.display())))?;
+        let labels: serde_json::Value = p
+            .gold
+            .iter()
+            .map(|(task, strings)| (task.to_string(), serde_json::json!(strings)))
+            .collect::<serde_json::Map<_, _>>()
+            .into();
+        gold_index.insert(p.name.clone(), labels);
+    }
+    let gold_path = out_dir.join("gold.json");
+    let json = serde_json::to_string_pretty(&serde_json::Value::Object(gold_index))
+        .map_err(|e| CliError::Command(format!("JSON encoding failed: {e}")))?;
+    std::fs::write(&gold_path, json)
+        .map_err(|e| CliError::Command(format!("cannot write {}: {e}", gold_path.display())))?;
+    Ok(format!(
+        "wrote {count} pages and gold.json to {}\n",
+        out_dir.display()
+    ))
+}
+
+/// `stats`: corpus heterogeneity report.
+pub(crate) fn stats(a: &ParsedArgs) -> Result<String, CliError> {
+    a.expect_only(&["count", "seed", "domain"])?;
+    let count: usize = a.get_parsed("count", 20, "a positive integer")?;
+    let seed: u64 = a.get_parsed("seed", 0, "an integer")?;
+    let filter = a.get("domain").map(parse_domain).transpose()?;
+    let mut out = String::new();
+    let _ = writeln!(out, "corpus statistics ({count} pages/domain, seed {seed}):");
+    for domain in Domain::ALL {
+        if filter.is_some_and(|d| d != domain) {
+            continue;
+        }
+        let pages = generate_pages(domain, count, seed);
+        let _ = writeln!(out, "  {}", domain_stats(domain, &pages));
+    }
+    Ok(out)
+}
+
+/// `run`: evaluate one program on one page.
+pub(crate) fn run(a: &ParsedArgs) -> Result<String, CliError> {
+    a.expect_only(&["program", "question", "keywords", "html", "html-file"])?;
+    let program: Program = a
+        .require("program")?
+        .parse()
+        .map_err(|e| CliError::Command(format!("bad --program: {e}")))?;
+    let question = a.get("question").unwrap_or("");
+    let keywords = a.get_list("keywords");
+    let html = match (a.get("html"), a.get("html-file")) {
+        (Some(h), None) => h.to_string(),
+        (None, Some(path)) => std::fs::read_to_string(path)
+            .map_err(|e| CliError::Command(format!("cannot read {path:?}: {e}")))?,
+        _ => {
+            return Err(CliError::Command(
+                "exactly one of --html or --html-file is required".to_string(),
+            ))
+        }
+    };
+    let ctx = QueryContext::new(question, keywords);
+    let page = PageTree::parse(&html);
+    let answers = program.eval(&ctx, &page);
+    let mut out = String::new();
+    let _ = writeln!(out, "{} answers:", answers.len());
+    for ans in &answers {
+        let _ = writeln!(out, "  {ans}");
+    }
+    Ok(out)
+}
+
+/// `check`: lint + optional normalization of a program.
+pub(crate) fn check(a: &ParsedArgs) -> Result<String, CliError> {
+    a.expect_only(&["program", "question", "keywords", "normalize"])?;
+    let program: Program = a
+        .require("program")?
+        .parse()
+        .map_err(|e| CliError::Command(format!("bad --program: {e}")))?;
+    let ctx = QueryContext::new(a.get("question").unwrap_or(""), a.get_list("keywords"));
+    let report = lint(&program, &ctx);
+    let mut out = String::new();
+    let _ = writeln!(out, "program: {program}");
+    let _ = writeln!(out, "size {} | branches {}", program.size(), program.branches.len());
+    let _ = writeln!(out, "lint: {report}");
+    if a.switch("normalize") {
+        let n = normalize(&program);
+        if n == program {
+            let _ = writeln!(out, "normalized: (already normal)");
+        } else {
+            let _ = writeln!(out, "normalized: {n}");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dispatch;
+
+    #[test]
+    fn tasks_lists_all_25() {
+        let out = dispatch(&["tasks"]).unwrap();
+        for t in ["fac_t1", "conf_t6", "class_t3", "clinic_t5"] {
+            assert!(out.contains(t), "missing {t} in {out}");
+        }
+    }
+
+    #[test]
+    fn tasks_filters_by_domain() {
+        let out = dispatch(&["tasks", "--domain", "clinic"]).unwrap();
+        assert!(out.contains("clinic_t1"));
+        assert!(!out.contains("fac_t1"));
+    }
+
+    #[test]
+    fn tasks_rejects_bad_domain() {
+        let err = dispatch(&["tasks", "--domain", "zoo"]).unwrap_err();
+        assert!(err.to_string().contains("zoo"));
+    }
+
+    #[test]
+    fn corpus_inventory_and_page_views() {
+        let out =
+            dispatch(&["corpus", "--domain", "faculty", "--count", "2", "--seed", "5"]).unwrap();
+        assert!(out.contains("faculty"), "{out}");
+        assert!(out.contains("nodes"));
+
+        let html =
+            dispatch(&["corpus", "--domain", "faculty", "--count", "2", "--page", "1", "--raw"])
+                .unwrap();
+        assert!(html.contains("<h1>"), "{html}");
+
+        let stats =
+            dispatch(&["corpus", "--domain", "faculty", "--count", "2", "--page", "0"]).unwrap();
+        assert!(stats.contains("tree nodes"));
+        assert!(stats.contains("fac_t1"));
+    }
+
+    #[test]
+    fn corpus_rejects_out_of_range_page() {
+        let err = dispatch(&["corpus", "--domain", "class", "--count", "2", "--page", "7"])
+            .unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn synth_runs_a_small_task() {
+        let out = dispatch(&[
+            "synth", "--task", "fac_t1", "--pages", "6", "--train", "2", "--seed", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("optimal F1"), "{out}");
+        assert!(out.contains("test (4 pages)"), "{out}");
+        assert!(out.contains("selected:"), "{out}");
+    }
+
+    #[test]
+    fn synth_rejects_unknown_task_and_bad_split() {
+        assert!(dispatch(&["synth", "--task", "nope"]).is_err());
+        let err = dispatch(&[
+            "synth", "--task", "fac_t1", "--pages", "3", "--train", "3",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("smaller"));
+    }
+
+    #[test]
+    fn run_evaluates_inline_html() {
+        let out = dispatch(&[
+            "run",
+            "--program",
+            "sat(descendants(root, leaf), true) -> content",
+            "--question",
+            "Who are the students?",
+            "--keywords",
+            "Students",
+            "--html",
+            "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>",
+        ])
+        .unwrap();
+        assert!(out.contains("Jane Doe"), "{out}");
+    }
+
+    #[test]
+    fn run_requires_exactly_one_html_source() {
+        let err = dispatch(&["run", "--program", "sat(root, true) -> content"]).unwrap_err();
+        assert!(err.to_string().contains("--html"));
+    }
+
+    #[test]
+    fn run_rejects_bad_program() {
+        let err = dispatch(&["run", "--program", "wat(", "--html", "<h1>x</h1>"]).unwrap_err();
+        assert!(err.to_string().contains("bad --program"));
+    }
+
+    #[test]
+    fn stats_reports_every_domain() {
+        let out = dispatch(&["stats", "--count", "6", "--seed", "1"]).unwrap();
+        for d in ["Faculty", "Conference", "Class", "Clinic"] {
+            assert!(out.contains(d), "missing {d}: {out}");
+        }
+        assert!(out.contains("schemas"));
+        let out = dispatch(&["stats", "--count", "4", "--domain", "clinic"]).unwrap();
+        assert!(out.contains("Clinic") && !out.contains("Faculty"));
+    }
+
+    #[test]
+    fn synth_json_is_valid_and_complete() {
+        let out = dispatch(&[
+            "synth", "--task", "fac_t1", "--pages", "6", "--train", "2", "--seed", "3", "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(v["task"], "fac_t1");
+        assert!(v["train_f1"].as_f64().unwrap() >= 0.0);
+        assert!(v["test"]["f1"].as_f64().is_some());
+        assert!(v["selected"].is_string() || v["selected"].is_null());
+        assert!(v["stats"]["extractors_enumerated"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn export_writes_pages_and_gold() {
+        let dir = std::env::temp_dir().join(format!("webqa_export_{}", std::process::id()));
+        let out = dispatch(&[
+            "export", "--domain", "clinic", "--count", "3", "--seed", "2", "--out",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("3 pages"), "{out}");
+        let gold = std::fs::read_to_string(dir.join("gold.json")).expect("gold.json exists");
+        let v: serde_json::Value = serde_json::from_str(&gold).expect("valid JSON");
+        assert_eq!(v.as_object().unwrap().len(), 3);
+        let html_files = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref().unwrap().path().extension().is_some_and(|x| x == "html")
+            })
+            .count();
+        assert_eq!(html_files, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_reports_lint_and_normal_form() {
+        let out = dispatch(&[
+            "check",
+            "--program",
+            "sat(root, kw(0.60)) -> filter(content, true)",
+            "--keywords",
+            "Students",
+            "--normalize",
+        ])
+        .unwrap();
+        assert!(out.contains("no-op"), "{out}");
+        assert!(out.contains("normalized: sat(root, kw(0.60)) -> content"), "{out}");
+    }
+}

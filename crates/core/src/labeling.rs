@@ -1,0 +1,180 @@
+//! Interactive labeling by page clustering (Section 7 of the paper).
+//!
+//! Rather than labeling arbitrary pages, WebQA suggests which pages to
+//! label: it featurizes every page (structure counts, entity types, which
+//! DSL locator prototypes select anything) and greedily picks a maximally
+//! diverse subset (k-center), so that a handful of labels covers the
+//! distinct schemas in the target set. The paper caps user queries at
+//! five.
+
+use webqa_dsl::{PageTree, QueryContext};
+use webqa_nlp::EntityKind;
+
+/// Maximum number of label requests (Section 7: "we restrict the number
+/// of user queries to at most five").
+pub const MAX_LABEL_REQUESTS: usize = 5;
+
+/// A page's feature vector for clustering.
+fn featurize(ctx: &QueryContext, page: &PageTree) -> Vec<f64> {
+    let mut node_count = 0.0f64;
+    let mut list_nodes = 0.0f64;
+    let mut table_nodes = 0.0f64;
+    let mut leaves = 0.0f64;
+    let mut max_depth = 0.0f64;
+    let mut kw_sections = 0.0;
+    let mut entity_flags = [0.0f64; 6];
+    for id in page.iter() {
+        node_count += 1.0;
+        match page.kind(id) {
+            webqa_dsl::NodeKind::List => list_nodes += 1.0,
+            webqa_dsl::NodeKind::Table => table_nodes += 1.0,
+            webqa_dsl::NodeKind::None => {}
+        }
+        if page.is_leaf(id) {
+            leaves += 1.0;
+        }
+        max_depth = max_depth.max(page.depth(id) as f64);
+        let text = page.text(id);
+        if !ctx.keywords().is_empty() && ctx.keyword_score(text) >= 0.8 {
+            kw_sections += 1.0;
+        }
+        for (i, kind) in [
+            EntityKind::Person,
+            EntityKind::Organization,
+            EntityKind::Date,
+            EntityKind::Time,
+            EntityKind::Location,
+            EntityKind::Money,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if entity_flags[i] == 0.0 && ctx.has_entity(text, kind) {
+                entity_flags[i] = 1.0;
+            }
+        }
+    }
+    let mut v = vec![
+        (node_count / 10.0).min(10.0),
+        list_nodes,
+        table_nodes,
+        leaves / 5.0,
+        max_depth,
+        kw_sections,
+    ];
+    v.extend_from_slice(&entity_flags);
+    v
+}
+
+fn distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+}
+
+/// Suggests up to `k` (≤ [`MAX_LABEL_REQUESTS`]) diverse pages to label,
+/// returning their indices: greedy k-center over the feature space,
+/// seeded with the page closest to the centroid (a "typical" page first,
+/// then maximally different ones).
+pub fn suggest_labels(ctx: &QueryContext, pages: &[PageTree], k: usize) -> Vec<usize> {
+    let k = k.min(MAX_LABEL_REQUESTS).min(pages.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let features: Vec<Vec<f64>> = pages.iter().map(|p| featurize(ctx, p)).collect();
+    let dim = features[0].len();
+    let mut centroid = vec![0.0; dim];
+    for f in &features {
+        for (c, x) in centroid.iter_mut().zip(f) {
+            *c += x;
+        }
+    }
+    for c in centroid.iter_mut() {
+        *c /= pages.len() as f64;
+    }
+    // Seed: most typical page.
+    let seed = (0..pages.len())
+        .min_by(|&a, &b| {
+            distance(&features[a], &centroid)
+                .partial_cmp(&distance(&features[b], &centroid))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("non-empty");
+    let mut chosen = vec![seed];
+    while chosen.len() < k {
+        // Farthest-point heuristic.
+        let next = (0..pages.len())
+            .filter(|i| !chosen.contains(i))
+            .max_by(|&a, &b| {
+                let da = chosen.iter().map(|&c| distance(&features[a], &features[c])).fold(f64::INFINITY, f64::min);
+                let db = chosen.iter().map(|&c| distance(&features[b], &features[c])).fold(f64::INFINITY, f64::min);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            });
+        match next {
+            Some(i) => chosen.push(i),
+            None => break,
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pages() -> Vec<PageTree> {
+        vec![
+            PageTree::parse("<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li><li>Bob Smith</li></ul>"),
+            PageTree::parse("<h1>B</h1><h2>Students</h2><ul><li>Mary Anderson</li></ul>"),
+            PageTree::parse("<h1>C</h1><p>just a paragraph page</p>"),
+            PageTree::parse(
+                "<h1>D</h1><h2>Logistics</h2><table><tr><td>a</td><td>b</td></tr>\
+                 <tr><td>c</td><td>d</td></tr></table>",
+            ),
+        ]
+    }
+
+    fn ctx() -> QueryContext {
+        QueryContext::new("Who are the students?", ["Students"])
+    }
+
+    #[test]
+    fn suggests_requested_count() {
+        let s = suggest_labels(&ctx(), &pages(), 3);
+        assert_eq!(s.len(), 3);
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "indices must be distinct");
+    }
+
+    #[test]
+    fn caps_at_five() {
+        let many: Vec<PageTree> =
+            (0..10).map(|i| PageTree::parse(&format!("<h1>P{i}</h1><p>t{i}</p>"))).collect();
+        assert_eq!(suggest_labels(&ctx(), &many, 9).len(), MAX_LABEL_REQUESTS);
+    }
+
+    #[test]
+    fn caps_at_page_count() {
+        let two = &pages()[..2];
+        assert_eq!(suggest_labels(&ctx(), two, 5).len(), 2);
+    }
+
+    #[test]
+    fn diverse_schemas_are_covered() {
+        // With k=2 the picks should span different layouts: not both of
+        // the two near-identical student pages.
+        let s = suggest_labels(&ctx(), &pages(), 2);
+        assert!(!(s.contains(&0) && s.contains(&1)), "picked two near-duplicates: {s:?}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(suggest_labels(&ctx(), &[], 3).is_empty());
+        assert!(suggest_labels(&ctx(), &pages(), 0).is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(suggest_labels(&ctx(), &pages(), 3), suggest_labels(&ctx(), &pages(), 3));
+    }
+}

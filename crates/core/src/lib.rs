@@ -1,0 +1,48 @@
+//! # webqa
+//!
+//! End-to-end WebQA: web question answering with neurosymbolic program
+//! synthesis — the top-level crate of this reproduction of Chen et al.,
+//! PLDI 2021 (arXiv:2104.07162).
+//!
+//! Given a natural-language question, keywords, a few labeled webpages,
+//! and many unlabeled ones (Figure 1 of the paper), [`WebQa::run`]:
+//!
+//! 1. synthesizes **all** DSL programs with optimal token-F₁ on the labels
+//!    (`webqa-synth`, Section 5);
+//! 2. picks the program whose outputs best match the ensemble's soft
+//!    labels on the unlabeled pages (`webqa-select`, Section 6);
+//! 3. runs it on every unlabeled page.
+//!
+//! ```
+//! use webqa::{Config, WebQa};
+//! use webqa_dsl::PageTree;
+//!
+//! let labeled = vec![(
+//!     PageTree::parse("<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>"),
+//!     vec!["Jane Doe".to_string()],
+//! )];
+//! let unlabeled =
+//!     vec![PageTree::parse("<h1>B</h1><h2>Advisees</h2><ul><li>Wei Chen</li></ul>")];
+//!
+//! let system = WebQa::new(Config::default());
+//! let result = system.run("Who are the PhD students?", &["Students"], &labeled, &unlabeled);
+//! assert!(result.program.is_some());
+//! ```
+//!
+//! The crate also provides the paper's *interactive labeling* helper
+//! ([`suggest_labels`], Section 7), which clusters the target pages and
+//! proposes at most five representatives to label.
+
+#![warn(missing_docs)]
+
+mod labeling;
+mod pipeline;
+
+pub use labeling::{suggest_labels, MAX_LABEL_REQUESTS};
+pub use pipeline::{score_answers, Config, Modality, RunResult, Selection, WebQa};
+
+// Re-export the workspace vocabulary that appears in this crate's API.
+pub use webqa_dsl::{PageTree, Program, QueryContext};
+pub use webqa_metrics::Score;
+pub use webqa_select::SelectionConfig;
+pub use webqa_synth::{SynthConfig, SynthesisOutcome};

@@ -1,0 +1,226 @@
+//! The end-to-end WebQA pipeline (Figure 1 of the paper):
+//! query + labeled pages → optimal programs → transductive selection →
+//! answers for every unlabeled page.
+
+use webqa_dsl::{PageTree, Program, QueryContext};
+use webqa_metrics::{Counts, Score};
+use webqa_select::{select_random, select_shortest, select_transductive, SelectionConfig};
+use webqa_synth::{synthesize, Example, SynthConfig, SynthesisOutcome};
+
+/// Which query modalities the pipeline uses (the WebQA-NL / WebQA-KW
+/// ablations of Appendix C.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Modality {
+    /// Question and keywords (full WebQA).
+    #[default]
+    Both,
+    /// Question only (`WebQA-NL`).
+    QuestionOnly,
+    /// Keywords only (`WebQA-KW`).
+    KeywordsOnly,
+}
+
+/// Program-selection strategy (Section 8.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Selection {
+    /// Transductive ensemble selection (Section 6).
+    #[default]
+    Transductive,
+    /// Uniformly random optimal program.
+    Random,
+    /// Random among the smallest optimal programs.
+    Shortest,
+}
+
+/// End-to-end pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Synthesizer settings.
+    pub synth: SynthConfig,
+    /// Transductive-selection settings.
+    pub selection: SelectionConfig,
+    /// Which selection strategy to use.
+    pub strategy: Selection,
+    /// Which query modalities to use.
+    pub modality: Modality,
+}
+
+/// The WebQA system.
+#[derive(Debug, Clone, Default)]
+pub struct WebQa {
+    config: Config,
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The selected program, `None` when synthesis found nothing.
+    pub program: Option<Program>,
+    /// The full synthesis outcome (all optimal programs, stats).
+    pub synthesis: SynthesisOutcome,
+    /// Answers per unlabeled page, aligned with the input order.
+    pub answers: Vec<Vec<String>>,
+}
+
+impl WebQa {
+    /// Creates the system with the given configuration.
+    pub fn new(config: Config) -> Self {
+        WebQa { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Builds the query context for the configured modality.
+    pub fn context<S: AsRef<str>>(&self, question: &str, keywords: &[S]) -> QueryContext {
+        let kws: Vec<String> = keywords.iter().map(|k| k.as_ref().to_string()).collect();
+        match self.config.modality {
+            Modality::Both => QueryContext::new(question, kws),
+            Modality::QuestionOnly => QueryContext::question_only(question),
+            Modality::KeywordsOnly => QueryContext::keywords_only(kws),
+        }
+    }
+
+    /// Runs the full pipeline: synthesize all optimal programs from the
+    /// labeled pages, select one (transductively, against the unlabeled
+    /// pages), and extract answers from every unlabeled page.
+    pub fn run<S: AsRef<str>>(
+        &self,
+        question: &str,
+        keywords: &[S],
+        labeled: &[(PageTree, Vec<String>)],
+        unlabeled: &[PageTree],
+    ) -> RunResult {
+        let ctx = self.context(question, keywords);
+        let examples: Vec<Example> =
+            labeled.iter().map(|(p, g)| Example::new(p.clone(), g.clone())).collect();
+        let synthesis = synthesize(&self.config.synth, &ctx, &examples);
+        let program = match self.config.strategy {
+            Selection::Transductive => select_transductive(
+                &self.config.selection,
+                &ctx,
+                &synthesis.programs,
+                unlabeled,
+            ),
+            Selection::Random => select_random(&synthesis.programs, self.config.selection.seed),
+            Selection::Shortest =>
+                select_shortest(&synthesis.programs, self.config.selection.seed),
+        };
+        let answers = match &program {
+            Some(p) => unlabeled.iter().map(|page| p.eval(&ctx, page)).collect(),
+            None => vec![Vec::new(); unlabeled.len()],
+        };
+        RunResult { program, synthesis, answers }
+    }
+}
+
+/// Scores per-page answers against per-page gold labels (micro-averaged
+/// token P/R/F₁ — the paper's evaluation metric).
+pub fn score_answers(answers: &[Vec<String>], gold: &[Vec<String>]) -> Score {
+    assert_eq!(answers.len(), gold.len(), "answers and gold must be aligned");
+    let counts: Counts = answers
+        .iter()
+        .zip(gold)
+        .map(|(a, g)| Counts::from_strings(a, g))
+        .sum();
+    Score::from_counts(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeled() -> Vec<(PageTree, Vec<String>)> {
+        vec![
+            (
+                PageTree::parse(
+                    "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li><li>Bob Smith</li></ul>\
+                     <h2>News</h2><p>Two papers accepted.</p>",
+                ),
+                vec!["Jane Doe".into(), "Bob Smith".into()],
+            ),
+            (
+                PageTree::parse(
+                    "<h1>B</h1><h2>Teaching</h2><p>CS 101</p>\
+                     <h2>PhD Students</h2><ul><li>Mary Anderson</li></ul>",
+                ),
+                vec!["Mary Anderson".into()],
+            ),
+        ]
+    }
+
+    fn unlabeled() -> Vec<PageTree> {
+        vec![PageTree::parse(
+            "<h1>C</h1><h2>Advisees</h2><ul><li>Wei Chen</li><li>Elena Petrov</li></ul>",
+        )]
+    }
+
+    #[test]
+    fn end_to_end_extracts_from_unseen_page() {
+        let system = WebQa::new(Config::default());
+        let result = system.run(
+            "Who are the current PhD students?",
+            &["Students", "PhD"],
+            &labeled(),
+            &unlabeled(),
+        );
+        assert!(result.program.is_some());
+        assert!(result.synthesis.f1 > 0.99);
+        let answers = &result.answers[0];
+        assert!(
+            answers.iter().any(|a| a.contains("Wei Chen")),
+            "generalization to a differently-titled section, got {answers:?}"
+        );
+    }
+
+    #[test]
+    fn score_answers_micro_averages() {
+        let answers = vec![vec!["Jane Doe".to_string()], vec![]];
+        let gold = vec![vec!["Jane Doe".to_string()], vec!["Bob Smith".to_string()]];
+        let s = score_answers(&answers, &gold);
+        assert!((s.precision - 1.0).abs() < 1e-12);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modality_contexts() {
+        let mut cfg = Config::default();
+        cfg.modality = Modality::QuestionOnly;
+        let system = WebQa::new(cfg);
+        let ctx = system.context("Who?", &["K"]);
+        assert!(ctx.keywords().is_empty());
+        assert_eq!(ctx.question(), "Who?");
+
+        let mut cfg = Config::default();
+        cfg.modality = Modality::KeywordsOnly;
+        let ctx = WebQa::new(cfg).context("Who?", &["K"]);
+        assert!(ctx.question().is_empty());
+        assert_eq!(ctx.keywords(), ["K".to_string()]);
+    }
+
+    #[test]
+    fn no_labels_no_program() {
+        let system = WebQa::new(Config::default());
+        let result = system.run("Who?", &["K"], &[], &unlabeled());
+        assert!(result.program.is_none());
+        assert_eq!(result.answers, vec![Vec::<String>::new()]);
+    }
+
+    #[test]
+    fn selection_strategies_all_produce_programs() {
+        for strategy in [Selection::Transductive, Selection::Random, Selection::Shortest] {
+            let mut cfg = Config::default();
+            cfg.strategy = strategy;
+            let system = WebQa::new(cfg);
+            let result = system.run(
+                "Who are the current PhD students?",
+                &["Students", "PhD"],
+                &labeled(),
+                &unlabeled(),
+            );
+            assert!(result.program.is_some(), "strategy {strategy:?}");
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! University course-page generator: logistics (lectures, exams), staff
+//! (instructors, TAs), textbooks, and grading schemes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use webqa_nlp::lexicon;
+
+use super::util::{person_names, pick, sample, HtmlDoc};
+use super::GeneratedPage;
+
+#[derive(Debug)]
+struct ClassFacts {
+    code: String,
+    title: String,
+    instructors: Vec<String>,
+    tas: Vec<String>,
+    lectures: Vec<String>,
+    exams: Vec<(String, String)>, // (label, date)
+    textbooks: Vec<String>,
+    grading: Vec<String>,
+}
+
+fn make_facts(rng: &mut StdRng) -> ClassFacts {
+    let code = format!("CS {}", rng.gen_range(101..499));
+    let title = pick(rng, lexicon::COURSE_TOPICS).to_string();
+    let year = rng.gen_range(2023..2027);
+
+    let day_patterns = ["MWF", "TTh", "MW", "Friday"];
+    let n_sections = rng.gen_range(1..3);
+    let mut lectures = Vec::new();
+    for _ in 0..n_sections {
+        let h = rng.gen_range(8..16);
+        lectures.push(format!("{} {h}:00-{}:15", pick(rng, &day_patterns), h + 1));
+    }
+
+    let mut exams = vec![(
+        "Midterm".to_string(),
+        format!("{} {}, {year}", pick(rng, lexicon::MONTHS), rng.gen_range(1..28)),
+    )];
+    if rng.gen_bool(0.8) {
+        exams.push((
+            "Final exam".to_string(),
+            format!("{} {}, {year}", pick(rng, lexicon::MONTHS), rng.gen_range(1..28)),
+        ));
+    }
+
+    let mut grading = Vec::new();
+    let components = [("Homework", 30), ("Midterm", 20), ("Final exam", 30), ("Projects", 15), ("Participation", 5)];
+    let n_components = rng.gen_range(3..5);
+    for (name, pct) in sample(rng, &components, n_components) {
+        grading.push(format!("{name}: {pct}%"));
+    }
+
+    ClassFacts {
+        code,
+        title,
+        instructors: {
+            let n = rng.gen_range(1..3);
+            person_names(rng, n)
+        },
+        tas: {
+            let n = rng.gen_range(1..4);
+            person_names(rng, n)
+        },
+        lectures,
+        exams,
+        textbooks: {
+            let n = rng.gen_range(1..3);
+            sample(rng, lexicon::TEXTBOOKS, n).into_iter().map(|s| s.to_string()).collect()
+        },
+        grading,
+    }
+}
+
+fn gold_for(facts: &ClassFacts) -> Vec<(&'static str, Vec<String>)> {
+    vec![
+        ("class_t1", facts.lectures.clone()),
+        ("class_t2", facts.instructors.clone()),
+        ("class_t3", facts.tas.clone()),
+        ("class_t4", facts.exams.iter().map(|(_, d)| d.clone()).collect()),
+        ("class_t5", facts.textbooks.clone()),
+        ("class_t6", facts.grading.clone()),
+    ]
+}
+
+fn render(rng: &mut StdRng, facts: &ClassFacts) -> String {
+    let full_title = format!("{}: {}", facts.code, facts.title);
+    let mut doc = HtmlDoc::new(&full_title);
+    doc.h1(&full_title);
+    doc.p(&format!(
+        "Welcome to {}. This course covers the fundamentals of {}.",
+        facts.code,
+        facts.title.to_lowercase()
+    ));
+
+    let mut sections: Vec<u8> = vec![0, 1, 2, 3, 4];
+    for i in (1..sections.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        sections.swap(i, j);
+    }
+    let level = if rng.gen_bool(0.7) { 2 } else { 3 };
+    for s in sections {
+        match s {
+            0 => render_staff(rng, facts, &mut doc, level),
+            1 => render_lectures(rng, facts, &mut doc, level),
+            2 => render_exams(rng, facts, &mut doc, level),
+            3 => render_textbooks(rng, facts, &mut doc, level),
+            _ => render_grading(rng, facts, &mut doc, level),
+        }
+    }
+    doc.finish()
+}
+
+fn render_staff(rng: &mut StdRng, facts: &ClassFacts, doc: &mut HtmlDoc, level: u8) {
+    match rng.gen_range(0..3) {
+        0 => {
+            let instructor_titles = ["Instructors", "Instructor"];
+            let ta_titles = ["Teaching Assistants", "TAs"];
+            doc.heading(level, "Course Staff");
+            doc.bold_header(pick(rng, &instructor_titles));
+            doc.ul(&facts.instructors);
+            doc.bold_header(pick(rng, &ta_titles));
+            doc.ul(&facts.tas);
+        }
+        1 => {
+            let instructor_titles = ["Instructors", "Instructor"];
+            let ta_titles = ["Teaching Assistants", "TAs"];
+            doc.heading(level, pick(rng, &instructor_titles));
+            doc.p(&facts.instructors.join(", "));
+            doc.heading(level, pick(rng, &ta_titles));
+            doc.p(&facts.tas.join(", "));
+        }
+        _ => {
+            doc.heading(level, "Staff");
+            let mut rows = Vec::new();
+            for i in &facts.instructors {
+                rows.push(("Instructor".to_string(), i.clone()));
+            }
+            for t in &facts.tas {
+                rows.push(("TA".to_string(), t.clone()));
+            }
+            doc.table(&rows);
+        }
+    }
+}
+
+fn render_lectures(rng: &mut StdRng, facts: &ClassFacts, doc: &mut HtmlDoc, level: u8) {
+    let titles = ["Lectures", "Sections", "Schedule", "Lecture Times"];
+    doc.heading(level, pick(rng, &titles));
+    if facts.lectures.len() > 1 {
+        let lines: Vec<String> = facts
+            .lectures
+            .iter()
+            .enumerate()
+            .map(|(i, l)| format!("Section {}: {l}", i + 1))
+            .collect();
+        doc.ul(&lines);
+    } else if rng.gen_bool(0.5) {
+        doc.ul(&facts.lectures);
+    } else {
+        doc.p(&format!("Lectures meet {}.", facts.lectures[0]));
+    }
+}
+
+fn render_exams(rng: &mut StdRng, facts: &ClassFacts, doc: &mut HtmlDoc, level: u8) {
+    let titles = ["Exams", "Midterms and Finals", "Exam Schedule"];
+    doc.heading(level, pick(rng, &titles));
+    if rng.gen_bool(0.5) {
+        doc.table(&facts.exams);
+    } else {
+        let lines: Vec<String> =
+            facts.exams.iter().map(|(k, v)| format!("{k}: {v}")).collect();
+        doc.ul(&lines);
+    }
+}
+
+fn render_textbooks(rng: &mut StdRng, facts: &ClassFacts, doc: &mut HtmlDoc, level: u8) {
+    let titles = ["Textbooks", "Required Texts", "Course Materials"];
+    doc.heading(level, pick(rng, &titles));
+    if rng.gen_bool(0.7) {
+        doc.ul(&facts.textbooks);
+    } else {
+        doc.p(&facts.textbooks.join("; "));
+    }
+}
+
+fn render_grading(rng: &mut StdRng, facts: &ClassFacts, doc: &mut HtmlDoc, level: u8) {
+    let titles = ["Grading", "Grades", "Assessment", "Grading Rubric"];
+    doc.heading(level, pick(rng, &titles));
+    doc.p("Your final grade is computed as follows:");
+    if rng.gen_bool(0.7) {
+        doc.ul(&facts.grading);
+    } else {
+        doc.p(&facts.grading.join(", "));
+    }
+}
+
+/// Generates one class page.
+pub(crate) fn generate(rng: &mut StdRng, index: usize) -> GeneratedPage {
+    let facts = make_facts(rng);
+    let html = render(rng, &facts);
+    GeneratedPage {
+        name: format!("class_{index:02}"),
+        html,
+        gold: gold_for(&facts).into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use webqa_html::PageTree;
+    use webqa_metrics::tokenize_all;
+
+    fn page(seed: u64) -> GeneratedPage {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate(&mut rng, 0)
+    }
+
+    #[test]
+    fn gold_tokens_present() {
+        for seed in 0..20 {
+            let p = page(seed);
+            let tree = PageTree::parse(&p.html);
+            let toks: std::collections::HashSet<_> =
+                tokenize_all(&tree.iter().map(|n| tree.text(n).to_string()).collect::<Vec<_>>())
+                    .into_iter()
+                    .collect();
+            for (task, golds) in &p.gold {
+                for t in tokenize_all(golds) {
+                    assert!(toks.contains(&t), "seed {seed} task {task}: token {t:?} missing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_class_tasks_present() {
+        let p = page(0);
+        for t in ["class_t1", "class_t2", "class_t3", "class_t4", "class_t5", "class_t6"] {
+            assert!(p.gold.contains_key(t));
+            assert!(!p.gold[t].is_empty(), "{t} gold empty");
+        }
+    }
+
+    #[test]
+    fn exam_gold_is_dates() {
+        let p = page(9);
+        for d in &p.gold["class_t4"] {
+            assert!(d.contains(','), "exam gold should be a date, got {d}");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Clinic-website generator: providers, services, specialties, accepted
+//! insurance plans, and locations.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use webqa_nlp::lexicon;
+
+use super::util::{person_names, pick, sample, HtmlDoc};
+use super::GeneratedPage;
+
+#[derive(Debug)]
+struct ClinicFacts {
+    name: String,
+    doctors: Vec<String>,
+    services: Vec<String>,
+    treatments: Vec<String>,
+    insurances: Vec<String>,
+    locations: Vec<String>,
+}
+
+fn make_facts(rng: &mut StdRng) -> ClinicFacts {
+    let place = pick(rng, lexicon::PLACES);
+    let kind = pick(rng, &["Family Clinic", "Medical Center", "Health Clinic", "Care Center"]);
+    let n_locations = rng.gen_range(1..4);
+    let mut locations = Vec::new();
+    for _ in 0..n_locations {
+        let street = pick(rng, &["Main Street", "Oak Avenue", "Elm Road", "Cedar Boulevard", "Lake Drive"]);
+        locations.push(format!(
+            "{} {street}, {}",
+            rng.gen_range(100..999),
+            pick(rng, lexicon::PLACES)
+        ));
+    }
+    let n_doctors = rng.gen_range(2..6);
+    let n_services = rng.gen_range(3..7);
+    let n_treatments = rng.gen_range(2..6);
+    let n_insurances = rng.gen_range(3..7);
+    ClinicFacts {
+        name: format!("{place} {kind}"),
+        doctors: person_names(rng, n_doctors),
+        services: sample(rng, lexicon::MEDICAL_SERVICES, n_services)
+            .into_iter()
+            .map(|s| s.to_string())
+            .collect(),
+        treatments: sample(rng, lexicon::TREATMENTS, n_treatments)
+            .into_iter()
+            .map(|s| s.to_string())
+            .collect(),
+        insurances: sample(rng, lexicon::INSURANCES, n_insurances)
+            .into_iter()
+            .map(|s| s.to_string())
+            .collect(),
+        locations,
+    }
+}
+
+fn gold_for(facts: &ClinicFacts) -> Vec<(&'static str, Vec<String>)> {
+    vec![
+        ("clinic_t1", facts.doctors.clone()),
+        ("clinic_t2", facts.services.clone()),
+        ("clinic_t3", facts.treatments.clone()),
+        ("clinic_t4", facts.insurances.clone()),
+        ("clinic_t5", facts.locations.clone()),
+    ]
+}
+
+fn render(rng: &mut StdRng, facts: &ClinicFacts) -> String {
+    let mut doc = HtmlDoc::new(&facts.name);
+    doc.h1(&facts.name);
+    doc.p(&format!(
+        "Welcome to {}. We provide compassionate care for the whole family.",
+        facts.name
+    ));
+
+    let mut sections: Vec<u8> = vec![0, 1, 2, 3, 4];
+    for i in (1..sections.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        sections.swap(i, j);
+    }
+    let level = if rng.gen_bool(0.7) { 2 } else { 3 };
+    for s in sections {
+        match s {
+            0 => render_doctors(rng, facts, &mut doc, level),
+            1 => render_services(rng, facts, &mut doc, level),
+            2 => render_treatments(rng, facts, &mut doc, level),
+            3 => render_insurance(rng, facts, &mut doc, level),
+            _ => render_locations(rng, facts, &mut doc, level),
+        }
+    }
+    doc.p("Call us today to schedule an appointment.");
+    doc.finish()
+}
+
+fn render_doctors(rng: &mut StdRng, facts: &ClinicFacts, doc: &mut HtmlDoc, level: u8) {
+    let titles = ["Our Team", "Our Doctors", "Providers", "Meet Our Providers"];
+    doc.heading(level, pick(rng, &titles));
+    match rng.gen_range(0..3) {
+        0 => {
+            let lines: Vec<String> =
+                facts.doctors.iter().map(|d| format!("Dr. {d}, MD")).collect();
+            doc.ul(&lines);
+        }
+        1 => {
+            doc.ul(&facts.doctors);
+            doc.p("All providers are board certified.");
+        }
+        _ => {
+            let lines: Vec<String> = facts.doctors.iter().map(|d| format!("Dr. {d}")).collect();
+            doc.p(&lines.join(", "));
+        }
+    };
+}
+
+fn render_services(rng: &mut StdRng, facts: &ClinicFacts, doc: &mut HtmlDoc, level: u8) {
+    let titles = ["Our Services", "Services", "What We Offer"];
+    doc.heading(level, pick(rng, &titles));
+    if rng.gen_bool(0.7) {
+        doc.ul(&facts.services);
+    } else {
+        doc.p(&format!("We offer {}.", facts.services.join(", ")));
+    }
+}
+
+fn render_treatments(rng: &mut StdRng, facts: &ClinicFacts, doc: &mut HtmlDoc, level: u8) {
+    let titles = ["Specialties", "Treatments", "Areas of Specialization"];
+    doc.heading(level, pick(rng, &titles));
+    if rng.gen_bool(0.7) {
+        doc.ul(&facts.treatments);
+    } else {
+        doc.p(&format!("Our team specializes in {}.", facts.treatments.join(", ")));
+    }
+}
+
+fn render_insurance(rng: &mut StdRng, facts: &ClinicFacts, doc: &mut HtmlDoc, level: u8) {
+    let titles = ["Insurance", "Plans Accepted", "Accepted Insurance Plans", "Billing and Insurance"];
+    doc.heading(level, pick(rng, &titles));
+    if rng.gen_bool(0.6) {
+        doc.ul(&facts.insurances);
+    } else {
+        doc.p(&format!("We accept {}.", facts.insurances.join(", ")));
+    }
+}
+
+fn render_locations(rng: &mut StdRng, facts: &ClinicFacts, doc: &mut HtmlDoc, level: u8) {
+    let titles = ["Locations", "Our Locations", "Visit Us", "Directions"];
+    doc.heading(level, pick(rng, &titles));
+    if facts.locations.len() > 1 || rng.gen_bool(0.7) {
+        doc.ul(&facts.locations);
+    } else {
+        doc.p(&format!("Find us at {}.", facts.locations[0]));
+    }
+}
+
+/// Generates one clinic page.
+pub(crate) fn generate(rng: &mut StdRng, index: usize) -> GeneratedPage {
+    let facts = make_facts(rng);
+    let html = render(rng, &facts);
+    GeneratedPage {
+        name: format!("clinic_{index:02}"),
+        html,
+        gold: gold_for(&facts).into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use webqa_html::PageTree;
+    use webqa_metrics::tokenize_all;
+
+    fn page(seed: u64) -> GeneratedPage {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate(&mut rng, 0)
+    }
+
+    #[test]
+    fn gold_tokens_present() {
+        for seed in 0..20 {
+            let p = page(seed);
+            let tree = PageTree::parse(&p.html);
+            let toks: std::collections::HashSet<_> =
+                tokenize_all(&tree.iter().map(|n| tree.text(n).to_string()).collect::<Vec<_>>())
+                    .into_iter()
+                    .collect();
+            for (task, golds) in &p.gold {
+                for t in tokenize_all(golds) {
+                    assert!(toks.contains(&t), "seed {seed} task {task}: token {t:?} missing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_clinic_tasks_nonempty() {
+        let p = page(0);
+        for t in ["clinic_t1", "clinic_t2", "clinic_t3", "clinic_t4", "clinic_t5"] {
+            assert!(!p.gold[t].is_empty(), "{t} empty");
+        }
+    }
+
+    #[test]
+    fn locations_look_like_addresses() {
+        let p = page(2);
+        for l in &p.gold["clinic_t5"] {
+            assert!(l.chars().next().unwrap().is_ascii_digit(), "got {l}");
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Conference-website generator: calls for papers with chairs, program
+//! committees, topics of interest, important dates, and review policy.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use webqa_nlp::lexicon;
+
+use super::util::{person_names, pick, sample, university, HtmlDoc};
+use super::GeneratedPage;
+
+#[derive(Debug)]
+struct ConferenceFacts {
+    name: String,
+    chairs: Vec<String>,
+    pc: Vec<(String, String)>, // (member, institution)
+    topics: Vec<String>,
+    submission_deadline: String,
+    notification: String,
+    camera_ready: String,
+    double_blind: bool,
+}
+
+fn date(rng: &mut StdRng, year: u32) -> String {
+    format!(
+        "{} {}, {year}",
+        pick(rng, lexicon::MONTHS),
+        rng.gen_range(1..28)
+    )
+}
+
+fn make_facts(rng: &mut StdRng) -> ConferenceFacts {
+    let acro = pick(rng, lexicon::CONFERENCES);
+    let year = rng.gen_range(2024..2027);
+    let n_pc = rng.gen_range(6..14);
+    let pc = person_names(rng, n_pc)
+        .into_iter()
+        .map(|n| (n, university(rng)))
+        .collect();
+    let n_chairs = rng.gen_range(1..3);
+    let n_topics = rng.gen_range(4..9);
+    ConferenceFacts {
+        name: format!("{acro} {year}"),
+        chairs: person_names(rng, n_chairs),
+        pc,
+        topics: sample(rng, lexicon::RESEARCH_TOPICS, n_topics)
+            .into_iter()
+            .map(|s| s.to_string())
+            .collect(),
+        submission_deadline: date(rng, year - 1),
+        notification: date(rng, year - 1),
+        camera_ready: date(rng, year),
+        double_blind: rng.gen_bool(0.6),
+    }
+}
+
+fn gold_for(facts: &ConferenceFacts) -> Vec<(&'static str, Vec<String>)> {
+    vec![
+        ("conf_t1", facts.chairs.clone()),
+        ("conf_t2", facts.pc.iter().map(|(n, _)| n.clone()).collect()),
+        ("conf_t3", facts.topics.clone()),
+        ("conf_t4", vec![facts.submission_deadline.clone()]),
+        (
+            "conf_t5",
+            vec![if facts.double_blind { "double-blind" } else { "single-blind" }.to_string()],
+        ),
+        ("conf_t6", {
+            let mut insts: Vec<String> = facts.pc.iter().map(|(_, u)| u.clone()).collect();
+            insts.sort();
+            insts.dedup();
+            insts
+        }),
+    ]
+}
+
+fn render(rng: &mut StdRng, facts: &ConferenceFacts) -> String {
+    let mut doc = HtmlDoc::new(&facts.name);
+    doc.h1(&facts.name);
+    doc.p(&format!(
+        "The {} conference invites submissions on all aspects of {}.",
+        facts.name,
+        pick(rng, lexicon::RESEARCH_TOPICS)
+    ));
+
+    let mut sections: Vec<u8> = vec![0, 1, 2, 3, 4];
+    for i in (1..sections.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        sections.swap(i, j);
+    }
+    let level = if rng.gen_bool(0.7) { 2 } else { 3 };
+    for s in sections {
+        match s {
+            0 => render_chairs(rng, facts, &mut doc, level),
+            1 => render_pc(rng, facts, &mut doc, level),
+            2 => render_topics(rng, facts, &mut doc, level),
+            3 => render_dates(rng, facts, &mut doc, level),
+            _ => render_policy(rng, facts, &mut doc, level),
+        }
+    }
+    doc.finish()
+}
+
+fn render_chairs(rng: &mut StdRng, facts: &ConferenceFacts, doc: &mut HtmlDoc, level: u8) {
+    let titles = ["Program Chairs", "Program Co-chairs", "PC Chairs", "Organizers"];
+    doc.heading(level, pick(rng, &titles));
+    let lines: Vec<String> =
+        facts.chairs.iter().map(|c| format!("{c} (program chair)")).collect();
+    if rng.gen_bool(0.6) {
+        doc.ul(&lines);
+    } else {
+        doc.p(&lines.join(", "));
+    }
+}
+
+fn render_pc(rng: &mut StdRng, facts: &ConferenceFacts, doc: &mut HtmlDoc, level: u8) {
+    let titles = ["Program Committee", "PC Members", "Committee"];
+    doc.heading(level, pick(rng, &titles));
+    match rng.gen_range(0..3) {
+        0 => {
+            let lines: Vec<String> =
+                facts.pc.iter().map(|(n, u)| format!("{n}, {u}")).collect();
+            doc.ul(&lines);
+        }
+        1 => {
+            let rows: Vec<(String, String)> =
+                facts.pc.iter().map(|(n, u)| (n.clone(), u.clone())).collect();
+            doc.table(&rows);
+        }
+        _ => {
+            let lines: Vec<String> =
+                facts.pc.iter().map(|(n, u)| format!("{n} ({u})")).collect();
+            doc.p(&lines.join("; "));
+        }
+    }
+}
+
+fn render_topics(rng: &mut StdRng, facts: &ConferenceFacts, doc: &mut HtmlDoc, level: u8) {
+    let titles = ["Topics of Interest", "Topics", "Call for Papers"];
+    doc.heading(level, pick(rng, &titles));
+    doc.p("Submissions are welcome on topics including:");
+    if rng.gen_bool(0.75) {
+        doc.ul(&facts.topics);
+    } else {
+        doc.p(&facts.topics.join(", "));
+    }
+}
+
+fn render_dates(rng: &mut StdRng, facts: &ConferenceFacts, doc: &mut HtmlDoc, level: u8) {
+    let titles = ["Important Dates", "Dates", "Deadlines"];
+    doc.heading(level, pick(rng, &titles));
+    let rows = vec![
+        ("Paper submission deadline".to_string(), facts.submission_deadline.clone()),
+        ("Author notification".to_string(), facts.notification.clone()),
+        ("Camera-ready deadline".to_string(), facts.camera_ready.clone()),
+    ];
+    if rng.gen_bool(0.5) {
+        doc.table(&rows);
+    } else {
+        let lines: Vec<String> =
+            rows.iter().map(|(k, v)| format!("{k}: {v}")).collect();
+        doc.ul(&lines);
+    }
+}
+
+fn render_policy(rng: &mut StdRng, facts: &ConferenceFacts, doc: &mut HtmlDoc, level: u8) {
+    let titles = ["Submission Policy", "Reviewing", "Review Process"];
+    doc.heading(level, pick(rng, &titles));
+    let kind = if facts.double_blind { "double-blind" } else { "single-blind" };
+    doc.p(&format!(
+        "Reviewing for {} is {kind}. Please consult the submission guidelines.",
+        facts.name
+    ));
+}
+
+/// Generates one conference page.
+pub(crate) fn generate(rng: &mut StdRng, index: usize) -> GeneratedPage {
+    let facts = make_facts(rng);
+    let html = render(rng, &facts);
+    GeneratedPage {
+        name: format!("conference_{index:02}"),
+        html,
+        gold: gold_for(&facts).into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use webqa_html::PageTree;
+    use webqa_metrics::tokenize_all;
+
+    fn page(seed: u64) -> GeneratedPage {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate(&mut rng, 0)
+    }
+
+    #[test]
+    fn gold_tokens_present() {
+        for seed in 0..20 {
+            let p = page(seed);
+            let tree = PageTree::parse(&p.html);
+            let toks: std::collections::HashSet<_> =
+                tokenize_all(&tree.iter().map(|n| tree.text(n).to_string()).collect::<Vec<_>>())
+                    .into_iter()
+                    .collect();
+            for (task, golds) in &p.gold {
+                for t in tokenize_all(golds) {
+                    assert!(toks.contains(&t), "seed {seed} task {task}: token {t:?} missing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blind_gold_is_single_valued() {
+        let p = page(3);
+        assert_eq!(p.gold["conf_t5"].len(), 1);
+        let v = &p.gold["conf_t5"][0];
+        assert!(v == "double-blind" || v == "single-blind");
+    }
+
+    #[test]
+    fn deadline_is_a_date() {
+        let p = page(4);
+        let d = &p.gold["conf_t4"][0];
+        assert!(d.contains(','), "got {d}");
+    }
+
+    #[test]
+    fn pc_members_match_institutions_count_or_fewer() {
+        let p = page(5);
+        // institutions are deduped, so ≤ member count
+        assert!(p.gold["conf_t6"].len() <= p.gold["conf_t2"].len());
+    }
+}

@@ -1,0 +1,399 @@
+//! Faculty-homepage generator.
+//!
+//! Produces structurally heterogeneous researcher pages in the style of the
+//! paper's Figure 2: contact blocks, publications with venues and years,
+//! current/former students, teaching, and professional-service lists —
+//! rendered through several layout templates with randomized section
+//! titles, orderings, nesting, and formatting.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use webqa_nlp::lexicon;
+
+use super::util::{person_name, person_names, pick, university, HtmlDoc};
+use super::GeneratedPage;
+
+/// Structured facts underlying one faculty page; gold labels derive from
+/// these, independent of the chosen layout.
+#[derive(Debug)]
+struct FacultyFacts {
+    name: String,
+    university: String,
+    phd_students: Vec<String>,
+    alumni: Vec<String>,
+    publications: Vec<Publication>,
+    courses: Vec<String>,
+    services: Vec<ServiceEntry>,
+}
+
+#[derive(Debug)]
+struct Publication {
+    line: String,
+    venue: &'static str,
+    year: u32,
+    authors: Vec<String>,
+    award: bool,
+}
+
+#[derive(Debug)]
+struct ServiceEntry {
+    line: String,
+    is_pc: bool,
+}
+
+const PUB_VENUES: [&str; 6] = ["PLDI", "POPL", "OOPSLA", "CAV", "ICSE", "ASPLOS"];
+const PUB_YEARS: [u32; 8] = [2010, 2011, 2012, 2013, 2015, 2017, 2018, 2019];
+
+fn make_title(rng: &mut StdRng) -> String {
+    let shapes = [
+        |a: &str, b: &str| format!("Synthesizing {a} from {b}"),
+        |a: &str, b: &str| format!("Scalable {a} for {b}"),
+        |a: &str, b: &str| format!("Towards {a} via {b}"),
+        |a: &str, b: &str| format!("Automated {a} with {b}"),
+        |a: &str, b: &str| format!("Learning {a} for {b}"),
+    ];
+    let a = pick(rng, lexicon::RESEARCH_TOPICS);
+    let mut b = pick(rng, lexicon::RESEARCH_TOPICS);
+    let mut guard = 0;
+    while b == a && guard < 5 {
+        b = pick(rng, lexicon::RESEARCH_TOPICS);
+        guard += 1;
+    }
+    (pick(rng, &shapes))(a, b)
+}
+
+fn make_facts(rng: &mut StdRng) -> FacultyFacts {
+    let name = person_name(rng);
+    let n_students = rng.gen_range(2..6);
+    let n_alumni = rng.gen_range(0..4);
+    let n_pubs = rng.gen_range(4..9);
+    let n_courses = rng.gen_range(1..4);
+    let n_service = rng.gen_range(3..9);
+
+    let mut publications = Vec::new();
+    for _ in 0..n_pubs {
+        let venue = *pick(rng, &PUB_VENUES);
+        let year = *pick(rng, &PUB_YEARS);
+        let mut authors = vec![name.clone()];
+        let n_coauthors = rng.gen_range(1..3);
+        authors.extend(person_names(rng, n_coauthors));
+        let award = rng.gen_bool(0.15);
+        let title = make_title(rng);
+        let mut line = format!("{title}. {}. {venue} {year}.", authors.join(", "));
+        if award {
+            line.push_str(" Best Paper Award.");
+        }
+        publications.push(Publication { line, venue, year, authors, award });
+    }
+
+    let mut services = Vec::new();
+    for _ in 0..n_service {
+        let conf = *pick(rng, lexicon::CONFERENCES);
+        let year = rng.gen_range(15..22);
+        let role = *pick(rng, lexicon::SERVICE_ROLES);
+        let is_pc = role == "PC" || role == "Program Committee";
+        services.push(ServiceEntry { line: format!("{conf} '{year} ({role})"), is_pc });
+    }
+
+    let mut courses = Vec::new();
+    for _ in 0..n_courses {
+        let code = rng.gen_range(101..499);
+        let topic = pick(rng, lexicon::COURSE_TOPICS);
+        let term = format!(
+            "{} {}",
+            pick(rng, &["Spring", "Fall"]),
+            rng.gen_range(2018..2022)
+        );
+        courses.push(format!("CS {code}: {topic}. {term}."));
+    }
+
+    FacultyFacts {
+        name,
+        university: university(rng),
+        phd_students: person_names(rng, n_students),
+        alumni: person_names(rng, n_alumni),
+        publications,
+        courses,
+        services,
+    }
+}
+
+fn gold_for(facts: &FacultyFacts) -> Vec<(&'static str, Vec<String>)> {
+    let pldi_pubs: Vec<&Publication> =
+        facts.publications.iter().filter(|p| p.venue == "PLDI").collect();
+    vec![
+        ("fac_t1", facts.phd_students.clone()),
+        ("fac_t2", pldi_pubs.iter().map(|p| p.line.clone()).collect()),
+        ("fac_t3", facts.courses.clone()),
+        (
+            "fac_t4",
+            facts
+                .publications
+                .iter()
+                .filter(|p| p.award)
+                .map(|p| p.line.clone())
+                .collect(),
+        ),
+        (
+            "fac_t5",
+            facts.services.iter().filter(|s| s.is_pc).map(|s| s.line.clone()).collect(),
+        ),
+        (
+            "fac_t6",
+            facts
+                .publications
+                .iter()
+                .filter(|p| p.year == 2012)
+                .map(|p| p.line.clone())
+                .collect(),
+        ),
+        (
+            "fac_t7",
+            {
+                let mut coauthors: Vec<String> = pldi_pubs
+                    .iter()
+                    .flat_map(|p| p.authors.iter().skip(1).cloned())
+                    .collect();
+                coauthors.sort();
+                coauthors.dedup();
+                coauthors
+            },
+        ),
+        ("fac_t8", facts.alumni.clone()),
+    ]
+}
+
+/// Renders the facts through one of four layout templates.
+fn render(rng: &mut StdRng, facts: &FacultyFacts) -> String {
+    let mut doc = HtmlDoc::new(&facts.name);
+    doc.h1(&facts.name);
+    doc.p(&format!(
+        "Professor, Department of Computer Science, {}. Research interests: {} and {}.",
+        facts.university,
+        pick(rng, lexicon::RESEARCH_TOPICS),
+        pick(rng, lexicon::RESEARCH_TOPICS),
+    ));
+
+    // Section rendering order is shuffled per page.
+    let mut sections: Vec<u8> = vec![0, 1, 2, 3, 4];
+    for i in (1..sections.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        sections.swap(i, j);
+    }
+    let level = if rng.gen_bool(0.7) { 2 } else { 3 };
+    for s in sections {
+        match s {
+            0 => render_students(rng, facts, &mut doc, level),
+            1 => render_publications(rng, facts, &mut doc, level),
+            2 => render_teaching(rng, facts, &mut doc, level),
+            3 => render_service(rng, facts, &mut doc, level),
+            _ => render_news(rng, facts, &mut doc, level),
+        }
+    }
+    doc.p(&format!(
+        "Contact: {}@{}.edu, office {}.{}.",
+        facts.name.split(' ').next().unwrap_or("x").to_lowercase(),
+        facts.university.split(' ').next().unwrap_or("u").to_lowercase(),
+        rng.gen_range(1..9),
+        rng.gen_range(100..999),
+    ));
+    doc.finish()
+}
+
+fn render_students(rng: &mut StdRng, facts: &FacultyFacts, doc: &mut HtmlDoc, level: u8) {
+    let current_titles =
+        ["PhD Students", "Current PhD Students", "Current Students", "Advisees"];
+    let alumni_titles = ["Alumni", "Former Students", "Past Advisees", "Graduated PhD Students"];
+    match rng.gen_range(0..3) {
+        0 => {
+            // Figure 2 top: "Students" with bold sub-headers.
+            doc.heading(level, "Students");
+            doc.bold_header(pick(rng, &current_titles));
+            doc.ul(&facts.phd_students);
+            if !facts.alumni.is_empty() {
+                doc.bold_header(pick(rng, &alumni_titles));
+                doc.ul(&facts.alumni);
+            }
+        }
+        1 => {
+            doc.heading(level, pick(rng, &current_titles));
+            doc.ul(&facts.phd_students);
+            if !facts.alumni.is_empty() {
+                doc.heading(level, pick(rng, &alumni_titles));
+                doc.ul(&facts.alumni);
+            }
+        }
+        _ => {
+            // Comma paragraph style.
+            doc.heading(level, pick(rng, &current_titles));
+            doc.p(&facts.phd_students.join(", "));
+            if !facts.alumni.is_empty() {
+                doc.heading(level, pick(rng, &alumni_titles));
+                doc.p(&facts.alumni.join(", "));
+            }
+        }
+    }
+}
+
+fn render_publications(rng: &mut StdRng, facts: &FacultyFacts, doc: &mut HtmlDoc, level: u8) {
+    let titles =
+        ["Publications", "Recent Publications", "Conference Publications", "Selected Papers"];
+    doc.heading(level, pick(rng, &titles));
+    let lines: Vec<&str> = facts.publications.iter().map(|p| p.line.as_str()).collect();
+    if rng.gen_bool(0.75) {
+        doc.ul(&lines);
+    } else {
+        for l in &lines {
+            doc.p(l);
+        }
+    }
+}
+
+fn render_teaching(rng: &mut StdRng, facts: &FacultyFacts, doc: &mut HtmlDoc, level: u8) {
+    let titles = ["Teaching", "Courses", "Courses Taught"];
+    doc.heading(level, pick(rng, &titles));
+    if rng.gen_bool(0.7) {
+        doc.ul(&facts.courses);
+    } else {
+        for c in &facts.courses {
+            doc.p(c);
+        }
+    }
+}
+
+fn render_service(rng: &mut StdRng, facts: &FacultyFacts, doc: &mut HtmlDoc, level: u8) {
+    let titles =
+        ["Professional Service", "Service", "Activities", "Professional Activities"];
+    match rng.gen_range(0..3) {
+        0 => {
+            // One entry per list item.
+            doc.heading(level, pick(rng, &titles));
+            let lines: Vec<&str> = facts.services.iter().map(|s| s.line.as_str()).collect();
+            doc.ul(&lines);
+        }
+        1 => {
+            // Figure 2 top: "Current:" / "Past:" grouped, comma-joined.
+            doc.heading(level, "Activities");
+            doc.bold_header(pick(rng, &titles));
+            let split = facts.services.len() / 3 + 1;
+            let (cur, past) = facts.services.split_at(split.min(facts.services.len()));
+            let mut items = Vec::new();
+            if !cur.is_empty() {
+                items.push(format!(
+                    "Current: {}",
+                    cur.iter().map(|s| s.line.clone()).collect::<Vec<_>>().join(", ")
+                ));
+            }
+            if !past.is_empty() {
+                items.push(format!(
+                    "Past: {}",
+                    past.iter().map(|s| s.line.clone()).collect::<Vec<_>>().join(", ")
+                ));
+            }
+            doc.ul(&items);
+        }
+        _ => {
+            // Comma paragraph.
+            doc.heading(level, pick(rng, &titles));
+            doc.p(
+                &facts
+                    .services
+                    .iter()
+                    .map(|s| s.line.clone())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+        }
+    }
+}
+
+fn render_news(rng: &mut StdRng, facts: &FacultyFacts, doc: &mut HtmlDoc, level: u8) {
+    if rng.gen_bool(0.4) {
+        return; // many pages have no news section
+    }
+    doc.heading(level, pick(rng, &["News", "Recent News"]));
+    let student = facts
+        .phd_students
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "our group".to_string());
+    doc.ul(&[
+        format!("Welcome incoming student {student}."),
+        format!("Two papers accepted to {} {}.", pick(rng, &PUB_VENUES), 2019),
+    ]);
+}
+
+/// Generates one faculty page.
+pub(crate) fn generate(rng: &mut StdRng, index: usize) -> GeneratedPage {
+    let facts = make_facts(rng);
+    let html = render(rng, &facts);
+    GeneratedPage {
+        name: format!("faculty_{index:02}"),
+        html,
+        gold: gold_for(&facts).into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use webqa_html::PageTree;
+    use webqa_metrics::tokenize_all;
+
+    fn page(seed: u64) -> GeneratedPage {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate(&mut rng, 0)
+    }
+
+    #[test]
+    fn gold_strings_appear_on_page() {
+        for seed in 0..20 {
+            let p = page(seed);
+            let tree = PageTree::parse(&p.html);
+            let page_tokens: std::collections::HashSet<_> =
+                tokenize_all(&tree.iter().map(|n| tree.text(n).to_string()).collect::<Vec<_>>())
+                    .into_iter()
+                    .collect();
+            for (task, golds) in &p.gold {
+                let gold_tokens = tokenize_all(golds);
+                for t in gold_tokens {
+                    assert!(
+                        page_tokens.contains(&t),
+                        "seed {seed}: gold token {t:?} for {task} missing from page"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn has_all_faculty_tasks() {
+        let p = page(1);
+        for t in ["fac_t1", "fac_t2", "fac_t3", "fac_t4", "fac_t5", "fac_t6", "fac_t7", "fac_t8"]
+        {
+            assert!(p.gold.contains_key(t), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn phd_students_nonempty() {
+        for seed in 0..10 {
+            assert!(!page(seed).gold["fac_t1"].is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        assert_eq!(page(7).html, page(7).html);
+        assert_ne!(page(7).html, page(8).html);
+    }
+
+    #[test]
+    fn layouts_vary_across_seeds() {
+        let htmls: Vec<String> = (0..10).map(|s| page(s).html).collect();
+        // Some pages use bold pseudo-headers, some don't.
+        let with_bold = htmls.iter().filter(|h| h.contains("<p><b>")).count();
+        assert!(with_bold > 0 && with_bold < 10);
+    }
+}

@@ -1,0 +1,107 @@
+//! Seeded page generators for the four evaluation domains.
+
+mod class;
+mod clinic;
+mod conference;
+mod faculty;
+pub(crate) mod util;
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::tasks::Domain;
+
+/// One generated webpage with its per-task gold labels.
+#[derive(Debug, Clone)]
+pub struct GeneratedPage {
+    /// Stable page name, e.g. `"faculty_07"`.
+    pub name: String,
+    /// The page HTML.
+    pub html: String,
+    /// Gold extraction per task id. Tasks of other domains are absent;
+    /// a present-but-empty entry means "nothing to extract on this page".
+    pub gold: HashMap<&'static str, Vec<String>>,
+}
+
+impl GeneratedPage {
+    /// The gold strings for `task_id` (empty when absent).
+    pub fn gold(&self, task_id: &str) -> &[String] {
+        self.gold.get(task_id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Parses the page into the paper's tree representation.
+    pub fn tree(&self) -> webqa_html::PageTree {
+        webqa_html::PageTree::parse(&self.html)
+    }
+}
+
+/// Generates `n` pages of the given domain from `seed`.
+///
+/// Page `i` of a given `(domain, seed)` is stable regardless of `n`.
+pub fn generate_pages(domain: Domain, n: usize, seed: u64) -> Vec<GeneratedPage> {
+    (0..n)
+        .map(|i| {
+            // Independent RNG per page so prefixes are stable.
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))
+                    ^ domain_salt(domain),
+            );
+            match domain {
+                Domain::Faculty => faculty::generate(&mut rng, i),
+                Domain::Conference => conference::generate(&mut rng, i),
+                Domain::Class => class::generate(&mut rng, i),
+                Domain::Clinic => clinic::generate(&mut rng, i),
+            }
+        })
+        .collect()
+}
+
+fn domain_salt(domain: Domain) -> u64 {
+    match domain {
+        Domain::Faculty => 0xFAC0_17AD,
+        Domain::Conference => 0xC04F_EE00,
+        Domain::Class => 0xC1A5_5000,
+        Domain::Clinic => 0xC114_1C00,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_stability() {
+        let five = generate_pages(Domain::Faculty, 5, 42);
+        let ten = generate_pages(Domain::Faculty, 10, 42);
+        for (a, b) in five.iter().zip(&ten) {
+            assert_eq!(a.html, b.html);
+        }
+    }
+
+    #[test]
+    fn domains_differ() {
+        let f = generate_pages(Domain::Faculty, 1, 42);
+        let c = generate_pages(Domain::Clinic, 1, 42);
+        assert_ne!(f[0].html, c[0].html);
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = generate_pages(Domain::Class, 1, 1);
+        let b = generate_pages(Domain::Class, 1, 2);
+        assert_ne!(a[0].html, b[0].html);
+    }
+
+    #[test]
+    fn pages_parse_to_nontrivial_trees() {
+        for d in Domain::ALL {
+            for p in generate_pages(d, 3, 7) {
+                let t = p.tree();
+                assert!(t.len() > 5, "{} too small", p.name);
+                assert!(!t.text(t.root()).is_empty());
+            }
+        }
+    }
+}

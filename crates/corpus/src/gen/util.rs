@@ -1,0 +1,188 @@
+//! Shared generation helpers: seeded choice utilities and an HTML builder.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use webqa_nlp::lexicon;
+
+/// Picks one element uniformly.
+pub(crate) fn pick<'a, T>(rng: &mut StdRng, xs: &'a [T]) -> &'a T {
+    &xs[rng.gen_range(0..xs.len())]
+}
+
+/// Picks `n` distinct elements (or all of them when `n ≥ len`), preserving
+/// no particular order.
+pub(crate) fn sample<'a, T>(rng: &mut StdRng, xs: &'a [T], n: usize) -> Vec<&'a T> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    // Partial Fisher–Yates.
+    let take = n.min(xs.len());
+    for i in 0..take {
+        let j = rng.gen_range(i..idx.len());
+        idx.swap(i, j);
+    }
+    idx[..take].iter().map(|&i| &xs[i]).collect()
+}
+
+/// A fresh "First Last" person name.
+pub(crate) fn person_name(rng: &mut StdRng) -> String {
+    format!(
+        "{} {}",
+        pick(rng, lexicon::FIRST_NAMES),
+        pick(rng, lexicon::LAST_NAMES)
+    )
+}
+
+/// `n` distinct person names.
+pub(crate) fn person_names(rng: &mut StdRng, n: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(n);
+    let mut guard = 0;
+    while out.len() < n && guard < n * 20 {
+        let name = person_name(rng);
+        if !out.contains(&name) {
+            out.push(name);
+        }
+        guard += 1;
+    }
+    out
+}
+
+/// A university name in one of the common shapes.
+pub(crate) fn university(rng: &mut StdRng) -> String {
+    let place = pick(rng, lexicon::PLACES);
+    match rng.gen_range(0..4) {
+        0 => format!("{place} University"),
+        1 => format!("University of {place}"),
+        2 => format!("{place} Institute of Technology"),
+        _ => format!("{place} College"),
+    }
+}
+
+/// HTML text escaping for generated content.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Minimal HTML document builder used by all domain generators.
+///
+/// Every write escapes its text, so generated pages are well-formed by
+/// construction and the corpus also exercises the parser's entity decoding.
+#[derive(Debug, Default)]
+pub(crate) struct HtmlDoc {
+    body: String,
+    title: String,
+}
+
+impl HtmlDoc {
+    pub(crate) fn new(title: &str) -> Self {
+        HtmlDoc { body: String::new(), title: title.to_string() }
+    }
+
+    pub(crate) fn h1(&mut self, text: impl AsRef<str>) -> &mut Self {
+        self.body.push_str(&format!("<h1>{}</h1>\n", escape(text.as_ref())));
+        self
+    }
+
+    pub(crate) fn heading(&mut self, level: u8, text: impl AsRef<str>) -> &mut Self {
+        let level = level.clamp(2, 6);
+        self.body
+            .push_str(&format!("<h{level}>{}</h{level}>\n", escape(text.as_ref())));
+        self
+    }
+
+    pub(crate) fn bold_header(&mut self, text: impl AsRef<str>) -> &mut Self {
+        self.body.push_str(&format!("<p><b>{}</b></p>\n", escape(text.as_ref())));
+        self
+    }
+
+    pub(crate) fn p(&mut self, text: impl AsRef<str>) -> &mut Self {
+        self.body.push_str(&format!("<p>{}</p>\n", escape(text.as_ref())));
+        self
+    }
+
+    pub(crate) fn ul<S: AsRef<str>>(&mut self, items: &[S]) -> &mut Self {
+        self.body.push_str("<ul>\n");
+        for it in items {
+            self.body.push_str(&format!("  <li>{}</li>\n", escape(it.as_ref())));
+        }
+        self.body.push_str("</ul>\n");
+        self
+    }
+
+    pub(crate) fn table(&mut self, rows: &[(String, String)]) -> &mut Self {
+        self.body.push_str("<table>\n");
+        for (k, v) in rows {
+            self.body.push_str(&format!(
+                "  <tr><td>{}</td><td>{}</td></tr>\n",
+                escape(k),
+                escape(v)
+            ));
+        }
+        self.body.push_str("</table>\n");
+        self
+    }
+
+    pub(crate) fn finish(self) -> String {
+        format!(
+            "<!DOCTYPE html>\n<html><head><title>{}</title></head>\n<body>\n{}</body></html>\n",
+            escape(&self.title),
+            self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_is_distinct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs = [1, 2, 3, 4, 5];
+        let s = sample(&mut rng, &xs, 3);
+        assert_eq!(s.len(), 3);
+        let mut v: Vec<i32> = s.into_iter().copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn sample_caps_at_len() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample(&mut rng, &[1, 2], 10).len(), 2);
+    }
+
+    #[test]
+    fn person_names_distinct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let names = person_names(&mut rng, 12);
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a & b < c"), "a &amp; b &lt; c");
+    }
+
+    #[test]
+    fn builder_produces_parsable_html() {
+        let mut d = HtmlDoc::new("T");
+        d.h1("Root & More");
+        d.heading(2, "Section");
+        d.ul(&["a", "b"]);
+        d.table(&[("k".into(), "v".into())]);
+        let html = d.finish();
+        let page = webqa_html::PageTree::parse(&html);
+        assert_eq!(page.text(page.root()), "Root & More");
+        assert!(page.len() > 4);
+    }
+}

@@ -1,0 +1,250 @@
+//! The 25 evaluation tasks of the paper (Table 1 / Table 5).
+//!
+//! Each task is a (question, keywords) query over one of the four domains.
+//! Questions and keywords are verbatim from the paper's Table 5.
+
+/// The four evaluation domains (Section 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Domain {
+    /// Faculty homepages.
+    Faculty,
+    /// Computer-science conference sites.
+    Conference,
+    /// University course pages.
+    Class,
+    /// Clinic websites.
+    Clinic,
+}
+
+impl Domain {
+    /// All four domains in the paper's order.
+    pub const ALL: [Domain; 4] = [Domain::Faculty, Domain::Conference, Domain::Class, Domain::Clinic];
+}
+
+impl std::fmt::Display for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Domain::Faculty => "Faculty",
+            Domain::Conference => "Conference",
+            Domain::Class => "Class",
+            Domain::Clinic => "Clinic",
+        })
+    }
+}
+
+/// One evaluation task: a natural-language question plus keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct Task {
+    /// Stable identifier, e.g. `"fac_t5"`.
+    pub id: &'static str,
+    /// The domain the task runs over.
+    pub domain: Domain,
+    /// The natural-language question (Table 5).
+    pub question: &'static str,
+    /// The keyword set (Table 5).
+    pub keywords: &'static [&'static str],
+}
+
+/// All 25 tasks, verbatim from Table 5 of the paper.
+pub const TASKS: [Task; 25] = [
+    // ---- Faculty -------------------------------------------------------
+    Task {
+        id: "fac_t1",
+        domain: Domain::Faculty,
+        question: "Who are the current PhD students?",
+        keywords: &["Current Students", "PhD"],
+    },
+    Task {
+        id: "fac_t2",
+        domain: Domain::Faculty,
+        question: "What are the conference publications at PLDI?",
+        keywords: &["Conference Publications", "PLDI"],
+    },
+    Task {
+        id: "fac_t3",
+        domain: Domain::Faculty,
+        question: "What courses does this person teach?",
+        keywords: &["Courses", "Teaching"],
+    },
+    Task {
+        id: "fac_t4",
+        domain: Domain::Faculty,
+        question: "What are the the papers that received the Best Paper Award?",
+        keywords: &["Conference Publications", "Best Paper Award"],
+    },
+    Task {
+        id: "fac_t5",
+        domain: Domain::Faculty,
+        question: "What program committees or PC has this person served for?",
+        keywords: &["Program Committee", "PC"],
+    },
+    Task {
+        id: "fac_t6",
+        domain: Domain::Faculty,
+        question: "What conference papers have been published in 2012?",
+        keywords: &["Conference Publications", "2012"],
+    },
+    Task {
+        id: "fac_t7",
+        domain: Domain::Faculty,
+        question: "Who are the co-authors among all papers published at PLDI?",
+        keywords: &["Conference Publications", "PLDI"],
+    },
+    Task {
+        id: "fac_t8",
+        domain: Domain::Faculty,
+        question: "Who are the alumni or formerly advised students?",
+        keywords: &["Alumni", "Former Students"],
+    },
+    // ---- Conference ----------------------------------------------------
+    Task {
+        id: "conf_t1",
+        domain: Domain::Conference,
+        question: "Who are the program chairs or co-chairs?",
+        keywords: &["Program Chair", "Program Co-chair", "PC Chair"],
+    },
+    Task {
+        id: "conf_t2",
+        domain: Domain::Conference,
+        question: "Who are the program committee (PC) members?",
+        keywords: &["Program Committee", "PC"],
+    },
+    Task {
+        id: "conf_t3",
+        domain: Domain::Conference,
+        question: "What are the topics of interest?",
+        keywords: &["Topics"],
+    },
+    Task {
+        id: "conf_t4",
+        domain: Domain::Conference,
+        question: "When is the paper submission deadline?",
+        keywords: &["Paper Submission Deadline"],
+    },
+    Task {
+        id: "conf_t5",
+        domain: Domain::Conference,
+        question: "Is this conference double-blind or single-blind?",
+        keywords: &["Double-blind", "Single-blind"],
+    },
+    Task {
+        id: "conf_t6",
+        domain: Domain::Conference,
+        question: "What institutions are the program committee or PC members from?",
+        keywords: &["Program Committee", "PC"],
+    },
+    // ---- Class ---------------------------------------------------------
+    Task {
+        id: "class_t1",
+        domain: Domain::Class,
+        question: "When are the lectures or sections?",
+        keywords: &["Section", "Lecture"],
+    },
+    Task {
+        id: "class_t2",
+        domain: Domain::Class,
+        question: "Who are the instructors?",
+        keywords: &["Instructors"],
+    },
+    Task {
+        id: "class_t3",
+        domain: Domain::Class,
+        question: "Who are the teaching assistants (TAs)?",
+        keywords: &["Teaching Assistants", "TAs"],
+    },
+    Task {
+        id: "class_t4",
+        domain: Domain::Class,
+        question: "When are the midterms or exams?",
+        keywords: &["Exam", "Midterm", "Test"],
+    },
+    Task {
+        id: "class_t5",
+        domain: Domain::Class,
+        question: "What are the textbooks?",
+        keywords: &["Textbooks", "Materials", "Required Texts"],
+    },
+    Task {
+        id: "class_t6",
+        domain: Domain::Class,
+        question: "How are the grades counted in this class?",
+        keywords: &["Grades", "Grading", "Rubric"],
+    },
+    // ---- Clinic --------------------------------------------------------
+    Task {
+        id: "clinic_t1",
+        domain: Domain::Clinic,
+        question: "Who are the doctors or providers?",
+        keywords: &["Doctor", "Provider", "Our Team"],
+    },
+    Task {
+        id: "clinic_t2",
+        domain: Domain::Clinic,
+        question: "What types of service do they provide?",
+        keywords: &["Our Services"],
+    },
+    Task {
+        id: "clinic_t3",
+        domain: Domain::Clinic,
+        question: "What types of treatments do they specialize in?",
+        keywords: &["Treatments", "Specialties"],
+    },
+    Task {
+        id: "clinic_t4",
+        domain: Domain::Clinic,
+        question: "What insurance plan do they accept?",
+        keywords: &["Insurance", "Plans Accepted"],
+    },
+    Task {
+        id: "clinic_t5",
+        domain: Domain::Clinic,
+        question: "Where are the clinics located?",
+        keywords: &["Locations"],
+    },
+];
+
+/// Looks up a task by its id.
+pub fn task_by_id(id: &str) -> Option<&'static Task> {
+    TASKS.iter().find(|t| t.id == id)
+}
+
+/// All tasks belonging to `domain`, in Table 5 order.
+pub fn tasks_in_domain(domain: Domain) -> Vec<&'static Task> {
+    TASKS.iter().filter(|t| t.domain == domain).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_five_tasks_across_four_domains() {
+        assert_eq!(TASKS.len(), 25);
+        assert_eq!(tasks_in_domain(Domain::Faculty).len(), 8);
+        assert_eq!(tasks_in_domain(Domain::Conference).len(), 6);
+        assert_eq!(tasks_in_domain(Domain::Class).len(), 6);
+        assert_eq!(tasks_in_domain(Domain::Clinic).len(), 5);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = TASKS.iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), TASKS.len());
+    }
+
+    #[test]
+    fn every_task_has_question_and_keywords() {
+        for t in &TASKS {
+            assert!(t.question.ends_with('?'), "{} question should be interrogative", t.id);
+            assert!(!t.keywords.is_empty(), "{} needs keywords", t.id);
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert_eq!(task_by_id("fac_t5").unwrap().domain, Domain::Faculty);
+        assert!(task_by_id("nope").is_none());
+    }
+}

@@ -1,0 +1,200 @@
+//! Query context: the `(Q, K)` inputs of a WebQA program plus memoized
+//! access to the neural modules.
+//!
+//! The synthesizer evaluates the same NLP predicates on the same strings
+//! thousands of times; a [`QueryContext`] caches `matchKeyword` scores, QA
+//! answerability, and recognized entities per string, which is what makes
+//! enumerative search tractable (the real system relies on the same trick —
+//! neural-module calls dominate its synthesis time, Table 3).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use webqa_nlp::{best_keyword_similarity, Entity, EntityKind, EntityRecognizer, QaModel};
+
+/// The question/keyword inputs plus cached neural modules.
+#[derive(Debug)]
+pub struct QueryContext {
+    question: String,
+    keywords: Vec<String>,
+    qa: QaModel,
+    ner: EntityRecognizer,
+    kw_cache: RefCell<HashMap<String, f64>>,
+    qa_cache: RefCell<HashMap<String, bool>>,
+    ent_cache: RefCell<HashMap<String, Vec<Entity>>>,
+}
+
+impl QueryContext {
+    /// Creates a context with the default pretrained models.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(question: &str, keywords: I) -> Self {
+        QueryContext {
+            question: question.to_string(),
+            keywords: keywords.into_iter().map(Into::into).collect(),
+            qa: QaModel::pretrained(),
+            ner: EntityRecognizer::pretrained(),
+            kw_cache: RefCell::new(HashMap::new()),
+            qa_cache: RefCell::new(HashMap::new()),
+            ent_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// A context with explicit neural modules instead of the pretrained
+    /// defaults.
+    ///
+    /// This is how model imperfection is injected in tests and ablations:
+    /// the paper's Key Idea #2 (Section 2) observes that when, say, the
+    /// entity model cannot recognize conference names as organizations,
+    /// *no* DSL program matches the labels exactly and synthesis must
+    /// optimize F₁ instead — swapping the [`EntityRecognizer`] here is
+    /// what exercises that path deterministically.
+    pub fn with_models<S: Into<String>, I: IntoIterator<Item = S>>(
+        question: &str,
+        keywords: I,
+        qa: QaModel,
+        ner: EntityRecognizer,
+    ) -> Self {
+        QueryContext {
+            question: question.to_string(),
+            keywords: keywords.into_iter().map(Into::into).collect(),
+            qa,
+            ner,
+            kw_cache: RefCell::new(HashMap::new()),
+            qa_cache: RefCell::new(HashMap::new()),
+            ent_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// A context without keywords (the paper's `WebQA-NL` ablation).
+    pub fn question_only(question: &str) -> Self {
+        Self::new(question, Vec::<String>::new())
+    }
+
+    /// A context without a question (the paper's `WebQA-KW` ablation).
+    pub fn keywords_only<S: Into<String>, I: IntoIterator<Item = S>>(keywords: I) -> Self {
+        Self::new("", keywords)
+    }
+
+    /// The natural-language question `Q`.
+    pub fn question(&self) -> &str {
+        &self.question
+    }
+
+    /// The keywords `K`.
+    pub fn keywords(&self) -> &[String] {
+        &self.keywords
+    }
+
+    /// Best keyword similarity of `text` against `K` (cached).
+    /// 0.0 when there are no keywords.
+    pub fn keyword_score(&self, text: &str) -> f64 {
+        if self.keywords.is_empty() {
+            return 0.0;
+        }
+        if let Some(&s) = self.kw_cache.borrow().get(text) {
+            return s;
+        }
+        let s = f64::from(best_keyword_similarity(text, &self.keywords));
+        self.kw_cache.borrow_mut().insert(text.to_string(), s);
+        s
+    }
+
+    /// Whether the QA model finds an answer to `Q` in `text` (cached).
+    /// `false` when the context has no question.
+    pub fn has_answer(&self, text: &str) -> bool {
+        if self.question.is_empty() {
+            return false;
+        }
+        if let Some(&b) = self.qa_cache.borrow().get(text) {
+            return b;
+        }
+        let b = self.qa.has_answer(text, &self.question);
+        self.qa_cache.borrow_mut().insert(text.to_string(), b);
+        b
+    }
+
+    /// The QA model's best answer span in `text`, if any (not cached — used
+    /// only during extraction, not search).
+    pub fn answer(&self, text: &str) -> Option<String> {
+        if self.question.is_empty() {
+            return None;
+        }
+        self.qa.answer(text, &self.question).map(|a| a.text)
+    }
+
+    /// Byte span of the QA model's best answer in `text`, if any.
+    pub fn answer_span(&self, text: &str) -> Option<(usize, usize)> {
+        if self.question.is_empty() {
+            return None;
+        }
+        self.qa.answer(text, &self.question).map(|a| (a.start, a.end))
+    }
+
+    /// All entities in `text` (cached).
+    pub fn entities(&self, text: &str) -> Vec<Entity> {
+        if let Some(es) = self.ent_cache.borrow().get(text) {
+            return es.clone();
+        }
+        let es = self.ner.entities(text);
+        self.ent_cache.borrow_mut().insert(text.to_string(), es.clone());
+        es
+    }
+
+    /// Whether `text` contains an entity of `kind` (cached via
+    /// [`QueryContext::entities`]).
+    pub fn has_entity(&self, text: &str, kind: EntityKind) -> bool {
+        self.entities(text).iter().any(|e| e.kind == kind)
+    }
+
+    /// Entity surface strings of `kind` in `text`, in order.
+    pub fn entity_strings(&self, text: &str, kind: EntityKind) -> Vec<String> {
+        self.entities(text).into_iter().filter(|e| e.kind == kind).map(|e| e.text).collect()
+    }
+
+    /// Number of distinct strings cached so far (diagnostics).
+    pub fn cache_size(&self) -> usize {
+        self.kw_cache.borrow().len() + self.qa_cache.borrow().len()
+            + self.ent_cache.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_score_cached_and_stable() {
+        let ctx = QueryContext::new("Who?", ["Students"]);
+        let a = ctx.keyword_score("PhD Students");
+        let b = ctx.keyword_score("PhD Students");
+        assert_eq!(a, b);
+        assert_eq!(a, 1.0);
+        assert!(ctx.cache_size() >= 1);
+    }
+
+    #[test]
+    fn empty_keywords_score_zero() {
+        let ctx = QueryContext::question_only("Who are the students?");
+        assert_eq!(ctx.keyword_score("Students"), 0.0);
+    }
+
+    #[test]
+    fn empty_question_never_answers() {
+        let ctx = QueryContext::keywords_only(["Students"]);
+        assert!(!ctx.has_answer("Instructor: Jane Doe."));
+        assert_eq!(ctx.answer("Instructor: Jane Doe."), None);
+    }
+
+    #[test]
+    fn entity_queries() {
+        let ctx = QueryContext::new("", ["x"]);
+        assert!(ctx.has_entity("Jane Doe", EntityKind::Person));
+        assert_eq!(ctx.entity_strings("Jane Doe and Robert Smith", EntityKind::Person).len(), 2);
+    }
+
+    #[test]
+    fn qa_through_context() {
+        let ctx = QueryContext::new("Who is the instructor?", Vec::<String>::new());
+        assert!(ctx.has_answer("Instructor: Jane Doe."));
+        assert!(ctx.answer("Instructor: Jane Doe.").unwrap().contains("Jane"));
+    }
+}

@@ -1,0 +1,54 @@
+//! # webqa-dsl
+//!
+//! The WebQA neurosymbolic domain-specific language (Section 4 of the
+//! paper): abstract syntax (Figure 5), typed evaluation semantics
+//! (Figure 6), a canonical text format with parser, and the paper's
+//! λ-notation pretty printer.
+//!
+//! A program maps `(Question, Keywords, Webpage) → Set<String>`:
+//!
+//! ```
+//! use webqa_dsl::{Program, QueryContext};
+//! use webqa_html::PageTree;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Locate leaves under sections matching the keywords, then split on
+//! // commas and keep keyword-matching parts (the paper's Eq. 1 + Eq. 2).
+//! let program: Program =
+//!     "sat(descendants(descendants(root, text(kw(0.80))), leaf), true) -> \
+//!      filter(split(content, ','), kw(0.50))"
+//!         .parse()?;
+//!
+//! let ctx = QueryContext::new(
+//!     "Which program committees has this researcher served on?",
+//!     ["PC", "Program Committee", "Service"],
+//! );
+//! let page = PageTree::parse(
+//!     "<h1>Jane Doe</h1><h2>Service</h2>\
+//!      <ul><li>PLDI '21 (PC), POPL '20 (PC)</li></ul>",
+//! );
+//! let answers = program.eval(&ctx, &page);
+//! assert!(answers.iter().any(|a| a.contains("PLDI '21")));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod context;
+mod eval;
+mod lint;
+mod normalize;
+mod parse;
+mod print;
+
+pub use ast::{Branch, Extractor, Guard, Locator, NlpPred, NodeFilter, Program, Threshold};
+pub use context::QueryContext;
+pub use lint::{lint, LintIssue, LintReport};
+pub use normalize::normalize;
+pub use parse::ParseProgramError;
+
+// Re-export the neighbouring vocabulary users need to build programs.
+pub use webqa_html::{NodeKind, PageNodeId, PageTree};
+pub use webqa_nlp::{EntityKind, EntityRecognizer, QaModel};

@@ -1,0 +1,235 @@
+//! Pretty-printing of DSL programs.
+//!
+//! Two renderings:
+//!
+//! * [`std::fmt::Display`] — a compact canonical form that the parser in
+//!   [`crate::parse`] reads back (round-trip property-tested);
+//! * [`Program::to_paper_syntax`] — the λ-notation of the paper's Figure 5,
+//!   for human consumption in reports and examples.
+
+use crate::ast::{Branch, Extractor, Guard, Locator, NlpPred, NodeFilter, Program};
+
+impl std::fmt::Display for NlpPred {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NlpPred::MatchKeyword(t) => write!(f, "kw({t})"),
+            NlpPred::HasAnswer => write!(f, "answer"),
+            NlpPred::HasEntity(k) => write!(f, "entity({k})"),
+            NlpPred::True => write!(f, "true"),
+            NlpPred::And(a, b) => write!(f, "and({a}, {b})"),
+            NlpPred::Or(a, b) => write!(f, "or({a}, {b})"),
+            NlpPred::Not(a) => write!(f, "not({a})"),
+        }
+    }
+}
+
+impl std::fmt::Display for NodeFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeFilter::IsLeaf => write!(f, "leaf"),
+            NodeFilter::IsElem => write!(f, "elem"),
+            NodeFilter::MatchText { pred, subtree: false } => write!(f, "text({pred})"),
+            NodeFilter::MatchText { pred, subtree: true } => write!(f, "subtree({pred})"),
+            NodeFilter::True => write!(f, "true"),
+            NodeFilter::And(a, b) => write!(f, "and({a}, {b})"),
+            NodeFilter::Or(a, b) => write!(f, "or({a}, {b})"),
+            NodeFilter::Not(a) => write!(f, "not({a})"),
+        }
+    }
+}
+
+impl std::fmt::Display for Locator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Locator::Root => write!(f, "root"),
+            Locator::Children(l, nf) => write!(f, "children({l}, {nf})"),
+            Locator::Descendants(l, nf) => write!(f, "descendants({l}, {nf})"),
+        }
+    }
+}
+
+impl std::fmt::Display for Guard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Guard::Sat(l, p) => write!(f, "sat({l}, {p})"),
+            Guard::IsSingleton(l) => write!(f, "singleton({l})"),
+        }
+    }
+}
+
+impl std::fmt::Display for Extractor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Extractor::Content => write!(f, "content"),
+            Extractor::Substring(e, p, k) => write!(f, "substr({e}, {p}, {k})"),
+            Extractor::Filter(e, p) => write!(f, "filter({e}, {p})"),
+            Extractor::Split(e, c) => write!(f, "split({e}, '{c}')"),
+        }
+    }
+}
+
+impl std::fmt::Display for Branch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {}", self.guard, self.extractor)
+    }
+}
+
+impl std::fmt::Display for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for b in &self.branches {
+            if !first {
+                write!(f, "; ")?;
+            }
+            write!(f, "{b}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl Program {
+    /// Renders the program in the λ-notation of the paper's Figure 5.
+    pub fn to_paper_syntax(&self) -> String {
+        let mut out = String::from("λQ,K,W. {\n");
+        for b in &self.branches {
+            out.push_str("  ");
+            out.push_str(&guard_paper(&b.guard));
+            out.push_str(" → λx. ");
+            out.push_str(&extractor_paper(&b.extractor));
+            out.push_str(",\n");
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn pred_paper(p: &NlpPred) -> String {
+    match p {
+        NlpPred::MatchKeyword(t) => format!("matchKeyword(z, K, {t})"),
+        NlpPred::HasAnswer => "hasAnswer(z, Q)".to_string(),
+        NlpPred::HasEntity(k) => format!("hasEntity(z, {k})"),
+        NlpPred::True => "⊤".to_string(),
+        NlpPred::And(a, b) => format!("({} ∧ {})", pred_paper(a), pred_paper(b)),
+        NlpPred::Or(a, b) => format!("({} ∨ {})", pred_paper(a), pred_paper(b)),
+        NlpPred::Not(a) => format!("¬{}", pred_paper(a)),
+    }
+}
+
+fn filter_paper(f: &NodeFilter) -> String {
+    match f {
+        NodeFilter::IsLeaf => "isLeaf(n)".to_string(),
+        NodeFilter::IsElem => "isElem(n)".to_string(),
+        NodeFilter::MatchText { pred, subtree } => {
+            format!("matchText(n, λz. {}, {})", pred_paper(pred), subtree)
+        }
+        NodeFilter::True => "⊤".to_string(),
+        NodeFilter::And(a, b) => format!("({} ∧ {})", filter_paper(a), filter_paper(b)),
+        NodeFilter::Or(a, b) => format!("({} ∨ {})", filter_paper(a), filter_paper(b)),
+        NodeFilter::Not(a) => format!("¬{}", filter_paper(a)),
+    }
+}
+
+fn locator_paper(l: &Locator) -> String {
+    match l {
+        Locator::Root => "GetRoot(W)".to_string(),
+        Locator::Children(inner, f) => {
+            format!("GetChildren({}, λn. {})", locator_paper(inner), filter_paper(f))
+        }
+        Locator::Descendants(inner, f) => {
+            format!("GetDescendants({}, λn. {})", locator_paper(inner), filter_paper(f))
+        }
+    }
+}
+
+fn guard_paper(g: &Guard) -> String {
+    match g {
+        Guard::Sat(l, p) => format!("Sat({}, λz. {})", locator_paper(l), pred_paper(p)),
+        Guard::IsSingleton(l) => format!("IsSingleton({})", locator_paper(l)),
+    }
+}
+
+fn extractor_paper(e: &Extractor) -> String {
+    match e {
+        Extractor::Content => "ExtractContent(x)".to_string(),
+        Extractor::Substring(inner, p, k) => {
+            format!("Substring({}, λz. {}, {})", extractor_paper(inner), pred_paper(p), k)
+        }
+        Extractor::Filter(inner, p) => {
+            format!("Filter({}, λz. {})", extractor_paper(inner), pred_paper(p))
+        }
+        Extractor::Split(inner, c) => {
+            let c_name = if *c == ',' { "COMMA".to_string() } else { format!("{c:?}") };
+            format!("Split({}, {})", extractor_paper(inner), c_name)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Threshold;
+    use webqa_nlp::EntityKind;
+
+    fn sample() -> Program {
+        let locator = Locator::leaves(Locator::Descendants(
+            Box::new(Locator::Root),
+            NodeFilter::MatchText {
+                pred: NlpPred::MatchKeyword(Threshold::new(0.8)),
+                subtree: false,
+            },
+        ));
+        Program::single(
+            Guard::Sat(locator, NlpPred::True),
+            Extractor::entity(
+                Extractor::Filter(
+                    Box::new(Extractor::Split(Box::new(Extractor::Content), ',')),
+                    NlpPred::MatchKeyword(Threshold::new(0.6)),
+                ),
+                EntityKind::Organization,
+            ),
+        )
+    }
+
+    #[test]
+    fn canonical_display() {
+        let p = sample();
+        let s = p.to_string();
+        assert_eq!(
+            s,
+            "sat(descendants(descendants(root, text(kw(0.80))), leaf), true) -> \
+             substr(filter(split(content, ','), kw(0.60)), entity(ORG), 1)"
+        );
+    }
+
+    #[test]
+    fn paper_syntax_mentions_constructs() {
+        let s = sample().to_paper_syntax();
+        assert!(s.contains("GetDescendants(GetRoot(W)"));
+        assert!(s.contains("matchKeyword(z, K, 0.80)"));
+        assert!(s.contains("Split(ExtractContent(x), COMMA)"));
+        assert!(s.contains("hasEntity(z, ORG)"));
+        assert!(s.starts_with("λQ,K,W."));
+    }
+
+    #[test]
+    fn multi_branch_display_joined_with_semicolon() {
+        let b = Branch::new(Guard::IsSingleton(Locator::Root), Extractor::Content);
+        let p = Program::new(vec![b.clone(), b]);
+        assert_eq!(
+            p.to_string(),
+            "singleton(root) -> content; singleton(root) -> content"
+        );
+    }
+
+    #[test]
+    fn connective_display() {
+        let pred = NlpPred::And(
+            Box::new(NlpPred::HasAnswer),
+            Box::new(NlpPred::Not(Box::new(NlpPred::HasEntity(EntityKind::Person)))),
+        );
+        assert_eq!(pred.to_string(), "and(answer, not(entity(PERSON)))");
+        let f = NodeFilter::Or(Box::new(NodeFilter::IsLeaf), Box::new(NodeFilter::IsElem));
+        assert_eq!(f.to_string(), "or(leaf, elem)");
+    }
+}

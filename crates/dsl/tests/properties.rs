@@ -1,0 +1,228 @@
+//! Property-based tests for the DSL.
+//!
+//! The two load-bearing properties:
+//!
+//! 1. **Round-trip**: `parse(display(p)) == p` for arbitrary programs —
+//!    the canonical text format is faithful.
+//! 2. **Recall monotonicity** (Theorem A.3 of the paper): applying any
+//!    extractor production can only *shrink* the output token bag, which
+//!    is what makes the `UB = 2R/(1+R)` pruning sound.
+
+use proptest::prelude::*;
+use webqa_dsl::{
+    EntityKind, Extractor, Guard, Locator, NlpPred, NodeFilter, PageTree, Program, QueryContext,
+    Threshold,
+};
+
+fn entity_kind() -> impl Strategy<Value = EntityKind> {
+    prop_oneof![
+        Just(EntityKind::Person),
+        Just(EntityKind::Organization),
+        Just(EntityKind::Date),
+        Just(EntityKind::Time),
+        Just(EntityKind::Location),
+        Just(EntityKind::Money),
+    ]
+}
+
+fn nlp_pred() -> impl Strategy<Value = NlpPred> {
+    let leaf = prop_oneof![
+        (0u8..=20).prop_map(|n| NlpPred::MatchKeyword(Threshold::new(f64::from(n) * 0.05))),
+        Just(NlpPred::HasAnswer),
+        entity_kind().prop_map(NlpPred::HasEntity),
+        Just(NlpPred::True),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| NlpPred::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| NlpPred::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| NlpPred::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn node_filter() -> impl Strategy<Value = NodeFilter> {
+    let leaf = prop_oneof![
+        Just(NodeFilter::IsLeaf),
+        Just(NodeFilter::IsElem),
+        Just(NodeFilter::True),
+        (nlp_pred(), any::<bool>()).prop_map(|(pred, subtree)| NodeFilter::MatchText {
+            pred,
+            subtree
+        }),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| NodeFilter::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| NodeFilter::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| NodeFilter::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn locator() -> impl Strategy<Value = Locator> {
+    Just(Locator::Root).prop_recursive(3, 6, 1, |inner| {
+        prop_oneof![
+            (inner.clone(), node_filter())
+                .prop_map(|(l, f)| Locator::Children(Box::new(l), f)),
+            (inner, node_filter()).prop_map(|(l, f)| Locator::Descendants(Box::new(l), f)),
+        ]
+    })
+}
+
+fn guard() -> impl Strategy<Value = Guard> {
+    prop_oneof![
+        (locator(), nlp_pred()).prop_map(|(l, p)| Guard::Sat(l, p)),
+        locator().prop_map(Guard::IsSingleton),
+    ]
+}
+
+fn extractor() -> impl Strategy<Value = Extractor> {
+    Just(Extractor::Content).prop_recursive(3, 8, 1, |inner| {
+        prop_oneof![
+            (inner.clone(), nlp_pred(), 1usize..4)
+                .prop_map(|(e, p, k)| Extractor::Substring(Box::new(e), p, k)),
+            (inner.clone(), nlp_pred()).prop_map(|(e, p)| Extractor::Filter(Box::new(e), p)),
+            (inner, prop_oneof![Just(','), Just(';'), Just(':'), Just('|')])
+                .prop_map(|(e, c)| Extractor::Split(Box::new(e), c)),
+        ]
+    })
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec((guard(), extractor()), 1..3).prop_map(|bs| {
+        Program::new(bs.into_iter().map(|(g, e)| webqa_dsl::Branch::new(g, e)).collect())
+    })
+}
+
+fn sample_page() -> PageTree {
+    PageTree::parse(
+        "<h1>Jane Doe</h1>\
+         <h2>Students</h2><b>PhD students</b>\
+         <ul><li>Robert Smith</li><li>Mary Anderson</li></ul>\
+         <h2>Service</h2>\
+         <ul><li>PLDI '21 (PC), CAV '20 (PC)</li><li>POPL '20 (SRC)</li></ul>\
+         <h2>Contact</h2><p>jane@cs.edu, Austin, office 4.412</p>",
+    )
+}
+
+fn ctx() -> QueryContext {
+    QueryContext::new("Who are the PhD students?", ["students", "PC"])
+}
+
+/// Multiset of scoring tokens for an output.
+fn token_bag(out: &[String]) -> Vec<webqa_metrics::Token> {
+    let mut t = webqa_metrics::tokenize_all(out);
+    t.sort();
+    t
+}
+
+/// `a ⊆ b` as multisets.
+fn is_subbag(a: &[webqa_metrics::Token], b: &[webqa_metrics::Token]) -> bool {
+    let mut counts = std::collections::HashMap::new();
+    for t in b {
+        *counts.entry(t).or_insert(0usize) += 1;
+    }
+    for t in a {
+        match counts.get_mut(t) {
+            Some(c) if *c > 0 => *c -= 1,
+            _ => return false,
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn display_parse_roundtrip(p in program()) {
+        let printed = p.to_string();
+        let reparsed: Program = printed.parse().expect("canonical form must parse");
+        prop_assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn evaluation_is_total_and_deterministic(p in program()) {
+        let page = sample_page();
+        let c = ctx();
+        let out1 = p.eval(&c, &page);
+        let out2 = p.eval(&c, &page);
+        prop_assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn program_output_is_a_set(p in program()) {
+        let page = sample_page();
+        let out = p.eval(&ctx(), &page);
+        let mut dedup = out.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(out.len(), dedup.len());
+    }
+
+    /// Theorem A.3: every extractor production shrinks the token bag.
+    #[test]
+    fn extractor_productions_are_recall_monotone(
+        e in extractor(),
+        pred in nlp_pred(),
+        k in 1usize..3,
+        delim in prop_oneof![Just(','), Just(';')],
+    ) {
+        let page = sample_page();
+        let c = ctx();
+        let nodes = Locator::leaves(Locator::Root).eval(&c, &page);
+        let base = e.eval(&c, &page, &nodes);
+        let base_bag = token_bag(&base);
+        let extensions = [
+            Extractor::Substring(Box::new(e.clone()), pred.clone(), k),
+            Extractor::Filter(Box::new(e.clone()), pred),
+            Extractor::Split(Box::new(e), delim),
+        ];
+        for ext in extensions {
+            let out = ext.eval(&c, &page, &nodes);
+            let bag = token_bag(&out);
+            prop_assert!(
+                is_subbag(&bag, &base_bag),
+                "extension {} produced tokens outside its parent's bag",
+                ext
+            );
+        }
+    }
+
+    /// Locator extension shrinkage: children/descendants of located nodes
+    /// are a subset of all descendants — the locator-level monotonicity the
+    /// guard-synthesis UB relies on.
+    #[test]
+    fn locator_filters_shrink_results(l in locator(), f in node_filter()) {
+        let page = sample_page();
+        let c = ctx();
+        let filtered = Locator::Descendants(Box::new(l.clone()), f).eval(&c, &page);
+        let unfiltered = Locator::Descendants(Box::new(l), NodeFilter::True).eval(&c, &page);
+        for n in &filtered {
+            prop_assert!(unfiltered.contains(n));
+        }
+    }
+
+    #[test]
+    fn guard_eval_consistent_with_locator(g in guard()) {
+        let page = sample_page();
+        let c = ctx();
+        let (fired, nodes) = g.eval(&c, &page);
+        let located = g.locator().eval(&c, &page);
+        prop_assert_eq!(nodes, located.clone());
+        if let Guard::IsSingleton(_) = g {
+            prop_assert_eq!(fired, located.len() == 1);
+        }
+    }
+
+    #[test]
+    fn paper_syntax_never_panics(p in program()) {
+        let s = p.to_paper_syntax();
+        prop_assert!(s.starts_with("λQ,K,W."));
+    }
+}

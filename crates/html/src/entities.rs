@@ -1,0 +1,157 @@
+//! HTML character-reference (entity) decoding.
+//!
+//! Supports the named entities that occur in real-world semi-structured
+//! pages plus decimal / hexadecimal numeric references. Unknown references
+//! are left verbatim, matching lenient browser behaviour.
+
+/// Decodes HTML entities in `input`.
+///
+/// # Examples
+///
+/// ```
+/// use webqa_html::decode_entities;
+/// assert_eq!(decode_entities("Smith &amp; Jones"), "Smith & Jones");
+/// assert_eq!(decode_entities("PLDI &#39;21"), "PLDI '21");
+/// assert_eq!(decode_entities("&#x41;BC"), "ABC");
+/// assert_eq!(decode_entities("50&nbsp;mg"), "50\u{a0}mg");
+/// ```
+pub fn decode_entities(input: &str) -> String {
+    if !input.contains('&') {
+        return input.to_string();
+    }
+    let mut out = String::with_capacity(input.len());
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some((decoded, consumed)) = decode_one(&input[i..]) {
+                out.push_str(&decoded);
+                i += consumed;
+                continue;
+            }
+        }
+        // Advance one full UTF-8 character.
+        let ch_len = utf8_len(bytes[i]);
+        out.push_str(&input[i..i + ch_len]);
+        i += ch_len;
+    }
+    out
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Attempts to decode a single entity at the start of `s` (which begins
+/// with `&`). Returns the decoded text and the number of bytes consumed.
+fn decode_one(s: &str) -> Option<(String, usize)> {
+    let semi = s[1..].find(';')? + 1;
+    if semi > 32 {
+        return None; // unreasonably long; not an entity
+    }
+    let name = &s[1..semi];
+    let decoded = if let Some(num) = name.strip_prefix('#') {
+        let code = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+            u32::from_str_radix(hex, 16).ok()?
+        } else {
+            num.parse::<u32>().ok()?
+        };
+        char::from_u32(code)?.to_string()
+    } else {
+        named_entity(name)?.to_string()
+    };
+    Some((decoded, semi + 1))
+}
+
+/// The named entities we decode. Covers everything emitted by the corpus
+/// generator plus the common set found on faculty/conference pages.
+fn named_entity(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "amp" => "&",
+        "lt" => "<",
+        "gt" => ">",
+        "quot" => "\"",
+        "apos" => "'",
+        "nbsp" => "\u{a0}",
+        "ndash" => "\u{2013}",
+        "mdash" => "\u{2014}",
+        "lsquo" => "\u{2018}",
+        "rsquo" => "\u{2019}",
+        "ldquo" => "\u{201c}",
+        "rdquo" => "\u{201d}",
+        "hellip" => "\u{2026}",
+        "copy" => "\u{a9}",
+        "reg" => "\u{ae}",
+        "trade" => "\u{2122}",
+        "bull" => "\u{2022}",
+        "middot" => "\u{b7}",
+        "times" => "\u{d7}",
+        "deg" => "\u{b0}",
+        "eacute" => "é",
+        "egrave" => "è",
+        "uuml" => "ü",
+        "ouml" => "ö",
+        "auml" => "ä",
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_passthrough() {
+        assert_eq!(decode_entities("hello world"), "hello world");
+    }
+
+    #[test]
+    fn named_entities() {
+        assert_eq!(decode_entities("&lt;b&gt;"), "<b>");
+        assert_eq!(decode_entities("a &amp;&amp; b"), "a && b");
+        assert_eq!(decode_entities("&ldquo;x&rdquo;"), "\u{201c}x\u{201d}");
+    }
+
+    #[test]
+    fn numeric_decimal() {
+        assert_eq!(decode_entities("&#65;&#66;"), "AB");
+    }
+
+    #[test]
+    fn numeric_hex() {
+        assert_eq!(decode_entities("&#x2019;"), "\u{2019}");
+        assert_eq!(decode_entities("&#X41;"), "A");
+    }
+
+    #[test]
+    fn unknown_entity_left_verbatim() {
+        assert_eq!(decode_entities("&bogus; &"), "&bogus; &");
+    }
+
+    #[test]
+    fn unterminated_ampersand() {
+        assert_eq!(decode_entities("AT&T"), "AT&T");
+        assert_eq!(decode_entities("fish & chips"), "fish & chips");
+    }
+
+    #[test]
+    fn invalid_codepoint_left_verbatim() {
+        assert_eq!(decode_entities("&#x110000;"), "&#x110000;");
+        assert_eq!(decode_entities("&#xD800;"), "&#xD800;"); // lone surrogate
+    }
+
+    #[test]
+    fn multibyte_text_with_entities() {
+        assert_eq!(decode_entities("café &amp; tea"), "café & tea");
+    }
+
+    #[test]
+    fn accented_names() {
+        assert_eq!(decode_entities("M&uuml;ller"), "Müller");
+    }
+}

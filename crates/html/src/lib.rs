@@ -1,0 +1,41 @@
+//! # webqa-html
+//!
+//! HTML substrate for the WebQA reproduction: a from-scratch lenient HTML
+//! tokenizer and DOM builder, the paper's header-hierarchy *page tree*
+//! representation (Definition 3.1), and the XPath-style queries used by the
+//! wrapper-induction baselines.
+//!
+//! The paper (Section 7) parses pages with BeautifulSoup4, removes scripts
+//! and images, and converts the DOM to a tree whose edges mean "this text
+//! is the header of that text". [`PageTree::parse`] performs that whole
+//! pipeline:
+//!
+//! ```
+//! use webqa_html::{PageTree, NodeKind};
+//! let page = PageTree::parse(
+//!     "<h1>Jane Doe</h1>\
+//!      <h2>Students</h2><b>PhD students</b>\
+//!      <ul><li>Robert Smith</li><li>Mary Anderson</li></ul>",
+//! );
+//! let students = page.children(page.root())[0];
+//! let phd = page.children(students)[0];
+//! assert_eq!(page.kind(phd), NodeKind::List);
+//! assert_eq!(page.text(page.children(phd)[0]), "Robert Smith");
+//! ```
+
+#![warn(missing_docs)]
+
+mod dom;
+mod entities;
+mod pagetree;
+mod parse;
+pub mod query;
+mod serialize;
+mod tokenizer;
+
+pub use dom::{Document, Node, NodeData, NodeId};
+pub use entities::decode_entities;
+pub use pagetree::{NodeKind, PageNode, PageNodeId, PageTree, PageTreeBuilder};
+pub use parse::parse_html;
+pub use serialize::serialize;
+pub use tokenizer::{tokenize_html, Attribute, HtmlToken};

@@ -1,0 +1,234 @@
+//! Tree construction: tokens → [`Document`].
+//!
+//! A lenient tree builder modeled on the forgiving parts of the WHATWG
+//! algorithm that matter for semi-structured pages:
+//!
+//! * void elements (`br`, `img`, …) never take children;
+//! * `<li>`, `<p>`, `<tr>`, `<td>`, `<th>`, `<option>`, `<dt>`, `<dd>` close
+//!   an open element of the same kind implicitly;
+//! * stray end tags are ignored; unclosed elements are closed at EOF;
+//! * `<script>`/`<style>` contents are dropped (the paper's parser also
+//!   removes scripts and images before building its tree).
+
+use crate::dom::{Document, NodeData, NodeId};
+use crate::tokenizer::{tokenize_html, HtmlToken};
+
+/// Parses an HTML string into a [`Document`].
+///
+/// Never fails: malformed input produces a best-effort tree, like a
+/// browser. Comments, doctype, and script/style contents are discarded.
+///
+/// # Examples
+///
+/// ```
+/// use webqa_html::parse_html;
+/// let doc = parse_html("<h1>Title</h1><p>Body</p>");
+/// assert_eq!(doc.text_content(doc.root()), "Title Body");
+/// ```
+pub fn parse_html(input: &str) -> Document {
+    let mut doc = Document::new();
+    let mut stack: Vec<(String, NodeId)> = vec![(String::from("#document"), doc.root())];
+    let mut in_dropped_raw_text = false;
+
+    for token in tokenize_html(input) {
+        match token {
+            HtmlToken::Doctype(_) | HtmlToken::Comment(_) => {}
+            HtmlToken::Text(text) => {
+                if in_dropped_raw_text {
+                    continue;
+                }
+                if text.trim().is_empty() {
+                    continue;
+                }
+                let parent = stack.last().expect("stack never empty").1;
+                // Coalesce adjacent text (split only by dropped content
+                // such as comments) so parsing is a serialization
+                // fixpoint: re-parsing emitted HTML cannot tell where the
+                // dropped content was.
+                if let Some(&last) = doc.node(parent).children.last() {
+                    if let NodeData::Text(prev) = &doc.node(last).data {
+                        let merged = format!("{prev}{text}");
+                        doc.replace_text(last, merged);
+                        continue;
+                    }
+                }
+                doc.append(parent, NodeData::Text(text));
+            }
+            HtmlToken::StartTag { name, attrs, self_closing } => {
+                if name == "script" || name == "style" {
+                    in_dropped_raw_text = !self_closing;
+                    continue;
+                }
+                // Implicit closes: e.g. <li> inside an open <li>.
+                while let Some(open) = stack.last().map(|(t, _)| t.clone()) {
+                    if implicitly_closes(&name, &open) {
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                let parent = stack.last().expect("stack never empty").1;
+                let id = doc.append(parent, NodeData::Element { tag: name.clone(), attrs });
+                if !self_closing && !is_void(&name) {
+                    stack.push((name, id));
+                }
+            }
+            HtmlToken::EndTag { name } => {
+                if name == "script" || name == "style" {
+                    in_dropped_raw_text = false;
+                    continue;
+                }
+                // Find the matching open element, if any; close everything
+                // above it. A stray end tag (no match) is ignored.
+                if let Some(pos) = stack.iter().rposition(|(t, _)| *t == name) {
+                    if pos > 0 {
+                        stack.truncate(pos);
+                    }
+                }
+            }
+        }
+    }
+    doc
+}
+
+/// Elements that cannot have content.
+fn is_void(tag: &str) -> bool {
+    matches!(
+        tag,
+        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
+            | "param" | "source" | "track" | "wbr"
+    )
+}
+
+/// Whether an incoming start tag `new` implicitly closes the open tag
+/// `open` (the browser "you forgot the end tag" rules we need).
+fn implicitly_closes(new: &str, open: &str) -> bool {
+    match new {
+        "li" => open == "li",
+        "dt" | "dd" => matches!(open, "dt" | "dd"),
+        "p" => open == "p",
+        "tr" => matches!(open, "tr" | "td" | "th"),
+        "td" | "th" => matches!(open, "td" | "th"),
+        "option" => open == "option",
+        // A new heading closes an open paragraph.
+        "h1" | "h2" | "h3" | "h4" | "h5" | "h6" => open == "p",
+        // Tables/lists close an open paragraph too.
+        "table" | "ul" | "ol" | "div" | "section" => open == "p",
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(doc: &Document) -> Vec<String> {
+        doc.iter().filter_map(|n| doc.tag(n).map(String::from)).collect()
+    }
+
+    #[test]
+    fn nested_structure() {
+        let doc = parse_html("<div><p>one</p><p>two</p></div>");
+        assert_eq!(tags(&doc), ["div", "p", "p"]);
+        let div = doc.iter().find(|&n| doc.tag(n) == Some("div")).unwrap();
+        assert_eq!(doc.child_elements(div).len(), 2);
+    }
+
+    #[test]
+    fn void_elements_take_no_children() {
+        let doc = parse_html("<p>a<br>b</p>");
+        let br = doc.iter().find(|&n| doc.tag(n) == Some("br")).unwrap();
+        assert!(doc.node(br).children.is_empty());
+        assert_eq!(doc.text_content(doc.root()), "a b");
+    }
+
+    #[test]
+    fn implicit_li_close() {
+        let doc = parse_html("<ul><li>a<li>b<li>c</ul>");
+        let ul = doc.iter().find(|&n| doc.tag(n) == Some("ul")).unwrap();
+        assert_eq!(doc.child_elements(ul).len(), 3);
+    }
+
+    #[test]
+    fn implicit_p_close() {
+        let doc = parse_html("<p>one<p>two");
+        assert_eq!(tags(&doc), ["p", "p"]);
+    }
+
+    #[test]
+    fn implicit_table_cells() {
+        let doc = parse_html("<table><tr><td>a<td>b<tr><td>c</table>");
+        let trs: Vec<_> = doc.iter().filter(|&n| doc.tag(n) == Some("tr")).collect();
+        assert_eq!(trs.len(), 2);
+        assert_eq!(doc.child_elements(trs[0]).len(), 2);
+        assert_eq!(doc.child_elements(trs[1]).len(), 1);
+    }
+
+    #[test]
+    fn stray_end_tag_ignored() {
+        let doc = parse_html("</div><p>x</p>");
+        assert_eq!(tags(&doc), ["p"]);
+        assert_eq!(doc.text_content(doc.root()), "x");
+    }
+
+    #[test]
+    fn unclosed_elements_closed_at_eof() {
+        let doc = parse_html("<div><p>dangling");
+        assert_eq!(tags(&doc), ["div", "p"]);
+        assert_eq!(doc.text_content(doc.root()), "dangling");
+    }
+
+    #[test]
+    fn scripts_and_styles_dropped() {
+        let doc = parse_html("<p>keep</p><script>var x = '<p>no</p>';</script><style>p{}</style>");
+        assert_eq!(tags(&doc), ["p"]);
+        assert_eq!(doc.text_content(doc.root()), "keep");
+    }
+
+    #[test]
+    fn comments_and_doctype_dropped() {
+        let doc = parse_html("<!DOCTYPE html><!-- c --><p>x</p>");
+        assert_eq!(tags(&doc), ["p"]);
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let doc = parse_html("<div>\n  <p>x</p>\n</div>");
+        let div = doc.iter().find(|&n| doc.tag(n) == Some("div")).unwrap();
+        assert_eq!(doc.node(div).children.len(), 1);
+    }
+
+    #[test]
+    fn mismatched_nesting_recovers() {
+        // </b> closes nothing that exists; <i> stays open to EOF.
+        let doc = parse_html("<i>a</b>b");
+        assert_eq!(doc.text_content(doc.root()), "ab");
+    }
+
+    #[test]
+    fn heading_closes_paragraph() {
+        let doc = parse_html("<p>intro<h2>Section</h2>");
+        assert_eq!(tags(&doc), ["p", "h2"]);
+        // h2 must be a sibling of p, not its child
+        let h2 = doc.iter().find(|&n| doc.tag(n) == Some("h2")).unwrap();
+        let p = doc.iter().find(|&n| doc.tag(n) == Some("p")).unwrap();
+        assert_eq!(doc.node(h2).parent, doc.node(p).parent);
+    }
+
+    #[test]
+    fn empty_input_is_empty_doc() {
+        let doc = parse_html("");
+        assert!(doc.is_empty());
+    }
+
+    #[test]
+    fn deeply_nested_does_not_overflow() {
+        let mut s = String::new();
+        for _ in 0..2000 {
+            s.push_str("<div>");
+        }
+        s.push('x');
+        let doc = parse_html(&s);
+        assert_eq!(doc.text_content(doc.root()), "x");
+    }
+}

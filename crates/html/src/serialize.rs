@@ -1,0 +1,189 @@
+//! HTML serialization: [`Document`] → HTML text.
+//!
+//! The inverse of [`crate::parse_html`] up to parser normalization (tag
+//! lowercasing, attribute-quote canonicalization, implicit-tag-close
+//! insertion, entity decoding). Serializing a parsed document and
+//! re-parsing it yields an *identical* DOM — the fixpoint property the
+//! round-trip tests rely on — which makes the serializer the tool for
+//! exporting generated corpus pages and for golden-file debugging of
+//! parser changes.
+
+use crate::dom::{Document, NodeData, NodeId};
+
+/// Tags serialized without a closing tag (HTML void elements).
+const VOID_TAGS: [&str; 8] = ["br", "hr", "img", "input", "meta", "link", "area", "base"];
+
+/// Tags whose raw text content must not be entity-escaped.
+const RAW_TEXT_TAGS: [&str; 2] = ["script", "style"];
+
+/// Serializes a document to HTML.
+///
+/// Element tags and attributes are emitted as stored (the parser already
+/// lowercased tags); text is entity-escaped so the output re-parses to
+/// the same text nodes.
+pub fn serialize(doc: &Document) -> String {
+    let mut out = String::new();
+    for &child in &doc.node(doc.root()).children {
+        serialize_node(doc, child, &mut out);
+    }
+    out
+}
+
+fn serialize_node(doc: &Document, id: NodeId, out: &mut String) {
+    match &doc.node(id).data {
+        NodeData::Document => {
+            for &child in &doc.node(id).children {
+                serialize_node(doc, child, out);
+            }
+        }
+        NodeData::Text(t) => {
+            let parent_tag = doc.node(id).parent.and_then(|p| doc.tag(p).map(str::to_string));
+            if parent_tag.as_deref().is_some_and(|t| RAW_TEXT_TAGS.contains(&t)) {
+                out.push_str(t);
+            } else {
+                escape_into(t, out);
+            }
+        }
+        NodeData::Element { tag, attrs } => {
+            out.push('<');
+            out.push_str(tag);
+            for a in attrs {
+                out.push(' ');
+                out.push_str(&a.name);
+                out.push_str("=\"");
+                escape_attr_into(&a.value, out);
+                out.push('"');
+            }
+            out.push('>');
+            if VOID_TAGS.contains(&tag.as_str()) {
+                return;
+            }
+            for &child in &doc.node(id).children {
+                serialize_node(doc, child, out);
+            }
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+/// Escapes text content (`&`, `<`, `>`).
+fn escape_into(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escapes attribute values (`&`, `"`).
+fn escape_attr_into(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_html;
+
+    #[track_caller]
+    fn round_trips(html: &str) {
+        let doc = parse_html(html);
+        let emitted = serialize(&doc);
+        let reparsed = parse_html(&emitted);
+        assert_eq!(doc, reparsed, "serialize({html:?}) = {emitted:?} reparses differently");
+    }
+
+    #[test]
+    fn simple_documents_round_trip() {
+        round_trips("<h1>Title</h1><p>Body text.</p>");
+        round_trips("<h1>A</h1><h2>Students</h2><ul><li>Jane</li><li>Bob</li></ul>");
+        round_trips("<table><tr><td>a</td><td>b</td></tr></table>");
+    }
+
+    #[test]
+    fn attributes_are_preserved() {
+        let doc = parse_html("<div class=\"x y\" id='main'><p>t</p></div>");
+        let emitted = serialize(&doc);
+        assert!(emitted.contains("class=\"x y\""), "{emitted}");
+        assert!(emitted.contains("id=\"main\""), "{emitted}");
+        round_trips("<div class=\"x y\" id='main'><p>t</p></div>");
+    }
+
+    #[test]
+    fn entities_escape_and_round_trip() {
+        // The parser decodes &amp; into '&'; serialization must re-escape
+        // it so the text survives another parse.
+        let doc = parse_html("<p>Tom &amp; Jerry &lt;3</p>");
+        let emitted = serialize(&doc);
+        assert!(emitted.contains("&amp;"), "{emitted}");
+        round_trips("<p>Tom &amp; Jerry &lt;3</p>");
+    }
+
+    #[test]
+    fn attribute_quotes_escape() {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let el = doc.append_element(
+            root,
+            "p",
+            vec![crate::tokenizer::Attribute {
+                name: "title".into(),
+                value: "say \"hi\" & more".into(),
+            }],
+        );
+        doc.append_text(el, "x");
+        let emitted = serialize(&doc);
+        assert!(emitted.contains("&quot;hi&quot;"), "{emitted}");
+        assert_eq!(parse_html(&emitted), doc);
+    }
+
+    #[test]
+    fn void_elements_have_no_close_tag() {
+        let doc = parse_html("<p>a<br>b</p>");
+        let emitted = serialize(&doc);
+        assert!(emitted.contains("<br>"), "{emitted}");
+        assert!(!emitted.contains("</br>"), "{emitted}");
+        round_trips("<p>a<br>b</p>");
+    }
+
+    #[test]
+    fn parsed_scripts_are_dropped_entirely() {
+        // The parser removes scripts (Section 7 of the paper), so they
+        // never reach serialization.
+        let doc = parse_html("<script>if (a < b && c) { go(); }</script><p>t</p>");
+        let emitted = serialize(&doc);
+        assert!(!emitted.contains("script"), "{emitted}");
+        assert!(emitted.contains("<p>t</p>"), "{emitted}");
+    }
+
+    #[test]
+    fn hand_built_script_content_is_not_escaped() {
+        // Raw-text handling still matters for hand-built documents.
+        let mut doc = Document::new();
+        let root = doc.root();
+        let el = doc.append_element(root, "script", Vec::new());
+        doc.append_text(el, "if (a < b && c) { go(); }");
+        let emitted = serialize(&doc);
+        assert!(emitted.contains("a < b && c"), "{emitted}");
+    }
+
+    #[test]
+    fn serialization_is_a_fixpoint() {
+        // serialize ∘ parse is idempotent: a second round adds nothing.
+        let html = "<h1>T</h1><div class='c'><ul><li>a &amp; b</li></ul></div>";
+        let once = serialize(&parse_html(html));
+        let twice = serialize(&parse_html(&once));
+        assert_eq!(once, twice);
+    }
+}

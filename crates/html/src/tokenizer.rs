@@ -1,0 +1,423 @@
+//! HTML tokenizer.
+//!
+//! A lenient, from-scratch tokenizer in the spirit of the WHATWG
+//! tokenization stage, covering the constructs that appear on
+//! semi-structured faculty / conference / class / clinic pages: start and
+//! end tags with attributes, self-closing tags, comments, doctype, raw-text
+//! elements (`script`, `style`), and character data. Malformed markup never
+//! panics — the tokenizer recovers the way browsers do (e.g. a stray `<`
+//! becomes text).
+
+use crate::entities::decode_entities;
+
+/// One attribute on a start tag, already entity-decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, lowercased.
+    pub name: String,
+    /// Attribute value; empty for bare attributes like `disabled`.
+    pub value: String,
+}
+
+/// A lexical token of the HTML input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HtmlToken {
+    /// `<tag attr="v">`; `self_closing` is true for `<br/>`-style tags.
+    StartTag {
+        /// Tag name, lowercased.
+        name: String,
+        /// Attributes in source order.
+        attrs: Vec<Attribute>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// `</tag>`.
+    EndTag {
+        /// Tag name, lowercased.
+        name: String,
+    },
+    /// Character data between tags, entity-decoded. Whitespace preserved.
+    Text(String),
+    /// `<!-- ... -->`; content kept for completeness.
+    Comment(String),
+    /// `<!DOCTYPE ...>`.
+    Doctype(String),
+}
+
+/// Tokenizes an HTML document.
+///
+/// # Examples
+///
+/// ```
+/// use webqa_html::{tokenize_html, HtmlToken};
+/// let toks = tokenize_html("<p class=\"x\">hi</p>");
+/// assert_eq!(toks.len(), 3);
+/// assert!(matches!(&toks[1], HtmlToken::Text(t) if t == "hi"));
+/// ```
+pub fn tokenize_html(input: &str) -> Vec<HtmlToken> {
+    Tokenizer::new(input).run()
+}
+
+struct Tokenizer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    tokens: Vec<HtmlToken>,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(input: &'a str) -> Self {
+        Tokenizer { input, bytes: input.as_bytes(), pos: 0, tokens: Vec::new() }
+    }
+
+    fn run(mut self) -> Vec<HtmlToken> {
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'<' {
+                if self.starts_with("<!--") {
+                    self.consume_comment();
+                } else if self.starts_with_ci("<!doctype") {
+                    self.consume_doctype();
+                } else if self.peek_at(1).map_or(false, |c| c == b'/') {
+                    self.consume_end_tag();
+                } else if self.peek_at(1).map_or(false, |c| c.is_ascii_alphabetic()) {
+                    self.consume_start_tag();
+                } else {
+                    // Stray '<': emit as text and move on.
+                    self.consume_text_from(self.pos + 1, "<");
+                }
+            } else {
+                self.consume_text();
+            }
+        }
+        self.tokens
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn starts_with_ci(&self, s: &str) -> bool {
+        // Byte-level comparison: a `&str` slice at pos + s.len() could
+        // split a multi-byte character and panic.
+        let end = self.pos + s.len();
+        end <= self.bytes.len() && self.bytes[self.pos..end].eq_ignore_ascii_case(s.as_bytes())
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn consume_text(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        let raw = &self.input[start..self.pos];
+        if !raw.is_empty() {
+            self.tokens.push(HtmlToken::Text(decode_entities(raw)));
+        }
+    }
+
+    /// Emits `prefix` as text and continues scanning from `resume`.
+    fn consume_text_from(&mut self, resume: usize, prefix: &str) {
+        self.pos = resume;
+        match self.tokens.last_mut() {
+            Some(HtmlToken::Text(t)) => t.push_str(prefix),
+            _ => self.tokens.push(HtmlToken::Text(prefix.to_string())),
+        }
+    }
+
+    fn consume_comment(&mut self) {
+        let start = self.pos + 4;
+        match self.input[start..].find("-->") {
+            Some(end) => {
+                self.tokens.push(HtmlToken::Comment(self.input[start..start + end].to_string()));
+                self.pos = start + end + 3;
+            }
+            None => {
+                // Unterminated comment swallows the rest of the input.
+                self.tokens.push(HtmlToken::Comment(self.input[start..].to_string()));
+                self.pos = self.bytes.len();
+            }
+        }
+    }
+
+    fn consume_doctype(&mut self) {
+        let start = self.pos + 2;
+        match self.input[start..].find('>') {
+            Some(end) => {
+                self.tokens.push(HtmlToken::Doctype(self.input[start..start + end].to_string()));
+                self.pos = start + end + 1;
+            }
+            None => {
+                self.tokens.push(HtmlToken::Doctype(self.input[start..].to_string()));
+                self.pos = self.bytes.len();
+            }
+        }
+    }
+
+    fn consume_end_tag(&mut self) {
+        // self.pos at '<', pos+1 at '/'
+        let mut i = self.pos + 2;
+        let name_start = i;
+        while i < self.bytes.len() && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-') {
+            i += 1;
+        }
+        let name = self.input[name_start..i].to_ascii_lowercase();
+        // Skip to '>'.
+        while i < self.bytes.len() && self.bytes[i] != b'>' {
+            i += 1;
+        }
+        self.pos = (i + 1).min(self.bytes.len());
+        if !name.is_empty() {
+            self.tokens.push(HtmlToken::EndTag { name });
+        }
+    }
+
+    fn consume_start_tag(&mut self) {
+        let mut i = self.pos + 1;
+        let name_start = i;
+        while i < self.bytes.len() && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-') {
+            i += 1;
+        }
+        let name = self.input[name_start..i].to_ascii_lowercase();
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            // Skip whitespace.
+            while i < self.bytes.len() && self.bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= self.bytes.len() {
+                break;
+            }
+            match self.bytes[i] {
+                b'>' => {
+                    i += 1;
+                    break;
+                }
+                b'/' => {
+                    self_closing = true;
+                    i += 1;
+                }
+                _ => {
+                    let (attr, next) = self.consume_attribute(i);
+                    if let Some(a) = attr {
+                        attrs.push(a);
+                    }
+                    if next == i {
+                        // No progress (malformed); skip a byte to avoid looping.
+                        i += 1;
+                    } else {
+                        i = next;
+                    }
+                }
+            }
+        }
+        self.pos = i;
+        let is_raw_text = name == "script" || name == "style";
+        self.tokens.push(HtmlToken::StartTag { name: name.clone(), attrs, self_closing });
+        if is_raw_text && !self_closing {
+            self.consume_raw_text(&name);
+        }
+    }
+
+    /// Raw-text content of `<script>`/`<style>`: everything up to the
+    /// matching close tag, emitted as a single text token (the DOM builder
+    /// discards it, but round-tripping keeps it for fidelity).
+    fn consume_raw_text(&mut self, tag: &str) {
+        let close = format!("</{tag}");
+        let rest = &self.input[self.pos..];
+        let lower = rest.to_ascii_lowercase();
+        match lower.find(&close) {
+            Some(end) => {
+                if end > 0 {
+                    self.tokens.push(HtmlToken::Text(rest[..end].to_string()));
+                }
+                self.pos += end;
+            }
+            None => {
+                if !rest.is_empty() {
+                    self.tokens.push(HtmlToken::Text(rest.to_string()));
+                }
+                self.pos = self.bytes.len();
+            }
+        }
+    }
+
+    /// Parses one `name`, `name=value`, `name="value"`, or `name='value'`
+    /// attribute starting at byte `i`. Returns the attribute (if a name was
+    /// found) and the next position.
+    fn consume_attribute(&mut self, mut i: usize) -> (Option<Attribute>, usize) {
+        let name_start = i;
+        while i < self.bytes.len()
+            && !self.bytes[i].is_ascii_whitespace()
+            && !matches!(self.bytes[i], b'=' | b'>' | b'/')
+        {
+            i += 1;
+        }
+        if i == name_start {
+            return (None, i);
+        }
+        let name = self.input[name_start..i].to_ascii_lowercase();
+        // Skip whitespace before '='.
+        let mut j = i;
+        while j < self.bytes.len() && self.bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j >= self.bytes.len() || self.bytes[j] != b'=' {
+            return (Some(Attribute { name, value: String::new() }), i);
+        }
+        j += 1;
+        while j < self.bytes.len() && self.bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j >= self.bytes.len() {
+            return (Some(Attribute { name, value: String::new() }), j);
+        }
+        let (value, next) = match self.bytes[j] {
+            q @ (b'"' | b'\'') => {
+                let vstart = j + 1;
+                let mut k = vstart;
+                while k < self.bytes.len() && self.bytes[k] != q {
+                    k += 1;
+                }
+                (self.input[vstart..k].to_string(), (k + 1).min(self.bytes.len()))
+            }
+            _ => {
+                let vstart = j;
+                let mut k = vstart;
+                while k < self.bytes.len()
+                    && !self.bytes[k].is_ascii_whitespace()
+                    && self.bytes[k] != b'>'
+                {
+                    k += 1;
+                }
+                (self.input[vstart..k].to_string(), k)
+            }
+        };
+        (Some(Attribute { name, value: decode_entities(&value) }), next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(tokens: &[HtmlToken], i: usize) -> (&str, &[Attribute], bool) {
+        match &tokens[i] {
+            HtmlToken::StartTag { name, attrs, self_closing } => (name, attrs, *self_closing),
+            other => panic!("expected start tag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_document() {
+        let toks = tokenize_html("<html><body><p>hi</p></body></html>");
+        assert_eq!(toks.len(), 7);
+        assert_eq!(start(&toks, 0).0, "html");
+        assert!(matches!(&toks[3], HtmlToken::Text(t) if t == "hi"));
+        assert!(matches!(&toks[4], HtmlToken::EndTag { name } if name == "p"));
+    }
+
+    #[test]
+    fn attributes_quoted_and_bare() {
+        let toks = tokenize_html(r#"<a href="x.html" class='big' id=main disabled>"#);
+        let (name, attrs, sc) = start(&toks, 0);
+        assert_eq!(name, "a");
+        assert!(!sc);
+        assert_eq!(attrs.len(), 4);
+        assert_eq!(attrs[0], Attribute { name: "href".into(), value: "x.html".into() });
+        assert_eq!(attrs[1].value, "big");
+        assert_eq!(attrs[2].value, "main");
+        assert_eq!(attrs[3], Attribute { name: "disabled".into(), value: String::new() });
+    }
+
+    #[test]
+    fn self_closing_tag() {
+        let toks = tokenize_html("<br/><hr />");
+        assert!(start(&toks, 0).2);
+        assert!(start(&toks, 1).2);
+    }
+
+    #[test]
+    fn uppercase_tags_lowercased() {
+        let toks = tokenize_html("<DIV CLASS=Big>x</DIV>");
+        let (name, attrs, _) = start(&toks, 0);
+        assert_eq!(name, "div");
+        assert_eq!(attrs[0].name, "class");
+        assert_eq!(attrs[0].value, "Big"); // values keep case
+        assert!(matches!(&toks[2], HtmlToken::EndTag { name } if name == "div"));
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let toks = tokenize_html("<!DOCTYPE html><!-- note --><p>x</p>");
+        assert!(matches!(&toks[0], HtmlToken::Doctype(_)));
+        assert!(matches!(&toks[1], HtmlToken::Comment(c) if c == " note "));
+    }
+
+    #[test]
+    fn entities_in_text_decoded() {
+        let toks = tokenize_html("<p>Smith &amp; Jones</p>");
+        assert!(matches!(&toks[1], HtmlToken::Text(t) if t == "Smith & Jones"));
+    }
+
+    #[test]
+    fn entities_in_attr_values_decoded() {
+        let toks = tokenize_html(r#"<a title="A &amp; B">x</a>"#);
+        let (_, attrs, _) = start(&toks, 0);
+        assert_eq!(attrs[0].value, "A & B");
+    }
+
+    #[test]
+    fn script_content_is_raw_text() {
+        let toks = tokenize_html("<script>if (a < b) { x(); }</script><p>y</p>");
+        assert!(matches!(&toks[1], HtmlToken::Text(t) if t.contains("a < b")));
+        assert!(matches!(&toks[2], HtmlToken::EndTag { name } if name == "script"));
+    }
+
+    #[test]
+    fn stray_less_than_is_text() {
+        let toks = tokenize_html("a < b");
+        // "a " then "<" merged then " b" -> the tokenizer merges into text tokens
+        let text: String = toks
+            .iter()
+            .map(|t| match t {
+                HtmlToken::Text(s) => s.clone(),
+                _ => String::new(),
+            })
+            .collect();
+        assert_eq!(text, "a < b");
+    }
+
+    #[test]
+    fn unterminated_comment_does_not_panic() {
+        let toks = tokenize_html("<!-- never closed <p>x</p>");
+        assert_eq!(toks.len(), 1);
+        assert!(matches!(&toks[0], HtmlToken::Comment(_)));
+    }
+
+    #[test]
+    fn unterminated_tag_does_not_panic() {
+        let toks = tokenize_html("<p class=");
+        assert_eq!(start(&toks, 0).0, "p");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize_html("").is_empty());
+    }
+
+    #[test]
+    fn whitespace_preserved_in_text() {
+        let toks = tokenize_html("<p>  two  spaces  </p>");
+        assert!(matches!(&toks[1], HtmlToken::Text(t) if t == "  two  spaces  "));
+    }
+
+    #[test]
+    fn end_tag_with_junk_after_name() {
+        let toks = tokenize_html("<p>x</p junk>");
+        assert!(matches!(toks.last().unwrap(), HtmlToken::EndTag { name } if name == "p"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the HTML substrate: the parser must be total
+//! (never panic on arbitrary input) and the page-tree conversion must
+//! produce a well-formed tree whose invariants the DSL evaluator relies on.
+
+use proptest::prelude::*;
+use webqa_html::{decode_entities, parse_html, serialize, PageTree};
+
+/// Generates small HTML-ish documents: a mix of well-formed fragments and
+/// noise.
+fn html_soup() -> impl Strategy<Value = String> {
+    let frag = prop_oneof![
+        "[a-zA-Z0-9 .,']{0,12}".prop_map(|t| t),
+        "[a-z]{1,6}".prop_map(|t| format!("<{t}>")),
+        "[a-z]{1,6}".prop_map(|t| format!("</{t}>")),
+        Just("<h1>T</h1>".to_string()),
+        Just("<h2>S</h2>".to_string()),
+        Just("<ul><li>a</li><li>b</li></ul>".to_string()),
+        Just("<table><tr><td>k</td><td>v</td></tr></table>".to_string()),
+        Just("<p><b>Bold</b></p>".to_string()),
+        Just("<!-- c -->".to_string()),
+        Just("&amp;&#65;&bogus;".to_string()),
+        Just("<div class='x y'>".to_string()),
+        Just("<script>var a = '<p>';</script>".to_string()),
+    ];
+    proptest::collection::vec(frag, 0..20).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parser_is_total(html in html_soup()) {
+        let _ = parse_html(&html);
+    }
+
+    #[test]
+    fn parser_total_on_arbitrary_bytes(s in "\\PC{0,200}") {
+        let _ = parse_html(&s);
+    }
+
+    #[test]
+    fn page_tree_is_well_formed(html in html_soup()) {
+        let page = PageTree::parse(&html);
+        // Parent/child links are mutually consistent.
+        for id in page.iter() {
+            for &c in page.children(id) {
+                prop_assert_eq!(page.node(c).parent, Some(id));
+            }
+            if let Some(p) = page.node(id).parent {
+                prop_assert!(page.children(p).contains(&id));
+            }
+        }
+        // Root is node 0 with no parent.
+        prop_assert!(page.node(page.root()).parent.is_none());
+        // Ids are dense pre-order: every node reachable exactly once.
+        let reachable = 1 + page.descendants(page.root()).len();
+        prop_assert_eq!(reachable, page.len());
+    }
+
+    #[test]
+    fn descendant_depths_increase(html in html_soup()) {
+        let page = PageTree::parse(&html);
+        for id in page.iter() {
+            for &c in page.children(id) {
+                prop_assert_eq!(page.depth(c), page.depth(id) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn entity_decoding_never_grows_entities(s in "\\PC{0,80}") {
+        // Decoding is idempotent for inputs without '&' introduced by
+        // decoding itself (no double decoding of &amp;lt; etc. is required,
+        // but a second pass must not panic).
+        let once = decode_entities(&s);
+        let _ = decode_entities(&once);
+    }
+
+    #[test]
+    fn text_content_has_no_leading_or_trailing_ws(html in html_soup()) {
+        let doc = parse_html(&html);
+        let t = doc.text_content(doc.root());
+        prop_assert_eq!(t.trim(), t.as_str());
+    }
+
+    #[test]
+    fn subtree_text_contains_own_text(html in html_soup()) {
+        let page = PageTree::parse(&html);
+        for id in page.iter() {
+            let own = page.text(id);
+            if !own.is_empty() {
+                prop_assert!(page.subtree_text(id).contains(own));
+            }
+        }
+    }
+
+    /// serialize ∘ parse is a fixpoint: re-parsing the serialized form
+    /// reproduces the DOM exactly, on arbitrary soup.
+    #[test]
+    fn serialize_parse_is_a_fixpoint(html in html_soup()) {
+        let doc = parse_html(&html);
+        let emitted = serialize(&doc);
+        let reparsed = parse_html(&emitted);
+        prop_assert_eq!(&doc, &reparsed, "emitted {:?}", emitted);
+        // And the emitted form is stable from then on.
+        prop_assert_eq!(serialize(&reparsed), emitted);
+    }
+
+    /// Serialization preserves the extractable text (what the DSL sees).
+    #[test]
+    fn serialization_preserves_text_content(html in html_soup()) {
+        let doc = parse_html(&html);
+        let reparsed = parse_html(&serialize(&doc));
+        prop_assert_eq!(doc.text_content(doc.root()), reparsed.text_content(reparsed.root()));
+    }
+}

@@ -1,0 +1,95 @@
+//! Hamming distance between program outputs.
+//!
+//! Section 7 of the paper: "we take our loss function to be the Hamming
+//! distance between the sets of words extracted by each program",
+//! `L(π; I, O) = Hamming(π(I), O)`. We realize this as the size of the
+//! symmetric difference between the two token *sets* of each page, summed
+//! over the pages.
+
+use std::collections::HashSet;
+
+use crate::tokens::{tokenize_all, Token};
+
+/// Hamming distance between two token sets: `|A Δ B|`.
+///
+/// # Examples
+///
+/// ```
+/// use webqa_metrics::{hamming_tokens, tokenize};
+/// let a = tokenize("jane doe");
+/// let b = tokenize("jane smith");
+/// assert_eq!(hamming_tokens(&a, &b), 2); // doe, smith
+/// ```
+pub fn hamming_tokens(a: &[Token], b: &[Token]) -> usize {
+    let sa: HashSet<&Token> = a.iter().collect();
+    let sb: HashSet<&Token> = b.iter().collect();
+    sa.symmetric_difference(&sb).count()
+}
+
+/// Hamming distance between two extraction outputs given as string sets.
+pub fn hamming_strings<S1: AsRef<str>, S2: AsRef<str>>(a: &[S1], b: &[S2]) -> usize {
+    hamming_tokens(&tokenize_all(a), &tokenize_all(b))
+}
+
+/// Hamming distance between two *sequences* of per-page outputs
+/// (the transductive loss `L(π; I, O) = Σₖ Hamming(π(iₖ), oₖ)`).
+///
+/// # Panics
+///
+/// Panics if the two sequences have different lengths — outputs must be
+/// aligned page-by-page.
+pub fn hamming_outputs(a: &[Vec<String>], b: &[Vec<String>]) -> usize {
+    assert_eq!(a.len(), b.len(), "per-page output sequences must be aligned");
+    a.iter().zip(b).map(|(x, y)| hamming_strings(x, y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::tokenize;
+
+    #[test]
+    fn identical_sets_have_zero_distance() {
+        assert_eq!(hamming_strings(&["Jane Doe"], &["jane doe"]), 0);
+    }
+
+    #[test]
+    fn disjoint_sets_sum_sizes() {
+        assert_eq!(hamming_strings(&["a b"], &["c d"]), 4);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = tokenize("x y z");
+        let b = tokenize("y z w q");
+        assert_eq!(hamming_tokens(&a, &b), hamming_tokens(&b, &a));
+        assert_eq!(hamming_tokens(&a, &b), 3);
+    }
+
+    #[test]
+    fn set_semantics_ignore_duplicates() {
+        let a = tokenize("a a a");
+        let b = tokenize("a");
+        assert_eq!(hamming_tokens(&a, &b), 0);
+    }
+
+    #[test]
+    fn outputs_sum_per_page() {
+        let a = vec![vec!["jane".to_string()], vec!["x".to_string()]];
+        let b = vec![vec!["jane".to_string()], vec!["y".to_string()]];
+        assert_eq!(hamming_outputs(&a, &b), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_outputs_panic() {
+        let a = vec![vec![]];
+        let b: Vec<Vec<String>> = vec![];
+        hamming_outputs(&a, &b);
+    }
+
+    #[test]
+    fn empty_vs_empty() {
+        assert_eq!(hamming_strings::<&str, &str>(&[], &[]), 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Token-level precision / recall / F₁.
+//!
+//! The synthesis objective of the paper is the F₁ score between the strings
+//! a program extracts and the user-provided labels, computed over *tokens*
+//! (Section 5). Scores are accumulated as token-multiset overlap counts so
+//! that they can be micro-averaged across webpages, matching the
+//! `Recall(ν, E)` definition used by the `UB` pruning bound (Eq. 3).
+
+use std::collections::HashMap;
+
+use crate::tokens::{tokenize_all, Token};
+
+/// Raw overlap counts between a predicted token bag and a gold token bag.
+///
+/// `Counts` is the additive representation of an F₁ computation: counts for
+/// several examples can be summed (`+`), and the micro-averaged precision /
+/// recall / F₁ are derived at the end. This mirrors how the paper evaluates
+/// a program on a *set* of labeled webpages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct Counts {
+    /// Number of predicted tokens that matched a gold token (multiset ∩).
+    pub matched: usize,
+    /// Total number of predicted tokens.
+    pub predicted: usize,
+    /// Total number of gold tokens.
+    pub gold: usize,
+}
+
+impl Counts {
+    /// Creates counts from a predicted and a gold token bag.
+    ///
+    /// The intersection is a *multiset* intersection: a token occurring
+    /// twice in the prediction but once in the gold contributes one match.
+    pub fn from_bags(predicted: &[Token], gold: &[Token]) -> Self {
+        let mut gold_counts: HashMap<&Token, usize> = HashMap::new();
+        for t in gold {
+            *gold_counts.entry(t).or_insert(0) += 1;
+        }
+        let mut matched = 0;
+        for t in predicted {
+            if let Some(c) = gold_counts.get_mut(t) {
+                if *c > 0 {
+                    *c -= 1;
+                    matched += 1;
+                }
+            }
+        }
+        Counts { matched, predicted: predicted.len(), gold: gold.len() }
+    }
+
+    /// Creates counts from predicted and gold *string sets* by tokenizing.
+    pub fn from_strings<S1: AsRef<str>, S2: AsRef<str>>(predicted: &[S1], gold: &[S2]) -> Self {
+        Self::from_bags(&tokenize_all(predicted), &tokenize_all(gold))
+    }
+
+    /// Precision = matched / predicted; 1.0 when nothing was predicted and
+    /// nothing was expected, 0.0 when predictions exist but none match.
+    ///
+    /// The empty-prediction convention matters for guard synthesis: a
+    /// program that extracts nothing on a page whose label is empty is
+    /// *correct* there, not undefined.
+    pub fn precision(&self) -> f64 {
+        if self.predicted == 0 {
+            if self.gold == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.matched as f64 / self.predicted as f64
+        }
+    }
+
+    /// Recall = matched / gold; 1.0 when the gold set is empty.
+    pub fn recall(&self) -> f64 {
+        if self.gold == 0 {
+            if self.predicted == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.matched as f64 / self.gold as f64
+        }
+    }
+
+    /// F₁ = 2·P·R / (P + R); 0.0 when both P and R are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// The F₁ upper bound of Eq. 3: assume perfect precision and the
+    /// current recall. `UB = 2R / (1 + R)`.
+    ///
+    /// Sound for pruning because every DSL production can only *shrink*
+    /// the extracted token bag (recall monotonicity, Theorem A.3).
+    pub fn upper_bound(&self) -> f64 {
+        let r = self.recall();
+        2.0 * r / (1.0 + r)
+    }
+}
+
+impl std::ops::Add for Counts {
+    type Output = Counts;
+    fn add(self, rhs: Counts) -> Counts {
+        Counts {
+            matched: self.matched + rhs.matched,
+            predicted: self.predicted + rhs.predicted,
+            gold: self.gold + rhs.gold,
+        }
+    }
+}
+
+impl std::ops::AddAssign for Counts {
+    fn add_assign(&mut self, rhs: Counts) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for Counts {
+    fn sum<I: Iterator<Item = Counts>>(iter: I) -> Counts {
+        iter.fold(Counts::default(), |a, b| a + b)
+    }
+}
+
+/// A finished precision / recall / F₁ triple.
+///
+/// This is the row format of the paper's Table 2 and Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Score {
+    /// Precision in `[0, 1]`.
+    pub precision: f64,
+    /// Recall in `[0, 1]`.
+    pub recall: f64,
+    /// F₁ in `[0, 1]`.
+    pub f1: f64,
+}
+
+impl Score {
+    /// Derives a [`Score`] from accumulated [`Counts`].
+    pub fn from_counts(c: Counts) -> Self {
+        Score { precision: c.precision(), recall: c.recall(), f1: c.f1() }
+    }
+
+    /// Arithmetic mean of several scores (macro average, used when the
+    /// paper averages *per-task* scores into a domain row).
+    pub fn mean<'a, I: IntoIterator<Item = &'a Score>>(scores: I) -> Score {
+        let mut n = 0usize;
+        let (mut p, mut r, mut f) = (0.0, 0.0, 0.0);
+        for s in scores {
+            p += s.precision;
+            r += s.recall;
+            f += s.f1;
+            n += 1;
+        }
+        if n == 0 {
+            return Score::default();
+        }
+        let n = n as f64;
+        Score { precision: p / n, recall: r / n, f1: f / n }
+    }
+}
+
+impl std::fmt::Display for Score {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P={:.2} R={:.2} F1={:.2}", self.precision, self.recall, self.f1)
+    }
+}
+
+/// Scores one example: predicted strings vs gold strings.
+///
+/// # Examples
+///
+/// ```
+/// use webqa_metrics::score_strings;
+/// let s = score_strings(&["Jane Doe"], &["Jane Doe", "Bob Smith"]);
+/// assert!((s.recall - 0.5).abs() < 1e-9);
+/// assert!((s.precision - 1.0).abs() < 1e-9);
+/// ```
+pub fn score_strings<S1: AsRef<str>, S2: AsRef<str>>(predicted: &[S1], gold: &[S2]) -> Score {
+    Score::from_counts(Counts::from_strings(predicted, gold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::tokenize;
+
+    #[test]
+    fn perfect_match() {
+        let c = Counts::from_strings(&["Jane Doe"], &["jane doe"]);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+    }
+
+    #[test]
+    fn disjoint_prediction() {
+        let c = Counts::from_strings(&["alpha"], &["beta"]);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+    }
+
+    #[test]
+    fn empty_prediction_empty_gold_is_perfect() {
+        let c = Counts::from_strings::<&str, &str>(&[], &[]);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn empty_prediction_nonempty_gold() {
+        let c = Counts::from_strings::<&str, &str>(&[], &["x"]);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn nonempty_prediction_empty_gold() {
+        let c = Counts::from_strings::<&str, &str>(&["x"], &[]);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+    }
+
+    #[test]
+    fn multiset_intersection_counts_duplicates_once_each() {
+        let pred = tokenize("a a b");
+        let gold = tokenize("a b b");
+        let c = Counts::from_bags(&pred, &gold);
+        // one "a" matches, one "b" matches
+        assert_eq!(c.matched, 2);
+        assert_eq!(c.predicted, 3);
+        assert_eq!(c.gold, 3);
+    }
+
+    #[test]
+    fn partial_overlap_f1() {
+        // predicted {jane, doe}, gold {jane, doe, bob, smith}
+        let c = Counts::from_strings(&["Jane Doe"], &["Jane Doe", "Bob Smith"]);
+        assert!((c.precision() - 1.0).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_are_additive() {
+        let a = Counts::from_strings(&["x"], &["x"]);
+        let b = Counts::from_strings(&["y"], &["z"]);
+        let sum = a + b;
+        assert_eq!(sum.matched, 1);
+        assert_eq!(sum.predicted, 2);
+        assert_eq!(sum.gold, 2);
+        assert!((sum.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_bound_formula() {
+        let c = Counts { matched: 1, predicted: 10, gold: 2 };
+        // recall 0.5, UB = 2*0.5/1.5
+        assert!((c.upper_bound() - 2.0 / 3.0).abs() < 1e-12);
+        // UB must dominate actual F1
+        assert!(c.upper_bound() >= c.f1());
+    }
+
+    #[test]
+    fn score_mean() {
+        let s1 = Score { precision: 1.0, recall: 0.0, f1: 0.0 };
+        let s2 = Score { precision: 0.0, recall: 1.0, f1: 1.0 };
+        let m = Score::mean([&s1, &s2]);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        assert!((m.f1 - 0.5).abs() < 1e-12);
+        assert_eq!(Score::mean([]), Score::default());
+    }
+
+    #[test]
+    fn counts_sum_iterator() {
+        let total: Counts = vec![
+            Counts::from_strings(&["a"], &["a"]),
+            Counts::from_strings(&["b"], &["b"]),
+        ]
+        .into_iter()
+        .sum();
+        assert_eq!(total.matched, 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Score { precision: 0.5, recall: 0.25, f1: 1.0 / 3.0 };
+        assert_eq!(s.to_string(), "P=0.50 R=0.25 F1=0.33");
+    }
+}

@@ -1,0 +1,171 @@
+//! Scoring tokenization.
+//!
+//! The paper evaluates extraction quality with *token-level* precision,
+//! recall, and F₁ (Section 5, footnote 1). This module provides the
+//! tokenizer used for scoring: it lowercases, strips punctuation at token
+//! boundaries, and splits on whitespace, so that `"PLDI '21 (PC),"` and
+//! `"pldi '21 (pc)"` score identically.
+
+/// A scoring token: lowercased, punctuation-trimmed word.
+///
+/// Newtype so token streams cannot be confused with arbitrary strings
+/// elsewhere in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(String);
+
+impl Token {
+    /// View the token as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Token {
+    fn from(s: &str) -> Self {
+        Token(s.to_lowercase())
+    }
+}
+
+/// Splits `text` into scoring tokens.
+///
+/// Tokens are maximal runs of alphanumeric characters plus a small set of
+/// word-internal characters (`'`, `-`, `.` between digits). Everything is
+/// lowercased. Empty input yields an empty vector.
+///
+/// # Examples
+///
+/// ```
+/// use webqa_metrics::tokenize;
+/// let toks = tokenize("PLDI '21 (PC), POPL '20");
+/// let strs: Vec<&str> = toks.iter().map(|t| t.as_str()).collect();
+/// assert_eq!(strs, ["pldi", "'21", "pc", "popl", "'20"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if is_token_char(chars[i]) || (chars[i] == '\'' && i + 1 < chars.len() && is_token_char(chars[i + 1])) {
+            let start = i;
+            // A leading apostrophe is kept so year abbreviations like '21
+            // survive tokenization (they are load-bearing in several tasks).
+            if chars[i] == '\'' {
+                i += 1;
+            }
+            while i < chars.len() && (is_token_char(chars[i]) || is_word_internal(&chars, i)) {
+                i += 1;
+            }
+            let tok: String = chars[start..i].iter().collect::<String>().to_lowercase();
+            tokens.push(Token(tok));
+        } else {
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Splits a *set of extracted strings* into one combined token bag.
+///
+/// The paper's recall definition (Section 5) is over tokens of the combined
+/// extraction output, so the per-string boundaries do not matter for
+/// scoring.
+pub fn tokenize_all<S: AsRef<str>>(strings: &[S]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for s in strings {
+        out.extend(tokenize(s.as_ref()));
+    }
+    out
+}
+
+fn is_token_char(c: char) -> bool {
+    c.is_alphanumeric()
+}
+
+fn is_word_internal(chars: &[char], i: usize) -> bool {
+    let c = chars[i];
+    if c != '\'' && c != '-' && c != '.' && c != ':' {
+        return false;
+    }
+    // Internal only: must be surrounded by token characters, as in
+    // "double-blind", "o'brien", "3.5", "10:30".
+    i > 0
+        && is_token_char(chars[i - 1])
+        && i + 1 < chars.len()
+        && is_token_char(chars[i + 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        tokenize(s).into_iter().map(|t| t.0).collect()
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n").is_empty());
+        assert!(tokenize("(),;:!?").is_empty());
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(toks("Jane DOE"), ["jane", "doe"]);
+    }
+
+    #[test]
+    fn keeps_year_abbreviations() {
+        assert_eq!(toks("PLDI '21"), ["pldi", "'21"]);
+    }
+
+    #[test]
+    fn keeps_hyphenated_words() {
+        assert_eq!(toks("double-blind review"), ["double-blind", "review"]);
+    }
+
+    #[test]
+    fn keeps_decimal_numbers_and_times() {
+        assert_eq!(toks("3.5 GPA at 10:30 AM"), ["3.5", "gpa", "at", "10:30", "am"]);
+    }
+
+    #[test]
+    fn strips_surrounding_punctuation() {
+        assert_eq!(toks("(PC), [SRC]."), ["pc", "src"]);
+    }
+
+    #[test]
+    fn apostrophe_inside_name() {
+        assert_eq!(toks("O'Brien"), ["o'brien"]);
+    }
+
+    #[test]
+    fn trailing_punctuation_not_kept() {
+        assert_eq!(toks("students:"), ["students"]);
+        assert_eq!(toks("end."), ["end"]);
+    }
+
+    #[test]
+    fn tokenize_all_concatenates() {
+        let combined = tokenize_all(&["Jane Doe", "Robert Smith"]);
+        assert_eq!(combined.len(), 4);
+    }
+
+    #[test]
+    fn token_display_roundtrip() {
+        let t = Token::from("PLDI");
+        assert_eq!(t.to_string(), "pldi");
+        assert_eq!(format!("{t}"), t.as_str());
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        assert_eq!(toks("Müller café"), ["müller", "café"]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the metrics substrate.
+//!
+//! The synthesis algorithm's correctness (Theorem 5.1) rests on properties
+//! of these scoring primitives — most importantly that `UB` dominates F₁ and
+//! that scores stay in `[0, 1]`.
+
+use proptest::prelude::*;
+use webqa_metrics::{
+    hamming_strings, hamming_tokens, score_strings, stats, tokenize, tokenize_all, Counts,
+};
+
+fn words() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-z]{1,6}", 0..8)
+}
+
+proptest! {
+    #[test]
+    fn scores_are_bounded(pred in words(), gold in words()) {
+        let s = score_strings(&pred, &gold);
+        prop_assert!((0.0..=1.0).contains(&s.precision));
+        prop_assert!((0.0..=1.0).contains(&s.recall));
+        prop_assert!((0.0..=1.0).contains(&s.f1));
+    }
+
+    #[test]
+    fn f1_between_min_and_max_of_p_r(pred in words(), gold in words()) {
+        let s = score_strings(&pred, &gold);
+        let lo = s.precision.min(s.recall);
+        let hi = s.precision.max(s.recall);
+        prop_assert!(s.f1 >= lo - 1e-12 && s.f1 <= hi + 1e-12);
+    }
+
+    #[test]
+    fn upper_bound_dominates_f1(pred in words(), gold in words()) {
+        let c = Counts::from_strings(&pred, &gold);
+        prop_assert!(c.upper_bound() >= c.f1() - 1e-12);
+    }
+
+    #[test]
+    fn identical_inputs_score_one(xs in words()) {
+        let s = score_strings(&xs, &xs);
+        prop_assert!((s.f1 - 1.0).abs() < 1e-12);
+    }
+
+    /// Recall monotonicity: removing predicted strings never increases
+    /// recall. This is the property the DSL's UB pruning relies on
+    /// (Theorem A.3): every production shrinks the output token bag.
+    #[test]
+    fn recall_monotone_under_output_shrink(pred in words(), gold in words(), k in 0usize..8) {
+        let k = k.min(pred.len());
+        let smaller = &pred[..k];
+        let full = Counts::from_strings(&pred, &gold);
+        let part = Counts::from_strings(smaller, &gold);
+        if !gold.is_empty() {
+            prop_assert!(part.recall() <= full.recall() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn hamming_is_symmetric(a in words(), b in words()) {
+        prop_assert_eq!(hamming_strings(&a, &b), hamming_strings(&b, &a));
+    }
+
+    #[test]
+    fn hamming_identity(a in words()) {
+        prop_assert_eq!(hamming_strings(&a, &a), 0);
+    }
+
+    #[test]
+    fn hamming_triangle_inequality(a in words(), b in words(), c in words()) {
+        let (ta, tb, tc) = (tokenize_all(&a), tokenize_all(&b), tokenize_all(&c));
+        prop_assert!(
+            hamming_tokens(&ta, &tc) <= hamming_tokens(&ta, &tb) + hamming_tokens(&tb, &tc)
+        );
+    }
+
+    #[test]
+    fn tokenizer_is_idempotent_on_its_output(s in "[ -~]{0,60}") {
+        let once: Vec<String> = tokenize(&s).iter().map(|t| t.as_str().to_string()).collect();
+        let again: Vec<String> =
+            tokenize(&once.join(" ")).iter().map(|t| t.as_str().to_string()).collect();
+        prop_assert_eq!(once, again);
+    }
+
+    #[test]
+    fn variance_nonnegative(xs in proptest::collection::vec(-1e3f64..1e3, 0..20)) {
+        prop_assert!(stats::variance(&xs) >= 0.0);
+    }
+
+    #[test]
+    fn t_cdf_monotone(t1 in -5.0f64..5.0, dt in 0.0f64..5.0, df in 1.0f64..50.0) {
+        let lo = stats::student_t_cdf(t1, df);
+        let hi = stats::student_t_cdf(t1 + dt, df);
+        prop_assert!(hi >= lo - 1e-9);
+    }
+}

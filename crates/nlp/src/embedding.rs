@@ -1,0 +1,330 @@
+//! Hashed distributional embeddings and keyword similarity.
+//!
+//! Stands in for Sentence-BERT (Section 7 of the paper): the DSL's
+//! `matchKeyword(z, K, t)` predicate needs a *graded semantic similarity*
+//! in `[0, 1]` between a keyword and a piece of page text. We build it
+//! from:
+//!
+//! * character-trigram hash embeddings (fastText-style), which give high
+//!   similarity to inflectional variants ("Service" ≈ "Services");
+//! * a synonym/canonicalization table, which supplies the "semantic" part
+//!   a real sentence encoder learns from data ("PC" ≈ "program
+//!   committee", "advisees" ≈ "students");
+//! * max-pooling over sliding word windows, so a keyword can match inside
+//!   a longer section title.
+//!
+//! Everything is deterministic — no model files, no RNG at query time.
+
+const DIM: usize = 64;
+
+/// A dense embedding vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding {
+    v: [f32; DIM],
+}
+
+impl Embedding {
+    /// The zero vector (embedding of empty text).
+    pub fn zero() -> Self {
+        Embedding { v: [0.0; DIM] }
+    }
+
+    /// Whether this is (numerically) the zero vector.
+    pub fn is_zero(&self) -> bool {
+        self.v.iter().all(|x| x.abs() < 1e-12)
+    }
+
+    /// Cosine similarity in `[-1, 1]`; 0 when either side is zero.
+    pub fn cosine(&self, other: &Embedding) -> f32 {
+        let dot: f32 = self.v.iter().zip(&other.v).map(|(a, b)| a * b).sum();
+        let na: f32 = self.v.iter().map(|a| a * a).sum::<f32>().sqrt();
+        let nb: f32 = other.v.iter().map(|b| b * b).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            (dot / (na * nb)).clamp(-1.0, 1.0)
+        }
+    }
+
+    fn add(&mut self, other: &Embedding, weight: f32) {
+        for (a, b) in self.v.iter_mut().zip(&other.v) {
+            *a += b * weight;
+        }
+    }
+
+    fn normalize(mut self) -> Self {
+        let n: f32 = self.v.iter().map(|a| a * a).sum::<f32>().sqrt();
+        if n > 0.0 {
+            for a in self.v.iter_mut() {
+                *a /= n;
+            }
+        }
+        self
+    }
+}
+
+/// 64-bit SplitMix hash — the deterministic "random projection" that maps
+/// trigrams to directions.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+fn hash_str(s: &str, salt: u64) -> u64 {
+    let mut h = salt ^ 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    splitmix64(h)
+}
+
+/// A pseudo-random unit-ish vector derived from a string.
+fn feature_vector(s: &str, salt: u64) -> Embedding {
+    let mut e = Embedding::zero();
+    let mut state = hash_str(s, salt);
+    for chunk in e.v.chunks_mut(1) {
+        state = splitmix64(state);
+        // Map to roughly N(0,1) via sum of uniform bits; a coarse
+        // triangular distribution is plenty for random projections.
+        let a = (state & 0xFFFF) as f32 / 65535.0;
+        let b = ((state >> 16) & 0xFFFF) as f32 / 65535.0;
+        chunk[0] = a + b - 1.0;
+    }
+    e
+}
+
+/// Light stemmer: lowercases and strips simple plural/inflection suffixes.
+pub(crate) fn stem(word: &str) -> String {
+    let w = word.to_lowercase();
+    if w.len() > 4 && w.ends_with("ies") {
+        format!("{}y", &w[..w.len() - 3])
+    } else if w.len() > 4 && (w.ends_with("es") && !w.ends_with("ses")) {
+        w[..w.len() - 1].to_string() // "services" -> "service" via 's' rule below
+    } else if w.len() > 3 && w.ends_with('s') && !w.ends_with("ss") {
+        w[..w.len() - 1].to_string()
+    } else {
+        w
+    }
+}
+
+/// Synonym canonicalization: maps domain abbreviations and near-synonyms
+/// to a shared canonical phrase, the stand-in for learned semantics.
+pub(crate) fn canonicalize(word: &str) -> &'static str {
+    // Returned strings may be multi-word; they are re-tokenized by the
+    // phrase embedder.
+    match stem(word).as_str() {
+        "pc" => "program committee",
+        "committee" => "committee",
+        "advisee" | "student" | "mentee" => "student",
+        "advisor" | "adviser" => "advisor",
+        "ta" | "assistant" => "assistant",
+        "phd" | "ph.d" | "doctoral" => "phd",
+        "publication" | "paper" => "publication",
+        "course" | "class" | "classe" => "course",
+        "teaching" | "taught" | "teache" | "teach" => "teaching",
+        "service" | "activity" => "service",
+        "talk" | "presentation" => "talk",
+        "deadline" | "due" => "deadline",
+        "submission" | "submit" => "submission",
+        "instructor" | "lecturer" | "teacher" => "instructor",
+        "exam" | "midterm" | "final" | "test" => "exam",
+        "grade" | "grading" | "rubric" | "assessment" => "grading",
+        "textbook" | "book" | "material" | "text" => "textbook",
+        "doctor" | "physician" | "provider" | "dr" => "doctor",
+        "insurance" | "plan" | "coverage" => "insurance",
+        "treatment" | "specialty" | "specialization" => "treatment",
+        "location" | "office" | "address" | "directions" | "direction" => "location",
+        "alumni" | "alumnu" | "graduate" | "former" => "alumni",
+        "chair" | "co-chair" | "cochair" => "chair",
+        "topic" | "interest" | "area" => "topic",
+        "schedule" | "time" | "lecture" | "section" => "schedule",
+        "member" | "people" | "team" | "staff" => "member",
+        "award" | "prize" | "honor" => "award",
+        "news" | "announcement" => "news",
+        "conference" | "venue" => "conference",
+        "contact" | "email" | "e-mail" | "phone" => "contact",
+        _ => "",
+    }
+}
+
+/// Embeds a single word: trigram vectors + whole-word vector, with synonym
+/// canonicalization applied first.
+fn embed_word(word: &str) -> Embedding {
+    let canon = canonicalize(word);
+    if !canon.is_empty() && canon.contains(' ') {
+        // Multi-word canonical form ("program committee"): embed as phrase.
+        return embed_phrase_words(&canon.split(' ').collect::<Vec<_>>());
+    }
+    let surface = if canon.is_empty() { stem(word) } else { canon.to_string() };
+    let mut e = Embedding::zero();
+    let padded = format!("^{surface}$");
+    let chars: Vec<char> = padded.chars().collect();
+    if chars.len() >= 3 {
+        for w in chars.windows(3) {
+            let tri: String = w.iter().collect();
+            e.add(&feature_vector(&tri, 0x7121), 1.0);
+        }
+    }
+    // The whole-word direction dominates so different words with shared
+    // trigrams stay distinguishable.
+    e.add(&feature_vector(&surface, 0xB00F_ABCD), 2.0);
+    e.normalize()
+}
+
+fn embed_phrase_words(words: &[&str]) -> Embedding {
+    let mut e = Embedding::zero();
+    for w in words {
+        e.add(&embed_word(w), 1.0);
+    }
+    e.normalize()
+}
+
+/// Embeds an arbitrary text as the normalized sum of its content-word
+/// embeddings.
+pub fn embed(text: &str) -> Embedding {
+    let words: Vec<String> = crate::text::lower_words(text);
+    let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+    embed_phrase_words(&refs)
+}
+
+/// Semantic similarity between a keyword and a text, in `[0, 1]`.
+///
+/// Implements the scoring behind the DSL's `matchKeyword(z, k, t)`: the
+/// keyword embedding is compared against every sliding window of the text
+/// whose width matches the keyword's (±1 word), and the best cosine is
+/// mapped to `[0, 1]`. An exact (case-insensitive, stemmed) phrase match
+/// short-circuits to 1.0.
+///
+/// # Examples
+///
+/// ```
+/// use webqa_nlp::keyword_similarity;
+/// assert_eq!(keyword_similarity("Professional Service", "Service"), 1.0);
+/// let near = keyword_similarity("Professional Services", "Service");
+/// assert!(near > 0.9);
+/// let far = keyword_similarity("Recent Publications", "Service");
+/// assert!(far < 0.5);
+/// ```
+pub fn keyword_similarity(text: &str, keyword: &str) -> f32 {
+    let text_words = crate::text::lower_words(text);
+    let kw_words = crate::text::lower_words(keyword);
+    if kw_words.is_empty() || text_words.is_empty() {
+        return 0.0;
+    }
+    // Exact stemmed phrase containment → 1.0.
+    let kw_stems: Vec<String> = kw_words.iter().map(|w| stem(w)).collect();
+    let text_stems: Vec<String> = text_words.iter().map(|w| stem(w)).collect();
+    if text_stems.windows(kw_stems.len()).any(|w| w == kw_stems.as_slice()) {
+        return 1.0;
+    }
+    let kw_emb = embed(keyword);
+    if kw_emb.is_zero() {
+        return 0.0;
+    }
+    let mut best: f32 = 0.0;
+    let widths = [kw_words.len().saturating_sub(1).max(1), kw_words.len(), kw_words.len() + 1];
+    for &w in &widths {
+        if w == 0 || w > text_words.len() {
+            continue;
+        }
+        for window in text_words.windows(w) {
+            let refs: Vec<&str> = window.iter().map(|s| s.as_str()).collect();
+            let e = embed_phrase_words(&refs);
+            best = best.max(kw_emb.cosine(&e));
+        }
+    }
+    // Whole-text comparison helps when the text is shorter than the keyword.
+    best = best.max(kw_emb.cosine(&embed(text)));
+    best.max(0.0)
+}
+
+/// Similarity of `text` against the best-matching keyword in `keywords`.
+pub fn best_keyword_similarity<S: AsRef<str>>(text: &str, keywords: &[S]) -> f32 {
+    keywords
+        .iter()
+        .map(|k| keyword_similarity(text, k.as_ref()))
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_words_have_similarity_one() {
+        assert_eq!(keyword_similarity("Students", "Students"), 1.0);
+    }
+
+    #[test]
+    fn plural_variants_match_exactly_after_stemming() {
+        assert_eq!(keyword_similarity("Students", "Student"), 1.0);
+        assert_eq!(keyword_similarity("Professional Services", "Services"), 1.0);
+    }
+
+    #[test]
+    fn synonyms_score_high() {
+        // "PC" canonicalizes to "program committee"
+        assert!(keyword_similarity("PC", "Program Committee") > 0.9);
+        assert!(keyword_similarity("Advisees", "Students") > 0.9);
+        assert!(keyword_similarity("Activities", "Service") > 0.9);
+    }
+
+    #[test]
+    fn unrelated_words_score_low() {
+        assert!(keyword_similarity("Recent Publications", "Insurance") < 0.5);
+        assert!(keyword_similarity("Contact", "Students") < 0.5);
+    }
+
+    #[test]
+    fn keyword_inside_longer_title() {
+        assert_eq!(keyword_similarity("Current PhD Students", "PhD"), 1.0);
+        assert!(keyword_similarity("Our Professional Service Activities", "Service") > 0.9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(keyword_similarity("", "x"), 0.0);
+        assert_eq!(keyword_similarity("x", ""), 0.0);
+    }
+
+    #[test]
+    fn best_keyword_takes_max() {
+        let kws = ["Insurance", "Students"];
+        let s = best_keyword_similarity("PhD Students", &kws);
+        assert_eq!(s, 1.0);
+        assert!(best_keyword_similarity("totally unrelated gibberish", &kws) < 0.6);
+    }
+
+    #[test]
+    fn similarity_is_deterministic() {
+        let a = keyword_similarity("Professional Services", "Committee");
+        let b = keyword_similarity("Professional Services", "Committee");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        let e1 = embed("alpha beta");
+        let e2 = embed("gamma delta");
+        let c = e1.cosine(&e2);
+        assert!((-1.0..=1.0).contains(&c));
+        assert!((e1.cosine(&e1) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_embedding_behaviour() {
+        let z = Embedding::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.cosine(&embed("x")), 0.0);
+    }
+
+    #[test]
+    fn trigram_overlap_gives_partial_similarity() {
+        // "organization" vs "organizational" share most trigrams.
+        let s = keyword_similarity("organizational", "organization");
+        assert!(s > 0.5, "got {s}");
+    }
+}

@@ -1,0 +1,351 @@
+//! Extractive question answering.
+//!
+//! Stand-in for the BERT-large SQuAD model the paper uses for the DSL's
+//! `hasAnswer(z, Q)` predicate and for the BERTQA baseline (Sections 7 and
+//! 8.1). Like the real model it:
+//!
+//! * returns a *single best span* per (passage, question) pair — which is
+//!   precisely why the baseline collapses on multi-answer tasks (Table 2's
+//!   low BERTQA recall);
+//! * conditions on the question's expected answer type (who → person,
+//!   when → date, where → location);
+//! * is *imperfect*: a deterministic hash-noise term perturbs span scores,
+//!   emulating neural idiosyncrasy without sacrificing reproducibility.
+
+use crate::embedding::canonicalize;
+use crate::ner::{EntityKind, EntityRecognizer};
+use crate::text::{is_stopword, lower_words, sentences, words};
+
+/// An extracted answer span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QaAnswer {
+    /// The answer text.
+    pub text: String,
+    /// Byte offset of the span start in the passage.
+    pub start: usize,
+    /// Byte offset one past the span end.
+    pub end: usize,
+    /// Model confidence in `[0, 1]`.
+    pub score: f32,
+}
+
+/// Expected answer type inferred from the question's wh-word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnswerType {
+    /// "who …" — expects a person.
+    Person,
+    /// "when …" / "what time" / "deadline" — expects a date or time.
+    DateTime,
+    /// "where …" — expects a location.
+    Location,
+    /// "how much …" — expects money.
+    Money,
+    /// Anything else.
+    Other,
+}
+
+/// The simulated extractive QA model.
+#[derive(Debug, Clone)]
+pub struct QaModel {
+    ner: EntityRecognizer,
+    threshold: f32,
+}
+
+impl QaModel {
+    /// The default "pretrained" model with the standard answerability
+    /// threshold.
+    pub fn pretrained() -> Self {
+        QaModel { ner: EntityRecognizer::pretrained(), threshold: 0.42 }
+    }
+
+    /// Overrides the answerability threshold (used by ablations).
+    pub fn with_threshold(threshold: f32) -> Self {
+        QaModel { ner: EntityRecognizer::pretrained(), threshold }
+    }
+
+    /// The model's answerability threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Infers the expected answer type of a question.
+    pub fn answer_type(question: &str) -> AnswerType {
+        let q = question.to_lowercase();
+        let first = q.split_whitespace().next().unwrap_or("");
+        if first == "who" || q.contains("who are") || q.contains("who is") {
+            AnswerType::Person
+        } else if first == "when"
+            || q.contains("what time")
+            || q.contains("deadline")
+            || q.contains("what date")
+        {
+            AnswerType::DateTime
+        } else if first == "where" || q.contains("located") || q.contains("location") {
+            AnswerType::Location
+        } else if q.contains("how much") || q.contains("cost") || q.contains("price") {
+            AnswerType::Money
+        } else {
+            AnswerType::Other
+        }
+    }
+
+    /// Answers `question` against `passage`, returning the single best
+    /// span, or `None` when no span clears the answerability threshold.
+    pub fn answer(&self, passage: &str, question: &str) -> Option<QaAnswer> {
+        let best = self.best_span(passage, question)?;
+        if best.score >= self.threshold {
+            Some(best)
+        } else {
+            None
+        }
+    }
+
+    /// The DSL predicate `hasAnswer(z, Q)`.
+    pub fn has_answer(&self, passage: &str, question: &str) -> bool {
+        self.answer(passage, question).is_some()
+    }
+
+    fn best_span(&self, passage: &str, question: &str) -> Option<QaAnswer> {
+        if passage.trim().is_empty() || question.trim().is_empty() {
+            return None;
+        }
+        let q_words = content_words(question);
+        if q_words.is_empty() {
+            return None;
+        }
+        let want = Self::answer_type(question);
+        let sents = sentences(passage);
+        let n_sents = sents.len().max(1) as f32;
+
+        let mut best: Option<QaAnswer> = None;
+        for (si, sent) in sents.iter().enumerate() {
+            let overlap = overlap_score(&q_words, sent.text);
+            // Position prior: earlier sentences get a small boost, like the
+            // lead bias real QA models learn.
+            let position = 0.06 * (1.0 - si as f32 / n_sents);
+            let candidates = self.candidate_spans(sent.text, want);
+            for (rel_start, rel_end, typed) in candidates {
+                let span_text = &sent.text[rel_start..rel_end];
+                if span_text.trim().is_empty() {
+                    continue;
+                }
+                let type_bonus = if typed { 0.30 } else { 0.0 };
+                // Penalize spans that merely parrot the question.
+                let parrot = overlap_score(&q_words, span_text);
+                let noise = hash_noise(passage, question, span_text);
+                let score = (0.55 * overlap + type_bonus + position - 0.15 * parrot + noise)
+                    .clamp(0.0, 1.0);
+                let abs_start = sent.start + rel_start;
+                let abs_end = sent.start + rel_end;
+                if best.as_ref().map_or(true, |b| score > b.score) {
+                    best = Some(QaAnswer {
+                        text: span_text.trim().to_string(),
+                        start: abs_start,
+                        end: abs_end,
+                        score,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Candidate answer spans inside one sentence: typed entity spans when
+    /// the question expects a type, plus the sentence remainder after
+    /// removing question words (the "copy the rest of the sentence"
+    /// fallback real extractive models exhibit).
+    fn candidate_spans(&self, sentence: &str, want: AnswerType) -> Vec<(usize, usize, bool)> {
+        let mut out = Vec::new();
+        let entity_kinds: &[EntityKind] = match want {
+            AnswerType::Person => &[EntityKind::Person],
+            AnswerType::DateTime => &[EntityKind::Date, EntityKind::Time],
+            AnswerType::Location => &[EntityKind::Location],
+            AnswerType::Money => &[EntityKind::Money],
+            AnswerType::Other => &[],
+        };
+        for e in self.ner.entities(sentence) {
+            let typed = entity_kinds.contains(&e.kind);
+            out.push((e.start, e.end, typed));
+        }
+        // Fallback span: the tail of the sentence after a colon, or the
+        // whole sentence (capped) when nothing better exists.
+        if let Some(colon) = sentence.find(':') {
+            let tail_start = colon + 1;
+            if tail_start < sentence.len() {
+                out.push((tail_start, sentence.len(), false));
+            }
+        }
+        let cap = cap_span(sentence, 14);
+        out.push((0, cap, false));
+        out
+    }
+}
+
+impl Default for QaModel {
+    fn default() -> Self {
+        Self::pretrained()
+    }
+}
+
+/// Question content words, canonicalized so "committees" matches
+/// "committee" in the passage.
+fn content_words(question: &str) -> Vec<String> {
+    lower_words(question)
+        .into_iter()
+        .filter(|w| !is_stopword(w))
+        .map(|w| {
+            let c = canonicalize(&w);
+            if c.is_empty() {
+                crate::embedding::stem(&w)
+            } else {
+                c.to_string()
+            }
+        })
+        .collect()
+}
+
+/// Fraction of question content words present in `text` (canonicalized).
+fn overlap_score(q_words: &[String], text: &str) -> f32 {
+    if q_words.is_empty() {
+        return 0.0;
+    }
+    let t_words: Vec<String> = lower_words(text)
+        .into_iter()
+        .map(|w| {
+            let c = canonicalize(&w);
+            if c.is_empty() {
+                crate::embedding::stem(&w)
+            } else {
+                c.to_string()
+            }
+        })
+        .collect();
+    let hits = q_words.iter().filter(|q| t_words.iter().any(|t| t == *q)).count();
+    hits as f32 / q_words.len() as f32
+}
+
+/// Byte offset that truncates `sentence` to at most `max_words` words.
+fn cap_span(sentence: &str, max_words: usize) -> usize {
+    let ws = words(sentence);
+    if ws.len() <= max_words {
+        sentence.len()
+    } else {
+        ws[max_words - 1].end
+    }
+}
+
+/// Deterministic noise in `[-0.04, 0.04]` from the (passage, question,
+/// span) triple — the reproducible stand-in for neural idiosyncrasy.
+fn hash_noise(passage: &str, question: &str, span: &str) -> f32 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for s in [passage, "\u{1}", question, "\u{1}", span] {
+        for b in s.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    // map to [-0.04, 0.04]
+    ((h % 8001) as f32 / 8000.0 - 0.5) * 0.08
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qa() -> QaModel {
+        QaModel::pretrained()
+    }
+
+    #[test]
+    fn answers_simple_who_question() {
+        let passage = "Instructor: Jane Doe. Office hours by appointment.";
+        let a = qa().answer(passage, "Who is the instructor?").expect("answer");
+        assert!(a.text.contains("Jane Doe"), "got {a:?}");
+    }
+
+    #[test]
+    fn answers_when_question_with_date() {
+        let passage = "The paper submission deadline is January 15, 2026 for all tracks.";
+        let a = qa().answer(passage, "When is the paper submission deadline?").expect("answer");
+        assert!(a.text.contains("January 15, 2026"), "got {a:?}");
+    }
+
+    #[test]
+    fn answers_where_question() {
+        let passage = "Our clinic is located at 123 Main Street in Austin.";
+        let a = qa().answer(passage, "Where is the clinic located?").expect("answer");
+        assert!(
+            a.text.contains("Main Street") || a.text.contains("Austin"),
+            "got {a:?}"
+        );
+    }
+
+    #[test]
+    fn no_answer_on_unrelated_passage() {
+        let passage = "The weather has been unusually warm for this season.";
+        assert!(qa().answer(passage, "Who are the PhD students?").is_none());
+    }
+
+    #[test]
+    fn empty_inputs_have_no_answer() {
+        assert!(qa().answer("", "Who?").is_none());
+        assert!(qa().answer("text", "").is_none());
+    }
+
+    #[test]
+    fn single_span_only() {
+        // The characteristic failure on multi-answer content: one span.
+        let passage = "PhD students: Robert Smith, Mary Anderson, and Wei Chen.";
+        let a = qa().answer(passage, "Who are the PhD students?").expect("answer");
+        // The span is a single entity or tail, never the full enumerated set
+        // split into three separate answers.
+        assert!(a.text.len() < passage.len());
+    }
+
+    #[test]
+    fn answer_type_inference() {
+        assert_eq!(QaModel::answer_type("Who are the TAs?"), AnswerType::Person);
+        assert_eq!(
+            QaModel::answer_type("When is the paper submission deadline?"),
+            AnswerType::DateTime
+        );
+        assert_eq!(QaModel::answer_type("Where are the clinics located?"), AnswerType::Location);
+        assert_eq!(QaModel::answer_type("How much does a visit cost?"), AnswerType::Money);
+        assert_eq!(QaModel::answer_type("What are the topics of interest?"), AnswerType::Other);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = "Instructor: Jane Doe.";
+        let q = "Who is the instructor?";
+        assert_eq!(qa().answer(p, q), qa().answer(p, q));
+    }
+
+    #[test]
+    fn offsets_slice_back() {
+        let passage = "Lectures are on Monday at 10:30 in room 5.";
+        if let Some(a) = qa().answer(passage, "What time are the lectures?") {
+            assert_eq!(passage[a.start..a.end].trim(), a.text);
+        }
+    }
+
+    #[test]
+    fn has_answer_consistent_with_answer() {
+        let p = "Instructor: Jane Doe.";
+        let q = "Who is the instructor?";
+        assert_eq!(qa().has_answer(p, q), qa().answer(p, q).is_some());
+    }
+
+    #[test]
+    fn threshold_zero_always_answers_on_nonempty() {
+        let m = QaModel::with_threshold(0.0);
+        assert!(m.answer("Completely unrelated text.", "Who is the instructor?").is_some());
+    }
+
+    #[test]
+    fn colon_tail_fallback() {
+        let passage = "Topics of interest: program synthesis, type systems, static analysis";
+        let a = qa().answer(passage, "What are the topics of interest?").expect("answer");
+        assert!(a.text.contains("program synthesis"), "got {a:?}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the simulated NLP modules: totality,
+//! determinism, bounded scores, and offset validity — the contracts the
+//! DSL evaluator and synthesizer rely on.
+
+use proptest::prelude::*;
+use webqa_nlp::{
+    best_keyword_similarity, keyword_similarity, text, EntityKind, EntityRecognizer, QaModel,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn keyword_similarity_bounded(a in "\\PC{0,40}", b in "\\PC{0,20}") {
+        let s = keyword_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s), "similarity {s} out of range");
+    }
+
+    #[test]
+    fn keyword_similarity_deterministic(a in "[a-zA-Z ]{0,30}", b in "[a-zA-Z ]{0,15}") {
+        prop_assert_eq!(keyword_similarity(&a, &b), keyword_similarity(&a, &b));
+    }
+
+    #[test]
+    fn self_similarity_is_one_for_wordful_text(a in "[a-z]{2,10}( [a-z]{2,10}){0,3}") {
+        prop_assert_eq!(keyword_similarity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn best_keyword_takes_pointwise_max(
+        text in "[a-zA-Z ]{0,30}",
+        k1 in "[a-zA-Z]{1,10}",
+        k2 in "[a-zA-Z]{1,10}",
+    ) {
+        let both = best_keyword_similarity(&text, &[k1.as_str(), k2.as_str()]);
+        let s1 = keyword_similarity(&text, &k1);
+        let s2 = keyword_similarity(&text, &k2);
+        prop_assert!((both - s1.max(s2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ner_is_total_and_offsets_valid(s in "\\PC{0,120}") {
+        let ner = EntityRecognizer::pretrained();
+        for e in ner.entities(&s) {
+            prop_assert!(e.start <= e.end && e.end <= s.len());
+            prop_assert!(s.is_char_boundary(e.start) && s.is_char_boundary(e.end));
+            prop_assert_eq!(&s[e.start..e.end], e.text.as_str());
+        }
+    }
+
+    #[test]
+    fn ner_entities_do_not_overlap(s in "\\PC{0,120}") {
+        let ner = EntityRecognizer::pretrained();
+        let es = ner.entities(&s);
+        for pair in es.windows(2) {
+            prop_assert!(pair[0].end <= pair[1].start);
+        }
+    }
+
+    #[test]
+    fn oracle_ner_is_superset_for_org(s in "[A-Za-z ',.]{0,100}") {
+        // with_conference_orgs only ever adds ORG entities.
+        let base = EntityRecognizer::pretrained();
+        let oracle = EntityRecognizer::with_conference_orgs();
+        if base.has_entity(&s, EntityKind::Organization) {
+            prop_assert!(oracle.has_entity(&s, EntityKind::Organization));
+        }
+    }
+
+    #[test]
+    fn qa_is_total_and_scores_bounded(p in "\\PC{0,150}", q in "\\PC{0,40}") {
+        let qa = QaModel::pretrained();
+        if let Some(a) = qa.answer(&p, &q) {
+            prop_assert!((0.0..=1.0).contains(&a.score));
+            prop_assert!(a.start <= a.end && a.end <= p.len());
+        }
+    }
+
+    #[test]
+    fn qa_deterministic(p in "[a-zA-Z .:,]{0,80}", q in "[a-zA-Z ?]{0,30}") {
+        let qa = QaModel::pretrained();
+        prop_assert_eq!(qa.answer(&p, &q), qa.answer(&p, &q));
+    }
+
+    #[test]
+    fn word_offsets_always_slice_back(s in "\\PC{0,120}") {
+        for w in text::words(&s) {
+            prop_assert_eq!(&s[w.start..w.end], w.text);
+        }
+    }
+
+    #[test]
+    fn sentence_offsets_always_slice_back(s in "\\PC{0,120}") {
+        for sent in text::sentences(&s) {
+            prop_assert_eq!(&s[sent.start..sent.end], sent.text);
+        }
+    }
+
+    #[test]
+    fn sentences_cover_subset_of_text(s in "[a-zA-Z .!?\n]{0,120}") {
+        // Sentences are disjoint and ordered.
+        let sents = text::sentences(&s);
+        for pair in sents.windows(2) {
+            prop_assert!(pair[0].end <= pair[1].start);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Ensemble construction and diagnostics.
+//!
+//! The transductive selector is built on an ensemble `Π_E` of optimal
+//! programs (Section 6). This module exposes the ensemble itself —
+//! member outputs, per-page soft labels `p(O | I, E)` (Eq. 6), the
+//! majority-vote aggregate, and agreement statistics — so that callers
+//! can inspect *why* a program was selected, and so the Table 4 benches
+//! can report the variance the selector is reducing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use webqa_dsl::{PageTree, Program, QueryContext};
+use webqa_metrics::{tokenize_all, Token};
+
+/// An ensemble of optimal programs with their precomputed outputs on the
+/// unlabeled pages, grouped by behaviour.
+#[derive(Debug, Clone)]
+pub struct Ensemble {
+    /// Distinct behaviours: per-page sorted token sets with the sampled
+    /// weight (number of ensemble slots) and a representative program
+    /// index into the original program list.
+    groups: Vec<BehaviourGroup>,
+    /// Total sampled weight (= the requested ensemble size).
+    total_weight: u64,
+    /// Number of unlabeled pages.
+    pages: usize,
+}
+
+/// One behaviourally-distinct group of ensemble members.
+#[derive(Debug, Clone)]
+pub struct BehaviourGroup {
+    /// Per-page extracted token sets (sorted, deduplicated).
+    pub outputs: Vec<Vec<Token>>,
+    /// Number of sampled ensemble slots with this behaviour.
+    pub weight: u64,
+    /// Index of a representative program in the input list.
+    pub representative: usize,
+}
+
+impl Ensemble {
+    /// Draws `size` i.i.d. members from `programs` (Eq. 5), evaluates each
+    /// distinct member once on `unlabeled` (Eq. 8), and groups members
+    /// with identical outputs.
+    ///
+    /// Returns `None` when `programs` is empty.
+    pub fn sample(
+        ctx: &QueryContext,
+        programs: &[Program],
+        unlabeled: &[PageTree],
+        size: usize,
+        seed: u64,
+    ) -> Option<Ensemble> {
+        if programs.is_empty() || size == 0 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut multiplicity: Vec<u64> = vec![0; programs.len()];
+        for _ in 0..size {
+            multiplicity[rng.gen_range(0..programs.len())] += 1;
+        }
+        let mut groups: Vec<BehaviourGroup> = Vec::new();
+        for (i, &m) in multiplicity.iter().enumerate() {
+            if m == 0 {
+                continue;
+            }
+            let outputs: Vec<Vec<Token>> = unlabeled
+                .iter()
+                .map(|page| {
+                    let mut t = tokenize_all(&programs[i].eval(ctx, page));
+                    t.sort();
+                    t.dedup();
+                    t
+                })
+                .collect();
+            match groups.iter_mut().find(|g| g.outputs == outputs) {
+                Some(g) => g.weight += m,
+                None => groups.push(BehaviourGroup { outputs, weight: m, representative: i }),
+            }
+        }
+        Some(Ensemble { groups, total_weight: size as u64, pages: unlabeled.len() })
+    }
+
+    /// The behaviourally-distinct groups.
+    pub fn groups(&self) -> &[BehaviourGroup] {
+        &self.groups
+    }
+
+    /// Total sampled weight (the requested ensemble size).
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    /// The soft label for page `k`: each token with the fraction of
+    /// ensemble weight that extracted it (the marginal of `p(O | I, E)`,
+    /// Eq. 6). Tokens are in lexicographic order.
+    pub fn soft_label(&self, page: usize) -> Vec<(Token, f64)> {
+        assert!(page < self.pages, "page index out of range");
+        let mut weights: std::collections::BTreeMap<&Token, u64> = std::collections::BTreeMap::new();
+        for g in &self.groups {
+            for t in &g.outputs[page] {
+                *weights.entry(t).or_insert(0) += g.weight;
+            }
+        }
+        weights
+            .into_iter()
+            .map(|(t, w)| (t.clone(), w as f64 / self.total_weight as f64))
+            .collect()
+    }
+
+    /// The majority-vote aggregate output for page `k`: tokens extracted
+    /// by more than half the ensemble weight. This is the "use the
+    /// ensemble directly" alternative that Section 6 rejects for
+    /// interpretability and cost — exposed here for comparison.
+    pub fn majority_vote(&self, page: usize) -> Vec<Token> {
+        self.soft_label(page)
+            .into_iter()
+            .filter(|&(_, w)| w > 0.5)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Agreement rate: the weight fraction of the single most common
+    /// behaviour. 1.0 means every sampled member extracts exactly the
+    /// same thing on every page (the ensemble is degenerate and selection
+    /// is a no-op).
+    pub fn agreement(&self) -> f64 {
+        let max = self.groups.iter().map(|g| g.weight).max().unwrap_or(0);
+        max as f64 / self.total_weight as f64
+    }
+
+    /// Number of behaviourally distinct groups.
+    pub fn distinct_behaviours(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog(src: &str) -> Program {
+        src.parse().expect("valid program")
+    }
+
+    fn ctx() -> QueryContext {
+        QueryContext::new("", ["Students"])
+    }
+
+    fn pages() -> Vec<PageTree> {
+        vec![
+            PageTree::parse("<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>"),
+            PageTree::parse("<h1>B</h1><h2>Students</h2><ul><li>Bob Smith</li></ul>"),
+        ]
+    }
+
+    #[test]
+    fn empty_inputs_yield_no_ensemble() {
+        assert!(Ensemble::sample(&ctx(), &[], &pages(), 100, 0).is_none());
+        assert!(Ensemble::sample(&ctx(), &[prog("sat(root, true) -> content")], &pages(), 0, 0)
+            .is_none());
+    }
+
+    #[test]
+    fn weights_sum_to_ensemble_size() {
+        let programs = vec![
+            prog("sat(root, true) -> content"),
+            prog("singleton(root) -> content"),
+            prog("sat(descendants(root, leaf), true) -> content"),
+        ];
+        let e = Ensemble::sample(&ctx(), &programs, &pages(), 250, 11).unwrap();
+        assert_eq!(e.groups().iter().map(|g| g.weight).sum::<u64>(), 250);
+        assert_eq!(e.total_weight(), 250);
+    }
+
+    #[test]
+    fn behavioural_grouping_merges_identical_programs() {
+        // Two syntactically different programs with identical outputs on
+        // these pages must land in one group.
+        let programs = vec![
+            prog("sat(descendants(root, leaf), true) -> content"),
+            prog("sat(descendants(root, and(leaf, true)), true) -> content"),
+        ];
+        let e = Ensemble::sample(&ctx(), &programs, &pages(), 100, 3).unwrap();
+        assert_eq!(e.distinct_behaviours(), 1);
+        assert!((e.agreement() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soft_labels_are_weight_fractions() {
+        let programs = vec![
+            prog("sat(descendants(root, leaf), true) -> content"), // extracts the names
+            prog("sat(descendants(root, true), true) -> content"), // every node's text
+        ];
+        let e = Ensemble::sample(&ctx(), &programs, &pages(), 1000, 5).unwrap();
+        let soft = e.soft_label(0);
+        assert!(!soft.is_empty());
+        for (_, w) in &soft {
+            assert!(*w > 0.0 && *w <= 1.0);
+        }
+        // "jane" is extracted by both behaviours → weight 1.0.
+        let jane = soft.iter().find(|(t, _)| t.as_str() == "jane");
+        assert!(matches!(jane, Some((_, w)) if (w - 1.0).abs() < 1e-12), "{soft:?}");
+    }
+
+    #[test]
+    fn majority_vote_keeps_consensus_tokens() {
+        let programs = vec![
+            prog("sat(descendants(root, leaf), true) -> content"),
+            prog("sat(descendants(root, elem), true) -> content"),
+            prog("singleton(root) -> content"), // outlier: root text only
+        ];
+        let e = Ensemble::sample(&ctx(), &programs, &pages(), 999, 5).unwrap();
+        let vote = e.majority_vote(0);
+        assert!(vote.iter().any(|t| t.as_str() == "jane"), "{vote:?}");
+        assert!(vote.iter().any(|t| t.as_str() == "doe"), "{vote:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn soft_label_checks_page_index() {
+        let e = Ensemble::sample(&ctx(), &[prog("sat(root, true) -> content")], &pages(), 10, 0)
+            .unwrap();
+        let _ = e.soft_label(2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Loss functions for the transductive objective (Eq. 4 of the paper).
+//!
+//! The objective `L̃(π; E, I) = E_{p(O|I,E)}[L(π; I, O)]` is parametrized
+//! over a supervised loss `L`. The released system uses the Hamming
+//! distance between extracted word sets (Section 7); the paper notes the
+//! negative F₁ score as the other natural choice. Both are provided here,
+//! plus token-set Jaccard distance — all operate on per-page extracted
+//! token sets, so the selector can precompute outputs once per ensemble
+//! member and evaluate any loss from them.
+
+use webqa_metrics::{hamming_tokens, Counts, Token};
+
+/// A supervised loss between two per-page extracted token sets, summed
+/// over pages by the selector.
+///
+/// Implementations receive *sorted, deduplicated* token sets. Lower is
+/// better; the value need not be bounded but must be non-negative and
+/// zero on identical outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TokenLoss {
+    /// Hamming distance between word sets — the paper's implementation
+    /// choice (Section 7).
+    #[default]
+    Hamming,
+    /// `1 − F₁(predicted, soft label)`: the loss sketched in Section 6.
+    NegF1,
+    /// Jaccard distance `1 − |A∩B| / |A∪B|` (1 when both empty is defined
+    /// as 0: identical outputs have zero loss).
+    Jaccard,
+}
+
+/// Fixed-point scale used to accumulate fractional losses in integer
+/// arithmetic (keeps the selector's comparisons exact and deterministic).
+const SCALE: f64 = 1_000_000.0;
+
+impl TokenLoss {
+    /// The loss between one page's predicted tokens and the soft-label
+    /// tokens, in fixed-point millionths.
+    ///
+    /// Both inputs must be sorted and deduplicated.
+    pub fn page_loss(self, predicted: &[Token], label: &[Token]) -> u64 {
+        match self {
+            TokenLoss::Hamming => hamming_tokens(predicted, label) as u64 * SCALE as u64,
+            TokenLoss::NegF1 => {
+                let counts = Counts::from_bags(predicted, label);
+                ((1.0 - counts.f1()) * SCALE).round() as u64
+            }
+            TokenLoss::Jaccard => {
+                let inter = intersection_size(predicted, label);
+                let union = predicted.len() + label.len() - inter;
+                if union == 0 {
+                    0
+                } else {
+                    ((1.0 - inter as f64 / union as f64) * SCALE).round() as u64
+                }
+            }
+        }
+    }
+}
+
+/// Size of the intersection of two sorted deduplicated token slices.
+fn intersection_size(a: &[Token], b: &[Token]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webqa_metrics::tokenize;
+
+    fn toks(s: &str) -> Vec<Token> {
+        let mut t = tokenize(s);
+        t.sort();
+        t.dedup();
+        t
+    }
+
+    #[test]
+    fn identical_outputs_have_zero_loss() {
+        let a = toks("jane doe bob smith");
+        for loss in [TokenLoss::Hamming, TokenLoss::NegF1, TokenLoss::Jaccard] {
+            assert_eq!(loss.page_loss(&a, &a), 0, "{loss:?}");
+        }
+    }
+
+    #[test]
+    fn empty_vs_empty_is_zero() {
+        for loss in [TokenLoss::Hamming, TokenLoss::NegF1, TokenLoss::Jaccard] {
+            assert_eq!(loss.page_loss(&[], &[]), 0, "{loss:?}");
+        }
+    }
+
+    #[test]
+    fn hamming_counts_symmetric_difference() {
+        let a = toks("jane doe");
+        let b = toks("jane smith");
+        // symmetric difference {doe, smith} = 2
+        assert_eq!(TokenLoss::Hamming.page_loss(&a, &b), 2_000_000);
+        assert_eq!(
+            TokenLoss::Hamming.page_loss(&a, &b),
+            TokenLoss::Hamming.page_loss(&b, &a)
+        );
+    }
+
+    #[test]
+    fn neg_f1_is_one_minus_f1() {
+        let a = toks("jane doe");
+        let b = toks("jane smith");
+        // P = R = 1/2 → F1 = 1/2 → loss 0.5
+        assert_eq!(TokenLoss::NegF1.page_loss(&a, &b), 500_000);
+        // Disjoint outputs: F1 = 0 → loss 1.
+        assert_eq!(TokenLoss::NegF1.page_loss(&toks("x"), &toks("y")), 1_000_000);
+    }
+
+    #[test]
+    fn jaccard_distance() {
+        let a = toks("jane doe");
+        let b = toks("jane smith");
+        // |∩| = 1, |∪| = 3 → distance 2/3
+        assert_eq!(TokenLoss::Jaccard.page_loss(&a, &b), 666_667);
+    }
+
+    #[test]
+    fn losses_order_outliers_consistently() {
+        // A prediction close to the label loses less than a distant one,
+        // under every loss.
+        let label = toks("jane doe bob smith");
+        let near = toks("jane doe bob");
+        let far = toks("unrelated words entirely");
+        for loss in [TokenLoss::Hamming, TokenLoss::NegF1, TokenLoss::Jaccard] {
+            assert!(
+                loss.page_loss(&near, &label) < loss.page_loss(&far, &label),
+                "{loss:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn intersection_of_sorted_sets() {
+        assert_eq!(intersection_size(&toks("a b c"), &toks("b c d")), 2);
+        assert_eq!(intersection_size(&toks("a"), &[]), 0);
+    }
+}

@@ -1,0 +1,308 @@
+//! `SynthesizeBranch` (Figure 8 of the paper) and its `NoDecomp` ablation.
+
+use std::collections::HashMap;
+
+use webqa_dsl::{Extractor, Guard, Locator, QueryContext};
+use webqa_metrics::Counts;
+
+use crate::config::SynthConfig;
+use crate::example::Example;
+use crate::extractors::{synthesize_extractors, ExtractorSynthesis, F1_EPS};
+use crate::guards::{propagate_examples, GuardEnumerator};
+use crate::stats::SynthStats;
+
+/// All optimal branch programs for one (E⁺, E⁻) problem, represented as
+/// the paper's mapping from guards to extractor sets.
+///
+/// Extractors are grouped by their token-count vector (see
+/// [`crate::extractors::ExtractorSynthesis`]): every group achieves the
+/// branch-optimal F₁ on E⁺, but the counts — which determine the
+/// micro-averaged F₁ once branches are combined — can differ between
+/// groups. The top-level synthesis uses the per-group counts to keep only
+/// cross-branch combinations achieving the global optimum.
+#[derive(Debug, Clone)]
+pub(crate) struct BranchSynthesis {
+    /// `(ψ, E)` pairs: each guard with its optimal extractors, grouped by
+    /// token counts.
+    pub options: Vec<(Guard, Vec<(Counts, Vec<Extractor>)>)>,
+    /// The optimal F₁ on E⁺.
+    #[allow(dead_code)] // kept for diagnostics and tests
+    pub f1: f64,
+    /// Token counts of a representative optimal branch (used to micro-
+    /// average across partition blocks).
+    pub counts: Counts,
+}
+
+impl BranchSynthesis {
+    /// Number of distinct `(guard, extractor)` branch programs.
+    #[allow(dead_code)] // used by tests and diagnostics
+    pub fn program_count(&self) -> usize {
+        self.options
+            .iter()
+            .map(|(_, gs)| gs.iter().map(|(_, es)| es.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// The distinct token-count vectors achievable by this branch's
+    /// optimal programs.
+    pub fn distinct_counts(&self) -> Vec<Counts> {
+        let mut out: Vec<Counts> = Vec::new();
+        for (_, gs) in &self.options {
+            for (c, _) in gs {
+                if !out.contains(c) {
+                    out.push(*c);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Figure 8: synthesizes all optimal branch programs, decomposing guard
+/// from extractor synthesis (or jointly, for the `NoDecomp` ablation).
+///
+/// Returns `None` when no guard in the bounded space separates E⁺ from E⁻.
+pub(crate) fn synthesize_branch(
+    cfg: &SynthConfig,
+    ctx: &QueryContext,
+    pos: &[Example],
+    neg: &[Example],
+    stats: &mut SynthStats,
+) -> Option<BranchSynthesis> {
+    stats.branch_calls += 1;
+    if cfg.decompose {
+        synthesize_branch_decomposed(cfg, ctx, pos, neg, stats)
+    } else {
+        synthesize_branch_joint(cfg, ctx, pos, neg, stats)
+    }
+}
+
+fn synthesize_branch_decomposed(
+    cfg: &SynthConfig,
+    ctx: &QueryContext,
+    pos: &[Example],
+    neg: &[Example],
+    stats: &mut SynthStats,
+) -> Option<BranchSynthesis> {
+    let mut enumerator = GuardEnumerator::new(cfg, ctx, pos, neg);
+    // The NoLazy ablation: drain the enumerator up-front with a bound of
+    // 0, so the rising optimum never strengthens locator pruning.
+    let mut eager: Option<std::collections::VecDeque<Guard>> = if cfg.lazy_guards {
+        None
+    } else {
+        let mut q = std::collections::VecDeque::new();
+        while let Some(g) = enumerator.next(0.0, stats) {
+            q.push_back(g);
+        }
+        Some(q)
+    };
+    let mut opt = 0.0f64;
+    let mut options: Vec<(Guard, Vec<(Counts, Vec<Extractor>)>)> = Vec::new();
+    let mut counts = Counts::default();
+    // Footnote 6: branches whose guards share a section locator share the
+    // optimal-extractor computation. `None` records a locator whose UB was
+    // below `opt` (Figure 8 line 6) — sound to skip forever since `opt`
+    // only rises.
+    let mut memo: HashMap<Locator, Option<ExtractorSynthesis>> = HashMap::new();
+
+    while let Some(guard) = match eager.as_mut() {
+        Some(q) => q.pop_front(),
+        None => enumerator.next(opt, stats),
+    } {
+        let locator = guard.locator().clone();
+        let synth = match memo.get(&locator) {
+            Some(s) => {
+                stats.memo_hits += 1;
+                s.clone()
+            }
+            None => {
+                let nodes = propagate_examples(ctx, &locator, pos);
+                // Figure 8 line 6: UB on the guard's locator.
+                let s = if cfg.prune {
+                    let ub: Counts =
+                        pos.iter().zip(&nodes).map(|(ex, ns)| ex.ceiling_counts(ns)).sum();
+                    if ub.upper_bound() + F1_EPS < opt {
+                        None
+                    } else {
+                        Some(synthesize_extractors(cfg, ctx, pos, &nodes, 0.0, stats))
+                    }
+                } else {
+                    Some(synthesize_extractors(cfg, ctx, pos, &nodes, 0.0, stats))
+                };
+                memo.insert(locator.clone(), s.clone());
+                s
+            }
+        };
+        let Some(synth) = synth else { continue };
+        if synth.is_empty() {
+            continue;
+        }
+        if synth.f1 > opt + F1_EPS {
+            opt = synth.f1;
+            counts = synth.counts;
+            options = vec![(guard, synth.groups)];
+        } else if (synth.f1 - opt).abs() <= F1_EPS {
+            if options.is_empty() {
+                counts = synth.counts;
+            }
+            options.push((guard, synth.groups));
+        }
+    }
+    if options.is_empty() {
+        None
+    } else {
+        Some(BranchSynthesis { options, f1: opt, counts })
+    }
+}
+
+/// The `WebQA-NoDecomp` ablation (Section 8.2): guards and extractors are
+/// enumerated *jointly* — no lazy `opt` feedback into the guard
+/// enumerator and no extractor sharing across guards with the same
+/// locator. The result set is identical; only the work differs.
+fn synthesize_branch_joint(
+    cfg: &SynthConfig,
+    ctx: &QueryContext,
+    pos: &[Example],
+    neg: &[Example],
+    stats: &mut SynthStats,
+) -> Option<BranchSynthesis> {
+    // Eagerly enumerate every classifying guard (opt = 0: no feedback).
+    let mut enumerator = GuardEnumerator::new(cfg, ctx, pos, neg);
+    let mut guards = Vec::new();
+    while let Some(g) = enumerator.next(0.0, stats) {
+        guards.push(g);
+    }
+    let mut opt = 0.0f64;
+    let mut options: Vec<(Guard, Vec<(Counts, Vec<Extractor>)>)> = Vec::new();
+    let mut counts = Counts::default();
+    for guard in guards {
+        let nodes = propagate_examples(ctx, guard.locator(), pos);
+        let synth = synthesize_extractors(cfg, ctx, pos, &nodes, 0.0, stats);
+        if synth.is_empty() {
+            continue;
+        }
+        if synth.f1 > opt + F1_EPS {
+            opt = synth.f1;
+            counts = synth.counts;
+            options = vec![(guard, synth.groups)];
+        } else if (synth.f1 - opt).abs() <= F1_EPS {
+            options.push((guard, synth.groups));
+        }
+    }
+    if options.is_empty() {
+        None
+    } else {
+        Some(BranchSynthesis { options, f1: opt, counts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webqa_dsl::PageTree;
+
+    fn example(html: &str, gold: &[&str]) -> Example {
+        Example::new(PageTree::parse(html), gold.iter().map(|s| s.to_string()).collect())
+    }
+
+    fn students_examples() -> Vec<Example> {
+        vec![
+            example(
+                "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li><li>Bob Smith</li></ul>\
+                 <h2>Contact</h2><p>a@x.edu</p>",
+                &["Jane Doe", "Bob Smith"],
+            ),
+            example(
+                "<h1>B</h1><h2>Publications</h2><p>Some paper. PLDI 2020.</p>\
+                 <h2>PhD Students</h2><ul><li>Mary Anderson</li></ul>",
+                &["Mary Anderson"],
+            ),
+        ]
+    }
+
+    fn ctx() -> QueryContext {
+        QueryContext::new("Who are the current PhD students?", ["Students", "PhD"])
+    }
+
+    #[test]
+    fn synthesizes_perfect_branch_for_students() {
+        let cfg = SynthConfig::fast();
+        let c = ctx();
+        let pos = students_examples();
+        let mut stats = SynthStats::default();
+        let b = synthesize_branch(&cfg, &c, &pos, &[], &mut stats).expect("branch");
+        assert!(b.f1 > 0.99, "expected F1≈1, got {}", b.f1);
+        assert!(b.program_count() >= 1);
+        // Sanity: a returned branch program really achieves that F1.
+        let (g, gs) = &b.options[0];
+        let prog = webqa_dsl::Program::single(g.clone(), gs[0].1[0].clone());
+        let counts = crate::example::program_counts(&c, &pos, &prog);
+        assert!((counts.f1() - b.f1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joint_and_decomposed_agree_on_optimum() {
+        let c = ctx();
+        let pos = students_examples();
+        let mut s1 = SynthStats::default();
+        let mut s2 = SynthStats::default();
+        let dec = synthesize_branch(&SynthConfig::fast(), &c, &pos, &[], &mut s1).unwrap();
+        let joint =
+            synthesize_branch(&SynthConfig::fast().without_decomposition(), &c, &pos, &[], &mut s2)
+                .unwrap();
+        assert!((dec.f1 - joint.f1).abs() < 1e-9);
+        // Decomposition shares extractor synthesis across guards: less work.
+        assert!(s1.extractors_enumerated <= s2.extractors_enumerated);
+        assert!(s1.memo_hits > 0);
+    }
+
+    #[test]
+    fn lazy_and_eager_guard_enumeration_agree() {
+        let c = ctx();
+        let pos = students_examples();
+        let mut s_lazy = SynthStats::default();
+        let mut s_eager = SynthStats::default();
+        let lazy = synthesize_branch(&SynthConfig::fast(), &c, &pos, &[], &mut s_lazy).unwrap();
+        let eager = synthesize_branch(
+            &SynthConfig::fast().without_lazy_guards(),
+            &c,
+            &pos,
+            &[],
+            &mut s_eager,
+        )
+        .unwrap();
+        assert!((lazy.f1 - eager.f1).abs() < 1e-9, "optimum must not depend on laziness");
+        assert!(
+            s_lazy.work() <= s_eager.work(),
+            "lazy enumeration must not do more work: {} vs {}",
+            s_lazy.work(),
+            s_eager.work()
+        );
+    }
+
+    #[test]
+    fn unseparable_examples_give_no_branch() {
+        let cfg = SynthConfig::fast();
+        let c = ctx();
+        let page = "<h1>R</h1><p>x</p>";
+        let pos = vec![example(page, &["x"])];
+        let neg = vec![example(page, &[])];
+        let mut stats = SynthStats::default();
+        assert!(synthesize_branch(&cfg, &c, &pos, &neg, &mut stats).is_none());
+    }
+
+    #[test]
+    fn branch_with_negatives_separates() {
+        let cfg = SynthConfig::fast();
+        let c = ctx();
+        let pos = students_examples();
+        let neg = vec![example("<h1>C</h1><h2>Service</h2><p>PLDI '20 (PC)</p>", &[])];
+        let mut stats = SynthStats::default();
+        let b = synthesize_branch(&cfg, &c, &pos, &neg, &mut stats).expect("branch");
+        for (g, _) in &b.options {
+            for n in &neg {
+                assert!(!g.eval(&c, &n.page).0, "guard {g} must reject the negative page");
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Training examples and F₁ scoring of DSL terms against them.
+//!
+//! An [`Example`] eagerly precomputes the gold token bag and the subtree
+//! token bag of every page node, so that the `UB(ν, E)` ceiling of Eq. 3
+//! is a cheap multiset intersection instead of repeated tokenization —
+//! guard enumeration queries it thousands of times per task.
+
+use std::collections::HashMap;
+
+use webqa_dsl::{Extractor, Locator, PageNodeId, PageTree, Program, QueryContext};
+use webqa_metrics::{tokenize, tokenize_all, Counts, Token};
+
+/// One labeled webpage: the parsed page plus the gold extraction strings.
+#[derive(Debug, Clone)]
+pub struct Example {
+    /// The page tree.
+    pub page: PageTree,
+    /// Gold extraction strings.
+    pub gold: Vec<String>,
+    gold_tokens: Vec<Token>,
+    gold_counts: HashMap<Token, usize>,
+    /// Subtree token bag per node (indexed by `PageNodeId`).
+    subtree_tokens: Vec<Vec<Token>>,
+}
+
+impl Example {
+    /// Creates an example, pre-tokenizing the gold labels and every node's
+    /// subtree text.
+    pub fn new(page: PageTree, gold: Vec<String>) -> Self {
+        let gold_tokens = tokenize_all(&gold);
+        let mut gold_counts: HashMap<Token, usize> = HashMap::new();
+        for t in &gold_tokens {
+            *gold_counts.entry(t.clone()).or_insert(0) += 1;
+        }
+        let subtree_tokens = page.iter().map(|n| tokenize(&page.subtree_text(n))).collect();
+        Example { page, gold, gold_tokens, gold_counts, subtree_tokens }
+    }
+
+    /// The gold token bag.
+    pub fn gold_tokens(&self) -> &[Token] {
+        &self.gold_tokens
+    }
+
+    /// Token-overlap counts of a predicted string set against this
+    /// example's gold.
+    pub fn counts_for(&self, predicted: &[String]) -> Counts {
+        Counts::from_bags(&tokenize_all(predicted), &self.gold_tokens)
+    }
+
+    /// Counts with *maximal possible recall* for a set of located nodes:
+    /// every token in the subtree text of the (covering) nodes is treated
+    /// as predicted. This is the `Recall(ν, E)` of Eq. 3 — sound for any
+    /// extractor running below the locator because extractors only ever
+    /// see located-node text.
+    pub fn ceiling_counts(&self, nodes: &[PageNodeId]) -> Counts {
+        let cover = covering_set(&self.page, nodes);
+        let mut remaining = self.gold_counts.clone();
+        let mut matched = 0usize;
+        let mut predicted = 0usize;
+        for n in cover {
+            for t in &self.subtree_tokens[n.index()] {
+                predicted += 1;
+                if let Some(c) = remaining.get_mut(t) {
+                    if *c > 0 {
+                        *c -= 1;
+                        matched += 1;
+                    }
+                }
+            }
+        }
+        Counts { matched, predicted, gold: self.gold_tokens.len() }
+    }
+
+    /// [`Example::ceiling_counts`] for the nodes a locator selects.
+    pub fn locator_ceiling(&self, ctx: &QueryContext, locator: &Locator) -> Counts {
+        self.ceiling_counts(&locator.eval(ctx, &self.page))
+    }
+}
+
+/// Removes nodes that are descendants of other nodes in the set, so
+/// subtree texts are not double counted.
+fn covering_set(page: &PageTree, nodes: &[PageNodeId]) -> Vec<PageNodeId> {
+    let set: std::collections::HashSet<PageNodeId> = nodes.iter().copied().collect();
+    nodes
+        .iter()
+        .copied()
+        .filter(|&n| {
+            let mut cur = page.node(n).parent;
+            while let Some(p) = cur {
+                if set.contains(&p) {
+                    return false;
+                }
+                cur = page.node(p).parent;
+            }
+            true
+        })
+        .collect()
+}
+
+/// Micro-averaged F₁ of an extractor over propagated examples (the
+/// `F1(e, E)` of Figure 9). `outputs[i]` is the extractor output on
+/// example `i`.
+pub fn f1_of_outputs(examples: &[Example], outputs: &[Vec<String>]) -> f64 {
+    counts_of_outputs(examples, outputs).f1()
+}
+
+/// Summed token-overlap counts of per-example outputs.
+pub fn counts_of_outputs(examples: &[Example], outputs: &[Vec<String>]) -> Counts {
+    examples
+        .iter()
+        .zip(outputs)
+        .map(|(ex, out)| ex.counts_for(out))
+        .sum()
+}
+
+/// Evaluates a full program on a set of examples (micro-averaged counts).
+pub fn program_counts(ctx: &QueryContext, examples: &[Example], program: &Program) -> Counts {
+    examples
+        .iter()
+        .map(|ex| ex.counts_for(&program.eval(ctx, &ex.page)))
+        .sum()
+}
+
+/// Evaluates an extractor on the nodes located per example.
+pub fn extractor_outputs(
+    ctx: &QueryContext,
+    examples: &[Example],
+    nodes_per_example: &[Vec<PageNodeId>],
+    extractor: &Extractor,
+) -> Vec<Vec<String>> {
+    examples
+        .iter()
+        .zip(nodes_per_example)
+        .map(|(ex, nodes)| extractor.eval(ctx, &ex.page, nodes))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webqa_dsl::NodeFilter;
+
+    fn page() -> PageTree {
+        PageTree::parse(
+            "<h1>R</h1><h2>Students</h2><ul><li>Jane Doe</li><li>Bob Smith</li></ul>\
+             <h2>Other</h2><p>noise text</p>",
+        )
+    }
+
+    fn ctx() -> QueryContext {
+        QueryContext::new("", ["Students"])
+    }
+
+    #[test]
+    fn counts_against_gold() {
+        let ex = Example::new(page(), vec!["Jane Doe".into(), "Bob Smith".into()]);
+        let c = ex.counts_for(&["Jane Doe".to_string()]);
+        assert_eq!(c.matched, 2);
+        assert_eq!(c.gold, 4);
+    }
+
+    #[test]
+    fn locator_ceiling_root_covers_everything() {
+        let ex = Example::new(page(), vec!["Jane Doe".into()]);
+        let c = ex.locator_ceiling(&ctx(), &Locator::Root);
+        // All gold tokens are on the page, so recall ceiling is 1.
+        assert_eq!(c.recall(), 1.0);
+    }
+
+    #[test]
+    fn locator_ceiling_narrow_section() {
+        let ex = Example::new(page(), vec!["Jane Doe".into(), "Bob Smith".into()]);
+        // Locate only the "Other" section: none of the gold is under it.
+        let other = Locator::Children(
+            Box::new(Locator::Root),
+            NodeFilter::MatchText {
+                pred: webqa_dsl::NlpPred::MatchKeyword(webqa_dsl::Threshold::new(0.9)),
+                subtree: false,
+            },
+        );
+        let ctx = QueryContext::new("", ["Other"]);
+        let c = ex.locator_ceiling(&ctx, &other);
+        assert_eq!(c.recall(), 0.0);
+    }
+
+    #[test]
+    fn covering_set_drops_nested_nodes() {
+        let p = page();
+        let root = p.root();
+        let all: Vec<PageNodeId> = std::iter::once(root).chain(p.descendants(root)).collect();
+        let cover = covering_set(&p, &all);
+        assert_eq!(cover, vec![root]);
+    }
+
+    #[test]
+    fn ceiling_does_not_double_count_overlapping_subtrees() {
+        let ex = Example::new(page(), vec!["Jane Doe".into()]);
+        let everything = Locator::Descendants(Box::new(Locator::Root), NodeFilter::True);
+        let c = ex.locator_ceiling(&ctx(), &everything);
+        // "jane" appears once on the page; predicted count must not blow up
+        // beyond the page's own token count even though every node was
+        // located.
+        let page_tokens = tokenize(&ex.page.subtree_text(ex.page.root())).len();
+        assert!(c.predicted <= page_tokens);
+    }
+
+    #[test]
+    fn ceiling_counts_matches_slow_path() {
+        let ex = Example::new(page(), vec!["Jane Doe".into(), "noise".into()]);
+        let ctx = ctx();
+        for loc in [
+            Locator::Root,
+            Locator::leaves(Locator::Root),
+            Locator::Children(Box::new(Locator::Root), NodeFilter::True),
+        ] {
+            let nodes = loc.eval(&ctx, &ex.page);
+            let fast = ex.ceiling_counts(&nodes);
+            // Slow path: re-tokenize subtree text of the covering set.
+            let cover = covering_set(&ex.page, &nodes);
+            let mut toks = Vec::new();
+            for n in cover {
+                toks.extend(tokenize(&ex.page.subtree_text(n)));
+            }
+            let slow = Counts::from_bags(&toks, ex.gold_tokens());
+            assert_eq!(fast, slow, "locator {loc}");
+        }
+    }
+
+    #[test]
+    fn f1_of_outputs_micro_averages() {
+        let ex1 = Example::new(page(), vec!["Jane Doe".into()]);
+        let ex2 = Example::new(page(), vec!["Bob Smith".into()]);
+        let outs = vec![vec!["Jane Doe".to_string()], vec!["wrong".to_string()]];
+        let f1 = f1_of_outputs(&[ex1, ex2], &outs);
+        assert!(f1 > 0.0 && f1 < 1.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! `SynthesizeExtractors` (Figure 9 of the paper): bottom-up enumeration
+//! of extractors with F₁-upper-bound pruning.
+//!
+//! The enumeration is *incremental*: each worklist entry carries the
+//! extractor's outputs on every example, and applying a production
+//! transforms those outputs directly instead of re-evaluating the whole
+//! extractor chain. This is semantically identical (extractor productions
+//! are pointwise string transformers) and is what makes the exhaustive
+//! search cheap enough to run hundreds of times per task.
+
+use std::collections::{HashSet, VecDeque};
+
+use webqa_dsl::{Extractor, PageNodeId, QueryContext};
+use webqa_metrics::Counts;
+
+use crate::config::SynthConfig;
+use crate::example::{counts_of_outputs, Example};
+use crate::pool::extend_extractor;
+use crate::stats::SynthStats;
+
+/// Result of extractor synthesis: all extractors achieving the optimal F₁
+/// (that is ≥ the incoming lower bound), plus that score and its counts.
+///
+/// Extractors are *grouped by their token-count vector*: two extractors can
+/// have the same F₁ on a branch's examples but different `(matched,
+/// predicted, gold)` counts, and those counts — not the per-branch F₁ —
+/// determine the micro-averaged F₁ when branches are combined into a
+/// multi-branch program. Keeping the counts per group lets the top-level
+/// synthesis reject cross-branch combinations that would not achieve the
+/// reported optimum.
+#[derive(Debug, Clone)]
+pub(crate) struct ExtractorSynthesis {
+    /// Optimal extractors grouped by their counts (empty when nothing
+    /// beats the lower bound). Every group's `counts.f1()` equals `f1`.
+    pub groups: Vec<(Counts, Vec<Extractor>)>,
+    /// The optimal F₁ achieved.
+    pub f1: f64,
+    /// Token counts of a representative optimal extractor (used to combine
+    /// branch scores into a partition score).
+    pub counts: Counts,
+}
+
+impl ExtractorSynthesis {
+    /// True when no extractor met the lower bound.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// All optimal extractors, flattened across count groups.
+    #[cfg(test)]
+    pub fn extractors(&self) -> Vec<Extractor> {
+        self.groups.iter().flat_map(|(_, es)| es.iter().cloned()).collect()
+    }
+}
+
+/// Inserts an extractor into the count-grouped optimal set.
+fn push_group(groups: &mut Vec<(Counts, Vec<Extractor>)>, counts: Counts, e: Extractor) {
+    match groups.iter_mut().find(|(c, _)| *c == counts) {
+        Some((_, es)) => es.push(e),
+        None => groups.push((counts, vec![e])),
+    }
+}
+
+/// Floating-point slack for F₁ equality (scores are ratios of small
+/// integers; 1e-9 distinguishes all genuinely different values).
+pub(crate) const F1_EPS: f64 = 1e-9;
+
+/// Figure 9: returns all extractors (up to the configured depth) whose F₁
+/// on the propagated examples is maximal and at least `opt`.
+pub(crate) fn synthesize_extractors(
+    cfg: &SynthConfig,
+    ctx: &QueryContext,
+    examples: &[Example],
+    nodes: &[Vec<PageNodeId>],
+    opt: f64,
+    stats: &mut SynthStats,
+) -> ExtractorSynthesis {
+    debug_assert_eq!(examples.len(), nodes.len());
+    let mut best: Vec<(Counts, Vec<Extractor>)> = Vec::new();
+    let mut best_f1 = opt;
+    let mut best_counts = Counts::default();
+
+    // Seed: ExtractContent(x) and its outputs.
+    let seed_outputs: Vec<Vec<String>> = examples
+        .iter()
+        .zip(nodes)
+        .map(|(ex, ns)| Extractor::Content.eval(ctx, &ex.page, ns))
+        .collect();
+
+    let mut worklist: VecDeque<(Extractor, Vec<Vec<String>>)> = VecDeque::new();
+    let seed_sig = outputs_signature(&seed_outputs);
+    worklist.push_back((Extractor::Content, seed_outputs));
+    let mut seen: HashSet<Extractor> = HashSet::new();
+    seen.insert(Extractor::Content);
+    // Behavioral-equivalence pruning: a child whose outputs on the training
+    // examples equal an already-expanded extractor's outputs is scored (it
+    // may be one of the tied optimal programs) but not *expanded* — every
+    // extension it could produce has an output-identical twin reachable
+    // from the representative, so no distinct-behavior optimum is lost.
+    let mut seen_outputs: HashSet<u64> = HashSet::new();
+    seen_outputs.insert(seed_sig);
+
+    while let Some((e, outputs)) = worklist.pop_front() {
+        stats.extractors_enumerated += 1;
+        // Score with the *program-level* set semantics (Figure 6: programs
+        // return Set<String>), while the raw multiset outputs keep flowing
+        // through productions.
+        let counts = counts_of_outputs(examples, &dedup_outputs(&outputs));
+        let s = counts.f1();
+        if s > best_f1 + F1_EPS {
+            best = vec![(counts, vec![e.clone()])];
+            best_f1 = s;
+            best_counts = counts;
+        } else if (s - best_f1).abs() <= F1_EPS && s > 0.0 {
+            if best.is_empty() {
+                best_counts = counts;
+            }
+            push_group(&mut best, counts, e.clone());
+        }
+        for child in extend_extractor(cfg, ctx, &e) {
+            if !seen.insert(child.clone()) {
+                continue;
+            }
+            let child_outputs = apply_step(ctx, &child, &outputs);
+            // UB(e′, E) over the *raw* multiset (Eq. 3): raw recall
+            // dominates the set-semantics recall of every extension, so
+            // pruning on it is sound for the deduplicated score too.
+            let child_raw_counts = counts_of_outputs(examples, &child_outputs);
+            if cfg.prune && child_raw_counts.upper_bound() + F1_EPS < best_f1 {
+                stats.extractors_pruned += 1;
+                continue;
+            }
+            if !seen_outputs.insert(outputs_signature(&child_outputs)) {
+                // Score the behavioral duplicate, but do not expand it.
+                let dup_counts = counts_of_outputs(examples, &dedup_outputs(&child_outputs));
+                let s = dup_counts.f1();
+                stats.extractors_enumerated += 1;
+                if (s - best_f1).abs() <= F1_EPS && s > 0.0 {
+                    push_group(&mut best, dup_counts, child);
+                }
+                continue;
+            }
+            worklist.push_back((child, child_outputs));
+        }
+    }
+
+    ExtractorSynthesis { groups: best, f1: best_f1, counts: best_counts }
+}
+
+/// Order-preserving per-example deduplication — the set semantics a full
+/// program applies to its final output (Figure 6).
+fn dedup_outputs(outputs: &[Vec<String>]) -> Vec<Vec<String>> {
+    outputs
+        .iter()
+        .map(|strings| {
+            let mut seen = HashSet::new();
+            strings.iter().filter(|s| seen.insert((*s).clone())).cloned().collect()
+        })
+        .collect()
+}
+
+/// Order-sensitive hash of per-example outputs, used for behavioral
+/// deduplication.
+fn outputs_signature(outputs: &[Vec<String>]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    outputs.hash(&mut h);
+    h.finish()
+}
+
+/// Applies the *top* production of `child` to its parent's outputs.
+///
+/// # Panics
+///
+/// Panics if `child` is `Content` (the seed has no parent).
+fn apply_step(ctx: &QueryContext, child: &Extractor, parent_outputs: &[Vec<String>]) -> Vec<Vec<String>> {
+    parent_outputs
+        .iter()
+        .map(|strings| match child {
+            Extractor::Filter(_, pred) => {
+                strings.iter().filter(|s| pred.eval(ctx, s)).cloned().collect()
+            }
+            Extractor::Substring(_, pred, k) => strings
+                .iter()
+                .flat_map(|s| pred.extract(ctx, s).into_iter().take(*k))
+                .collect(),
+            Extractor::Split(_, c) => strings
+                .iter()
+                .flat_map(|s| {
+                    s.split(*c)
+                        .map(|p| p.trim().to_string())
+                        .filter(|p| !p.is_empty())
+                        .collect::<Vec<_>>()
+                })
+                .collect(),
+            Extractor::Content => unreachable!("Content is the enumeration seed, never a child"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webqa_dsl::{Locator, PageTree};
+
+    fn setup() -> (QueryContext, Vec<Example>, Vec<Vec<PageNodeId>>) {
+        let ctx = QueryContext::new(
+            "Which program committees has this researcher served on?",
+            ["PC", "Program Committee"],
+        );
+        let page = PageTree::parse(
+            "<h1>R</h1><h2>Service</h2>\
+             <ul><li>PLDI '21 (PC), CAV '20 (PC)</li><li>reading group, hiking club</li></ul>",
+        );
+        let nodes = Locator::leaves(Locator::Root).eval(&ctx, &page);
+        let ex = Example::new(page, vec!["PLDI '21 (PC)".into(), "CAV '20 (PC)".into()]);
+        (ctx, vec![ex], vec![nodes])
+    }
+
+    #[test]
+    fn finds_split_filter_extractor() {
+        let (ctx, examples, nodes) = setup();
+        let cfg = SynthConfig::fast();
+        let mut stats = SynthStats::default();
+        let res = synthesize_extractors(&cfg, &ctx, &examples, &nodes, 0.0, &mut stats);
+        assert!(res.f1 > 0.99, "expected perfect extraction, got {}", res.f1);
+        // The optimal set must contain a split-then-filter program.
+        let extractors = res.extractors();
+        assert!(
+            extractors.iter().any(|e| e.to_string().contains("filter(split(content, ',')")),
+            "optimal set: {:?}",
+            extractors.iter().map(|e| e.to_string()).collect::<Vec<_>>()
+        );
+        assert!(stats.extractors_enumerated > 1);
+    }
+
+    #[test]
+    fn pruning_reduces_enumerated_terms_without_changing_result() {
+        let (ctx, examples, nodes) = setup();
+        let mut s_on = SynthStats::default();
+        let mut s_off = SynthStats::default();
+        let on = synthesize_extractors(
+            &SynthConfig::fast(),
+            &ctx,
+            &examples,
+            &nodes,
+            0.0,
+            &mut s_on,
+        );
+        let off = synthesize_extractors(
+            &SynthConfig::fast().without_pruning(),
+            &ctx,
+            &examples,
+            &nodes,
+            0.0,
+            &mut s_off,
+        );
+        assert!((on.f1 - off.f1).abs() < 1e-9);
+        let mut a = on.extractors();
+        let mut b = off.extractors();
+        a.sort_by_key(|e| e.to_string());
+        b.sort_by_key(|e| e.to_string());
+        assert_eq!(a, b, "pruning must not change the optimal set");
+        assert!(
+            s_on.extractors_enumerated <= s_off.extractors_enumerated,
+            "pruning should reduce work"
+        );
+        assert!(s_on.extractors_pruned > 0);
+    }
+
+    #[test]
+    fn respects_lower_bound() {
+        let (ctx, examples, nodes) = setup();
+        let mut stats = SynthStats::default();
+        // A lower bound of 1.1 is unbeatable: nothing is returned.
+        let res =
+            synthesize_extractors(&SynthConfig::fast(), &ctx, &examples, &nodes, 1.1, &mut stats);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn incremental_outputs_match_direct_evaluation() {
+        let (ctx, examples, nodes) = setup();
+        let cfg = SynthConfig::fast();
+        let mut stats = SynthStats::default();
+        let res = synthesize_extractors(&cfg, &ctx, &examples, &nodes, 0.0, &mut stats);
+        for e in res.extractors().iter().take(10) {
+            let direct: Vec<Vec<String>> = examples
+                .iter()
+                .zip(&nodes)
+                .map(|(ex, ns)| e.eval(&ctx, &ex.page, ns))
+                .collect();
+            let c = counts_of_outputs(&examples, &dedup_outputs(&direct));
+            assert!(
+                (c.f1() - res.f1).abs() < 1e-9,
+                "direct eval of {e} disagrees with incremental score"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_examples_degenerate() {
+        let ctx = QueryContext::new("q?", ["k"]);
+        let mut stats = SynthStats::default();
+        let res = synthesize_extractors(&SynthConfig::fast(), &ctx, &[], &[], 0.0, &mut stats);
+        // No examples: Content scores F1=1.0 on the empty set (vacuous).
+        assert!(res.f1 >= 0.0);
+    }
+}

@@ -1,0 +1,387 @@
+//! `GetNextGuard` (Figure 10 of the paper): lazy bottom-up enumeration of
+//! guards that classify the positive from the negative examples.
+//!
+//! Two implementation notes beyond the paper's pseudocode:
+//!
+//! * **Laziness**: the caller's optimal F₁ (`opt`) rises while guards are
+//!   consumed, and every `next(opt)` call applies the *current* bound when
+//!   deciding which locator extensions stay in the worklist — exactly the
+//!   interplay the paper credits for the pruning power of the combined
+//!   search.
+//! * **Incremental locator evaluation**: each worklist entry carries the
+//!   node sets its locator selects on every example, so extending a
+//!   locator (`GetChildren`/`GetDescendants`) filters those sets directly
+//!   instead of re-walking the tree from the root, and guard
+//!   classification reads the precomputed sets. Semantically identical to
+//!   `Locator::eval`, asymptotically much cheaper.
+
+use std::collections::VecDeque;
+
+use webqa_dsl::{Guard, Locator, NlpPred, NodeFilter, PageNodeId, PageTree, QueryContext};
+
+use crate::config::SynthConfig;
+use crate::example::Example;
+use crate::extractors::F1_EPS;
+use crate::pool::{gen_guards, node_filters};
+use crate::stats::SynthStats;
+
+/// A locator with its evaluation on every positive and negative example.
+struct Entry {
+    locator: Locator,
+    pos_nodes: Vec<Vec<PageNodeId>>,
+    neg_nodes: Vec<Vec<PageNodeId>>,
+}
+
+/// Lazy guard enumerator for one (E⁺, E⁻) classification problem.
+pub(crate) struct GuardEnumerator<'a> {
+    cfg: &'a SynthConfig,
+    ctx: &'a QueryContext,
+    pos: &'a [Example],
+    neg: &'a [Example],
+    /// The node-filter pool, with each filter's satisfaction mask
+    /// precomputed per example node (`pos_masks[f][example][node]`). The
+    /// same (filter, node) pair is queried by *every* locator extension;
+    /// computing it once turns expansion into pure set filtering.
+    filters: Vec<NodeFilter>,
+    pos_masks: Vec<Vec<Vec<bool>>>,
+    neg_masks: Vec<Vec<Vec<bool>>>,
+    worklist: VecDeque<Entry>,
+    /// Guards generated from the current entry, not yet screened.
+    pending: VecDeque<Guard>,
+    current: Option<Entry>,
+    yielded: usize,
+}
+
+impl<'a> GuardEnumerator<'a> {
+    pub(crate) fn new(
+        cfg: &'a SynthConfig,
+        ctx: &'a QueryContext,
+        pos: &'a [Example],
+        neg: &'a [Example],
+    ) -> Self {
+        let mut worklist = VecDeque::new();
+        worklist.push_back(Entry {
+            locator: Locator::Root,
+            pos_nodes: pos.iter().map(|ex| vec![ex.page.root()]).collect(),
+            neg_nodes: neg.iter().map(|ex| vec![ex.page.root()]).collect(),
+        });
+        let filters = node_filters(cfg, ctx);
+        let masks = |examples: &[Example]| -> Vec<Vec<Vec<bool>>> {
+            filters
+                .iter()
+                .map(|f| {
+                    examples
+                        .iter()
+                        .map(|ex| ex.page.iter().map(|n| f.eval(ctx, &ex.page, n)).collect())
+                        .collect()
+                })
+                .collect()
+        };
+        let pos_masks = masks(pos);
+        let neg_masks = masks(neg);
+        GuardEnumerator {
+            cfg,
+            ctx,
+            pos,
+            neg,
+            filters,
+            pos_masks,
+            neg_masks,
+            worklist,
+            pending: VecDeque::new(),
+            current: None,
+            yielded: 0,
+        }
+    }
+
+    /// Yields the next guard that is true on every positive example and
+    /// false on every negative one, or `None` when the bounded search
+    /// space is exhausted. `opt` is the caller's current best F₁, used to
+    /// prune locator extensions (Figure 10, line 8).
+    pub(crate) fn next(&mut self, opt: f64, stats: &mut SynthStats) -> Option<Guard> {
+        if self.yielded >= self.cfg.max_guards_per_branch {
+            return None;
+        }
+        loop {
+            if let Some(entry) = &self.current {
+                while let Some(guard) = self.pending.pop_front() {
+                    if self.classifies(&guard, entry) {
+                        self.yielded += 1;
+                        stats.guards_yielded += 1;
+                        return Some(guard);
+                    }
+                }
+                self.current = None;
+            }
+            let entry = self.worklist.pop_front()?;
+            self.pending.extend(gen_guards(self.cfg, self.ctx, &entry.locator));
+            self.expand(&entry, opt, stats);
+            self.current = Some(entry);
+        }
+    }
+
+    /// `ApplyProduction(ν)` with incremental node evaluation and the UB
+    /// check of Figure 10 line 8.
+    fn expand(&mut self, entry: &Entry, opt: f64, stats: &mut SynthStats) {
+        if entry.locator.depth() >= self.cfg.guard_depth {
+            return;
+        }
+        for (fi, filter) in self.filters.iter().enumerate() {
+            for descend in [false, true] {
+                stats.locators_expanded += 1;
+                let pos_nodes: Vec<Vec<PageNodeId>> = entry
+                    .pos_nodes
+                    .iter()
+                    .zip(self.pos)
+                    .zip(&self.pos_masks[fi])
+                    .map(|((nodes, ex), mask)| step_nodes_masked(&ex.page, nodes, mask, descend))
+                    .collect();
+                if self.cfg.prune {
+                    let ub: webqa_metrics::Counts = self
+                        .pos
+                        .iter()
+                        .zip(&pos_nodes)
+                        .map(|(ex, nodes)| ex.ceiling_counts(nodes))
+                        .sum();
+                    if ub.upper_bound() + F1_EPS < opt {
+                        stats.locators_pruned += 1;
+                        continue;
+                    }
+                }
+                let neg_nodes: Vec<Vec<PageNodeId>> = entry
+                    .neg_nodes
+                    .iter()
+                    .zip(self.neg)
+                    .zip(&self.neg_masks[fi])
+                    .map(|((nodes, ex), mask)| step_nodes_masked(&ex.page, nodes, mask, descend))
+                    .collect();
+                let locator = if descend {
+                    Locator::Descendants(Box::new(entry.locator.clone()), filter.clone())
+                } else {
+                    Locator::Children(Box::new(entry.locator.clone()), filter.clone())
+                };
+                self.worklist.push_back(Entry { locator, pos_nodes, neg_nodes });
+            }
+        }
+    }
+
+    /// Figure 10 line 6: `∀e ∈ E⁺. ψ(e)` and `∀e ∈ E⁻. ¬ψ(e)`, evaluated
+    /// against the entry's precomputed node sets.
+    fn classifies(&self, guard: &Guard, entry: &Entry) -> bool {
+        let holds = |ex: &Example, nodes: &Vec<PageNodeId>| match guard {
+            Guard::Sat(_, pred) => nodes.iter().any(|&n| pred.eval(self.ctx, ex.page.text(n))),
+            Guard::IsSingleton(_) => nodes.len() == 1,
+        };
+        self.pos.iter().zip(&entry.pos_nodes).all(|(ex, nodes)| holds(ex, nodes))
+            && self.neg.iter().zip(&entry.neg_nodes).all(|(ex, nodes)| !holds(ex, nodes))
+    }
+}
+
+/// One locator production step evaluated on a precomputed node set —
+/// semantically `Locator::eval(Children/Descendants(ν, f))` given
+/// `nodes = ν.eval(page)` and the filter's satisfaction mask.
+fn step_nodes_masked(
+    page: &PageTree,
+    nodes: &[PageNodeId],
+    mask: &[bool],
+    descend: bool,
+) -> Vec<PageNodeId> {
+    let mut out = Vec::new();
+    for &n in nodes {
+        if descend {
+            for d in page.descendants(n) {
+                if mask[d.index()] {
+                    out.push(d);
+                }
+            }
+        } else {
+            for &c in page.children(n) {
+                if mask[c.index()] {
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The nodes a guard binds to `x` on each example page
+/// (`PropagateExamples` of Figure 8).
+pub(crate) fn propagate_examples(
+    ctx: &QueryContext,
+    locator: &Locator,
+    examples: &[Example],
+) -> Vec<Vec<PageNodeId>> {
+    examples.iter().map(|ex| locator.eval(ctx, &ex.page)).collect()
+}
+
+/// Convenience: the trivially-true guard `Sat(GetRoot, ⊤)` used as a
+/// fallback when a branch needs no discrimination.
+#[allow(dead_code)]
+pub(crate) fn trivial_guard() -> Guard {
+    Guard::Sat(Locator::Root, NlpPred::True)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webqa_dsl::PageTree;
+
+    fn example(html: &str, gold: &[&str]) -> Example {
+        Example::new(PageTree::parse(html), gold.iter().map(|s| s.to_string()).collect())
+    }
+
+    fn ctx() -> QueryContext {
+        QueryContext::new("Who are the students?", ["Students"])
+    }
+
+    fn guard_true(ctx: &QueryContext, guard: &Guard, ex: &Example) -> bool {
+        guard.eval(ctx, &ex.page).0
+    }
+
+    #[test]
+    fn first_guard_is_over_root() {
+        let cfg = SynthConfig::fast();
+        let c = ctx();
+        let pos = [example("<h1>R</h1><p>x</p>", &["x"])];
+        let mut en = GuardEnumerator::new(&cfg, &c, &pos, &[]);
+        let mut stats = SynthStats::default();
+        let g = en.next(0.0, &mut stats).expect("some guard");
+        assert_eq!(g.locator(), &Locator::Root);
+    }
+
+    #[test]
+    fn incremental_step_matches_direct_eval() {
+        let c = ctx();
+        let ex = example(
+            "<h1>R</h1><h2>Students</h2><ul><li>Jane Doe</li></ul><h2>B</h2><p>t</p>",
+            &[],
+        );
+        for filter in [NodeFilter::True, NodeFilter::IsLeaf, NodeFilter::IsElem] {
+            for descend in [false, true] {
+                let base = Locator::Root;
+                let base_nodes = base.eval(&c, &ex.page);
+                let mask: Vec<bool> =
+                    ex.page.iter().map(|n| filter.eval(&c, &ex.page, n)).collect();
+                let stepped = step_nodes_masked(&ex.page, &base_nodes, &mask, descend);
+                let direct = if descend {
+                    Locator::Descendants(Box::new(base.clone()), filter.clone())
+                } else {
+                    Locator::Children(Box::new(base.clone()), filter.clone())
+                }
+                .eval(&c, &ex.page);
+                assert_eq!(stepped, direct, "filter {filter} descend {descend}");
+            }
+        }
+    }
+
+    #[test]
+    fn separates_positive_from_negative() {
+        let cfg = SynthConfig::fast();
+        let c = ctx();
+        // Positive pages have a "Students" section; negatives don't.
+        let pos = [
+            example("<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>", &["Jane Doe"]),
+            example("<h1>B</h1><h2>PhD Students</h2><ul><li>Bob Smith</li></ul>", &["Bob Smith"]),
+        ];
+        let neg = [example("<h1>C</h1><h2>Contact</h2><p>email</p>", &[])];
+        let mut en = GuardEnumerator::new(&cfg, &c, &pos, &neg);
+        let mut stats = SynthStats::default();
+        let mut found = Vec::new();
+        while let Some(g) = en.next(0.0, &mut stats) {
+            found.push(g);
+            if found.len() >= 5 {
+                break;
+            }
+        }
+        assert!(!found.is_empty(), "must find a separating guard");
+        for g in &found {
+            assert!(pos.iter().all(|e| guard_true(&c, g, e)));
+            assert!(neg.iter().all(|e| !guard_true(&c, g, e)));
+        }
+    }
+
+    #[test]
+    fn exhausts_eventually() {
+        let mut cfg = SynthConfig::fast();
+        cfg.guard_depth = 1; // only Root
+        let c = ctx();
+        let pos = [example("<h1>R</h1>", &[])];
+        let mut en = GuardEnumerator::new(&cfg, &c, &pos, &[]);
+        let mut stats = SynthStats::default();
+        let mut n = 0;
+        while en.next(0.0, &mut stats).is_some() {
+            n += 1;
+            assert!(n < 1000, "enumerator must terminate");
+        }
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn high_opt_prunes_locator_extensions() {
+        let cfg = SynthConfig::fast();
+        let c = ctx();
+        let pos = [example("<h1>R</h1><h2>S</h2><p>gold here</p>", &["gold here"])];
+        let mut s_low = SynthStats::default();
+        let mut s_high = SynthStats::default();
+        let mut lo = GuardEnumerator::new(&cfg, &c, &pos, &[]);
+        while lo.next(0.0, &mut s_low).is_some() {}
+        let mut hi = GuardEnumerator::new(&cfg, &c, &pos, &[]);
+        while hi.next(0.999, &mut s_high).is_some() {}
+        assert!(
+            s_high.locators_pruned >= s_low.locators_pruned,
+            "a higher bound can only prune more"
+        );
+    }
+
+    #[test]
+    fn respects_guard_cap() {
+        let mut cfg = SynthConfig::fast();
+        cfg.max_guards_per_branch = 3;
+        let c = ctx();
+        let pos = [example("<h1>R</h1><p>x</p>", &["x"])];
+        let mut en = GuardEnumerator::new(&cfg, &c, &pos, &[]);
+        let mut stats = SynthStats::default();
+        let mut n = 0;
+        while en.next(0.0, &mut stats).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn impossible_classification_yields_nothing_over_root() {
+        // Same page as positive and negative: no guard can separate them.
+        let cfg = SynthConfig::fast();
+        let c = ctx();
+        let page = "<h1>R</h1><h2>S</h2><p>x</p>";
+        let pos = [example(page, &["x"])];
+        let neg = [example(page, &[])];
+        let mut en = GuardEnumerator::new(&cfg, &c, &pos, &neg);
+        let mut stats = SynthStats::default();
+        assert!(en.next(0.0, &mut stats).is_none());
+    }
+
+    #[test]
+    fn yielded_guards_classify_via_public_eval_too() {
+        // The incremental classification must agree with Guard::eval.
+        let cfg = SynthConfig::fast();
+        let c = ctx();
+        let pos = [example("<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>", &["Jane Doe"])];
+        let neg = [example("<h1>C</h1><h2>Contact</h2><p>email</p>", &[])];
+        let mut en = GuardEnumerator::new(&cfg, &c, &pos, &neg);
+        let mut stats = SynthStats::default();
+        let mut n = 0;
+        while let Some(g) = en.next(0.0, &mut stats) {
+            assert!(guard_true(&c, &g, &pos[0]));
+            assert!(!guard_true(&c, &g, &neg[0]));
+            n += 1;
+            if n >= 20 {
+                break;
+            }
+        }
+        assert!(n > 0);
+    }
+}

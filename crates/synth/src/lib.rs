@@ -1,0 +1,50 @@
+//! # webqa-synth
+//!
+//! Optimal neurosymbolic program synthesis — the algorithms of Section 5
+//! of the paper:
+//!
+//! * [`synthesize`] — top-level `Synthesize` (Figure 7): enumerates
+//!   ordered example partitions and returns **all** programs with optimal
+//!   token-level F₁ on the labeled pages;
+//! * `SynthesizeBranch` (Figure 8) with guard/extractor decomposition and
+//!   per-locator memoization (footnote 6);
+//! * `SynthesizeExtractors` (Figure 9): bottom-up enumeration with
+//!   `UB = 2R/(1+R)` pruning (Eq. 3), sound by recall monotonicity
+//!   (Theorem A.3);
+//! * `GetNextGuard` (Figure 10): lazy guard enumeration whose pruning
+//!   strengthens as the caller's optimum rises.
+//!
+//! The Section 8.2 ablations are configuration flags:
+//! [`SynthConfig::without_pruning`] (`WebQA-NoPrune`) and
+//! [`SynthConfig::without_decomposition`] (`WebQA-NoDecomp`).
+//!
+//! ```
+//! use webqa_dsl::{PageTree, QueryContext};
+//! use webqa_synth::{synthesize, Example, SynthConfig};
+//!
+//! let ctx = QueryContext::new("Who are the current PhD students?", ["Students", "PhD"]);
+//! let page = PageTree::parse(
+//!     "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li><li>Bob Smith</li></ul>",
+//! );
+//! let examples = vec![Example::new(page, vec!["Jane Doe".into(), "Bob Smith".into()])];
+//! let outcome = synthesize(&SynthConfig::fast(), &ctx, &examples);
+//! assert!(outcome.f1 > 0.99);
+//! assert!(!outcome.programs.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod branch;
+mod config;
+mod example;
+mod extractors;
+mod guards;
+pub mod oracle;
+mod pool;
+mod stats;
+mod top;
+
+pub use config::SynthConfig;
+pub use example::{counts_of_outputs, extractor_outputs, f1_of_outputs, program_counts, Example};
+pub use stats::SynthStats;
+pub use top::{synthesize, SynthesisOutcome};

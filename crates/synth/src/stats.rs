@@ -1,0 +1,65 @@
+//! Search statistics collected during synthesis (reported by the Table 3
+//! ablation bench).
+
+/// Counters describing one synthesis run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SynthStats {
+    /// Guards yielded by the lazy enumerator (Figure 10).
+    pub guards_yielded: usize,
+    /// Section locators expanded with `ApplyProduction`.
+    pub locators_expanded: usize,
+    /// Section locators discarded by the UB check (Figure 10 line 8).
+    pub locators_pruned: usize,
+    /// Extractors dequeued and scored (Figure 9).
+    pub extractors_enumerated: usize,
+    /// Extractor extensions discarded by the UB check (Figure 9 line 9).
+    pub extractors_pruned: usize,
+    /// Calls to `SynthesizeBranch` (one per partition block, memoized).
+    pub branch_calls: usize,
+    /// Branch-synthesis results served from the memo table.
+    pub memo_hits: usize,
+}
+
+impl SynthStats {
+    /// Total number of candidate terms the search *touched* — the quantity
+    /// pruning and decomposition reduce (Table 3's speedups follow it).
+    pub fn work(&self) -> usize {
+        self.guards_yielded + self.locators_expanded + self.extractors_enumerated
+    }
+}
+
+impl std::ops::AddAssign for SynthStats {
+    fn add_assign(&mut self, rhs: SynthStats) {
+        self.guards_yielded += rhs.guards_yielded;
+        self.locators_expanded += rhs.locators_expanded;
+        self.locators_pruned += rhs.locators_pruned;
+        self.extractors_enumerated += rhs.extractors_enumerated;
+        self.extractors_pruned += rhs.extractors_pruned;
+        self.branch_calls += rhs.branch_calls;
+        self.memo_hits += rhs.memo_hits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_sums_search_counters() {
+        let s = SynthStats {
+            guards_yielded: 2,
+            locators_expanded: 3,
+            extractors_enumerated: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.work(), 10);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = SynthStats { guards_yielded: 1, ..Default::default() };
+        a += SynthStats { guards_yielded: 2, memo_hits: 4, ..Default::default() };
+        assert_eq!(a.guards_yielded, 3);
+        assert_eq!(a.memo_hits, 4);
+    }
+}

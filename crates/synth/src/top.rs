@@ -1,0 +1,471 @@
+//! Top-level `Synthesize` (Figure 7 of the paper): enumerate ordered
+//! example partitions, synthesize optimal branch programs per block, and
+//! return *all* programs achieving the optimal F₁.
+
+use std::collections::{HashMap, HashSet};
+
+use webqa_dsl::{Branch, Extractor, Guard, Program, QueryContext};
+use webqa_metrics::Counts;
+
+use crate::branch::{synthesize_branch, BranchSynthesis};
+use crate::config::SynthConfig;
+use crate::example::Example;
+use crate::extractors::F1_EPS;
+use crate::stats::SynthStats;
+
+/// The result of [`synthesize`]: all optimal programs (capped), their
+/// training F₁, and search statistics.
+#[derive(Debug, Clone)]
+pub struct SynthesisOutcome {
+    /// Optimal programs, at most `config.max_programs` of them.
+    pub programs: Vec<Program>,
+    /// The optimal F₁ achieved on the training examples.
+    pub f1: f64,
+    /// Token counts of a representative optimal program.
+    pub counts: Counts,
+    /// Total number of optimal programs before capping.
+    pub total_optimal: usize,
+    /// Search statistics.
+    pub stats: SynthStats,
+}
+
+/// Figure 7: synthesizes all WebQA programs with optimal F₁ on the
+/// training examples.
+///
+/// Partitions of more than `config.max_blocks` blocks are not considered;
+/// with `max_blocks ≥ |examples|` the search matches the paper exactly.
+pub fn synthesize(cfg: &SynthConfig, ctx: &QueryContext, examples: &[Example]) -> SynthesisOutcome {
+    let mut stats = SynthStats::default();
+    let n = examples.len();
+    if n == 0 {
+        return SynthesisOutcome {
+            programs: Vec::new(),
+            f1: 0.0,
+            counts: Counts::default(),
+            total_optimal: 0,
+            stats,
+        };
+    }
+
+    // Memoize branch synthesis by (positive set, negative set) bitmask —
+    // different partitions share blocks heavily.
+    let mut memo: HashMap<(u32, u32), Option<BranchSynthesis>> = HashMap::new();
+
+    let mut best_f1 = -1.0f64;
+    let mut best_counts = Counts::default();
+    // Each optimal partition contributes a list of per-block option sets.
+    let mut best_partitions: Vec<Vec<BranchSynthesis>> = Vec::new();
+
+    // The micro-averaged F₁ of a multi-branch program is a function of
+    // the *sum* of per-branch token counts, and branches tied on F₁ can
+    // have different counts — so a partition's achievable optimum is the
+    // best F₁ over all combinations of per-block count groups, computed
+    // here by folding the achievable-sum set across blocks.
+    fn partition_best(blocks: &[BranchSynthesis]) -> (f64, Counts) {
+        let mut sums: HashSet<Counts> = HashSet::new();
+        sums.insert(Counts::default());
+        for b in blocks {
+            let choices = b.distinct_counts();
+            let mut next = HashSet::with_capacity(sums.len() * choices.len());
+            for s in &sums {
+                for c in &choices {
+                    next.insert(*s + *c);
+                }
+            }
+            sums = next;
+        }
+        sums.into_iter()
+            .map(|c| (c.f1(), c))
+            .fold((-1.0, Counts::default()), |acc, x| if x.0 > acc.0 { x } else { acc })
+    }
+
+    for partition in ordered_partitions(n, cfg.max_blocks) {
+        let mut blocks: Vec<BranchSynthesis> = Vec::new();
+        let mut ok = true;
+        let mut counts = Counts::default();
+        for (i, block) in partition.iter().enumerate() {
+            let pos_mask = mask_of(block);
+            // E⁻ = examples not yet covered by this or earlier blocks
+            // (footnote 5 of the paper).
+            let mut neg_mask = 0u32;
+            for later in &partition[i + 1..] {
+                neg_mask |= mask_of(later);
+            }
+            let entry = match memo.get(&(pos_mask, neg_mask)) {
+                Some(cached) => {
+                    stats.memo_hits += 1;
+                    cached.clone()
+                }
+                None => {
+                    let pos: Vec<Example> =
+                        block.iter().map(|&i| examples[i].clone()).collect();
+                    let neg: Vec<Example> = (0..n)
+                        .filter(|i| neg_mask & (1 << i) != 0)
+                        .map(|i| examples[i].clone())
+                        .collect();
+                    let r = synthesize_branch(cfg, ctx, &pos, &neg, &mut stats);
+                    memo.insert((pos_mask, neg_mask), r.clone());
+                    r
+                }
+            };
+            match entry {
+                Some(b) => {
+                    counts += b.counts;
+                    blocks.push(b);
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let _ = counts; // per-block representative counts; superseded below
+        let (f1, part_counts) = partition_best(&blocks);
+        if f1 > best_f1 + F1_EPS {
+            best_f1 = f1;
+            best_counts = part_counts;
+            best_partitions = vec![blocks];
+        } else if (f1 - best_f1).abs() <= F1_EPS {
+            best_partitions.push(blocks);
+        }
+    }
+
+    if best_f1 < 0.0 {
+        return SynthesisOutcome {
+            programs: Vec::new(),
+            f1: 0.0,
+            counts: Counts::default(),
+            total_optimal: 0,
+            stats,
+        };
+    }
+
+    let (programs, total) = materialize(&best_partitions, cfg.max_programs, best_f1);
+    SynthesisOutcome {
+        programs,
+        f1: best_f1,
+        counts: best_counts,
+        total_optimal: total,
+        stats,
+    }
+}
+
+fn mask_of(block: &[usize]) -> u32 {
+    block.iter().fold(0u32, |m, &i| m | (1 << i))
+}
+
+/// All ordered partitions of `{0..n}` into at most `max_blocks` non-empty
+/// blocks (the `Partitions(E)` of Figure 7; order matters because guards
+/// are tried in sequence).
+pub(crate) fn ordered_partitions(n: usize, max_blocks: usize) -> Vec<Vec<Vec<usize>>> {
+    assert!(n > 0, "need at least one example");
+    // For large n the Fubini numbers explode; fall back to the single
+    // partition, which the paper's tasks (≤5 labels) never hit.
+    if n > 8 {
+        return vec![vec![(0..n).collect()]];
+    }
+    let max_k = max_blocks.clamp(1, n);
+    let mut out = Vec::new();
+    for k in 1..=max_k {
+        // Enumerate assignments f: [n] -> [k], keep surjections.
+        let total = (k as u64).pow(n as u32);
+        for code in 0..total {
+            let mut assign = vec![0usize; n];
+            let mut c = code;
+            for slot in assign.iter_mut() {
+                *slot = (c % k as u64) as usize;
+                c /= k as u64;
+            }
+            let mut blocks: Vec<Vec<usize>> = vec![Vec::new(); k];
+            for (i, &b) in assign.iter().enumerate() {
+                blocks[b].push(i);
+            }
+            if blocks.iter().all(|b| !b.is_empty()) {
+                out.push(blocks);
+            }
+        }
+    }
+    out
+}
+
+/// Expands per-partition branch options into concrete programs, capped.
+/// Returns the (possibly truncated) programs and the true total count of
+/// optimal programs.
+///
+/// Branches tied on per-block F₁ can carry different token-count vectors,
+/// and only cross-block combinations whose *summed* counts achieve
+/// `best_f1` are optimal whole programs — all others are filtered out
+/// here, and the exact total is computed by a count-vector convolution
+/// rather than a plain cartesian product.
+///
+/// When a partition's qualifying product exceeds its share of the cap, the
+/// sample is drawn *diversely*: block options are interleaved round-robin
+/// across guards, and product indices are visited in a deterministic
+/// hash-scattered order — so the capped set reflects the variety of the
+/// optimal space rather than the first guard's extractor variants (the
+/// transductive ensemble is sampled from this set, Section 6).
+fn materialize(
+    partitions: &[Vec<BranchSynthesis>],
+    cap: usize,
+    best_f1: f64,
+) -> (Vec<Program>, usize) {
+    let mut programs: Vec<Program> = Vec::new();
+    let mut seen: HashSet<Program> = HashSet::new();
+    let mut total: usize = 0;
+    let per_partition_cap = cap.div_ceil(partitions.len().max(1));
+    for blocks in partitions {
+        // Flatten each block's (guard, extractors) map into (guard,
+        // extractor, counts) triples, round-robin across guards so a
+        // prefix of the list spans many guards.
+        let pairs_per_block: Vec<Vec<(&Guard, &Extractor, Counts)>> = blocks
+            .iter()
+            .map(|b| {
+                let mut pairs = Vec::new();
+                let max_len = b
+                    .options
+                    .iter()
+                    .map(|(_, gs)| gs.iter().map(|(_, es)| es.len()).max().unwrap_or(0))
+                    .max()
+                    .unwrap_or(0);
+                for i in 0..max_len {
+                    for (g, gs) in &b.options {
+                        for (c, es) in gs {
+                            if let Some(e) = es.get(i) {
+                                pairs.push((g, e, *c));
+                            }
+                        }
+                    }
+                }
+                pairs
+            })
+            .collect();
+        let block_sizes: Vec<usize> = pairs_per_block.iter().map(Vec::len).collect();
+        let product: u128 = block_sizes.iter().map(|&s| s as u128).product();
+
+        // Exact count of optimal combinations: convolve per-block
+        // multiplicity maps (counts → #pairs) across blocks, then sum the
+        // multiplicities of summed counts achieving best_f1.
+        let mut conv: HashMap<Counts, u128> = HashMap::new();
+        conv.insert(Counts::default(), 1);
+        for pairs in &pairs_per_block {
+            let mut block_counts: HashMap<Counts, u128> = HashMap::new();
+            for (_, _, c) in pairs {
+                *block_counts.entry(*c).or_insert(0) += 1;
+            }
+            let mut next: HashMap<Counts, u128> = HashMap::new();
+            for (s, m) in &conv {
+                for (c, k) in &block_counts {
+                    *next.entry(*s + *c).or_insert(0) += m.saturating_mul(*k);
+                }
+            }
+            conv = next;
+        }
+        let qualifying: u128 = conv
+            .iter()
+            .filter(|(c, _)| (c.f1() - best_f1).abs() <= F1_EPS)
+            .map(|(_, m)| *m)
+            .sum();
+        total = total.saturating_add(qualifying.min(usize::MAX as u128) as usize);
+
+        let want = per_partition_cap.min(cap.saturating_sub(programs.len()));
+        // Emits the combination at `code` iff its summed counts achieve
+        // the global optimum; returns true when a new program was added.
+        let emit = |code: u128, programs: &mut Vec<Program>, seen: &mut HashSet<Program>| -> bool {
+            let mut c = code;
+            let mut sum = Counts::default();
+            let branches: Vec<Branch> = block_sizes
+                .iter()
+                .zip(&pairs_per_block)
+                .map(|(&size, pairs)| {
+                    let i = (c % size as u128) as usize;
+                    c /= size as u128;
+                    let (g, e, counts) = &pairs[i];
+                    sum += *counts;
+                    Branch::new((*g).clone(), (*e).clone())
+                })
+                .collect();
+            if (sum.f1() - best_f1).abs() > F1_EPS {
+                return false;
+            }
+            let p = Program::new(branches);
+            if seen.insert(p.clone()) {
+                programs.push(p);
+                true
+            } else {
+                false
+            }
+        };
+        if product <= (want as u128).saturating_mul(64).max(65_536) {
+            // Small enough to scan exhaustively, filtering as we go.
+            for code in 0..product {
+                if programs.len() >= cap {
+                    break;
+                }
+                emit(code, &mut programs, &mut seen);
+            }
+        } else {
+            // Deterministic scattered sampling without replacement (best
+            // effort: duplicates and non-qualifying combos skipped,
+            // bounded attempts).
+            let mut attempts = 0u64;
+            let mut produced = 0usize;
+            let max_attempts = (want as u64).saturating_mul(64).max(4096);
+            let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+            while produced < want && attempts < max_attempts {
+                state = state
+                    .wrapping_mul(0xD120_0000_0000_0001u64 | 1)
+                    .wrapping_add(0x2545_F491_4F6C_DD1D);
+                let code = (state as u128).wrapping_mul(0x9E37_79B9u128) % product;
+                if emit(code, &mut programs, &mut seen) {
+                    produced += 1;
+                }
+                attempts += 1;
+            }
+            if produced == 0 {
+                // Sampling can miss sparse qualifying sets; fall back to a
+                // bounded sequential scan so at least one optimal program
+                // is always returned.
+                let scan = product.min(1 << 20);
+                for code in 0..scan {
+                    if emit(code, &mut programs, &mut seen) {
+                        break;
+                    }
+                }
+            }
+        }
+        if programs.len() >= cap {
+            break;
+        }
+    }
+    (programs, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webqa_dsl::PageTree;
+
+    fn example(html: &str, gold: &[&str]) -> Example {
+        Example::new(PageTree::parse(html), gold.iter().map(|s| s.to_string()).collect())
+    }
+
+    fn ctx() -> QueryContext {
+        QueryContext::new("Who are the current PhD students?", ["Students", "PhD"])
+    }
+
+    #[test]
+    fn ordered_partition_counts_are_fubini() {
+        // Fubini numbers: a(1)=1, a(2)=3, a(3)=13, a(4)=75.
+        assert_eq!(ordered_partitions(1, 5).len(), 1);
+        assert_eq!(ordered_partitions(2, 5).len(), 3);
+        assert_eq!(ordered_partitions(3, 5).len(), 13);
+        assert_eq!(ordered_partitions(4, 5).len(), 75);
+        // Capped block count: partitions into at most 1 block.
+        assert_eq!(ordered_partitions(4, 1).len(), 1);
+    }
+
+    #[test]
+    fn partitions_cover_all_examples_exactly_once() {
+        for p in ordered_partitions(4, 3) {
+            let mut all: Vec<usize> = p.concat();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn synthesizes_single_branch_program() {
+        let cfg = SynthConfig::fast();
+        let c = ctx();
+        let examples = vec![
+            example(
+                "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li><li>Bob Smith</li></ul>",
+                &["Jane Doe", "Bob Smith"],
+            ),
+            example(
+                "<h1>B</h1><h2>PhD Students</h2><ul><li>Mary Anderson</li></ul>",
+                &["Mary Anderson"],
+            ),
+        ];
+        let out = synthesize(&cfg, &c, &examples);
+        assert!(out.f1 > 0.99, "got {}", out.f1);
+        assert!(!out.programs.is_empty());
+        assert!(out.total_optimal >= out.programs.len());
+        // Every returned program must actually achieve the reported F1.
+        for p in out.programs.iter().take(20) {
+            let counts = crate::example::program_counts(&c, &examples, p);
+            assert!(
+                (counts.f1() - out.f1).abs() < 1e-6,
+                "program {p} scores {} ≠ {}",
+                counts.f1(),
+                out.f1
+            );
+        }
+    }
+
+    #[test]
+    fn multi_branch_partition_handles_schema_split() {
+        // Two page schemas: students under "Students" on page A, but page
+        // B keeps them under "Group" with no keyword match; a two-branch
+        // program can specialize.
+        let mut cfg = SynthConfig::fast();
+        cfg.max_blocks = 2;
+        let c = ctx();
+        let examples = vec![
+            example(
+                "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>",
+                &["Jane Doe"],
+            ),
+            example(
+                "<h1>B</h1><h2>Group</h2><ul><li>Mary Anderson</li></ul><h2>Students</h2><p>none currently</p>",
+                &["Mary Anderson"],
+            ),
+        ];
+        let out = synthesize(&cfg, &c, &examples);
+        assert!(out.f1 > 0.5, "got {}", out.f1);
+    }
+
+    #[test]
+    fn empty_examples_yield_empty_outcome() {
+        let out = synthesize(&SynthConfig::fast(), &ctx(), &[]);
+        assert!(out.programs.is_empty());
+        assert_eq!(out.total_optimal, 0);
+    }
+
+    #[test]
+    fn program_cap_respected() {
+        let mut cfg = SynthConfig::fast();
+        cfg.max_programs = 3;
+        let c = ctx();
+        let examples = vec![example(
+            "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>",
+            &["Jane Doe"],
+        )];
+        let out = synthesize(&cfg, &c, &examples);
+        assert!(out.programs.len() <= 3);
+        assert!(out.total_optimal >= out.programs.len());
+    }
+
+    #[test]
+    fn noprune_finds_same_optimum() {
+        let c = ctx();
+        let examples = vec![
+            example(
+                "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul><h2>News</h2><p>hi</p>",
+                &["Jane Doe"],
+            ),
+        ];
+        let with = synthesize(&SynthConfig::fast(), &c, &examples);
+        let without = synthesize(&SynthConfig::fast().without_pruning(), &c, &examples);
+        assert!((with.f1 - without.f1).abs() < 1e-9);
+        assert!(
+            with.stats.work() <= without.stats.work(),
+            "pruning must not increase work: {} vs {}",
+            with.stats.work(),
+            without.stats.work()
+        );
+    }
+}

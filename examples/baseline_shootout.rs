@@ -1,0 +1,63 @@
+//! All four tools on one task, side by side — a miniature of the paper's
+//! Figure 12 comparison with visible per-page outputs.
+//!
+//! ```text
+//! cargo run --example baseline_shootout [task_id]
+//! ```
+
+use webqa::{score_answers, Config, WebQa};
+use webqa_baselines::{BertQa, EntExtract, Hyb};
+use webqa_corpus::{task_by_id, Corpus};
+
+fn main() {
+    let task_id = std::env::args().nth(1).unwrap_or_else(|| "fac_t1".to_string());
+    let task = task_by_id(&task_id).unwrap_or_else(|| {
+        eprintln!("unknown task {task_id}; try fac_t1..fac_t8, conf_t1..conf_t6, …");
+        std::process::exit(1);
+    });
+
+    let corpus = Corpus::generate(12, 42);
+    let data = corpus.dataset(task, 5);
+    println!("task: {} — {}\n", task.id, task.question);
+    let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
+
+    // WebQA.
+    let system = WebQa::new(Config::default());
+    let labeled: Vec<_> =
+        data.train.iter().map(|p| (p.page.clone(), p.gold.clone())).collect();
+    let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
+    let webqa = system.run(task.question, task.keywords, &labeled, &unlabeled);
+
+    // Baselines.
+    let bert = BertQa::new();
+    let bert_out: Vec<Vec<String>> =
+        data.test.iter().map(|p| bert.answer_page(task.question, &p.html)).collect();
+    let hyb_train: Vec<(String, Vec<String>)> =
+        data.train.iter().map(|p| (p.html.clone(), p.gold.clone())).collect();
+    let hyb_out: Vec<Vec<String>> = match Hyb::train(&hyb_train) {
+        Ok(w) => {
+            println!("HYB learned wrapper: {}\n", w.path());
+            data.test.iter().map(|p| w.extract(&p.html)).collect()
+        }
+        Err(e) => {
+            println!("HYB training failed: {e}\n");
+            vec![Vec::new(); data.test.len()]
+        }
+    };
+    let ee = EntExtract::new();
+    let ent_out: Vec<Vec<String>> =
+        data.test.iter().map(|p| ee.extract(task.question, &p.html)).collect();
+
+    println!("--- first test page ({}) ---", data.test[0].name);
+    println!("gold      : {:?}", gold[0]);
+    println!("WebQA     : {:?}", webqa.answers[0]);
+    println!("BERTQA    : {:?}", bert_out[0]);
+    println!("HYB       : {:?}", hyb_out[0]);
+    println!("EntExtract: {:?}", ent_out[0]);
+
+    println!("\n--- scores over {} test pages ---", data.test.len());
+    println!("WebQA     : {}", score_answers(&webqa.answers, &gold));
+    println!("BERTQA    : {}", score_answers(&bert_out, &gold));
+    println!("HYB       : {}", score_answers(&hyb_out, &gold));
+    println!("EntExtract: {}", score_answers(&ent_out, &gold));
+}

@@ -1,0 +1,51 @@
+//! Building a provider directory: extract doctors, accepted insurance
+//! plans, and locations from heterogeneous clinic websites — three tasks
+//! over the same page set, reusing one corpus.
+//!
+//! ```text
+//! cargo run --example clinic_directory
+//! ```
+
+use webqa::{score_answers, Config, WebQa};
+use webqa_corpus::{task_by_id, Corpus};
+
+fn main() {
+    let corpus = Corpus::generate(12, 99);
+    let system = WebQa::new(Config::default());
+
+    println!(
+        "Building a clinic directory from {} pages\n",
+        corpus.pages(webqa_corpus::Domain::Clinic).len()
+    );
+
+    let mut directory: Vec<(String, Vec<String>, Vec<String>, Vec<String>)> = Vec::new();
+    for (slot, task_id) in ["clinic_t1", "clinic_t4", "clinic_t5"].iter().enumerate() {
+        let task = task_by_id(task_id).expect("task exists");
+        let data = corpus.dataset(task, 4);
+        let labeled: Vec<_> =
+            data.train.iter().map(|p| (p.page.clone(), p.gold.clone())).collect();
+        let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
+        let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
+        let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
+        println!("{}: {}", task.id, score_answers(&result.answers, &gold));
+
+        for (i, page) in data.test.iter().enumerate() {
+            if slot == 0 {
+                directory.push((page.name.clone(), Vec::new(), Vec::new(), Vec::new()));
+            }
+            match slot {
+                0 => directory[i].1 = result.answers[i].clone(),
+                1 => directory[i].2 = result.answers[i].clone(),
+                _ => directory[i].3 = result.answers[i].clone(),
+            }
+        }
+    }
+
+    println!("\n--- directory (first 3 clinics) ---");
+    for (name, doctors, insurance, locations) in directory.iter().take(3) {
+        println!("\n{name}");
+        println!("  providers : {}", doctors.join(", "));
+        println!("  insurance : {}", insurance.join(", "));
+        println!("  locations : {}", locations.join(" | "));
+    }
+}

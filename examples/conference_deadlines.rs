@@ -1,0 +1,49 @@
+//! Single-fact extraction: paper submission deadlines from conference
+//! sites (task conf_t4) — one of the two tasks where the paper notes the
+//! synthesized program essentially wraps the QA model, so BERTQA is
+//! competitive.
+//!
+//! ```text
+//! cargo run --example conference_deadlines
+//! ```
+
+use webqa::{score_answers, Config, WebQa};
+use webqa_baselines::BertQa;
+use webqa_corpus::{task_by_id, Corpus};
+
+fn main() {
+    let corpus = Corpus::generate(14, 3);
+    let task = task_by_id("conf_t4").expect("conf_t4 exists");
+    let data = corpus.dataset(task, 5);
+    println!("question : {}\n", task.question);
+
+    // WebQA.
+    let system = WebQa::new(Config::default());
+    let labeled: Vec<_> =
+        data.train.iter().map(|p| (p.page.clone(), p.gold.clone())).collect();
+    let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
+    let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
+
+    // BERTQA on the same pages.
+    let bert = BertQa::new();
+    let bert_answers: Vec<Vec<String>> =
+        data.test.iter().map(|p| bert.answer_page(task.question, &p.html)).collect();
+
+    println!("{:<16} {:<28} {:<28} {}", "page", "WebQA", "BERTQA", "gold");
+    for (i, page) in data.test.iter().enumerate().take(8) {
+        println!(
+            "{:<16} {:<28} {:<28} {}",
+            page.name,
+            result.answers[i].join("; "),
+            bert_answers[i].join("; "),
+            page.gold.join("; "),
+        );
+    }
+
+    let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
+    println!("\nWebQA : {}", score_answers(&result.answers, &gold));
+    println!("BERTQA: {}", score_answers(&bert_answers, &gold));
+    if let Some(p) = &result.program {
+        println!("\nselected program: {p}");
+    }
+}

@@ -1,0 +1,62 @@
+//! The paper's motivating scenario (Section 2): a PC chair wants to
+//! extract the program committees each researcher has served on, from
+//! structurally heterogeneous faculty homepages.
+//!
+//! ```text
+//! cargo run --example faculty_committee
+//! ```
+
+use webqa::{score_answers, suggest_labels, Config, WebQa};
+use webqa_corpus::{task_by_id, Corpus};
+
+fn main() {
+    let corpus = Corpus::generate(16, 7);
+    let task = task_by_id("fac_t5").expect("fac_t5 exists");
+    println!("question : {}", task.question);
+    println!("keywords : {:?}\n", task.keywords);
+
+    // The full target set of researcher pages.
+    let pages: Vec<_> = corpus.pages(task.domain).iter().map(|p| p.tree()).collect();
+
+    // Interactive labeling (Section 7): WebQA suggests which pages to
+    // label, covering the distinct schemas with at most five requests.
+    let system = WebQa::new(Config::default());
+    let ctx = system.context(task.question, task.keywords);
+    let to_label = suggest_labels(&ctx, &pages, 5);
+    println!("suggested pages to label: {to_label:?}");
+
+    let labeled: Vec<_> = to_label
+        .iter()
+        .map(|&i| {
+            let p = &corpus.pages(task.domain)[i];
+            (p.tree(), p.gold(task.id).to_vec())
+        })
+        .collect();
+    let test_indices: Vec<usize> =
+        (0..pages.len()).filter(|i| !to_label.contains(i)).collect();
+    let unlabeled: Vec<_> = test_indices.iter().map(|&i| pages[i].clone()).collect();
+
+    let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
+    println!(
+        "\nsynthesized {} optimal programs (train F1 {:.2}); selected:",
+        result.synthesis.total_optimal, result.synthesis.f1
+    );
+    if let Some(p) = &result.program {
+        println!("{}", p.to_paper_syntax());
+    }
+
+    // Show the extraction for the first few unlabeled researchers.
+    for (k, &i) in test_indices.iter().take(3).enumerate() {
+        let page = &corpus.pages(task.domain)[i];
+        println!("\n--- {} ---", page.name);
+        for service in &result.answers[k] {
+            println!("  {service}");
+        }
+    }
+
+    let gold: Vec<_> = test_indices
+        .iter()
+        .map(|&i| corpus.pages(task.domain)[i].gold(task.id).to_vec())
+        .collect();
+    println!("\nheld-out score: {}", score_answers(&result.answers, &gold));
+}

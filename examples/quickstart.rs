@@ -1,0 +1,40 @@
+//! Quickstart: run WebQA end-to-end on one generated task.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use webqa::{score_answers, Config, WebQa};
+use webqa_corpus::{task_by_id, Corpus};
+
+fn main() {
+    // A small corpus: 12 faculty pages, 5 labeled + 7 test.
+    let corpus = Corpus::generate(12, 42);
+    let task = task_by_id("fac_t1").expect("task exists");
+    let data = corpus.dataset(task, 5);
+
+    println!("task     : {} — {}", task.id, task.question);
+    println!("keywords : {:?}", task.keywords);
+    println!("train    : {} pages, test: {} pages", data.train.len(), data.test.len());
+
+    let system = WebQa::new(Config::default());
+    let labeled: Vec<_> =
+        data.train.iter().map(|p| (p.page.clone(), p.gold.clone())).collect();
+    let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
+
+    let start = std::time::Instant::now();
+    let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
+    println!("synthesis: {:?} ({} optimal programs, train F1 {:.2})",
+        start.elapsed(), result.synthesis.total_optimal, result.synthesis.f1);
+
+    if let Some(program) = &result.program {
+        println!("\nselected program:\n  {program}");
+        println!("\npaper syntax:\n{}", program.to_paper_syntax());
+    }
+
+    let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
+    let score = score_answers(&result.answers, &gold);
+    println!("\ntest-set score: {score}");
+
+    println!("\nfirst test page answers: {:?}", result.answers.first());
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate of the WebQA reproduction workspace.
+//!
+//! Hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`); the functionality lives in the member
+//! crates, re-exported here for convenience:
+//!
+//! * [`webqa`] — end-to-end pipeline;
+//! * [`webqa_dsl`] — the neurosymbolic DSL;
+//! * [`webqa_synth`] — optimal synthesis;
+//! * [`webqa_select`] — transductive program selection;
+//! * [`webqa_corpus`] — the 25 tasks and the synthetic page corpus;
+//! * [`webqa_baselines`] — BERTQA / HYB / EntExtract;
+//! * [`webqa_html`] / [`webqa_nlp`] / [`webqa_metrics`] — substrates.
+
+pub use webqa;
+pub use webqa_baselines;
+pub use webqa_corpus;
+pub use webqa_dsl;
+pub use webqa_html;
+pub use webqa_metrics;
+pub use webqa_nlp;
+pub use webqa_select;
+pub use webqa_synth;

@@ -1,0 +1,144 @@
+//! Key Idea #2 of the paper (Section 2), exercised end to end: when a
+//! neural module is imperfect, **no** DSL program reproduces the labels
+//! exactly, and the synthesizer must return the best-achievable-F₁
+//! programs instead of failing — this is precisely the scenario the
+//! paper uses to motivate optimal synthesis over exact synthesis
+//! ("suppose the pre-trained network for entity extraction is unable to
+//! recognize computer science conference names as organizations").
+
+use webqa_dsl::{EntityRecognizer, PageTree, Program, QaModel, QueryContext};
+use webqa_synth::{synthesize, Example, SynthConfig};
+
+/// The motivating example's service sections: the desired output is the
+/// conference-with-role strings, which requires recognizing "PLDI '21" as
+/// an organization.
+fn service_examples() -> Vec<(PageTree, Vec<String>)> {
+    vec![
+        (
+            PageTree::parse(
+                "<h1>Jane Doe</h1><h2>Students</h2><ul><li>Robert Smith</li></ul>\
+                 <h2>Professional Service</h2>\
+                 <ul><li>PLDI '21 (PC), CAV '20 (PC)</li><li>reading group</li></ul>",
+            ),
+            vec!["PLDI '21 (PC)".to_string(), "CAV '20 (PC)".to_string()],
+        ),
+        (
+            PageTree::parse(
+                "<h1>John Doe</h1><h2>News</h2><p>Welcome Sarah Brown.</p>\
+                 <h2>Service</h2>\
+                 <ul><li>OOPSLA '20 (PC), POPL '20 (SRC)</li><li>hiking club</li></ul>",
+            ),
+            vec!["OOPSLA '20 (PC)".to_string(), "POPL '20 (SRC)".to_string()],
+        ),
+    ]
+}
+
+fn question() -> &'static str {
+    "Which program committees has this researcher served on?"
+}
+
+const KEYWORDS: [&str; 3] = ["PC", "Program Committee", "Service"];
+
+fn run(ctx: &QueryContext) -> (f64, Vec<Program>) {
+    let examples: Vec<Example> = service_examples()
+        .into_iter()
+        .map(|(p, g)| Example::new(p, g))
+        .collect();
+    let mut cfg = SynthConfig::fast();
+    cfg.max_programs = 200;
+    let out = synthesize(&cfg, ctx, &examples);
+    (out.f1, out.programs)
+}
+
+#[test]
+fn perfect_ner_allows_exact_extraction() {
+    // With the gap closed (conference names recognized as ORG), some
+    // program matches the labels exactly.
+    let ctx = QueryContext::with_models(
+        question(),
+        KEYWORDS,
+        QaModel::pretrained(),
+        EntityRecognizer::with_conference_orgs(),
+    );
+    let (f1, programs) = run(&ctx);
+    assert!(f1 > 0.99, "expected exact extraction, got F1 {f1}");
+    assert!(!programs.is_empty());
+}
+
+#[test]
+fn imperfect_ner_degrades_gracefully_to_optimal_f1() {
+    // The paper's default: conference names are NOT organizations. The
+    // strings can still be recovered by split+filter on keywords, so the
+    // optimum may remain high — but whatever it is, it must be (a) the
+    // true optimum (all returned programs reproduce it) and (b) no better
+    // than the perfect-model optimum.
+    let perfect = QueryContext::with_models(
+        question(),
+        KEYWORDS,
+        QaModel::pretrained(),
+        EntityRecognizer::with_conference_orgs(),
+    );
+    let (f1_perfect, _) = run(&perfect);
+
+    let imperfect = QueryContext::with_models(
+        question(),
+        KEYWORDS,
+        QaModel::pretrained(),
+        EntityRecognizer::pretrained(),
+    );
+    let (f1_imperfect, programs) = run(&imperfect);
+
+    assert!(f1_imperfect > 0.0, "synthesis must not fail outright (Key Idea #2)");
+    assert!(
+        f1_imperfect <= f1_perfect + 1e-9,
+        "imperfect models cannot beat perfect ones: {f1_imperfect} > {f1_perfect}"
+    );
+    assert!(!programs.is_empty(), "optimal set must be non-empty");
+
+    // Consistency: every returned program reproduces the reported optimum
+    // under the *imperfect* models.
+    let examples: Vec<Example> = service_examples()
+        .into_iter()
+        .map(|(p, g)| Example::new(p, g))
+        .collect();
+    for p in programs.iter().take(10) {
+        let f1 = webqa_synth::program_counts(&imperfect, &examples, p).f1();
+        assert!((f1 - f1_imperfect).abs() < 1e-6, "{p} scores {f1} ≠ {f1_imperfect}");
+    }
+}
+
+#[test]
+fn entity_programs_change_meaning_across_models() {
+    // The same program evaluates differently under the two recognizers:
+    // with the gap open, `hasEntity(ORG)` extraction on a service line
+    // returns nothing conference-related.
+    let program: Program =
+        "sat(descendants(root, leaf), true) -> substr(split(content, ','), entity(ORG), 1)"
+            .parse()
+            .expect("valid");
+    let page = PageTree::parse(
+        "<h1>R</h1><h2>Service</h2><ul><li>PLDI '21 (PC), CAV '20 (PC)</li></ul>",
+    );
+    let perfect = QueryContext::with_models(
+        question(),
+        KEYWORDS,
+        QaModel::pretrained(),
+        EntityRecognizer::with_conference_orgs(),
+    );
+    let imperfect = QueryContext::with_models(
+        question(),
+        KEYWORDS,
+        QaModel::pretrained(),
+        EntityRecognizer::pretrained(),
+    );
+    let with_gap_closed = program.eval(&perfect, &page);
+    let with_gap_open = program.eval(&imperfect, &page);
+    assert!(
+        with_gap_closed.iter().any(|s| s.contains("PLDI")),
+        "perfect NER finds the conference: {with_gap_closed:?}"
+    );
+    assert!(
+        !with_gap_open.iter().any(|s| s.contains("PLDI")),
+        "imperfect NER must miss it: {with_gap_open:?}"
+    );
+}

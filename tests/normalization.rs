@@ -1,0 +1,47 @@
+//! Cross-crate property tests for program normalization: on real corpus
+//! pages and real synthesized programs, `normalize` must preserve
+//! evaluation exactly, never grow the AST, and be idempotent.
+
+use proptest::prelude::*;
+use webqa_corpus::{generate_pages, TASKS};
+use webqa_dsl::{normalize, QueryContext};
+use webqa_synth::{synthesize, Example, SynthConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn normalize_preserves_synthesized_program_semantics(seed in 0u64..50, t in 0usize..25) {
+        let task = &TASKS[t];
+        let pages = generate_pages(task.domain, 3, seed);
+        let ctx = QueryContext::new(task.question, task.keywords.to_vec());
+        let examples: Vec<Example> = pages
+            .iter()
+            .take(2)
+            .map(|p| Example::new(p.tree(), p.gold(task.id).to_vec()))
+            .collect();
+        let mut cfg = SynthConfig::fast();
+        cfg.max_guards_per_branch = 64;
+        cfg.max_programs = 25;
+        let out = synthesize(&cfg, &ctx, &examples);
+        // Evaluate original vs normalized on a page synthesis never saw.
+        let held_out = pages[2].tree();
+        for p in out.programs.iter().take(10) {
+            let n = normalize(p);
+            prop_assert_eq!(
+                p.eval(&ctx, &held_out),
+                n.eval(&ctx, &held_out),
+                "normalization changed behaviour of {}", p
+            );
+            for ex in &examples {
+                prop_assert_eq!(p.eval(&ctx, &ex.page), n.eval(&ctx, &ex.page));
+            }
+            prop_assert!(n.size() <= p.size(), "normalize grew {}", p);
+            prop_assert_eq!(normalize(&n), n.clone(), "not idempotent on {}", p);
+            // Normalized programs stay inside the text format.
+            let reparsed: webqa_dsl::Program =
+                n.to_string().parse().expect("normalized form parses");
+            prop_assert_eq!(reparsed, n);
+        }
+    }
+}

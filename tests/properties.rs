@@ -1,0 +1,108 @@
+//! Cross-crate property tests: invariants that hold across the whole
+//! pipeline on generated corpus pages.
+
+use proptest::prelude::*;
+use webqa_corpus::{generate_pages, Domain, TASKS};
+use webqa_dsl::{PageTree, Program, QueryContext};
+use webqa_metrics::score_strings;
+use webqa_synth::{synthesize, Example, SynthConfig};
+
+fn domain_strategy() -> impl Strategy<Value = Domain> {
+    prop_oneof![
+        Just(Domain::Faculty),
+        Just(Domain::Conference),
+        Just(Domain::Class),
+        Just(Domain::Clinic),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any generated page parses into a tree the DSL can evaluate over,
+    /// with any task's query context.
+    #[test]
+    fn corpus_pages_are_evaluable(domain in domain_strategy(), seed in 0u64..500, t in 0usize..25) {
+        let page = generate_pages(domain, 1, seed).remove(0);
+        let tree = page.tree();
+        let task = &TASKS[t];
+        let ctx = QueryContext::new(task.question, task.keywords.to_vec());
+        let program: Program =
+            "sat(descendants(root, leaf), true) -> filter(split(content, ','), kw(0.50))"
+                .parse()
+                .expect("valid");
+        let out = program.eval(&ctx, &tree);
+        // Output strings come from the page: their tokens all appear in it.
+        let page_text = tree.subtree_text(tree.root());
+        let s = score_strings(&out, &[page_text]);
+        prop_assert!((s.precision - 1.0).abs() < 1e-9 || out.is_empty());
+    }
+
+    /// Synthesis on corpus-derived examples is total, returns programs
+    /// that reproduce the reported training F1, and every returned
+    /// program round-trips through the text format.
+    #[test]
+    fn synthesis_result_is_consistent(seed in 0u64..50, t in 0usize..25) {
+        let task = &TASKS[t];
+        let pages = generate_pages(task.domain, 2, seed);
+        let ctx = QueryContext::new(task.question, task.keywords.to_vec());
+        let examples: Vec<Example> = pages
+            .iter()
+            .map(|p| Example::new(p.tree(), p.gold(task.id).to_vec()))
+            .collect();
+        let mut cfg = SynthConfig::fast();
+        cfg.max_guards_per_branch = 128; // keep the property test quick
+        cfg.max_programs = 50;
+        let out = synthesize(&cfg, &ctx, &examples);
+        prop_assert!((0.0..=1.0).contains(&out.f1));
+        for p in out.programs.iter().take(5) {
+            let counts = webqa_synth::program_counts(&ctx, &examples, p);
+            prop_assert!(
+                (counts.f1() - out.f1).abs() < 1e-6,
+                "program {} scores {} but synthesis reported {}",
+                p, counts.f1(), out.f1
+            );
+            let reparsed: Program = p.to_string().parse().expect("round-trip");
+            prop_assert_eq!(p, &reparsed);
+        }
+    }
+
+    /// The HTML round trip: corpus generator → HTML → page tree keeps
+    /// every gold string's tokens on the page (no information is lost in
+    /// parsing).
+    #[test]
+    fn gold_survives_parsing(domain in domain_strategy(), seed in 0u64..500) {
+        let page = generate_pages(domain, 1, seed).remove(0);
+        let tree = page.tree();
+        let all_text = tree.subtree_text(tree.root());
+        for (task_id, gold) in &page.gold {
+            let s = score_strings(gold, &[all_text.clone()]);
+            // every gold token appears in the page text (precision of gold
+            // against the page is 1)
+            prop_assert!(
+                gold.is_empty() || s.precision > 0.999,
+                "{task_id}: gold tokens missing from page"
+            );
+        }
+    }
+
+    /// Page trees produced by the builder and by parsing agree on
+    /// invariants the evaluator relies on (ids dense and pre-ordered).
+    #[test]
+    fn page_ids_are_preorder(domain in domain_strategy(), seed in 0u64..500) {
+        let page = generate_pages(domain, 1, seed).remove(0);
+        let tree: PageTree = page.tree();
+        let mut seen = vec![false; tree.len()];
+        let mut stack = vec![tree.root()];
+        let mut expected = 0usize;
+        while let Some(n) = stack.pop() {
+            prop_assert_eq!(n.index(), expected, "pre-order ids");
+            expected += 1;
+            seen[n.index()] = true;
+            for &c in tree.children(n).iter().rev() {
+                stack.push(c);
+            }
+        }
+        prop_assert!(seen.into_iter().all(|b| b));
+    }
+}
