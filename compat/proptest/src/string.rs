@@ -1,0 +1,264 @@
+//! Regex-subset string generation backing `"..."` strategies.
+//!
+//! Supported syntax (the subset this repo's tests use, plus a little slack):
+//! literal characters, `.`, `\PC` (any printable, i.e. non-control,
+//! character), character classes `[...]` / `[^...]` with ranges and `\n`,
+//! `\t`, `\r`, `\\`, `\]`-style escapes, groups `(...)`, alternation `|`,
+//! and the quantifiers `{n}`, `{n,m}`, `?`, `*`, `+`.
+
+use crate::test_runner::TestRng;
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    root: Ast,
+}
+
+#[derive(Debug, Clone)]
+enum Ast {
+    /// Choose one branch uniformly.
+    Alt(Vec<Ast>),
+    /// Emit each part in order.
+    Seq(Vec<Ast>),
+    /// Repeat the inner pattern uniformly between `min` and `max` times.
+    Rep(Box<Ast>, u32, u32),
+    /// A literal character.
+    Lit(char),
+    /// A character class: inclusive ranges, possibly negated.
+    Class(Vec<(char, char)>, bool),
+    /// `.` / `\PC`: any printable character.
+    Printable,
+}
+
+/// Pool for `Printable` and negated-class sampling: mostly ASCII printable,
+/// with a few multi-byte characters so char-boundary bugs still surface.
+const EXOTIC: &[char] = &['é', 'ü', 'ß', 'λ', '→', '中', '文', '№', '€', '…'];
+
+impl Pattern {
+    /// Parses `pattern`, panicking on syntax outside the supported subset
+    /// (a programming error in the test, not a test failure).
+    pub fn compile(pattern: &str) -> Pattern {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let root = parse_alt(&chars, &mut pos);
+        assert!(
+            pos == chars.len(),
+            "unsupported regex {pattern:?}: trailing {:?}",
+            &chars[pos..]
+        );
+        Pattern { root }
+    }
+
+    /// Generates one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        emit(&self.root, rng, &mut out);
+        out
+    }
+}
+
+fn emit(ast: &Ast, rng: &mut TestRng, out: &mut String) {
+    match ast {
+        Ast::Alt(branches) => emit(&branches[rng.below(branches.len())], rng, out),
+        Ast::Seq(parts) => {
+            for p in parts {
+                emit(p, rng, out);
+            }
+        }
+        Ast::Rep(inner, min, max) => {
+            let n = rng.in_range_u32(*min, *max);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+        Ast::Lit(c) => out.push(*c),
+        Ast::Printable => out.push(printable(rng)),
+        Ast::Class(ranges, negated) => out.push(class_char(ranges, *negated, rng)),
+    }
+}
+
+fn printable(rng: &mut TestRng) -> char {
+    if rng.below(10) == 0 {
+        EXOTIC[rng.below(EXOTIC.len())]
+    } else {
+        char::from_u32(rng.in_range_u32(0x20, 0x7E)).unwrap()
+    }
+}
+
+fn class_char(ranges: &[(char, char)], negated: bool, rng: &mut TestRng) -> char {
+    if negated {
+        // Rejection-sample from the printable pool.
+        for _ in 0..256 {
+            let c = printable(rng);
+            if !ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi) {
+                return c;
+            }
+        }
+        panic!("negated class rejects the whole printable pool");
+    }
+    let total: u32 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+        .sum();
+    let mut k = rng.in_range_u32(0, total - 1);
+    for &(lo, hi) in ranges {
+        let span = hi as u32 - lo as u32 + 1;
+        if k < span {
+            return char::from_u32(lo as u32 + k).expect("class range stays in scalar values");
+        }
+        k -= span;
+    }
+    unreachable!()
+}
+
+fn parse_alt(chars: &[char], pos: &mut usize) -> Ast {
+    let mut branches = vec![parse_seq(chars, pos)];
+    while *pos < chars.len() && chars[*pos] == '|' {
+        *pos += 1;
+        branches.push(parse_seq(chars, pos));
+    }
+    if branches.len() == 1 {
+        branches.pop().unwrap()
+    } else {
+        Ast::Alt(branches)
+    }
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize) -> Ast {
+    let mut parts = Vec::new();
+    while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+        let atom = parse_atom(chars, pos);
+        parts.push(parse_quantifier(atom, chars, pos));
+    }
+    Ast::Seq(parts)
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Ast {
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            let inner = parse_alt(chars, pos);
+            assert!(
+                *pos < chars.len() && chars[*pos] == ')',
+                "unsupported regex: unclosed group"
+            );
+            *pos += 1;
+            inner
+        }
+        '[' => parse_class(chars, pos),
+        '.' => {
+            *pos += 1;
+            Ast::Printable
+        }
+        '\\' => {
+            *pos += 1;
+            let c = chars[*pos];
+            *pos += 1;
+            match c {
+                // \PC (printable / non-control); also accept \P{C}.
+                'P' => {
+                    if chars.get(*pos) == Some(&'{') {
+                        while chars[*pos] != '}' {
+                            *pos += 1;
+                        }
+                        *pos += 1;
+                    } else {
+                        *pos += 1; // the category letter, e.g. the C in \PC
+                    }
+                    Ast::Printable
+                }
+                'n' => Ast::Lit('\n'),
+                't' => Ast::Lit('\t'),
+                'r' => Ast::Lit('\r'),
+                other => Ast::Lit(other),
+            }
+        }
+        c => {
+            *pos += 1;
+            Ast::Lit(c)
+        }
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Ast {
+    *pos += 1; // consume '['
+    let negated = chars[*pos] == '^';
+    if negated {
+        *pos += 1;
+    }
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    while chars[*pos] != ']' {
+        let lo = class_member(chars, pos);
+        if chars[*pos] == '-' && chars[*pos + 1] != ']' {
+            *pos += 1;
+            let hi = class_member(chars, pos);
+            assert!(lo <= hi, "unsupported regex: inverted class range");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    *pos += 1; // consume ']'
+    assert!(!ranges.is_empty(), "unsupported regex: empty class");
+    Ast::Class(ranges, negated)
+}
+
+fn class_member(chars: &[char], pos: &mut usize) -> char {
+    let c = chars[*pos];
+    *pos += 1;
+    if c != '\\' {
+        return c;
+    }
+    let e = chars[*pos];
+    *pos += 1;
+    match e {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_quantifier(atom: Ast, chars: &[char], pos: &mut usize) -> Ast {
+    if *pos >= chars.len() {
+        return atom;
+    }
+    match chars[*pos] {
+        '?' => {
+            *pos += 1;
+            Ast::Rep(Box::new(atom), 0, 1)
+        }
+        '*' => {
+            *pos += 1;
+            Ast::Rep(Box::new(atom), 0, 8)
+        }
+        '+' => {
+            *pos += 1;
+            Ast::Rep(Box::new(atom), 1, 8)
+        }
+        '{' => {
+            *pos += 1;
+            let mut min = String::new();
+            while chars[*pos].is_ascii_digit() {
+                min.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: u32 = min.parse().expect("quantifier lower bound");
+            let max = if chars[*pos] == ',' {
+                *pos += 1;
+                let mut max = String::new();
+                while chars[*pos].is_ascii_digit() {
+                    max.push(chars[*pos]);
+                    *pos += 1;
+                }
+                max.parse().expect("quantifier upper bound")
+            } else {
+                min
+            };
+            assert!(chars[*pos] == '}', "unsupported regex: bad quantifier");
+            *pos += 1;
+            Ast::Rep(Box::new(atom), min, max)
+        }
+        _ => atom,
+    }
+}

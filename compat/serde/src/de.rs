@@ -1,0 +1,198 @@
+//! Deserialization half of the shim.
+//!
+//! Instead of serde's visitor machinery, a [`Deserializer`] yields one
+//! self-describing [`Content`] tree and [`Deserialize`] impls match on it.
+//! [`ContentDeserializer`] re-wraps a subtree so nested fields can recurse
+//! through the same `Deserialize` trait.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// Formats that can report errors from `Deserialize` impls.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A self-describing deserialized tree (the shim's whole data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A map with insertion order preserved.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "a boolean",
+            Content::I64(_) | Content::U64(_) => "an integer",
+            Content::F64(_) => "a float",
+            Content::Str(_) => "a string",
+            Content::Seq(_) => "a sequence",
+            Content::Map(_) => "a map",
+        }
+    }
+}
+
+/// A data format that can be deserialized from.
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the format.
+    type Error: Error;
+    /// Consumes the input into one [`Content`] tree.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A data structure that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Builds `Self` from the deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Wraps an already-deserialized subtree as a [`Deserializer`], so nested
+/// `Deserialize` impls can recurse.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    marker: PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps `content`.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+    fn deserialize_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(Error::custom(format!(
+                "expected a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(Error::custom(format!(
+                "expected a boolean, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! deserialize_uint {
+    ($($t:ty),+) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let n: u64 = match content {
+                    Content::U64(n) => n,
+                    Content::I64(n) if n >= 0 => n as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected an unsigned integer, found {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )+};
+}
+
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($t:ty),+) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let n: i64 = match content {
+                    Content::I64(n) => n,
+                    Content::U64(n) => i64::try_from(n)
+                        .map_err(|_| Error::custom(format!("integer {n} out of range")))?,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected an integer, found {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )+};
+}
+
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::F64(x) => Ok(x),
+            Content::I64(n) => Ok(n as f64),
+            Content::U64(n) => Ok(n as f64),
+            other => Err(Error::custom(format!(
+                "expected a number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => T::deserialize(ContentDeserializer::<D::Error>::new(other)).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|c| T::deserialize(ContentDeserializer::<D::Error>::new(c)))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected a sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the subset of the
+//! [`serde`](https://crates.io/crates/serde) crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal reimplementation as a path dependency. The
+//! serialization side keeps serde's shape (a `Serializer` trait driven by
+//! `Serialize` impls, including `collect_str` for Display-based formats).
+//! The deserialization side is deliberately simpler than real serde: a
+//! `Deserializer` produces one self-describing [`de::Content`] tree and
+//! `Deserialize` impls pattern-match on it — no visitors. That is exactly
+//! enough for the JSON round-trips this repo performs.
+
+#![warn(missing_docs)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+// Derive macros, as in real serde's `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};

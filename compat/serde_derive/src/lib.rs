@@ -1,0 +1,261 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline `serde` stand-in in `compat/serde`.
+//!
+//! Implemented without `syn`/`quote` (crates.io is unreachable in this
+//! build environment): the input item is scanned token-by-token for just
+//! the shapes this workspace derives on —
+//!
+//! * structs with named fields, and
+//! * enums whose variants are all unit variants
+//!
+//! — and the impl is assembled as source text, then parsed back into a
+//! `TokenStream` (`TokenStream: FromStr`). Generics and `#[serde(...)]`
+//! attributes are not supported and panic at expansion time so misuse is
+//! loud, not silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the item under derivation.
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Named-field struct, field names in declaration order.
+    Struct(Vec<String>),
+    /// Enum of unit variants, names in declaration order.
+    Enum(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (see crate docs for supported shapes).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut out = format!(
+                "let mut state = serde::ser::Serializer::serialize_struct(serializer, \"{}\", {})?;\n",
+                item.name,
+                fields.len()
+            );
+            for f in fields {
+                out.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut state, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            out.push_str("serde::ser::SerializeStruct::end(state)\n");
+            out
+        }
+        ItemKind::Enum(variants) => {
+            let mut out = String::from("match self {\n");
+            for (i, v) in variants.iter().enumerate() {
+                out.push_str(&format!(
+                    "{name}::{v} => serde::ser::Serializer::serialize_unit_variant(serializer, \"{name}\", {i}u32, \"{v}\"),\n",
+                    name = item.name
+                ));
+            }
+            out.push_str("}\n");
+            out
+        }
+    };
+    let src = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize<S: serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n{body}}}\n\
+         }}\n",
+        name = item.name
+    );
+    src.parse()
+        .expect("derive(Serialize): generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (see crate docs for supported shapes).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut out = format!(
+                "let content = serde::Deserializer::deserialize_content(deserializer)?;\n\
+                 let mut map = match content {{\n\
+                     serde::de::Content::Map(m) => m,\n\
+                     other => return ::core::result::Result::Err(serde::de::Error::custom(\n\
+                         format!(\"expected a map for struct {name}, found {{}}\", other.kind()))),\n\
+                 }};\n",
+                name = item.name
+            );
+            for f in fields {
+                out.push_str(&format!(
+                    "let {f} = {{\n\
+                         let pos = map.iter().position(|(k, _)| k == \"{f}\").ok_or_else(||\n\
+                             serde::de::Error::custom(\"missing field `{f}` in {name}\"))?;\n\
+                         let (_, v) = map.swap_remove(pos);\n\
+                         serde::Deserialize::deserialize(\n\
+                             serde::de::ContentDeserializer::<D::Error>::new(v))?\n\
+                     }};\n",
+                    name = item.name
+                ));
+            }
+            out.push_str(&format!(
+                "::core::result::Result::Ok({} {{ {} }})\n",
+                item.name,
+                fields.join(", ")
+            ));
+            out
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "\"{v}\" => ::core::result::Result::Ok({}::{v}),\n",
+                    item.name
+                ));
+            }
+            format!(
+                "let content = serde::Deserializer::deserialize_content(deserializer)?;\n\
+                 match content {{\n\
+                     serde::de::Content::Str(s) => match s.as_str() {{\n\
+                         {arms}\
+                         other => ::core::result::Result::Err(serde::de::Error::custom(\n\
+                             format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                     }},\n\
+                     other => ::core::result::Result::Err(serde::de::Error::custom(\n\
+                         format!(\"expected a string for enum {name}, found {{}}\", other.kind()))),\n\
+                 }}\n",
+                name = item.name
+            )
+        }
+    };
+    let src = format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::Deserializer<'de>>(deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n{body}}}\n\
+         }}\n",
+        name = item.name
+    );
+    src.parse()
+        .expect("derive(Deserialize): generated impl parses")
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes and visibility until `struct` / `enum`.
+    let kind_word = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub` (possibly followed by a `(...)` restriction), skip.
+            }
+            Some(_) => {}
+            None => panic!("derive: no struct or enum found"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected item name, found {other:?}"),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive: generic types are not supported by the serde shim")
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("derive: tuple structs are not supported by the serde shim")
+            }
+            Some(_) => {}
+            None => panic!("derive: expected {{...}} body"),
+        }
+    };
+    let kind = if kind_word == "struct" {
+        ItemKind::Struct(parse_struct_fields(body.stream()))
+    } else {
+        ItemKind::Enum(parse_unit_variants(body.stream()))
+    };
+    Item { name, kind }
+}
+
+/// Extracts field names from the `{ ... }` of a named-field struct.
+fn parse_struct_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    'fields: loop {
+        // Skip attributes and visibility in front of the field name.
+        let name = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(_)) = tokens.peek() {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("derive: unexpected token {other} in struct body"),
+                None => break 'fields,
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type: consume until a top-level comma. Parens/brackets
+        // arrive as whole groups, so only `<`/`>` nesting needs tracking —
+        // taking care that the `>` of a `->` (fn-pointer return type) is
+        // not an angle-bracket close.
+        let mut angle: i32 = 0;
+        let mut prev_dash = false;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) => {
+                    match p.as_char() {
+                        '<' => angle += 1,
+                        '>' if !prev_dash => angle -= 1,
+                        ',' if angle == 0 => break,
+                        _ => {}
+                    }
+                    prev_dash = p.as_char() == '-';
+                }
+                Some(_) => prev_dash = false,
+                None => break 'fields,
+            }
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from the `{ ... }` of a unit-variant enum.
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                variants.push(id.to_string());
+                match tokens.next() {
+                    None | Some(TokenTree::Punct(_)) => {} // `,` or end
+                    Some(other) => panic!(
+                        "derive: only unit enum variants are supported by the serde shim \
+                         (found {other} after variant {})",
+                        variants.last().expect("just pushed")
+                    ),
+                }
+            }
+            Some(other) => panic!("derive: unexpected token {other} in enum body"),
+            None => break,
+        }
+    }
+    variants
+}

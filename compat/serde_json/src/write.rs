@@ -1,0 +1,234 @@
+//! Serialization: `Serialize` → [`Value`] → JSON text (compact or pretty).
+
+use crate::{Error, Map, Number, Value};
+use serde::ser::{SerializeMap, SerializeSeq, SerializeStruct};
+
+/// Serializes `value` to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value_to_string(&crate::to_value(value)?, false))
+}
+
+/// Serializes `value` to pretty-printed (2-space indented) JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value_to_string(&crate::to_value(value)?, true))
+}
+
+pub(crate) fn value_to_string(value: &Value, pretty: bool) -> String {
+    let mut out = String::new();
+    write_value(value, pretty, 0, &mut out);
+    out
+}
+
+fn write_value(value: &Value, pretty: bool, indent: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    newline_indent(indent + 1, out);
+                }
+                write_value(item, pretty, indent + 1, out);
+            }
+            if pretty {
+                newline_indent(indent, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    newline_indent(indent + 1, out);
+                }
+                write_string(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(v, pretty, indent + 1, out);
+            }
+            if pretty {
+                newline_indent(indent, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(level: usize, out: &mut String) {
+    out.push('\n');
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(n: Number, out: &mut String) {
+    match n {
+        Number::U64(v) => out.push_str(&v.to_string()),
+        Number::I64(v) => out.push_str(&v.to_string()),
+        Number::F64(v) if v.is_finite() => {
+            // Like real serde_json, integral floats keep a ".0".
+            if v == v.trunc() && v.abs() < 1e15 {
+                out.push_str(&format!("{v:.1}"));
+            } else {
+                out.push_str(&v.to_string());
+            }
+        }
+        // Real serde_json refuses non-finite floats; emitting null keeps
+        // report generation total without an error path through Display.
+        Number::F64(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The `Serializer` that builds a [`Value`] tree.
+pub(crate) struct ValueSerializer;
+
+impl serde::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = SeqBuilder;
+    type SerializeMap = MapBuilder;
+    type SerializeStruct = MapBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(Value::Number(if v >= 0 {
+            Number::U64(v as u64)
+        } else {
+            Number::I64(v)
+        }))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::U64(v)))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::F64(v)))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::String(v.to_string()))
+    }
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_some<T: serde::Serialize + ?Sized>(self, value: &T) -> Result<Value, Error> {
+        value.serialize(ValueSerializer)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Value, Error> {
+        Ok(Value::String(variant.to_string()))
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqBuilder, Error> {
+        Ok(SeqBuilder {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<MapBuilder, Error> {
+        Ok(MapBuilder { map: Map::new() })
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<MapBuilder, Error> {
+        Ok(MapBuilder { map: Map::new() })
+    }
+}
+
+/// Accumulates array elements.
+pub(crate) struct SeqBuilder {
+    items: Vec<Value>,
+}
+
+impl SerializeSeq for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: serde::Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Array(self.items))
+    }
+}
+
+/// Accumulates object entries (used for both maps and structs).
+pub(crate) struct MapBuilder {
+    map: Map<String, Value>,
+}
+
+impl SerializeMap for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_entry<K: serde::Serialize + ?Sized, V: serde::Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Error> {
+        let key = match key.serialize(ValueSerializer)? {
+            Value::String(s) => s,
+            other => return Err(Error(format!("map key must be a string, got {other:?}"))),
+        };
+        self.map.insert(key, value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.map))
+    }
+}
+
+impl SerializeStruct for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: serde::Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.map
+            .insert(key.to_string(), value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.map))
+    }
+}

@@ -18,7 +18,9 @@ pub struct BertQa {
 impl BertQa {
     /// Creates the baseline with the pretrained QA model.
     pub fn new() -> Self {
-        BertQa { model: QaModel::pretrained() }
+        BertQa {
+            model: QaModel::pretrained(),
+        }
     }
 
     /// Answers `question` on a webpage by flattening it to text and

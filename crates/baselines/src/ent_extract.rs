@@ -21,7 +21,9 @@ pub struct EntExtract {
 impl EntExtract {
     /// Creates the baseline with the pretrained NER model.
     pub fn new() -> Self {
-        EntExtract { ner: EntityRecognizer::pretrained() }
+        EntExtract {
+            ner: EntityRecognizer::pretrained(),
+        }
     }
 
     /// Extracts the best repeated structure for `query` from the page.
@@ -131,7 +133,9 @@ mod tests {
     #[test]
     fn empty_page_extracts_nothing() {
         assert!(EntExtract::new().extract("Who?", "").is_empty());
-        assert!(EntExtract::new().extract("Who?", "<p>no lists here</p>").is_empty());
+        assert!(EntExtract::new()
+            .extract("Who?", "<p>no lists here</p>")
+            .is_empty());
     }
 
     #[test]

@@ -91,8 +91,11 @@ impl Hyb {
                 .iter()
                 .zip(&docs)
                 .filter(|((_, gold), doc)| {
-                    let got: HashSet<String> =
-                        cand.select(doc).into_iter().map(|n| doc.text_content(n)).collect();
+                    let got: HashSet<String> = cand
+                        .select(doc)
+                        .into_iter()
+                        .map(|n| doc.text_content(n))
+                        .collect();
                     let want: HashSet<String> = gold.iter().cloned().collect();
                     got == want
                 })
@@ -100,7 +103,7 @@ impl Hyb {
             if exact_pages == examples.len() {
                 return Ok(Hyb { path: cand });
             }
-            if exact_pages > 0 && best.as_ref().map_or(true, |(n, _)| exact_pages > *n) {
+            if exact_pages > 0 && best.as_ref().is_none_or(|(n, _)| exact_pages > *n) {
                 best = Some((exact_pages, cand));
             }
         }
@@ -113,7 +116,11 @@ impl Hyb {
     /// Applies the wrapper to a new page.
     pub fn extract(&self, html: &str) -> Vec<String> {
         let doc = parse_html(html);
-        self.path.select(&doc).into_iter().map(|n| doc.text_content(n)).collect()
+        self.path
+            .select(&doc)
+            .into_iter()
+            .map(|n| doc.text_content(n))
+            .collect()
     }
 
     /// The learned selector.
@@ -124,7 +131,8 @@ impl Hyb {
 
 /// Finds a DOM node whose *exact* text content equals `label`.
 fn find_exact_node(doc: &Document, label: &str) -> Option<webqa_html::NodeId> {
-    doc.iter().find(|&n| doc.tag(n).is_some() && doc.text_content(n) == label)
+    doc.iter()
+        .find(|&n| doc.tag(n).is_some() && doc.text_content(n) == label)
 }
 
 /// Candidate generalizations of a concrete path, most specific first:
@@ -136,7 +144,10 @@ fn generalize(path: &PathExpr) -> Vec<PathExpr> {
     // Drop all positional predicates.
     let no_pos: Vec<Step> = steps
         .iter()
-        .map(|s| Step { position: None, ..s.clone() })
+        .map(|s| Step {
+            position: None,
+            ..s.clone()
+        })
         .collect();
     out.push(PathExpr::from_steps(no_pos.clone()));
     // Anchored suffixes: //parent/child and //child.
@@ -146,7 +157,10 @@ fn generalize(path: &PathExpr) -> Vec<PathExpr> {
         out.push(PathExpr::from_steps(suffix2));
     }
     if let Some(last) = no_pos.last() {
-        out.push(PathExpr::from_steps(vec![Step { descendant: true, ..last.clone() }]));
+        out.push(PathExpr::from_steps(vec![Step {
+            descendant: true,
+            ..last.clone()
+        }]));
     }
     out
 }
@@ -163,11 +177,16 @@ mod tests {
     #[test]
     fn learns_wrapper_on_uniform_schema() {
         let examples = vec![
-            (UNIFORM_A.to_string(), vec!["alpha".to_string(), "beta".to_string()]),
+            (
+                UNIFORM_A.to_string(),
+                vec!["alpha".to_string(), "beta".to_string()],
+            ),
             (UNIFORM_B.to_string(), vec!["gamma".to_string()]),
         ];
         let hyb = Hyb::train(&examples).expect("uniform schema is learnable");
-        let out = hyb.extract("<html><body><div class='list'><ul><li>x</li><li>y</li></ul></div></body></html>");
+        let out = hyb.extract(
+            "<html><body><div class='list'><ul><li>x</li><li>y</li></ul></div></body></html>",
+        );
         assert_eq!(out, vec!["x", "y"]);
     }
 
@@ -177,7 +196,10 @@ mod tests {
         // express it (no sub-node string processing).
         let html = "<html><body><p>PLDI '21 (PC), CAV '20 (PC)</p></body></html>";
         let examples = vec![(html.to_string(), vec!["PLDI '21 (PC)".to_string()])];
-        assert!(matches!(Hyb::train(&examples), Err(HybError::LabelNotANode(_))));
+        assert!(matches!(
+            Hyb::train(&examples),
+            Err(HybError::LabelNotANode(_))
+        ));
     }
 
     #[test]
@@ -204,7 +226,10 @@ mod tests {
             a.to_string(),
             vec!["one".to_string(), "missing label".to_string()],
         )];
-        assert!(matches!(Hyb::train(&examples), Err(HybError::LabelNotANode(_))));
+        assert!(matches!(
+            Hyb::train(&examples),
+            Err(HybError::LabelNotANode(_))
+        ));
     }
 
     #[test]

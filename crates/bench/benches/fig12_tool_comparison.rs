@@ -25,10 +25,16 @@ fn main() {
     let ent = mean_scores(rows.iter().map(|r| &r.ent).collect::<Vec<_>>());
 
     println!("{:<12} {:>6} {:>6} {:>6}", "tool", "P", "R", "F1");
-    for (name, s) in
-        [("WebQA", webqa), ("BERTQA", bertqa), ("HYB", hyb), ("EntExtract", ent)]
-    {
-        println!("{:<12} {:>6.2} {:>6.2} {:>6.2}", name, s.precision, s.recall, s.f1);
+    for (name, s) in [
+        ("WebQA", webqa),
+        ("BERTQA", bertqa),
+        ("HYB", hyb),
+        ("EntExtract", ent),
+    ] {
+        println!(
+            "{:<12} {:>6.2} {:>6.2} {:>6.2}",
+            name, s.precision, s.recall, s.f1
+        );
     }
     println!("\n# paper (Figure 12, avg over tasks): WebQA ≈ .69/.72/.70  BERTQA ≈ .47/.17/.21");
     println!("#                                     HYB ≈ .34/.04/.05   EntExtract ≈ .07/.16/.09");

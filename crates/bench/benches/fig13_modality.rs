@@ -15,8 +15,11 @@ fn main() {
     let setup = Setup::from_env();
     println!("# Figure 13: input-modality ablation (avg F1 per domain)\n");
 
-    let variants =
-        [("WebQA-NL", Modality::QuestionOnly), ("WebQA-KW", Modality::KeywordsOnly), ("WebQA", Modality::Both)];
+    let variants = [
+        ("WebQA-NL", Modality::QuestionOnly),
+        ("WebQA-KW", Modality::KeywordsOnly),
+        ("WebQA", Modality::Both),
+    ];
     // per variant: per-task F1
     let mut f1s: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
     for task in &TASKS {
@@ -30,7 +33,10 @@ fn main() {
         }
     }
 
-    println!("{:<12} {:>9} {:>9} {:>9}", "Domain", "WebQA-NL", "WebQA-KW", "WebQA");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9}",
+        "Domain", "WebQA-NL", "WebQA-KW", "WebQA"
+    );
     for domain in Domain::ALL {
         let idx: Vec<usize> = TASKS
             .iter()
@@ -42,14 +48,23 @@ fn main() {
             let v: Vec<f64> = idx.iter().map(|&i| f1s[vi][i]).collect();
             stats::mean(&v)
         };
-        println!("{:<12} {:>9.2} {:>9.2} {:>9.2}", domain.to_string(), avg(0), avg(1), avg(2));
+        println!(
+            "{:<12} {:>9.2} {:>9.2} {:>9.2}",
+            domain.to_string(),
+            avg(0),
+            avg(1),
+            avg(2)
+        );
     }
 
     // One-tailed Welch t-tests: full WebQA vs each single-modality variant
     // over the 25 per-task F1s (the paper reports p < 0.01 for both).
     for (vi, (name, _)) in variants.iter().take(2).enumerate() {
         let t = stats::welch_t_test(&f1s[2], &f1s[vi]);
-        println!("\nWebQA > {name}: t = {:.2}, one-tailed p = {:.4}", t.t, t.p_one_tailed);
+        println!(
+            "\nWebQA > {name}: t = {:.2}, one-tailed p = {:.4}",
+            t.t, t.p_one_tailed
+        );
     }
     println!("\n# paper (Figure 13): both modalities together beat either alone in every");
     println!("# domain, p < 0.01. Expected shape: WebQA column ≥ the two ablations.");

@@ -39,7 +39,12 @@ fn bench_nlp(c: &mut Criterion) {
         b.iter(|| ner.has_entity(black_box(text), EntityKind::Person))
     });
     c.bench_function("nlp/qa_answer", |b| {
-        b.iter(|| qa.answer(black_box(text), black_box("Who served on the program committee?")))
+        b.iter(|| {
+            qa.answer(
+                black_box(text),
+                black_box("Who served on the program committee?"),
+            )
+        })
     });
 }
 
@@ -49,11 +54,10 @@ fn bench_eval(c: &mut Criterion) {
         "What program committees or PC has this person served for?",
         ["Program Committee", "PC"],
     );
-    let program: Program =
-        "sat(descendants(descendants(root, text(kw(0.80))), leaf), true) -> \
+    let program: Program = "sat(descendants(descendants(root, text(kw(0.80))), leaf), true) -> \
          filter(split(content, ','), kw(0.50))"
-            .parse()
-            .expect("valid");
+        .parse()
+        .expect("valid");
     // Warm the context caches once: steady-state evaluation is the number
     // that matters for ensemble selection.
     let _ = program.eval(&ctx, &page);
@@ -64,7 +68,10 @@ fn bench_eval(c: &mut Criterion) {
 
 fn bench_synthesis(c: &mut Criterion) {
     let pages = generate_pages(Domain::Faculty, 2, 23);
-    let ctx = QueryContext::new("Who are the current PhD students?", ["Current Students", "PhD"]);
+    let ctx = QueryContext::new(
+        "Who are the current PhD students?",
+        ["Current Students", "PhD"],
+    );
     let examples: Vec<Example> = pages
         .iter()
         .map(|p| Example::new(p.tree(), p.gold("fac_t1").to_vec()))

@@ -18,8 +18,16 @@ use webqa_corpus::{task_by_id, Task};
 use webqa_dsl::QueryContext;
 use webqa_synth::{synthesize, Example, SynthConfig};
 
-const DEFAULT_TASKS: [&str; 8] =
-    ["fac_t5", "conf_t2", "class_t2", "clinic_t4", "fac_t1", "conf_t4", "class_t5", "clinic_t1"];
+const DEFAULT_TASKS: [&str; 8] = [
+    "fac_t5",
+    "conf_t2",
+    "class_t2",
+    "clinic_t4",
+    "fac_t1",
+    "conf_t4",
+    "class_t5",
+    "clinic_t1",
+];
 
 fn time_synthesis(setup: &Setup, task: &Task, cfg: &SynthConfig) -> (Duration, f64, usize) {
     let data = setup.dataset(task);
@@ -40,15 +48,24 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);
-    let tasks: Vec<&Task> =
-        DEFAULT_TASKS.iter().take(n_tasks).map(|id| task_by_id(id).expect("known id")).collect();
+    let tasks: Vec<&Task> = DEFAULT_TASKS
+        .iter()
+        .take(n_tasks)
+        .map(|id| task_by_id(id).expect("known id"))
+        .collect();
 
-    println!("# Table 3: synthesis-time ablation over {} tasks\n", tasks.len());
+    println!(
+        "# Table 3: synthesis-time ablation over {} tasks\n",
+        tasks.len()
+    );
 
     let variants: [(&str, SynthConfig); 4] = [
         ("WebQA", SynthConfig::fast()),
         ("WebQA-NoPrune", SynthConfig::fast().without_pruning()),
-        ("WebQA-NoDecomp", SynthConfig::fast().without_decomposition()),
+        (
+            "WebQA-NoDecomp",
+            SynthConfig::fast().without_decomposition(),
+        ),
         // This repo's extra ablation of the lazy guard enumeration the
         // paper credits for pruning power (DESIGN.md §5).
         ("WebQA-NoLazy", SynthConfig::fast().without_lazy_guards()),
@@ -61,16 +78,32 @@ fn main() {
             let (dt, f1, w) = time_synthesis(&setup, task, cfg);
             totals[i] += dt;
             work[i] += w;
-            eprintln!("  {:<10} {:<15} {:>8.2?}  trainF1={:.2}  work={}", task.id, name, dt, f1, w);
+            eprintln!(
+                "  {:<10} {:<15} {:>8.2?}  trainF1={:.2}  work={}",
+                task.id, name, dt, f1, w
+            );
         }
     }
 
     let base = totals[0].as_secs_f64() / tasks.len() as f64;
-    println!("{:<16} {:>12} {:>12} {:>14}", "Technique", "Avg time (s)", "Avg Speedup", "Search work");
+    println!(
+        "{:<16} {:>12} {:>12} {:>14}",
+        "Technique", "Avg time (s)", "Avg Speedup", "Search work"
+    );
     for (i, (name, _)) in variants.iter().enumerate() {
         let avg = totals[i].as_secs_f64() / tasks.len() as f64;
-        let speedup = if i == 0 { "-".to_string() } else { format!("{:.1}", avg / base) };
-        println!("{:<16} {:>12.2} {:>12} {:>14}", name, avg, speedup, work[i] / tasks.len());
+        let speedup = if i == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}", avg / base)
+        };
+        println!(
+            "{:<16} {:>12.2} {:>12} {:>14}",
+            name,
+            avg,
+            speedup,
+            work[i] / tasks.len()
+        );
     }
     println!("\n# paper (Table 3): WebQA 419s | NoPrune 1351s (3.6x) | NoDecomp 931s (2.4x)");
     println!("# (NoLazy is this repo's extra ablation — not in the paper's table.)");

@@ -16,14 +16,26 @@ use webqa_synth::{synthesize, Example, SynthConfig};
 
 const RUNS: usize = 20;
 const DEFAULT_TASKS: [&str; 12] = [
-    "fac_t1", "fac_t3", "fac_t5", "conf_t1", "conf_t2", "conf_t3", "class_t2", "class_t3",
-    "class_t5", "clinic_t1", "clinic_t4", "clinic_t5",
+    "fac_t1",
+    "fac_t3",
+    "fac_t5",
+    "conf_t1",
+    "conf_t2",
+    "conf_t3",
+    "class_t2",
+    "class_t3",
+    "class_t5",
+    "clinic_t1",
+    "clinic_t4",
+    "clinic_t5",
 ];
 
 fn main() {
     let setup = Setup::from_env();
-    let tasks: Vec<&Task> =
-        DEFAULT_TASKS.iter().map(|id| task_by_id(id).expect("known id")).collect();
+    let tasks: Vec<&Task> = DEFAULT_TASKS
+        .iter()
+        .map(|id| task_by_id(id).expect("known id"))
+        .collect();
     println!("# Table 4: transductive learning vs Random/Shortest ({RUNS} runs/task)\n");
 
     let mut f1s = [Vec::new(), Vec::new(), Vec::new()]; // transductive, random, shortest
@@ -57,7 +69,11 @@ fn main() {
         let mut per_run = [Vec::new(), Vec::new(), Vec::new()];
         for run in 0..RUNS {
             let seed = 1000 + run as u64;
-            let sel_cfg = SelectionConfig { ensemble_size: 300, seed, ..Default::default() };
+            let sel_cfg = SelectionConfig {
+                ensemble_size: 300,
+                seed,
+                ..Default::default()
+            };
             per_run[0].push(score_of(select_transductive(
                 &sel_cfg,
                 &ctx,
@@ -87,7 +103,10 @@ fn main() {
     let mean_var: Vec<f64> = variances.iter().map(|v| stats::mean(v)).collect();
     const EPS: f64 = 1e-6;
 
-    println!("{:<12} {:>20} {:>22}", "Technique", "% Improvement in F1", "Reduction in Variance");
+    println!(
+        "{:<12} {:>20} {:>22}",
+        "Technique", "% Improvement in F1", "Reduction in Variance"
+    );
     for (i, name) in ["Random", "Shortest"].iter().enumerate() {
         let idx = i + 1;
         let improvement = 100.0 * (mean_f1[0] - mean_f1[idx]) / mean_f1[idx].max(EPS);

@@ -94,8 +94,18 @@ fn read_rows(path: &std::path::Path) -> Option<Vec<TaskRow>> {
         for v in vals.iter_mut() {
             *v = cols.next()?.parse().ok()?;
         }
-        let s = |i: usize| Score { precision: vals[i], recall: vals[i + 1], f1: vals[i + 2] };
-        rows.push(TaskRow { task, webqa: s(0), bertqa: s(3), hyb: s(6), ent: s(9) });
+        let s = |i: usize| Score {
+            precision: vals[i],
+            recall: vals[i + 1],
+            f1: vals[i + 2],
+        };
+        rows.push(TaskRow {
+            task,
+            webqa: s(0),
+            bertqa: s(3),
+            hyb: s(6),
+            ent: s(9),
+        });
     }
     if rows.len() == webqa_corpus::TASKS.len() {
         Some(rows)
@@ -122,7 +132,10 @@ fn write_rows(path: &std::path::Path, rows: &[TaskRow]) {
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Scores of every tool on one task (a row of Table 6).
@@ -145,7 +158,11 @@ pub struct TaskRow {
 pub fn run_webqa(setup: &Setup, task: &Task, config: Config) -> Score {
     let data = setup.dataset(task);
     let system = WebQa::new(config);
-    let labeled: Vec<_> = data.train.iter().map(|p| (p.page.clone(), p.gold.clone())).collect();
+    let labeled: Vec<_> = data
+        .train
+        .iter()
+        .map(|p| (p.page.clone(), p.gold.clone()))
+        .collect();
     let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
     let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
     let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
@@ -181,13 +198,19 @@ pub fn run_all_tools(setup: &Setup, task: &'static Task, config: Config) -> Task
 
     // BERTQA: flat-text QA per page.
     let bq = BertQa::new();
-    let bert_answers: Vec<Vec<String>> =
-        data.test.iter().map(|p| bq.answer_page(task.question, &p.html)).collect();
+    let bert_answers: Vec<Vec<String>> = data
+        .test
+        .iter()
+        .map(|p| bq.answer_page(task.question, &p.html))
+        .collect();
     let bertqa = score_answers(&bert_answers, &gold);
 
     // HYB: exact-match wrapper induction from the labeled pages.
-    let hyb_train: Vec<(String, Vec<String>)> =
-        data.train.iter().map(|p| (p.html.clone(), p.gold.clone())).collect();
+    let hyb_train: Vec<(String, Vec<String>)> = data
+        .train
+        .iter()
+        .map(|p| (p.html.clone(), p.gold.clone()))
+        .collect();
     let hyb_answers: Vec<Vec<String>> = match Hyb::train(&hyb_train) {
         Ok(wrapper) => data.test.iter().map(|p| wrapper.extract(&p.html)).collect(),
         Err(_) => vec![Vec::new(); data.test.len()], // synthesis failed (paper §8.1)
@@ -196,11 +219,20 @@ pub fn run_all_tools(setup: &Setup, task: &'static Task, config: Config) -> Task
 
     // EntExtract: zero-shot.
     let ee = EntExtract::new();
-    let ent_answers: Vec<Vec<String>> =
-        data.test.iter().map(|p| ee.extract(task.question, &p.html)).collect();
+    let ent_answers: Vec<Vec<String>> = data
+        .test
+        .iter()
+        .map(|p| ee.extract(task.question, &p.html))
+        .collect();
     let ent = score_answers(&ent_answers, &gold);
 
-    TaskRow { task, webqa, bertqa, hyb, ent }
+    TaskRow {
+        task,
+        webqa,
+        bertqa,
+        hyb,
+        ent,
+    }
 }
 
 /// Macro-averages a set of scores (how the paper aggregates per-task rows
@@ -228,7 +260,10 @@ pub fn default_config() -> Config {
 
 /// Pipeline config with a fixed selection strategy.
 pub fn config_with_strategy(strategy: Selection) -> Config {
-    Config { strategy, ..Config::default() }
+    Config {
+        strategy,
+        ..Config::default()
+    }
 }
 
 /// Formats one score triple as the paper prints them (two decimals).
@@ -242,7 +277,12 @@ mod tests {
     use webqa_corpus::task_by_id;
 
     fn tiny_setup() -> Setup {
-        Setup { corpus: Corpus::generate(8, 7), train_pages: 4, pages_per_domain: 8, seed: 7 }
+        Setup {
+            corpus: Corpus::generate(8, 7),
+            train_pages: 4,
+            pages_per_domain: 8,
+            seed: 7,
+        }
     }
 
     #[test]

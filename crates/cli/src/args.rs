@@ -48,7 +48,11 @@ impl fmt::Display for ArgError {
             ArgError::MissingValue(k) => write!(f, "option --{k} requires a value"),
             ArgError::UnknownOption(k) => write!(f, "unknown option --{k}"),
             ArgError::MissingOption(k) => write!(f, "required option --{k} is missing"),
-            ArgError::InvalidValue { option, value, expected } => {
+            ArgError::InvalidValue {
+                option,
+                value,
+                expected,
+            } => {
                 write!(f, "option --{option}: {value:?} is not {expected}")
             }
         }
@@ -64,7 +68,10 @@ impl std::error::Error for ArgError {}
 pub fn parse<S: AsRef<str>>(raw: &[S], switches: &[&str]) -> Result<ParsedArgs, ArgError> {
     let mut it = raw.iter().map(|s| s.as_ref());
     let command = it.next().ok_or(ArgError::MissingCommand)?.to_string();
-    let mut out = ParsedArgs { command, ..Default::default() };
+    let mut out = ParsedArgs {
+        command,
+        ..Default::default()
+    };
     while let Some(tok) = it.next() {
         let Some(name) = tok.strip_prefix("--") else {
             return Err(ArgError::UnknownOption(tok.to_string()));
@@ -72,7 +79,9 @@ pub fn parse<S: AsRef<str>>(raw: &[S], switches: &[&str]) -> Result<ParsedArgs, 
         if switches.contains(&name) {
             out.switches.push(name.to_string());
         } else {
-            let value = it.next().ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
             out.options.insert(name.to_string(), value.to_string());
         }
     }
@@ -87,7 +96,8 @@ impl ParsedArgs {
 
     /// The value of a required option.
     pub fn require(&self, name: &str) -> Result<&str, ArgError> {
-        self.get(name).ok_or_else(|| ArgError::MissingOption(name.to_string()))
+        self.get(name)
+            .ok_or_else(|| ArgError::MissingOption(name.to_string()))
     }
 
     /// The value of `--name` parsed as `T`, or `default` when absent.
@@ -185,7 +195,10 @@ mod tests {
     #[test]
     fn expect_only_rejects_unknown() {
         let a = parse(&["synth", "--bogus", "1"], &[]).unwrap();
-        assert_eq!(a.expect_only(&["task"]), Err(ArgError::UnknownOption("bogus".into())));
+        assert_eq!(
+            a.expect_only(&["task"]),
+            Err(ArgError::UnknownOption("bogus".into()))
+        );
         let a = parse(&["synth", "--task", "x"], &[]).unwrap();
         assert!(a.expect_only(&["task"]).is_ok());
     }
@@ -193,7 +206,10 @@ mod tests {
     #[test]
     fn require_and_invalid_value() {
         let a = parse(&["synth", "--seed", "NaN-ish"], &[]).unwrap();
-        assert_eq!(a.require("task"), Err(ArgError::MissingOption("task".into())));
+        assert_eq!(
+            a.require("task"),
+            Err(ArgError::MissingOption("task".into()))
+        );
         assert!(matches!(
             a.get_parsed::<u64>("seed", 0, "an integer"),
             Err(ArgError::InvalidValue { .. })
@@ -202,14 +218,25 @@ mod tests {
 
     #[test]
     fn comma_lists() {
-        let a = parse(&["run", "--keywords", "PC, Program Committee, ,Service"], &[]).unwrap();
-        assert_eq!(a.get_list("keywords"), ["PC", "Program Committee", "Service"]);
+        let a = parse(
+            &["run", "--keywords", "PC, Program Committee, ,Service"],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(
+            a.get_list("keywords"),
+            ["PC", "Program Committee", "Service"]
+        );
         assert!(a.get_list("absent").is_empty());
     }
 
     #[test]
     fn error_messages_are_informative() {
-        assert!(ArgError::MissingOption("task".into()).to_string().contains("--task"));
-        assert!(ArgError::UnknownOption("x".into()).to_string().contains("--x"));
+        assert!(ArgError::MissingOption("task".into())
+            .to_string()
+            .contains("--task"));
+        assert!(ArgError::UnknownOption("x".into())
+            .to_string()
+            .contains("--x"));
     }
 }

@@ -59,13 +59,25 @@ pub(crate) fn tasks(a: &ParsedArgs) -> Result<String, CliError> {
     a.expect_only(&["domain"])?;
     let filter = a.get("domain").map(parse_domain).transpose()?;
     let mut out = String::new();
-    let _ = writeln!(out, "{:<10} {:<11} {}", "ID", "DOMAIN", "QUESTION / KEYWORDS");
+    let _ = writeln!(out, "{:<10} {:<11} QUESTION / KEYWORDS", "ID", "DOMAIN");
     for t in &TASKS {
         if filter.is_some_and(|d| d != t.domain) {
             continue;
         }
-        let _ = writeln!(out, "{:<10} {:<11} {}", t.id, format!("{:?}", t.domain), t.question);
-        let _ = writeln!(out, "{:<10} {:<11}   keywords: {}", "", "", t.keywords.join(", "));
+        let _ = writeln!(
+            out,
+            "{:<10} {:<11} {}",
+            t.id,
+            format!("{:?}", t.domain),
+            t.question
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:<11}   keywords: {}",
+            "",
+            "",
+            t.keywords.join(", ")
+        );
     }
     Ok(out)
 }
@@ -101,7 +113,13 @@ pub(crate) fn corpus(a: &ParsedArgs) -> Result<String, CliError> {
     let _ = writeln!(out, "{count} {domain:?} pages (seed {seed}):");
     for p in &pages {
         let tree = p.tree();
-        let _ = writeln!(out, "  {:<16} {:>4} nodes  {:>6} bytes html", p.name, tree.len(), p.html.len());
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>4} nodes  {:>6} bytes html",
+            p.name,
+            tree.len(),
+            p.html.len()
+        );
     }
     Ok(out)
 }
@@ -131,7 +149,15 @@ fn parse_modality(s: &str) -> Result<Modality, CliError> {
 /// `synth`: end-to-end synthesis + evaluation on one corpus task.
 pub(crate) fn synth(a: &ParsedArgs) -> Result<String, CliError> {
     a.expect_only(&[
-        "task", "train", "pages", "seed", "paper", "strategy", "modality", "baselines", "show",
+        "task",
+        "train",
+        "pages",
+        "seed",
+        "paper",
+        "strategy",
+        "modality",
+        "baselines",
+        "show",
         "json",
     ])?;
     let task_id = a.require("task")?;
@@ -160,8 +186,11 @@ pub(crate) fn synth(a: &ParsedArgs) -> Result<String, CliError> {
 
     let corpus = Corpus::generate(n_pages, seed);
     let ds = corpus.dataset(task, n_train);
-    let labeled: Vec<(PageTree, Vec<String>)> =
-        ds.train.iter().map(|p| (p.page.clone(), p.gold.clone())).collect();
+    let labeled: Vec<(PageTree, Vec<String>)> = ds
+        .train
+        .iter()
+        .map(|p| (p.page.clone(), p.gold.clone()))
+        .collect();
     let unlabeled: Vec<PageTree> = ds.test.iter().map(|p| p.page.clone()).collect();
 
     let system = WebQa::new(config);
@@ -224,25 +253,46 @@ pub(crate) fn synth(a: &ParsedArgs) -> Result<String, CliError> {
 
     if a.switch("baselines") {
         let bert = BertQa::new();
-        let answers: Vec<Vec<String>> =
-            ds.test.iter().map(|p| bert.answer_page(task.question, &p.html)).collect();
+        let answers: Vec<Vec<String>> = ds
+            .test
+            .iter()
+            .map(|p| bert.answer_page(task.question, &p.html))
+            .collect();
         let s = score_answers(&answers, &gold);
-        let _ = writeln!(out, "BertQA     : P {:.3}  R {:.3}  F1 {:.3}", s.precision, s.recall, s.f1);
+        let _ = writeln!(
+            out,
+            "BertQA     : P {:.3}  R {:.3}  F1 {:.3}",
+            s.precision, s.recall, s.f1
+        );
 
-        let train_pairs: Vec<(String, Vec<String>)> =
-            ds.train.iter().map(|p| (p.html.clone(), p.gold.clone())).collect();
+        let train_pairs: Vec<(String, Vec<String>)> = ds
+            .train
+            .iter()
+            .map(|p| (p.html.clone(), p.gold.clone()))
+            .collect();
         let answers: Vec<Vec<String>> = match Hyb::train(&train_pairs) {
             Ok(h) => ds.test.iter().map(|p| h.extract(&p.html)).collect(),
             Err(_) => vec![Vec::new(); ds.test.len()],
         };
         let s = score_answers(&answers, &gold);
-        let _ = writeln!(out, "HYB        : P {:.3}  R {:.3}  F1 {:.3}", s.precision, s.recall, s.f1);
+        let _ = writeln!(
+            out,
+            "HYB        : P {:.3}  R {:.3}  F1 {:.3}",
+            s.precision, s.recall, s.f1
+        );
 
         let ee = EntExtract::new();
-        let answers: Vec<Vec<String>> =
-            ds.test.iter().map(|p| ee.extract(task.question, &p.html)).collect();
+        let answers: Vec<Vec<String>> = ds
+            .test
+            .iter()
+            .map(|p| ee.extract(task.question, &p.html))
+            .collect();
         let s = score_answers(&answers, &gold);
-        let _ = writeln!(out, "EntExtract : P {:.3}  R {:.3}  F1 {:.3}", s.precision, s.recall, s.f1);
+        let _ = writeln!(
+            out,
+            "EntExtract : P {:.3}  R {:.3}  F1 {:.3}",
+            s.precision, s.recall, s.f1
+        );
     }
 
     Ok(out)
@@ -303,7 +353,10 @@ pub(crate) fn stats(a: &ParsedArgs) -> Result<String, CliError> {
     let seed: u64 = a.get_parsed("seed", 0, "an integer")?;
     let filter = a.get("domain").map(parse_domain).transpose()?;
     let mut out = String::new();
-    let _ = writeln!(out, "corpus statistics ({count} pages/domain, seed {seed}):");
+    let _ = writeln!(
+        out,
+        "corpus statistics ({count} pages/domain, seed {seed}):"
+    );
     for domain in Domain::ALL {
         if filter.is_some_and(|d| d != domain) {
             continue;
@@ -355,7 +408,12 @@ pub(crate) fn check(a: &ParsedArgs) -> Result<String, CliError> {
     let report = lint(&program, &ctx);
     let mut out = String::new();
     let _ = writeln!(out, "program: {program}");
-    let _ = writeln!(out, "size {} | branches {}", program.size(), program.branches.len());
+    let _ = writeln!(
+        out,
+        "size {} | branches {}",
+        program.size(),
+        program.branches.len()
+    );
     let _ = writeln!(out, "lint: {report}");
     if a.switch("normalize") {
         let n = normalize(&program);
@@ -395,26 +453,31 @@ mod tests {
 
     #[test]
     fn corpus_inventory_and_page_views() {
-        let out =
-            dispatch(&["corpus", "--domain", "faculty", "--count", "2", "--seed", "5"]).unwrap();
+        let out = dispatch(&[
+            "corpus", "--domain", "faculty", "--count", "2", "--seed", "5",
+        ])
+        .unwrap();
         assert!(out.contains("faculty"), "{out}");
         assert!(out.contains("nodes"));
 
-        let html =
-            dispatch(&["corpus", "--domain", "faculty", "--count", "2", "--page", "1", "--raw"])
-                .unwrap();
+        let html = dispatch(&[
+            "corpus", "--domain", "faculty", "--count", "2", "--page", "1", "--raw",
+        ])
+        .unwrap();
         assert!(html.contains("<h1>"), "{html}");
 
-        let stats =
-            dispatch(&["corpus", "--domain", "faculty", "--count", "2", "--page", "0"]).unwrap();
+        let stats = dispatch(&[
+            "corpus", "--domain", "faculty", "--count", "2", "--page", "0",
+        ])
+        .unwrap();
         assert!(stats.contains("tree nodes"));
         assert!(stats.contains("fac_t1"));
     }
 
     #[test]
     fn corpus_rejects_out_of_range_page() {
-        let err = dispatch(&["corpus", "--domain", "class", "--count", "2", "--page", "7"])
-            .unwrap_err();
+        let err =
+            dispatch(&["corpus", "--domain", "class", "--count", "2", "--page", "7"]).unwrap_err();
         assert!(err.to_string().contains("out of range"));
     }
 
@@ -432,10 +495,8 @@ mod tests {
     #[test]
     fn synth_rejects_unknown_task_and_bad_split() {
         assert!(dispatch(&["synth", "--task", "nope"]).is_err());
-        let err = dispatch(&[
-            "synth", "--task", "fac_t1", "--pages", "3", "--train", "3",
-        ])
-        .unwrap_err();
+        let err =
+            dispatch(&["synth", "--task", "fac_t1", "--pages", "3", "--train", "3"]).unwrap_err();
         assert!(err.to_string().contains("smaller"));
     }
 
@@ -497,7 +558,14 @@ mod tests {
     fn export_writes_pages_and_gold() {
         let dir = std::env::temp_dir().join(format!("webqa_export_{}", std::process::id()));
         let out = dispatch(&[
-            "export", "--domain", "clinic", "--count", "3", "--seed", "2", "--out",
+            "export",
+            "--domain",
+            "clinic",
+            "--count",
+            "3",
+            "--seed",
+            "2",
+            "--out",
             dir.to_str().unwrap(),
         ])
         .unwrap();
@@ -508,7 +576,11 @@ mod tests {
         let html_files = std::fs::read_dir(&dir)
             .unwrap()
             .filter(|e| {
-                e.as_ref().unwrap().path().extension().is_some_and(|x| x == "html")
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "html")
             })
             .count();
         assert_eq!(html_files, 3);
@@ -527,6 +599,9 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("no-op"), "{out}");
-        assert!(out.contains("normalized: sat(root, kw(0.60)) -> content"), "{out}");
+        assert!(
+            out.contains("normalized: sat(root, kw(0.60)) -> content"),
+            "{out}"
+        );
     }
 }

@@ -98,7 +98,9 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let out = dispatch(&["help"]).unwrap();
-        for c in ["tasks", "corpus", "synth", "run", "check", "stats", "export"] {
+        for c in [
+            "tasks", "corpus", "synth", "run", "check", "stats", "export",
+        ] {
             assert!(out.contains(c), "help is missing {c}");
         }
     }

@@ -67,7 +67,11 @@ fn featurize(ctx: &QueryContext, page: &PageTree) -> Vec<f64> {
 }
 
 fn distance(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Suggests up to `k` (≤ [`MAX_LABEL_REQUESTS`]) diverse pages to label,
@@ -104,8 +108,14 @@ pub fn suggest_labels(ctx: &QueryContext, pages: &[PageTree], k: usize) -> Vec<u
         let next = (0..pages.len())
             .filter(|i| !chosen.contains(i))
             .max_by(|&a, &b| {
-                let da = chosen.iter().map(|&c| distance(&features[a], &features[c])).fold(f64::INFINITY, f64::min);
-                let db = chosen.iter().map(|&c| distance(&features[b], &features[c])).fold(f64::INFINITY, f64::min);
+                let da = chosen
+                    .iter()
+                    .map(|&c| distance(&features[a], &features[c]))
+                    .fold(f64::INFINITY, f64::min);
+                let db = chosen
+                    .iter()
+                    .map(|&c| distance(&features[b], &features[c]))
+                    .fold(f64::INFINITY, f64::min);
                 da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
             });
         match next {
@@ -122,7 +132,9 @@ mod tests {
 
     fn pages() -> Vec<PageTree> {
         vec![
-            PageTree::parse("<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li><li>Bob Smith</li></ul>"),
+            PageTree::parse(
+                "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li><li>Bob Smith</li></ul>",
+            ),
             PageTree::parse("<h1>B</h1><h2>Students</h2><ul><li>Mary Anderson</li></ul>"),
             PageTree::parse("<h1>C</h1><p>just a paragraph page</p>"),
             PageTree::parse(
@@ -148,8 +160,9 @@ mod tests {
 
     #[test]
     fn caps_at_five() {
-        let many: Vec<PageTree> =
-            (0..10).map(|i| PageTree::parse(&format!("<h1>P{i}</h1><p>t{i}</p>"))).collect();
+        let many: Vec<PageTree> = (0..10)
+            .map(|i| PageTree::parse(&format!("<h1>P{i}</h1><p>t{i}</p>")))
+            .collect();
         assert_eq!(suggest_labels(&ctx(), &many, 9).len(), MAX_LABEL_REQUESTS);
     }
 
@@ -164,7 +177,10 @@ mod tests {
         // With k=2 the picks should span different layouts: not both of
         // the two near-identical student pages.
         let s = suggest_labels(&ctx(), &pages(), 2);
-        assert!(!(s.contains(&0) && s.contains(&1)), "picked two near-duplicates: {s:?}");
+        assert!(
+            !(s.contains(&0) && s.contains(&1)),
+            "picked two near-duplicates: {s:?}"
+        );
     }
 
     #[test]
@@ -175,6 +191,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(suggest_labels(&ctx(), &pages(), 3), suggest_labels(&ctx(), &pages(), 3));
+        assert_eq!(
+            suggest_labels(&ctx(), &pages(), 3),
+            suggest_labels(&ctx(), &pages(), 3)
+        );
     }
 }

@@ -94,32 +94,38 @@ impl WebQa {
         unlabeled: &[PageTree],
     ) -> RunResult {
         let ctx = self.context(question, keywords);
-        let examples: Vec<Example> =
-            labeled.iter().map(|(p, g)| Example::new(p.clone(), g.clone())).collect();
+        let examples: Vec<Example> = labeled
+            .iter()
+            .map(|(p, g)| Example::new(p.clone(), g.clone()))
+            .collect();
         let synthesis = synthesize(&self.config.synth, &ctx, &examples);
         let program = match self.config.strategy {
-            Selection::Transductive => select_transductive(
-                &self.config.selection,
-                &ctx,
-                &synthesis.programs,
-                unlabeled,
-            ),
+            Selection::Transductive => {
+                select_transductive(&self.config.selection, &ctx, &synthesis.programs, unlabeled)
+            }
             Selection::Random => select_random(&synthesis.programs, self.config.selection.seed),
-            Selection::Shortest =>
-                select_shortest(&synthesis.programs, self.config.selection.seed),
+            Selection::Shortest => select_shortest(&synthesis.programs, self.config.selection.seed),
         };
         let answers = match &program {
             Some(p) => unlabeled.iter().map(|page| p.eval(&ctx, page)).collect(),
             None => vec![Vec::new(); unlabeled.len()],
         };
-        RunResult { program, synthesis, answers }
+        RunResult {
+            program,
+            synthesis,
+            answers,
+        }
     }
 }
 
 /// Scores per-page answers against per-page gold labels (micro-averaged
 /// token P/R/F₁ — the paper's evaluation metric).
 pub fn score_answers(answers: &[Vec<String>], gold: &[Vec<String>]) -> Score {
-    assert_eq!(answers.len(), gold.len(), "answers and gold must be aligned");
+    assert_eq!(
+        answers.len(),
+        gold.len(),
+        "answers and gold must be aligned"
+    );
     let counts: Counts = answers
         .iter()
         .zip(gold)
@@ -186,15 +192,19 @@ mod tests {
 
     #[test]
     fn modality_contexts() {
-        let mut cfg = Config::default();
-        cfg.modality = Modality::QuestionOnly;
+        let cfg = Config {
+            modality: Modality::QuestionOnly,
+            ..Config::default()
+        };
         let system = WebQa::new(cfg);
         let ctx = system.context("Who?", &["K"]);
         assert!(ctx.keywords().is_empty());
         assert_eq!(ctx.question(), "Who?");
 
-        let mut cfg = Config::default();
-        cfg.modality = Modality::KeywordsOnly;
+        let cfg = Config {
+            modality: Modality::KeywordsOnly,
+            ..Config::default()
+        };
         let ctx = WebQa::new(cfg).context("Who?", &["K"]);
         assert!(ctx.question().is_empty());
         assert_eq!(ctx.keywords(), ["K".to_string()]);
@@ -210,9 +220,15 @@ mod tests {
 
     #[test]
     fn selection_strategies_all_produce_programs() {
-        for strategy in [Selection::Transductive, Selection::Random, Selection::Shortest] {
-            let mut cfg = Config::default();
-            cfg.strategy = strategy;
+        for strategy in [
+            Selection::Transductive,
+            Selection::Random,
+            Selection::Shortest,
+        ] {
+            let cfg = Config {
+                strategy,
+                ..Config::default()
+            };
             let system = WebQa::new(cfg);
             let result = system.run(
                 "Who are the current PhD students?",

@@ -147,8 +147,7 @@ mod tests {
         let c = Corpus::generate(8, 2);
         for task in &TASKS {
             let d = c.dataset(task, 5);
-            let total: usize =
-                d.train.iter().chain(&d.test).map(|p| p.gold.len()).sum();
+            let total: usize = d.train.iter().chain(&d.test).map(|p| p.gold.len()).sum();
             assert!(total > 0, "task {} has no gold anywhere", task.id);
         }
     }

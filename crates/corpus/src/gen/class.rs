@@ -35,17 +35,31 @@ fn make_facts(rng: &mut StdRng) -> ClassFacts {
 
     let mut exams = vec![(
         "Midterm".to_string(),
-        format!("{} {}, {year}", pick(rng, lexicon::MONTHS), rng.gen_range(1..28)),
+        format!(
+            "{} {}, {year}",
+            pick(rng, lexicon::MONTHS),
+            rng.gen_range(1..28)
+        ),
     )];
     if rng.gen_bool(0.8) {
         exams.push((
             "Final exam".to_string(),
-            format!("{} {}, {year}", pick(rng, lexicon::MONTHS), rng.gen_range(1..28)),
+            format!(
+                "{} {}, {year}",
+                pick(rng, lexicon::MONTHS),
+                rng.gen_range(1..28)
+            ),
         ));
     }
 
     let mut grading = Vec::new();
-    let components = [("Homework", 30), ("Midterm", 20), ("Final exam", 30), ("Projects", 15), ("Participation", 5)];
+    let components = [
+        ("Homework", 30),
+        ("Midterm", 20),
+        ("Final exam", 30),
+        ("Projects", 15),
+        ("Participation", 5),
+    ];
     let n_components = rng.gen_range(3..5);
     for (name, pct) in sample(rng, &components, n_components) {
         grading.push(format!("{name}: {pct}%"));
@@ -66,7 +80,10 @@ fn make_facts(rng: &mut StdRng) -> ClassFacts {
         exams,
         textbooks: {
             let n = rng.gen_range(1..3);
-            sample(rng, lexicon::TEXTBOOKS, n).into_iter().map(|s| s.to_string()).collect()
+            sample(rng, lexicon::TEXTBOOKS, n)
+                .into_iter()
+                .map(|s| s.to_string())
+                .collect()
         },
         grading,
     }
@@ -77,7 +94,10 @@ fn gold_for(facts: &ClassFacts) -> Vec<(&'static str, Vec<String>)> {
         ("class_t1", facts.lectures.clone()),
         ("class_t2", facts.instructors.clone()),
         ("class_t3", facts.tas.clone()),
-        ("class_t4", facts.exams.iter().map(|(_, d)| d.clone()).collect()),
+        (
+            "class_t4",
+            facts.exams.iter().map(|(_, d)| d.clone()).collect(),
+        ),
         ("class_t5", facts.textbooks.clone()),
         ("class_t6", facts.grading.clone()),
     ]
@@ -87,7 +107,7 @@ fn render(rng: &mut StdRng, facts: &ClassFacts) -> String {
     let full_title = format!("{}: {}", facts.code, facts.title);
     let mut doc = HtmlDoc::new(&full_title);
     doc.h1(&full_title);
-    doc.p(&format!(
+    doc.p(format!(
         "Welcome to {}. This course covers the fundamentals of {}.",
         facts.code,
         facts.title.to_lowercase()
@@ -126,9 +146,9 @@ fn render_staff(rng: &mut StdRng, facts: &ClassFacts, doc: &mut HtmlDoc, level: 
             let instructor_titles = ["Instructors", "Instructor"];
             let ta_titles = ["Teaching Assistants", "TAs"];
             doc.heading(level, pick(rng, &instructor_titles));
-            doc.p(&facts.instructors.join(", "));
+            doc.p(facts.instructors.join(", "));
             doc.heading(level, pick(rng, &ta_titles));
-            doc.p(&facts.tas.join(", "));
+            doc.p(facts.tas.join(", "));
         }
         _ => {
             doc.heading(level, "Staff");
@@ -158,7 +178,7 @@ fn render_lectures(rng: &mut StdRng, facts: &ClassFacts, doc: &mut HtmlDoc, leve
     } else if rng.gen_bool(0.5) {
         doc.ul(&facts.lectures);
     } else {
-        doc.p(&format!("Lectures meet {}.", facts.lectures[0]));
+        doc.p(format!("Lectures meet {}.", facts.lectures[0]));
     }
 }
 
@@ -168,8 +188,11 @@ fn render_exams(rng: &mut StdRng, facts: &ClassFacts, doc: &mut HtmlDoc, level: 
     if rng.gen_bool(0.5) {
         doc.table(&facts.exams);
     } else {
-        let lines: Vec<String> =
-            facts.exams.iter().map(|(k, v)| format!("{k}: {v}")).collect();
+        let lines: Vec<String> = facts
+            .exams
+            .iter()
+            .map(|(k, v)| format!("{k}: {v}"))
+            .collect();
         doc.ul(&lines);
     }
 }
@@ -180,7 +203,7 @@ fn render_textbooks(rng: &mut StdRng, facts: &ClassFacts, doc: &mut HtmlDoc, lev
     if rng.gen_bool(0.7) {
         doc.ul(&facts.textbooks);
     } else {
-        doc.p(&facts.textbooks.join("; "));
+        doc.p(facts.textbooks.join("; "));
     }
 }
 
@@ -191,7 +214,7 @@ fn render_grading(rng: &mut StdRng, facts: &ClassFacts, doc: &mut HtmlDoc, level
     if rng.gen_bool(0.7) {
         doc.ul(&facts.grading);
     } else {
-        doc.p(&facts.grading.join(", "));
+        doc.p(facts.grading.join(", "));
     }
 }
 
@@ -223,13 +246,20 @@ mod tests {
         for seed in 0..20 {
             let p = page(seed);
             let tree = PageTree::parse(&p.html);
-            let toks: std::collections::HashSet<_> =
-                tokenize_all(&tree.iter().map(|n| tree.text(n).to_string()).collect::<Vec<_>>())
-                    .into_iter()
-                    .collect();
+            let toks: std::collections::HashSet<_> = tokenize_all(
+                &tree
+                    .iter()
+                    .map(|n| tree.text(n).to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .into_iter()
+            .collect();
             for (task, golds) in &p.gold {
                 for t in tokenize_all(golds) {
-                    assert!(toks.contains(&t), "seed {seed} task {task}: token {t:?} missing");
+                    assert!(
+                        toks.contains(&t),
+                        "seed {seed} task {task}: token {t:?} missing"
+                    );
                 }
             }
         }
@@ -238,7 +268,9 @@ mod tests {
     #[test]
     fn all_class_tasks_present() {
         let p = page(0);
-        for t in ["class_t1", "class_t2", "class_t3", "class_t4", "class_t5", "class_t6"] {
+        for t in [
+            "class_t1", "class_t2", "class_t3", "class_t4", "class_t5", "class_t6",
+        ] {
             assert!(p.gold.contains_key(t));
             assert!(!p.gold[t].is_empty(), "{t} gold empty");
         }

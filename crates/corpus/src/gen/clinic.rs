@@ -20,11 +20,28 @@ struct ClinicFacts {
 
 fn make_facts(rng: &mut StdRng) -> ClinicFacts {
     let place = pick(rng, lexicon::PLACES);
-    let kind = pick(rng, &["Family Clinic", "Medical Center", "Health Clinic", "Care Center"]);
+    let kind = pick(
+        rng,
+        &[
+            "Family Clinic",
+            "Medical Center",
+            "Health Clinic",
+            "Care Center",
+        ],
+    );
     let n_locations = rng.gen_range(1..4);
     let mut locations = Vec::new();
     for _ in 0..n_locations {
-        let street = pick(rng, &["Main Street", "Oak Avenue", "Elm Road", "Cedar Boulevard", "Lake Drive"]);
+        let street = pick(
+            rng,
+            &[
+                "Main Street",
+                "Oak Avenue",
+                "Elm Road",
+                "Cedar Boulevard",
+                "Lake Drive",
+            ],
+        );
         locations.push(format!(
             "{} {street}, {}",
             rng.gen_range(100..999),
@@ -67,7 +84,7 @@ fn gold_for(facts: &ClinicFacts) -> Vec<(&'static str, Vec<String>)> {
 fn render(rng: &mut StdRng, facts: &ClinicFacts) -> String {
     let mut doc = HtmlDoc::new(&facts.name);
     doc.h1(&facts.name);
-    doc.p(&format!(
+    doc.p(format!(
         "Welcome to {}. We provide compassionate care for the whole family.",
         facts.name
     ));
@@ -96,8 +113,11 @@ fn render_doctors(rng: &mut StdRng, facts: &ClinicFacts, doc: &mut HtmlDoc, leve
     doc.heading(level, pick(rng, &titles));
     match rng.gen_range(0..3) {
         0 => {
-            let lines: Vec<String> =
-                facts.doctors.iter().map(|d| format!("Dr. {d}, MD")).collect();
+            let lines: Vec<String> = facts
+                .doctors
+                .iter()
+                .map(|d| format!("Dr. {d}, MD"))
+                .collect();
             doc.ul(&lines);
         }
         1 => {
@@ -106,7 +126,7 @@ fn render_doctors(rng: &mut StdRng, facts: &ClinicFacts, doc: &mut HtmlDoc, leve
         }
         _ => {
             let lines: Vec<String> = facts.doctors.iter().map(|d| format!("Dr. {d}")).collect();
-            doc.p(&lines.join(", "));
+            doc.p(lines.join(", "));
         }
     };
 }
@@ -117,7 +137,7 @@ fn render_services(rng: &mut StdRng, facts: &ClinicFacts, doc: &mut HtmlDoc, lev
     if rng.gen_bool(0.7) {
         doc.ul(&facts.services);
     } else {
-        doc.p(&format!("We offer {}.", facts.services.join(", ")));
+        doc.p(format!("We offer {}.", facts.services.join(", ")));
     }
 }
 
@@ -127,17 +147,25 @@ fn render_treatments(rng: &mut StdRng, facts: &ClinicFacts, doc: &mut HtmlDoc, l
     if rng.gen_bool(0.7) {
         doc.ul(&facts.treatments);
     } else {
-        doc.p(&format!("Our team specializes in {}.", facts.treatments.join(", ")));
+        doc.p(format!(
+            "Our team specializes in {}.",
+            facts.treatments.join(", ")
+        ));
     }
 }
 
 fn render_insurance(rng: &mut StdRng, facts: &ClinicFacts, doc: &mut HtmlDoc, level: u8) {
-    let titles = ["Insurance", "Plans Accepted", "Accepted Insurance Plans", "Billing and Insurance"];
+    let titles = [
+        "Insurance",
+        "Plans Accepted",
+        "Accepted Insurance Plans",
+        "Billing and Insurance",
+    ];
     doc.heading(level, pick(rng, &titles));
     if rng.gen_bool(0.6) {
         doc.ul(&facts.insurances);
     } else {
-        doc.p(&format!("We accept {}.", facts.insurances.join(", ")));
+        doc.p(format!("We accept {}.", facts.insurances.join(", ")));
     }
 }
 
@@ -147,7 +175,7 @@ fn render_locations(rng: &mut StdRng, facts: &ClinicFacts, doc: &mut HtmlDoc, le
     if facts.locations.len() > 1 || rng.gen_bool(0.7) {
         doc.ul(&facts.locations);
     } else {
-        doc.p(&format!("Find us at {}.", facts.locations[0]));
+        doc.p(format!("Find us at {}.", facts.locations[0]));
     }
 }
 
@@ -179,13 +207,20 @@ mod tests {
         for seed in 0..20 {
             let p = page(seed);
             let tree = PageTree::parse(&p.html);
-            let toks: std::collections::HashSet<_> =
-                tokenize_all(&tree.iter().map(|n| tree.text(n).to_string()).collect::<Vec<_>>())
-                    .into_iter()
-                    .collect();
+            let toks: std::collections::HashSet<_> = tokenize_all(
+                &tree
+                    .iter()
+                    .map(|n| tree.text(n).to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .into_iter()
+            .collect();
             for (task, golds) in &p.gold {
                 for t in tokenize_all(golds) {
-                    assert!(toks.contains(&t), "seed {seed} task {task}: token {t:?} missing");
+                    assert!(
+                        toks.contains(&t),
+                        "seed {seed} task {task}: token {t:?} missing"
+                    );
                 }
             }
         }
@@ -194,7 +229,13 @@ mod tests {
     #[test]
     fn all_clinic_tasks_nonempty() {
         let p = page(0);
-        for t in ["clinic_t1", "clinic_t2", "clinic_t3", "clinic_t4", "clinic_t5"] {
+        for t in [
+            "clinic_t1",
+            "clinic_t2",
+            "clinic_t3",
+            "clinic_t4",
+            "clinic_t5",
+        ] {
             assert!(!p.gold[t].is_empty(), "{t} empty");
         }
     }

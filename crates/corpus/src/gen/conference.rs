@@ -61,7 +61,12 @@ fn gold_for(facts: &ConferenceFacts) -> Vec<(&'static str, Vec<String>)> {
         ("conf_t4", vec![facts.submission_deadline.clone()]),
         (
             "conf_t5",
-            vec![if facts.double_blind { "double-blind" } else { "single-blind" }.to_string()],
+            vec![if facts.double_blind {
+                "double-blind"
+            } else {
+                "single-blind"
+            }
+            .to_string()],
         ),
         ("conf_t6", {
             let mut insts: Vec<String> = facts.pc.iter().map(|(_, u)| u.clone()).collect();
@@ -75,7 +80,7 @@ fn gold_for(facts: &ConferenceFacts) -> Vec<(&'static str, Vec<String>)> {
 fn render(rng: &mut StdRng, facts: &ConferenceFacts) -> String {
     let mut doc = HtmlDoc::new(&facts.name);
     doc.h1(&facts.name);
-    doc.p(&format!(
+    doc.p(format!(
         "The {} conference invites submissions on all aspects of {}.",
         facts.name,
         pick(rng, lexicon::RESEARCH_TOPICS)
@@ -100,14 +105,22 @@ fn render(rng: &mut StdRng, facts: &ConferenceFacts) -> String {
 }
 
 fn render_chairs(rng: &mut StdRng, facts: &ConferenceFacts, doc: &mut HtmlDoc, level: u8) {
-    let titles = ["Program Chairs", "Program Co-chairs", "PC Chairs", "Organizers"];
+    let titles = [
+        "Program Chairs",
+        "Program Co-chairs",
+        "PC Chairs",
+        "Organizers",
+    ];
     doc.heading(level, pick(rng, &titles));
-    let lines: Vec<String> =
-        facts.chairs.iter().map(|c| format!("{c} (program chair)")).collect();
+    let lines: Vec<String> = facts
+        .chairs
+        .iter()
+        .map(|c| format!("{c} (program chair)"))
+        .collect();
     if rng.gen_bool(0.6) {
         doc.ul(&lines);
     } else {
-        doc.p(&lines.join(", "));
+        doc.p(lines.join(", "));
     }
 }
 
@@ -116,19 +129,20 @@ fn render_pc(rng: &mut StdRng, facts: &ConferenceFacts, doc: &mut HtmlDoc, level
     doc.heading(level, pick(rng, &titles));
     match rng.gen_range(0..3) {
         0 => {
-            let lines: Vec<String> =
-                facts.pc.iter().map(|(n, u)| format!("{n}, {u}")).collect();
+            let lines: Vec<String> = facts.pc.iter().map(|(n, u)| format!("{n}, {u}")).collect();
             doc.ul(&lines);
         }
         1 => {
-            let rows: Vec<(String, String)> =
-                facts.pc.iter().map(|(n, u)| (n.clone(), u.clone())).collect();
+            let rows: Vec<(String, String)> = facts
+                .pc
+                .iter()
+                .map(|(n, u)| (n.clone(), u.clone()))
+                .collect();
             doc.table(&rows);
         }
         _ => {
-            let lines: Vec<String> =
-                facts.pc.iter().map(|(n, u)| format!("{n} ({u})")).collect();
-            doc.p(&lines.join("; "));
+            let lines: Vec<String> = facts.pc.iter().map(|(n, u)| format!("{n} ({u})")).collect();
+            doc.p(lines.join("; "));
         }
     }
 }
@@ -140,7 +154,7 @@ fn render_topics(rng: &mut StdRng, facts: &ConferenceFacts, doc: &mut HtmlDoc, l
     if rng.gen_bool(0.75) {
         doc.ul(&facts.topics);
     } else {
-        doc.p(&facts.topics.join(", "));
+        doc.p(facts.topics.join(", "));
     }
 }
 
@@ -148,15 +162,23 @@ fn render_dates(rng: &mut StdRng, facts: &ConferenceFacts, doc: &mut HtmlDoc, le
     let titles = ["Important Dates", "Dates", "Deadlines"];
     doc.heading(level, pick(rng, &titles));
     let rows = vec![
-        ("Paper submission deadline".to_string(), facts.submission_deadline.clone()),
-        ("Author notification".to_string(), facts.notification.clone()),
-        ("Camera-ready deadline".to_string(), facts.camera_ready.clone()),
+        (
+            "Paper submission deadline".to_string(),
+            facts.submission_deadline.clone(),
+        ),
+        (
+            "Author notification".to_string(),
+            facts.notification.clone(),
+        ),
+        (
+            "Camera-ready deadline".to_string(),
+            facts.camera_ready.clone(),
+        ),
     ];
     if rng.gen_bool(0.5) {
         doc.table(&rows);
     } else {
-        let lines: Vec<String> =
-            rows.iter().map(|(k, v)| format!("{k}: {v}")).collect();
+        let lines: Vec<String> = rows.iter().map(|(k, v)| format!("{k}: {v}")).collect();
         doc.ul(&lines);
     }
 }
@@ -164,8 +186,12 @@ fn render_dates(rng: &mut StdRng, facts: &ConferenceFacts, doc: &mut HtmlDoc, le
 fn render_policy(rng: &mut StdRng, facts: &ConferenceFacts, doc: &mut HtmlDoc, level: u8) {
     let titles = ["Submission Policy", "Reviewing", "Review Process"];
     doc.heading(level, pick(rng, &titles));
-    let kind = if facts.double_blind { "double-blind" } else { "single-blind" };
-    doc.p(&format!(
+    let kind = if facts.double_blind {
+        "double-blind"
+    } else {
+        "single-blind"
+    };
+    doc.p(format!(
         "Reviewing for {} is {kind}. Please consult the submission guidelines.",
         facts.name
     ));
@@ -199,13 +225,20 @@ mod tests {
         for seed in 0..20 {
             let p = page(seed);
             let tree = PageTree::parse(&p.html);
-            let toks: std::collections::HashSet<_> =
-                tokenize_all(&tree.iter().map(|n| tree.text(n).to_string()).collect::<Vec<_>>())
-                    .into_iter()
-                    .collect();
+            let toks: std::collections::HashSet<_> = tokenize_all(
+                &tree
+                    .iter()
+                    .map(|n| tree.text(n).to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .into_iter()
+            .collect();
             for (task, golds) in &p.gold {
                 for t in tokenize_all(golds) {
-                    assert!(toks.contains(&t), "seed {seed} task {task}: token {t:?} missing");
+                    assert!(
+                        toks.contains(&t),
+                        "seed {seed} task {task}: token {t:?} missing"
+                    );
                 }
             }
         }

@@ -83,7 +83,13 @@ fn make_facts(rng: &mut StdRng) -> FacultyFacts {
         if award {
             line.push_str(" Best Paper Award.");
         }
-        publications.push(Publication { line, venue, year, authors, award });
+        publications.push(Publication {
+            line,
+            venue,
+            year,
+            authors,
+            award,
+        });
     }
 
     let mut services = Vec::new();
@@ -92,7 +98,10 @@ fn make_facts(rng: &mut StdRng) -> FacultyFacts {
         let year = rng.gen_range(15..22);
         let role = *pick(rng, lexicon::SERVICE_ROLES);
         let is_pc = role == "PC" || role == "Program Committee";
-        services.push(ServiceEntry { line: format!("{conf} '{year} ({role})"), is_pc });
+        services.push(ServiceEntry {
+            line: format!("{conf} '{year} ({role})"),
+            is_pc,
+        });
     }
 
     let mut courses = Vec::new();
@@ -119,8 +128,11 @@ fn make_facts(rng: &mut StdRng) -> FacultyFacts {
 }
 
 fn gold_for(facts: &FacultyFacts) -> Vec<(&'static str, Vec<String>)> {
-    let pldi_pubs: Vec<&Publication> =
-        facts.publications.iter().filter(|p| p.venue == "PLDI").collect();
+    let pldi_pubs: Vec<&Publication> = facts
+        .publications
+        .iter()
+        .filter(|p| p.venue == "PLDI")
+        .collect();
     vec![
         ("fac_t1", facts.phd_students.clone()),
         ("fac_t2", pldi_pubs.iter().map(|p| p.line.clone()).collect()),
@@ -136,7 +148,12 @@ fn gold_for(facts: &FacultyFacts) -> Vec<(&'static str, Vec<String>)> {
         ),
         (
             "fac_t5",
-            facts.services.iter().filter(|s| s.is_pc).map(|s| s.line.clone()).collect(),
+            facts
+                .services
+                .iter()
+                .filter(|s| s.is_pc)
+                .map(|s| s.line.clone())
+                .collect(),
         ),
         (
             "fac_t6",
@@ -147,18 +164,15 @@ fn gold_for(facts: &FacultyFacts) -> Vec<(&'static str, Vec<String>)> {
                 .map(|p| p.line.clone())
                 .collect(),
         ),
-        (
-            "fac_t7",
-            {
-                let mut coauthors: Vec<String> = pldi_pubs
-                    .iter()
-                    .flat_map(|p| p.authors.iter().skip(1).cloned())
-                    .collect();
-                coauthors.sort();
-                coauthors.dedup();
-                coauthors
-            },
-        ),
+        ("fac_t7", {
+            let mut coauthors: Vec<String> = pldi_pubs
+                .iter()
+                .flat_map(|p| p.authors.iter().skip(1).cloned())
+                .collect();
+            coauthors.sort();
+            coauthors.dedup();
+            coauthors
+        }),
         ("fac_t8", facts.alumni.clone()),
     ]
 }
@@ -167,7 +181,7 @@ fn gold_for(facts: &FacultyFacts) -> Vec<(&'static str, Vec<String>)> {
 fn render(rng: &mut StdRng, facts: &FacultyFacts) -> String {
     let mut doc = HtmlDoc::new(&facts.name);
     doc.h1(&facts.name);
-    doc.p(&format!(
+    doc.p(format!(
         "Professor, Department of Computer Science, {}. Research interests: {} and {}.",
         facts.university,
         pick(rng, lexicon::RESEARCH_TOPICS),
@@ -190,10 +204,15 @@ fn render(rng: &mut StdRng, facts: &FacultyFacts) -> String {
             _ => render_news(rng, facts, &mut doc, level),
         }
     }
-    doc.p(&format!(
+    doc.p(format!(
         "Contact: {}@{}.edu, office {}.{}.",
         facts.name.split(' ').next().unwrap_or("x").to_lowercase(),
-        facts.university.split(' ').next().unwrap_or("u").to_lowercase(),
+        facts
+            .university
+            .split(' ')
+            .next()
+            .unwrap_or("u")
+            .to_lowercase(),
         rng.gen_range(1..9),
         rng.gen_range(100..999),
     ));
@@ -201,9 +220,18 @@ fn render(rng: &mut StdRng, facts: &FacultyFacts) -> String {
 }
 
 fn render_students(rng: &mut StdRng, facts: &FacultyFacts, doc: &mut HtmlDoc, level: u8) {
-    let current_titles =
-        ["PhD Students", "Current PhD Students", "Current Students", "Advisees"];
-    let alumni_titles = ["Alumni", "Former Students", "Past Advisees", "Graduated PhD Students"];
+    let current_titles = [
+        "PhD Students",
+        "Current PhD Students",
+        "Current Students",
+        "Advisees",
+    ];
+    let alumni_titles = [
+        "Alumni",
+        "Former Students",
+        "Past Advisees",
+        "Graduated PhD Students",
+    ];
     match rng.gen_range(0..3) {
         0 => {
             // Figure 2 top: "Students" with bold sub-headers.
@@ -226,18 +254,22 @@ fn render_students(rng: &mut StdRng, facts: &FacultyFacts, doc: &mut HtmlDoc, le
         _ => {
             // Comma paragraph style.
             doc.heading(level, pick(rng, &current_titles));
-            doc.p(&facts.phd_students.join(", "));
+            doc.p(facts.phd_students.join(", "));
             if !facts.alumni.is_empty() {
                 doc.heading(level, pick(rng, &alumni_titles));
-                doc.p(&facts.alumni.join(", "));
+                doc.p(facts.alumni.join(", "));
             }
         }
     }
 }
 
 fn render_publications(rng: &mut StdRng, facts: &FacultyFacts, doc: &mut HtmlDoc, level: u8) {
-    let titles =
-        ["Publications", "Recent Publications", "Conference Publications", "Selected Papers"];
+    let titles = [
+        "Publications",
+        "Recent Publications",
+        "Conference Publications",
+        "Selected Papers",
+    ];
     doc.heading(level, pick(rng, &titles));
     let lines: Vec<&str> = facts.publications.iter().map(|p| p.line.as_str()).collect();
     if rng.gen_bool(0.75) {
@@ -262,8 +294,12 @@ fn render_teaching(rng: &mut StdRng, facts: &FacultyFacts, doc: &mut HtmlDoc, le
 }
 
 fn render_service(rng: &mut StdRng, facts: &FacultyFacts, doc: &mut HtmlDoc, level: u8) {
-    let titles =
-        ["Professional Service", "Service", "Activities", "Professional Activities"];
+    let titles = [
+        "Professional Service",
+        "Service",
+        "Activities",
+        "Professional Activities",
+    ];
     match rng.gen_range(0..3) {
         0 => {
             // One entry per list item.
@@ -281,13 +317,19 @@ fn render_service(rng: &mut StdRng, facts: &FacultyFacts, doc: &mut HtmlDoc, lev
             if !cur.is_empty() {
                 items.push(format!(
                     "Current: {}",
-                    cur.iter().map(|s| s.line.clone()).collect::<Vec<_>>().join(", ")
+                    cur.iter()
+                        .map(|s| s.line.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 ));
             }
             if !past.is_empty() {
                 items.push(format!(
                     "Past: {}",
-                    past.iter().map(|s| s.line.clone()).collect::<Vec<_>>().join(", ")
+                    past.iter()
+                        .map(|s| s.line.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 ));
             }
             doc.ul(&items);
@@ -295,14 +337,12 @@ fn render_service(rng: &mut StdRng, facts: &FacultyFacts, doc: &mut HtmlDoc, lev
         _ => {
             // Comma paragraph.
             doc.heading(level, pick(rng, &titles));
-            doc.p(
-                &facts
-                    .services
-                    .iter()
-                    .map(|s| s.line.clone())
-                    .collect::<Vec<_>>()
-                    .join(", "),
-            );
+            doc.p(facts
+                .services
+                .iter()
+                .map(|s| s.line.clone())
+                .collect::<Vec<_>>()
+                .join(", "));
         }
     }
 }
@@ -319,7 +359,11 @@ fn render_news(rng: &mut StdRng, facts: &FacultyFacts, doc: &mut HtmlDoc, level:
         .unwrap_or_else(|| "our group".to_string());
     doc.ul(&[
         format!("Welcome incoming student {student}."),
-        format!("Two papers accepted to {} {}.", pick(rng, &PUB_VENUES), 2019),
+        format!(
+            "Two papers accepted to {} {}.",
+            pick(rng, &PUB_VENUES),
+            2019
+        ),
     ]);
 }
 
@@ -351,10 +395,14 @@ mod tests {
         for seed in 0..20 {
             let p = page(seed);
             let tree = PageTree::parse(&p.html);
-            let page_tokens: std::collections::HashSet<_> =
-                tokenize_all(&tree.iter().map(|n| tree.text(n).to_string()).collect::<Vec<_>>())
-                    .into_iter()
-                    .collect();
+            let page_tokens: std::collections::HashSet<_> = tokenize_all(
+                &tree
+                    .iter()
+                    .map(|n| tree.text(n).to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .into_iter()
+            .collect();
             for (task, golds) in &p.gold {
                 let gold_tokens = tokenize_all(golds);
                 for t in gold_tokens {
@@ -370,8 +418,9 @@ mod tests {
     #[test]
     fn has_all_faculty_tasks() {
         let p = page(1);
-        for t in ["fac_t1", "fac_t2", "fac_t3", "fac_t4", "fac_t5", "fac_t6", "fac_t7", "fac_t8"]
-        {
+        for t in [
+            "fac_t1", "fac_t2", "fac_t3", "fac_t4", "fac_t5", "fac_t6", "fac_t7", "fac_t8",
+        ] {
             assert!(p.gold.contains_key(t), "missing {t}");
         }
     }

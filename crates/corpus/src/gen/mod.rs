@@ -45,8 +45,7 @@ pub fn generate_pages(domain: Domain, n: usize, seed: u64) -> Vec<GeneratedPage>
         .map(|i| {
             // Independent RNG per page so prefixes are stable.
             let mut rng = StdRng::seed_from_u64(
-                seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))
-                    ^ domain_salt(domain),
+                seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)) ^ domain_salt(domain),
             );
             match domain {
                 Domain::Faculty => faculty::generate(&mut rng, i),

@@ -82,11 +82,15 @@ pub(crate) struct HtmlDoc {
 
 impl HtmlDoc {
     pub(crate) fn new(title: &str) -> Self {
-        HtmlDoc { body: String::new(), title: title.to_string() }
+        HtmlDoc {
+            body: String::new(),
+            title: title.to_string(),
+        }
     }
 
     pub(crate) fn h1(&mut self, text: impl AsRef<str>) -> &mut Self {
-        self.body.push_str(&format!("<h1>{}</h1>\n", escape(text.as_ref())));
+        self.body
+            .push_str(&format!("<h1>{}</h1>\n", escape(text.as_ref())));
         self
     }
 
@@ -98,19 +102,22 @@ impl HtmlDoc {
     }
 
     pub(crate) fn bold_header(&mut self, text: impl AsRef<str>) -> &mut Self {
-        self.body.push_str(&format!("<p><b>{}</b></p>\n", escape(text.as_ref())));
+        self.body
+            .push_str(&format!("<p><b>{}</b></p>\n", escape(text.as_ref())));
         self
     }
 
     pub(crate) fn p(&mut self, text: impl AsRef<str>) -> &mut Self {
-        self.body.push_str(&format!("<p>{}</p>\n", escape(text.as_ref())));
+        self.body
+            .push_str(&format!("<p>{}</p>\n", escape(text.as_ref())));
         self
     }
 
     pub(crate) fn ul<S: AsRef<str>>(&mut self, items: &[S]) -> &mut Self {
         self.body.push_str("<ul>\n");
         for it in items {
-            self.body.push_str(&format!("  <li>{}</li>\n", escape(it.as_ref())));
+            self.body
+                .push_str(&format!("  <li>{}</li>\n", escape(it.as_ref())));
         }
         self.body.push_str("</ul>\n");
         self

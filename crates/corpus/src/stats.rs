@@ -96,7 +96,9 @@ pub fn domain_stats(domain: Domain, pages: &[GeneratedPage]) -> DomainStats {
             titles.insert(t.text(c).trim().to_lowercase());
         }
         schemas.insert(schema_signature(t));
-        if t.iter().any(|n| matches!(t.kind(n), NodeKind::List | NodeKind::Table)) {
+        if t.iter()
+            .any(|n| matches!(t.kind(n), NodeKind::List | NodeKind::Table))
+        {
             structured += 1;
         }
     }

@@ -4,7 +4,9 @@
 //! Questions and keywords are verbatim from the paper's Table 5.
 
 /// The four evaluation domains (Section 8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Domain {
     /// Faculty homepages.
     Faculty,
@@ -18,7 +20,12 @@ pub enum Domain {
 
 impl Domain {
     /// All four domains in the paper's order.
-    pub const ALL: [Domain; 4] = [Domain::Faculty, Domain::Conference, Domain::Class, Domain::Clinic];
+    pub const ALL: [Domain; 4] = [
+        Domain::Faculty,
+        Domain::Conference,
+        Domain::Class,
+        Domain::Clinic,
+    ];
 }
 
 impl std::fmt::Display for Domain {
@@ -237,7 +244,11 @@ mod tests {
     #[test]
     fn every_task_has_question_and_keywords() {
         for t in &TASKS {
-            assert!(t.question.ends_with('?'), "{} question should be interrogative", t.id);
+            assert!(
+                t.question.ends_with('?'),
+                "{} question should be interrogative",
+                t.id
+            );
             assert!(!t.keywords.is_empty(), "{} needs keywords", t.id);
         }
     }

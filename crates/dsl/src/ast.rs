@@ -66,7 +66,9 @@ impl NlpPred {
     /// AST size (number of constructors).
     pub fn size(&self) -> usize {
         match self {
-            NlpPred::MatchKeyword(_) | NlpPred::HasAnswer | NlpPred::HasEntity(_)
+            NlpPred::MatchKeyword(_)
+            | NlpPred::HasAnswer
+            | NlpPred::HasEntity(_)
             | NlpPred::True => 1,
             NlpPred::And(a, b) | NlpPred::Or(a, b) => 1 + a.size() + b.size(),
             NlpPred::Not(a) => 1 + a.size(),
@@ -76,7 +78,9 @@ impl NlpPred {
     /// AST depth.
     pub fn depth(&self) -> usize {
         match self {
-            NlpPred::MatchKeyword(_) | NlpPred::HasAnswer | NlpPred::HasEntity(_)
+            NlpPred::MatchKeyword(_)
+            | NlpPred::HasAnswer
+            | NlpPred::HasEntity(_)
             | NlpPred::True => 1,
             NlpPred::And(a, b) | NlpPred::Or(a, b) => 1 + a.depth().max(b.depth()),
             NlpPred::Not(a) => 1 + a.depth(),
@@ -155,9 +159,7 @@ impl NodeFilter {
         match self {
             NodeFilter::MatchText { pred, .. } => pred.uses_keywords(),
             NodeFilter::IsLeaf | NodeFilter::IsElem | NodeFilter::True => false,
-            NodeFilter::And(a, b) | NodeFilter::Or(a, b) => {
-                a.uses_keywords() || b.uses_keywords()
-            }
+            NodeFilter::And(a, b) | NodeFilter::Or(a, b) => a.uses_keywords() || b.uses_keywords(),
             NodeFilter::Not(a) => a.uses_keywords(),
         }
     }
@@ -167,9 +169,7 @@ impl NodeFilter {
         match self {
             NodeFilter::MatchText { pred, .. } => pred.uses_question(),
             NodeFilter::IsLeaf | NodeFilter::IsElem | NodeFilter::True => false,
-            NodeFilter::And(a, b) | NodeFilter::Or(a, b) => {
-                a.uses_question() || b.uses_question()
-            }
+            NodeFilter::And(a, b) | NodeFilter::Or(a, b) => a.uses_question() || b.uses_question(),
             NodeFilter::Not(a) => a.uses_question(),
         }
     }
@@ -382,7 +382,9 @@ impl Program {
 
     /// A single-branch program.
     pub fn single(guard: Guard, extractor: Extractor) -> Self {
-        Program { branches: vec![Branch::new(guard, extractor)] }
+        Program {
+            branches: vec![Branch::new(guard, extractor)],
+        }
     }
 
     /// AST size (used by the `Shortest` selection baseline, Section 8.3).
@@ -414,7 +416,10 @@ mod tests {
         // motivating example's extractor (Eq. 1 + Eq. 2 of the paper).
         let locator = Locator::leaves(Locator::Descendants(
             Box::new(Locator::Root),
-            NodeFilter::MatchText { pred: NlpPred::MatchKeyword(Threshold::new(0.8)), subtree: false },
+            NodeFilter::MatchText {
+                pred: NlpPred::MatchKeyword(Threshold::new(0.8)),
+                subtree: false,
+            },
         ));
         let guard = Guard::Sat(locator, NlpPred::True);
         let extractor = Extractor::entity(
@@ -448,7 +453,10 @@ mod tests {
     #[test]
     fn sugar_expansions() {
         let leaves = Locator::leaves(Locator::Root);
-        assert_eq!(leaves, Locator::Descendants(Box::new(Locator::Root), NodeFilter::IsLeaf));
+        assert_eq!(
+            leaves,
+            Locator::Descendants(Box::new(Locator::Root), NodeFilter::IsLeaf)
+        );
         let ge = Extractor::entity(Extractor::Content, EntityKind::Person);
         assert_eq!(
             ge,
@@ -465,7 +473,10 @@ mod tests {
         let p = sample_program();
         assert!(p.uses_keywords());
         assert!(!p.uses_question());
-        let q = Program::single(Guard::Sat(Locator::Root, NlpPred::HasAnswer), Extractor::Content);
+        let q = Program::single(
+            Guard::Sat(Locator::Root, NlpPred::HasAnswer),
+            Extractor::Content,
+        );
         assert!(q.uses_question());
         assert!(!q.uses_keywords());
     }

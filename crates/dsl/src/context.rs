@@ -126,7 +126,9 @@ impl QueryContext {
         if self.question.is_empty() {
             return None;
         }
-        self.qa.answer(text, &self.question).map(|a| (a.start, a.end))
+        self.qa
+            .answer(text, &self.question)
+            .map(|a| (a.start, a.end))
     }
 
     /// All entities in `text` (cached).
@@ -135,7 +137,9 @@ impl QueryContext {
             return es.clone();
         }
         let es = self.ner.entities(text);
-        self.ent_cache.borrow_mut().insert(text.to_string(), es.clone());
+        self.ent_cache
+            .borrow_mut()
+            .insert(text.to_string(), es.clone());
         es
     }
 
@@ -147,13 +151,16 @@ impl QueryContext {
 
     /// Entity surface strings of `kind` in `text`, in order.
     pub fn entity_strings(&self, text: &str, kind: EntityKind) -> Vec<String> {
-        self.entities(text).into_iter().filter(|e| e.kind == kind).map(|e| e.text).collect()
+        self.entities(text)
+            .into_iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.text)
+            .collect()
     }
 
     /// Number of distinct strings cached so far (diagnostics).
     pub fn cache_size(&self) -> usize {
-        self.kw_cache.borrow().len() + self.qa_cache.borrow().len()
-            + self.ent_cache.borrow().len()
+        self.kw_cache.borrow().len() + self.qa_cache.borrow().len() + self.ent_cache.borrow().len()
     }
 }
 
@@ -188,13 +195,20 @@ mod tests {
     fn entity_queries() {
         let ctx = QueryContext::new("", ["x"]);
         assert!(ctx.has_entity("Jane Doe", EntityKind::Person));
-        assert_eq!(ctx.entity_strings("Jane Doe and Robert Smith", EntityKind::Person).len(), 2);
+        assert_eq!(
+            ctx.entity_strings("Jane Doe and Robert Smith", EntityKind::Person)
+                .len(),
+            2
+        );
     }
 
     #[test]
     fn qa_through_context() {
         let ctx = QueryContext::new("Who is the instructor?", Vec::<String>::new());
         assert!(ctx.has_answer("Instructor: Jane Doe."));
-        assert!(ctx.answer("Instructor: Jane Doe.").unwrap().contains("Jane"));
+        assert!(ctx
+            .answer("Instructor: Jane Doe.")
+            .unwrap()
+            .contains("Jane"));
     }
 }

@@ -225,7 +225,12 @@ impl Extractor {
             Extractor::Substring(inner, pred, k) => inner
                 .eval(ctx, page, nodes)
                 .into_iter()
-                .flat_map(|s| pred.extract(ctx, &s).into_iter().take(*k).collect::<Vec<_>>())
+                .flat_map(|s| {
+                    pred.extract(ctx, &s)
+                        .into_iter()
+                        .take(*k)
+                        .collect::<Vec<_>>()
+                })
                 .collect(),
         }
     }
@@ -286,7 +291,10 @@ mod tests {
     fn eq1_locator() -> Locator {
         Locator::leaves(Locator::Descendants(
             Box::new(Locator::Root),
-            NodeFilter::MatchText { pred: kw(0.85), subtree: false },
+            NodeFilter::MatchText {
+                pred: kw(0.85),
+                subtree: false,
+            },
         ))
     }
 
@@ -296,7 +304,13 @@ mod tests {
         let p = page();
         let nodes = eq1_locator().eval(&ctx, &p);
         let texts: Vec<&str> = nodes.iter().map(|&n| p.text(n)).collect();
-        assert_eq!(texts, ["Current: PLDI '21 (PC)", "Past: CAV '20 (PC), PLDI '20 (SRC), POPL '20 (PC)"]);
+        assert_eq!(
+            texts,
+            [
+                "Current: PLDI '21 (PC)",
+                "Past: CAV '20 (PC), PLDI '20 (SRC), POPL '20 (PC)"
+            ]
+        );
     }
 
     #[test]
@@ -359,8 +373,7 @@ mod tests {
         let ctx = ctx_service();
         let p = page();
         let kids = Locator::Children(Box::new(Locator::Root), NodeFilter::True).eval(&ctx, &p);
-        let descs =
-            Locator::Descendants(Box::new(Locator::Root), NodeFilter::True).eval(&ctx, &p);
+        let descs = Locator::Descendants(Box::new(Locator::Root), NodeFilter::True).eval(&ctx, &p);
         assert!(kids.len() < descs.len());
         assert_eq!(descs.len(), p.len() - 1);
     }
@@ -377,7 +390,8 @@ mod tests {
     #[test]
     fn substring_entity_extraction() {
         let ctx = ctx_service();
-        let p = PageTree::parse("<h1>R</h1><p>Advised by Jane Doe and Robert Smith since 2019.</p>");
+        let p =
+            PageTree::parse("<h1>R</h1><p>Advised by Jane Doe and Robert Smith since 2019.</p>");
         let nodes = Locator::leaves(Locator::Root).eval(&ctx, &p);
         let top1 = Extractor::entity(Extractor::Content, EntityKind::Person).eval(&ctx, &p, &nodes);
         assert_eq!(top1, ["Jane Doe"]);
@@ -395,8 +409,7 @@ mod tests {
         let ctx = ctx_service();
         let p = PageTree::parse("<h1>R</h1><ul><li>PLDI '20 (PC)</li><li>reading group</li></ul>");
         let nodes = Locator::leaves(Locator::Root).eval(&ctx, &p);
-        let out =
-            Extractor::Filter(Box::new(Extractor::Content), kw(0.6)).eval(&ctx, &p, &nodes);
+        let out = Extractor::Filter(Box::new(Extractor::Content), kw(0.6)).eval(&ctx, &p, &nodes);
         assert_eq!(out, ["PLDI '20 (PC)"]);
     }
 
@@ -404,8 +417,10 @@ mod tests {
     fn program_output_is_a_set() {
         let ctx = ctx_service();
         let p = PageTree::parse("<h1>R</h1><ul><li>dup</li><li>dup</li></ul>");
-        let prog =
-            Program::single(Guard::Sat(Locator::leaves(Locator::Root), NlpPred::True), Extractor::Content);
+        let prog = Program::single(
+            Guard::Sat(Locator::leaves(Locator::Root), NlpPred::True),
+            Extractor::Content,
+        );
         assert_eq!(prog.eval(&ctx, &p), ["dup"]);
     }
 
@@ -442,8 +457,14 @@ mod tests {
             .iter()
             .find(|&n| p.text(n) == "Recent Publications")
             .expect("section exists");
-        let own = NodeFilter::MatchText { pred: kw(0.99), subtree: false };
-        let sub = NodeFilter::MatchText { pred: kw(0.99), subtree: true };
+        let own = NodeFilter::MatchText {
+            pred: kw(0.99),
+            subtree: false,
+        };
+        let sub = NodeFilter::MatchText {
+            pred: kw(0.99),
+            subtree: true,
+        };
         assert!(!own.eval(&ctx, &p, pubs));
         assert!(sub.eval(&ctx, &p, pubs));
     }
@@ -453,7 +474,10 @@ mod tests {
         let ctx = QueryContext::new("", ["committee"]);
         let spans = NlpPred::MatchKeyword(Threshold::new(0.9))
             .extract(&ctx, "the program committee met yesterday");
-        assert!(spans.iter().any(|s| s.contains("committee")), "spans = {spans:?}");
+        assert!(
+            spans.iter().any(|s| s.contains("committee")),
+            "spans = {spans:?}"
+        );
     }
 
     #[test]
@@ -461,6 +485,8 @@ mod tests {
         let ctx = ctx_service();
         assert_eq!(NlpPred::True.extract(&ctx, "abc"), ["abc"]);
         assert!(NlpPred::True.extract(&ctx, "").is_empty());
-        assert!(NlpPred::Not(Box::new(NlpPred::True)).extract(&ctx, "abc").is_empty());
+        assert!(NlpPred::Not(Box::new(NlpPred::True))
+            .extract(&ctx, "abc")
+            .is_empty());
     }
 }

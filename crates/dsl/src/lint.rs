@@ -76,10 +76,16 @@ impl fmt::Display for LintIssue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LintIssue::KeywordsUnavailable => {
-                write!(f, "program uses matchKeyword but the context has no keywords")
+                write!(
+                    f,
+                    "program uses matchKeyword but the context has no keywords"
+                )
             }
             LintIssue::QuestionUnavailable => {
-                write!(f, "program uses hasAnswer but the context question is empty")
+                write!(
+                    f,
+                    "program uses hasAnswer but the context question is empty"
+                )
             }
             LintIssue::DeadBranch { earlier, later } => write!(
                 f,
@@ -96,11 +102,19 @@ impl fmt::Display for LintIssue {
                 f,
                 "branch {branch}: a negated predicate in substr extracts nothing"
             ),
-            LintIssue::LocatorTooDeep { branch, depth, bound } => write!(
+            LintIssue::LocatorTooDeep {
+                branch,
+                depth,
+                bound,
+            } => write!(
                 f,
                 "branch {branch}: locator depth {depth} exceeds the bound {bound}"
             ),
-            LintIssue::ExtractorTooDeep { branch, depth, bound } => write!(
+            LintIssue::ExtractorTooDeep {
+                branch,
+                depth,
+                bound,
+            } => write!(
                 f,
                 "branch {branch}: extractor depth {depth} exceeds the bound {bound}"
             ),
@@ -170,7 +184,10 @@ pub fn lint(program: &Program, ctx: &QueryContext) -> LintReport {
     for (i, b) in program.branches.iter().enumerate() {
         for (j, earlier) in program.branches[..i].iter().enumerate() {
             if earlier.guard == b.guard {
-                issues.push(LintIssue::DeadBranch { earlier: j, later: i });
+                issues.push(LintIssue::DeadBranch {
+                    earlier: j,
+                    later: i,
+                });
                 break;
             }
         }
@@ -258,7 +275,7 @@ fn check_pred_thresholds(p: &NlpPred, branch: usize, issues: &mut Vec<LintIssue>
     match p {
         NlpPred::MatchKeyword(t) => {
             let hundredths = (t.value() * 100.0).round() as u8;
-            if hundredths % 5 != 0 {
+            if !hundredths.is_multiple_of(5) {
                 issues.push(LintIssue::OffGridThreshold { branch, hundredths });
             }
         }
@@ -285,7 +302,9 @@ mod tests {
 
     #[test]
     fn clean_program_is_clean() {
-        let p = parse("sat(descendants(root, leaf), kw(0.60)) -> filter(split(content, ','), kw(0.50))");
+        let p = parse(
+            "sat(descendants(root, leaf), kw(0.60)) -> filter(split(content, ','), kw(0.50))",
+        );
         assert!(lint(&p, &ctx()).is_clean());
     }
 
@@ -307,7 +326,10 @@ mod tests {
     fn dead_branch_flagged() {
         let p = parse("sat(root, true) -> content; sat(root, true) -> split(content, ',')");
         let r = lint(&p, &ctx());
-        assert!(r.issues.contains(&LintIssue::DeadBranch { earlier: 0, later: 1 }));
+        assert!(r.issues.contains(&LintIssue::DeadBranch {
+            earlier: 0,
+            later: 1
+        }));
     }
 
     #[test]
@@ -321,9 +343,10 @@ mod tests {
     fn off_grid_threshold_flagged() {
         let p = parse("sat(root, kw(0.63)) -> content");
         let r = lint(&p, &ctx());
-        assert!(r
-            .issues
-            .contains(&LintIssue::OffGridThreshold { branch: 0, hundredths: 63 }));
+        assert!(r.issues.contains(&LintIssue::OffGridThreshold {
+            branch: 0,
+            hundredths: 63
+        }));
         // On-grid values pass.
         let p = parse("sat(root, kw(0.65)) -> content");
         assert!(lint(&p, &ctx()).is_clean());
@@ -333,7 +356,9 @@ mod tests {
     fn negation_in_substring_flagged() {
         let p = parse("sat(root, true) -> substr(content, not(entity(PERSON)), 1)");
         let r = lint(&p, &ctx());
-        assert!(r.issues.contains(&LintIssue::NegationInSubstring { branch: 0 }));
+        assert!(r
+            .issues
+            .contains(&LintIssue::NegationInSubstring { branch: 0 }));
     }
 
     #[test]
@@ -347,7 +372,11 @@ mod tests {
         let r = lint(&p, &ctx());
         assert!(matches!(
             r.issues.first(),
-            Some(LintIssue::LocatorTooDeep { depth: 8, bound: 7, .. })
+            Some(LintIssue::LocatorTooDeep {
+                depth: 8,
+                bound: 7,
+                ..
+            })
         ));
         // Extractor depth 6 > 5.
         let mut e = String::from("content");
@@ -356,10 +385,14 @@ mod tests {
         }
         let p = parse(&format!("sat(root, true) -> {e}"));
         let r = lint(&p, &ctx());
-        assert!(r
-            .issues
-            .iter()
-            .any(|i| matches!(i, LintIssue::ExtractorTooDeep { depth: 6, bound: 5, .. })));
+        assert!(r.issues.iter().any(|i| matches!(
+            i,
+            LintIssue::ExtractorTooDeep {
+                depth: 6,
+                bound: 5,
+                ..
+            }
+        )));
     }
 
     #[test]

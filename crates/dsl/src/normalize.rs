@@ -331,7 +331,10 @@ mod tests {
         let g = Guard::Sat(Locator::Root, NlpPred::True);
         let p = Program::new(vec![
             Branch::new(g.clone(), Extractor::Content),
-            Branch::new(g.clone(), Extractor::Split(Box::new(Extractor::Content), ',')),
+            Branch::new(
+                g.clone(),
+                Extractor::Split(Box::new(Extractor::Content), ','),
+            ),
         ]);
         let n = normalize(&p);
         assert_eq!(n.branches.len(), 1);

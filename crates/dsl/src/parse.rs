@@ -59,13 +59,14 @@ type PResult<T> = Result<T, ParseProgramError>;
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> ParseProgramError {
-        ParseProgramError { position: self.pos, message: message.to_string() }
+        ParseProgramError {
+            position: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn skip_ws(&mut self) {
-        while self.pos < self.src.len()
-            && self.src.as_bytes()[self.pos].is_ascii_whitespace()
-        {
+        while self.pos < self.src.len() && self.src.as_bytes()[self.pos].is_ascii_whitespace() {
             self.pos += 1;
         }
     }
@@ -217,7 +218,10 @@ impl<'a> Parser<'a> {
                 self.eat("(")?;
                 let p = self.pred()?;
                 self.eat(")")?;
-                Ok(NodeFilter::MatchText { pred: p, subtree: name == "subtree" })
+                Ok(NodeFilter::MatchText {
+                    pred: p,
+                    subtree: name == "subtree",
+                })
             }
             "and" | "or" => {
                 self.eat("(")?;
@@ -255,9 +259,7 @@ impl<'a> Parser<'a> {
             "entity" => {
                 self.eat("(")?;
                 let kind_name = self.ident()?;
-                let kind: EntityKind = kind_name
-                    .parse()
-                    .map_err(|e: String| self.err(&e))?;
+                let kind: EntityKind = kind_name.parse().map_err(|e: String| self.err(&e))?;
                 self.eat(")")?;
                 Ok(NlpPred::HasEntity(kind))
             }

@@ -28,8 +28,14 @@ impl std::fmt::Display for NodeFilter {
         match self {
             NodeFilter::IsLeaf => write!(f, "leaf"),
             NodeFilter::IsElem => write!(f, "elem"),
-            NodeFilter::MatchText { pred, subtree: false } => write!(f, "text({pred})"),
-            NodeFilter::MatchText { pred, subtree: true } => write!(f, "subtree({pred})"),
+            NodeFilter::MatchText {
+                pred,
+                subtree: false,
+            } => write!(f, "text({pred})"),
+            NodeFilter::MatchText {
+                pred,
+                subtree: true,
+            } => write!(f, "subtree({pred})"),
             NodeFilter::True => write!(f, "true"),
             NodeFilter::And(a, b) => write!(f, "and({a}, {b})"),
             NodeFilter::Or(a, b) => write!(f, "or({a}, {b})"),
@@ -134,10 +140,18 @@ fn locator_paper(l: &Locator) -> String {
     match l {
         Locator::Root => "GetRoot(W)".to_string(),
         Locator::Children(inner, f) => {
-            format!("GetChildren({}, λn. {})", locator_paper(inner), filter_paper(f))
+            format!(
+                "GetChildren({}, λn. {})",
+                locator_paper(inner),
+                filter_paper(f)
+            )
         }
         Locator::Descendants(inner, f) => {
-            format!("GetDescendants({}, λn. {})", locator_paper(inner), filter_paper(f))
+            format!(
+                "GetDescendants({}, λn. {})",
+                locator_paper(inner),
+                filter_paper(f)
+            )
         }
     }
 }
@@ -153,13 +167,22 @@ fn extractor_paper(e: &Extractor) -> String {
     match e {
         Extractor::Content => "ExtractContent(x)".to_string(),
         Extractor::Substring(inner, p, k) => {
-            format!("Substring({}, λz. {}, {})", extractor_paper(inner), pred_paper(p), k)
+            format!(
+                "Substring({}, λz. {}, {})",
+                extractor_paper(inner),
+                pred_paper(p),
+                k
+            )
         }
         Extractor::Filter(inner, p) => {
             format!("Filter({}, λz. {})", extractor_paper(inner), pred_paper(p))
         }
         Extractor::Split(inner, c) => {
-            let c_name = if *c == ',' { "COMMA".to_string() } else { format!("{c:?}") };
+            let c_name = if *c == ',' {
+                "COMMA".to_string()
+            } else {
+                format!("{c:?}")
+            };
             format!("Split({}, {})", extractor_paper(inner), c_name)
         }
     }
@@ -226,7 +249,9 @@ mod tests {
     fn connective_display() {
         let pred = NlpPred::And(
             Box::new(NlpPred::HasAnswer),
-            Box::new(NlpPred::Not(Box::new(NlpPred::HasEntity(EntityKind::Person)))),
+            Box::new(NlpPred::Not(Box::new(NlpPred::HasEntity(
+                EntityKind::Person,
+            )))),
         );
         assert_eq!(pred.to_string(), "and(answer, not(entity(PERSON)))");
         let f = NodeFilter::Or(Box::new(NodeFilter::IsLeaf), Box::new(NodeFilter::IsElem));

@@ -36,8 +36,7 @@ fn nlp_pred() -> impl Strategy<Value = NlpPred> {
         prop_oneof![
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| NlpPred::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| NlpPred::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| NlpPred::Or(Box::new(a), Box::new(b))),
             inner.prop_map(|a| NlpPred::Not(Box::new(a))),
         ]
     })
@@ -48,10 +47,8 @@ fn node_filter() -> impl Strategy<Value = NodeFilter> {
         Just(NodeFilter::IsLeaf),
         Just(NodeFilter::IsElem),
         Just(NodeFilter::True),
-        (nlp_pred(), any::<bool>()).prop_map(|(pred, subtree)| NodeFilter::MatchText {
-            pred,
-            subtree
-        }),
+        (nlp_pred(), any::<bool>())
+            .prop_map(|(pred, subtree)| NodeFilter::MatchText { pred, subtree }),
     ];
     leaf.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
@@ -67,8 +64,7 @@ fn node_filter() -> impl Strategy<Value = NodeFilter> {
 fn locator() -> impl Strategy<Value = Locator> {
     Just(Locator::Root).prop_recursive(3, 6, 1, |inner| {
         prop_oneof![
-            (inner.clone(), node_filter())
-                .prop_map(|(l, f)| Locator::Children(Box::new(l), f)),
+            (inner.clone(), node_filter()).prop_map(|(l, f)| Locator::Children(Box::new(l), f)),
             (inner, node_filter()).prop_map(|(l, f)| Locator::Descendants(Box::new(l), f)),
         ]
     })
@@ -84,10 +80,16 @@ fn guard() -> impl Strategy<Value = Guard> {
 fn extractor() -> impl Strategy<Value = Extractor> {
     Just(Extractor::Content).prop_recursive(3, 8, 1, |inner| {
         prop_oneof![
-            (inner.clone(), nlp_pred(), 1usize..4)
-                .prop_map(|(e, p, k)| Extractor::Substring(Box::new(e), p, k)),
+            (inner.clone(), nlp_pred(), 1usize..4).prop_map(|(e, p, k)| Extractor::Substring(
+                Box::new(e),
+                p,
+                k
+            )),
             (inner.clone(), nlp_pred()).prop_map(|(e, p)| Extractor::Filter(Box::new(e), p)),
-            (inner, prop_oneof![Just(','), Just(';'), Just(':'), Just('|')])
+            (
+                inner,
+                prop_oneof![Just(','), Just(';'), Just(':'), Just('|')]
+            )
                 .prop_map(|(e, c)| Extractor::Split(Box::new(e), c)),
         ]
     })
@@ -95,7 +97,11 @@ fn extractor() -> impl Strategy<Value = Extractor> {
 
 fn program() -> impl Strategy<Value = Program> {
     proptest::collection::vec((guard(), extractor()), 1..3).prop_map(|bs| {
-        Program::new(bs.into_iter().map(|(g, e)| webqa_dsl::Branch::new(g, e)).collect())
+        Program::new(
+            bs.into_iter()
+                .map(|(g, e)| webqa_dsl::Branch::new(g, e))
+                .collect(),
+        )
     })
 }
 

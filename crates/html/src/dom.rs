@@ -55,7 +55,11 @@ impl Document {
     /// Creates a document containing only the synthetic root.
     pub fn new() -> Self {
         Document {
-            nodes: vec![Node { data: NodeData::Document, parent: None, children: Vec::new() }],
+            nodes: vec![Node {
+                data: NodeData::Document,
+                parent: None,
+                children: Vec::new(),
+            }],
         }
     }
 
@@ -85,13 +89,14 @@ impl Document {
 
     /// Appends a new node under `parent` and returns its id.
     /// Appends an element node under `parent` and returns its id.
-    pub fn append_element(
-        &mut self,
-        parent: NodeId,
-        tag: &str,
-        attrs: Vec<Attribute>,
-    ) -> NodeId {
-        self.append(parent, NodeData::Element { tag: tag.to_ascii_lowercase(), attrs })
+    pub fn append_element(&mut self, parent: NodeId, tag: &str, attrs: Vec<Attribute>) -> NodeId {
+        self.append(
+            parent,
+            NodeData::Element {
+                tag: tag.to_ascii_lowercase(),
+                attrs,
+            },
+        )
     }
 
     /// Appends a text node under `parent` and returns its id.
@@ -113,7 +118,11 @@ impl Document {
 
     pub(crate) fn append(&mut self, parent: NodeId, data: NodeData) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { data, parent: Some(parent), children: Vec::new() });
+        self.nodes.push(Node {
+            data,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
         self.nodes[parent.0].children.push(id);
         id
     }
@@ -122,12 +131,18 @@ impl Document {
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
         // Arena insertion order *is* pre-order for the builder we use, but
         // walk explicitly to stay correct under any construction order.
-        DescendantIter { doc: self, stack: vec![self.root()] }
+        DescendantIter {
+            doc: self,
+            stack: vec![self.root()],
+        }
     }
 
     /// Iterates the subtree rooted at `id` (including `id`) in pre-order.
     pub fn descendants(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        DescendantIter { doc: self, stack: vec![id] }
+        DescendantIter {
+            doc: self,
+            stack: vec![id],
+        }
     }
 
     /// The element tag of `id`, if it is an element.
@@ -141,9 +156,10 @@ impl Document {
     /// The value of attribute `name` on element `id`, if present.
     pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
         match &self.node(id).data {
-            NodeData::Element { attrs, .. } => {
-                attrs.iter().find(|a| a.name == name).map(|a| a.value.as_str())
-            }
+            NodeData::Element { attrs, .. } => attrs
+                .iter()
+                .find(|a| a.name == name)
+                .map(|a| a.value.as_str()),
             _ => None,
         }
     }
@@ -256,10 +272,42 @@ pub(crate) fn normalize_ws(s: &str) -> String {
 pub(crate) fn is_block(tag: &str) -> bool {
     matches!(
         tag,
-        "address" | "article" | "aside" | "blockquote" | "br" | "dd" | "div" | "dl" | "dt"
-            | "fieldset" | "figcaption" | "figure" | "footer" | "form" | "h1" | "h2" | "h3"
-            | "h4" | "h5" | "h6" | "header" | "hr" | "li" | "main" | "nav" | "ol" | "p"
-            | "pre" | "section" | "table" | "tbody" | "td" | "tfoot" | "th" | "thead" | "tr"
+        "address"
+            | "article"
+            | "aside"
+            | "blockquote"
+            | "br"
+            | "dd"
+            | "div"
+            | "dl"
+            | "dt"
+            | "fieldset"
+            | "figcaption"
+            | "figure"
+            | "footer"
+            | "form"
+            | "h1"
+            | "h2"
+            | "h3"
+            | "h4"
+            | "h5"
+            | "h6"
+            | "header"
+            | "hr"
+            | "li"
+            | "main"
+            | "nav"
+            | "ol"
+            | "p"
+            | "pre"
+            | "section"
+            | "table"
+            | "tbody"
+            | "td"
+            | "tfoot"
+            | "th"
+            | "thead"
+            | "tr"
             | "ul"
     )
 }

@@ -201,7 +201,14 @@ impl PageTree {
     fn outline_rec(&self, id: PageNodeId, depth: usize, out: &mut String) {
         use std::fmt::Write;
         let n = self.node(id);
-        let _ = writeln!(out, "{}{}, {}: {}", "  ".repeat(depth), id.0, n.kind, n.text);
+        let _ = writeln!(
+            out,
+            "{}{}, {}: {}",
+            "  ".repeat(depth),
+            id.0,
+            n.kind,
+            n.text
+        );
         for &c in &n.children {
             self.outline_rec(c, depth + 1, out);
         }
@@ -274,7 +281,11 @@ impl PageTreeBuilder {
                 text: n.text.clone(),
                 kind: n.kind,
                 parent: n.parent.map(|PageNodeId(p)| PageNodeId(remap[p])),
-                children: n.children.iter().map(|&PageNodeId(c)| PageNodeId(remap[c])).collect(),
+                children: n
+                    .children
+                    .iter()
+                    .map(|&PageNodeId(c)| PageNodeId(remap[c]))
+                    .collect(),
             });
         }
         PageTree { nodes }
@@ -296,7 +307,11 @@ struct Builder<'a> {
 impl<'a> Builder<'a> {
     fn new(doc: &'a Document) -> Self {
         let root_text = find_root_text(doc);
-        Builder { doc, out: PageTreeBuilder::new(&root_text), stack: Vec::new() }
+        Builder {
+            doc,
+            out: PageTreeBuilder::new(&root_text),
+            stack: Vec::new(),
+        }
     }
 
     fn build(mut self) -> PageTree {
@@ -356,8 +371,8 @@ impl<'a> Builder<'a> {
             "p" | "blockquote" | "pre" | "address" | "figcaption" => {
                 self.text_block(id);
             }
-            "title" | "head" | "img" | "nav" | "footer" | "button" | "iframe" | "svg"
-            | "form" | "input" | "select" | "noscript" => {
+            "title" | "head" | "img" | "nav" | "footer" | "button" | "iframe" | "svg" | "form"
+            | "input" | "select" | "noscript" => {
                 // Removed during conversion ("unnecessary elements such as
                 // images and scripts", Section 7). <title> feeds the root
                 // text only.
@@ -422,13 +437,16 @@ impl<'a> Builder<'a> {
 
     /// Pops pseudo entries at or above `level`, but never a real header.
     fn pop_to_level_pseudo(&mut self, level: u32) {
-        while self.stack.len() > 1 && self.top_level() >= level && self.top_level() % 10 != 0 {
+        while self.stack.len() > 1
+            && self.top_level() >= level
+            && !self.top_level().is_multiple_of(10)
+        {
             self.stack.pop();
         }
     }
 
     fn truncate_pseudo(&mut self, saved_len: usize) {
-        while self.stack.len() > saved_len && self.top_level() % 10 != 0 {
+        while self.stack.len() > saved_len && !self.top_level().is_multiple_of(10) {
             self.stack.pop();
         }
     }
@@ -459,10 +477,14 @@ impl<'a> Builder<'a> {
     fn is_text_only(&self, id: NodeId) -> bool {
         let has_text = !self.doc.text_content(id).is_empty();
         has_text
-            && self.doc.descendants(id).skip(1).all(|d| match self.doc.node(d).data {
-                NodeData::Element { ref tag, .. } => !crate::dom::is_block(tag),
-                _ => true,
-            })
+            && self
+                .doc
+                .descendants(id)
+                .skip(1)
+                .all(|d| match self.doc.node(d).data {
+                    NodeData::Element { ref tag, .. } => !crate::dom::is_block(tag),
+                    _ => true,
+                })
     }
 
     fn text_block(&mut self, id: NodeId) {
@@ -613,8 +635,7 @@ mod tests {
         let page = PageTree::parse(FIG2_TOP);
         let root = page.root();
         assert_eq!(page.text(root), "Jane Doe");
-        let sections: Vec<&str> =
-            page.children(root).iter().map(|&c| page.text(c)).collect();
+        let sections: Vec<&str> = page.children(root).iter().map(|&c| page.text(c)).collect();
         assert!(sections.contains(&"Students"));
         assert!(sections.contains(&"Activities"));
 
@@ -657,9 +678,8 @@ mod tests {
 
     #[test]
     fn header_hierarchy_nesting() {
-        let page = PageTree::parse(
-            "<h1>R</h1><h2>A</h2><h3>A1</h3><p>x</p><h3>A2</h3><h2>B</h2><p>y</p>",
-        );
+        let page =
+            PageTree::parse("<h1>R</h1><h2>A</h2><h3>A1</h3><p>x</p><h3>A2</h3><h2>B</h2><p>y</p>");
         let root = page.root();
         let kids: Vec<&str> = page.children(root).iter().map(|&c| page.text(c)).collect();
         assert_eq!(kids, ["A", "B"]);
@@ -762,9 +782,7 @@ mod tests {
 
     #[test]
     fn consecutive_pseudo_headers_are_siblings() {
-        let page = PageTree::parse(
-            "<h1>R</h1><h2>S</h2><b>P1</b><p>a</p><b>P2</b><p>b</p>",
-        );
+        let page = PageTree::parse("<h1>R</h1><h2>S</h2><b>P1</b><p>a</p><b>P2</b><p>b</p>");
         let s = page.children(page.root())[0];
         let kids: Vec<&str> = page.children(s).iter().map(|&c| page.text(c)).collect();
         assert_eq!(kids, ["P1", "P2"]);
@@ -772,9 +790,8 @@ mod tests {
 
     #[test]
     fn definition_list() {
-        let page = PageTree::parse(
-            "<h1>R</h1><h2>Info</h2><dl><dt>Email</dt><dd>x@y.edu</dd></dl>",
-        );
+        let page =
+            PageTree::parse("<h1>R</h1><h2>Info</h2><dl><dt>Email</dt><dd>x@y.edu</dd></dl>");
         let info = page.children(page.root())[0];
         // dl marks the section a list; dt/dd items become children
         assert_eq!(page.kind(info), NodeKind::List);
@@ -792,11 +809,13 @@ mod tests {
 
     #[test]
     fn divs_as_sections() {
-        let page = PageTree::parse(
-            "<h1>R</h1><div><h2>A</h2><p>x</p></div><div><h2>B</h2><p>y</p></div>",
-        );
-        let kids: Vec<&str> =
-            page.children(page.root()).iter().map(|&c| page.text(c)).collect();
+        let page =
+            PageTree::parse("<h1>R</h1><div><h2>A</h2><p>x</p></div><div><h2>B</h2><p>y</p></div>");
+        let kids: Vec<&str> = page
+            .children(page.root())
+            .iter()
+            .map(|&c| page.text(c))
+            .collect();
         assert_eq!(kids, ["A", "B"]);
     }
 

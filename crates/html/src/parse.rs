@@ -54,7 +54,11 @@ pub fn parse_html(input: &str) -> Document {
                 }
                 doc.append(parent, NodeData::Text(text));
             }
-            HtmlToken::StartTag { name, attrs, self_closing } => {
+            HtmlToken::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
                 if name == "script" || name == "style" {
                     in_dropped_raw_text = !self_closing;
                     continue;
@@ -68,7 +72,13 @@ pub fn parse_html(input: &str) -> Document {
                     }
                 }
                 let parent = stack.last().expect("stack never empty").1;
-                let id = doc.append(parent, NodeData::Element { tag: name.clone(), attrs });
+                let id = doc.append(
+                    parent,
+                    NodeData::Element {
+                        tag: name.clone(),
+                        attrs,
+                    },
+                );
                 if !self_closing && !is_void(&name) {
                     stack.push((name, id));
                 }
@@ -95,8 +105,20 @@ pub fn parse_html(input: &str) -> Document {
 fn is_void(tag: &str) -> bool {
     matches!(
         tag,
-        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
-            | "param" | "source" | "track" | "wbr"
+        "area"
+            | "base"
+            | "br"
+            | "col"
+            | "embed"
+            | "hr"
+            | "img"
+            | "input"
+            | "link"
+            | "meta"
+            | "param"
+            | "source"
+            | "track"
+            | "wbr"
     )
 }
 
@@ -123,7 +145,9 @@ mod tests {
     use super::*;
 
     fn tags(doc: &Document) -> Vec<String> {
-        doc.iter().filter_map(|n| doc.tag(n).map(String::from)).collect()
+        doc.iter()
+            .filter_map(|n| doc.tag(n).map(String::from))
+            .collect()
     }
 
     #[test]

@@ -66,10 +66,14 @@ impl PathExpr {
     /// malformed predicate.
     pub fn parse(s: &str) -> Result<Self, ParsePathError> {
         if s.is_empty() {
-            return Err(ParsePathError { message: "empty expression".into() });
+            return Err(ParsePathError {
+                message: "empty expression".into(),
+            });
         }
         if !s.starts_with('/') {
-            return Err(ParsePathError { message: "expression must start with '/'".into() });
+            return Err(ParsePathError {
+                message: "expression must start with '/'".into(),
+            });
         }
         let mut steps = Vec::new();
         let mut rest = s;
@@ -81,13 +85,17 @@ impl PathExpr {
                 rest = &rest[1..];
                 false
             } else {
-                return Err(ParsePathError { message: format!("expected '/' at …{rest}") });
+                return Err(ParsePathError {
+                    message: format!("expected '/' at …{rest}"),
+                });
             };
             let end = rest.find('/').unwrap_or(rest.len());
             let step_src = &rest[..end];
             rest = &rest[end..];
             if step_src.is_empty() {
-                return Err(ParsePathError { message: "empty step".into() });
+                return Err(ParsePathError {
+                    message: "empty step".into(),
+                });
             }
             steps.push(parse_step(step_src, descendant)?);
         }
@@ -140,7 +148,12 @@ impl PathExpr {
 impl std::fmt::Display for PathExpr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for step in &self.steps {
-            write!(f, "{}{}", if step.descendant { "//" } else { "/" }, step.tag)?;
+            write!(
+                f,
+                "{}{}",
+                if step.descendant { "//" } else { "/" },
+                step.tag
+            )?;
             if let Some((name, value)) = &step.attr {
                 write!(f, "[@{name}='{value}']")?;
             }
@@ -158,7 +171,9 @@ fn parse_step(src: &str, descendant: bool) -> Result<Step, ParsePathError> {
         None => (src, ""),
     };
     if name_part.is_empty() {
-        return Err(ParsePathError { message: format!("missing tag in step {src:?}") });
+        return Err(ParsePathError {
+            message: format!("missing tag in step {src:?}"),
+        });
     }
     let mut step = Step {
         descendant,
@@ -169,11 +184,13 @@ fn parse_step(src: &str, descendant: bool) -> Result<Step, ParsePathError> {
     let mut rest = preds;
     while !rest.is_empty() {
         if !rest.starts_with('[') {
-            return Err(ParsePathError { message: format!("expected '[' in {src:?}") });
+            return Err(ParsePathError {
+                message: format!("expected '[' in {src:?}"),
+            });
         }
-        let close = rest
-            .find(']')
-            .ok_or_else(|| ParsePathError { message: format!("unclosed predicate in {src:?}") })?;
+        let close = rest.find(']').ok_or_else(|| ParsePathError {
+            message: format!("unclosed predicate in {src:?}"),
+        })?;
         let body = &rest[1..close];
         rest = &rest[close + 1..];
         if let Some(attr_body) = body.strip_prefix('@') {
@@ -189,7 +206,9 @@ fn parse_step(src: &str, descendant: bool) -> Result<Step, ParsePathError> {
                 message: format!("bad positional predicate {body:?}"),
             })?;
             if pos == 0 {
-                return Err(ParsePathError { message: "positions are 1-based".into() });
+                return Err(ParsePathError {
+                    message: "positions are 1-based".into(),
+                });
             }
             step.position = Some(pos);
         }
@@ -230,7 +249,12 @@ pub fn concrete_path(doc: &Document, id: NodeId) -> Option<PathExpr> {
     loop {
         let tag = doc.tag(cur)?.to_string();
         let pos = doc.sibling_position(cur)?;
-        steps.push(Step { descendant: false, tag, position: Some(pos), attr: None });
+        steps.push(Step {
+            descendant: false,
+            tag,
+            position: Some(pos),
+            attr: None,
+        });
         match doc.node(cur).parent {
             Some(p) if doc.tag(p).is_some() => cur = p,
             _ => break,
@@ -308,7 +332,9 @@ mod tests {
     fn concrete_path_roundtrip() {
         let doc = parse_html(DOC);
         for id in doc.iter() {
-            let Some(path) = concrete_path(&doc, id) else { continue };
+            let Some(path) = concrete_path(&doc, id) else {
+                continue;
+            };
             let hits = path.select(&doc);
             assert_eq!(hits, vec![id], "path {path} must select exactly its node");
         }

@@ -37,8 +37,14 @@ fn serialize_node(doc: &Document, id: NodeId, out: &mut String) {
             }
         }
         NodeData::Text(t) => {
-            let parent_tag = doc.node(id).parent.and_then(|p| doc.tag(p).map(str::to_string));
-            if parent_tag.as_deref().is_some_and(|t| RAW_TEXT_TAGS.contains(&t)) {
+            let parent_tag = doc
+                .node(id)
+                .parent
+                .and_then(|p| doc.tag(p).map(str::to_string));
+            if parent_tag
+                .as_deref()
+                .is_some_and(|t| RAW_TEXT_TAGS.contains(&t))
+            {
                 out.push_str(t);
             } else {
                 escape_into(t, out);
@@ -101,7 +107,10 @@ mod tests {
         let doc = parse_html(html);
         let emitted = serialize(&doc);
         let reparsed = parse_html(&emitted);
-        assert_eq!(doc, reparsed, "serialize({html:?}) = {emitted:?} reparses differently");
+        assert_eq!(
+            doc, reparsed,
+            "serialize({html:?}) = {emitted:?} reparses differently"
+        );
     }
 
     #[test]

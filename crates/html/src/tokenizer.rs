@@ -67,7 +67,12 @@ struct Tokenizer<'a> {
 
 impl<'a> Tokenizer<'a> {
     fn new(input: &'a str) -> Self {
-        Tokenizer { input, bytes: input.as_bytes(), pos: 0, tokens: Vec::new() }
+        Tokenizer {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
     }
 
     fn run(mut self) -> Vec<HtmlToken> {
@@ -77,9 +82,9 @@ impl<'a> Tokenizer<'a> {
                     self.consume_comment();
                 } else if self.starts_with_ci("<!doctype") {
                     self.consume_doctype();
-                } else if self.peek_at(1).map_or(false, |c| c == b'/') {
+                } else if self.peek_at(1) == Some(b'/') {
                     self.consume_end_tag();
-                } else if self.peek_at(1).map_or(false, |c| c.is_ascii_alphabetic()) {
+                } else if self.peek_at(1).is_some_and(|c| c.is_ascii_alphabetic()) {
                     self.consume_start_tag();
                 } else {
                     // Stray '<': emit as text and move on.
@@ -131,12 +136,15 @@ impl<'a> Tokenizer<'a> {
         let start = self.pos + 4;
         match self.input[start..].find("-->") {
             Some(end) => {
-                self.tokens.push(HtmlToken::Comment(self.input[start..start + end].to_string()));
+                self.tokens.push(HtmlToken::Comment(
+                    self.input[start..start + end].to_string(),
+                ));
                 self.pos = start + end + 3;
             }
             None => {
                 // Unterminated comment swallows the rest of the input.
-                self.tokens.push(HtmlToken::Comment(self.input[start..].to_string()));
+                self.tokens
+                    .push(HtmlToken::Comment(self.input[start..].to_string()));
                 self.pos = self.bytes.len();
             }
         }
@@ -146,11 +154,14 @@ impl<'a> Tokenizer<'a> {
         let start = self.pos + 2;
         match self.input[start..].find('>') {
             Some(end) => {
-                self.tokens.push(HtmlToken::Doctype(self.input[start..start + end].to_string()));
+                self.tokens.push(HtmlToken::Doctype(
+                    self.input[start..start + end].to_string(),
+                ));
                 self.pos = start + end + 1;
             }
             None => {
-                self.tokens.push(HtmlToken::Doctype(self.input[start..].to_string()));
+                self.tokens
+                    .push(HtmlToken::Doctype(self.input[start..].to_string()));
                 self.pos = self.bytes.len();
             }
         }
@@ -160,7 +171,9 @@ impl<'a> Tokenizer<'a> {
         // self.pos at '<', pos+1 at '/'
         let mut i = self.pos + 2;
         let name_start = i;
-        while i < self.bytes.len() && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-') {
+        while i < self.bytes.len()
+            && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-')
+        {
             i += 1;
         }
         let name = self.input[name_start..i].to_ascii_lowercase();
@@ -177,7 +190,9 @@ impl<'a> Tokenizer<'a> {
     fn consume_start_tag(&mut self) {
         let mut i = self.pos + 1;
         let name_start = i;
-        while i < self.bytes.len() && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-') {
+        while i < self.bytes.len()
+            && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-')
+        {
             i += 1;
         }
         let name = self.input[name_start..i].to_ascii_lowercase();
@@ -216,7 +231,11 @@ impl<'a> Tokenizer<'a> {
         }
         self.pos = i;
         let is_raw_text = name == "script" || name == "style";
-        self.tokens.push(HtmlToken::StartTag { name: name.clone(), attrs, self_closing });
+        self.tokens.push(HtmlToken::StartTag {
+            name: name.clone(),
+            attrs,
+            self_closing,
+        });
         if is_raw_text && !self_closing {
             self.consume_raw_text(&name);
         }
@@ -266,14 +285,26 @@ impl<'a> Tokenizer<'a> {
             j += 1;
         }
         if j >= self.bytes.len() || self.bytes[j] != b'=' {
-            return (Some(Attribute { name, value: String::new() }), i);
+            return (
+                Some(Attribute {
+                    name,
+                    value: String::new(),
+                }),
+                i,
+            );
         }
         j += 1;
         while j < self.bytes.len() && self.bytes[j].is_ascii_whitespace() {
             j += 1;
         }
         if j >= self.bytes.len() {
-            return (Some(Attribute { name, value: String::new() }), j);
+            return (
+                Some(Attribute {
+                    name,
+                    value: String::new(),
+                }),
+                j,
+            );
         }
         let (value, next) = match self.bytes[j] {
             q @ (b'"' | b'\'') => {
@@ -282,7 +313,10 @@ impl<'a> Tokenizer<'a> {
                 while k < self.bytes.len() && self.bytes[k] != q {
                     k += 1;
                 }
-                (self.input[vstart..k].to_string(), (k + 1).min(self.bytes.len()))
+                (
+                    self.input[vstart..k].to_string(),
+                    (k + 1).min(self.bytes.len()),
+                )
             }
             _ => {
                 let vstart = j;
@@ -296,7 +330,13 @@ impl<'a> Tokenizer<'a> {
                 (self.input[vstart..k].to_string(), k)
             }
         };
-        (Some(Attribute { name, value: decode_entities(&value) }), next)
+        (
+            Some(Attribute {
+                name,
+                value: decode_entities(&value),
+            }),
+            next,
+        )
     }
 }
 
@@ -306,7 +346,11 @@ mod tests {
 
     fn start(tokens: &[HtmlToken], i: usize) -> (&str, &[Attribute], bool) {
         match &tokens[i] {
-            HtmlToken::StartTag { name, attrs, self_closing } => (name, attrs, *self_closing),
+            HtmlToken::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => (name, attrs, *self_closing),
             other => panic!("expected start tag, got {other:?}"),
         }
     }
@@ -327,10 +371,22 @@ mod tests {
         assert_eq!(name, "a");
         assert!(!sc);
         assert_eq!(attrs.len(), 4);
-        assert_eq!(attrs[0], Attribute { name: "href".into(), value: "x.html".into() });
+        assert_eq!(
+            attrs[0],
+            Attribute {
+                name: "href".into(),
+                value: "x.html".into()
+            }
+        );
         assert_eq!(attrs[1].value, "big");
         assert_eq!(attrs[2].value, "main");
-        assert_eq!(attrs[3], Attribute { name: "disabled".into(), value: String::new() });
+        assert_eq!(
+            attrs[3],
+            Attribute {
+                name: "disabled".into(),
+                value: String::new()
+            }
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ pub fn hamming_strings<S1: AsRef<str>, S2: AsRef<str>>(a: &[S1], b: &[S2]) -> us
 /// Panics if the two sequences have different lengths — outputs must be
 /// aligned page-by-page.
 pub fn hamming_outputs(a: &[Vec<String>], b: &[Vec<String>]) -> usize {
-    assert_eq!(a.len(), b.len(), "per-page output sequences must be aligned");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "per-page output sequences must be aligned"
+    );
     a.iter().zip(b).map(|(x, y)| hamming_strings(x, y)).sum()
 }
 

@@ -16,7 +16,9 @@ use crate::tokens::{tokenize_all, Token};
 /// several examples can be summed (`+`), and the micro-averaged precision /
 /// recall / F₁ are derived at the end. This mirrors how the paper evaluates
 /// a program on a *set* of labeled webpages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Counts {
     /// Number of predicted tokens that matched a gold token (multiset ∩).
     pub matched: usize,
@@ -45,7 +47,11 @@ impl Counts {
                 }
             }
         }
-        Counts { matched, predicted: predicted.len(), gold: gold.len() }
+        Counts {
+            matched,
+            predicted: predicted.len(),
+            gold: gold.len(),
+        }
     }
 
     /// Creates counts from predicted and gold *string sets* by tokenizing.
@@ -145,7 +151,11 @@ pub struct Score {
 impl Score {
     /// Derives a [`Score`] from accumulated [`Counts`].
     pub fn from_counts(c: Counts) -> Self {
-        Score { precision: c.precision(), recall: c.recall(), f1: c.f1() }
+        Score {
+            precision: c.precision(),
+            recall: c.recall(),
+            f1: c.f1(),
+        }
     }
 
     /// Arithmetic mean of several scores (macro average, used when the
@@ -163,13 +173,21 @@ impl Score {
             return Score::default();
         }
         let n = n as f64;
-        Score { precision: p / n, recall: r / n, f1: f / n }
+        Score {
+            precision: p / n,
+            recall: r / n,
+            f1: f / n,
+        }
     }
 }
 
 impl std::fmt::Display for Score {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "P={:.2} R={:.2} F1={:.2}", self.precision, self.recall, self.f1)
+        write!(
+            f,
+            "P={:.2} R={:.2} F1={:.2}",
+            self.precision, self.recall, self.f1
+        )
     }
 }
 
@@ -262,7 +280,11 @@ mod tests {
 
     #[test]
     fn upper_bound_formula() {
-        let c = Counts { matched: 1, predicted: 10, gold: 2 };
+        let c = Counts {
+            matched: 1,
+            predicted: 10,
+            gold: 2,
+        };
         // recall 0.5, UB = 2*0.5/1.5
         assert!((c.upper_bound() - 2.0 / 3.0).abs() < 1e-12);
         // UB must dominate actual F1
@@ -271,8 +293,16 @@ mod tests {
 
     #[test]
     fn score_mean() {
-        let s1 = Score { precision: 1.0, recall: 0.0, f1: 0.0 };
-        let s2 = Score { precision: 0.0, recall: 1.0, f1: 1.0 };
+        let s1 = Score {
+            precision: 1.0,
+            recall: 0.0,
+            f1: 0.0,
+        };
+        let s2 = Score {
+            precision: 0.0,
+            recall: 1.0,
+            f1: 1.0,
+        };
         let m = Score::mean([&s1, &s2]);
         assert!((m.precision - 0.5).abs() < 1e-12);
         assert!((m.recall - 0.5).abs() < 1e-12);
@@ -293,7 +323,11 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let s = Score { precision: 0.5, recall: 0.25, f1: 1.0 / 3.0 };
+        let s = Score {
+            precision: 0.5,
+            recall: 0.25,
+            f1: 1.0 / 3.0,
+        };
         assert_eq!(s.to_string(), "P=0.50 R=0.25 F1=0.33");
     }
 }

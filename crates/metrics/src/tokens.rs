@@ -51,7 +51,9 @@ pub fn tokenize(text: &str) -> Vec<Token> {
     let chars: Vec<char> = text.chars().collect();
     let mut i = 0;
     while i < chars.len() {
-        if is_token_char(chars[i]) || (chars[i] == '\'' && i + 1 < chars.len() && is_token_char(chars[i + 1])) {
+        if is_token_char(chars[i])
+            || (chars[i] == '\'' && i + 1 < chars.len() && is_token_char(chars[i + 1]))
+        {
             let start = i;
             // A leading apostrophe is kept so year abbreviations like '21
             // survive tokenization (they are load-bearing in several tasks).
@@ -94,10 +96,7 @@ fn is_word_internal(chars: &[char], i: usize) -> bool {
     }
     // Internal only: must be surrounded by token characters, as in
     // "double-blind", "o'brien", "3.5", "10:30".
-    i > 0
-        && is_token_char(chars[i - 1])
-        && i + 1 < chars.len()
-        && is_token_char(chars[i + 1])
+    i > 0 && is_token_char(chars[i - 1]) && i + 1 < chars.len() && is_token_char(chars[i + 1])
 }
 
 #[cfg(test)]
@@ -132,7 +131,10 @@ mod tests {
 
     #[test]
     fn keeps_decimal_numbers_and_times() {
-        assert_eq!(toks("3.5 GPA at 10:30 AM"), ["3.5", "gpa", "at", "10:30", "am"]);
+        assert_eq!(
+            toks("3.5 GPA at 10:30 AM"),
+            ["3.5", "gpa", "at", "10:30", "am"]
+        );
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Cross-module tests of the scoring kernel — the quantity every synthesis
+//! decision optimizes (token-level F₁, Section 5) and the transductive loss
+//! (Hamming distance, Section 7). The unit tests inside each module cover
+//! local behavior; these check the invariants that tie the kernel together.
+
+use webqa_metrics::{
+    hamming_strings, hamming_tokens, score_strings, tokenize, tokenize_all, Counts, Score,
+};
+
+// ---------------------------------------------------------------------
+// Counts / Score: the F₁ computation.
+
+#[test]
+fn perfect_extraction_scores_one() {
+    let s = score_strings(&["Jane Doe", "Wei Chen"], &["jane doe", "wei chen"]);
+    assert_eq!((s.precision, s.recall, s.f1), (1.0, 1.0, 1.0));
+}
+
+#[test]
+fn case_and_punctuation_do_not_affect_the_score() {
+    let a = score_strings(&["PLDI '21 (PC),"], &["pldi '21 pc"]);
+    assert_eq!(a.f1, 1.0, "scoring must be tokenization-invariant: {a:?}");
+}
+
+#[test]
+fn string_grouping_does_not_affect_the_score() {
+    // Section 5: recall is over the *combined* token bag, so how the
+    // extraction splits strings is irrelevant.
+    let one = score_strings(&["jane doe wei chen"], &["jane doe", "wei chen"]);
+    let two = score_strings(&["jane doe", "wei chen"], &["jane doe wei chen"]);
+    assert_eq!(one.f1, 1.0);
+    assert_eq!(two.f1, 1.0);
+}
+
+#[test]
+fn multiset_intersection_counts_duplicates_once_per_occurrence() {
+    let c = Counts::from_strings(&["jane jane"], &["jane"]);
+    assert_eq!((c.matched, c.predicted, c.gold), (1, 2, 1));
+    assert_eq!(c.precision(), 0.5);
+    assert_eq!(c.recall(), 1.0);
+}
+
+#[test]
+fn empty_conventions_match_the_guard_semantics() {
+    // Nothing predicted, nothing expected: correct (P = R = 1).
+    let both_empty = Counts::from_strings::<&str, &str>(&[], &[]);
+    assert_eq!(both_empty.f1(), 1.0);
+    // Predicted something on an empty-label page: wrong, not undefined.
+    let spurious = Counts::from_strings::<_, &str>(&["x"], &[]);
+    assert_eq!(spurious.f1(), 0.0);
+    // Missed a non-empty label entirely.
+    let missed = Counts::from_strings::<&str, _>(&[], &["x"]);
+    assert_eq!(missed.f1(), 0.0);
+}
+
+#[test]
+fn counts_are_additive_for_micro_averaging() {
+    let a = Counts::from_strings(&["jane doe"], &["jane doe"]);
+    let b = Counts::from_strings(&["bob"], &["alice"]);
+    let sum = a + b;
+    assert_eq!(sum.matched, a.matched + b.matched);
+    assert_eq!(sum.predicted, a.predicted + b.predicted);
+    assert_eq!(sum.gold, a.gold + b.gold);
+    let mut acc = Counts::default();
+    acc += a;
+    acc += b;
+    assert_eq!(acc, sum);
+}
+
+#[test]
+fn upper_bound_dominates_f1_and_is_tight_at_perfect_precision() {
+    // UB = 2R/(1+R) assumes perfect precision; any actual F1 with the same
+    // or smaller recall must sit below it (this is what makes Eq. 3 a
+    // sound pruning bound given recall monotonicity).
+    let cases = [
+        Counts {
+            matched: 3,
+            predicted: 10,
+            gold: 4,
+        },
+        Counts {
+            matched: 2,
+            predicted: 2,
+            gold: 5,
+        },
+        Counts {
+            matched: 0,
+            predicted: 7,
+            gold: 3,
+        },
+        Counts {
+            matched: 4,
+            predicted: 4,
+            gold: 4,
+        },
+    ];
+    for c in cases {
+        assert!(
+            c.f1() <= c.upper_bound() + 1e-12,
+            "UB violated for {c:?}: f1 {} > ub {}",
+            c.f1(),
+            c.upper_bound()
+        );
+    }
+    // Tight when precision is perfect.
+    let perfect_p = Counts {
+        matched: 2,
+        predicted: 2,
+        gold: 5,
+    };
+    assert!((perfect_p.f1() - perfect_p.upper_bound()).abs() < 1e-12);
+}
+
+#[test]
+fn score_mean_averages_componentwise() {
+    let s1 = Score {
+        precision: 1.0,
+        recall: 0.5,
+        f1: 2.0 / 3.0,
+    };
+    let s2 = Score {
+        precision: 0.0,
+        recall: 0.5,
+        f1: 0.0,
+    };
+    let m = Score::mean([&s1, &s2]);
+    assert!((m.precision - 0.5).abs() < 1e-12);
+    assert!((m.recall - 0.5).abs() < 1e-12);
+    assert!((m.f1 - 1.0 / 3.0).abs() < 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Hamming: the transductive loss.
+
+#[test]
+fn hamming_is_a_metric_on_token_sets() {
+    let a = tokenize("jane doe phd");
+    let b = tokenize("jane smith phd");
+    let c = tokenize("robert smith");
+    // Identity, symmetry, triangle inequality.
+    assert_eq!(hamming_tokens(&a, &a), 0);
+    assert_eq!(hamming_tokens(&a, &b), hamming_tokens(&b, &a));
+    assert!(hamming_tokens(&a, &c) <= hamming_tokens(&a, &b) + hamming_tokens(&b, &c));
+}
+
+#[test]
+fn hamming_agrees_with_symmetric_difference_cardinality() {
+    // {jane, doe} Δ {jane, smith} = {doe, smith}.
+    assert_eq!(hamming_strings(&["Jane Doe"], &["jane smith"]), 2);
+    // Duplicates collapse: Hamming is over token *sets*, unlike F1's bags.
+    assert_eq!(hamming_strings(&["a a b"], &["b a"]), 0);
+}
+
+#[test]
+fn zero_hamming_iff_equal_token_sets_even_when_f1_counts_differ() {
+    // Same token set, different multiplicities: Hamming 0 but F1 < 1 —
+    // the two metrics measure different things by design.
+    let pred = ["jane jane"];
+    let gold = ["jane"];
+    assert_eq!(hamming_strings(&pred, &gold), 0);
+    assert!(score_strings(&pred, &gold).f1 < 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer properties the other two depend on.
+
+#[test]
+fn tokenization_is_idempotent_under_rejoining() {
+    for text in [
+        "PLDI '21 (PC), POPL '20",
+        "O'Brien double-blind 3.5 GPA",
+        "10:30 AM — Rm. 5",
+    ] {
+        let once: Vec<String> = tokenize(text)
+            .iter()
+            .map(|t| t.as_str().to_string())
+            .collect();
+        let rejoined = once.join(" ");
+        let twice: Vec<String> = tokenize(&rejoined)
+            .iter()
+            .map(|t| t.as_str().to_string())
+            .collect();
+        assert_eq!(once, twice, "re-tokenizing {rejoined:?} changed the bag");
+    }
+}
+
+#[test]
+fn tokenize_all_is_concatenation_of_tokenize() {
+    let parts = ["Jane Doe", "", "PLDI '21"];
+    let combined = tokenize_all(&parts);
+    let manual: Vec<_> = parts.iter().flat_map(|s| tokenize(s)).collect();
+    assert_eq!(combined, manual);
+}

@@ -101,9 +101,9 @@ pub(crate) fn stem(word: &str) -> String {
     let w = word.to_lowercase();
     if w.len() > 4 && w.ends_with("ies") {
         format!("{}y", &w[..w.len() - 3])
-    } else if w.len() > 4 && (w.ends_with("es") && !w.ends_with("ses")) {
-        w[..w.len() - 1].to_string() // "services" -> "service" via 's' rule below
     } else if w.len() > 3 && w.ends_with('s') && !w.ends_with("ss") {
+        // Covers plain plurals and "-es" forms alike: "services" ->
+        // "service", "students" -> "student", while keeping "class".
         w[..w.len() - 1].to_string()
     } else {
         w
@@ -158,7 +158,11 @@ fn embed_word(word: &str) -> Embedding {
         // Multi-word canonical form ("program committee"): embed as phrase.
         return embed_phrase_words(&canon.split(' ').collect::<Vec<_>>());
     }
-    let surface = if canon.is_empty() { stem(word) } else { canon.to_string() };
+    let surface = if canon.is_empty() {
+        stem(word)
+    } else {
+        canon.to_string()
+    };
     let mut e = Embedding::zero();
     let padded = format!("^{surface}$");
     let chars: Vec<char> = padded.chars().collect();
@@ -217,7 +221,10 @@ pub fn keyword_similarity(text: &str, keyword: &str) -> f32 {
     // Exact stemmed phrase containment → 1.0.
     let kw_stems: Vec<String> = kw_words.iter().map(|w| stem(w)).collect();
     let text_stems: Vec<String> = text_words.iter().map(|w| stem(w)).collect();
-    if text_stems.windows(kw_stems.len()).any(|w| w == kw_stems.as_slice()) {
+    if text_stems
+        .windows(kw_stems.len())
+        .any(|w| w == kw_stems.as_slice())
+    {
         return 1.0;
     }
     let kw_emb = embed(keyword);
@@ -225,7 +232,11 @@ pub fn keyword_similarity(text: &str, keyword: &str) -> f32 {
         return 0.0;
     }
     let mut best: f32 = 0.0;
-    let widths = [kw_words.len().saturating_sub(1).max(1), kw_words.len(), kw_words.len() + 1];
+    let widths = [
+        kw_words.len().saturating_sub(1).max(1),
+        kw_words.len(),
+        kw_words.len() + 1,
+    ];
     for &w in &widths {
         if w == 0 || w > text_words.len() {
             continue;

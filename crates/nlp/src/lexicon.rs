@@ -9,32 +9,201 @@
 
 /// Common given names recognized (and generated) as person names.
 pub const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
-    "Sarah", "Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Betty",
-    "Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
-    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Dorothy", "Kevin", "Carol",
-    "Brian", "Amanda", "George", "Melissa", "Edward", "Deborah", "Ronald", "Stephanie",
-    "Timothy", "Rebecca", "Jason", "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob",
-    "Kathleen", "Gary", "Amy", "Nicholas", "Angela", "Eric", "Shirley", "Jonathan", "Anna",
-    "Stephen", "Brenda", "Larry", "Pamela", "Justin", "Emma", "Scott", "Nicole", "Brandon",
-    "Helen", "Benjamin", "Samantha", "Samuel", "Katherine", "Gregory", "Christine", "Frank",
-    "Debra", "Alexander", "Rachel", "Raymond", "Chen", "Wei", "Xinyu", "Priya", "Ahmed",
-    "Yuki", "Elena", "Marco", "Ingrid", "Omar", "Ana", "Jane", "Aaron", "Isil", "Osbert",
-    "Grace", "Felix", "Nora", "Victor", "Iris",
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Christopher",
+    "Nancy",
+    "Daniel",
+    "Lisa",
+    "Matthew",
+    "Betty",
+    "Anthony",
+    "Margaret",
+    "Mark",
+    "Sandra",
+    "Donald",
+    "Ashley",
+    "Steven",
+    "Kimberly",
+    "Paul",
+    "Emily",
+    "Andrew",
+    "Donna",
+    "Joshua",
+    "Michelle",
+    "Kenneth",
+    "Dorothy",
+    "Kevin",
+    "Carol",
+    "Brian",
+    "Amanda",
+    "George",
+    "Melissa",
+    "Edward",
+    "Deborah",
+    "Ronald",
+    "Stephanie",
+    "Timothy",
+    "Rebecca",
+    "Jason",
+    "Sharon",
+    "Jeffrey",
+    "Laura",
+    "Ryan",
+    "Cynthia",
+    "Jacob",
+    "Kathleen",
+    "Gary",
+    "Amy",
+    "Nicholas",
+    "Angela",
+    "Eric",
+    "Shirley",
+    "Jonathan",
+    "Anna",
+    "Stephen",
+    "Brenda",
+    "Larry",
+    "Pamela",
+    "Justin",
+    "Emma",
+    "Scott",
+    "Nicole",
+    "Brandon",
+    "Helen",
+    "Benjamin",
+    "Samantha",
+    "Samuel",
+    "Katherine",
+    "Gregory",
+    "Christine",
+    "Frank",
+    "Debra",
+    "Alexander",
+    "Rachel",
+    "Raymond",
+    "Chen",
+    "Wei",
+    "Xinyu",
+    "Priya",
+    "Ahmed",
+    "Yuki",
+    "Elena",
+    "Marco",
+    "Ingrid",
+    "Omar",
+    "Ana",
+    "Jane",
+    "Aaron",
+    "Isil",
+    "Osbert",
+    "Grace",
+    "Felix",
+    "Nora",
+    "Victor",
+    "Iris",
 ];
 
 /// Common family names.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
-    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
-    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
-    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts", "Chen", "Wang", "Kumar", "Patel",
-    "Kim", "Park", "Singh", "Gupta", "Tanaka", "Sato", "Müller", "Schmidt", "Rossi", "Ferrari",
-    "Novak", "Kowalski", "Doe", "Durrett", "Bastani", "Dillig", "Lamoreaux", "Okafor",
-    "Haddad", "Lindqvist", "Petrov", "Silva", "Costa", "Moreau", "Dubois", "Fischer",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
+    "Green",
+    "Adams",
+    "Nelson",
+    "Baker",
+    "Hall",
+    "Rivera",
+    "Campbell",
+    "Mitchell",
+    "Carter",
+    "Roberts",
+    "Chen",
+    "Wang",
+    "Kumar",
+    "Patel",
+    "Kim",
+    "Park",
+    "Singh",
+    "Gupta",
+    "Tanaka",
+    "Sato",
+    "Müller",
+    "Schmidt",
+    "Rossi",
+    "Ferrari",
+    "Novak",
+    "Kowalski",
+    "Doe",
+    "Durrett",
+    "Bastani",
+    "Dillig",
+    "Lamoreaux",
+    "Okafor",
+    "Haddad",
+    "Lindqvist",
+    "Petrov",
+    "Silva",
+    "Costa",
+    "Moreau",
+    "Dubois",
+    "Fischer",
 ];
 
 /// Academic title prefixes.
@@ -42,20 +211,63 @@ pub const TITLES: &[&str] = &["Dr.", "Prof.", "Professor", "Mr.", "Ms.", "Mrs."]
 
 /// Place names used for universities, clinic locations, and addresses.
 pub const PLACES: &[&str] = &[
-    "Austin", "Boston", "Chicago", "Denver", "Houston", "Seattle", "Portland", "Atlanta",
-    "Phoenix", "Dallas", "Madison", "Berkeley", "Pasadena", "Princeton", "Cambridge",
-    "Ithaca", "Ann Arbor", "Pittsburgh", "Philadelphia", "Baltimore", "Nashville",
-    "Columbus", "Minneapolis", "Salt Lake City", "San Diego", "San Jose", "Riverside",
-    "Evanston", "Providence", "New Haven", "Palo Alto", "Stanford", "Durham", "Raleigh",
-    "Tucson", "Albany", "Rochester", "Syracuse", "Boulder", "Eugene",
+    "Austin",
+    "Boston",
+    "Chicago",
+    "Denver",
+    "Houston",
+    "Seattle",
+    "Portland",
+    "Atlanta",
+    "Phoenix",
+    "Dallas",
+    "Madison",
+    "Berkeley",
+    "Pasadena",
+    "Princeton",
+    "Cambridge",
+    "Ithaca",
+    "Ann Arbor",
+    "Pittsburgh",
+    "Philadelphia",
+    "Baltimore",
+    "Nashville",
+    "Columbus",
+    "Minneapolis",
+    "Salt Lake City",
+    "San Diego",
+    "San Jose",
+    "Riverside",
+    "Evanston",
+    "Providence",
+    "New Haven",
+    "Palo Alto",
+    "Stanford",
+    "Durham",
+    "Raleigh",
+    "Tucson",
+    "Albany",
+    "Rochester",
+    "Syracuse",
+    "Boulder",
+    "Eugene",
 ];
 
 /// University name suffixes/patterns: `"{place} University"`,
 /// `"University of {place}"`, `"{place} Institute of Technology"`,
 /// `"{place} College"`.
 pub const ORG_SUFFIXES: &[&str] = &[
-    "University", "Institute", "College", "Laboratory", "Labs", "Center", "Centre", "Academy",
-    "Institute of Technology", "Polytechnic", "School",
+    "University",
+    "Institute",
+    "College",
+    "Laboratory",
+    "Labs",
+    "Center",
+    "Centre",
+    "Academy",
+    "Institute of Technology",
+    "Polytechnic",
+    "School",
 ];
 
 /// Computer-science conference acronyms.
@@ -65,58 +277,138 @@ pub const ORG_SUFFIXES: &[&str] = &[
 /// `ner::EntityRecognizer::conservative`).
 pub const CONFERENCES: &[&str] = &[
     "PLDI", "POPL", "OOPSLA", "CAV", "ICSE", "FSE", "ASPLOS", "ISCA", "SOSP", "OSDI", "NSDI",
-    "ATC", "EuroSys", "CGO", "CC", "ECOOP", "ISSTA", "TACAS", "VMCAI", "LICS", "ICFP",
-    "NeurIPS", "ICML", "ICLR", "ACL", "EMNLP", "NAACL", "AAAI", "IJCAI", "KDD", "SIGMOD",
-    "VLDB", "ICDE", "WWW", "CHI", "UIST", "CCS", "SP", "SEC",
+    "ATC", "EuroSys", "CGO", "CC", "ECOOP", "ISSTA", "TACAS", "VMCAI", "LICS", "ICFP", "NeurIPS",
+    "ICML", "ICLR", "ACL", "EMNLP", "NAACL", "AAAI", "IJCAI", "KDD", "SIGMOD", "VLDB", "ICDE",
+    "WWW", "CHI", "UIST", "CCS", "SP", "SEC",
 ];
 
 /// Roles appearing in professional-service lists.
 pub const SERVICE_ROLES: &[&str] = &[
-    "PC", "Program Committee", "SRC", "AEC", "ERC", "Workshop Chair", "Session Chair",
-    "Publicity Chair", "Artifact Evaluation Committee", "External Review Committee",
+    "PC",
+    "Program Committee",
+    "SRC",
+    "AEC",
+    "ERC",
+    "Workshop Chair",
+    "Session Chair",
+    "Publicity Chair",
+    "Artifact Evaluation Committee",
+    "External Review Committee",
     "Student Research Competition",
 ];
 
 /// Health-insurance plan names (tagged as organizations).
 pub const INSURANCES: &[&str] = &[
-    "Aetna", "Cigna", "Humana", "UnitedHealthcare", "Blue Cross Blue Shield", "Kaiser",
-    "Anthem", "Medicare", "Medicaid", "Tricare", "Oscar Health", "Molina Healthcare",
-    "Ambetter", "WellCare", "Centene",
+    "Aetna",
+    "Cigna",
+    "Humana",
+    "UnitedHealthcare",
+    "Blue Cross Blue Shield",
+    "Kaiser",
+    "Anthem",
+    "Medicare",
+    "Medicaid",
+    "Tricare",
+    "Oscar Health",
+    "Molina Healthcare",
+    "Ambetter",
+    "WellCare",
+    "Centene",
 ];
 
 /// Medical specialties and services offered by clinics.
 pub const MEDICAL_SERVICES: &[&str] = &[
-    "primary care", "pediatrics", "cardiology", "dermatology", "orthopedics", "physical therapy",
-    "immunizations", "annual checkups", "urgent care", "womens health", "behavioral health",
-    "dental cleanings", "vision screening", "lab testing", "x-ray imaging", "vaccinations",
-    "allergy testing", "sports medicine", "chiropractic care", "nutrition counseling",
+    "primary care",
+    "pediatrics",
+    "cardiology",
+    "dermatology",
+    "orthopedics",
+    "physical therapy",
+    "immunizations",
+    "annual checkups",
+    "urgent care",
+    "womens health",
+    "behavioral health",
+    "dental cleanings",
+    "vision screening",
+    "lab testing",
+    "x-ray imaging",
+    "vaccinations",
+    "allergy testing",
+    "sports medicine",
+    "chiropractic care",
+    "nutrition counseling",
 ];
 
 /// Treatment names for the clinic domain.
 pub const TREATMENTS: &[&str] = &[
-    "acne treatment", "joint replacement", "root canal therapy", "cognitive behavioral therapy",
-    "chemotherapy", "dialysis", "laser eye surgery", "physical rehabilitation",
-    "migraine management", "diabetes management", "hypertension treatment", "asthma care",
-    "arthritis treatment", "back pain therapy", "sleep apnea treatment", "skin cancer screening",
+    "acne treatment",
+    "joint replacement",
+    "root canal therapy",
+    "cognitive behavioral therapy",
+    "chemotherapy",
+    "dialysis",
+    "laser eye surgery",
+    "physical rehabilitation",
+    "migraine management",
+    "diabetes management",
+    "hypertension treatment",
+    "asthma care",
+    "arthritis treatment",
+    "back pain therapy",
+    "sleep apnea treatment",
+    "skin cancer screening",
 ];
 
 /// Month names.
 pub const MONTHS: &[&str] = &[
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 /// Weekday names.
-pub const WEEKDAYS: &[&str] =
-    &["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"];
+pub const WEEKDAYS: &[&str] = &[
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+    "Sunday",
+];
 
 /// Course subject areas for the class domain.
 pub const COURSE_TOPICS: &[&str] = &[
-    "Introduction to Computer Science", "Data Structures", "Algorithms", "Operating Systems",
-    "Compilers", "Programming Languages", "Machine Learning", "Computer Networks", "Databases",
-    "Software Engineering", "Computer Architecture", "Distributed Systems", "Formal Methods",
-    "Artificial Intelligence", "Computer Graphics", "Cryptography", "Numerical Analysis",
-    "Theory of Computation", "Human-Computer Interaction", "Natural Language Processing",
+    "Introduction to Computer Science",
+    "Data Structures",
+    "Algorithms",
+    "Operating Systems",
+    "Compilers",
+    "Programming Languages",
+    "Machine Learning",
+    "Computer Networks",
+    "Databases",
+    "Software Engineering",
+    "Computer Architecture",
+    "Distributed Systems",
+    "Formal Methods",
+    "Artificial Intelligence",
+    "Computer Graphics",
+    "Cryptography",
+    "Numerical Analysis",
+    "Theory of Computation",
+    "Human-Computer Interaction",
+    "Natural Language Processing",
 ];
 
 /// Textbook titles for the class domain.
@@ -135,11 +427,26 @@ pub const TEXTBOOKS: &[&str] = &[
 
 /// Research-topic phrases for conference calls-for-papers.
 pub const RESEARCH_TOPICS: &[&str] = &[
-    "program synthesis", "type systems", "static analysis", "program verification",
-    "compiler optimization", "garbage collection", "concurrency", "gradual typing",
-    "probabilistic programming", "language design", "model checking", "abstract interpretation",
-    "symbolic execution", "program repair", "testing and debugging", "runtime systems",
-    "memory management", "domain-specific languages", "software security", "parallelism",
+    "program synthesis",
+    "type systems",
+    "static analysis",
+    "program verification",
+    "compiler optimization",
+    "garbage collection",
+    "concurrency",
+    "gradual typing",
+    "probabilistic programming",
+    "language design",
+    "model checking",
+    "abstract interpretation",
+    "symbolic execution",
+    "program repair",
+    "testing and debugging",
+    "runtime systems",
+    "memory management",
+    "domain-specific languages",
+    "software security",
+    "parallelism",
 ];
 
 /// Whether `w` (case-sensitive) appears in the given-name lexicon.
@@ -169,7 +476,9 @@ pub fn is_conference(w: &str) -> bool {
 
 /// Whether `w` is an organization suffix word ("University", "Institute"…).
 pub fn is_org_suffix(w: &str) -> bool {
-    ORG_SUFFIXES.iter().any(|s| s.split_whitespace().next() == Some(w))
+    ORG_SUFFIXES
+        .iter()
+        .any(|s| s.split_whitespace().next() == Some(w))
 }
 
 #[cfg(test)]
@@ -206,7 +515,10 @@ mod tests {
     #[test]
     fn conferences_are_single_alphanumeric_words() {
         for c in CONFERENCES {
-            assert!(c.chars().all(|ch| ch.is_ascii_alphanumeric()), "bad acronym {c}");
+            assert!(
+                c.chars().all(|ch| ch.is_ascii_alphanumeric()),
+                "bad acronym {c}"
+            );
         }
     }
 }

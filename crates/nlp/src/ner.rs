@@ -83,12 +83,16 @@ pub struct EntityRecognizer {
 impl EntityRecognizer {
     /// The default imperfect model (conference names are *not* ORGs).
     pub fn pretrained() -> Self {
-        EntityRecognizer { conference_orgs: false }
+        EntityRecognizer {
+            conference_orgs: false,
+        }
     }
 
     /// A variant that also tags conference acronyms as organizations.
     pub fn with_conference_orgs() -> Self {
-        EntityRecognizer { conference_orgs: true }
+        EntityRecognizer {
+            conference_orgs: true,
+        }
     }
 
     /// Recognizes all entities in `text`, left to right, longest match
@@ -116,7 +120,11 @@ impl EntityRecognizer {
 
     /// The surface strings of all entities of `kind` in `text`, in order.
     pub fn entity_strings(&self, text: &str, kind: EntityKind) -> Vec<String> {
-        self.entities(text).into_iter().filter(|e| e.kind == kind).map(|e| e.text).collect()
+        self.entities(text)
+            .into_iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.text)
+            .collect()
     }
 
     fn match_at(&self, text: &str, ws: &[Word<'_>], i: usize) -> Option<(Entity, usize)> {
@@ -168,7 +176,12 @@ impl EntityRecognizer {
         let start = ws[j].start; // titles excluded from the span
         let end = ws[k - 1].end;
         Some((
-            Entity { kind: EntityKind::Person, start, end, text: text[start..end].to_string() },
+            Entity {
+                kind: EntityKind::Person,
+                start,
+                end,
+                text: text[start..end].to_string(),
+            },
             k - i,
         ))
     }
@@ -194,8 +207,7 @@ impl EntityRecognizer {
                 if is_org_head(ws[k].text) {
                     let mut end = k + 1;
                     // absorb "of Technology" style tails
-                    if end + 1 < ws.len() && ws[end].text == "of" && ws[end + 1].is_capitalized()
-                    {
+                    if end + 1 < ws.len() && ws[end].text == "of" && ws[end + 1].is_capitalized() {
                         end += 2;
                     }
                     return Some((self.org_entity(text, ws, i, end), end - i));
@@ -207,9 +219,15 @@ impl EntityRecognizer {
         for plan in lexicon::INSURANCES {
             let plan_words: Vec<&str> = plan.split_whitespace().collect();
             if i + plan_words.len() <= ws.len()
-                && plan_words.iter().enumerate().all(|(d, pw)| ws[i + d].text == *pw)
+                && plan_words
+                    .iter()
+                    .enumerate()
+                    .all(|(d, pw)| ws[i + d].text == *pw)
             {
-                return Some((self.org_entity(text, ws, i, i + plan_words.len()), plan_words.len()));
+                return Some((
+                    self.org_entity(text, ws, i, i + plan_words.len()),
+                    plan_words.len(),
+                ));
             }
         }
         // Conference acronyms — only the non-default model sees these.
@@ -279,7 +297,7 @@ impl EntityRecognizer {
             .or_else(|| w.strip_suffix("pm"))
             .or_else(|| w.strip_suffix("AM"))
             .or_else(|| w.strip_suffix("PM"))
-            .map_or(false, |h| !h.is_empty() && h.chars().all(|c| c.is_ascii_digit()));
+            .is_some_and(|h| !h.is_empty() && h.chars().all(|c| c.is_ascii_digit()));
         if is_clock {
             // Absorb a following am/pm word.
             let mut k = i + 1;
@@ -302,7 +320,10 @@ impl EntityRecognizer {
             let mut k = i + 1;
             while k < ws.len() && ws[k].is_capitalized() && k - i <= 3 {
                 if is_street_word(ws[k].text) {
-                    return Some((span_entity(EntityKind::Location, text, ws, i, k + 1), k + 1 - i));
+                    return Some((
+                        span_entity(EntityKind::Location, text, ws, i, k + 1),
+                        k + 1 - i,
+                    ));
                 }
                 k += 1;
             }
@@ -310,8 +331,7 @@ impl EntityRecognizer {
         // Known place names (possibly multi-word, e.g. "Ann Arbor").
         for place in lexicon::PLACES {
             let pw: Vec<&str> = place.split_whitespace().collect();
-            if i + pw.len() <= ws.len()
-                && pw.iter().enumerate().all(|(d, p)| ws[i + d].text == *p)
+            if i + pw.len() <= ws.len() && pw.iter().enumerate().all(|(d, p)| ws[i + d].text == *p)
             {
                 return Some((
                     span_entity(EntityKind::Location, text, ws, i, i + pw.len()),
@@ -328,7 +348,7 @@ impl EntityRecognizer {
         let w = &ws[i];
         // "$50" tokenizes as "50" preceded by '$' in raw text.
         let has_dollar_prefix = w.start > 0 && text.as_bytes()[w.start - 1] == b'$';
-        if has_dollar_prefix && w.text.chars().next().map_or(false, |c| c.is_ascii_digit()) {
+        if has_dollar_prefix && w.text.chars().next().is_some_and(|c| c.is_ascii_digit()) {
             let start = w.start - 1;
             return Some((
                 Entity {
@@ -342,7 +362,10 @@ impl EntityRecognizer {
         }
         if w.is_numeric()
             && i + 1 < ws.len()
-            && matches!(ws[i + 1].text.to_ascii_lowercase().as_str(), "dollars" | "usd")
+            && matches!(
+                ws[i + 1].text.to_ascii_lowercase().as_str(),
+                "dollars" | "usd"
+            )
         {
             return Some((span_entity(EntityKind::Money, text, ws, i, i + 2), 2));
         }
@@ -359,11 +382,19 @@ impl Default for EntityRecognizer {
 fn span_entity(kind: EntityKind, text: &str, ws: &[Word<'_>], i: usize, end: usize) -> Entity {
     let start = ws[i].start;
     let stop = ws[end - 1].end;
-    Entity { kind, start, end: stop, text: text[start..stop].to_string() }
+    Entity {
+        kind,
+        start,
+        end: stop,
+        text: text[start..stop].to_string(),
+    }
 }
 
 fn is_title_word(w: &str) -> bool {
-    matches!(w, "Dr" | "Prof" | "Professor" | "Mr" | "Ms" | "Mrs" | "Dr." | "Prof.")
+    matches!(
+        w,
+        "Dr" | "Prof" | "Professor" | "Mr" | "Ms" | "Mrs" | "Dr." | "Prof."
+    )
 }
 
 fn is_org_head(w: &str) -> bool {
@@ -371,17 +402,42 @@ fn is_org_head(w: &str) -> bool {
     // through to "Center".
     matches!(
         w,
-        "University" | "Institute" | "College" | "Laboratory" | "Labs" | "Center" | "Centre"
-            | "Academy" | "Polytechnic" | "Clinic" | "Hospital" | "Corporation" | "Inc"
-            | "Company" | "Practice" | "Associates"
+        "University"
+            | "Institute"
+            | "College"
+            | "Laboratory"
+            | "Labs"
+            | "Center"
+            | "Centre"
+            | "Academy"
+            | "Polytechnic"
+            | "Clinic"
+            | "Hospital"
+            | "Corporation"
+            | "Inc"
+            | "Company"
+            | "Practice"
+            | "Associates"
     )
 }
 
 fn is_street_word(w: &str) -> bool {
     matches!(
         w,
-        "Street" | "St" | "Avenue" | "Ave" | "Road" | "Rd" | "Boulevard" | "Blvd" | "Drive"
-            | "Dr" | "Lane" | "Ln" | "Way" | "Suite"
+        "Street"
+            | "St"
+            | "Avenue"
+            | "Ave"
+            | "Road"
+            | "Rd"
+            | "Boulevard"
+            | "Blvd"
+            | "Drive"
+            | "Dr"
+            | "Lane"
+            | "Ln"
+            | "Way"
+            | "Suite"
     )
 }
 
@@ -403,7 +459,10 @@ fn is_numeric_date(w: &str) -> bool {
     // 12/01/2026 tokenizes as three words ("12", "01", "2026") because '/'
     // is not word-internal — but 2026-01-12 stays whole via '-'.
     let parts: Vec<&str> = w.split('-').collect();
-    parts.len() == 3 && parts.iter().all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()))
+    parts.len() == 3
+        && parts
+            .iter()
+            .all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()))
 }
 
 fn looks_like_clock(w: &str) -> bool {
@@ -411,7 +470,9 @@ fn looks_like_clock(w: &str) -> bool {
     w.split('-').all(|part| {
         let pieces: Vec<&str> = part.split(':').collect();
         pieces.len() == 2
-            && pieces.iter().all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()))
+            && pieces
+                .iter()
+                .all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()))
     }) && w.contains(':')
 }
 
@@ -424,7 +485,11 @@ mod tests {
     }
 
     fn kinds(text: &str) -> Vec<(EntityKind, String)> {
-        ner().entities(text).into_iter().map(|e| (e.kind, e.text)).collect()
+        ner()
+            .entities(text)
+            .into_iter()
+            .map(|e| (e.kind, e.text))
+            .collect()
     }
 
     #[test]
@@ -437,7 +502,9 @@ mod tests {
     #[test]
     fn titled_person_without_lexicon_first_name() {
         let es = kinds("Contact Dr. Quirine Zambesi for details.");
-        assert!(es.iter().any(|(k, t)| *k == EntityKind::Person && t == "Quirine Zambesi"));
+        assert!(es
+            .iter()
+            .any(|(k, t)| *k == EntityKind::Person && t == "Quirine Zambesi"));
     }
 
     #[test]
@@ -461,9 +528,9 @@ mod tests {
     #[test]
     fn institute_of_technology() {
         let es = kinds("He joined Somewhere Institute of Technology last year.");
-        assert!(es
-            .iter()
-            .any(|(k, t)| *k == EntityKind::Organization && t == "Somewhere Institute of Technology"));
+        assert!(es.iter().any(
+            |(k, t)| *k == EntityKind::Organization && t == "Somewhere Institute of Technology"
+        ));
     }
 
     #[test]
@@ -491,8 +558,11 @@ mod tests {
     #[test]
     fn dates() {
         let es = kinds("Submissions due January 15, 2026 or Fall 2025.");
-        let dates: Vec<&str> =
-            es.iter().filter(|(k, _)| *k == EntityKind::Date).map(|(_, t)| t.as_str()).collect();
+        let dates: Vec<&str> = es
+            .iter()
+            .filter(|(k, _)| *k == EntityKind::Date)
+            .map(|(_, t)| t.as_str())
+            .collect();
         assert!(dates.contains(&"January 15, 2026"));
         assert!(dates.contains(&"Fall 2025"));
     }
@@ -500,16 +570,22 @@ mod tests {
     #[test]
     fn iso_date_and_bare_year() {
         let es = kinds("Deadline 2026-01-12, camera ready 2026.");
-        let dates: Vec<&str> =
-            es.iter().filter(|(k, _)| *k == EntityKind::Date).map(|(_, t)| t.as_str()).collect();
+        let dates: Vec<&str> = es
+            .iter()
+            .filter(|(k, _)| *k == EntityKind::Date)
+            .map(|(_, t)| t.as_str())
+            .collect();
         assert_eq!(dates, ["2026-01-12", "2026"]);
     }
 
     #[test]
     fn times() {
         let es = kinds("Lectures MWF 10:00-11:15 and Friday 3pm.");
-        let times: Vec<&str> =
-            es.iter().filter(|(k, _)| *k == EntityKind::Time).map(|(_, t)| t.as_str()).collect();
+        let times: Vec<&str> = es
+            .iter()
+            .filter(|(k, _)| *k == EntityKind::Time)
+            .map(|(_, t)| t.as_str())
+            .collect();
         assert_eq!(times, ["10:00-11:15", "3pm"]);
     }
 
@@ -528,14 +604,19 @@ mod tests {
     #[test]
     fn multiword_place() {
         let es = kinds("She moved to Ann Arbor.");
-        assert!(es.iter().any(|(k, t)| *k == EntityKind::Location && t == "Ann Arbor"));
+        assert!(es
+            .iter()
+            .any(|(k, t)| *k == EntityKind::Location && t == "Ann Arbor"));
     }
 
     #[test]
     fn money() {
         let es = kinds("The copay is $25 or 40 dollars without insurance.");
-        let money: Vec<&str> =
-            es.iter().filter(|(k, _)| *k == EntityKind::Money).map(|(_, t)| t.as_str()).collect();
+        let money: Vec<&str> = es
+            .iter()
+            .filter(|(k, _)| *k == EntityKind::Money)
+            .map(|(_, t)| t.as_str())
+            .collect();
         assert_eq!(money, ["$25", "40 dollars"]);
     }
 

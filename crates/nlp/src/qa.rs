@@ -55,12 +55,18 @@ impl QaModel {
     /// The default "pretrained" model with the standard answerability
     /// threshold.
     pub fn pretrained() -> Self {
-        QaModel { ner: EntityRecognizer::pretrained(), threshold: 0.42 }
+        QaModel {
+            ner: EntityRecognizer::pretrained(),
+            threshold: 0.42,
+        }
     }
 
     /// Overrides the answerability threshold (used by ablations).
     pub fn with_threshold(threshold: f32) -> Self {
-        QaModel { ner: EntityRecognizer::pretrained(), threshold }
+        QaModel {
+            ner: EntityRecognizer::pretrained(),
+            threshold,
+        }
     }
 
     /// The model's answerability threshold.
@@ -137,7 +143,7 @@ impl QaModel {
                     .clamp(0.0, 1.0);
                 let abs_start = sent.start + rel_start;
                 let abs_end = sent.start + rel_end;
-                if best.as_ref().map_or(true, |b| score > b.score) {
+                if best.as_ref().is_none_or(|b| score > b.score) {
                     best = Some(QaAnswer {
                         text: span_text.trim().to_string(),
                         start: abs_start,
@@ -220,7 +226,10 @@ fn overlap_score(q_words: &[String], text: &str) -> f32 {
             }
         })
         .collect();
-    let hits = q_words.iter().filter(|q| t_words.iter().any(|t| t == *q)).count();
+    let hits = q_words
+        .iter()
+        .filter(|q| t_words.iter().any(|t| t == *q))
+        .count();
     hits as f32 / q_words.len() as f32
 }
 
@@ -259,21 +268,27 @@ mod tests {
     #[test]
     fn answers_simple_who_question() {
         let passage = "Instructor: Jane Doe. Office hours by appointment.";
-        let a = qa().answer(passage, "Who is the instructor?").expect("answer");
+        let a = qa()
+            .answer(passage, "Who is the instructor?")
+            .expect("answer");
         assert!(a.text.contains("Jane Doe"), "got {a:?}");
     }
 
     #[test]
     fn answers_when_question_with_date() {
         let passage = "The paper submission deadline is January 15, 2026 for all tracks.";
-        let a = qa().answer(passage, "When is the paper submission deadline?").expect("answer");
+        let a = qa()
+            .answer(passage, "When is the paper submission deadline?")
+            .expect("answer");
         assert!(a.text.contains("January 15, 2026"), "got {a:?}");
     }
 
     #[test]
     fn answers_where_question() {
         let passage = "Our clinic is located at 123 Main Street in Austin.";
-        let a = qa().answer(passage, "Where is the clinic located?").expect("answer");
+        let a = qa()
+            .answer(passage, "Where is the clinic located?")
+            .expect("answer");
         assert!(
             a.text.contains("Main Street") || a.text.contains("Austin"),
             "got {a:?}"
@@ -296,7 +311,9 @@ mod tests {
     fn single_span_only() {
         // The characteristic failure on multi-answer content: one span.
         let passage = "PhD students: Robert Smith, Mary Anderson, and Wei Chen.";
-        let a = qa().answer(passage, "Who are the PhD students?").expect("answer");
+        let a = qa()
+            .answer(passage, "Who are the PhD students?")
+            .expect("answer");
         // The span is a single entity or tail, never the full enumerated set
         // split into three separate answers.
         assert!(a.text.len() < passage.len());
@@ -309,9 +326,18 @@ mod tests {
             QaModel::answer_type("When is the paper submission deadline?"),
             AnswerType::DateTime
         );
-        assert_eq!(QaModel::answer_type("Where are the clinics located?"), AnswerType::Location);
-        assert_eq!(QaModel::answer_type("How much does a visit cost?"), AnswerType::Money);
-        assert_eq!(QaModel::answer_type("What are the topics of interest?"), AnswerType::Other);
+        assert_eq!(
+            QaModel::answer_type("Where are the clinics located?"),
+            AnswerType::Location
+        );
+        assert_eq!(
+            QaModel::answer_type("How much does a visit cost?"),
+            AnswerType::Money
+        );
+        assert_eq!(
+            QaModel::answer_type("What are the topics of interest?"),
+            AnswerType::Other
+        );
     }
 
     #[test]
@@ -339,13 +365,17 @@ mod tests {
     #[test]
     fn threshold_zero_always_answers_on_nonempty() {
         let m = QaModel::with_threshold(0.0);
-        assert!(m.answer("Completely unrelated text.", "Who is the instructor?").is_some());
+        assert!(m
+            .answer("Completely unrelated text.", "Who is the instructor?")
+            .is_some());
     }
 
     #[test]
     fn colon_tail_fallback() {
         let passage = "Topics of interest: program synthesis, type systems, static analysis";
-        let a = qa().answer(passage, "What are the topics of interest?").expect("answer");
+        let a = qa()
+            .answer(passage, "What are the topics of interest?")
+            .expect("answer");
         assert!(a.text.contains("program synthesis"), "got {a:?}");
     }
 }

@@ -19,7 +19,7 @@ pub struct Word<'a> {
 impl Word<'_> {
     /// Whether the word starts with an uppercase letter.
     pub fn is_capitalized(&self) -> bool {
-        self.text.chars().next().map_or(false, |c| c.is_uppercase())
+        self.text.chars().next().is_some_and(|c| c.is_uppercase())
     }
 
     /// Whether the word is entirely alphabetic.
@@ -45,7 +45,11 @@ pub fn words(text: &str) -> Vec<Word<'_>> {
             while i < bytes.len() && (is_word_byte(bytes[i]) || is_internal(bytes, i)) {
                 i += 1;
             }
-            out.push(Word { text: &text[start..i], start, end: i });
+            out.push(Word {
+                text: &text[start..i],
+                start,
+                end: i,
+            });
         } else if bytes[i] == b'\'' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
             // Year abbreviation: '21
             let start = i;
@@ -53,7 +57,11 @@ pub fn words(text: &str) -> Vec<Word<'_>> {
             while i < bytes.len() && bytes[i].is_ascii_digit() {
                 i += 1;
             }
-            out.push(Word { text: &text[start..i], start, end: i });
+            out.push(Word {
+                text: &text[start..i],
+                start,
+                end: i,
+            });
         } else {
             i += utf8_len(bytes[i]);
         }
@@ -108,7 +116,7 @@ pub fn sentences(text: &str) -> Vec<Sentence<'_>> {
             b'!' | b'?' | b'\n' | b';' => true,
             b'.' => {
                 let prev_word = last_word(&text[start..i]);
-                let next_is_space = bytes.get(i + 1).map_or(true, |&n| n.is_ascii_whitespace());
+                let next_is_space = bytes.get(i + 1).is_none_or(|&n| n.is_ascii_whitespace());
                 next_is_space && !is_abbreviation(prev_word)
             }
             _ => false,
@@ -130,7 +138,11 @@ fn push_sentence<'a>(text: &'a str, start: usize, end: usize, out: &mut Vec<Sent
         return;
     }
     let offset = raw.find(trimmed).unwrap_or(0);
-    out.push(Sentence { text: trimmed, start: start + offset, end: start + offset + trimmed.len() });
+    out.push(Sentence {
+        text: trimmed,
+        start: start + offset,
+        end: start + offset + trimmed.len(),
+    });
 }
 
 fn last_word(s: &str) -> &str {
@@ -141,8 +153,26 @@ fn is_abbreviation(word: &str) -> bool {
     let w = word.trim_end_matches('.');
     matches!(
         w.to_ascii_lowercase().as_str(),
-        "dr" | "prof" | "mr" | "mrs" | "ms" | "st" | "jr" | "sr" | "vs" | "etc" | "e.g" | "i.e"
-            | "ph.d" | "m.d" | "u.s" | "dept" | "univ" | "vol" | "no" | "pp" | "al"
+        "dr" | "prof"
+            | "mr"
+            | "mrs"
+            | "ms"
+            | "st"
+            | "jr"
+            | "sr"
+            | "vs"
+            | "etc"
+            | "e.g"
+            | "i.e"
+            | "ph.d"
+            | "m.d"
+            | "u.s"
+            | "dept"
+            | "univ"
+            | "vol"
+            | "no"
+            | "pp"
+            | "al"
     ) || (w.len() == 1 && w.chars().all(|c| c.is_ascii_uppercase()))
 }
 
@@ -155,11 +185,55 @@ pub fn lower_words(text: &str) -> Vec<String> {
 pub fn is_stopword(w: &str) -> bool {
     matches!(
         w,
-        "a" | "an" | "the" | "of" | "in" | "on" | "at" | "to" | "for" | "and" | "or" | "is"
-            | "are" | "was" | "were" | "be" | "been" | "this" | "that" | "these" | "those"
-            | "with" | "by" | "from" | "as" | "it" | "its" | "their" | "his" | "her" | "he"
-            | "she" | "they" | "them" | "has" | "have" | "had" | "do" | "does" | "did" | "not"
-            | "what" | "which" | "who" | "whom" | "when" | "where" | "how" | "why" | "whose"
+        "a" | "an"
+            | "the"
+            | "of"
+            | "in"
+            | "on"
+            | "at"
+            | "to"
+            | "for"
+            | "and"
+            | "or"
+            | "is"
+            | "are"
+            | "was"
+            | "were"
+            | "be"
+            | "been"
+            | "this"
+            | "that"
+            | "these"
+            | "those"
+            | "with"
+            | "by"
+            | "from"
+            | "as"
+            | "it"
+            | "its"
+            | "their"
+            | "his"
+            | "her"
+            | "he"
+            | "she"
+            | "they"
+            | "them"
+            | "has"
+            | "have"
+            | "had"
+            | "do"
+            | "does"
+            | "did"
+            | "not"
+            | "what"
+            | "which"
+            | "who"
+            | "whom"
+            | "when"
+            | "where"
+            | "how"
+            | "why"
+            | "whose"
     )
 }
 

@@ -74,10 +74,18 @@ impl Ensemble {
                 .collect();
             match groups.iter_mut().find(|g| g.outputs == outputs) {
                 Some(g) => g.weight += m,
-                None => groups.push(BehaviourGroup { outputs, weight: m, representative: i }),
+                None => groups.push(BehaviourGroup {
+                    outputs,
+                    weight: m,
+                    representative: i,
+                }),
             }
         }
-        Some(Ensemble { groups, total_weight: size as u64, pages: unlabeled.len() })
+        Some(Ensemble {
+            groups,
+            total_weight: size as u64,
+            pages: unlabeled.len(),
+        })
     }
 
     /// The behaviourally-distinct groups.
@@ -95,7 +103,8 @@ impl Ensemble {
     /// Eq. 6). Tokens are in lexicographic order.
     pub fn soft_label(&self, page: usize) -> Vec<(Token, f64)> {
         assert!(page < self.pages, "page index out of range");
-        let mut weights: std::collections::BTreeMap<&Token, u64> = std::collections::BTreeMap::new();
+        let mut weights: std::collections::BTreeMap<&Token, u64> =
+            std::collections::BTreeMap::new();
         for g in &self.groups {
             for t in &g.outputs[page] {
                 *weights.entry(t).or_insert(0) += g.weight;
@@ -156,8 +165,14 @@ mod tests {
     #[test]
     fn empty_inputs_yield_no_ensemble() {
         assert!(Ensemble::sample(&ctx(), &[], &pages(), 100, 0).is_none());
-        assert!(Ensemble::sample(&ctx(), &[prog("sat(root, true) -> content")], &pages(), 0, 0)
-            .is_none());
+        assert!(Ensemble::sample(
+            &ctx(),
+            &[prog("sat(root, true) -> content")],
+            &pages(),
+            0,
+            0
+        )
+        .is_none());
     }
 
     #[test]
@@ -199,7 +214,10 @@ mod tests {
         }
         // "jane" is extracted by both behaviours → weight 1.0.
         let jane = soft.iter().find(|(t, _)| t.as_str() == "jane");
-        assert!(matches!(jane, Some((_, w)) if (w - 1.0).abs() < 1e-12), "{soft:?}");
+        assert!(
+            matches!(jane, Some((_, w)) if (w - 1.0).abs() < 1e-12),
+            "{soft:?}"
+        );
     }
 
     #[test]
@@ -218,8 +236,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn soft_label_checks_page_index() {
-        let e = Ensemble::sample(&ctx(), &[prog("sat(root, true) -> content")], &pages(), 10, 0)
-            .unwrap();
+        let e = Ensemble::sample(
+            &ctx(),
+            &[prog("sat(root, true) -> content")],
+            &pages(),
+            10,
+            0,
+        )
+        .unwrap();
         let _ = e.soft_label(2);
     }
 }

@@ -57,7 +57,11 @@ pub struct SelectionConfig {
 
 impl Default for SelectionConfig {
     fn default() -> Self {
-        SelectionConfig { ensemble_size: 1000, seed: 0x5EEDED, loss: TokenLoss::Hamming }
+        SelectionConfig {
+            ensemble_size: 1000,
+            seed: 0x5EEDED,
+            loss: TokenLoss::Hamming,
+        }
     }
 }
 
@@ -95,7 +99,7 @@ pub fn select_from_ensemble(ensemble: &Ensemble, loss: TokenLoss) -> Option<usiz
                 .sum();
             total = total.saturating_add(gb.weight.saturating_mul(d));
         }
-        if best.map_or(true, |(_, l)| total < l) {
+        if best.is_none_or(|(_, l)| total < l) {
             best = Some((a, total));
         }
     }
@@ -137,9 +141,7 @@ mod tests {
             PageTree::parse(
                 "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li><li>Bob Smith</li></ul>",
             ),
-            PageTree::parse(
-                "<h1>B</h1><h2>PhD Students</h2><ul><li>Mary Anderson</li></ul>",
-            ),
+            PageTree::parse("<h1>B</h1><h2>PhD Students</h2><ul><li>Mary Anderson</li></ul>"),
         ]
     }
 
@@ -159,7 +161,7 @@ mod tests {
     fn singleton_set_is_returned() {
         let p = prog("sat(root, true) -> content");
         let cfg = SelectionConfig::default();
-        let sel = select_transductive(&cfg, &ctx(), &[p.clone()], &pages()).unwrap();
+        let sel = select_transductive(&cfg, &ctx(), std::slice::from_ref(&p), &pages()).unwrap();
         assert_eq!(sel, p);
     }
 
@@ -167,17 +169,23 @@ mod tests {
     fn consensus_program_wins() {
         // Three programs extract the student names (consensus); one
         // extracts the page root (outlier). The outlier must not be chosen.
-        let consensus = prog(
-            "sat(descendants(descendants(root, text(kw(0.80))), leaf), true) -> content",
-        );
+        let consensus =
+            prog("sat(descendants(descendants(root, text(kw(0.80))), leaf), true) -> content");
         let consensus2 = prog("sat(descendants(root, elem), true) -> content");
         let consensus3 =
             prog("sat(descendants(descendants(root, text(kw(0.80))), true), true) -> content");
         let outlier = prog("singleton(root) -> content");
         let programs = vec![consensus.clone(), consensus2, consensus3, outlier.clone()];
-        let cfg = SelectionConfig { ensemble_size: 400, seed: 7, ..Default::default() };
+        let cfg = SelectionConfig {
+            ensemble_size: 400,
+            seed: 7,
+            ..Default::default()
+        };
         let sel = select_transductive(&cfg, &ctx(), &programs, &pages()).unwrap();
-        assert_ne!(sel, outlier, "the outlier disagrees with the ensemble consensus");
+        assert_ne!(
+            sel, outlier,
+            "the outlier disagrees with the ensemble consensus"
+        );
     }
 
     #[test]
@@ -189,7 +197,11 @@ mod tests {
         ];
         let outlier = programs[2].clone();
         for loss in [TokenLoss::Hamming, TokenLoss::NegF1, TokenLoss::Jaccard] {
-            let cfg = SelectionConfig { ensemble_size: 600, seed: 13, loss };
+            let cfg = SelectionConfig {
+                ensemble_size: 600,
+                seed: 13,
+                loss,
+            };
             let sel = select_transductive(&cfg, &ctx(), &programs, &pages()).unwrap();
             assert_ne!(sel, outlier, "loss {loss:?} chose the outlier");
         }
@@ -202,7 +214,11 @@ mod tests {
             prog("singleton(root) -> content"),
             prog("sat(descendants(root, leaf), true) -> content"),
         ];
-        let cfg = SelectionConfig { ensemble_size: 50, seed: 3, ..Default::default() };
+        let cfg = SelectionConfig {
+            ensemble_size: 50,
+            seed: 3,
+            ..Default::default()
+        };
         let a = select_transductive(&cfg, &ctx(), &programs, &pages());
         let b = select_transductive(&cfg, &ctx(), &programs, &pages());
         assert_eq!(a, b);
@@ -221,7 +237,10 @@ mod tests {
 
     #[test]
     fn random_is_seed_deterministic() {
-        let programs = vec![prog("singleton(root) -> content"), prog("sat(root, true) -> content")];
+        let programs = vec![
+            prog("singleton(root) -> content"),
+            prog("sat(root, true) -> content"),
+        ];
         assert_eq!(select_random(&programs, 5), select_random(&programs, 5));
     }
 
@@ -233,8 +252,9 @@ mod tests {
             prog("sat(root, answer) -> content"),
             prog("sat(descendants(root, leaf), true) -> content"),
         ];
-        let picks: std::collections::HashSet<String> =
-            (0..20).map(|s| select_random(&programs, s).unwrap().to_string()).collect();
+        let picks: std::collections::HashSet<String> = (0..20)
+            .map(|s| select_random(&programs, s).unwrap().to_string())
+            .collect();
         assert!(picks.len() > 1, "20 seeds should not all agree");
     }
 }

@@ -121,7 +121,10 @@ mod tests {
         // P = R = 1/2 → F1 = 1/2 → loss 0.5
         assert_eq!(TokenLoss::NegF1.page_loss(&a, &b), 500_000);
         // Disjoint outputs: F1 = 0 → loss 1.
-        assert_eq!(TokenLoss::NegF1.page_loss(&toks("x"), &toks("y")), 1_000_000);
+        assert_eq!(
+            TokenLoss::NegF1.page_loss(&toks("x"), &toks("y")),
+            1_000_000
+        );
     }
 
     #[test]

@@ -11,6 +11,10 @@ use crate::extractors::{synthesize_extractors, ExtractorSynthesis, F1_EPS};
 use crate::guards::{propagate_examples, GuardEnumerator};
 use crate::stats::SynthStats;
 
+/// Optimal extractors for one guard, grouped by the token counts they
+/// achieve on the positive examples.
+pub(crate) type GuardOptions = Vec<(Counts, Vec<Extractor>)>;
+
 /// All optimal branch programs for one (E⁺, E⁻) problem, represented as
 /// the paper's mapping from guards to extractor sets.
 ///
@@ -24,7 +28,7 @@ use crate::stats::SynthStats;
 pub(crate) struct BranchSynthesis {
     /// `(ψ, E)` pairs: each guard with its optimal extractors, grouped by
     /// token counts.
-    pub options: Vec<(Guard, Vec<(Counts, Vec<Extractor>)>)>,
+    pub options: Vec<(Guard, GuardOptions)>,
     /// The optimal F₁ on E⁺.
     #[allow(dead_code)] // kept for diagnostics and tests
     pub f1: f64,
@@ -97,7 +101,7 @@ fn synthesize_branch_decomposed(
         Some(q)
     };
     let mut opt = 0.0f64;
-    let mut options: Vec<(Guard, Vec<(Counts, Vec<Extractor>)>)> = Vec::new();
+    let mut options: Vec<(Guard, GuardOptions)> = Vec::new();
     let mut counts = Counts::default();
     // Footnote 6: branches whose guards share a section locator share the
     // optimal-extractor computation. `None` records a locator whose UB was
@@ -119,8 +123,11 @@ fn synthesize_branch_decomposed(
                 let nodes = propagate_examples(ctx, &locator, pos);
                 // Figure 8 line 6: UB on the guard's locator.
                 let s = if cfg.prune {
-                    let ub: Counts =
-                        pos.iter().zip(&nodes).map(|(ex, ns)| ex.ceiling_counts(ns)).sum();
+                    let ub: Counts = pos
+                        .iter()
+                        .zip(&nodes)
+                        .map(|(ex, ns)| ex.ceiling_counts(ns))
+                        .sum();
                     if ub.upper_bound() + F1_EPS < opt {
                         None
                     } else {
@@ -151,7 +158,11 @@ fn synthesize_branch_decomposed(
     if options.is_empty() {
         None
     } else {
-        Some(BranchSynthesis { options, f1: opt, counts })
+        Some(BranchSynthesis {
+            options,
+            f1: opt,
+            counts,
+        })
     }
 }
 
@@ -173,7 +184,7 @@ fn synthesize_branch_joint(
         guards.push(g);
     }
     let mut opt = 0.0f64;
-    let mut options: Vec<(Guard, Vec<(Counts, Vec<Extractor>)>)> = Vec::new();
+    let mut options: Vec<(Guard, GuardOptions)> = Vec::new();
     let mut counts = Counts::default();
     for guard in guards {
         let nodes = propagate_examples(ctx, guard.locator(), pos);
@@ -192,7 +203,11 @@ fn synthesize_branch_joint(
     if options.is_empty() {
         None
     } else {
-        Some(BranchSynthesis { options, f1: opt, counts })
+        Some(BranchSynthesis {
+            options,
+            f1: opt,
+            counts,
+        })
     }
 }
 
@@ -202,7 +217,10 @@ mod tests {
     use webqa_dsl::PageTree;
 
     fn example(html: &str, gold: &[&str]) -> Example {
-        Example::new(PageTree::parse(html), gold.iter().map(|s| s.to_string()).collect())
+        Example::new(
+            PageTree::parse(html),
+            gold.iter().map(|s| s.to_string()).collect(),
+        )
     }
 
     fn students_examples() -> Vec<Example> {
@@ -247,9 +265,14 @@ mod tests {
         let mut s1 = SynthStats::default();
         let mut s2 = SynthStats::default();
         let dec = synthesize_branch(&SynthConfig::fast(), &c, &pos, &[], &mut s1).unwrap();
-        let joint =
-            synthesize_branch(&SynthConfig::fast().without_decomposition(), &c, &pos, &[], &mut s2)
-                .unwrap();
+        let joint = synthesize_branch(
+            &SynthConfig::fast().without_decomposition(),
+            &c,
+            &pos,
+            &[],
+            &mut s2,
+        )
+        .unwrap();
         assert!((dec.f1 - joint.f1).abs() < 1e-9);
         // Decomposition shares extractor synthesis across guards: less work.
         assert!(s1.extractors_enumerated <= s2.extractors_enumerated);
@@ -271,7 +294,10 @@ mod tests {
             &mut s_eager,
         )
         .unwrap();
-        assert!((lazy.f1 - eager.f1).abs() < 1e-9, "optimum must not depend on laziness");
+        assert!(
+            (lazy.f1 - eager.f1).abs() < 1e-9,
+            "optimum must not depend on laziness"
+        );
         assert!(
             s_lazy.work() <= s_eager.work(),
             "lazy enumeration must not do more work: {} vs {}",
@@ -296,12 +322,18 @@ mod tests {
         let cfg = SynthConfig::fast();
         let c = ctx();
         let pos = students_examples();
-        let neg = vec![example("<h1>C</h1><h2>Service</h2><p>PLDI '20 (PC)</p>", &[])];
+        let neg = vec![example(
+            "<h1>C</h1><h2>Service</h2><p>PLDI '20 (PC)</p>",
+            &[],
+        )];
         let mut stats = SynthStats::default();
         let b = synthesize_branch(&cfg, &c, &pos, &neg, &mut stats).expect("branch");
         for (g, _) in &b.options {
             for n in &neg {
-                assert!(!g.eval(&c, &n.page).0, "guard {g} must reject the negative page");
+                assert!(
+                    !g.eval(&c, &n.page).0,
+                    "guard {g} must reject the negative page"
+                );
             }
         }
     }

@@ -32,8 +32,17 @@ impl Example {
         for t in &gold_tokens {
             *gold_counts.entry(t.clone()).or_insert(0) += 1;
         }
-        let subtree_tokens = page.iter().map(|n| tokenize(&page.subtree_text(n))).collect();
-        Example { page, gold, gold_tokens, gold_counts, subtree_tokens }
+        let subtree_tokens = page
+            .iter()
+            .map(|n| tokenize(&page.subtree_text(n)))
+            .collect();
+        Example {
+            page,
+            gold,
+            gold_tokens,
+            gold_counts,
+            subtree_tokens,
+        }
     }
 
     /// The gold token bag.
@@ -68,7 +77,11 @@ impl Example {
                 }
             }
         }
-        Counts { matched, predicted, gold: self.gold_tokens.len() }
+        Counts {
+            matched,
+            predicted,
+            gold: self.gold_tokens.len(),
+        }
     }
 
     /// [`Example::ceiling_counts`] for the nodes a locator selects.

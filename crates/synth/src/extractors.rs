@@ -49,7 +49,10 @@ impl ExtractorSynthesis {
     /// All optimal extractors, flattened across count groups.
     #[cfg(test)]
     pub fn extractors(&self) -> Vec<Extractor> {
-        self.groups.iter().flat_map(|(_, es)| es.iter().cloned()).collect()
+        self.groups
+            .iter()
+            .flat_map(|(_, es)| es.iter().cloned())
+            .collect()
     }
 }
 
@@ -144,7 +147,11 @@ pub(crate) fn synthesize_extractors(
         }
     }
 
-    ExtractorSynthesis { groups: best, f1: best_f1, counts: best_counts }
+    ExtractorSynthesis {
+        groups: best,
+        f1: best_f1,
+        counts: best_counts,
+    }
 }
 
 /// Order-preserving per-example deduplication — the set semantics a full
@@ -154,7 +161,11 @@ fn dedup_outputs(outputs: &[Vec<String>]) -> Vec<Vec<String>> {
         .iter()
         .map(|strings| {
             let mut seen = HashSet::new();
-            strings.iter().filter(|s| seen.insert((*s).clone())).cloned().collect()
+            strings
+                .iter()
+                .filter(|s| seen.insert((*s).clone()))
+                .cloned()
+                .collect()
         })
         .collect()
 }
@@ -173,13 +184,19 @@ fn outputs_signature(outputs: &[Vec<String>]) -> u64 {
 /// # Panics
 ///
 /// Panics if `child` is `Content` (the seed has no parent).
-fn apply_step(ctx: &QueryContext, child: &Extractor, parent_outputs: &[Vec<String>]) -> Vec<Vec<String>> {
+fn apply_step(
+    ctx: &QueryContext,
+    child: &Extractor,
+    parent_outputs: &[Vec<String>],
+) -> Vec<Vec<String>> {
     parent_outputs
         .iter()
         .map(|strings| match child {
-            Extractor::Filter(_, pred) => {
-                strings.iter().filter(|s| pred.eval(ctx, s)).cloned().collect()
-            }
+            Extractor::Filter(_, pred) => strings
+                .iter()
+                .filter(|s| pred.eval(ctx, s))
+                .cloned()
+                .collect(),
             Extractor::Substring(_, pred, k) => strings
                 .iter()
                 .flat_map(|s| pred.extract(ctx, s).into_iter().take(*k))
@@ -227,7 +244,9 @@ mod tests {
         // The optimal set must contain a split-then-filter program.
         let extractors = res.extractors();
         assert!(
-            extractors.iter().any(|e| e.to_string().contains("filter(split(content, ',')")),
+            extractors
+                .iter()
+                .any(|e| e.to_string().contains("filter(split(content, ',')")),
             "optimal set: {:?}",
             extractors.iter().map(|e| e.to_string()).collect::<Vec<_>>()
         );
@@ -273,8 +292,14 @@ mod tests {
         let (ctx, examples, nodes) = setup();
         let mut stats = SynthStats::default();
         // A lower bound of 1.1 is unbeatable: nothing is returned.
-        let res =
-            synthesize_extractors(&SynthConfig::fast(), &ctx, &examples, &nodes, 1.1, &mut stats);
+        let res = synthesize_extractors(
+            &SynthConfig::fast(),
+            &ctx,
+            &examples,
+            &nodes,
+            1.1,
+            &mut stats,
+        );
         assert!(res.is_empty());
     }
 

@@ -114,7 +114,8 @@ impl<'a> GuardEnumerator<'a> {
                 self.current = None;
             }
             let entry = self.worklist.pop_front()?;
-            self.pending.extend(gen_guards(self.cfg, self.ctx, &entry.locator));
+            self.pending
+                .extend(gen_guards(self.cfg, self.ctx, &entry.locator));
             self.expand(&entry, opt, stats);
             self.current = Some(entry);
         }
@@ -160,7 +161,11 @@ impl<'a> GuardEnumerator<'a> {
                 } else {
                     Locator::Children(Box::new(entry.locator.clone()), filter.clone())
                 };
-                self.worklist.push_back(Entry { locator, pos_nodes, neg_nodes });
+                self.worklist.push_back(Entry {
+                    locator,
+                    pos_nodes,
+                    neg_nodes,
+                });
             }
         }
     }
@@ -172,8 +177,15 @@ impl<'a> GuardEnumerator<'a> {
             Guard::Sat(_, pred) => nodes.iter().any(|&n| pred.eval(self.ctx, ex.page.text(n))),
             Guard::IsSingleton(_) => nodes.len() == 1,
         };
-        self.pos.iter().zip(&entry.pos_nodes).all(|(ex, nodes)| holds(ex, nodes))
-            && self.neg.iter().zip(&entry.neg_nodes).all(|(ex, nodes)| !holds(ex, nodes))
+        self.pos
+            .iter()
+            .zip(&entry.pos_nodes)
+            .all(|(ex, nodes)| holds(ex, nodes))
+            && self
+                .neg
+                .iter()
+                .zip(&entry.neg_nodes)
+                .all(|(ex, nodes)| !holds(ex, nodes))
     }
 }
 
@@ -214,7 +226,10 @@ pub(crate) fn propagate_examples(
     locator: &Locator,
     examples: &[Example],
 ) -> Vec<Vec<PageNodeId>> {
-    examples.iter().map(|ex| locator.eval(ctx, &ex.page)).collect()
+    examples
+        .iter()
+        .map(|ex| locator.eval(ctx, &ex.page))
+        .collect()
 }
 
 /// Convenience: the trivially-true guard `Sat(GetRoot, ⊤)` used as a
@@ -230,7 +245,10 @@ mod tests {
     use webqa_dsl::PageTree;
 
     fn example(html: &str, gold: &[&str]) -> Example {
-        Example::new(PageTree::parse(html), gold.iter().map(|s| s.to_string()).collect())
+        Example::new(
+            PageTree::parse(html),
+            gold.iter().map(|s| s.to_string()).collect(),
+        )
     }
 
     fn ctx() -> QueryContext {
@@ -263,8 +281,11 @@ mod tests {
             for descend in [false, true] {
                 let base = Locator::Root;
                 let base_nodes = base.eval(&c, &ex.page);
-                let mask: Vec<bool> =
-                    ex.page.iter().map(|n| filter.eval(&c, &ex.page, n)).collect();
+                let mask: Vec<bool> = ex
+                    .page
+                    .iter()
+                    .map(|n| filter.eval(&c, &ex.page, n))
+                    .collect();
                 let stepped = step_nodes_masked(&ex.page, &base_nodes, &mask, descend);
                 let direct = if descend {
                     Locator::Descendants(Box::new(base.clone()), filter.clone())
@@ -283,8 +304,14 @@ mod tests {
         let c = ctx();
         // Positive pages have a "Students" section; negatives don't.
         let pos = [
-            example("<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>", &["Jane Doe"]),
-            example("<h1>B</h1><h2>PhD Students</h2><ul><li>Bob Smith</li></ul>", &["Bob Smith"]),
+            example(
+                "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>",
+                &["Jane Doe"],
+            ),
+            example(
+                "<h1>B</h1><h2>PhD Students</h2><ul><li>Bob Smith</li></ul>",
+                &["Bob Smith"],
+            ),
         ];
         let neg = [example("<h1>C</h1><h2>Contact</h2><p>email</p>", &[])];
         let mut en = GuardEnumerator::new(&cfg, &c, &pos, &neg);
@@ -323,7 +350,10 @@ mod tests {
     fn high_opt_prunes_locator_extensions() {
         let cfg = SynthConfig::fast();
         let c = ctx();
-        let pos = [example("<h1>R</h1><h2>S</h2><p>gold here</p>", &["gold here"])];
+        let pos = [example(
+            "<h1>R</h1><h2>S</h2><p>gold here</p>",
+            &["gold here"],
+        )];
         let mut s_low = SynthStats::default();
         let mut s_high = SynthStats::default();
         let mut lo = GuardEnumerator::new(&cfg, &c, &pos, &[]);
@@ -369,7 +399,10 @@ mod tests {
         // The incremental classification must agree with Guard::eval.
         let cfg = SynthConfig::fast();
         let c = ctx();
-        let pos = [example("<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>", &["Jane Doe"])];
+        let pos = [example(
+            "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>",
+            &["Jane Doe"],
+        )];
         let neg = [example("<h1>C</h1><h2>Contact</h2><p>email</p>", &[])];
         let mut en = GuardEnumerator::new(&cfg, &c, &pos, &neg);
         let mut stats = SynthStats::default();

@@ -70,7 +70,11 @@ pub fn enumerate_optimal(
             }
         }
     }
-    OracleOutcome { programs: best, f1: best_f1.max(0.0), enumerated }
+    OracleOutcome {
+        programs: best,
+        f1: best_f1.max(0.0),
+        enumerated,
+    }
 }
 
 /// Every guard within the config's locator-depth bound.
@@ -128,7 +132,10 @@ mod tests {
     use webqa_dsl::PageTree;
 
     fn example(html: &str, gold: &[&str]) -> Example {
-        Example::new(PageTree::parse(html), gold.iter().map(|s| s.to_string()).collect())
+        Example::new(
+            PageTree::parse(html),
+            gold.iter().map(|s| s.to_string()).collect(),
+        )
     }
 
     fn ctx() -> QueryContext {

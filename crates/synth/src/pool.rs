@@ -2,7 +2,9 @@
 //! productions the bottom-up search draws from (the `ApplyProduction` and
 //! `GenGuards` functions of Figures 9 and 10).
 
-use webqa_dsl::{EntityKind, Extractor, Guard, Locator, NlpPred, NodeFilter, QueryContext, Threshold};
+use webqa_dsl::{
+    EntityKind, Extractor, Guard, Locator, NlpPred, NodeFilter, QueryContext, Threshold,
+};
 
 use crate::config::SynthConfig;
 
@@ -41,8 +43,14 @@ pub(crate) fn nlp_preds(config: &SynthConfig, ctx: &QueryContext) -> Vec<NlpPred
 pub(crate) fn node_filters(config: &SynthConfig, ctx: &QueryContext) -> Vec<NodeFilter> {
     let mut pool = vec![NodeFilter::True, NodeFilter::IsLeaf, NodeFilter::IsElem];
     for pred in nlp_preds(config, ctx) {
-        pool.push(NodeFilter::MatchText { pred: pred.clone(), subtree: false });
-        pool.push(NodeFilter::MatchText { pred, subtree: true });
+        pool.push(NodeFilter::MatchText {
+            pred: pred.clone(),
+            subtree: false,
+        });
+        pool.push(NodeFilter::MatchText {
+            pred,
+            subtree: true,
+        });
     }
     if config.filter_conjunctions {
         // isLeaf ∧ matchText and isElem ∧ matchText — the combinations that
@@ -53,7 +61,10 @@ pub(crate) fn node_filters(config: &SynthConfig, ctx: &QueryContext) -> Vec<Node
             .cloned()
             .collect();
         for t in texts {
-            pool.push(NodeFilter::And(Box::new(NodeFilter::IsLeaf), Box::new(t.clone())));
+            pool.push(NodeFilter::And(
+                Box::new(NodeFilter::IsLeaf),
+                Box::new(t.clone()),
+            ));
             pool.push(NodeFilter::And(Box::new(NodeFilter::IsElem), Box::new(t)));
         }
     }
@@ -82,7 +93,11 @@ pub(crate) fn extend_locator(
 }
 
 /// `GenGuards(ν)` (Figure 10, line 5): all guards over one locator.
-pub(crate) fn gen_guards(config: &SynthConfig, ctx: &QueryContext, locator: &Locator) -> Vec<Guard> {
+pub(crate) fn gen_guards(
+    config: &SynthConfig,
+    ctx: &QueryContext,
+    locator: &Locator,
+) -> Vec<Guard> {
     let mut out = vec![Guard::IsSingleton(locator.clone())];
     out.push(Guard::Sat(locator.clone(), NlpPred::True));
     for pred in nlp_preds(config, ctx) {
@@ -105,7 +120,11 @@ pub(crate) fn extend_extractor(
     for pred in nlp_preds(config, ctx) {
         out.push(Extractor::Filter(Box::new(extractor.clone()), pred.clone()));
         for &k in &config.substring_ks {
-            out.push(Extractor::Substring(Box::new(extractor.clone()), pred.clone(), k));
+            out.push(Extractor::Substring(
+                Box::new(extractor.clone()),
+                pred.clone(),
+                k,
+            ));
         }
     }
     for &c in &config.delimiters {

@@ -57,8 +57,15 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates() {
-        let mut a = SynthStats { guards_yielded: 1, ..Default::default() };
-        a += SynthStats { guards_yielded: 2, memo_hits: 4, ..Default::default() };
+        let mut a = SynthStats {
+            guards_yielded: 1,
+            ..Default::default()
+        };
+        a += SynthStats {
+            guards_yielded: 2,
+            memo_hits: 4,
+            ..Default::default()
+        };
         assert_eq!(a.guards_yielded, 3);
         assert_eq!(a.memo_hits, 4);
     }

@@ -76,7 +76,10 @@ pub fn synthesize(cfg: &SynthConfig, ctx: &QueryContext, examples: &[Example]) -
         }
         sums.into_iter()
             .map(|c| (c.f1(), c))
-            .fold((-1.0, Counts::default()), |acc, x| if x.0 > acc.0 { x } else { acc })
+            .fold(
+                (-1.0, Counts::default()),
+                |acc, x| if x.0 > acc.0 { x } else { acc },
+            )
     }
 
     for partition in ordered_partitions(n, cfg.max_blocks) {
@@ -97,8 +100,7 @@ pub fn synthesize(cfg: &SynthConfig, ctx: &QueryContext, examples: &[Example]) -
                     cached.clone()
                 }
                 None => {
-                    let pos: Vec<Example> =
-                        block.iter().map(|&i| examples[i].clone()).collect();
+                    let pos: Vec<Example> = block.iter().map(|&i| examples[i].clone()).collect();
                     let neg: Vec<Example> = (0..n)
                         .filter(|i| neg_mask & (1 << i) != 0)
                         .map(|i| examples[i].clone())
@@ -349,7 +351,10 @@ mod tests {
     use webqa_dsl::PageTree;
 
     fn example(html: &str, gold: &[&str]) -> Example {
-        Example::new(PageTree::parse(html), gold.iter().map(|s| s.to_string()).collect())
+        Example::new(
+            PageTree::parse(html),
+            gold.iter().map(|s| s.to_string()).collect(),
+        )
     }
 
     fn ctx() -> QueryContext {
@@ -452,12 +457,10 @@ mod tests {
     #[test]
     fn noprune_finds_same_optimum() {
         let c = ctx();
-        let examples = vec![
-            example(
-                "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul><h2>News</h2><p>hi</p>",
-                &["Jane Doe"],
-            ),
-        ];
+        let examples = vec![example(
+            "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul><h2>News</h2><p>hi</p>",
+            &["Jane Doe"],
+        )];
         let with = synthesize(&SynthConfig::fast(), &c, &examples);
         let without = synthesize(&SynthConfig::fast().without_pruning(), &c, &examples);
         assert!((with.f1 - without.f1).abs() < 1e-9);

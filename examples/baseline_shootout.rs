@@ -10,7 +10,9 @@ use webqa_baselines::{BertQa, EntExtract, Hyb};
 use webqa_corpus::{task_by_id, Corpus};
 
 fn main() {
-    let task_id = std::env::args().nth(1).unwrap_or_else(|| "fac_t1".to_string());
+    let task_id = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "fac_t1".to_string());
     let task = task_by_id(&task_id).unwrap_or_else(|| {
         eprintln!("unknown task {task_id}; try fac_t1..fac_t8, conf_t1..conf_t6, …");
         std::process::exit(1);
@@ -23,17 +25,26 @@ fn main() {
 
     // WebQA.
     let system = WebQa::new(Config::default());
-    let labeled: Vec<_> =
-        data.train.iter().map(|p| (p.page.clone(), p.gold.clone())).collect();
+    let labeled: Vec<_> = data
+        .train
+        .iter()
+        .map(|p| (p.page.clone(), p.gold.clone()))
+        .collect();
     let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
     let webqa = system.run(task.question, task.keywords, &labeled, &unlabeled);
 
     // Baselines.
     let bert = BertQa::new();
-    let bert_out: Vec<Vec<String>> =
-        data.test.iter().map(|p| bert.answer_page(task.question, &p.html)).collect();
-    let hyb_train: Vec<(String, Vec<String>)> =
-        data.train.iter().map(|p| (p.html.clone(), p.gold.clone())).collect();
+    let bert_out: Vec<Vec<String>> = data
+        .test
+        .iter()
+        .map(|p| bert.answer_page(task.question, &p.html))
+        .collect();
+    let hyb_train: Vec<(String, Vec<String>)> = data
+        .train
+        .iter()
+        .map(|p| (p.html.clone(), p.gold.clone()))
+        .collect();
     let hyb_out: Vec<Vec<String>> = match Hyb::train(&hyb_train) {
         Ok(w) => {
             println!("HYB learned wrapper: {}\n", w.path());
@@ -45,8 +56,11 @@ fn main() {
         }
     };
     let ee = EntExtract::new();
-    let ent_out: Vec<Vec<String>> =
-        data.test.iter().map(|p| ee.extract(task.question, &p.html)).collect();
+    let ent_out: Vec<Vec<String>> = data
+        .test
+        .iter()
+        .map(|p| ee.extract(task.question, &p.html))
+        .collect();
 
     println!("--- first test page ({}) ---", data.test[0].name);
     println!("gold      : {:?}", gold[0]);

@@ -9,6 +9,9 @@
 use webqa::{score_answers, Config, WebQa};
 use webqa_corpus::{task_by_id, Corpus};
 
+/// One directory row: clinic name, phones, hours, services.
+type DirectoryRow = (String, Vec<String>, Vec<String>, Vec<String>);
+
 fn main() {
     let corpus = Corpus::generate(12, 99);
     let system = WebQa::new(Config::default());
@@ -18,12 +21,15 @@ fn main() {
         corpus.pages(webqa_corpus::Domain::Clinic).len()
     );
 
-    let mut directory: Vec<(String, Vec<String>, Vec<String>, Vec<String>)> = Vec::new();
+    let mut directory: Vec<DirectoryRow> = Vec::new();
     for (slot, task_id) in ["clinic_t1", "clinic_t4", "clinic_t5"].iter().enumerate() {
         let task = task_by_id(task_id).expect("task exists");
         let data = corpus.dataset(task, 4);
-        let labeled: Vec<_> =
-            data.train.iter().map(|p| (p.page.clone(), p.gold.clone())).collect();
+        let labeled: Vec<_> = data
+            .train
+            .iter()
+            .map(|p| (p.page.clone(), p.gold.clone()))
+            .collect();
         let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
         let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
         let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();

@@ -19,17 +19,23 @@ fn main() {
 
     // WebQA.
     let system = WebQa::new(Config::default());
-    let labeled: Vec<_> =
-        data.train.iter().map(|p| (p.page.clone(), p.gold.clone())).collect();
+    let labeled: Vec<_> = data
+        .train
+        .iter()
+        .map(|p| (p.page.clone(), p.gold.clone()))
+        .collect();
     let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
     let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
 
     // BERTQA on the same pages.
     let bert = BertQa::new();
-    let bert_answers: Vec<Vec<String>> =
-        data.test.iter().map(|p| bert.answer_page(task.question, &p.html)).collect();
+    let bert_answers: Vec<Vec<String>> = data
+        .test
+        .iter()
+        .map(|p| bert.answer_page(task.question, &p.html))
+        .collect();
 
-    println!("{:<16} {:<28} {:<28} {}", "page", "WebQA", "BERTQA", "gold");
+    println!("{:<16} {:<28} {:<28} gold", "page", "WebQA", "BERTQA");
     for (i, page) in data.test.iter().enumerate().take(8) {
         println!(
             "{:<16} {:<28} {:<28} {}",

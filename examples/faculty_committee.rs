@@ -32,8 +32,7 @@ fn main() {
             (p.tree(), p.gold(task.id).to_vec())
         })
         .collect();
-    let test_indices: Vec<usize> =
-        (0..pages.len()).filter(|i| !to_label.contains(i)).collect();
+    let test_indices: Vec<usize> = (0..pages.len()).filter(|i| !to_label.contains(i)).collect();
     let unlabeled: Vec<_> = test_indices.iter().map(|&i| pages[i].clone()).collect();
 
     let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
@@ -58,5 +57,8 @@ fn main() {
         .iter()
         .map(|&i| corpus.pages(task.domain)[i].gold(task.id).to_vec())
         .collect();
-    println!("\nheld-out score: {}", score_answers(&result.answers, &gold));
+    println!(
+        "\nheld-out score: {}",
+        score_answers(&result.answers, &gold)
+    );
 }

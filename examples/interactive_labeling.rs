@@ -61,7 +61,11 @@ fn pages() -> Vec<(&'static str, PageTree, Vec<String>)> {
     ];
     raw.into_iter()
         .map(|(name, html, gold)| {
-            (name, PageTree::parse(html), gold.iter().map(|s| s.to_string()).collect())
+            (
+                name,
+                PageTree::parse(html),
+                gold.iter().map(|s| s.to_string()).collect(),
+            )
         })
         .collect()
 }
@@ -85,14 +89,19 @@ fn main() {
     }
 
     // Step 2: the "user" provides gold labels for exactly those pages.
-    let labeled: Vec<(PageTree, Vec<String>)> =
-        to_label.iter().map(|&i| (all[i].1.clone(), all[i].2.clone())).collect();
+    let labeled: Vec<(PageTree, Vec<String>)> = to_label
+        .iter()
+        .map(|&i| (all[i].1.clone(), all[i].2.clone()))
+        .collect();
     let rest: Vec<usize> = (0..all.len()).filter(|i| !to_label.contains(i)).collect();
     let unlabeled: Vec<PageTree> = rest.iter().map(|&i| all[i].1.clone()).collect();
 
     // Step 3: synthesize + transductively select + extract.
     let result = system.run(question, &keywords, &labeled, &unlabeled);
-    let program = result.program.as_ref().expect("synthesis succeeds on these pages");
+    let program = result
+        .program
+        .as_ref()
+        .expect("synthesis succeeds on these pages");
     println!("\nselected program: {program}");
 
     let gold: Vec<Vec<String>> = rest.iter().map(|&i| all[i].2.clone()).collect();

@@ -16,7 +16,11 @@ fn main() {
     let program: Program = src.parse().expect("the motivating example is valid DSL");
     println!("text form  : {program}");
     println!("paper form :\n{}", program.to_paper_syntax());
-    println!("size {} | branches {}", program.size(), program.branches.len());
+    println!(
+        "size {} | branches {}",
+        program.size(),
+        program.branches.len()
+    );
 
     // ---- 2. Lint a sloppy variant ---------------------------------------
     let sloppy: Program = "sat(root, kw(0.63)) -> filter(content, true); \
@@ -65,7 +69,10 @@ fn main() {
         engine.stats.extractors_enumerated,
         engine.stats.extractors_pruned
     );
-    assert!((oracle.f1 - engine.f1).abs() < 1e-9, "Theorem 5.1 violated!");
+    assert!(
+        (oracle.f1 - engine.f1).abs() < 1e-9,
+        "Theorem 5.1 violated!"
+    );
     println!("engine optimum matches the exhaustive oracle (Theorem 5.1 holds here).");
 
     // A couple of optimal programs, normalized for readability.

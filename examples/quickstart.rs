@@ -15,17 +15,28 @@ fn main() {
 
     println!("task     : {} — {}", task.id, task.question);
     println!("keywords : {:?}", task.keywords);
-    println!("train    : {} pages, test: {} pages", data.train.len(), data.test.len());
+    println!(
+        "train    : {} pages, test: {} pages",
+        data.train.len(),
+        data.test.len()
+    );
 
     let system = WebQa::new(Config::default());
-    let labeled: Vec<_> =
-        data.train.iter().map(|p| (p.page.clone(), p.gold.clone())).collect();
+    let labeled: Vec<_> = data
+        .train
+        .iter()
+        .map(|p| (p.page.clone(), p.gold.clone()))
+        .collect();
     let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
 
     let start = std::time::Instant::now();
     let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
-    println!("synthesis: {:?} ({} optimal programs, train F1 {:.2})",
-        start.elapsed(), result.synthesis.total_optimal, result.synthesis.f1);
+    println!(
+        "synthesis: {:?} ({} optimal programs, train F1 {:.2})",
+        start.elapsed(),
+        result.synthesis.total_optimal,
+        result.synthesis.f1
+    );
 
     if let Some(program) = &result.program {
         println!("\nselected program:\n  {program}");

@@ -11,6 +11,54 @@
 //! * [`webqa_corpus`] — the 25 tasks and the synthetic page corpus;
 //! * [`webqa_baselines`] — BERTQA / HYB / EntExtract;
 //! * [`webqa_html`] / [`webqa_nlp`] / [`webqa_metrics`] — substrates.
+//!
+//! # Workspace layout
+//!
+//! The workspace is a stack of stateless library crates with one thin
+//! binary on top. Arrows point from dependent to dependency:
+//!
+//! ```text
+//!                  webqa_cli (bin)        webqa_bench (9 bench targets)
+//!                        │                        │
+//!                        └───────┬────────────────┘
+//!                                ▼
+//!                   webqa  ──────────────┐
+//!                   │  │                 │
+//!          ┌────────┘  └──────┐          │
+//!          ▼                  ▼          ▼
+//!     webqa_synth        webqa_select   webqa_corpus   webqa_baselines
+//!          │                  │          │    │          │
+//!          └───────┬──────────┘          │    │          │
+//!                  ▼                     │    │          │
+//!              webqa_dsl ◄───────────────┘    │          │
+//!               │  │  │                       │          │
+//!       ┌───────┘  │  └────────┐              │          │
+//!       ▼          ▼           ▼              ▼          ▼
+//!  webqa_html  webqa_nlp  webqa_metrics  (html, nlp, metrics again)
+//! ```
+//!
+//! * **Substrates** (`webqa_html`, `webqa_nlp`, `webqa_metrics`) have no
+//!   in-workspace dependencies. HTML parsing, the simulated NLP modules,
+//!   and the token-level F₁ / Hamming scoring kernel.
+//! * **DSL** (`webqa_dsl`) builds the page-tree query language on the
+//!   substrates: AST, parser, printer, evaluator, normalizer, linter.
+//! * **Search** (`webqa_synth`, `webqa_select`) implements the paper's
+//!   two phases: optimal enumerative synthesis with the `UB = 2R/(1+R)`
+//!   pruning bound, then transductive ensemble selection.
+//! * **Pipeline** (`webqa`) wires synthesis and selection into
+//!   `WebQa::run`; **workloads** (`webqa_corpus`, `webqa_baselines`)
+//!   provide the 25 evaluation tasks, the seeded page generators, and the
+//!   three baseline systems.
+//! * **Apps** (`webqa_cli`, `webqa_bench`) stay thin: argument parsing and
+//!   report formatting only, every decision delegated to the libraries.
+//!
+//! This umbrella crate (`webqa-repro`) re-exports everything so the
+//! integration tests and examples can `use` one coherent surface.
+//!
+//! Third-party dependencies (`rand`, `proptest`, `criterion`, `serde`,
+//! `serde_json`) resolve to minimal offline stand-ins vendored under
+//! `compat/` — see `compat/README.md` for exactly what subset each
+//! implements and how to swap the real crates back in.
 
 pub use webqa;
 pub use webqa_baselines;

@@ -14,7 +14,11 @@ fn run_task(task_id: &str, config: Config) -> (webqa::Score, Option<webqa::Progr
     let task = task_by_id(task_id).expect("task exists");
     let data = corpus.dataset(task, 5);
     let system = WebQa::new(config);
-    let labeled: Vec<_> = data.train.iter().map(|p| (p.page.clone(), p.gold.clone())).collect();
+    let labeled: Vec<_> = data
+        .train
+        .iter()
+        .map(|p| (p.page.clone(), p.gold.clone()))
+        .collect();
     let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
     let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
     let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
@@ -23,9 +27,12 @@ fn run_task(task_id: &str, config: Config) -> (webqa::Score, Option<webqa::Progr
 
 #[test]
 fn one_task_per_domain_reaches_usable_f1() {
-    for (task_id, min_f1) in
-        [("fac_t1", 0.5), ("conf_t4", 0.6), ("class_t3", 0.5), ("clinic_t4", 0.6)]
-    {
+    for (task_id, min_f1) in [
+        ("fac_t1", 0.5),
+        ("conf_t4", 0.6),
+        ("class_t3", 0.5),
+        ("clinic_t4", 0.6),
+    ] {
         let (score, program) = run_task(task_id, Config::default());
         assert!(program.is_some(), "{task_id}: no program");
         assert!(
@@ -52,14 +59,21 @@ fn webqa_outperforms_flat_qa_on_multi_span_task() {
     let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
 
     let system = WebQa::new(Config::default());
-    let labeled: Vec<_> = data.train.iter().map(|p| (p.page.clone(), p.gold.clone())).collect();
+    let labeled: Vec<_> = data
+        .train
+        .iter()
+        .map(|p| (p.page.clone(), p.gold.clone()))
+        .collect();
     let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
     let ours = system.run(task.question, task.keywords, &labeled, &unlabeled);
     let ours_score = score_answers(&ours.answers, &gold);
 
     let bert = BertQa::new();
-    let bert_answers: Vec<Vec<String>> =
-        data.test.iter().map(|p| bert.answer_page(task.question, &p.html)).collect();
+    let bert_answers: Vec<Vec<String>> = data
+        .test
+        .iter()
+        .map(|p| bert.answer_page(task.question, &p.html))
+        .collect();
     let bert_score = score_answers(&bert_answers, &gold);
 
     assert!(
@@ -69,7 +83,10 @@ fn webqa_outperforms_flat_qa_on_multi_span_task() {
         bert_score.f1
     );
     // The structural reason (paper §8.1): single-span answers cap recall.
-    assert!(bert_score.recall < 0.5, "BERTQA recall should collapse, got {bert_score:?}");
+    assert!(
+        bert_score.recall < 0.5,
+        "BERTQA recall should collapse, got {bert_score:?}"
+    );
 }
 
 #[test]
@@ -77,16 +94,21 @@ fn hyb_struggles_on_heterogeneous_pages() {
     let corpus = corpus();
     let task = task_by_id("fac_t1").unwrap();
     let data = corpus.dataset(task, 5);
-    let hyb_train: Vec<(String, Vec<String>)> =
-        data.train.iter().map(|p| (p.html.clone(), p.gold.clone())).collect();
+    let hyb_train: Vec<(String, Vec<String>)> = data
+        .train
+        .iter()
+        .map(|p| (p.html.clone(), p.gold.clone()))
+        .collect();
     match Hyb::train(&hyb_train) {
         Err(_) => {} // outright failure is the common case
         Ok(w) => {
-            let answers: Vec<Vec<String>> =
-                data.test.iter().map(|p| w.extract(&p.html)).collect();
+            let answers: Vec<Vec<String>> = data.test.iter().map(|p| w.extract(&p.html)).collect();
             let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
             let s = score_answers(&answers, &gold);
-            assert!(s.f1 < 0.5, "HYB should not solve heterogeneous faculty pages: {s:?}");
+            assert!(
+                s.f1 < 0.5,
+                "HYB should not solve heterogeneous faculty pages: {s:?}"
+            );
         }
     }
 }
@@ -97,8 +119,11 @@ fn ent_extract_recall_without_precision() {
     let task = task_by_id("fac_t1").unwrap();
     let data = corpus.dataset(task, 5);
     let ee = EntExtract::new();
-    let answers: Vec<Vec<String>> =
-        data.test.iter().map(|p| ee.extract(task.question, &p.html)).collect();
+    let answers: Vec<Vec<String>> = data
+        .test
+        .iter()
+        .map(|p| ee.extract(task.question, &p.html))
+        .collect();
     let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
     let s = score_answers(&answers, &gold);
     // Zero-shot list extraction finds *some* list; it is rarely the right
@@ -112,8 +137,10 @@ fn modality_ablations_do_not_beat_full_system_on_average() {
     let avg = |modality: Modality| -> f64 {
         let mut total = 0.0;
         for t in tasks {
-            let mut cfg = Config::default();
-            cfg.modality = modality;
+            let cfg = Config {
+                modality,
+                ..Config::default()
+            };
             total += run_task(t, cfg).0.f1;
         }
         total / tasks.len() as f64
@@ -121,14 +148,23 @@ fn modality_ablations_do_not_beat_full_system_on_average() {
     let both = avg(Modality::Both);
     let nl = avg(Modality::QuestionOnly);
     let kw = avg(Modality::KeywordsOnly);
-    assert!(both + 1e-9 >= nl.min(kw), "full system below both ablations: {both} vs {nl}/{kw}");
+    assert!(
+        both + 1e-9 >= nl.min(kw),
+        "full system below both ablations: {both} vs {nl}/{kw}"
+    );
 }
 
 #[test]
 fn selection_strategies_are_all_functional() {
-    for strategy in [Selection::Transductive, Selection::Random, Selection::Shortest] {
-        let mut cfg = Config::default();
-        cfg.strategy = strategy;
+    for strategy in [
+        Selection::Transductive,
+        Selection::Random,
+        Selection::Shortest,
+    ] {
+        let cfg = Config {
+            strategy,
+            ..Config::default()
+        };
         let (score, program) = run_task("clinic_t5", cfg);
         assert!(program.is_some());
         assert!(score.f1 > 0.0, "{strategy:?} produced a useless program");

@@ -1,0 +1,90 @@
+//! Round-trip stability of the HTML substrate on *realistic* input: every
+//! page the corpus generators emit must satisfy
+//! `parse(serialize(parse(html))) == parse(html)` — i.e. one
+//! parse→serialize pass reaches a fixed point. The DSL evaluator and all
+//! baselines consume these trees, so re-serialization must not shift
+//! structure or text.
+
+use webqa_corpus::{generate_pages, Domain};
+use webqa_html::{parse_html, serialize, PageTree};
+
+const SEED: u64 = 7;
+const PAGES_PER_DOMAIN: usize = 4;
+
+#[test]
+fn corpus_pages_reach_serialization_fixed_point() {
+    for domain in Domain::ALL {
+        for page in generate_pages(domain, PAGES_PER_DOMAIN, SEED) {
+            let doc1 = parse_html(&page.html);
+            let emitted = serialize(&doc1);
+            let doc2 = parse_html(&emitted);
+            assert_eq!(
+                doc1, doc2,
+                "{domain} page {} changed structure after one serialize cycle",
+                page.name
+            );
+            // And the cycle is idempotent from then on.
+            let emitted2 = serialize(&doc2);
+            assert_eq!(
+                emitted, emitted2,
+                "{domain} page {} serialization is not stable",
+                page.name
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_pages_keep_their_page_tree_across_round_trip() {
+    // The synthesizer sees PageTrees, not raw DOMs: re-serialized HTML must
+    // produce the identical tree (section structure, text, node kinds).
+    for domain in Domain::ALL {
+        for page in generate_pages(domain, PAGES_PER_DOMAIN, SEED) {
+            let original = PageTree::parse(&page.html);
+            let reparsed = PageTree::parse(&serialize(&parse_html(&page.html)));
+            assert_eq!(
+                original, reparsed,
+                "{domain} page {} page-tree drifted across round-trip",
+                page.name
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_pages_are_nonempty_and_parse_to_nontrivial_trees() {
+    // Guards the generators themselves: an accidentally-empty page would
+    // make the round-trip tests above pass vacuously.
+    for domain in Domain::ALL {
+        let pages = generate_pages(domain, PAGES_PER_DOMAIN, SEED);
+        assert_eq!(pages.len(), PAGES_PER_DOMAIN);
+        for page in &pages {
+            assert!(
+                !page.html.is_empty(),
+                "{domain} page {} is empty",
+                page.name
+            );
+            let tree = PageTree::parse(&page.html);
+            assert!(
+                tree.len() > 1,
+                "{domain} page {} parses to a trivial tree",
+                page.name
+            );
+        }
+    }
+}
+
+#[test]
+fn generation_is_deterministic_per_seed() {
+    // The whole experiment pipeline assumes seeded reproducibility.
+    for domain in [Domain::Faculty, Domain::Clinic] {
+        let a = generate_pages(domain, 3, 11);
+        let b = generate_pages(domain, 3, 11);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.html == y.html));
+        let c = generate_pages(domain, 3, 12);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.html != y.html),
+            "{domain}: different seeds produced identical corpora"
+        );
+    }
+}

@@ -88,7 +88,10 @@ fn imperfect_ner_degrades_gracefully_to_optimal_f1() {
     );
     let (f1_imperfect, programs) = run(&imperfect);
 
-    assert!(f1_imperfect > 0.0, "synthesis must not fail outright (Key Idea #2)");
+    assert!(
+        f1_imperfect > 0.0,
+        "synthesis must not fail outright (Key Idea #2)"
+    );
     assert!(
         f1_imperfect <= f1_perfect + 1e-9,
         "imperfect models cannot beat perfect ones: {f1_imperfect} > {f1_perfect}"
@@ -103,7 +106,10 @@ fn imperfect_ner_degrades_gracefully_to_optimal_f1() {
         .collect();
     for p in programs.iter().take(10) {
         let f1 = webqa_synth::program_counts(&imperfect, &examples, p).f1();
-        assert!((f1 - f1_imperfect).abs() < 1e-6, "{p} scores {f1} ≠ {f1_imperfect}");
+        assert!(
+            (f1 - f1_imperfect).abs() < 1e-6,
+            "{p} scores {f1} ≠ {f1_imperfect}"
+        );
     }
 }
 
@@ -116,9 +122,8 @@ fn entity_programs_change_meaning_across_models() {
         "sat(descendants(root, leaf), true) -> substr(split(content, ','), entity(ORG), 1)"
             .parse()
             .expect("valid");
-    let page = PageTree::parse(
-        "<h1>R</h1><h2>Service</h2><ul><li>PLDI '21 (PC), CAV '20 (PC)</li></ul>",
-    );
+    let page =
+        PageTree::parse("<h1>R</h1><h2>Service</h2><ul><li>PLDI '21 (PC), CAV '20 (PC)</li></ul>");
     let perfect = QueryContext::with_models(
         question(),
         KEYWORDS,

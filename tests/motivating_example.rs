@@ -75,10 +75,16 @@ fn jane_gold() -> Vec<String> {
 }
 
 fn john_gold() -> Vec<String> {
-    ["OOPSLA '20 (PC)", "PLDI '20 (PC)", "CAV '19 (PC)", "PLDI '19 (PC)", "ICSE '19 (PC)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect()
+    [
+        "OOPSLA '20 (PC)",
+        "PLDI '20 (PC)",
+        "CAV '19 (PC)",
+        "PLDI '19 (PC)",
+        "ICSE '19 (PC)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
 }
 
 #[test]
@@ -95,7 +101,11 @@ fn motivating_example_end_to_end() {
     // Key Idea #2: there may be no perfect program (the simulated NER
     // does not tag conference names as ORG), but the optimal F1 must be
     // high — the keyword/split/filter route exists in the DSL.
-    assert!(result.synthesis.f1 > 0.85, "train F1 too low: {}", result.synthesis.f1);
+    assert!(
+        result.synthesis.f1 > 0.85,
+        "train F1 too low: {}",
+        result.synthesis.f1
+    );
     // Key Idea #3: the paper reports ~85 optimal programs on this input.
     assert!(
         result.synthesis.total_optimal > 10,

@@ -76,7 +76,7 @@ proptest! {
         let tree = page.tree();
         let all_text = tree.subtree_text(tree.root());
         for (task_id, gold) in &page.gold {
-            let s = score_strings(gold, &[all_text.clone()]);
+            let s = score_strings(gold, std::slice::from_ref(&all_text));
             // every gold token appears in the page text (precision of gold
             // against the page is 1)
             prop_assert!(
