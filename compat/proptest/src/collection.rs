@@ -36,7 +36,7 @@ impl From<RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// Strategy for `Vec<S::Value>`; built by [`vec`].
+/// Strategy for `Vec<S::Value>`; built by [`vec`](fn@vec).
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

@@ -6,13 +6,12 @@
 //! Regenerate with:
 //! `cargo bench -p webqa-bench --bench table4_transductive`
 
-use webqa::score_answers;
+use webqa::{score_answers, Config};
 use webqa_bench::Setup;
 use webqa_corpus::{task_by_id, Task};
-use webqa_dsl::QueryContext;
 use webqa_metrics::stats;
 use webqa_select::{select_random, select_shortest, select_transductive, SelectionConfig};
-use webqa_synth::{synthesize, Example, SynthConfig};
+use webqa_synth::SynthConfig;
 
 const RUNS: usize = 20;
 const DEFAULT_TASKS: [&str; 12] = [
@@ -42,25 +41,30 @@ fn main() {
     let mut variances = [Vec::new(), Vec::new(), Vec::new()];
 
     for task in &tasks {
-        let data = setup.dataset(task);
-        let ctx = QueryContext::new(task.question, task.keywords.to_vec());
-        let examples: Vec<Example> = data
-            .train
-            .iter()
-            .map(|p| Example::new(p.page.clone(), p.gold.clone()))
-            .collect();
-        let mut cfg = SynthConfig::fast();
-        cfg.max_programs = 600;
-        let outcome = synthesize(&cfg, &ctx, &examples);
-        let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
-        let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
+        // Stage-driven: synthesize once through the engine (off the
+        // shared interned store), then re-run only the selection stage
+        // per seed — the quantity Table 4 varies.
+        let mut synth_cfg = SynthConfig::fast();
+        synth_cfg.max_programs = 600;
+        let engine = setup.engine(Config {
+            synth: synth_cfg,
+            ..Config::default()
+        });
+        let etask = setup.engine_task(task);
+        let synthesized = engine
+            .prepare(&etask)
+            .expect("store-issued ids resolve")
+            .synthesize();
+        let outcome = synthesized.outcome();
+        let (ctx, unlabeled) = (synthesized.context(), synthesized.unlabeled());
+        let gold = setup.test_gold(task);
 
         let score_of = |program: Option<webqa_dsl::Program>| -> f64 {
             match program {
                 Some(p) => {
                     let answers: Vec<Vec<String>> =
-                        unlabeled.iter().map(|page| p.eval(&ctx, page)).collect();
-                    score_answers(&answers, &gold).f1
+                        unlabeled.iter().map(|page| p.eval(ctx, page)).collect();
+                    score_answers(&answers, &gold).expect("aligned").f1
                 }
                 None => 0.0,
             }
@@ -76,9 +80,9 @@ fn main() {
             };
             per_run[0].push(score_of(select_transductive(
                 &sel_cfg,
-                &ctx,
+                ctx,
                 &outcome.programs,
-                &unlabeled,
+                unlabeled,
             )));
             per_run[1].push(score_of(select_random(&outcome.programs, seed)));
             per_run[2].push(score_of(select_shortest(&outcome.programs, seed)));

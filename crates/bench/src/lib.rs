@@ -2,8 +2,10 @@
 //!
 //! Every bench target regenerates one table or figure of the paper
 //! (Section 8 / Appendix C). This library holds the common machinery:
-//! corpus construction, per-task runs of WebQA and the three baselines,
-//! and row formatting.
+//! corpus construction, a shared interned page store (every page is
+//! parsed exactly once, however many tasks and tools read it), per-task
+//! runs of WebQA — through the staged `webqa::Engine` — and the three
+//! baselines, and row formatting.
 //!
 //! Knobs (environment variables, so `cargo bench` stays zero-config):
 //!
@@ -11,9 +13,9 @@
 //! * `WEBQA_TRAIN` — labeled pages per task (default 5);
 //! * `WEBQA_SEED` — corpus seed (default 42).
 
-use webqa::{score_answers, Config, Selection, WebQa};
+use webqa::{score_answers, Config, Engine, PageId, PageStore, Selection};
 use webqa_baselines::{BertQa, EntExtract, Hyb};
-use webqa_corpus::{Corpus, Task, TaskDataset};
+use webqa_corpus::{Corpus, Domain, Task, TaskDataset};
 use webqa_metrics::{Counts, Score};
 
 /// Experiment-wide setup shared by all benches.
@@ -22,6 +24,10 @@ pub struct Setup {
     pub corpus: Corpus,
     /// Labeled pages per task.
     pub train_pages: usize,
+    /// Pages of every domain, parsed once and interned.
+    store: PageStore,
+    /// Per-domain page handles, aligned with `corpus.pages(domain)`.
+    page_ids: Vec<(Domain, Vec<PageId>)>,
     pages_per_domain: usize,
     seed: u64,
 }
@@ -29,20 +35,93 @@ pub struct Setup {
 impl Setup {
     /// Builds the standard setup from the environment knobs.
     pub fn from_env() -> Setup {
-        let pages = env_usize("WEBQA_PAGES", 16);
-        let train = env_usize("WEBQA_TRAIN", 5);
-        let seed = env_usize("WEBQA_SEED", 42) as u64;
+        Self::new(
+            env_usize("WEBQA_PAGES", 16),
+            env_usize("WEBQA_TRAIN", 5),
+            env_usize("WEBQA_SEED", 42) as u64,
+        )
+    }
+
+    /// Builds a setup with explicit knobs, interning every corpus page.
+    pub fn new(pages_per_domain: usize, train_pages: usize, seed: u64) -> Setup {
+        let corpus = Corpus::generate(pages_per_domain, seed);
+        let mut store = PageStore::new();
+        let page_ids = Domain::ALL
+            .iter()
+            .map(|&domain| {
+                (
+                    domain,
+                    corpus
+                        .pages(domain)
+                        .iter()
+                        .map(|p| store.insert_tree(p.tree()))
+                        .collect(),
+                )
+            })
+            .collect();
         Setup {
-            corpus: Corpus::generate(pages, seed),
-            train_pages: train,
-            pages_per_domain: pages,
+            corpus,
+            train_pages,
+            store,
+            page_ids,
+            pages_per_domain,
             seed,
         }
     }
 
-    /// The dataset split for one task.
+    /// The dataset split for one task (raw HTML + parsed trees; the
+    /// baselines need the HTML — WebQA itself runs off the interned
+    /// store via [`Setup::engine`]).
     pub fn dataset(&self, task: &Task) -> TaskDataset {
         self.corpus.dataset(task, self.train_pages)
+    }
+
+    /// An engine with the given config over the shared page store
+    /// (cloning the store only bumps `Arc` refcounts per page).
+    pub fn engine(&self, config: Config) -> Engine {
+        Engine::with_store(config, self.store.clone())
+    }
+
+    fn domain_ids(&self, domain: Domain) -> &[PageId] {
+        self.page_ids
+            .iter()
+            .find(|(d, _)| *d == domain)
+            .map(|(_, ids)| ids.as_slice())
+            .expect("every domain is interned")
+    }
+
+    /// The engine task for one corpus task: first `train_pages` pages of
+    /// the domain labeled, the rest as unlabeled targets.
+    pub fn engine_task(&self, task: &Task) -> webqa::Task {
+        self.engine_task_with_train(task, self.train_pages)
+    }
+
+    /// [`Setup::engine_task`] with only the first `n_train` labels; the
+    /// unlabeled (test) split is unchanged so scores stay comparable
+    /// across `n_train` (the Figure 14 sweep).
+    pub fn engine_task_with_train(&self, task: &Task, n_train: usize) -> webqa::Task {
+        let pages = self.corpus.pages(task.domain);
+        let mut t = webqa::Task::from_id_split(
+            task.question,
+            task.keywords.iter().copied(),
+            self.domain_ids(task.domain),
+            self.train_pages,
+            |i| pages[i].gold(task.id).to_vec(),
+        );
+        // Fewer labels than the split boundary (the Figure 14 sweep): drop
+        // the extras but keep the test split unchanged so scores compare.
+        t.labeled.truncate(n_train);
+        t
+    }
+
+    /// Gold labels of the unlabeled (test) split, aligned with the
+    /// engine task's answer order.
+    pub fn test_gold(&self, task: &Task) -> Vec<Vec<String>> {
+        let split = self.train_pages.min(self.domain_ids(task.domain).len());
+        self.corpus.pages(task.domain)[split..]
+            .iter()
+            .map(|p| p.gold(task.id).to_vec())
+            .collect()
     }
 
     /// Path of the cross-bench result cache for this setup. Figure 12,
@@ -154,37 +233,21 @@ pub struct TaskRow {
 }
 
 /// Runs WebQA (with the given pipeline config) on one task and scores the
-/// held-out pages.
+/// held-out pages. The engine reads the interned pages — no `PageTree`
+/// is parsed or cloned here.
 pub fn run_webqa(setup: &Setup, task: &Task, config: Config) -> Score {
-    let data = setup.dataset(task);
-    let system = WebQa::new(config);
-    let labeled: Vec<_> = data
-        .train
-        .iter()
-        .map(|p| (p.page.clone(), p.gold.clone()))
-        .collect();
-    let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
-    let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
-    let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
-    score_answers(&result.answers, &gold)
+    run_webqa_with_train(setup, task, config, setup.train_pages)
 }
 
 /// Runs WebQA with only the first `n_train` of the labeled pages (the
 /// Figure 14 sweep); the test split is unchanged so scores stay
 /// comparable across `n_train`.
 pub fn run_webqa_with_train(setup: &Setup, task: &Task, config: Config, n_train: usize) -> Score {
-    let data = setup.dataset(task);
-    let system = WebQa::new(config);
-    let labeled: Vec<_> = data
-        .train
-        .iter()
-        .take(n_train)
-        .map(|p| (p.page.clone(), p.gold.clone()))
-        .collect();
-    let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
-    let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
-    let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
-    score_answers(&result.answers, &gold)
+    let engine = setup.engine(config);
+    let result = engine
+        .run(&setup.engine_task_with_train(task, n_train))
+        .expect("store-issued ids always resolve");
+    score_answers(&result.answers, &setup.test_gold(task)).expect("aligned by construction")
 }
 
 /// Runs all four tools on one task (the computation behind Figure 12,
@@ -203,7 +266,7 @@ pub fn run_all_tools(setup: &Setup, task: &'static Task, config: Config) -> Task
         .iter()
         .map(|p| bq.answer_page(task.question, &p.html))
         .collect();
-    let bertqa = score_answers(&bert_answers, &gold);
+    let bertqa = score_answers(&bert_answers, &gold).expect("aligned");
 
     // HYB: exact-match wrapper induction from the labeled pages.
     let hyb_train: Vec<(String, Vec<String>)> = data
@@ -215,7 +278,7 @@ pub fn run_all_tools(setup: &Setup, task: &'static Task, config: Config) -> Task
         Ok(wrapper) => data.test.iter().map(|p| wrapper.extract(&p.html)).collect(),
         Err(_) => vec![Vec::new(); data.test.len()], // synthesis failed (paper §8.1)
     };
-    let hyb = score_answers(&hyb_answers, &gold);
+    let hyb = score_answers(&hyb_answers, &gold).expect("aligned");
 
     // EntExtract: zero-shot.
     let ee = EntExtract::new();
@@ -224,7 +287,7 @@ pub fn run_all_tools(setup: &Setup, task: &'static Task, config: Config) -> Task
         .iter()
         .map(|p| ee.extract(task.question, &p.html))
         .collect();
-    let ent = score_answers(&ent_answers, &gold);
+    let ent = score_answers(&ent_answers, &gold).expect("aligned");
 
     TaskRow {
         task,
@@ -277,12 +340,20 @@ mod tests {
     use webqa_corpus::task_by_id;
 
     fn tiny_setup() -> Setup {
-        Setup {
-            corpus: Corpus::generate(8, 7),
-            train_pages: 4,
-            pages_per_domain: 8,
-            seed: 7,
-        }
+        Setup::new(8, 4, 7)
+    }
+
+    #[test]
+    fn corpus_pages_are_interned_once() {
+        let setup = tiny_setup();
+        // 4 domains × 8 pages, each parsed exactly once; every task and
+        // engine clone reads the same Arcs.
+        assert_eq!(setup.engine(default_config()).store().len(), 32);
+        let t = task_by_id("fac_t1").unwrap();
+        let spec = setup.engine_task(t);
+        assert_eq!(spec.labeled.len(), 4);
+        assert_eq!(spec.unlabeled.len(), 4);
+        assert_eq!(setup.test_gold(t).len(), 4);
     }
 
     #[test]

@@ -4,6 +4,11 @@
 //! crate, so this module implements the subset the CLI needs: a leading
 //! subcommand, `--flag value` options, and `--switch` booleans, with
 //! typed accessors and unknown-option rejection.
+//!
+//! Numeric value options parse through [`ParsedArgs::get_parsed`] with a
+//! per-command default — e.g. `eval --jobs N` (worker threads for
+//! `webqa::Engine::run_batch`, default `1` = sequential; any `N` produces
+//! identical output, `N > 1` just produces it faster).
 
 use std::collections::BTreeMap;
 use std::fmt;

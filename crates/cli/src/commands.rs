@@ -2,14 +2,22 @@
 
 use std::fmt::Write as _;
 
-use webqa::{score_answers, Config, Modality, Selection, WebQa};
+use webqa::{score_answers, Config, Engine, Modality, Selection, Task as EngineTask};
 use webqa_baselines::{BertQa, EntExtract, Hyb};
-use webqa_corpus::{domain_stats, generate_pages, task_by_id, Corpus, Domain, Task, TASKS};
+use webqa_corpus::{
+    domain_stats, generate_pages, task_by_id, Corpus, Domain, Task, TaskDataset, TASKS,
+};
 use webqa_dsl::{lint, normalize, PageTree, Program, QueryContext};
 use webqa_synth::SynthConfig;
 
 use crate::args::ParsedArgs;
 use crate::CliError;
+
+impl From<webqa::Error> for CliError {
+    fn from(e: webqa::Error) -> Self {
+        CliError::Command(e.to_string())
+    }
+}
 
 /// The `help` text.
 pub(crate) fn help() -> String {
@@ -28,11 +36,18 @@ COMMANDS:
                   --task ID [--train N] [--pages N] [--seed S] [--paper]
                   [--strategy transductive|random|shortest]
                   [--modality both|nl|kw] [--baselines] [--show N] [--json]
+    eval      Evaluate many corpus tasks through the batch engine
+                  [--tasks A,B,C] [--domain D] [--pages N] [--train N]
+                  [--seed S] [--jobs N] [--paper]
+                  --jobs N runs independent tasks on N worker threads
+                  (default 1 = sequential; results are identical either way)
     export    Write generated pages (HTML + gold labels) to a directory
                   --domain D --out DIR [--count N] [--seed S]
     run       Run a DSL program on a page
                   --program SRC --question Q --keywords A,B
-                  (--html SRC | --html-file PATH)
+                  (--html SRC | --html-file PATH) [--lenient]
+                  --lenient skips the strict damage checks (browser-style
+                  recovery) for pages the fallible parser rejects
     check     Lint a DSL program and print its normalized form
                   --program SRC [--question Q] [--keywords A,B] [--normalize]
     stats     Structural-heterogeneity statistics of the generated corpus
@@ -185,25 +200,35 @@ pub(crate) fn synth(a: &ParsedArgs) -> Result<String, CliError> {
     }
 
     let corpus = Corpus::generate(n_pages, seed);
-    let ds = corpus.dataset(task, n_train);
-    let labeled: Vec<(PageTree, Vec<String>)> = ds
-        .train
-        .iter()
-        .map(|p| (p.page.clone(), p.gold.clone()))
-        .collect();
-    let unlabeled: Vec<PageTree> = ds.test.iter().map(|p| p.page.clone()).collect();
-
-    let system = WebQa::new(config);
-    let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
+    // Intern the split into the engine's page store (consuming the
+    // dataset: the trees move, they are not cloned) and run the staged
+    // pipeline as one engine task.
+    let TaskDataset { train, test, .. } = corpus.dataset(task, n_train);
+    let mut engine = Engine::new(config);
+    let mut etask = EngineTask::new(task.question, task.keywords.iter().copied());
+    let mut train_html: Vec<String> = Vec::with_capacity(train.len());
+    for p in train {
+        let id = engine.store_mut().insert_tree(p.page);
+        etask.labeled.push((id, p.gold));
+        train_html.push(p.html);
+    }
+    let mut gold: Vec<Vec<String>> = Vec::with_capacity(test.len());
+    let mut test_html: Vec<String> = Vec::with_capacity(test.len());
+    for p in test {
+        etask.unlabeled.push(engine.store_mut().insert_tree(p.page));
+        gold.push(p.gold);
+        test_html.push(p.html);
+    }
+    let (n_labeled, n_test) = (etask.labeled.len(), etask.unlabeled.len());
+    let result = engine.run(&etask)?;
 
     if a.switch("json") {
-        let gold: Vec<Vec<String>> = ds.test.iter().map(|p| p.gold.clone()).collect();
-        let score = score_answers(&result.answers, &gold);
+        let score = score_answers(&result.answers, &gold)?;
         let report = SynthReport {
             task: task.id,
             question: task.question,
-            train_pages: ds.train.len(),
-            test_pages: ds.test.len(),
+            train_pages: n_labeled,
+            test_pages: n_test,
             train_f1: result.synthesis.f1,
             total_optimal: result.synthesis.total_optimal,
             selected: result.program.clone(),
@@ -223,7 +248,7 @@ pub(crate) fn synth(a: &ParsedArgs) -> Result<String, CliError> {
     let _ = writeln!(
         out,
         "training: {} pages, optimal F1 {:.3}, {} optimal programs ({} materialized)",
-        ds.train.len(),
+        n_labeled,
         result.synthesis.f1,
         result.synthesis.total_optimal,
         result.synthesis.programs.len()
@@ -240,41 +265,39 @@ pub(crate) fn synth(a: &ParsedArgs) -> Result<String, CliError> {
         let _ = writeln!(out, "  optimal[{i}]: {p}");
     }
 
-    let gold: Vec<Vec<String>> = ds.test.iter().map(|p| p.gold.clone()).collect();
-    let score = score_answers(&result.answers, &gold);
+    let score = score_answers(&result.answers, &gold)?;
     let _ = writeln!(
         out,
         "test ({} pages): P {:.3}  R {:.3}  F1 {:.3}",
-        ds.test.len(),
-        score.precision,
-        score.recall,
-        score.f1
+        n_test, score.precision, score.recall, score.f1
     );
 
     if a.switch("baselines") {
-        let bert = BertQa::new();
-        let answers: Vec<Vec<String>> = ds
-            .test
-            .iter()
-            .map(|p| bert.answer_page(task.question, &p.html))
+        // The baselines re-parse raw HTML themselves; they do not go
+        // through the engine's page store.
+        let train_pairs: Vec<(String, Vec<String>)> = train_html
+            .into_iter()
+            .zip(&etask.labeled)
+            .map(|(html, (_, gold))| (html, gold.clone()))
             .collect();
-        let s = score_answers(&answers, &gold);
+
+        let bert = BertQa::new();
+        let answers: Vec<Vec<String>> = test_html
+            .iter()
+            .map(|html| bert.answer_page(task.question, html))
+            .collect();
+        let s = score_answers(&answers, &gold)?;
         let _ = writeln!(
             out,
             "BertQA     : P {:.3}  R {:.3}  F1 {:.3}",
             s.precision, s.recall, s.f1
         );
 
-        let train_pairs: Vec<(String, Vec<String>)> = ds
-            .train
-            .iter()
-            .map(|p| (p.html.clone(), p.gold.clone()))
-            .collect();
         let answers: Vec<Vec<String>> = match Hyb::train(&train_pairs) {
-            Ok(h) => ds.test.iter().map(|p| h.extract(&p.html)).collect(),
-            Err(_) => vec![Vec::new(); ds.test.len()],
+            Ok(h) => test_html.iter().map(|html| h.extract(html)).collect(),
+            Err(_) => vec![Vec::new(); test_html.len()],
         };
-        let s = score_answers(&answers, &gold);
+        let s = score_answers(&answers, &gold)?;
         let _ = writeln!(
             out,
             "HYB        : P {:.3}  R {:.3}  F1 {:.3}",
@@ -282,12 +305,11 @@ pub(crate) fn synth(a: &ParsedArgs) -> Result<String, CliError> {
         );
 
         let ee = EntExtract::new();
-        let answers: Vec<Vec<String>> = ds
-            .test
+        let answers: Vec<Vec<String>> = test_html
             .iter()
-            .map(|p| ee.extract(task.question, &p.html))
+            .map(|html| ee.extract(task.question, html))
             .collect();
-        let s = score_answers(&answers, &gold);
+        let s = score_answers(&answers, &gold)?;
         let _ = writeln!(
             out,
             "EntExtract : P {:.3}  R {:.3}  F1 {:.3}",
@@ -295,6 +317,127 @@ pub(crate) fn synth(a: &ParsedArgs) -> Result<String, CliError> {
         );
     }
 
+    Ok(out)
+}
+
+/// `eval`: batch evaluation of many corpus tasks through
+/// [`Engine::run_batch`]. All selected tasks share one interned page
+/// store; `--jobs N` (default 1) fans independent tasks out over `N`
+/// worker threads with deterministic, input-ordered results.
+pub(crate) fn eval(a: &ParsedArgs) -> Result<String, CliError> {
+    a.expect_only(&["tasks", "domain", "pages", "train", "seed", "jobs", "paper"])?;
+    let n_pages: usize = a.get_parsed("pages", 8, "a positive integer")?;
+    let n_train: usize = a.get_parsed("train", 3, "a positive integer")?;
+    let seed: u64 = a.get_parsed("seed", 0, "an integer")?;
+    let jobs: usize = a.get_parsed("jobs", 1, "a positive integer")?;
+    if n_train >= n_pages {
+        return Err(CliError::Command(format!(
+            "--train {n_train} must be smaller than --pages {n_pages}"
+        )));
+    }
+
+    // Which tasks: explicit ids beat a domain filter beats "all 25".
+    let ids = a.get_list("tasks");
+    let tasks: Vec<&'static Task> = if !ids.is_empty() {
+        ids.iter()
+            .map(|id| {
+                task_by_id(id)
+                    .ok_or_else(|| CliError::Command(format!("unknown task {id:?}; see `tasks`")))
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        let filter = a.get("domain").map(parse_domain).transpose()?;
+        TASKS
+            .iter()
+            .filter(|t| filter.is_none_or(|d| d == t.domain))
+            .collect()
+    };
+
+    let mut config = Config::default();
+    if a.switch("paper") {
+        config.synth = SynthConfig::paper();
+    }
+
+    // One shared store: every page of every involved domain is parsed
+    // and interned exactly once, however many tasks read it.
+    let corpus = Corpus::generate(n_pages, seed);
+    let mut engine = Engine::new(config);
+    let mut domain_ids: Vec<(Domain, Vec<webqa::PageId>)> = Vec::new();
+    for &domain in &Domain::ALL {
+        if tasks.iter().any(|t| t.domain == domain) {
+            let ids = corpus
+                .pages(domain)
+                .iter()
+                .map(|p| engine.store_mut().insert_tree(p.tree()))
+                .collect();
+            domain_ids.push((domain, ids));
+        }
+    }
+    let ids_of = |d: Domain| -> &[webqa::PageId] {
+        domain_ids
+            .iter()
+            .find(|(dom, _)| *dom == d)
+            .map(|(_, ids)| ids.as_slice())
+            .expect("domains of selected tasks are interned")
+    };
+
+    let etasks: Vec<EngineTask> = tasks
+        .iter()
+        .map(|t| {
+            let pages = corpus.pages(t.domain);
+            EngineTask::from_id_split(
+                t.question,
+                t.keywords.iter().copied(),
+                ids_of(t.domain),
+                n_train,
+                |i| pages[i].gold(t.id).to_vec(),
+            )
+        })
+        .collect();
+
+    let results = engine.run_batch(&etasks, jobs)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# eval: {} tasks | {} pages/domain ({} labeled) | seed {} | jobs {} | {} interned pages",
+        tasks.len(),
+        n_pages,
+        n_train,
+        seed,
+        jobs.max(1),
+        engine.store().len(),
+    );
+    let _ = writeln!(
+        out,
+        "{:<11} {:>8} {:>8} {:>7} {:>7} {:>7}",
+        "TASK", "TRAIN_F1", "OPTIMAL", "P", "R", "F1"
+    );
+    let mut f1_sum = 0.0;
+    for (t, result) in tasks.iter().zip(&results) {
+        let gold: Vec<Vec<String>> = corpus.pages(t.domain)[n_train..]
+            .iter()
+            .map(|p| p.gold(t.id).to_vec())
+            .collect();
+        let score = score_answers(&result.answers, &gold)?;
+        f1_sum += score.f1;
+        let _ = writeln!(
+            out,
+            "{:<11} {:>8.3} {:>8} {:>7.3} {:>7.3} {:>7.3}",
+            t.id,
+            result.synthesis.f1,
+            result.synthesis.total_optimal,
+            score.precision,
+            score.recall,
+            score.f1
+        );
+    }
+    let _ = writeln!(
+        out,
+        "mean F1 over {} tasks: {:.3}",
+        tasks.len(),
+        f1_sum / (tasks.len().max(1)) as f64
+    );
     Ok(out)
 }
 
@@ -369,7 +512,14 @@ pub(crate) fn stats(a: &ParsedArgs) -> Result<String, CliError> {
 
 /// `run`: evaluate one program on one page.
 pub(crate) fn run(a: &ParsedArgs) -> Result<String, CliError> {
-    a.expect_only(&["program", "question", "keywords", "html", "html-file"])?;
+    a.expect_only(&[
+        "program",
+        "question",
+        "keywords",
+        "html",
+        "html-file",
+        "lenient",
+    ])?;
     let program: Program = a
         .require("program")?
         .parse()
@@ -387,7 +537,15 @@ pub(crate) fn run(a: &ParsedArgs) -> Result<String, CliError> {
         }
     };
     let ctx = QueryContext::new(question, keywords);
-    let page = PageTree::parse(&html);
+    // User-supplied HTML goes through the fallible parser by default so
+    // damage is reported instead of silently recovered into a nonsense
+    // tree; `--lenient` opts back into browser-style recovery for pages
+    // whose prose trips the strict entity check (e.g. "Q&As;").
+    let page = if a.switch("lenient") {
+        PageTree::parse(&html)
+    } else {
+        PageTree::try_parse(&html).map_err(|e| CliError::Command(format!("bad page HTML: {e}")))?
+    };
     let answers = program.eval(&ctx, &page);
     let mut out = String::new();
     let _ = writeln!(out, "{} answers:", answers.len());
@@ -497,6 +655,46 @@ mod tests {
         assert!(dispatch(&["synth", "--task", "nope"]).is_err());
         let err =
             dispatch(&["synth", "--task", "fac_t1", "--pages", "3", "--train", "3"]).unwrap_err();
+        assert!(err.to_string().contains("smaller"));
+    }
+
+    #[test]
+    fn eval_batches_tasks_and_jobs_do_not_change_output() {
+        let args = |jobs: &'static str| {
+            vec![
+                "eval",
+                "--tasks",
+                "fac_t1,clinic_t1",
+                "--pages",
+                "5",
+                "--train",
+                "2",
+                "--seed",
+                "3",
+                "--jobs",
+                jobs,
+            ]
+        };
+        let sequential = dispatch(&args("1")).unwrap();
+        assert!(sequential.contains("fac_t1"), "{sequential}");
+        assert!(sequential.contains("clinic_t1"), "{sequential}");
+        assert!(sequential.contains("mean F1"), "{sequential}");
+        // 5 faculty + 5 clinic pages interned once across both tasks.
+        assert!(sequential.contains("10 interned pages"), "{sequential}");
+
+        let parallel = dispatch(&args("4")).unwrap();
+        // Byte-identical apart from the jobs count echoed in the header.
+        assert_eq!(
+            sequential.replace("jobs 1", "jobs N"),
+            parallel.replace("jobs 4", "jobs N")
+        );
+    }
+
+    #[test]
+    fn eval_filters_by_domain_and_rejects_unknowns() {
+        let err = dispatch(&["eval", "--tasks", "nope"]).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+        let err = dispatch(&["eval", "--pages", "2", "--train", "2"]).unwrap_err();
         assert!(err.to_string().contains("smaller"));
     }
 

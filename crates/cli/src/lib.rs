@@ -11,10 +11,16 @@
 //! webqa-cli synth --task fac_t1 [--train N] [--pages N] [--seed S] [--paper]
 //!                 [--strategy transductive|random|shortest] [--modality both|nl|kw]
 //!                 [--baselines] [--show N]
+//! webqa-cli eval [--tasks A,B,C] [--domain D] [--pages N] [--train N] [--seed S] [--jobs N]
 //! webqa-cli run --program SRC --question Q --keywords A,B (--html SRC | --html-file PATH)
 //! webqa-cli check --program SRC [--question Q] [--keywords A,B]
 //! webqa-cli help
 //! ```
+//!
+//! `eval` drives `webqa::Engine::run_batch`: every page is parsed and
+//! interned once in a shared page store, and `--jobs N` (default 1) runs
+//! independent tasks on `N` worker threads — output is byte-identical to
+//! sequential execution.
 
 #![warn(missing_docs)]
 
@@ -58,7 +64,7 @@ impl From<ArgError> for CliError {
 }
 
 /// Switch-style options across all commands (take no value).
-const SWITCHES: &[&str] = &["paper", "raw", "baselines", "normalize", "json"];
+const SWITCHES: &[&str] = &["paper", "raw", "baselines", "normalize", "json", "lenient"];
 
 /// Parses and runs one command line, returning the text to print.
 ///
@@ -76,6 +82,7 @@ pub fn dispatch<S: AsRef<str>>(raw: &[S]) -> Result<String, CliError> {
         "tasks" => commands::tasks(&parsed),
         "corpus" => commands::corpus(&parsed),
         "synth" => commands::synth(&parsed),
+        "eval" => commands::eval(&parsed),
         "run" => commands::run(&parsed),
         "check" => commands::check(&parsed),
         "stats" => commands::stats(&parsed),
@@ -99,10 +106,11 @@ mod tests {
     fn help_lists_all_commands() {
         let out = dispatch(&["help"]).unwrap();
         for c in [
-            "tasks", "corpus", "synth", "run", "check", "stats", "export",
+            "tasks", "corpus", "synth", "eval", "run", "check", "stats", "export",
         ] {
             assert!(out.contains(c), "help is missing {c}");
         }
+        assert!(out.contains("--jobs"), "help is missing --jobs");
     }
 
     #[test]

@@ -1,0 +1,550 @@
+//! The session-oriented engine: shared page storage plus the staged
+//! pipeline.
+//!
+//! [`WebQa::run`](crate::WebQa::run) is one-shot: it re-parses and clones
+//! every page per call and exposes nothing between "question in" and
+//! "answers out". The paper's workflow is not one-shot — Figure 1 runs
+//! synthesis over a few labeled pages and selection over many unlabeled
+//! ones, and the Section 7 interactive-labeling loop re-runs synthesis
+//! after each new label. The [`Engine`] serves that workflow:
+//!
+//! * pages are interned once in a [`PageStore`] and referenced by
+//!   [`PageId`] — no `PageTree` is deep-cloned on the run path;
+//! * the pipeline is staged — [`Engine::prepare`] →
+//!   [`Prepared::synthesize`] → [`Synthesized::select`] →
+//!   [`Selected::answers`] — so callers can inspect or loop on any stage
+//!   (add a label and re-synthesize without re-doing anything else);
+//! * errors are values ([`Error`]), not panics;
+//! * independent tasks batch through
+//!   [`Engine::run_batch`](crate::Engine::run_batch) (see
+//!   [`crate::batch`]).
+
+use std::sync::Arc;
+
+use crate::error::Error;
+use crate::pipeline::{Config, RunResult, Selection};
+use crate::store::{PageId, PageStore};
+use webqa_dsl::{PageTree, Program, QueryContext};
+use webqa_select::{select_from_ensemble, select_random, select_shortest, Ensemble};
+use webqa_synth::{synthesize, Example, SynthesisOutcome};
+
+/// One extraction task over pages interned in an engine's store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// The natural-language question.
+    pub question: String,
+    /// The keyword list.
+    pub keywords: Vec<String>,
+    /// Labeled pages: the page handle plus its gold extraction strings.
+    pub labeled: Vec<(PageId, Vec<String>)>,
+    /// Unlabeled target pages, in the order answers are wanted.
+    pub unlabeled: Vec<PageId>,
+}
+
+impl Task {
+    /// A task with no pages yet; push into
+    /// [`labeled`](Task::labeled) / [`unlabeled`](Task::unlabeled) or use
+    /// [`with_label`](Task::with_label) / [`with_target`](Task::with_target).
+    pub fn new(
+        question: impl Into<String>,
+        keywords: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        Task {
+            question: question.into(),
+            keywords: keywords.into_iter().map(Into::into).collect(),
+            labeled: Vec::new(),
+            unlabeled: Vec::new(),
+        }
+    }
+
+    /// Builds a task from a train/test split of parsed trees, interning
+    /// every page into `store` — the canonical way to turn a dataset
+    /// split into a task without hand-rolling the interning loop.
+    /// Content-addressing applies: trees already in the store (from an
+    /// earlier task over the same pages) reuse their existing handles.
+    pub fn from_split(
+        question: impl Into<String>,
+        keywords: impl IntoIterator<Item = impl Into<String>>,
+        store: &mut PageStore,
+        labeled: impl IntoIterator<Item = (PageTree, Vec<String>)>,
+        unlabeled: impl IntoIterator<Item = PageTree>,
+    ) -> Self {
+        let mut task = Task::new(question, keywords);
+        for (tree, gold) in labeled {
+            task.labeled.push((store.insert_tree(tree), gold));
+        }
+        task.unlabeled
+            .extend(unlabeled.into_iter().map(|tree| store.insert_tree(tree)));
+        task
+    }
+
+    /// Builds a task over pages already interned in a store, applying the
+    /// standard corpus split rule in one place: the first `n_train`
+    /// handles become labeled examples (gold supplied per index into
+    /// `pages`), the rest become unlabeled targets.
+    pub fn from_id_split(
+        question: impl Into<String>,
+        keywords: impl IntoIterator<Item = impl Into<String>>,
+        pages: &[PageId],
+        n_train: usize,
+        mut gold_of: impl FnMut(usize) -> Vec<String>,
+    ) -> Self {
+        let boundary = n_train.min(pages.len());
+        let mut task = Task::new(question, keywords);
+        for (i, &id) in pages[..boundary].iter().enumerate() {
+            task.labeled.push((id, gold_of(i)));
+        }
+        task.unlabeled.extend(&pages[boundary..]);
+        task
+    }
+
+    /// Adds a labeled page (builder style).
+    pub fn with_label(mut self, page: PageId, gold: Vec<String>) -> Self {
+        self.labeled.push((page, gold));
+        self
+    }
+
+    /// Adds an unlabeled target page (builder style).
+    pub fn with_target(mut self, page: PageId) -> Self {
+        self.unlabeled.push(page);
+        self
+    }
+}
+
+/// The session-oriented WebQA engine: a [`Config`] plus an owned
+/// [`PageStore`]. See the module docs for the staged workflow.
+///
+/// ```
+/// use webqa::{Config, Engine, Task};
+///
+/// let mut engine = Engine::new(Config::default());
+/// let labeled = engine
+///     .store_mut()
+///     .insert_html("<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>")?;
+/// let target = engine
+///     .store_mut()
+///     .insert_html("<h1>B</h1><h2>Advisees</h2><ul><li>Wei Chen</li></ul>")?;
+///
+/// let task = Task::new("Who are the PhD students?", ["Students"])
+///     .with_label(labeled, vec!["Jane Doe".into()])
+///     .with_target(target);
+///
+/// // Staged: prepare → synthesize → select → answers.
+/// let selected = engine.prepare(&task)?.synthesize().select();
+/// assert!(selected.program().is_some());
+/// assert_eq!(selected.answers(), vec![vec!["Wei Chen".to_string()]]);
+/// # Ok::<(), webqa::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    config: Config,
+    store: PageStore,
+}
+
+impl Engine {
+    /// An engine with an empty page store.
+    pub fn new(config: Config) -> Self {
+        Engine {
+            config,
+            store: PageStore::new(),
+        }
+    }
+
+    /// An engine over an existing (possibly shared-by-clone) store —
+    /// interning is content-addressed, so a store built once can be
+    /// cloned cheaply into engines with different configs and the ids
+    /// stay valid.
+    pub fn with_store(config: Config, store: PageStore) -> Self {
+        Engine { config, store }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The page store (read access).
+    pub fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// The page store (for interning pages).
+    pub fn store_mut(&mut self) -> &mut PageStore {
+        &mut self.store
+    }
+
+    /// Stage 1: resolves a task's page handles against the store and
+    /// precomputes the synthesis examples and query context.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownPage`] when the task references a handle this
+    /// store never issued.
+    pub fn prepare(&self, task: &Task) -> Result<Prepared<'_>, Error> {
+        let ctx =
+            crate::pipeline::context_for(self.config.modality, &task.question, &task.keywords);
+        let examples = task
+            .labeled
+            .iter()
+            .map(|(id, gold)| Ok(Example::new(Arc::clone(self.store.get(*id)?), gold.clone())))
+            .collect::<Result<Vec<_>, Error>>()?;
+        let unlabeled = task
+            .unlabeled
+            .iter()
+            .map(|id| Ok(Arc::clone(self.store.get(*id)?)))
+            .collect::<Result<Vec<_>, Error>>()?;
+        Ok(Prepared {
+            engine: self,
+            ctx,
+            examples,
+            unlabeled,
+        })
+    }
+
+    /// Runs the full staged pipeline on one task.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownPage`] — see [`Engine::prepare`].
+    pub fn run(&self, task: &Task) -> Result<RunResult, Error> {
+        Ok(self.prepare(task)?.synthesize().select().finish())
+    }
+}
+
+/// Stage 1 output: resolved pages, precomputed examples, query context.
+///
+/// This is where the interactive-labeling loop lives: call
+/// [`suggest_labels`](Prepared::suggest_labels), move the chosen pages
+/// into the labeled set with [`label`](Prepared::label), then
+/// [`synthesize`](Prepared::synthesize); [`Synthesized::refine`] returns
+/// here for the next round.
+#[derive(Debug)]
+pub struct Prepared<'e> {
+    engine: &'e Engine,
+    ctx: QueryContext,
+    examples: Vec<Example>,
+    unlabeled: Vec<Arc<PageTree>>,
+}
+
+impl<'e> Prepared<'e> {
+    /// The query context (modality already applied).
+    pub fn context(&self) -> &QueryContext {
+        &self.ctx
+    }
+
+    /// The synthesis examples (labeled pages, pre-tokenized).
+    pub fn examples(&self) -> &[Example] {
+        &self.examples
+    }
+
+    /// The unlabeled target pages (shared handles).
+    pub fn unlabeled(&self) -> &[Arc<PageTree>] {
+        &self.unlabeled
+    }
+
+    /// Section 7: suggests up to `k` (≤ 5) diverse *unlabeled* pages to
+    /// label next, returning indices into [`unlabeled`](Prepared::unlabeled).
+    pub fn suggest_labels(&self, k: usize) -> Vec<usize> {
+        crate::labeling::suggest_labels(&self.ctx, &self.unlabeled, k)
+    }
+
+    /// Moves unlabeled page `index` into the labeled set with the given
+    /// gold strings (the "user answers a label request" step of the
+    /// interactive loop). Later unlabeled indices shift down by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range — indices come from
+    /// [`suggest_labels`](Prepared::suggest_labels) against the current
+    /// unlabeled set.
+    pub fn label(&mut self, index: usize, gold: Vec<String>) {
+        let page = self.unlabeled.remove(index);
+        self.examples.push(Example::new(page, gold));
+    }
+
+    /// Adds a labeled page by store handle without touching the
+    /// unlabeled set.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownPage`] when the handle is foreign to the engine's
+    /// store.
+    pub fn add_label(&mut self, page: PageId, gold: Vec<String>) -> Result<(), Error> {
+        let tree = Arc::clone(self.engine.store.get(page)?);
+        self.examples.push(Example::new(tree, gold));
+        Ok(())
+    }
+
+    /// Stage 2: synthesizes **all** optimal programs on the current
+    /// labeled set (Section 5).
+    pub fn synthesize(self) -> Synthesized<'e> {
+        let outcome = synthesize(&self.engine.config.synth, &self.ctx, &self.examples);
+        Synthesized {
+            prepared: self,
+            outcome,
+        }
+    }
+}
+
+/// Stage 2 output: the full synthesis outcome over the prepared task.
+#[derive(Debug)]
+pub struct Synthesized<'e> {
+    prepared: Prepared<'e>,
+    outcome: SynthesisOutcome,
+}
+
+impl<'e> Synthesized<'e> {
+    /// All optimal programs plus search statistics.
+    pub fn outcome(&self) -> &SynthesisOutcome {
+        &self.outcome
+    }
+
+    /// The optimal training F₁.
+    pub fn train_f1(&self) -> f64 {
+        self.outcome.f1
+    }
+
+    /// The query context of the prepared task (modality already applied).
+    pub fn context(&self) -> &QueryContext {
+        self.prepared.context()
+    }
+
+    /// The unlabeled target pages of the prepared task (shared handles).
+    pub fn unlabeled(&self) -> &[Arc<PageTree>] {
+        self.prepared.unlabeled()
+    }
+
+    /// Back to stage 1 with the synthesis result discarded — the
+    /// re-labeling step of the interactive loop (label more pages, then
+    /// synthesize again).
+    pub fn refine(self) -> Prepared<'e> {
+        self.prepared
+    }
+
+    /// Stage 3: selects one program per the engine's
+    /// [`Selection`] strategy — transductively against the unlabeled
+    /// pages (Section 6) by default — keeping the ensemble for
+    /// diagnostics.
+    pub fn select(self) -> Selected<'e> {
+        let cfg = &self.prepared.engine.config;
+        let (program, ensemble) = match cfg.strategy {
+            Selection::Transductive => {
+                let ensemble = Ensemble::sample(
+                    &self.prepared.ctx,
+                    &self.outcome.programs,
+                    &self.prepared.unlabeled,
+                    cfg.selection.ensemble_size,
+                    cfg.selection.seed,
+                );
+                let program = ensemble.as_ref().and_then(|e| {
+                    select_from_ensemble(e, cfg.selection.loss)
+                        .map(|i| self.outcome.programs[i].clone())
+                });
+                (program, ensemble)
+            }
+            Selection::Random => (
+                select_random(&self.outcome.programs, cfg.selection.seed),
+                None,
+            ),
+            Selection::Shortest => (
+                select_shortest(&self.outcome.programs, cfg.selection.seed),
+                None,
+            ),
+        };
+        Selected {
+            prepared: self.prepared,
+            outcome: self.outcome,
+            program,
+            ensemble,
+        }
+    }
+}
+
+/// Stage 3 output: the selected program plus ensemble diagnostics.
+#[derive(Debug)]
+pub struct Selected<'e> {
+    prepared: Prepared<'e>,
+    outcome: SynthesisOutcome,
+    program: Option<Program>,
+    ensemble: Option<Ensemble>,
+}
+
+impl Selected<'_> {
+    /// The selected program (`None` when synthesis found nothing).
+    pub fn program(&self) -> Option<&Program> {
+        self.program.as_ref()
+    }
+
+    /// The synthesis outcome this selection drew from.
+    pub fn outcome(&self) -> &SynthesisOutcome {
+        &self.outcome
+    }
+
+    /// The transductive ensemble, for diagnostics
+    /// ([`Ensemble::agreement`], soft labels, majority vote). `None`
+    /// under the `Random`/`Shortest` strategies or when synthesis found
+    /// nothing.
+    pub fn ensemble(&self) -> Option<&Ensemble> {
+        self.ensemble.as_ref()
+    }
+
+    /// Stage 4: runs the selected program on every unlabeled page,
+    /// aligned with the task's `unlabeled` order. Empty answer lists
+    /// when no program was selected.
+    pub fn answers(&self) -> Vec<Vec<String>> {
+        match &self.program {
+            Some(p) => self
+                .prepared
+                .unlabeled
+                .iter()
+                .map(|page| p.eval(&self.prepared.ctx, page))
+                .collect(),
+            None => vec![Vec::new(); self.prepared.unlabeled.len()],
+        }
+    }
+
+    /// Collapses the staged run into the one-shot [`RunResult`].
+    pub fn finish(self) -> RunResult {
+        let answers = self.answers();
+        RunResult {
+            program: self.program,
+            synthesis: self.outcome,
+            answers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webqa_synth::SynthConfig;
+
+    fn engine_with_pages() -> (Engine, PageId, PageId, PageId) {
+        let mut engine = Engine::new(Config {
+            synth: SynthConfig::fast(),
+            ..Config::default()
+        });
+        let a = engine
+            .store_mut()
+            .insert_html("<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li><li>Bob Smith</li></ul>")
+            .unwrap();
+        let b = engine
+            .store_mut()
+            .insert_html("<h1>B</h1><h2>PhD Students</h2><ul><li>Mary Anderson</li></ul>")
+            .unwrap();
+        let c = engine
+            .store_mut()
+            .insert_html("<h1>C</h1><h2>Advisees</h2><ul><li>Wei Chen</li></ul>")
+            .unwrap();
+        (engine, a, b, c)
+    }
+
+    fn task(a: PageId, b: PageId, c: PageId) -> Task {
+        Task::new("Who are the current PhD students?", ["Students", "PhD"])
+            .with_label(a, vec!["Jane Doe".into(), "Bob Smith".into()])
+            .with_label(b, vec!["Mary Anderson".into()])
+            .with_target(c)
+    }
+
+    #[test]
+    fn staged_run_matches_one_shot_run() {
+        let (engine, a, b, c) = engine_with_pages();
+        let t = task(a, b, c);
+        let staged = engine.prepare(&t).unwrap().synthesize().select().finish();
+        let one_shot = engine.run(&t).unwrap();
+        assert_eq!(staged.program, one_shot.program);
+        assert_eq!(staged.answers, one_shot.answers);
+        assert!(staged.answers[0].iter().any(|s| s.contains("Wei Chen")));
+    }
+
+    #[test]
+    fn prepared_examples_share_the_store_arcs() {
+        let (engine, a, b, c) = engine_with_pages();
+        let prepared = engine.prepare(&task(a, b, c)).unwrap();
+        // Zero deep clones: the example page *is* the interned page.
+        assert!(Arc::ptr_eq(
+            &prepared.examples()[0].page,
+            engine.store().get(a).unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            &prepared.unlabeled()[0],
+            engine.store().get(c).unwrap()
+        ));
+    }
+
+    #[test]
+    fn foreign_page_id_is_a_typed_error() {
+        let (engine, a, _, _) = engine_with_pages();
+        let bad = Task::new("Who?", ["K"])
+            .with_label(a, vec!["Jane Doe".into()])
+            .with_target(PageId::forged(99));
+        assert_eq!(
+            engine.run(&bad).unwrap_err(),
+            Error::UnknownPage(PageId::forged(99))
+        );
+    }
+
+    #[test]
+    fn labeling_loop_moves_pages_between_sets() {
+        let (engine, a, b, c) = engine_with_pages();
+        // Start with one label; b and c are targets.
+        let t = Task::new("Who are the current PhD students?", ["Students", "PhD"])
+            .with_label(a, vec!["Jane Doe".into(), "Bob Smith".into()])
+            .with_target(b)
+            .with_target(c);
+        let first = engine.prepare(&t).unwrap().synthesize();
+        let f1_before = first.train_f1();
+
+        let mut prepared = first.refine();
+        let suggestions = prepared.suggest_labels(1);
+        assert_eq!(suggestions.len(), 1);
+        let idx = suggestions[0];
+        let gold = if idx == 0 {
+            vec!["Mary Anderson".to_string()]
+        } else {
+            vec!["Wei Chen".to_string()]
+        };
+        prepared.label(idx, gold);
+        assert_eq!(prepared.examples().len(), 2);
+        assert_eq!(prepared.unlabeled().len(), 1);
+
+        let second = prepared.synthesize();
+        assert!(
+            second.train_f1() + 1e-9 >= f1_before,
+            "train F1 regressed: {} -> {}",
+            f1_before,
+            second.train_f1()
+        );
+    }
+
+    #[test]
+    fn ensemble_diagnostics_only_for_transductive() {
+        let (engine, a, b, c) = engine_with_pages();
+        let t = task(a, b, c);
+        let selected = engine.prepare(&t).unwrap().synthesize().select();
+        assert!(selected.ensemble().is_some());
+        assert!(selected.ensemble().unwrap().agreement() > 0.0);
+
+        // Cloning the store into an engine with another config keeps the
+        // ids valid.
+        let random = Engine::with_store(
+            Config {
+                strategy: Selection::Random,
+                ..engine.config().clone()
+            },
+            engine.store().clone(),
+        );
+        let selected = random.prepare(&t).unwrap().synthesize().select();
+        assert!(selected.ensemble().is_none());
+        assert!(selected.program().is_some());
+    }
+
+    #[test]
+    fn empty_labels_yield_no_program_not_a_panic() {
+        let (engine, _, _, c) = engine_with_pages();
+        let t = Task::new("Who?", ["K"]).with_target(c);
+        let result = engine.run(&t).unwrap();
+        assert!(result.program.is_none());
+        assert_eq!(result.answers, vec![Vec::<String>::new()]);
+    }
+}

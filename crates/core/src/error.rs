@@ -1,0 +1,93 @@
+//! The typed error surface of the engine API.
+//!
+//! Everything fallible in `webqa` funnels into [`Error`]: page ingestion
+//! (`PageStore::insert_html` → [`Error::Html`]), task preparation
+//! (`Engine::prepare` → [`Error::UnknownPage`]), and scoring
+//! ([`crate::score_answers`] → [`Error::AnswerGoldMismatch`]). The
+//! pre-engine API panicked on all three.
+
+use std::fmt;
+
+use crate::store::PageId;
+use webqa_dsl::HtmlError;
+
+/// An error from the engine API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Page ingestion failed: the HTML was damaged in a way lenient
+    /// recovery would silently paper over (see [`HtmlError`]).
+    Html(HtmlError),
+    /// A task referenced a [`PageId`] that is not in the engine's page
+    /// store (it belongs to a different store, or was never inserted).
+    UnknownPage(PageId),
+    /// [`crate::score_answers`] was given per-page answers and gold
+    /// labels of different lengths — the two lists are not aligned.
+    AnswerGoldMismatch {
+        /// Number of answer lists.
+        answers: usize,
+        /// Number of gold lists.
+        gold: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Html(e) => write!(f, "page ingestion failed: {e}"),
+            Error::UnknownPage(id) => {
+                write!(f, "task references {id:?}, which is not in the page store")
+            }
+            Error::AnswerGoldMismatch { answers, gold } => write!(
+                f,
+                "answers ({answers} pages) and gold ({gold} pages) are not aligned"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Html(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HtmlError> for Error {
+    fn from(e: HtmlError) -> Self {
+        Error::Html(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        let e = Error::AnswerGoldMismatch {
+            answers: 3,
+            gold: 5,
+        };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("5"));
+        let e = Error::from(HtmlError::TooDeep {
+            depth: 300,
+            limit: 256,
+        });
+        assert!(e.to_string().contains("depth 300"));
+    }
+
+    #[test]
+    fn html_errors_keep_their_source() {
+        use std::error::Error as _;
+        let e = Error::from(HtmlError::MalformedEntity {
+            entity: "&x;".into(),
+            offset: 0,
+        });
+        assert!(e.source().is_some());
+        assert!(Error::UnknownPage(PageId::forged(7)).source().is_none());
+    }
+}

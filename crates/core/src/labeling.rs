@@ -78,12 +78,19 @@ fn distance(a: &[f64], b: &[f64]) -> f64 {
 /// returning their indices: greedy k-center over the feature space,
 /// seeded with the page closest to the centroid (a "typical" page first,
 /// then maximally different ones).
-pub fn suggest_labels(ctx: &QueryContext, pages: &[PageTree], k: usize) -> Vec<usize> {
+///
+/// `pages` is any slice viewable as `&PageTree` — plain trees or the
+/// shared `Arc<PageTree>` handles a [`crate::PageStore`] hands out.
+pub fn suggest_labels<P: std::borrow::Borrow<PageTree>>(
+    ctx: &QueryContext,
+    pages: &[P],
+    k: usize,
+) -> Vec<usize> {
     let k = k.min(MAX_LABEL_REQUESTS).min(pages.len());
     if k == 0 {
         return Vec::new();
     }
-    let features: Vec<Vec<f64>> = pages.iter().map(|p| featurize(ctx, p)).collect();
+    let features: Vec<Vec<f64>> = pages.iter().map(|p| featurize(ctx, p.borrow())).collect();
     let dim = features[0].len();
     let mut centroid = vec![0.0; dim];
     for f in &features {
@@ -185,7 +192,7 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        assert!(suggest_labels(&ctx(), &[], 3).is_empty());
+        assert!(suggest_labels::<PageTree>(&ctx(), &[], 3).is_empty());
         assert!(suggest_labels(&ctx(), &pages(), 0).is_empty());
     }
 

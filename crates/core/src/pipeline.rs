@@ -1,11 +1,19 @@
-//! The end-to-end WebQA pipeline (Figure 1 of the paper):
+//! The one-shot WebQA pipeline facade (Figure 1 of the paper):
 //! query + labeled pages → optimal programs → transductive selection →
 //! answers for every unlabeled page.
+//!
+//! [`WebQa`] is a thin compatibility wrapper over the staged
+//! [`Engine`](crate::Engine): it builds a throwaway engine, interns the
+//! caller's pages, and runs the stages back to back. Callers that run
+//! more than one query over the same pages, need intermediate stages, or
+//! want typed errors should use the engine directly.
 
+use crate::engine::{Engine, Task};
+use crate::error::Error;
 use webqa_dsl::{PageTree, Program, QueryContext};
 use webqa_metrics::{Counts, Score};
-use webqa_select::{select_random, select_shortest, select_transductive, SelectionConfig};
-use webqa_synth::{synthesize, Example, SynthConfig, SynthesisOutcome};
+use webqa_select::SelectionConfig;
+use webqa_synth::{SynthConfig, SynthesisOutcome};
 
 /// Which query modalities the pipeline uses (the WebQA-NL / WebQA-KW
 /// ablations of Appendix C.1).
@@ -75,17 +83,16 @@ impl WebQa {
 
     /// Builds the query context for the configured modality.
     pub fn context<S: AsRef<str>>(&self, question: &str, keywords: &[S]) -> QueryContext {
-        let kws: Vec<String> = keywords.iter().map(|k| k.as_ref().to_string()).collect();
-        match self.config.modality {
-            Modality::Both => QueryContext::new(question, kws),
-            Modality::QuestionOnly => QueryContext::question_only(question),
-            Modality::KeywordsOnly => QueryContext::keywords_only(kws),
-        }
+        context_for(self.config.modality, question, keywords)
     }
 
     /// Runs the full pipeline: synthesize all optimal programs from the
     /// labeled pages, select one (transductively, against the unlabeled
     /// pages), and extract answers from every unlabeled page.
+    ///
+    /// Compatibility shim: interns the given pages into a throwaway
+    /// [`Engine`] (this is where the one deep copy per page happens) and
+    /// runs the staged pipeline. Engine callers skip that copy entirely.
     pub fn run<S: AsRef<str>>(
         &self,
         question: &str,
@@ -93,45 +100,57 @@ impl WebQa {
         labeled: &[(PageTree, Vec<String>)],
         unlabeled: &[PageTree],
     ) -> RunResult {
-        let ctx = self.context(question, keywords);
-        let examples: Vec<Example> = labeled
-            .iter()
-            .map(|(p, g)| Example::new(p.clone(), g.clone()))
-            .collect();
-        let synthesis = synthesize(&self.config.synth, &ctx, &examples);
-        let program = match self.config.strategy {
-            Selection::Transductive => {
-                select_transductive(&self.config.selection, &ctx, &synthesis.programs, unlabeled)
-            }
-            Selection::Random => select_random(&synthesis.programs, self.config.selection.seed),
-            Selection::Shortest => select_shortest(&synthesis.programs, self.config.selection.seed),
-        };
-        let answers = match &program {
-            Some(p) => unlabeled.iter().map(|page| p.eval(&ctx, page)).collect(),
-            None => vec![Vec::new(); unlabeled.len()],
-        };
-        RunResult {
-            program,
-            synthesis,
-            answers,
+        let mut engine = Engine::new(self.config.clone());
+        let mut task = Task::new(question, keywords.iter().map(|k| k.as_ref().to_string()));
+        for (page, gold) in labeled {
+            let id = engine.store_mut().insert_tree(page.clone());
+            task.labeled.push((id, gold.clone()));
         }
+        for page in unlabeled {
+            let id = engine.store_mut().insert_tree(page.clone());
+            task.unlabeled.push(id);
+        }
+        engine
+            .run(&task)
+            .expect("ids interned in this engine always resolve")
+    }
+}
+
+/// Builds a [`QueryContext`] for a modality (the WebQA-NL / WebQA-KW
+/// ablations drop one input channel).
+pub(crate) fn context_for<S: AsRef<str>>(
+    modality: Modality,
+    question: &str,
+    keywords: &[S],
+) -> QueryContext {
+    let kws: Vec<String> = keywords.iter().map(|k| k.as_ref().to_string()).collect();
+    match modality {
+        Modality::Both => QueryContext::new(question, kws),
+        Modality::QuestionOnly => QueryContext::question_only(question),
+        Modality::KeywordsOnly => QueryContext::keywords_only(kws),
     }
 }
 
 /// Scores per-page answers against per-page gold labels (micro-averaged
 /// token P/R/F₁ — the paper's evaluation metric).
-pub fn score_answers(answers: &[Vec<String>], gold: &[Vec<String>]) -> Score {
-    assert_eq!(
-        answers.len(),
-        gold.len(),
-        "answers and gold must be aligned"
-    );
+///
+/// # Errors
+///
+/// [`Error::AnswerGoldMismatch`] when the two lists have different
+/// lengths (they must be aligned page-for-page).
+pub fn score_answers(answers: &[Vec<String>], gold: &[Vec<String>]) -> Result<Score, Error> {
+    if answers.len() != gold.len() {
+        return Err(Error::AnswerGoldMismatch {
+            answers: answers.len(),
+            gold: gold.len(),
+        });
+    }
     let counts: Counts = answers
         .iter()
         .zip(gold)
         .map(|(a, g)| Counts::from_strings(a, g))
         .sum();
-    Score::from_counts(counts)
+    Ok(Score::from_counts(counts))
 }
 
 #[cfg(test)]
@@ -185,9 +204,22 @@ mod tests {
     fn score_answers_micro_averages() {
         let answers = vec![vec!["Jane Doe".to_string()], vec![]];
         let gold = vec![vec!["Jane Doe".to_string()], vec!["Bob Smith".to_string()]];
-        let s = score_answers(&answers, &gold);
+        let s = score_answers(&answers, &gold).unwrap();
         assert!((s.precision - 1.0).abs() < 1e-12);
         assert!((s.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_answers_rejects_misaligned_lists() {
+        let answers = vec![vec!["Jane Doe".to_string()]];
+        let gold: Vec<Vec<String>> = vec![vec![], vec![]];
+        assert_eq!(
+            score_answers(&answers, &gold).unwrap_err(),
+            Error::AnswerGoldMismatch {
+                answers: 1,
+                gold: 2
+            }
+        );
     }
 
     #[test]

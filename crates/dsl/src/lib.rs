@@ -50,5 +50,5 @@ pub use normalize::normalize;
 pub use parse::ParseProgramError;
 
 // Re-export the neighbouring vocabulary users need to build programs.
-pub use webqa_html::{NodeKind, PageNodeId, PageTree};
+pub use webqa_html::{HtmlError, NodeKind, PageNodeId, PageTree};
 pub use webqa_nlp::{EntityKind, EntityRecognizer, QaModel};

@@ -38,6 +38,42 @@ pub fn decode_entities(input: &str) -> String {
     out
 }
 
+/// Finds the first character reference that *looks like* an entity
+/// (`&` + `#`/alphanumerics + `;`, within the 32-byte window entities fit
+/// in) but does not decode. Returns the verbatim reference and the byte
+/// offset of its `&`. This is the diagnostic behind
+/// [`crate::HtmlError::MalformedEntity`]; [`decode_entities`] itself stays
+/// lenient and leaves such references in place.
+pub(crate) fn first_malformed_entity(input: &str) -> Option<(String, usize)> {
+    let bytes = input.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'&' {
+            continue;
+        }
+        let rest = &input[i..];
+        let window_end = rest.len().min(34); // '&' + 32-byte name + ';'
+                                             // Byte-level scan: a window boundary may split a multi-byte char.
+        let Some(semi) = rest.as_bytes()[1..window_end]
+            .iter()
+            .position(|&c| c == b';')
+            .map(|p| p + 1)
+        else {
+            continue; // no terminator nearby: a bare ampersand, not an entity
+        };
+        let name = &rest[1..semi];
+        // Numeric references of any length count as attempts; alphabetic
+        // names only from two characters up (no real entity is shorter,
+        // and "AT&T;"-style prose should stay lenient).
+        let looks_like_entity = (name.starts_with('#') || name.len() >= 2)
+            && !name.is_empty()
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '#');
+        if looks_like_entity && decode_one(&rest[..=semi]).is_none() {
+            return Some((rest[..=semi].to_string(), i));
+        }
+    }
+    None
+}
+
 fn utf8_len(first_byte: u8) -> usize {
     match first_byte {
         b if b < 0x80 => 1,
@@ -137,6 +173,28 @@ mod tests {
     fn unterminated_ampersand() {
         assert_eq!(decode_entities("AT&T"), "AT&T");
         assert_eq!(decode_entities("fish & chips"), "fish & chips");
+    }
+
+    #[test]
+    fn malformed_entity_diagnostics() {
+        assert_eq!(
+            first_malformed_entity("ok &amp; then &bogus; end"),
+            Some(("&bogus;".to_string(), 14))
+        );
+        assert_eq!(
+            first_malformed_entity("&#xZZ;"),
+            Some(("&#xZZ;".to_string(), 0))
+        );
+        // Surrogate code point: numeric but undecodable.
+        assert!(first_malformed_entity("&#xD800;").is_some());
+        // Not entity attempts: bare ampersands, operators, far semicolons.
+        assert_eq!(first_malformed_entity("AT&T; fish & chips"), None);
+        assert_eq!(first_malformed_entity("a && b; c"), None);
+        assert_eq!(
+            first_malformed_entity("caf\u{e9} & \u{201c}quote;\u{201d}"),
+            None
+        );
+        assert_eq!(first_malformed_entity(""), None);
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Diagnostics for the fallible parsing entry points.
+//!
+//! The lenient paths ([`crate::parse_html`], [`crate::PageTree::parse`])
+//! never fail — they recover the way browsers do. The engine-facing paths
+//! ([`crate::try_parse_html`], [`crate::PageTree::try_parse`]) instead
+//! surface the two classes of damage that lenient recovery would silently
+//! paper over on ingested real-world pages: runaway unclosed-tag nesting
+//! (usually truncated or machine-mangled HTML) and character references
+//! that look like entities but decode to nothing (usually a bad encoding
+//! pass upstream).
+
+use std::fmt;
+
+/// Maximum open-element nesting depth accepted by the fallible parsers.
+///
+/// Hand-written semi-structured pages sit well under 100 levels; depth
+/// beyond this almost always means unclosed tags accumulating without
+/// bound (e.g. a template loop emitting `<div>` with no `</div>`).
+pub const MAX_OPEN_DEPTH: usize = 256;
+
+/// A diagnostic from [`crate::try_parse_html`] / [`crate::PageTree::try_parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HtmlError {
+    /// The open-element stack exceeded [`MAX_OPEN_DEPTH`] — unclosed tags
+    /// are nesting without bound.
+    TooDeep {
+        /// The depth at which parsing was abandoned.
+        depth: usize,
+        /// The configured limit ([`MAX_OPEN_DEPTH`]).
+        limit: usize,
+    },
+    /// A character reference that looks like an entity (`&name;`,
+    /// `&#digits;`, `&#xhex;`) but does not decode.
+    ///
+    /// Deliberately stricter than HTML5, which treats an unknown named
+    /// reference as literal text: on the ingestion path, an undecodable
+    /// entity-shaped string usually means a bad encoding pass upstream,
+    /// and silently keeping it verbatim would poison extraction. The
+    /// cost is that prose like `"Q&As;"` is rejected too — callers with
+    /// such pages should use the lenient path
+    /// ([`crate::PageTree::parse`], CLI `run --lenient`).
+    MalformedEntity {
+        /// The offending reference, including `&` and `;`.
+        entity: String,
+        /// Byte offset of the `&` in the input.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for HtmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HtmlError::TooDeep { depth, limit } => write!(
+                f,
+                "unclosed-tag nesting reached depth {depth} (limit {limit})"
+            ),
+            HtmlError::MalformedEntity { entity, offset } => {
+                write!(
+                    f,
+                    "malformed character reference {entity:?} at byte {offset}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for HtmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_evidence() {
+        let e = HtmlError::TooDeep {
+            depth: 300,
+            limit: MAX_OPEN_DEPTH,
+        };
+        assert!(e.to_string().contains("300"));
+        assert!(e.to_string().contains("256"));
+        let e = HtmlError::MalformedEntity {
+            entity: "&bogus;".into(),
+            offset: 7,
+        };
+        assert!(e.to_string().contains("&bogus;"));
+        assert!(e.to_string().contains("7"));
+    }
+}

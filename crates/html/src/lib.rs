@@ -27,6 +27,7 @@
 
 mod dom;
 mod entities;
+mod error;
 mod pagetree;
 mod parse;
 pub mod query;
@@ -35,7 +36,8 @@ mod tokenizer;
 
 pub use dom::{Document, Node, NodeData, NodeId};
 pub use entities::decode_entities;
+pub use error::{HtmlError, MAX_OPEN_DEPTH};
 pub use pagetree::{NodeKind, PageNode, PageNodeId, PageTree, PageTreeBuilder};
-pub use parse::parse_html;
+pub use parse::{parse_html, try_parse_html};
 pub use serialize::serialize;
 pub use tokenizer::{tokenize_html, Attribute, HtmlToken};

@@ -18,7 +18,8 @@
 //!   "Students" in Figure 4).
 
 use crate::dom::{normalize_ws, Document, NodeData, NodeId};
-use crate::parse::parse_html;
+use crate::error::HtmlError;
+use crate::parse::{parse_html, try_parse_html};
 
 /// The type tag of a page-tree node (Definition 3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -54,7 +55,7 @@ impl PageNodeId {
 }
 
 /// One node of the page tree: `(id, text, type)` plus tree links.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PageNode {
     /// Whitespace-normalized text content of this node (*not* including
     /// descendant text — unlike the DOM, the page tree keeps header text
@@ -69,7 +70,7 @@ pub struct PageNode {
 }
 
 /// The webpage tree of Definition 3.1.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PageTree {
     nodes: Vec<PageNode>,
 }
@@ -90,6 +91,35 @@ impl PageTree {
     /// ```
     pub fn parse(html: &str) -> Self {
         Self::from_document(&parse_html(html))
+    }
+
+    /// Parses HTML into a page tree, surfacing the diagnostics the lenient
+    /// [`PageTree::parse`] recovers from silently (runaway unclosed-tag
+    /// nesting, undecodable character references).
+    ///
+    /// The engine routes page ingestion through this path; [`parse`]
+    /// remains the infallible wrapper for trusted or already-vetted
+    /// sources.
+    ///
+    /// # Errors
+    ///
+    /// See [`HtmlError`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use webqa_html::{HtmlError, PageTree};
+    /// let page = PageTree::try_parse("<h1>Jane Doe</h1>").unwrap();
+    /// assert_eq!(page.text(page.root()), "Jane Doe");
+    /// assert!(matches!(
+    ///     PageTree::try_parse("<p>50&bogus;mg</p>"),
+    ///     Err(HtmlError::MalformedEntity { .. })
+    /// ));
+    /// ```
+    ///
+    /// [`parse`]: PageTree::parse
+    pub fn try_parse(html: &str) -> Result<Self, HtmlError> {
+        Ok(Self::from_document(&try_parse_html(html)?))
     }
 
     /// Converts a parsed [`Document`] into a page tree.

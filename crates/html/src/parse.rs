@@ -11,7 +11,8 @@
 //!   removes scripts and images before building its tree).
 
 use crate::dom::{Document, NodeData, NodeId};
-use crate::tokenizer::{tokenize_html, HtmlToken};
+use crate::error::{HtmlError, MAX_OPEN_DEPTH};
+use crate::tokenizer::{tokenize_html, tokenize_html_checked, HtmlToken};
 
 /// Parses an HTML string into a [`Document`].
 ///
@@ -26,11 +27,54 @@ use crate::tokenizer::{tokenize_html, HtmlToken};
 /// assert_eq!(doc.text_content(doc.root()), "Title Body");
 /// ```
 pub fn parse_html(input: &str) -> Document {
+    build_document(tokenize_html(input), None).expect("lenient build has no depth limit")
+}
+
+/// Parses an HTML string into a [`Document`], reporting the damage the
+/// lenient path would silently recover from.
+///
+/// The produced tree is identical to [`parse_html`]'s on inputs that pass
+/// the checks; inputs that fail would have parsed into something
+/// structurally untrustworthy (see [`HtmlError`]).
+///
+/// # Errors
+///
+/// * [`HtmlError::MalformedEntity`] — an `&…;` reference that does not
+///   decode, in content that survives into the tree (text runs and
+///   attribute values; references inside comments and `<script>`/`<style>`
+///   raw text are never decoded, so they are not diagnosed);
+/// * [`HtmlError::TooDeep`] — open-element nesting beyond
+///   [`MAX_OPEN_DEPTH`], i.e. unclosed tags accumulating without bound.
+///
+/// # Examples
+///
+/// ```
+/// use webqa_html::{try_parse_html, HtmlError};
+/// assert!(try_parse_html("<h1>Title</h1>").is_ok());
+/// assert!(matches!(
+///     try_parse_html("<p>Smith &bogus; Jones</p>"),
+///     Err(HtmlError::MalformedEntity { .. })
+/// ));
+/// // Script content is dropped by the builder, so damage there is fine.
+/// assert!(try_parse_html("<script>u = 'a=1&id2;';</script><p>ok</p>").is_ok());
+/// ```
+pub fn try_parse_html(input: &str) -> Result<Document, HtmlError> {
+    let (tokens, malformed) = tokenize_html_checked(input);
+    if let Some((entity, offset)) = malformed {
+        return Err(HtmlError::MalformedEntity { entity, offset });
+    }
+    build_document(tokens, Some(MAX_OPEN_DEPTH))
+}
+
+/// Tokens → [`Document`]: the shared lenient tree builder. With a `limit`,
+/// rejects open-element nesting deeper than `limit` ([`HtmlError::TooDeep`]);
+/// with `None` it cannot fail.
+fn build_document(tokens: Vec<HtmlToken>, limit: Option<usize>) -> Result<Document, HtmlError> {
     let mut doc = Document::new();
     let mut stack: Vec<(String, NodeId)> = vec![(String::from("#document"), doc.root())];
     let mut in_dropped_raw_text = false;
 
-    for token in tokenize_html(input) {
+    for token in tokens {
         match token {
             HtmlToken::Doctype(_) | HtmlToken::Comment(_) => {}
             HtmlToken::Text(text) => {
@@ -81,6 +125,15 @@ pub fn parse_html(input: &str) -> Document {
                 );
                 if !self_closing && !is_void(&name) {
                     stack.push((name, id));
+                    // Depth excludes the "#document" sentinel.
+                    if let Some(limit) = limit {
+                        if stack.len() - 1 > limit {
+                            return Err(HtmlError::TooDeep {
+                                depth: stack.len() - 1,
+                                limit,
+                            });
+                        }
+                    }
                 }
             }
             HtmlToken::EndTag { name } => {
@@ -98,7 +151,7 @@ pub fn parse_html(input: &str) -> Document {
             }
         }
     }
-    doc
+    Ok(doc)
 }
 
 /// Elements that cannot have content.
@@ -254,5 +307,87 @@ mod tests {
         s.push('x');
         let doc = parse_html(&s);
         assert_eq!(doc.text_content(doc.root()), "x");
+    }
+
+    #[test]
+    fn try_parse_accepts_ordinary_sloppiness() {
+        // Unclosed tags, stray end tags, entities that decode: all fine.
+        for html in [
+            "<div><p>dangling",
+            "</div><p>x</p>",
+            "<p>Smith &amp; Jones &#39;21</p>",
+            "<ul><li>a<li>b</ul>",
+            "",
+        ] {
+            let fallible = try_parse_html(html).expect(html);
+            let lenient = parse_html(html);
+            assert_eq!(
+                fallible.text_content(fallible.root()),
+                lenient.text_content(lenient.root()),
+                "fallible and lenient trees diverge on {html:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_parse_rejects_runaway_nesting() {
+        let mut s = String::new();
+        for _ in 0..(MAX_OPEN_DEPTH + 10) {
+            s.push_str("<div>");
+        }
+        s.push('x');
+        match try_parse_html(&s) {
+            Err(HtmlError::TooDeep { depth, limit }) => {
+                assert_eq!(limit, MAX_OPEN_DEPTH);
+                assert!(depth > limit);
+            }
+            other => panic!("expected TooDeep, got {other:?}"),
+        }
+        // Properly closed nesting of the same *total* tag count is fine.
+        let balanced = "<div><p>x</p></div>".repeat(MAX_OPEN_DEPTH);
+        assert!(try_parse_html(&balanced).is_ok());
+    }
+
+    #[test]
+    fn try_parse_rejects_malformed_entities() {
+        match try_parse_html("<p>dose: 50&bogus;mg</p>") {
+            Err(HtmlError::MalformedEntity { entity, offset }) => {
+                assert_eq!(entity, "&bogus;");
+                assert_eq!(offset, 11);
+            }
+            other => panic!("expected MalformedEntity, got {other:?}"),
+        }
+        // Out-of-range numeric reference.
+        assert!(matches!(
+            try_parse_html("<p>&#x110000;</p>"),
+            Err(HtmlError::MalformedEntity { .. })
+        ));
+        // A bare ampersand is not an entity attempt.
+        assert!(try_parse_html("<p>a & b</p>").is_ok());
+        // `&&` and bracketed code are not entity attempts either.
+        assert!(try_parse_html("<p>a && b; c</p>").is_ok());
+    }
+
+    #[test]
+    fn try_parse_rejects_malformed_entities_in_attributes() {
+        // Attribute values survive into the tree, so they are checked.
+        assert!(matches!(
+            try_parse_html(r#"<a title="A &bogus; B">x</a>"#),
+            Err(HtmlError::MalformedEntity { entity, .. }) if entity == "&bogus;"
+        ));
+    }
+
+    #[test]
+    fn try_parse_ignores_damage_in_dropped_content() {
+        // Script/style raw text and comments never reach the tree; an
+        // entity-shaped string there must not fail ingestion.
+        for html in [
+            "<script>var u = 'page?a=1&id2;';</script><p>ok</p>",
+            "<style>p::after { content: '&x;' }</style><p>ok</p>",
+            "<!-- &bogus; --><p>ok</p>",
+        ] {
+            let doc = try_parse_html(html).expect(html);
+            assert_eq!(doc.text_content(doc.root()), "ok");
+        }
     }
 }

@@ -8,7 +8,7 @@
 //! panics — the tokenizer recovers the way browsers do (e.g. a stray `<`
 //! becomes text).
 
-use crate::entities::decode_entities;
+use crate::entities::{decode_entities, first_malformed_entity};
 
 /// One attribute on a start tag, already entity-decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,7 +55,17 @@ pub enum HtmlToken {
 /// assert!(matches!(&toks[1], HtmlToken::Text(t) if t == "hi"));
 /// ```
 pub fn tokenize_html(input: &str) -> Vec<HtmlToken> {
-    Tokenizer::new(input).run()
+    Tokenizer::new(input, false).run().0
+}
+
+/// Tokenizes like [`tokenize_html`], additionally reporting the first
+/// malformed `&…;` reference found in content that is actually
+/// entity-decoded — text runs and attribute values. References inside
+/// comments, doctype, and `<script>`/`<style>` raw text are never decoded
+/// and therefore never reported. Returns the verbatim reference and the
+/// byte offset of its `&` in `input`.
+pub(crate) fn tokenize_html_checked(input: &str) -> (Vec<HtmlToken>, Option<(String, usize)>) {
+    Tokenizer::new(input, true).run()
 }
 
 struct Tokenizer<'a> {
@@ -63,19 +73,36 @@ struct Tokenizer<'a> {
     bytes: &'a [u8],
     pos: usize,
     tokens: Vec<HtmlToken>,
+    /// Whether decoded content is scanned for malformed entities.
+    check_entities: bool,
+    /// First malformed reference seen in decoded content, with its
+    /// absolute byte offset.
+    malformed: Option<(String, usize)>,
 }
 
 impl<'a> Tokenizer<'a> {
-    fn new(input: &'a str) -> Self {
+    fn new(input: &'a str, check_entities: bool) -> Self {
         Tokenizer {
             input,
             bytes: input.as_bytes(),
             pos: 0,
             tokens: Vec::new(),
+            check_entities,
+            malformed: None,
         }
     }
 
-    fn run(mut self) -> Vec<HtmlToken> {
+    /// Records the first malformed entity of a raw slice about to be
+    /// decoded; `start` is the slice's byte offset in the input.
+    fn note_malformed(&mut self, raw: &str, start: usize) {
+        if self.check_entities && self.malformed.is_none() {
+            if let Some((entity, off)) = first_malformed_entity(raw) {
+                self.malformed = Some((entity, start + off));
+            }
+        }
+    }
+
+    fn run(mut self) -> (Vec<HtmlToken>, Option<(String, usize)>) {
         while self.pos < self.bytes.len() {
             if self.bytes[self.pos] == b'<' {
                 if self.starts_with("<!--") {
@@ -94,7 +121,7 @@ impl<'a> Tokenizer<'a> {
                 self.consume_text();
             }
         }
-        self.tokens
+        (self.tokens, self.malformed)
     }
 
     fn starts_with(&self, s: &str) -> bool {
@@ -119,6 +146,7 @@ impl<'a> Tokenizer<'a> {
         }
         let raw = &self.input[start..self.pos];
         if !raw.is_empty() {
+            self.note_malformed(raw, start);
             self.tokens.push(HtmlToken::Text(decode_entities(raw)));
         }
     }
@@ -306,7 +334,7 @@ impl<'a> Tokenizer<'a> {
                 j,
             );
         }
-        let (value, next) = match self.bytes[j] {
+        let (value, vstart, next) = match self.bytes[j] {
             q @ (b'"' | b'\'') => {
                 let vstart = j + 1;
                 let mut k = vstart;
@@ -315,6 +343,7 @@ impl<'a> Tokenizer<'a> {
                 }
                 (
                     self.input[vstart..k].to_string(),
+                    vstart,
                     (k + 1).min(self.bytes.len()),
                 )
             }
@@ -327,9 +356,10 @@ impl<'a> Tokenizer<'a> {
                 {
                     k += 1;
                 }
-                (self.input[vstart..k].to_string(), k)
+                (self.input[vstart..k].to_string(), vstart, k)
             }
         };
+        self.note_malformed(&value, vstart);
         (
             Some(Attribute {
                 name,

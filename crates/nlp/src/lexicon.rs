@@ -4,7 +4,8 @@
 //! weights; our simulated tagger carries these lists instead. The corpus
 //! generator draws from the same pools, mirroring how a real model's
 //! vocabulary overlaps the evaluation distribution — while the *rules*
-//! in [`crate::ner`] remain deliberately imperfect (Key Idea #2 of the
+//! in [`EntityRecognizer`](crate::EntityRecognizer) remain deliberately
+//! imperfect (Key Idea #2 of the
 //! paper relies on imperfect neural primitives).
 
 /// Common given names recognized (and generated) as person names.

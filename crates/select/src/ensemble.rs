@@ -42,11 +42,14 @@ impl Ensemble {
     /// distinct member once on `unlabeled` (Eq. 8), and groups members
     /// with identical outputs.
     ///
+    /// `unlabeled` is any slice viewable as `&PageTree` (plain trees or
+    /// shared `Arc<PageTree>` handles).
+    ///
     /// Returns `None` when `programs` is empty.
-    pub fn sample(
+    pub fn sample<P: std::borrow::Borrow<PageTree>>(
         ctx: &QueryContext,
         programs: &[Program],
-        unlabeled: &[PageTree],
+        unlabeled: &[P],
         size: usize,
         seed: u64,
     ) -> Option<Ensemble> {
@@ -66,7 +69,7 @@ impl Ensemble {
             let outputs: Vec<Vec<Token>> = unlabeled
                 .iter()
                 .map(|page| {
-                    let mut t = tokenize_all(&programs[i].eval(ctx, page));
+                    let mut t = tokenize_all(&programs[i].eval(ctx, page.borrow()));
                     t.sort();
                     t.dedup();
                     t

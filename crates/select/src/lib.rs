@@ -68,12 +68,16 @@ impl Default for SelectionConfig {
 /// Figure 11: selects the ensemble member minimizing the expected loss
 /// against the ensemble's own soft labels.
 ///
+/// Accepts any page slice that can be viewed as `&PageTree` — plain
+/// trees or the `Arc<PageTree>` handles the engine's page store hands
+/// out, so selection never forces a deep copy.
+///
 /// Returns `None` when `programs` is empty.
-pub fn select_transductive(
+pub fn select_transductive<P: std::borrow::Borrow<PageTree>>(
     cfg: &SelectionConfig,
     ctx: &QueryContext,
     programs: &[Program],
-    unlabeled: &[PageTree],
+    unlabeled: &[P],
 ) -> Option<Program> {
     let ensemble = Ensemble::sample(ctx, programs, unlabeled, cfg.ensemble_size, cfg.seed)?;
     let winner = select_from_ensemble(&ensemble, cfg.loss)?;

@@ -6,15 +6,21 @@
 //! guard enumeration queries it thousands of times per task.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use webqa_dsl::{Extractor, Locator, PageNodeId, PageTree, Program, QueryContext};
 use webqa_metrics::{tokenize, tokenize_all, Counts, Token};
 
 /// One labeled webpage: the parsed page plus the gold extraction strings.
+///
+/// The page is held behind an [`Arc`] so that examples built from a shared
+/// page store (`webqa::PageStore`) alias the interned trees instead of
+/// deep-cloning them — cloning an `Example` (which the partition search
+/// does per memoized block) only bumps the refcount.
 #[derive(Debug, Clone)]
 pub struct Example {
-    /// The page tree.
-    pub page: PageTree,
+    /// The page tree (shared, never deep-cloned by the synthesizer).
+    pub page: Arc<PageTree>,
     /// Gold extraction strings.
     pub gold: Vec<String>,
     gold_tokens: Vec<Token>,
@@ -25,8 +31,10 @@ pub struct Example {
 
 impl Example {
     /// Creates an example, pre-tokenizing the gold labels and every node's
-    /// subtree text.
-    pub fn new(page: PageTree, gold: Vec<String>) -> Self {
+    /// subtree text. Accepts an owned [`PageTree`] (wrapped on the spot)
+    /// or an already-shared `Arc<PageTree>` handle.
+    pub fn new(page: impl Into<Arc<PageTree>>, gold: Vec<String>) -> Self {
+        let page = page.into();
         let gold_tokens = tokenize_all(&gold);
         let mut gold_counts: HashMap<Token, usize> = HashMap::new();
         for t in &gold_tokens {

@@ -5,7 +5,7 @@
 //! cargo run --example baseline_shootout [task_id]
 //! ```
 
-use webqa::{score_answers, Config, WebQa};
+use webqa::{score_answers, Config, Engine, Score, Task};
 use webqa_baselines::{BertQa, EntExtract, Hyb};
 use webqa_corpus::{task_by_id, Corpus};
 
@@ -23,17 +23,20 @@ fn main() {
     println!("task: {} — {}\n", task.id, task.question);
     let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
 
-    // WebQA.
-    let system = WebQa::new(Config::default());
-    let labeled: Vec<_> = data
-        .train
-        .iter()
-        .map(|p| (p.page.clone(), p.gold.clone()))
-        .collect();
-    let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
-    let webqa = system.run(task.question, task.keywords, &labeled, &unlabeled);
+    // WebQA, through the engine: pages interned once, no tree clones.
+    let mut engine = Engine::new(Config::default());
+    let mut spec = Task::new(task.question, task.keywords.iter().copied());
+    for p in &data.train {
+        let id = engine.store_mut().insert_tree(p.page.clone());
+        spec.labeled.push((id, p.gold.clone()));
+    }
+    for p in &data.test {
+        spec.unlabeled
+            .push(engine.store_mut().insert_tree(p.page.clone()));
+    }
+    let webqa = engine.run(&spec).expect("ids from this store");
 
-    // Baselines.
+    // Baselines (they re-parse raw HTML themselves).
     let bert = BertQa::new();
     let bert_out: Vec<Vec<String>> = data
         .test
@@ -69,9 +72,12 @@ fn main() {
     println!("HYB       : {:?}", hyb_out[0]);
     println!("EntExtract: {:?}", ent_out[0]);
 
+    let score = |answers: &[Vec<String>]| -> Score {
+        score_answers(answers, &gold).expect("aligned test split")
+    };
     println!("\n--- scores over {} test pages ---", data.test.len());
-    println!("WebQA     : {}", score_answers(&webqa.answers, &gold));
-    println!("BERTQA    : {}", score_answers(&bert_out, &gold));
-    println!("HYB       : {}", score_answers(&hyb_out, &gold));
-    println!("EntExtract: {}", score_answers(&ent_out, &gold));
+    println!("WebQA     : {}", score(&webqa.answers));
+    println!("BERTQA    : {}", score(&bert_out));
+    println!("HYB       : {}", score(&hyb_out));
+    println!("EntExtract: {}", score(&ent_out));
 }

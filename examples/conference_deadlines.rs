@@ -7,7 +7,7 @@
 //! cargo run --example conference_deadlines
 //! ```
 
-use webqa::{score_answers, Config, WebQa};
+use webqa::{score_answers, Config, Engine, Task};
 use webqa_baselines::BertQa;
 use webqa_corpus::{task_by_id, Corpus};
 
@@ -17,15 +17,18 @@ fn main() {
     let data = corpus.dataset(task, 5);
     println!("question : {}\n", task.question);
 
-    // WebQA.
-    let system = WebQa::new(Config::default());
-    let labeled: Vec<_> = data
-        .train
-        .iter()
-        .map(|p| (p.page.clone(), p.gold.clone()))
-        .collect();
-    let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
-    let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
+    // WebQA through the engine.
+    let mut engine = Engine::new(Config::default());
+    let mut spec = Task::new(task.question, task.keywords.iter().copied());
+    for p in &data.train {
+        let id = engine.store_mut().insert_tree(p.page.clone());
+        spec.labeled.push((id, p.gold.clone()));
+    }
+    for p in &data.test {
+        spec.unlabeled
+            .push(engine.store_mut().insert_tree(p.page.clone()));
+    }
+    let result = engine.run(&spec).expect("ids from this store");
 
     // BERTQA on the same pages.
     let bert = BertQa::new();
@@ -47,8 +50,14 @@ fn main() {
     }
 
     let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
-    println!("\nWebQA : {}", score_answers(&result.answers, &gold));
-    println!("BERTQA: {}", score_answers(&bert_answers, &gold));
+    println!(
+        "\nWebQA : {}",
+        score_answers(&result.answers, &gold).expect("aligned")
+    );
+    println!(
+        "BERTQA: {}",
+        score_answers(&bert_answers, &gold).expect("aligned")
+    );
     if let Some(p) = &result.program {
         println!("\nselected program: {p}");
     }

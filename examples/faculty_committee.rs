@@ -1,12 +1,14 @@
 //! The paper's motivating scenario (Section 2): a PC chair wants to
 //! extract the program committees each researcher has served on, from
-//! structurally heterogeneous faculty homepages.
+//! structurally heterogeneous faculty homepages — driven through the
+//! staged engine, with the label suggestions coming from the prepared
+//! stage itself.
 //!
 //! ```text
 //! cargo run --example faculty_committee
 //! ```
 
-use webqa::{score_answers, suggest_labels, Config, WebQa};
+use webqa::{score_answers, Config, Engine, Task};
 use webqa_corpus::{task_by_id, Corpus};
 
 fn main() {
@@ -15,50 +17,57 @@ fn main() {
     println!("question : {}", task.question);
     println!("keywords : {:?}\n", task.keywords);
 
-    // The full target set of researcher pages.
-    let pages: Vec<_> = corpus.pages(task.domain).iter().map(|p| p.tree()).collect();
+    // The full target set of researcher pages, interned once.
+    let faculty = corpus.pages(task.domain);
+    let mut engine = Engine::new(Config::default());
+    let mut spec = Task::new(task.question, task.keywords.iter().copied());
+    for p in faculty {
+        spec.unlabeled
+            .push(engine.store_mut().insert_tree(p.tree()));
+    }
 
-    // Interactive labeling (Section 7): WebQA suggests which pages to
-    // label, covering the distinct schemas with at most five requests.
-    let system = WebQa::new(Config::default());
-    let ctx = system.context(task.question, task.keywords);
-    let to_label = suggest_labels(&ctx, &pages, 5);
+    // Interactive labeling (Section 7): the prepared stage suggests
+    // which pages to label, covering the distinct schemas with at most
+    // five requests; `label` moves each into the training set.
+    let mut prepared = engine.prepare(&spec).expect("ids from this store");
+    let to_label = prepared.suggest_labels(5);
     println!("suggested pages to label: {to_label:?}");
 
-    let labeled: Vec<_> = to_label
-        .iter()
-        .map(|&i| {
-            let p = &corpus.pages(task.domain)[i];
-            (p.tree(), p.gold(task.id).to_vec())
-        })
-        .collect();
-    let test_indices: Vec<usize> = (0..pages.len()).filter(|i| !to_label.contains(i)).collect();
-    let unlabeled: Vec<_> = test_indices.iter().map(|&i| pages[i].clone()).collect();
+    // `label` shifts later indices down, so consume in descending order
+    // while tracking which original pages remain unlabeled.
+    let mut test_indices: Vec<usize> = (0..faculty.len()).collect();
+    let mut picks = to_label;
+    picks.sort_unstable_by(|a, b| b.cmp(a));
+    for idx in picks {
+        let original = test_indices.remove(idx);
+        prepared.label(idx, faculty[original].gold(task.id).to_vec());
+    }
 
-    let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
+    let selected = prepared.synthesize().select();
     println!(
         "\nsynthesized {} optimal programs (train F1 {:.2}); selected:",
-        result.synthesis.total_optimal, result.synthesis.f1
+        selected.outcome().total_optimal,
+        selected.outcome().f1
     );
-    if let Some(p) = &result.program {
+    if let Some(p) = selected.program() {
         println!("{}", p.to_paper_syntax());
     }
 
     // Show the extraction for the first few unlabeled researchers.
+    let answers = selected.answers();
     for (k, &i) in test_indices.iter().take(3).enumerate() {
-        let page = &corpus.pages(task.domain)[i];
-        println!("\n--- {} ---", page.name);
-        for service in &result.answers[k] {
+        println!("\n--- {} ---", faculty[i].name);
+        for service in &answers[k] {
             println!("  {service}");
         }
     }
 
     let gold: Vec<_> = test_indices
         .iter()
-        .map(|&i| corpus.pages(task.domain)[i].gold(task.id).to_vec())
+        .map(|&i| faculty[i].gold(task.id).to_vec())
         .collect();
     println!(
         "\nheld-out score: {}",
-        score_answers(&result.answers, &gold)
+        score_answers(&answers, &gold).expect("aligned")
     );
 }

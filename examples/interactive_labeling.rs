@@ -1,18 +1,18 @@
 //! The paper's interactive-labeling loop (Section 7) on user-supplied
-//! pages: WebQA clusters the target pages and proposes which (at most
-//! five) to label, the "user" labels them, and synthesis runs on exactly
-//! those labels.
+//! pages, driven through the staged engine: WebQA clusters the target
+//! pages and proposes which (at most five) to label, the "user" labels
+//! them one at a time, and only the synthesis stage re-runs after each
+//! new label.
 //!
 //! ```text
 //! cargo run --example interactive_labeling
 //! ```
 
-use webqa::{score_answers, suggest_labels, Config, WebQa, MAX_LABEL_REQUESTS};
-use webqa_dsl::PageTree;
+use webqa::{score_answers, Config, Engine, Task, MAX_LABEL_REQUESTS};
 
 /// Hand-written faculty pages with three different layouts — the
 /// structural heterogeneity of Figure 2/3 of the paper in miniature.
-fn pages() -> Vec<(&'static str, PageTree, Vec<String>)> {
+fn pages() -> Vec<(&'static str, &'static str, Vec<String>)> {
     let raw: Vec<(&'static str, &'static str, &'static [&'static str])> = vec![
         (
             "jane",
@@ -60,54 +60,59 @@ fn pages() -> Vec<(&'static str, PageTree, Vec<String>)> {
         ),
     ];
     raw.into_iter()
-        .map(|(name, html, gold)| {
-            (
-                name,
-                PageTree::parse(html),
-                gold.iter().map(|s| s.to_string()).collect(),
-            )
-        })
+        .map(|(name, html, gold)| (name, html, gold.iter().map(|s| s.to_string()).collect()))
         .collect()
 }
 
 fn main() {
     let question = "Who are the current PhD students?";
     let keywords = ["Students", "PhD", "Advisees"];
-    let all = pages();
 
-    let system = WebQa::new(Config::default());
-    let ctx = system.context(question, &keywords);
-    let trees: Vec<PageTree> = all.iter().map(|(_, t, _)| t.clone()).collect();
-
-    // Step 1: WebQA proposes which pages to label (k-center clustering over
-    // structural + NLP features, capped at MAX_LABEL_REQUESTS).
-    let to_label = suggest_labels(&ctx, &trees, 3);
-    assert!(to_label.len() <= MAX_LABEL_REQUESTS);
-    println!("WebQA asks for labels on:");
-    for &i in &to_label {
-        println!("  - {}", all[i].0);
+    // Every page goes into the store once — the fallible path reports
+    // damaged HTML instead of silently mis-parsing it. `names` and
+    // `golds` stay aligned with the engine's unlabeled set throughout.
+    let mut engine = Engine::new(Config::default());
+    let mut spec = Task::new(question, keywords);
+    let mut names: Vec<&str> = Vec::new();
+    let mut golds: Vec<Vec<String>> = Vec::new();
+    for (name, html, gold) in pages() {
+        let id = engine.store_mut().insert_html(html).expect("clean pages");
+        spec.unlabeled.push(id);
+        names.push(name);
+        golds.push(gold);
     }
 
-    // Step 2: the "user" provides gold labels for exactly those pages.
-    let labeled: Vec<(PageTree, Vec<String>)> = to_label
-        .iter()
-        .map(|&i| (all[i].1.clone(), all[i].2.clone()))
-        .collect();
-    let rest: Vec<usize> = (0..all.len()).filter(|i| !to_label.contains(i)).collect();
-    let unlabeled: Vec<PageTree> = rest.iter().map(|&i| all[i].1.clone()).collect();
+    // Start with zero labels; each round the engine proposes the most
+    // informative remaining page, the "user" supplies its gold, and only
+    // the synthesis stage re-runs.
+    let mut prepared = engine.prepare(&spec).expect("ids from this store");
+    for round in 1..=3 {
+        let suggestion = prepared.suggest_labels(1);
+        assert!(suggestion.len() <= MAX_LABEL_REQUESTS);
+        let idx = suggestion[0];
+        let (name, gold) = (names.remove(idx), golds.remove(idx));
+        println!("round {round}: engine asks about {name:?}; user labels {gold:?}");
+        prepared.label(idx, gold);
 
-    // Step 3: synthesize + transductively select + extract.
-    let result = system.run(question, &keywords, &labeled, &unlabeled);
-    let program = result
-        .program
-        .as_ref()
-        .expect("synthesis succeeds on these pages");
+        let synthesized = prepared.synthesize();
+        println!(
+            "  train F1 {:.2} over {} label(s)",
+            synthesized.train_f1(),
+            round
+        );
+        prepared = synthesized.refine();
+    }
+
+    // Final pass: synthesize on the gathered labels, select
+    // transductively against the remaining pages, extract.
+    let selected = prepared.synthesize().select();
+    let program = selected.program().expect("synthesis succeeds here");
     println!("\nselected program: {program}");
 
-    let gold: Vec<Vec<String>> = rest.iter().map(|&i| all[i].2.clone()).collect();
-    let score = score_answers(&result.answers, &gold);
+    let answers = selected.answers();
+    let score = score_answers(&answers, &golds).expect("aligned");
     println!("held-out score  : {score}");
-    for (&i, answers) in rest.iter().zip(&result.answers) {
-        println!("  {:<7} -> {:?}", all[i].0, answers);
+    for (name, ans) in names.iter().zip(&answers) {
+        println!("  {name:<7} -> {ans:?}");
     }
 }

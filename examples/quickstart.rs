@@ -1,10 +1,11 @@
-//! Quickstart: run WebQA end-to-end on one generated task.
+//! Quickstart: run WebQA end-to-end on one generated task, through the
+//! staged engine API (prepare → synthesize → select → answers).
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use webqa::{score_answers, Config, WebQa};
+use webqa::{score_answers, Config, Engine, Task};
 use webqa_corpus::{task_by_id, Corpus};
 
 fn main() {
@@ -21,31 +22,48 @@ fn main() {
         data.test.len()
     );
 
-    let system = WebQa::new(Config::default());
-    let labeled: Vec<_> = data
-        .train
-        .iter()
-        .map(|p| (p.page.clone(), p.gold.clone()))
+    // Intern the pages once; the engine hands out shared handles.
+    let mut engine = Engine::new(Config::default());
+    let mut spec = Task::new(task.question, task.keywords.iter().copied());
+    for p in data.train {
+        let id = engine.store_mut().insert_tree(p.page);
+        spec.labeled.push((id, p.gold));
+    }
+    let gold: Vec<Vec<String>> = data
+        .test
+        .into_iter()
+        .map(|p| {
+            spec.unlabeled.push(engine.store_mut().insert_tree(p.page));
+            p.gold
+        })
         .collect();
-    let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
 
+    // Stage by stage, with timings and intermediate results visible.
     let start = std::time::Instant::now();
-    let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
+    let prepared = engine.prepare(&spec).expect("ids came from this store");
+    let synthesized = prepared.synthesize();
     println!(
         "synthesis: {:?} ({} optimal programs, train F1 {:.2})",
         start.elapsed(),
-        result.synthesis.total_optimal,
-        result.synthesis.f1
+        synthesized.outcome().total_optimal,
+        synthesized.train_f1()
     );
 
-    if let Some(program) = &result.program {
+    let selected = synthesized.select();
+    if let Some(ensemble) = selected.ensemble() {
+        println!(
+            "selection: {} distinct behaviours, agreement {:.2}",
+            ensemble.distinct_behaviours(),
+            ensemble.agreement()
+        );
+    }
+    if let Some(program) = selected.program() {
         println!("\nselected program:\n  {program}");
         println!("\npaper syntax:\n{}", program.to_paper_syntax());
     }
 
-    let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
-    let score = score_answers(&result.answers, &gold);
+    let answers = selected.answers();
+    let score = score_answers(&answers, &gold).expect("aligned split");
     println!("\ntest-set score: {score}");
-
-    println!("\nfirst test page answers: {:?}", result.answers.first());
+    println!("\nfirst test page answers: {:?}", answers.first());
 }

@@ -4,7 +4,8 @@
 //! integration tests (`tests/`); the functionality lives in the member
 //! crates, re-exported here for convenience:
 //!
-//! * [`webqa`] — end-to-end pipeline;
+//! * [`webqa`] — the session-oriented engine (staged pipeline, shared
+//!   page store, batch execution);
 //! * [`webqa_dsl`] — the neurosymbolic DSL;
 //! * [`webqa_synth`] — optimal synthesis;
 //! * [`webqa_select`] — transductive program selection;
@@ -45,10 +46,19 @@
 //! * **Search** (`webqa_synth`, `webqa_select`) implements the paper's
 //!   two phases: optimal enumerative synthesis with the `UB = 2R/(1+R)`
 //!   pruning bound, then transductive ensemble selection.
-//! * **Pipeline** (`webqa`) wires synthesis and selection into
-//!   `WebQa::run`; **workloads** (`webqa_corpus`, `webqa_baselines`)
-//!   provide the 25 evaluation tasks, the seeded page generators, and the
-//!   three baseline systems.
+//! * **Engine** (`webqa`) wires synthesis and selection into the
+//!   session-oriented `Engine`: pages are parsed fallibly once into a
+//!   shared `PageStore` (content-addressed `PageId` handles, zero
+//!   deep-clones on the run path), the pipeline runs as inspectable
+//!   stages (`prepare` → `synthesize` → `select` → `answers`) so the
+//!   interactive-labeling loop and the ablations can drive any stage
+//!   alone, errors are a typed `webqa::Error`, and independent tasks
+//!   batch through `Engine::run_batch` on a scoped threadpool with
+//!   deterministic input-ordered results. The pre-engine one-shot facade
+//!   survives as the thin `WebQa::run` compatibility wrapper.
+//!   **Workloads** (`webqa_corpus`, `webqa_baselines`) provide the 25
+//!   evaluation tasks, the seeded page generators, and the three
+//!   baseline systems.
 //! * **Apps** (`webqa_cli`, `webqa_bench`) stay thin: argument parsing and
 //!   report formatting only, every decision delegated to the libraries.
 //!

@@ -1,28 +1,46 @@
 //! Cross-crate integration tests: the full pipeline on generated corpus
 //! tasks, including the comparisons the evaluation section relies on.
 
-use webqa::{score_answers, Config, Modality, Selection, WebQa};
+use webqa::{score_answers, Config, Engine, Modality, Selection, WebQa};
 use webqa_baselines::{BertQa, EntExtract, Hyb};
-use webqa_corpus::{task_by_id, Corpus};
+use webqa_corpus::{task_by_id, Corpus, Task};
 
 fn corpus() -> Corpus {
     Corpus::generate(10, 2024)
 }
 
+/// Interns one task's split into a fresh engine, returning the engine,
+/// the engine task, and the test gold.
+fn engine_task(
+    corpus: &Corpus,
+    task: &Task,
+    config: Config,
+) -> (Engine, webqa::Task, Vec<Vec<String>>) {
+    let data = corpus.dataset(task, 5);
+    let mut engine = Engine::new(config);
+    let mut gold = Vec::new();
+    let spec = webqa::Task::from_split(
+        task.question,
+        task.keywords.iter().copied(),
+        engine.store_mut(),
+        data.train.into_iter().map(|p| (p.page, p.gold)),
+        data.test.into_iter().map(|p| {
+            gold.push(p.gold);
+            p.page
+        }),
+    );
+    (engine, spec, gold)
+}
+
 fn run_task(task_id: &str, config: Config) -> (webqa::Score, Option<webqa::Program>) {
     let corpus = corpus();
     let task = task_by_id(task_id).expect("task exists");
-    let data = corpus.dataset(task, 5);
-    let system = WebQa::new(config);
-    let labeled: Vec<_> = data
-        .train
-        .iter()
-        .map(|p| (p.page.clone(), p.gold.clone()))
-        .collect();
-    let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
-    let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
-    let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
-    (score_answers(&result.answers, &gold), result.program)
+    let (engine, spec, gold) = engine_task(&corpus, task, config);
+    let result = engine.run(&spec).expect("ids from this store");
+    (
+        score_answers(&result.answers, &gold).expect("aligned"),
+        result.program,
+    )
 }
 
 #[test]
@@ -66,7 +84,7 @@ fn webqa_outperforms_flat_qa_on_multi_span_task() {
         .collect();
     let unlabeled: Vec<_> = data.test.iter().map(|p| p.page.clone()).collect();
     let ours = system.run(task.question, task.keywords, &labeled, &unlabeled);
-    let ours_score = score_answers(&ours.answers, &gold);
+    let ours_score = score_answers(&ours.answers, &gold).expect("aligned");
 
     let bert = BertQa::new();
     let bert_answers: Vec<Vec<String>> = data
@@ -74,7 +92,7 @@ fn webqa_outperforms_flat_qa_on_multi_span_task() {
         .iter()
         .map(|p| bert.answer_page(task.question, &p.html))
         .collect();
-    let bert_score = score_answers(&bert_answers, &gold);
+    let bert_score = score_answers(&bert_answers, &gold).expect("aligned");
 
     assert!(
         ours_score.f1 > bert_score.f1,
@@ -104,7 +122,7 @@ fn hyb_struggles_on_heterogeneous_pages() {
         Ok(w) => {
             let answers: Vec<Vec<String>> = data.test.iter().map(|p| w.extract(&p.html)).collect();
             let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
-            let s = score_answers(&answers, &gold);
+            let s = score_answers(&answers, &gold).expect("aligned");
             assert!(
                 s.f1 < 0.5,
                 "HYB should not solve heterogeneous faculty pages: {s:?}"
@@ -125,7 +143,7 @@ fn ent_extract_recall_without_precision() {
         .map(|p| ee.extract(task.question, &p.html))
         .collect();
     let gold: Vec<_> = data.test.iter().map(|p| p.gold.clone()).collect();
-    let s = score_answers(&answers, &gold);
+    let s = score_answers(&answers, &gold).expect("aligned");
     // Zero-shot list extraction finds *some* list; it is rarely the right
     // one on faculty pages (students vs alumni vs news vs pubs).
     assert!(s.f1 < 0.7, "EntExtract unexpectedly strong: {s:?}");
@@ -186,7 +204,7 @@ fn fewer_examples_never_crash_and_often_degrade() {
             .map(|p| (p.page.clone(), p.gold.clone()))
             .collect();
         let result = system.run(task.question, task.keywords, &labeled, &unlabeled);
-        scores.push(score_answers(&result.answers, &gold).f1);
+        scores.push(score_answers(&result.answers, &gold).expect("aligned").f1);
     }
     assert_eq!(scores.len(), 5);
     assert!(
