@@ -1,0 +1,77 @@
+//! **Synthesis hot path** — wall time and search counters of
+//! `webqa_synth::synthesize` per corpus task, appended to the
+//! machine-readable perf trajectory at `BENCH_synth.json` (workspace
+//! root).
+//!
+//! This is the target behind the ROADMAP "Perf: synthesis hot path"
+//! item: run it before and after a hot-path change and diff the recorded
+//! runs instead of a stopwatch.
+//!
+//! Regenerate with:
+//! `cargo bench -p webqa_bench --bench synth_hotpath`
+//!
+//! Knobs: `WEBQA_PAGES` / `WEBQA_TRAIN` / `WEBQA_SEED` (see
+//! `webqa_bench`), plus `WEBQA_TRAJECTORY=0` to skip writing the file.
+
+use std::time::Instant;
+
+use webqa_bench::trajectory::{self, RunRecord, TargetRecord};
+use webqa_bench::{default_config, Setup};
+use webqa_corpus::TASKS;
+
+fn main() {
+    let setup = Setup::from_env();
+    println!("# Synthesis hot path: per-task wall time + SynthStats\n");
+    println!(
+        "{:<12} {:>9} {:>7} {:>9} {:>10} {:>10} {:>10} {:>9}",
+        "task", "wall_s", "F1", "programs", "enum", "pruned", "loc_memo", "guards"
+    );
+
+    let config = default_config();
+    let mut targets = Vec::new();
+    for task in &TASKS {
+        let engine = setup.engine(config.clone());
+        let spec = setup.engine_task(task);
+        let prepared = engine.prepare(&spec).expect("store-issued ids resolve");
+        let start = Instant::now();
+        let synthesized = prepared.synthesize();
+        let wall_s = start.elapsed().as_secs_f64();
+        let outcome = synthesized.outcome();
+        println!(
+            "{:<12} {:>9.3} {:>7.2} {:>9} {:>10} {:>10} {:>10} {:>9}",
+            task.id,
+            wall_s,
+            outcome.f1,
+            outcome.programs.len(),
+            outcome.stats.extractors_enumerated,
+            outcome.stats.extractors_pruned,
+            outcome.stats.locator_memo_hits,
+            outcome.stats.guards_yielded,
+        );
+        targets.push(TargetRecord {
+            task: task.id.to_string(),
+            wall_s,
+            train_f1: outcome.f1,
+            programs: outcome.programs.len(),
+            stats: outcome.stats,
+        });
+    }
+
+    let run = RunRecord::new(
+        setup.pages_per_domain(),
+        setup.train_pages,
+        setup.seed(),
+        targets,
+    );
+    println!("\n# total synthesis wall time: {:.3}s", run.total_wall_s);
+
+    if std::env::var("WEBQA_TRAJECTORY").as_deref() == Ok("0") {
+        println!("# WEBQA_TRAJECTORY=0: not recording");
+        return;
+    }
+    let path = trajectory::default_path();
+    match trajectory::append(&path, &run) {
+        Ok(()) => println!("# recorded to {}", path.display()),
+        Err(e) => println!("# trajectory not recorded ({e})"),
+    }
+}

@@ -18,6 +18,8 @@ use webqa_baselines::{BertQa, EntExtract, Hyb};
 use webqa_corpus::{Corpus, Domain, Task, TaskDataset};
 use webqa_metrics::{Counts, Score};
 
+pub mod trajectory;
+
 /// Experiment-wide setup shared by all benches.
 pub struct Setup {
     /// The generated corpus.
@@ -67,6 +69,16 @@ impl Setup {
             pages_per_domain,
             seed,
         }
+    }
+
+    /// Pages generated per domain (`WEBQA_PAGES`).
+    pub fn pages_per_domain(&self) -> usize {
+        self.pages_per_domain
+    }
+
+    /// The corpus seed (`WEBQA_SEED`).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The dataset split for one task (raw HTML + parsed trees; the

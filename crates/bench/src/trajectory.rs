@@ -1,0 +1,146 @@
+//! Machine-readable perf trajectory for the synthesis hot path.
+//!
+//! `BENCH_synth.json` (workspace root) accumulates one record per
+//! recorded bench run: per-target wall time plus the full `SynthStats`
+//! counters, keyed by the corpus knobs. Timing alone cannot be asserted
+//! in CI (hardware varies); the counters can — and the trajectory file
+//! is what lets a future "make it faster" PR show its numbers instead of
+//! hand-waving. The `synth_hotpath` bench target writes it; nothing
+//! reads it programmatically yet.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use webqa_synth::SynthStats;
+
+/// Wall time and search counters for one synthesis target.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TargetRecord {
+    /// Corpus task id (e.g. `fac_t1`).
+    pub task: String,
+    /// Wall-clock seconds spent in `synthesize`.
+    pub wall_s: f64,
+    /// Training F₁ of the synthesis outcome.
+    pub train_f1: f64,
+    /// Number of optimal programs materialized.
+    pub programs: usize,
+    /// Search statistics.
+    pub stats: SynthStats,
+}
+
+/// One recorded bench run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RunRecord {
+    /// Seconds since the Unix epoch when the run finished.
+    pub timestamp_unix: u64,
+    /// `WEBQA_PAGES` (pages per domain).
+    pub pages: usize,
+    /// `WEBQA_TRAIN` (labeled pages per task).
+    pub train: usize,
+    /// `WEBQA_SEED` (corpus seed).
+    pub seed: u64,
+    /// Total wall-clock seconds across all targets.
+    pub total_wall_s: f64,
+    /// Per-target records.
+    pub targets: Vec<TargetRecord>,
+}
+
+impl RunRecord {
+    /// A record for the given setup knobs, stamped with the current time.
+    pub fn new(pages: usize, train: usize, seed: u64, targets: Vec<TargetRecord>) -> Self {
+        RunRecord {
+            timestamp_unix: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            pages,
+            train,
+            seed,
+            total_wall_s: targets.iter().map(|t| t.wall_s).sum(),
+            targets,
+        }
+    }
+}
+
+/// Default trajectory path: `BENCH_synth.json` at the workspace root.
+pub fn default_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_synth.json")
+}
+
+/// Appends `run` to the trajectory file at `path`, preserving previous
+/// records (the file is a JSON array of run objects). IO errors are
+/// reported, not fatal — a read-only checkout must not fail the bench.
+pub fn append(path: &std::path::Path, run: &RunRecord) -> std::io::Result<()> {
+    let mut runs: Vec<serde_json::Value> = match std::fs::read_to_string(path) {
+        Ok(text) => match serde_json::from_str::<serde_json::Value>(&text) {
+            Ok(serde_json::Value::Array(a)) => a,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    runs.push(serde_json::to_value(run).map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("serialize: {e:?}"))
+    })?);
+    let rendered = serde_json::to_string_pretty(&serde_json::Value::Array(runs))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e:?}")))?;
+    std::fs::write(path, rendered + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(task: &str, wall: f64) -> TargetRecord {
+        TargetRecord {
+            task: task.to_string(),
+            wall_s: wall,
+            train_f1: 1.0,
+            programs: 3,
+            stats: SynthStats::default(),
+        }
+    }
+
+    #[test]
+    fn append_accumulates_runs() {
+        let dir = std::env::temp_dir().join("webqa_trajectory_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("BENCH_synth.json");
+        let _ = std::fs::remove_file(&path);
+
+        let run1 = RunRecord::new(4, 2, 42, vec![record("fac_t1", 0.5)]);
+        append(&path, &run1).expect("first write");
+        let run2 = RunRecord::new(
+            4,
+            2,
+            42,
+            vec![record("fac_t1", 0.4), record("conf_t4", 0.2)],
+        );
+        append(&path, &run2).expect("second write");
+
+        let text = std::fs::read_to_string(&path).expect("file exists");
+        let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+        match parsed {
+            serde_json::Value::Array(runs) => {
+                assert_eq!(runs.len(), 2);
+                let total = runs[1].get("total_wall_s").and_then(|v| match v {
+                    serde_json::Value::Number(n) => Some(n.as_f64()),
+                    _ => None,
+                });
+                assert!(matches!(total, Some(t) if (t - 0.6).abs() < 1e-9));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_file_is_replaced_not_fatal() {
+        let dir = std::env::temp_dir().join("webqa_trajectory_test_corrupt");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("BENCH_synth.json");
+        std::fs::write(&path, "not json").expect("seed corrupt file");
+        append(&path, &RunRecord::new(1, 1, 1, vec![])).expect("append survives");
+        let text = std::fs::read_to_string(&path).expect("file exists");
+        assert!(serde_json::from_str::<serde_json::Value>(&text).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+}

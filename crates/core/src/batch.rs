@@ -22,6 +22,13 @@ impl Engine {
     /// deterministic: the same inputs produce the same outputs regardless
     /// of `jobs`.
     ///
+    /// This is *across*-task parallelism; it composes with the
+    /// branch-level parallelism *inside* one task
+    /// (`SynthConfig::jobs` in [`Config::synth`](crate::Config)) —
+    /// e.g. few big tasks with many synth jobs each, or many tasks with
+    /// sequential synthesis. Both levels are deterministic, so any
+    /// combination produces identical results.
+    ///
     /// # Errors
     ///
     /// The first failing task's error, by input order (tasks after a

@@ -6,9 +6,15 @@
 //! answerability, and recognized entities per string, which is what makes
 //! enumerative search tractable (the real system relies on the same trick —
 //! neural-module calls dominate its synthesis time, Table 3).
+//!
+//! The caches are behind [`Mutex`]es (not `RefCell`s) so one context can
+//! be shared by the synthesizer's branch-level worker threads
+//! (`SynthConfig::jobs`); uncontended locking costs nanoseconds and the
+//! hot search paths read precomputed per-task feature tables instead of
+//! hitting these caches per candidate.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use webqa_nlp::{best_keyword_similarity, Entity, EntityKind, EntityRecognizer, QaModel};
 
@@ -19,9 +25,9 @@ pub struct QueryContext {
     keywords: Vec<String>,
     qa: QaModel,
     ner: EntityRecognizer,
-    kw_cache: RefCell<HashMap<String, f64>>,
-    qa_cache: RefCell<HashMap<String, bool>>,
-    ent_cache: RefCell<HashMap<String, Vec<Entity>>>,
+    kw_cache: Mutex<HashMap<String, f64>>,
+    qa_cache: Mutex<HashMap<String, bool>>,
+    ent_cache: Mutex<HashMap<String, Vec<Entity>>>,
 }
 
 impl QueryContext {
@@ -32,9 +38,9 @@ impl QueryContext {
             keywords: keywords.into_iter().map(Into::into).collect(),
             qa: QaModel::pretrained(),
             ner: EntityRecognizer::pretrained(),
-            kw_cache: RefCell::new(HashMap::new()),
-            qa_cache: RefCell::new(HashMap::new()),
-            ent_cache: RefCell::new(HashMap::new()),
+            kw_cache: Mutex::new(HashMap::new()),
+            qa_cache: Mutex::new(HashMap::new()),
+            ent_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -58,9 +64,9 @@ impl QueryContext {
             keywords: keywords.into_iter().map(Into::into).collect(),
             qa,
             ner,
-            kw_cache: RefCell::new(HashMap::new()),
-            qa_cache: RefCell::new(HashMap::new()),
-            ent_cache: RefCell::new(HashMap::new()),
+            kw_cache: Mutex::new(HashMap::new()),
+            qa_cache: Mutex::new(HashMap::new()),
+            ent_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -90,11 +96,14 @@ impl QueryContext {
         if self.keywords.is_empty() {
             return 0.0;
         }
-        if let Some(&s) = self.kw_cache.borrow().get(text) {
+        if let Some(&s) = self.kw_cache.lock().expect("cache lock").get(text) {
             return s;
         }
         let s = f64::from(best_keyword_similarity(text, &self.keywords));
-        self.kw_cache.borrow_mut().insert(text.to_string(), s);
+        self.kw_cache
+            .lock()
+            .expect("cache lock")
+            .insert(text.to_string(), s);
         s
     }
 
@@ -104,11 +113,14 @@ impl QueryContext {
         if self.question.is_empty() {
             return false;
         }
-        if let Some(&b) = self.qa_cache.borrow().get(text) {
+        if let Some(&b) = self.qa_cache.lock().expect("cache lock").get(text) {
             return b;
         }
         let b = self.qa.has_answer(text, &self.question);
-        self.qa_cache.borrow_mut().insert(text.to_string(), b);
+        self.qa_cache
+            .lock()
+            .expect("cache lock")
+            .insert(text.to_string(), b);
         b
     }
 
@@ -133,12 +145,13 @@ impl QueryContext {
 
     /// All entities in `text` (cached).
     pub fn entities(&self, text: &str) -> Vec<Entity> {
-        if let Some(es) = self.ent_cache.borrow().get(text) {
+        if let Some(es) = self.ent_cache.lock().expect("cache lock").get(text) {
             return es.clone();
         }
         let es = self.ner.entities(text);
         self.ent_cache
-            .borrow_mut()
+            .lock()
+            .expect("cache lock")
             .insert(text.to_string(), es.clone());
         es
     }
@@ -160,7 +173,9 @@ impl QueryContext {
 
     /// Number of distinct strings cached so far (diagnostics).
     pub fn cache_size(&self) -> usize {
-        self.kw_cache.borrow().len() + self.qa_cache.borrow().len() + self.ent_cache.borrow().len()
+        self.kw_cache.lock().expect("cache lock").len()
+            + self.qa_cache.lock().expect("cache lock").len()
+            + self.ent_cache.lock().expect("cache lock").len()
     }
 }
 

@@ -31,6 +31,32 @@ pub fn hamming_strings<S1: AsRef<str>, S2: AsRef<str>>(a: &[S1], b: &[S2]) -> us
     hamming_tokens(&tokenize_all(a), &tokenize_all(b))
 }
 
+/// [`hamming_tokens`] for inputs that are already **sorted and
+/// deduplicated**: a single merge pass, no hash sets. This is the kernel
+/// the transductive selector runs per (ensemble member × page × candidate
+/// program) — its inputs are sorted token sets by construction.
+///
+/// # Panics
+///
+/// Debug builds assert the sorted/dedup precondition.
+pub fn hamming_sorted_tokens(a: &[Token], b: &[Token]) -> usize {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "a must be sorted+dedup");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "b must be sorted+dedup");
+    let (mut i, mut j, mut common) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    a.len() + b.len() - 2 * common
+}
+
 /// Hamming distance between two *sequences* of per-page outputs
 /// (the transductive loss `L(π; I, O) = Σₖ Hamming(π(iₖ), oₖ)`).
 ///
@@ -95,5 +121,31 @@ mod tests {
     #[test]
     fn empty_vs_empty() {
         assert_eq!(hamming_strings::<&str, &str>(&[], &[]), 0);
+    }
+
+    #[test]
+    fn sorted_kernel_matches_hash_kernel() {
+        let cases = [
+            ("", ""),
+            ("jane doe", "jane smith"),
+            ("a b c d", "c d e"),
+            ("x", "x"),
+            ("q w e", ""),
+        ];
+        for (sa, sb) in cases {
+            let sort_dedup = |s: &str| {
+                let mut t = tokenize(s);
+                t.sort();
+                t.dedup();
+                t
+            };
+            let a = sort_dedup(sa);
+            let b = sort_dedup(sb);
+            assert_eq!(
+                hamming_sorted_tokens(&a, &b),
+                hamming_tokens(&a, &b),
+                "{sa:?} vs {sb:?}"
+            );
+        }
     }
 }

@@ -13,6 +13,10 @@
 //!   counts and derived precision / recall / F₁, including the pruning
 //!   upper bound `UB = 2R/(1+R)` (Eq. 3);
 //! * [`hamming_strings`] / [`hamming_outputs`] — the transductive loss;
+//! * [`TokenInterner`] / [`IdBag`] / [`BagOverlap`] — interned token ids
+//!   and the allocation-free multiset-overlap kernels the synthesizer's
+//!   hot path scores with (plus [`SmallVec`], their inline-capacity bag
+//!   storage);
 //! * [`stats`] — mean / variance / Welch t-test.
 //!
 //! ```
@@ -25,10 +29,14 @@
 #![warn(missing_docs)]
 
 mod hamming;
+mod intern;
 mod score;
+mod smallvec;
 pub mod stats;
 mod tokens;
 
-pub use hamming::{hamming_outputs, hamming_strings, hamming_tokens};
+pub use hamming::{hamming_outputs, hamming_sorted_tokens, hamming_strings, hamming_tokens};
+pub use intern::{BagOverlap, IdBag, IdVec, TokenInterner};
 pub use score::{score_strings, Counts, Score};
+pub use smallvec::SmallVec;
 pub use tokens::{tokenize, tokenize_all, Token};

@@ -1,0 +1,160 @@
+//! A minimal inline-capacity vector for token-id bags.
+//!
+//! The synthesis hot path produces millions of tiny id lists (most
+//! extracted strings are a handful of tokens). `SmallVec<T, N>` keeps up
+//! to `N` elements inline — no heap allocation — and spills to a `Vec`
+//! past that. It implements just the surface the scoring kernels need;
+//! it is *not* a general-purpose replacement for the `smallvec` crate
+//! (this build environment has no crates.io access).
+
+/// A vector storing up to `N` elements inline before spilling to the heap.
+#[derive(Debug, Clone)]
+pub enum SmallVec<T: Copy + Default, const N: usize> {
+    /// Inline storage: `len` live elements in `buf`.
+    Inline {
+        /// Fixed inline buffer; only `buf[..len]` is meaningful.
+        buf: [T; N],
+        /// Number of live elements.
+        len: usize,
+    },
+    /// Spilled storage.
+    Heap(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
+    /// An empty vector (inline, no allocation).
+    pub fn new() -> Self {
+        SmallVec::Inline {
+            buf: [T::default(); N],
+            len: 0,
+        }
+    }
+
+    /// Appends an element, spilling to the heap at capacity.
+    pub fn push(&mut self, value: T) {
+        match self {
+            SmallVec::Inline { buf, len } => {
+                if *len < N {
+                    buf[*len] = value;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(N * 2);
+                    v.extend_from_slice(&buf[..*len]);
+                    v.push(value);
+                    *self = SmallVec::Heap(v);
+                }
+            }
+            SmallVec::Heap(v) => v.push(value),
+        }
+    }
+
+    /// The live elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            SmallVec::Inline { buf, len } => &buf[..*len],
+            SmallVec::Heap(v) => v,
+        }
+    }
+
+    /// The live elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        match self {
+            SmallVec::Inline { buf, len } => &mut buf[..*len],
+            SmallVec::Heap(v) => v,
+        }
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        match self {
+            SmallVec::Inline { len, .. } => *len,
+            SmallVec::Heap(v) => v.len(),
+        }
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all elements, keeping the current storage.
+    pub fn clear(&mut self) {
+        match self {
+            SmallVec::Inline { len, .. } => *len = 0,
+            SmallVec::Heap(v) => v.clear(),
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for SmallVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = Self::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(matches!(v, SmallVec::Inline { .. }));
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_preserving_order() {
+        let mut v: SmallVec<u32, 2> = SmallVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert!(matches!(v, SmallVec::Heap(_)));
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn clear_and_reuse() {
+        let mut v: SmallVec<u32, 2> = (0..4).collect();
+        v.clear();
+        assert!(v.is_empty());
+        v.push(9);
+        assert_eq!(v.as_slice(), &[9]);
+    }
+
+    #[test]
+    fn deref_as_slice() {
+        let v: SmallVec<u32, 8> = (0..3).collect();
+        assert_eq!(v.iter().sum::<u32>(), 3);
+        assert_eq!(v[1], 1);
+    }
+}

@@ -49,6 +49,19 @@ impl From<&str> for Token {
 pub fn tokenize(text: &str) -> Vec<Token> {
     let mut tokens = Vec::new();
     let chars: Vec<char> = text.chars().collect();
+    for_each_token_range(&chars, |range| {
+        let tok: String = chars[range].iter().collect::<String>().to_lowercase();
+        tokens.push(Token(tok));
+    });
+    tokens
+}
+
+/// Scans `chars` and calls `f` with the char range of every raw (not yet
+/// lowercased) token. This is the single tokenization scanner: both
+/// [`tokenize`] and the id-interning fast path
+/// ([`crate::TokenInterner::tokenize_ids`]) are built on it, so they can
+/// never disagree about token boundaries.
+pub(crate) fn for_each_token_range(chars: &[char], mut f: impl FnMut(std::ops::Range<usize>)) {
     let mut i = 0;
     while i < chars.len() {
         if is_token_char(chars[i])
@@ -60,16 +73,14 @@ pub fn tokenize(text: &str) -> Vec<Token> {
             if chars[i] == '\'' {
                 i += 1;
             }
-            while i < chars.len() && (is_token_char(chars[i]) || is_word_internal(&chars, i)) {
+            while i < chars.len() && (is_token_char(chars[i]) || is_word_internal(chars, i)) {
                 i += 1;
             }
-            let tok: String = chars[start..i].iter().collect::<String>().to_lowercase();
-            tokens.push(Token(tok));
+            f(start..i);
         } else {
             i += 1;
         }
     }
-    tokens
 }
 
 /// Splits a *set of extracted strings* into one combined token bag.

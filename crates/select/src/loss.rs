@@ -8,7 +8,7 @@
 //! token sets, so the selector can precompute outputs once per ensemble
 //! member and evaluate any loss from them.
 
-use webqa_metrics::{hamming_tokens, Counts, Token};
+use webqa_metrics::{hamming_sorted_tokens, Counts, Token};
 
 /// A supervised loss between two per-page extracted token sets, summed
 /// over pages by the selector.
@@ -40,7 +40,7 @@ impl TokenLoss {
     /// Both inputs must be sorted and deduplicated.
     pub fn page_loss(self, predicted: &[Token], label: &[Token]) -> u64 {
         match self {
-            TokenLoss::Hamming => hamming_tokens(predicted, label) as u64 * SCALE as u64,
+            TokenLoss::Hamming => hamming_sorted_tokens(predicted, label) as u64 * SCALE as u64,
             TokenLoss::NegF1 => {
                 let counts = Counts::from_bags(predicted, label);
                 ((1.0 - counts.f1()) * SCALE).round() as u64

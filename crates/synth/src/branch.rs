@@ -1,19 +1,20 @@
 //! `SynthesizeBranch` (Figure 8 of the paper) and its `NoDecomp` ablation.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use webqa_dsl::{Extractor, Guard, Locator, QueryContext};
+use webqa_dsl::Guard;
 use webqa_metrics::Counts;
 
-use crate::config::SynthConfig;
-use crate::example::Example;
 use crate::extractors::{synthesize_extractors, ExtractorSynthesis, F1_EPS};
 use crate::guards::{propagate_examples, GuardEnumerator};
+use crate::scorer::{Scorer, TaskCtx};
 use crate::stats::SynthStats;
 
 /// Optimal extractors for one guard, grouped by the token counts they
-/// achieve on the positive examples.
-pub(crate) type GuardOptions = Vec<(Counts, Vec<Extractor>)>;
+/// achieve on the positive examples. Shared (`Arc`) across every guard
+/// whose locator produced the same extractor synthesis — the footnote 6
+/// memo hands out references, never clones of the groups.
+pub(crate) type GuardOptions = Arc<ExtractorSynthesis>;
 
 /// All optimal branch programs for one (E⁺, E⁻) problem, represented as
 /// the paper's mapping from guards to extractor sets.
@@ -32,8 +33,9 @@ pub(crate) struct BranchSynthesis {
     /// The optimal F₁ on E⁺.
     #[allow(dead_code)] // kept for diagnostics and tests
     pub f1: f64,
-    /// Token counts of a representative optimal branch (used to micro-
-    /// average across partition blocks).
+    /// Token counts of a representative optimal branch.
+    #[allow(dead_code)] // diagnostics; the partition fold reads the
+    // per-group counts via `distinct_counts` instead
     pub counts: Counts,
 }
 
@@ -43,7 +45,7 @@ impl BranchSynthesis {
     pub fn program_count(&self) -> usize {
         self.options
             .iter()
-            .map(|(_, gs)| gs.iter().map(|(_, es)| es.len()).sum::<usize>())
+            .map(|(_, gs)| gs.groups.iter().map(|(_, es)| es.len()).sum::<usize>())
             .sum()
     }
 
@@ -52,7 +54,7 @@ impl BranchSynthesis {
     pub fn distinct_counts(&self) -> Vec<Counts> {
         let mut out: Vec<Counts> = Vec::new();
         for (_, gs) in &self.options {
-            for (c, _) in gs {
+            for (c, _) in &gs.groups {
                 if !out.contains(c) {
                     out.push(*c);
                 }
@@ -64,34 +66,34 @@ impl BranchSynthesis {
 
 /// Figure 8: synthesizes all optimal branch programs, decomposing guard
 /// from extractor synthesis (or jointly, for the `NoDecomp` ablation).
+/// `pos` / `neg` are indices into the task's example list.
 ///
 /// Returns `None` when no guard in the bounded space separates E⁺ from E⁻.
 pub(crate) fn synthesize_branch(
-    cfg: &SynthConfig,
-    ctx: &QueryContext,
-    pos: &[Example],
-    neg: &[Example],
+    task: &TaskCtx,
+    pos: &[usize],
+    neg: &[usize],
     stats: &mut SynthStats,
 ) -> Option<BranchSynthesis> {
     stats.branch_calls += 1;
-    if cfg.decompose {
-        synthesize_branch_decomposed(cfg, ctx, pos, neg, stats)
+    if task.cfg.decompose {
+        synthesize_branch_decomposed(task, pos, neg, stats)
     } else {
-        synthesize_branch_joint(cfg, ctx, pos, neg, stats)
+        synthesize_branch_joint(task, pos, neg, stats)
     }
 }
 
 fn synthesize_branch_decomposed(
-    cfg: &SynthConfig,
-    ctx: &QueryContext,
-    pos: &[Example],
-    neg: &[Example],
+    task: &TaskCtx,
+    pos: &[usize],
+    neg: &[usize],
     stats: &mut SynthStats,
 ) -> Option<BranchSynthesis> {
-    let mut enumerator = GuardEnumerator::new(cfg, ctx, pos, neg);
+    let mut enumerator = GuardEnumerator::new(task, pos, neg);
+    let mut scorer = Scorer::new(task, pos);
     // The NoLazy ablation: drain the enumerator up-front with a bound of
     // 0, so the rising optimum never strengthens locator pruning.
-    let mut eager: Option<std::collections::VecDeque<Guard>> = if cfg.lazy_guards {
+    let mut eager: Option<std::collections::VecDeque<(Guard, usize)>> = if task.cfg.lazy_guards {
         None
     } else {
         let mut q = std::collections::VecDeque::new();
@@ -104,39 +106,68 @@ fn synthesize_branch_decomposed(
     let mut options: Vec<(Guard, GuardOptions)> = Vec::new();
     let mut counts = Counts::default();
     // Footnote 6: branches whose guards share a section locator share the
-    // optimal-extractor computation. `None` records a locator whose UB was
-    // below `opt` (Figure 8 line 6) — sound to skip forever since `opt`
-    // only rises.
-    let mut memo: HashMap<Locator, Option<ExtractorSynthesis>> = HashMap::new();
+    // optimal-extractor computation. The memo is indexed by the
+    // enumerator's entry id (each entry *is* one locator), so no locator
+    // is ever cloned or hashed to key it. `Some(None)` records a locator
+    // whose UB was below `opt` (Figure 8 line 6) — sound to skip forever
+    // since `opt` only rises.
+    let mut memo: Vec<Option<Option<GuardOptions>>> = Vec::new();
 
-    while let Some(guard) = match eager.as_mut() {
+    while let Some((guard, eid)) = match eager.as_mut() {
         Some(q) => q.pop_front(),
         None => enumerator.next(opt, stats),
     } {
-        let locator = guard.locator().clone();
-        let synth = match memo.get(&locator) {
+        if memo.len() <= eid {
+            memo.resize_with(eid + 1, || None);
+        }
+        let synth: Option<GuardOptions> = match &memo[eid] {
             Some(s) => {
-                stats.memo_hits += 1;
+                stats.locator_memo_hits += 1;
                 s.clone()
             }
             None => {
-                let nodes = propagate_examples(ctx, &locator, pos);
-                // Figure 8 line 6: UB on the guard's locator.
-                let s = if cfg.prune {
+                let s = if task.cfg.reference_kernels {
+                    // Reference path: re-propagate the locator from the
+                    // root and recompute the ceiling definitionally, as
+                    // the pre-overhaul code did.
+                    let pos_examples = pos.iter().map(|&i| &task.examples[i]);
+                    let nodes =
+                        propagate_examples(task.ctx, enumerator.entry_locator(eid), pos_examples);
                     let ub: Counts = pos
                         .iter()
                         .zip(&nodes)
-                        .map(|(ex, ns)| ex.ceiling_counts(ns))
+                        .map(|(&i, ns)| task.examples[i].ceiling_counts_reference(ns))
                         .sum();
-                    if ub.upper_bound() + F1_EPS < opt {
+                    if task.cfg.prune && ub.upper_bound() + F1_EPS < opt {
                         None
                     } else {
-                        Some(synthesize_extractors(cfg, ctx, pos, &nodes, 0.0, stats))
+                        Some(Arc::new(synthesize_extractors(
+                            task,
+                            &mut scorer,
+                            &nodes,
+                            0.0,
+                            stats,
+                        )))
                     }
                 } else {
-                    Some(synthesize_extractors(cfg, ctx, pos, &nodes, 0.0, stats))
+                    // Optimized path: the enumerator already propagated
+                    // the nodes and computed the ceiling when it created
+                    // the entry (Figure 8 line 6 is a comparison, not a
+                    // recomputation).
+                    let ub = enumerator.entry_ub(eid);
+                    if task.cfg.prune && ub.upper_bound() + F1_EPS < opt {
+                        None
+                    } else {
+                        Some(Arc::new(synthesize_extractors(
+                            task,
+                            &mut scorer,
+                            enumerator.entry_nodes(eid),
+                            0.0,
+                            stats,
+                        )))
+                    }
                 };
-                memo.insert(locator.clone(), s.clone());
+                memo[eid] = Some(s.clone());
                 s
             }
         };
@@ -147,12 +178,12 @@ fn synthesize_branch_decomposed(
         if synth.f1 > opt + F1_EPS {
             opt = synth.f1;
             counts = synth.counts;
-            options = vec![(guard, synth.groups)];
+            options = vec![(guard, synth)];
         } else if (synth.f1 - opt).abs() <= F1_EPS {
             if options.is_empty() {
                 counts = synth.counts;
             }
-            options.push((guard, synth.groups));
+            options.push((guard, synth));
         }
     }
     if options.is_empty() {
@@ -171,33 +202,39 @@ fn synthesize_branch_decomposed(
 /// enumerator and no extractor sharing across guards with the same
 /// locator. The result set is identical; only the work differs.
 fn synthesize_branch_joint(
-    cfg: &SynthConfig,
-    ctx: &QueryContext,
-    pos: &[Example],
-    neg: &[Example],
+    task: &TaskCtx,
+    pos: &[usize],
+    neg: &[usize],
     stats: &mut SynthStats,
 ) -> Option<BranchSynthesis> {
     // Eagerly enumerate every classifying guard (opt = 0: no feedback).
-    let mut enumerator = GuardEnumerator::new(cfg, ctx, pos, neg);
+    let mut enumerator = GuardEnumerator::new(task, pos, neg);
     let mut guards = Vec::new();
     while let Some(g) = enumerator.next(0.0, stats) {
         guards.push(g);
     }
+    let mut scorer = Scorer::new(task, pos);
     let mut opt = 0.0f64;
     let mut options: Vec<(Guard, GuardOptions)> = Vec::new();
     let mut counts = Counts::default();
-    for guard in guards {
-        let nodes = propagate_examples(ctx, guard.locator(), pos);
-        let synth = synthesize_extractors(cfg, ctx, pos, &nodes, 0.0, stats);
+    for (guard, eid) in guards {
+        let synth = if task.cfg.reference_kernels {
+            let pos_examples = pos.iter().map(|&i| &task.examples[i]);
+            let nodes = propagate_examples(task.ctx, guard.locator(), pos_examples);
+            synthesize_extractors(task, &mut scorer, &nodes, 0.0, stats)
+        } else {
+            synthesize_extractors(task, &mut scorer, enumerator.entry_nodes(eid), 0.0, stats)
+        };
         if synth.is_empty() {
             continue;
         }
+        let synth = Arc::new(synth);
         if synth.f1 > opt + F1_EPS {
             opt = synth.f1;
             counts = synth.counts;
-            options = vec![(guard, synth.groups)];
+            options = vec![(guard, synth)];
         } else if (synth.f1 - opt).abs() <= F1_EPS {
-            options.push((guard, synth.groups));
+            options.push((guard, synth));
         }
     }
     if options.is_empty() {
@@ -211,10 +248,30 @@ fn synthesize_branch_joint(
     }
 }
 
+/// Convenience used by tests: solve one branch over a self-contained
+/// example list.
+#[cfg(test)]
+pub(crate) fn synthesize_branch_over(
+    cfg: &crate::config::SynthConfig,
+    ctx: &webqa_dsl::QueryContext,
+    pos: &[crate::example::Example],
+    neg: &[crate::example::Example],
+    stats: &mut SynthStats,
+) -> Option<BranchSynthesis> {
+    use crate::example::Example;
+    let all: Vec<Example> = pos.iter().chain(neg.iter()).cloned().collect();
+    let task = TaskCtx::new(cfg, ctx, &all);
+    let pos_idx: Vec<usize> = (0..pos.len()).collect();
+    let neg_idx: Vec<usize> = (pos.len()..all.len()).collect();
+    synthesize_branch(&task, &pos_idx, &neg_idx, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use webqa_dsl::PageTree;
+    use crate::config::SynthConfig;
+    use crate::example::Example;
+    use webqa_dsl::{PageTree, QueryContext};
 
     fn example(html: &str, gold: &[&str]) -> Example {
         Example::new(
@@ -248,12 +305,12 @@ mod tests {
         let c = ctx();
         let pos = students_examples();
         let mut stats = SynthStats::default();
-        let b = synthesize_branch(&cfg, &c, &pos, &[], &mut stats).expect("branch");
+        let b = synthesize_branch_over(&cfg, &c, &pos, &[], &mut stats).expect("branch");
         assert!(b.f1 > 0.99, "expected F1≈1, got {}", b.f1);
         assert!(b.program_count() >= 1);
         // Sanity: a returned branch program really achieves that F1.
         let (g, gs) = &b.options[0];
-        let prog = webqa_dsl::Program::single(g.clone(), gs[0].1[0].clone());
+        let prog = webqa_dsl::Program::single(g.clone(), gs.groups[0].1[0].clone());
         let counts = crate::example::program_counts(&c, &pos, &prog);
         assert!((counts.f1() - b.f1).abs() < 1e-9);
     }
@@ -264,8 +321,8 @@ mod tests {
         let pos = students_examples();
         let mut s1 = SynthStats::default();
         let mut s2 = SynthStats::default();
-        let dec = synthesize_branch(&SynthConfig::fast(), &c, &pos, &[], &mut s1).unwrap();
-        let joint = synthesize_branch(
+        let dec = synthesize_branch_over(&SynthConfig::fast(), &c, &pos, &[], &mut s1).unwrap();
+        let joint = synthesize_branch_over(
             &SynthConfig::fast().without_decomposition(),
             &c,
             &pos,
@@ -276,7 +333,7 @@ mod tests {
         assert!((dec.f1 - joint.f1).abs() < 1e-9);
         // Decomposition shares extractor synthesis across guards: less work.
         assert!(s1.extractors_enumerated <= s2.extractors_enumerated);
-        assert!(s1.memo_hits > 0);
+        assert!(s1.locator_memo_hits > 0);
     }
 
     #[test]
@@ -285,8 +342,9 @@ mod tests {
         let pos = students_examples();
         let mut s_lazy = SynthStats::default();
         let mut s_eager = SynthStats::default();
-        let lazy = synthesize_branch(&SynthConfig::fast(), &c, &pos, &[], &mut s_lazy).unwrap();
-        let eager = synthesize_branch(
+        let lazy =
+            synthesize_branch_over(&SynthConfig::fast(), &c, &pos, &[], &mut s_lazy).unwrap();
+        let eager = synthesize_branch_over(
             &SynthConfig::fast().without_lazy_guards(),
             &c,
             &pos,
@@ -314,7 +372,7 @@ mod tests {
         let pos = vec![example(page, &["x"])];
         let neg = vec![example(page, &[])];
         let mut stats = SynthStats::default();
-        assert!(synthesize_branch(&cfg, &c, &pos, &neg, &mut stats).is_none());
+        assert!(synthesize_branch_over(&cfg, &c, &pos, &neg, &mut stats).is_none());
     }
 
     #[test]
@@ -327,7 +385,7 @@ mod tests {
             &[],
         )];
         let mut stats = SynthStats::default();
-        let b = synthesize_branch(&cfg, &c, &pos, &neg, &mut stats).expect("branch");
+        let b = synthesize_branch_over(&cfg, &c, &pos, &neg, &mut stats).expect("branch");
         for (g, _) in &b.options {
             for n in &neg {
                 assert!(
@@ -336,5 +394,26 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn reference_branch_synthesis_is_identical() {
+        let c = ctx();
+        let pos = students_examples();
+        let neg = vec![example("<h1>C</h1><h2>Contact</h2><p>mail</p>", &[])];
+        let mut s_fast = SynthStats::default();
+        let mut s_ref = SynthStats::default();
+        let fast =
+            synthesize_branch_over(&SynthConfig::fast(), &c, &pos, &neg, &mut s_fast).unwrap();
+        let slow =
+            synthesize_branch_over(&SynthConfig::reference(), &c, &pos, &neg, &mut s_ref).unwrap();
+        assert_eq!(fast.f1, slow.f1);
+        assert_eq!(fast.counts, slow.counts);
+        assert_eq!(fast.options.len(), slow.options.len());
+        for ((ga, sa), (gb, sb)) in fast.options.iter().zip(&slow.options) {
+            assert_eq!(ga, gb);
+            assert_eq!(sa.groups, sb.groups);
+        }
+        assert_eq!(s_fast, s_ref, "stats must match across kernel modes");
     }
 }

@@ -40,6 +40,21 @@ pub struct SynthConfig {
     /// Include boolean connectives (`∧`) of leaf node-filters in the
     /// enumeration pool.
     pub filter_conjunctions: bool,
+    /// Route every scoring / mask / memo decision through the original
+    /// definitional string kernels instead of the interned-id hot path.
+    /// The search *semantics* are identical — `tests/synth_parity.rs`
+    /// proves it on the full corpus — only the work per decision differs.
+    /// See [`SynthConfig::reference`].
+    pub reference_kernels: bool,
+    /// Worker threads for branch-level parallel synthesis *inside* one
+    /// task: the distinct partition-block problems of Figure 7 fan out
+    /// over a scoped pool and merge in deterministic order. `0`/`1` both
+    /// mean sequential. Programs, counts, and F₁ are identical for any
+    /// value; the [`SynthStats`](crate::SynthStats) counters can grow
+    /// with `jobs > 1` because blocks the lazy sequential scan would have
+    /// skipped (those following a failing block in every containing
+    /// partition) are solved speculatively, and their search work counts.
+    pub jobs: usize,
 }
 
 impl SynthConfig {
@@ -58,6 +73,8 @@ impl SynthConfig {
             decompose: true,
             lazy_guards: true,
             filter_conjunctions: true,
+            reference_kernels: false,
+            jobs: 1,
         }
     }
 
@@ -78,7 +95,34 @@ impl SynthConfig {
             decompose: true,
             lazy_guards: true,
             filter_conjunctions: false,
+            reference_kernels: false,
+            jobs: 1,
         }
+    }
+
+    /// The slow-path reference configuration: [`SynthConfig::fast`]'s
+    /// search parameters with every hot-path kernel replaced by the
+    /// original definitional evaluation (string tokenization per score,
+    /// direct `NodeFilter::eval` masks, locator re-propagation at every
+    /// memo miss). Same optimum, same programs, same counts — the parity
+    /// suite (`tests/synth_parity.rs`) holds the two paths equal on the
+    /// whole corpus.
+    pub fn reference() -> Self {
+        Self::fast().with_reference_kernels()
+    }
+
+    /// Switches any configuration onto the definitional reference
+    /// kernels (see [`SynthConfig::reference`]).
+    pub fn with_reference_kernels(mut self) -> Self {
+        self.reference_kernels = true;
+        self
+    }
+
+    /// Sets the branch-level worker-thread count (see
+    /// [`SynthConfig::jobs`]).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 
     /// The `WebQA-NoPrune` ablation of Section 8.2.
@@ -134,5 +178,20 @@ mod tests {
         let c = SynthConfig::fast().without_lazy_guards();
         assert!(!c.lazy_guards);
         assert!(c.prune && c.decompose);
+    }
+
+    #[test]
+    fn reference_differs_only_in_kernels() {
+        let mut r = SynthConfig::reference();
+        assert!(r.reference_kernels);
+        r.reference_kernels = false;
+        assert_eq!(r, SynthConfig::fast());
+    }
+
+    #[test]
+    fn jobs_builder() {
+        let c = SynthConfig::fast().with_jobs(4);
+        assert_eq!(c.jobs, 4);
+        assert_eq!(SynthConfig::fast().jobs, 1);
     }
 }

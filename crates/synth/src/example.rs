@@ -4,12 +4,25 @@
 //! token bag of every page node, so that the `UB(ν, E)` ceiling of Eq. 3
 //! is a cheap multiset intersection instead of repeated tokenization —
 //! guard enumeration queries it thousands of times per task.
+//!
+//! Two ceiling kernels coexist:
+//!
+//! * [`Example::ceiling_counts`] — the hot path. Gold tokens get dense
+//!   ids at construction; every node stores only the dense ids of its
+//!   subtree tokens that occur in the gold (plus a total token count),
+//!   and the pre-order subtree ranges turn covering-set computation into
+//!   a single scan of the sorted node list. A ceiling is then a handful
+//!   of array decrements — no hashing, no `HashMap` clone.
+//! * [`Example::ceiling_counts_reference`] — the original definitional
+//!   computation (explicit covering set + token-keyed `HashMap`), kept as
+//!   the `SynthConfig::reference()` slow path and as the test oracle for
+//!   the fast kernel.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use webqa_dsl::{Extractor, Locator, PageNodeId, PageTree, Program, QueryContext};
-use webqa_metrics::{tokenize, tokenize_all, Counts, Token};
+use webqa_metrics::{tokenize, tokenize_all, Counts, SmallVec, Token};
 
 /// One labeled webpage: the parsed page plus the gold extraction strings.
 ///
@@ -25,8 +38,19 @@ pub struct Example {
     pub gold: Vec<String>,
     gold_tokens: Vec<Token>,
     gold_counts: HashMap<Token, usize>,
-    /// Subtree token bag per node (indexed by `PageNodeId`).
+    /// Subtree token bag per node (indexed by `PageNodeId`); reference
+    /// ceiling path and diagnostics.
     subtree_tokens: Vec<Vec<Token>>,
+    /// Multiplicity per dense gold-token id (fast ceiling kernel).
+    gold_distinct: Vec<u32>,
+    /// Per node: dense gold ids of the subtree tokens that occur in the
+    /// gold bag (with multiplicity; non-gold tokens are dropped).
+    node_gold_hits: Vec<Vec<u16>>,
+    /// Per node: total subtree token count (gold-relevant or not).
+    node_token_count: Vec<u32>,
+    /// Per node: exclusive end of its pre-order subtree range — node `i`'s
+    /// subtree is exactly the ids `i..subtree_end[i]`.
+    subtree_end: Vec<usize>,
 }
 
 impl Example {
@@ -40,16 +64,59 @@ impl Example {
         for t in &gold_tokens {
             *gold_counts.entry(t.clone()).or_insert(0) += 1;
         }
-        let subtree_tokens = page
+        let subtree_tokens: Vec<Vec<Token>> = page
             .iter()
             .map(|n| tokenize(&page.subtree_text(n)))
             .collect();
+
+        // Dense gold ids, in first-occurrence order. u16 bounds the
+        // per-node hit lists; a gold bag past that is not a scoring
+        // problem this kernel supports silently.
+        assert!(
+            gold_counts.len() <= usize::from(u16::MAX),
+            "gold bag has {} distinct tokens; the dense ceiling kernel supports at most {}",
+            gold_counts.len(),
+            u16::MAX
+        );
+        let mut dense: HashMap<&Token, u16> = HashMap::new();
+        let mut gold_distinct: Vec<u32> = Vec::new();
+        for t in &gold_tokens {
+            match dense.get(t) {
+                Some(&id) => gold_distinct[id as usize] += 1,
+                None => {
+                    let id = gold_distinct.len() as u16;
+                    dense.insert(t, id);
+                    gold_distinct.push(1);
+                }
+            }
+        }
+        let node_gold_hits: Vec<Vec<u16>> = subtree_tokens
+            .iter()
+            .map(|toks| toks.iter().filter_map(|t| dense.get(t).copied()).collect())
+            .collect();
+        let node_token_count: Vec<u32> = subtree_tokens.iter().map(|t| t.len() as u32).collect();
+
+        // Pre-order subtree ranges: children ids are contiguous after the
+        // parent, so end[i] = end of the last child (or i + 1 for leaves).
+        let mut subtree_end = vec![0usize; page.len()];
+        for i in (0..page.len()).rev() {
+            let children = page.children(PageNodeId(i));
+            subtree_end[i] = match children.last() {
+                Some(last) => subtree_end[last.index()],
+                None => i + 1,
+            };
+        }
+
         Example {
             page,
             gold,
             gold_tokens,
             gold_counts,
             subtree_tokens,
+            gold_distinct,
+            node_gold_hits,
+            node_token_count,
+            subtree_end,
         }
     }
 
@@ -69,7 +136,63 @@ impl Example {
     /// as predicted. This is the `Recall(ν, E)` of Eq. 3 — sound for any
     /// extractor running below the locator because extractors only ever
     /// see located-node text.
+    ///
+    /// Runs on the dense-id kernel; agrees with
+    /// [`ceiling_counts_reference`](Example::ceiling_counts_reference) on
+    /// every input (tested, and proven end-to-end by the parity suite).
     pub fn ceiling_counts(&self, nodes: &[PageNodeId]) -> Counts {
+        let mut remaining: SmallVec<u32, 32> = self.gold_distinct.iter().copied().collect();
+        if nodes.windows(2).all(|w| w[0] <= w[1]) {
+            // Hot path: locator evaluation always yields sorted, deduped
+            // node lists; read them in place.
+            self.ceiling_sorted(nodes.iter().map(|n| n.index()), remaining.as_mut_slice())
+        } else {
+            let mut sorted: Vec<usize> = nodes.iter().map(|n| n.index()).collect();
+            sorted.sort_unstable();
+            self.ceiling_sorted(sorted.into_iter(), remaining.as_mut_slice())
+        }
+    }
+
+    fn ceiling_sorted(&self, nodes: impl Iterator<Item = usize>, remaining: &mut [u32]) -> Counts {
+        let mut matched = 0usize;
+        let mut predicted = 0usize;
+        let mut cover_end = 0usize;
+        let mut last_kept = usize::MAX;
+        for i in nodes {
+            if i < cover_end && i != last_kept {
+                // Inside the subtree of an already-kept *other* node: the
+                // covering-set rule drops it so its text is not counted
+                // twice. A repeat of the kept node itself is NOT dropped —
+                // the covering set only removes strict descendants, so
+                // duplicates of a surviving node count again (matching
+                // the reference kernel exactly).
+                continue;
+            }
+            if i != last_kept {
+                cover_end = self.subtree_end[i];
+                last_kept = i;
+            }
+            predicted += self.node_token_count[i] as usize;
+            for &d in &self.node_gold_hits[i] {
+                let slot = d as usize;
+                if remaining[slot] > 0 {
+                    remaining[slot] -= 1;
+                    matched += 1;
+                }
+            }
+        }
+        Counts {
+            matched,
+            predicted,
+            gold: self.gold_tokens.len(),
+        }
+    }
+
+    /// The original (pre-overhaul) ceiling computation: explicit covering
+    /// set plus a cloned token-keyed `HashMap`. This is the
+    /// `SynthConfig::reference()` kernel and the ground truth
+    /// [`ceiling_counts`](Example::ceiling_counts) is tested against.
+    pub fn ceiling_counts_reference(&self, nodes: &[PageNodeId]) -> Counts {
         let cover = covering_set(&self.page, nodes);
         let mut remaining = self.gold_counts.clone();
         let mut matched = 0usize;
@@ -96,10 +219,17 @@ impl Example {
     pub fn locator_ceiling(&self, ctx: &QueryContext, locator: &Locator) -> Counts {
         self.ceiling_counts(&locator.eval(ctx, &self.page))
     }
+
+    /// Exclusive end of node `n`'s pre-order subtree range: the ids
+    /// `n.index() + 1 .. subtree_end_of(n)` are exactly `n`'s proper
+    /// descendants, in document order.
+    pub(crate) fn subtree_end_of(&self, n: PageNodeId) -> usize {
+        self.subtree_end[n.index()]
+    }
 }
 
 /// Removes nodes that are descendants of other nodes in the set, so
-/// subtree texts are not double counted.
+/// subtree texts are not double counted (reference kernel).
 fn covering_set(page: &PageTree, nodes: &[PageNodeId]) -> Vec<PageNodeId> {
     let set: std::collections::HashSet<PageNodeId> = nodes.iter().copied().collect();
     nodes
@@ -131,6 +261,34 @@ pub fn counts_of_outputs(examples: &[Example], outputs: &[Vec<String>]) -> Count
         .iter()
         .zip(outputs)
         .map(|(ex, out)| ex.counts_for(out))
+        .sum()
+}
+
+/// Reference-kernel scoring used by `SynthConfig::reference()`: the exact
+/// pre-overhaul string path (tokenize every output, hash against the gold
+/// bag), optionally applying the program-level set semantics first.
+pub(crate) fn counts_of_outputs_ref<S: AsRef<str>>(
+    examples: &[&Example],
+    outputs: &[Vec<S>],
+    dedup: bool,
+) -> Counts {
+    examples
+        .iter()
+        .zip(outputs)
+        .map(|(ex, out)| {
+            if dedup {
+                let mut seen = std::collections::HashSet::new();
+                let strings: Vec<&str> = out
+                    .iter()
+                    .map(AsRef::as_ref)
+                    .filter(|s| seen.insert(*s))
+                    .collect();
+                Counts::from_bags(&tokenize_all(&strings), ex.gold_tokens())
+            } else {
+                let strings: Vec<&str> = out.iter().map(AsRef::as_ref).collect();
+                Counts::from_bags(&tokenize_all(&strings), ex.gold_tokens())
+            }
+        })
         .sum()
 }
 
@@ -244,6 +402,55 @@ mod tests {
             }
             let slow = Counts::from_bags(&toks, ex.gold_tokens());
             assert_eq!(fast, slow, "locator {loc}");
+            assert_eq!(ex.ceiling_counts_reference(&nodes), slow, "locator {loc}");
+        }
+    }
+
+    #[test]
+    fn fast_ceiling_matches_reference_on_arbitrary_node_sets() {
+        let ex = Example::new(
+            page(),
+            vec!["Jane Doe".into(), "Bob Smith".into(), "noise".into()],
+        );
+        let n = ex.page.len();
+        // Every subset of a small page — unsorted and duplicated too.
+        for mask in 0u32..(1 << n) {
+            let mut nodes: Vec<PageNodeId> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(PageNodeId)
+                .collect();
+            assert_eq!(
+                ex.ceiling_counts(&nodes),
+                ex.ceiling_counts_reference(&nodes),
+                "sorted mask {mask:b}"
+            );
+            nodes.reverse();
+            assert_eq!(
+                ex.ceiling_counts(&nodes),
+                ex.ceiling_counts_reference(&nodes),
+                "reversed mask {mask:b}"
+            );
+            // Duplicate entries: the covering set keeps every copy of a
+            // surviving node, so both kernels must double count them.
+            let doubled: Vec<PageNodeId> = nodes.iter().flat_map(|&n| [n, n]).collect();
+            assert_eq!(
+                ex.ceiling_counts(&doubled),
+                ex.ceiling_counts_reference(&doubled),
+                "duplicated mask {mask:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn subtree_ranges_are_preorder() {
+        let ex = Example::new(page(), vec![]);
+        for id in ex.page.iter() {
+            let i = id.index();
+            let descendants = ex.page.descendants(id);
+            assert_eq!(ex.subtree_end[i], i + 1 + descendants.len(), "node {i}");
+            for d in descendants {
+                assert!(d.index() > i && d.index() < ex.subtree_end[i]);
+            }
         }
     }
 

@@ -7,15 +7,27 @@
 //! extractor chain. This is semantically identical (extractor productions
 //! are pointwise string transformers) and is what makes the exhaustive
 //! search cheap enough to run hundreds of times per task.
+//!
+//! Hot-path structure (all semantics-free; `SynthConfig::reference()`
+//! swaps the kernels back to definitional string scoring):
+//!
+//! * outputs flow as shared `Arc<str>` slices, so `Filter` and dedup
+//!   copy pointers, not bytes (atomically counted so the task-level
+//!   production caches can be shared across branch-parallel workers);
+//! * candidates are scored on interned token ids ([`crate::scorer::Scorer`])
+//!   — tokenization happens once per distinct output string per branch;
+//! * child candidates are generated as *production steps* applied to the
+//!   parent's outputs; the `UB = 2R/(1+R)` bound (Eq. 3) is checked
+//!   **before** the child AST exists, so dominated candidates never
+//!   materialize an `Extractor` value at all.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::HashSet;
+use std::sync::Arc;
 
-use webqa_dsl::{Extractor, PageNodeId, QueryContext};
+use webqa_dsl::{Extractor, PageNodeId};
 use webqa_metrics::Counts;
 
-use crate::config::SynthConfig;
-use crate::example::{counts_of_outputs, Example};
-use crate::pool::extend_extractor;
+use crate::scorer::{OutStr, Scorer, StepOp, TaskCtx};
 use crate::stats::SynthStats;
 
 /// Result of extractor synthesis: all extractors achieving the optimal F₁
@@ -68,82 +80,119 @@ fn push_group(groups: &mut Vec<(Counts, Vec<Extractor>)>, counts: Counts, e: Ext
 /// integers; 1e-9 distinguishes all genuinely different values).
 pub(crate) const F1_EPS: f64 = 1e-9;
 
+/// One worklist candidate: the extractor AST, its per-example outputs,
+/// and the spine facts child generation needs.
+struct Cand {
+    ast: Extractor,
+    outputs: Vec<Vec<OutStr>>,
+    depth: usize,
+    /// `Some(c)` when the top production is `Split(·, c)` (double splits
+    /// on one delimiter are identities and are skipped).
+    last_split: Option<char>,
+}
+
 /// Figure 9: returns all extractors (up to the configured depth) whose F₁
 /// on the propagated examples is maximal and at least `opt`.
 pub(crate) fn synthesize_extractors(
-    cfg: &SynthConfig,
-    ctx: &QueryContext,
-    examples: &[Example],
+    task: &TaskCtx,
+    scorer: &mut Scorer,
     nodes: &[Vec<PageNodeId>],
     opt: f64,
     stats: &mut SynthStats,
 ) -> ExtractorSynthesis {
-    debug_assert_eq!(examples.len(), nodes.len());
+    debug_assert_eq!(scorer.pos.len(), nodes.len());
     let mut best: Vec<(Counts, Vec<Extractor>)> = Vec::new();
     let mut best_f1 = opt;
     let mut best_counts = Counts::default();
 
     // Seed: ExtractContent(x) and its outputs.
-    let seed_outputs: Vec<Vec<String>> = examples
+    let seed_outputs: Vec<Vec<OutStr>> = scorer
+        .pos
         .iter()
         .zip(nodes)
-        .map(|(ex, ns)| Extractor::Content.eval(ctx, &ex.page, ns))
+        .map(|(ex, ns)| {
+            Extractor::Content
+                .eval(task.ctx, &ex.page, ns)
+                .into_iter()
+                .map(Arc::from)
+                .collect()
+        })
         .collect();
 
-    let mut worklist: VecDeque<(Extractor, Vec<Vec<String>>)> = VecDeque::new();
-    let seed_sig = outputs_signature(&seed_outputs);
-    worklist.push_back((Extractor::Content, seed_outputs));
-    let mut seen: HashSet<Extractor> = HashSet::new();
-    seen.insert(Extractor::Content);
+    let mut worklist: std::collections::VecDeque<Cand> = std::collections::VecDeque::new();
+    let seed_sig = scorer.signature(&seed_outputs);
+    worklist.push_back(Cand {
+        ast: Extractor::Content,
+        outputs: seed_outputs,
+        depth: Extractor::Content.depth(),
+        last_split: None,
+    });
     // Behavioral-equivalence pruning: a child whose outputs on the training
-    // examples equal an already-expanded extractor's outputs is scored (it
+    // examples equal an already-expanded candidate's outputs is scored (it
     // may be one of the tied optimal programs) but not *expanded* — every
     // extension it could produce has an output-identical twin reachable
     // from the representative, so no distinct-behavior optimum is lost.
     let mut seen_outputs: HashSet<u64> = HashSet::new();
     seen_outputs.insert(seed_sig);
 
-    while let Some((e, outputs)) = worklist.pop_front() {
+    while let Some(cand) = worklist.pop_front() {
         stats.extractors_enumerated += 1;
         // Score with the *program-level* set semantics (Figure 6: programs
         // return Set<String>), while the raw multiset outputs keep flowing
         // through productions.
-        let counts = counts_of_outputs(examples, &dedup_outputs(&outputs));
+        let counts = scorer.counts_dedup(&cand.outputs);
         let s = counts.f1();
         if s > best_f1 + F1_EPS {
-            best = vec![(counts, vec![e.clone()])];
+            best = vec![(counts, vec![cand.ast.clone()])];
             best_f1 = s;
             best_counts = counts;
         } else if (s - best_f1).abs() <= F1_EPS && s > 0.0 {
             if best.is_empty() {
                 best_counts = counts;
             }
-            push_group(&mut best, counts, e.clone());
+            push_group(&mut best, counts, cand.ast.clone());
         }
-        for child in extend_extractor(cfg, ctx, &e) {
-            if !seen.insert(child.clone()) {
-                continue;
+        if cand.depth >= task.cfg.extractor_depth {
+            continue;
+        }
+        for (si, step) in task.steps.iter().enumerate() {
+            if let (StepOp::Split(c), Some(prev)) = (step, cand.last_split) {
+                // Splitting twice on the same delimiter is an identity.
+                if *c == prev {
+                    continue;
+                }
             }
-            let child_outputs = apply_step(ctx, &child, &outputs);
+            let child_outputs = scorer.apply_step(task, si, &cand.outputs);
             // UB(e′, E) over the *raw* multiset (Eq. 3): raw recall
             // dominates the set-semantics recall of every extension, so
-            // pruning on it is sound for the deduplicated score too.
-            let child_raw_counts = counts_of_outputs(examples, &child_outputs);
-            if cfg.prune && child_raw_counts.upper_bound() + F1_EPS < best_f1 {
+            // pruning on it is sound for the deduplicated score too. The
+            // child AST has not been built yet — pruned candidates never
+            // exist as `Extractor` values.
+            let child_raw_counts = scorer.counts_raw(&child_outputs);
+            if task.cfg.prune && child_raw_counts.upper_bound() + F1_EPS < best_f1 {
                 stats.extractors_pruned += 1;
                 continue;
             }
-            if !seen_outputs.insert(outputs_signature(&child_outputs)) {
+            if !seen_outputs.insert(scorer.signature(&child_outputs)) {
                 // Score the behavioral duplicate, but do not expand it.
-                let dup_counts = counts_of_outputs(examples, &dedup_outputs(&child_outputs));
+                let dup_counts = scorer.counts_dedup(&child_outputs);
                 let s = dup_counts.f1();
                 stats.extractors_enumerated += 1;
                 if (s - best_f1).abs() <= F1_EPS && s > 0.0 {
-                    push_group(&mut best, dup_counts, child);
+                    push_group(&mut best, dup_counts, make_ast(&cand.ast, step));
                 }
                 continue;
             }
-            worklist.push_back((child, child_outputs));
+            let ast = make_ast(&cand.ast, step);
+            worklist.push_back(Cand {
+                depth: cand.depth + 1,
+                last_split: match step {
+                    StepOp::Split(c) => Some(*c),
+                    _ => None,
+                },
+                ast,
+                outputs: child_outputs,
+            });
         }
     }
 
@@ -154,71 +203,23 @@ pub(crate) fn synthesize_extractors(
     }
 }
 
-/// Order-preserving per-example deduplication — the set semantics a full
-/// program applies to its final output (Figure 6).
-fn dedup_outputs(outputs: &[Vec<String>]) -> Vec<Vec<String>> {
-    outputs
-        .iter()
-        .map(|strings| {
-            let mut seen = HashSet::new();
-            strings
-                .iter()
-                .filter(|s| seen.insert((*s).clone()))
-                .cloned()
-                .collect()
-        })
-        .collect()
-}
-
-/// Order-sensitive hash of per-example outputs, used for behavioral
-/// deduplication.
-fn outputs_signature(outputs: &[Vec<String>]) -> u64 {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    outputs.hash(&mut h);
-    h.finish()
-}
-
-/// Applies the *top* production of `child` to its parent's outputs.
-///
-/// # Panics
-///
-/// Panics if `child` is `Content` (the seed has no parent).
-fn apply_step(
-    ctx: &QueryContext,
-    child: &Extractor,
-    parent_outputs: &[Vec<String>],
-) -> Vec<Vec<String>> {
-    parent_outputs
-        .iter()
-        .map(|strings| match child {
-            Extractor::Filter(_, pred) => strings
-                .iter()
-                .filter(|s| pred.eval(ctx, s))
-                .cloned()
-                .collect(),
-            Extractor::Substring(_, pred, k) => strings
-                .iter()
-                .flat_map(|s| pred.extract(ctx, s).into_iter().take(*k))
-                .collect(),
-            Extractor::Split(_, c) => strings
-                .iter()
-                .flat_map(|s| {
-                    s.split(*c)
-                        .map(|p| p.trim().to_string())
-                        .filter(|p| !p.is_empty())
-                        .collect::<Vec<_>>()
-                })
-                .collect(),
-            Extractor::Content => unreachable!("Content is the enumeration seed, never a child"),
-        })
-        .collect()
+/// Builds the child AST for a surviving candidate.
+fn make_ast(parent: &Extractor, step: &StepOp) -> Extractor {
+    match step {
+        StepOp::Filter(pred) => Extractor::Filter(Box::new(parent.clone()), pred.clone()),
+        StepOp::Substring(pred, k) => {
+            Extractor::Substring(Box::new(parent.clone()), pred.clone(), *k)
+        }
+        StepOp::Split(c) => Extractor::Split(Box::new(parent.clone()), *c),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use webqa_dsl::{Locator, PageTree};
+    use crate::config::SynthConfig;
+    use crate::example::{counts_of_outputs, Example};
+    use webqa_dsl::{Locator, PageTree, QueryContext};
 
     fn setup() -> (QueryContext, Vec<Example>, Vec<Vec<PageNodeId>>) {
         let ctx = QueryContext::new(
@@ -234,12 +235,42 @@ mod tests {
         (ctx, vec![ex], vec![nodes])
     }
 
+    fn run(
+        cfg: &SynthConfig,
+        ctx: &QueryContext,
+        examples: &[Example],
+        nodes: &[Vec<PageNodeId>],
+        opt: f64,
+        stats: &mut SynthStats,
+    ) -> ExtractorSynthesis {
+        let task = TaskCtx::new(cfg, ctx, examples);
+        let pos: Vec<usize> = (0..examples.len()).collect();
+        let mut scorer = Scorer::new(&task, &pos);
+        synthesize_extractors(&task, &mut scorer, nodes, opt, stats)
+    }
+
+    /// Order-preserving per-example deduplication — the set semantics a
+    /// full program applies to its final output (Figure 6).
+    fn dedup_outputs(outputs: &[Vec<String>]) -> Vec<Vec<String>> {
+        outputs
+            .iter()
+            .map(|strings| {
+                let mut seen = HashSet::new();
+                strings
+                    .iter()
+                    .filter(|s| seen.insert((*s).clone()))
+                    .cloned()
+                    .collect()
+            })
+            .collect()
+    }
+
     #[test]
     fn finds_split_filter_extractor() {
         let (ctx, examples, nodes) = setup();
         let cfg = SynthConfig::fast();
         let mut stats = SynthStats::default();
-        let res = synthesize_extractors(&cfg, &ctx, &examples, &nodes, 0.0, &mut stats);
+        let res = run(&cfg, &ctx, &examples, &nodes, 0.0, &mut stats);
         assert!(res.f1 > 0.99, "expected perfect extraction, got {}", res.f1);
         // The optimal set must contain a split-then-filter program.
         let extractors = res.extractors();
@@ -258,7 +289,7 @@ mod tests {
         let (ctx, examples, nodes) = setup();
         let mut s_on = SynthStats::default();
         let mut s_off = SynthStats::default();
-        let on = synthesize_extractors(
+        let on = run(
             &SynthConfig::fast(),
             &ctx,
             &examples,
@@ -266,7 +297,7 @@ mod tests {
             0.0,
             &mut s_on,
         );
-        let off = synthesize_extractors(
+        let off = run(
             &SynthConfig::fast().without_pruning(),
             &ctx,
             &examples,
@@ -288,11 +319,42 @@ mod tests {
     }
 
     #[test]
+    fn reference_kernels_reproduce_optimized_result_exactly() {
+        let (ctx, examples, nodes) = setup();
+        let mut s_fast = SynthStats::default();
+        let mut s_ref = SynthStats::default();
+        let fast = run(
+            &SynthConfig::fast(),
+            &ctx,
+            &examples,
+            &nodes,
+            0.0,
+            &mut s_fast,
+        );
+        let slow = run(
+            &SynthConfig::reference(),
+            &ctx,
+            &examples,
+            &nodes,
+            0.0,
+            &mut s_ref,
+        );
+        assert_eq!(fast.f1, slow.f1);
+        assert_eq!(fast.counts, slow.counts);
+        assert_eq!(fast.groups.len(), slow.groups.len());
+        for ((ca, ea), (cb, eb)) in fast.groups.iter().zip(&slow.groups) {
+            assert_eq!(ca, cb);
+            assert_eq!(ea, eb);
+        }
+        assert_eq!(s_fast, s_ref, "search statistics must match exactly");
+    }
+
+    #[test]
     fn respects_lower_bound() {
         let (ctx, examples, nodes) = setup();
         let mut stats = SynthStats::default();
         // A lower bound of 1.1 is unbeatable: nothing is returned.
-        let res = synthesize_extractors(
+        let res = run(
             &SynthConfig::fast(),
             &ctx,
             &examples,
@@ -308,7 +370,7 @@ mod tests {
         let (ctx, examples, nodes) = setup();
         let cfg = SynthConfig::fast();
         let mut stats = SynthStats::default();
-        let res = synthesize_extractors(&cfg, &ctx, &examples, &nodes, 0.0, &mut stats);
+        let res = run(&cfg, &ctx, &examples, &nodes, 0.0, &mut stats);
         for e in res.extractors().iter().take(10) {
             let direct: Vec<Vec<String>> = examples
                 .iter()
@@ -327,7 +389,7 @@ mod tests {
     fn empty_examples_degenerate() {
         let ctx = QueryContext::new("q?", ["k"]);
         let mut stats = SynthStats::default();
-        let res = synthesize_extractors(&SynthConfig::fast(), &ctx, &[], &[], 0.0, &mut stats);
+        let res = run(&SynthConfig::fast(), &ctx, &[], &[], 0.0, &mut stats);
         // No examples: Content scores F1=1.0 on the empty set (vacuous).
         assert!(res.f1 >= 0.0);
     }

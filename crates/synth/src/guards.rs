@@ -1,199 +1,331 @@
 //! `GetNextGuard` (Figure 10 of the paper): lazy bottom-up enumeration of
 //! guards that classify the positive from the negative examples.
 //!
-//! Two implementation notes beyond the paper's pseudocode:
+//! Implementation notes beyond the paper's pseudocode:
 //!
 //! * **Laziness**: the caller's optimal F₁ (`opt`) rises while guards are
 //!   consumed, and every `next(opt)` call applies the *current* bound when
 //!   deciding which locator extensions stay in the worklist — exactly the
 //!   interplay the paper credits for the pruning power of the combined
 //!   search.
-//! * **Incremental locator evaluation**: each worklist entry carries the
-//!   node sets its locator selects on every example, so extending a
-//!   locator (`GetChildren`/`GetDescendants`) filters those sets directly
-//!   instead of re-walking the tree from the root, and guard
-//!   classification reads the precomputed sets. Semantically identical to
-//!   `Locator::eval`, asymptotically much cheaper.
+//! * **Incremental locator evaluation**: each entry carries the node sets
+//!   its locator selects on every example, so extending a locator
+//!   (`GetChildren`/`GetDescendants`) filters those sets directly instead
+//!   of re-walking the tree from the root, and guard classification reads
+//!   the precomputed sets. Semantically identical to `Locator::eval`,
+//!   asymptotically much cheaper.
+//! * **Entry arena**: entries live in an arena and guards are yielded as
+//!   `(Guard, entry id)`, so the branch synthesizer can memoize extractor
+//!   synthesis per locator by dense index — no `Locator` cloning or
+//!   hashing on the hot path — and reuse the entry's already-propagated
+//!   node sets and recall ceiling (Figure 8 line 6) instead of
+//!   re-evaluating the locator from the root.
+//! * **Mask tables**: in optimized mode the `[filter][node]` satisfaction
+//!   masks come precomputed from the [`TaskCtx`] (one neural-feature pass
+//!   per node for the whole task); `SynthConfig::reference()` recomputes
+//!   them per branch with direct `NodeFilter::eval` calls, as the
+//!   pre-overhaul code did.
 
 use std::collections::VecDeque;
 
-use webqa_dsl::{Guard, Locator, NlpPred, NodeFilter, PageNodeId, PageTree, QueryContext};
+use webqa_dsl::{Guard, Locator, NlpPred, PageNodeId, QueryContext};
+use webqa_metrics::Counts;
 
-use crate::config::SynthConfig;
 use crate::example::Example;
 use crate::extractors::F1_EPS;
-use crate::pool::{gen_guards, node_filters};
+use crate::scorer::{pred_holds, TaskCtx};
 use crate::stats::SynthStats;
 
-/// A locator with its evaluation on every positive and negative example.
+/// A locator with its evaluation on every positive and negative example,
+/// plus the recall ceiling of its positive node sets (Eq. 3).
 struct Entry {
     locator: Locator,
     pos_nodes: Vec<Vec<PageNodeId>>,
     neg_nodes: Vec<Vec<PageNodeId>>,
+    ub: Counts,
 }
+
+/// A guard over the current entry's locator, not yet materialized: the
+/// locator is cloned into an owned [`Guard`] only if the guard actually
+/// classifies the examples.
+enum GuardSpec {
+    Singleton,
+    /// Index into [`TaskCtx::guard_preds`].
+    Sat(usize),
+}
+
+/// Per-branch mask table in reference mode: `[filter][local example]` →
+/// one bool per node.
+type RefMasks = Vec<Vec<Vec<bool>>>;
 
 /// Lazy guard enumerator for one (E⁺, E⁻) classification problem.
 pub(crate) struct GuardEnumerator<'a> {
-    cfg: &'a SynthConfig,
-    ctx: &'a QueryContext,
-    pos: &'a [Example],
-    neg: &'a [Example],
-    /// The node-filter pool, with each filter's satisfaction mask
-    /// precomputed per example node (`pos_masks[f][example][node]`). The
-    /// same (filter, node) pair is queried by *every* locator extension;
-    /// computing it once turns expansion into pure set filtering.
-    filters: Vec<NodeFilter>,
-    pos_masks: Vec<Vec<Vec<bool>>>,
-    neg_masks: Vec<Vec<Vec<bool>>>,
-    worklist: VecDeque<Entry>,
+    task: &'a TaskCtx<'a>,
+    pos: &'a [usize],
+    neg: &'a [usize],
+    /// Reference mode only: masks recomputed per branch via direct
+    /// `NodeFilter::eval`, laid out `[filter][local example][node]` for
+    /// positives and negatives separately.
+    ref_masks: Option<(RefMasks, RefMasks)>,
+    entries: Vec<Entry>,
+    worklist: VecDeque<usize>,
     /// Guards generated from the current entry, not yet screened.
-    pending: VecDeque<Guard>,
-    current: Option<Entry>,
+    pending: VecDeque<GuardSpec>,
+    current: Option<usize>,
     yielded: usize,
 }
 
 impl<'a> GuardEnumerator<'a> {
-    pub(crate) fn new(
-        cfg: &'a SynthConfig,
-        ctx: &'a QueryContext,
-        pos: &'a [Example],
-        neg: &'a [Example],
-    ) -> Self {
-        let mut worklist = VecDeque::new();
-        worklist.push_back(Entry {
+    pub(crate) fn new(task: &'a TaskCtx<'a>, pos: &'a [usize], neg: &'a [usize]) -> Self {
+        let root = Entry {
             locator: Locator::Root,
-            pos_nodes: pos.iter().map(|ex| vec![ex.page.root()]).collect(),
-            neg_nodes: neg.iter().map(|ex| vec![ex.page.root()]).collect(),
-        });
-        let filters = node_filters(cfg, ctx);
-        let masks = |examples: &[Example]| -> Vec<Vec<Vec<bool>>> {
-            filters
+            pos_nodes: pos
                 .iter()
-                .map(|f| {
-                    examples
-                        .iter()
-                        .map(|ex| ex.page.iter().map(|n| f.eval(ctx, &ex.page, n)).collect())
-                        .collect()
-                })
-                .collect()
+                .map(|&i| vec![task.examples[i].page.root()])
+                .collect(),
+            neg_nodes: neg
+                .iter()
+                .map(|&i| vec![task.examples[i].page.root()])
+                .collect(),
+            // The ceiling is only ever consulted under `cfg.prune` (here
+            // and in the branch synthesizer's memo gate); NoPrune runs
+            // skip computing it entirely, as the pre-overhaul code did.
+            ub: if task.cfg.prune {
+                pos.iter()
+                    .map(|&i| {
+                        let ex = &task.examples[i];
+                        ceiling(task, ex, &[ex.page.root()])
+                    })
+                    .sum()
+            } else {
+                Counts::default()
+            },
         };
-        let pos_masks = masks(pos);
-        let neg_masks = masks(neg);
+        let ref_masks = task.cfg.reference_kernels.then(|| {
+            let masks = |idx: &[usize]| -> RefMasks {
+                task.filters
+                    .iter()
+                    .map(|f| {
+                        idx.iter()
+                            .map(|&i| {
+                                let ex = &task.examples[i];
+                                ex.page
+                                    .iter()
+                                    .map(|n| f.eval(task.ctx, &ex.page, n))
+                                    .collect()
+                            })
+                            .collect()
+                    })
+                    .collect()
+            };
+            (masks(pos), masks(neg))
+        });
         GuardEnumerator {
-            cfg,
-            ctx,
+            task,
             pos,
             neg,
-            filters,
-            pos_masks,
-            neg_masks,
-            worklist,
+            ref_masks,
+            entries: vec![root],
+            worklist: VecDeque::from([0]),
             pending: VecDeque::new(),
             current: None,
             yielded: 0,
         }
     }
 
+    /// The propagated positive node sets of entry `eid` (the
+    /// `PropagateExamples` result of Figure 8, already computed).
+    pub(crate) fn entry_nodes(&self, eid: usize) -> &[Vec<PageNodeId>] {
+        &self.entries[eid].pos_nodes
+    }
+
+    /// The recall ceiling of entry `eid`'s positive node sets (Figure 8
+    /// line 6), computed when the entry was created.
+    pub(crate) fn entry_ub(&self, eid: usize) -> Counts {
+        self.entries[eid].ub
+    }
+
+    /// The locator of entry `eid` (reference path re-propagates from it).
+    pub(crate) fn entry_locator(&self, eid: usize) -> &Locator {
+        &self.entries[eid].locator
+    }
+
     /// Yields the next guard that is true on every positive example and
-    /// false on every negative one, or `None` when the bounded search
-    /// space is exhausted. `opt` is the caller's current best F₁, used to
-    /// prune locator extensions (Figure 10, line 8).
-    pub(crate) fn next(&mut self, opt: f64, stats: &mut SynthStats) -> Option<Guard> {
-        if self.yielded >= self.cfg.max_guards_per_branch {
+    /// false on every negative one — plus its entry id — or `None` when
+    /// the bounded search space is exhausted. `opt` is the caller's
+    /// current best F₁, used to prune locator extensions (Figure 10,
+    /// line 8).
+    pub(crate) fn next(&mut self, opt: f64, stats: &mut SynthStats) -> Option<(Guard, usize)> {
+        if self.yielded >= self.task.cfg.max_guards_per_branch {
             return None;
         }
         loop {
-            if let Some(entry) = &self.current {
-                while let Some(guard) = self.pending.pop_front() {
-                    if self.classifies(&guard, entry) {
+            if let Some(eid) = self.current {
+                while let Some(spec) = self.pending.pop_front() {
+                    if self.classifies(&spec, eid) {
                         self.yielded += 1;
                         stats.guards_yielded += 1;
-                        return Some(guard);
+                        return Some((self.materialize(&spec, eid), eid));
                     }
                 }
                 self.current = None;
             }
-            let entry = self.worklist.pop_front()?;
-            self.pending
-                .extend(gen_guards(self.cfg, self.ctx, &entry.locator));
-            self.expand(&entry, opt, stats);
-            self.current = Some(entry);
+            let eid = self.worklist.pop_front()?;
+            // `GenGuards(ν)` (Figure 10 line 5), deferred: specs only.
+            self.pending.push_back(GuardSpec::Singleton);
+            for pi in 0..self.task.guard_preds.len() {
+                self.pending.push_back(GuardSpec::Sat(pi));
+            }
+            self.expand(eid, opt, stats);
+            self.current = Some(eid);
+        }
+    }
+
+    fn mask_pos(&self, fi: usize, k: usize) -> &[bool] {
+        match &self.ref_masks {
+            Some((pm, _)) => &pm[fi][k],
+            None => self.task.mask(self.pos[k], fi),
+        }
+    }
+
+    fn mask_neg(&self, fi: usize, k: usize) -> &[bool] {
+        match &self.ref_masks {
+            Some((_, nm)) => &nm[fi][k],
+            None => self.task.mask(self.neg[k], fi),
         }
     }
 
     /// `ApplyProduction(ν)` with incremental node evaluation and the UB
     /// check of Figure 10 line 8.
-    fn expand(&mut self, entry: &Entry, opt: f64, stats: &mut SynthStats) {
-        if entry.locator.depth() >= self.cfg.guard_depth {
+    fn expand(&mut self, eid: usize, opt: f64, stats: &mut SynthStats) {
+        if self.entries[eid].locator.depth() >= self.task.cfg.guard_depth {
             return;
         }
-        for (fi, filter) in self.filters.iter().enumerate() {
+        let mut created: Vec<Entry> = Vec::new();
+        for fi in 0..self.task.filters.len() {
             for descend in [false, true] {
                 stats.locators_expanded += 1;
-                let pos_nodes: Vec<Vec<PageNodeId>> = entry
-                    .pos_nodes
+                let entry = &self.entries[eid];
+                let pos_nodes: Vec<Vec<PageNodeId>> = self
+                    .pos
                     .iter()
-                    .zip(self.pos)
-                    .zip(&self.pos_masks[fi])
-                    .map(|((nodes, ex), mask)| step_nodes_masked(&ex.page, nodes, mask, descend))
+                    .enumerate()
+                    .map(|(k, &i)| {
+                        step_nodes_masked(
+                            &self.task.examples[i],
+                            &entry.pos_nodes[k],
+                            self.mask_pos(fi, k),
+                            descend,
+                        )
+                    })
                     .collect();
-                if self.cfg.prune {
-                    let ub: webqa_metrics::Counts = self
-                        .pos
+                // Only computed when pruning can read it (the NoPrune
+                // ablation must not pay for an unused bound).
+                let ub: Counts = if self.task.cfg.prune {
+                    self.pos
                         .iter()
                         .zip(&pos_nodes)
-                        .map(|(ex, nodes)| ex.ceiling_counts(nodes))
-                        .sum();
-                    if ub.upper_bound() + F1_EPS < opt {
-                        stats.locators_pruned += 1;
-                        continue;
-                    }
-                }
-                let neg_nodes: Vec<Vec<PageNodeId>> = entry
-                    .neg_nodes
-                    .iter()
-                    .zip(self.neg)
-                    .zip(&self.neg_masks[fi])
-                    .map(|((nodes, ex), mask)| step_nodes_masked(&ex.page, nodes, mask, descend))
-                    .collect();
-                let locator = if descend {
-                    Locator::Descendants(Box::new(entry.locator.clone()), filter.clone())
+                        .map(|(&i, nodes)| ceiling(self.task, &self.task.examples[i], nodes))
+                        .sum()
                 } else {
-                    Locator::Children(Box::new(entry.locator.clone()), filter.clone())
+                    Counts::default()
                 };
-                self.worklist.push_back(Entry {
+                if self.task.cfg.prune && ub.upper_bound() + F1_EPS < opt {
+                    stats.locators_pruned += 1;
+                    continue;
+                }
+                let neg_nodes: Vec<Vec<PageNodeId>> = self
+                    .neg
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &i)| {
+                        step_nodes_masked(
+                            &self.task.examples[i],
+                            &entry.neg_nodes[k],
+                            self.mask_neg(fi, k),
+                            descend,
+                        )
+                    })
+                    .collect();
+                let filter = self.task.filters[fi].clone();
+                let locator = if descend {
+                    Locator::Descendants(Box::new(entry.locator.clone()), filter)
+                } else {
+                    Locator::Children(Box::new(entry.locator.clone()), filter)
+                };
+                created.push(Entry {
                     locator,
                     pos_nodes,
                     neg_nodes,
+                    ub,
                 });
             }
         }
+        let base = self.entries.len();
+        self.worklist.extend(base..base + created.len());
+        self.entries.extend(created);
     }
 
     /// Figure 10 line 6: `∀e ∈ E⁺. ψ(e)` and `∀e ∈ E⁻. ¬ψ(e)`, evaluated
     /// against the entry's precomputed node sets.
-    fn classifies(&self, guard: &Guard, entry: &Entry) -> bool {
-        let holds = |ex: &Example, nodes: &Vec<PageNodeId>| match guard {
-            Guard::Sat(_, pred) => nodes.iter().any(|&n| pred.eval(self.ctx, ex.page.text(n))),
-            Guard::IsSingleton(_) => nodes.len() == 1,
-        };
-        self.pos
-            .iter()
-            .zip(&entry.pos_nodes)
-            .all(|(ex, nodes)| holds(ex, nodes))
-            && self
-                .neg
-                .iter()
-                .zip(&entry.neg_nodes)
-                .all(|(ex, nodes)| !holds(ex, nodes))
+    fn classifies(&self, spec: &GuardSpec, eid: usize) -> bool {
+        let entry = &self.entries[eid];
+        match spec {
+            GuardSpec::Singleton => {
+                entry.pos_nodes.iter().all(|nodes| nodes.len() == 1)
+                    && entry.neg_nodes.iter().all(|nodes| nodes.len() != 1)
+            }
+            GuardSpec::Sat(pi) => {
+                let pred = &self.task.guard_preds[*pi];
+                let holds = |i: usize, nodes: &Vec<PageNodeId>| -> bool {
+                    let ex = &self.task.examples[i];
+                    if self.task.cfg.reference_kernels {
+                        nodes
+                            .iter()
+                            .any(|&n| pred.eval(self.task.ctx, ex.page.text(n)))
+                    } else {
+                        let feats = self.task.feats(i);
+                        nodes.iter().any(|&n| pred_holds(pred, &feats[n.index()]))
+                    }
+                };
+                self.pos
+                    .iter()
+                    .zip(&entry.pos_nodes)
+                    .all(|(&i, nodes)| holds(i, nodes))
+                    && self
+                        .neg
+                        .iter()
+                        .zip(&entry.neg_nodes)
+                        .all(|(&i, nodes)| !holds(i, nodes))
+            }
+        }
+    }
+
+    fn materialize(&self, spec: &GuardSpec, eid: usize) -> Guard {
+        let locator = self.entries[eid].locator.clone();
+        match spec {
+            GuardSpec::Singleton => Guard::IsSingleton(locator),
+            GuardSpec::Sat(pi) => Guard::Sat(locator, self.task.guard_preds[*pi].clone()),
+        }
+    }
+}
+
+/// The ceiling kernel selected by the config's kernel mode.
+fn ceiling(task: &TaskCtx, ex: &Example, nodes: &[PageNodeId]) -> Counts {
+    if task.cfg.reference_kernels {
+        ex.ceiling_counts_reference(nodes)
+    } else {
+        ex.ceiling_counts(nodes)
     }
 }
 
 /// One locator production step evaluated on a precomputed node set —
 /// semantically `Locator::eval(Children/Descendants(ν, f))` given
-/// `nodes = ν.eval(page)` and the filter's satisfaction mask.
+/// `nodes = ν.eval(page)` and the filter's satisfaction mask. Descendant
+/// steps read the example's pre-order subtree ranges instead of walking
+/// (and allocating) the descendant list per node.
 fn step_nodes_masked(
-    page: &PageTree,
+    ex: &Example,
     nodes: &[PageNodeId],
     mask: &[bool],
     descend: bool,
@@ -201,13 +333,12 @@ fn step_nodes_masked(
     let mut out = Vec::new();
     for &n in nodes {
         if descend {
-            for d in page.descendants(n) {
-                if mask[d.index()] {
-                    out.push(d);
-                }
+            let range = n.index() + 1..ex.subtree_end_of(n);
+            for (i, _) in mask[range.clone()].iter().enumerate().filter(|(_, m)| **m) {
+                out.push(PageNodeId(range.start + i));
             }
         } else {
-            for &c in page.children(n) {
+            for &c in ex.page.children(n) {
                 if mask[c.index()] {
                     out.push(c);
                 }
@@ -219,15 +350,16 @@ fn step_nodes_masked(
     out
 }
 
-/// The nodes a guard binds to `x` on each example page
-/// (`PropagateExamples` of Figure 8).
-pub(crate) fn propagate_examples(
+/// The nodes a locator binds to `x` on each example page
+/// (`PropagateExamples` of Figure 8) — the definitional evaluation used
+/// by the reference kernels and the `NoDecomp` ablation tests.
+pub(crate) fn propagate_examples<'e>(
     ctx: &QueryContext,
     locator: &Locator,
-    examples: &[Example],
+    examples: impl IntoIterator<Item = &'e Example>,
 ) -> Vec<Vec<PageNodeId>> {
     examples
-        .iter()
+        .into_iter()
         .map(|ex| locator.eval(ctx, &ex.page))
         .collect()
 }
@@ -242,7 +374,8 @@ pub(crate) fn trivial_guard() -> Guard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use webqa_dsl::PageTree;
+    use crate::config::SynthConfig;
+    use webqa_dsl::{NodeFilter, PageTree};
 
     fn example(html: &str, gold: &[&str]) -> Example {
         Example::new(
@@ -259,15 +392,37 @@ mod tests {
         guard.eval(ctx, &ex.page).0
     }
 
+    fn drain(
+        task: &TaskCtx,
+        pos: &[usize],
+        neg: &[usize],
+        opt: f64,
+        stats: &mut SynthStats,
+        cap: usize,
+    ) -> Vec<Guard> {
+        let mut en = GuardEnumerator::new(task, pos, neg);
+        let mut out = Vec::new();
+        while let Some((g, _)) = en.next(opt, stats) {
+            out.push(g);
+            if out.len() >= cap {
+                break;
+            }
+        }
+        out
+    }
+
     #[test]
     fn first_guard_is_over_root() {
         let cfg = SynthConfig::fast();
         let c = ctx();
-        let pos = [example("<h1>R</h1><p>x</p>", &["x"])];
-        let mut en = GuardEnumerator::new(&cfg, &c, &pos, &[]);
+        let examples = [example("<h1>R</h1><p>x</p>", &["x"])];
+        let task = TaskCtx::new(&cfg, &c, &examples);
+        let mut en = GuardEnumerator::new(&task, &[0], &[]);
         let mut stats = SynthStats::default();
-        let g = en.next(0.0, &mut stats).expect("some guard");
+        let (g, eid) = en.next(0.0, &mut stats).expect("some guard");
         assert_eq!(g.locator(), &Locator::Root);
+        assert_eq!(eid, 0);
+        assert_eq!(en.entry_locator(eid), &Locator::Root);
     }
 
     #[test]
@@ -286,7 +441,7 @@ mod tests {
                     .iter()
                     .map(|n| filter.eval(&c, &ex.page, n))
                     .collect();
-                let stepped = step_nodes_masked(&ex.page, &base_nodes, &mask, descend);
+                let stepped = step_nodes_masked(&ex, &base_nodes, &mask, descend);
                 let direct = if descend {
                     Locator::Descendants(Box::new(base.clone()), filter.clone())
                 } else {
@@ -300,33 +455,57 @@ mod tests {
 
     #[test]
     fn separates_positive_from_negative() {
-        let cfg = SynthConfig::fast();
-        let c = ctx();
-        // Positive pages have a "Students" section; negatives don't.
-        let pos = [
-            example(
-                "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>",
-                &["Jane Doe"],
-            ),
-            example(
-                "<h1>B</h1><h2>PhD Students</h2><ul><li>Bob Smith</li></ul>",
-                &["Bob Smith"],
-            ),
-        ];
-        let neg = [example("<h1>C</h1><h2>Contact</h2><p>email</p>", &[])];
-        let mut en = GuardEnumerator::new(&cfg, &c, &pos, &neg);
-        let mut stats = SynthStats::default();
-        let mut found = Vec::new();
-        while let Some(g) = en.next(0.0, &mut stats) {
-            found.push(g);
-            if found.len() >= 5 {
-                break;
+        for cfg in [
+            SynthConfig::fast(),
+            SynthConfig::fast().with_reference_kernels(),
+        ] {
+            let c = ctx();
+            // Positive pages have a "Students" section; negatives don't.
+            let examples = [
+                example(
+                    "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>",
+                    &["Jane Doe"],
+                ),
+                example(
+                    "<h1>B</h1><h2>PhD Students</h2><ul><li>Bob Smith</li></ul>",
+                    &["Bob Smith"],
+                ),
+                example("<h1>C</h1><h2>Contact</h2><p>email</p>", &[]),
+            ];
+            let task = TaskCtx::new(&cfg, &c, &examples);
+            let mut stats = SynthStats::default();
+            let found = drain(&task, &[0, 1], &[2], 0.0, &mut stats, 5);
+            assert!(!found.is_empty(), "must find a separating guard");
+            for g in &found {
+                assert!(guard_true(&c, g, &examples[0]));
+                assert!(guard_true(&c, g, &examples[1]));
+                assert!(!guard_true(&c, g, &examples[2]));
             }
         }
-        assert!(!found.is_empty(), "must find a separating guard");
-        for g in &found {
-            assert!(pos.iter().all(|e| guard_true(&c, g, e)));
-            assert!(neg.iter().all(|e| !guard_true(&c, g, e)));
+    }
+
+    #[test]
+    fn reference_and_optimized_yield_identical_guard_streams() {
+        let c = ctx();
+        let examples = [
+            example(
+                "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li><li>Ann Lee</li></ul>\
+                 <h2>News</h2><p>PLDI 2021</p>",
+                &["Jane Doe", "Ann Lee"],
+            ),
+            example("<h1>C</h1><h2>Contact</h2><p>email us</p>", &[]),
+        ];
+        for opt in [0.0, 0.7] {
+            let cfg_fast = SynthConfig::fast();
+            let cfg_ref = SynthConfig::fast().with_reference_kernels();
+            let task_fast = TaskCtx::new(&cfg_fast, &c, &examples);
+            let task_ref = TaskCtx::new(&cfg_ref, &c, &examples);
+            let mut s1 = SynthStats::default();
+            let mut s2 = SynthStats::default();
+            let fast = drain(&task_fast, &[0], &[1], opt, &mut s1, usize::MAX);
+            let slow = drain(&task_ref, &[0], &[1], opt, &mut s2, usize::MAX);
+            assert_eq!(fast, slow, "guard streams diverge at opt={opt}");
+            assert_eq!(s1, s2, "stats diverge at opt={opt}");
         }
     }
 
@@ -335,8 +514,9 @@ mod tests {
         let mut cfg = SynthConfig::fast();
         cfg.guard_depth = 1; // only Root
         let c = ctx();
-        let pos = [example("<h1>R</h1>", &[])];
-        let mut en = GuardEnumerator::new(&cfg, &c, &pos, &[]);
+        let examples = [example("<h1>R</h1>", &[])];
+        let task = TaskCtx::new(&cfg, &c, &examples);
+        let mut en = GuardEnumerator::new(&task, &[0], &[]);
         let mut stats = SynthStats::default();
         let mut n = 0;
         while en.next(0.0, &mut stats).is_some() {
@@ -350,16 +530,15 @@ mod tests {
     fn high_opt_prunes_locator_extensions() {
         let cfg = SynthConfig::fast();
         let c = ctx();
-        let pos = [example(
+        let examples = [example(
             "<h1>R</h1><h2>S</h2><p>gold here</p>",
             &["gold here"],
         )];
+        let task = TaskCtx::new(&cfg, &c, &examples);
         let mut s_low = SynthStats::default();
         let mut s_high = SynthStats::default();
-        let mut lo = GuardEnumerator::new(&cfg, &c, &pos, &[]);
-        while lo.next(0.0, &mut s_low).is_some() {}
-        let mut hi = GuardEnumerator::new(&cfg, &c, &pos, &[]);
-        while hi.next(0.999, &mut s_high).is_some() {}
+        drain(&task, &[0], &[], 0.0, &mut s_low, usize::MAX);
+        drain(&task, &[0], &[], 0.999, &mut s_high, usize::MAX);
         assert!(
             s_high.locators_pruned >= s_low.locators_pruned,
             "a higher bound can only prune more"
@@ -371,8 +550,9 @@ mod tests {
         let mut cfg = SynthConfig::fast();
         cfg.max_guards_per_branch = 3;
         let c = ctx();
-        let pos = [example("<h1>R</h1><p>x</p>", &["x"])];
-        let mut en = GuardEnumerator::new(&cfg, &c, &pos, &[]);
+        let examples = [example("<h1>R</h1><p>x</p>", &["x"])];
+        let task = TaskCtx::new(&cfg, &c, &examples);
+        let mut en = GuardEnumerator::new(&task, &[0], &[]);
         let mut stats = SynthStats::default();
         let mut n = 0;
         while en.next(0.0, &mut stats).is_some() {
@@ -387,9 +567,9 @@ mod tests {
         let cfg = SynthConfig::fast();
         let c = ctx();
         let page = "<h1>R</h1><h2>S</h2><p>x</p>";
-        let pos = [example(page, &["x"])];
-        let neg = [example(page, &[])];
-        let mut en = GuardEnumerator::new(&cfg, &c, &pos, &neg);
+        let examples = [example(page, &["x"]), example(page, &[])];
+        let task = TaskCtx::new(&cfg, &c, &examples);
+        let mut en = GuardEnumerator::new(&task, &[0], &[1]);
         let mut stats = SynthStats::default();
         assert!(en.next(0.0, &mut stats).is_none());
     }
@@ -399,22 +579,44 @@ mod tests {
         // The incremental classification must agree with Guard::eval.
         let cfg = SynthConfig::fast();
         let c = ctx();
-        let pos = [example(
-            "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>",
+        let examples = [
+            example(
+                "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>",
+                &["Jane Doe"],
+            ),
+            example("<h1>C</h1><h2>Contact</h2><p>email</p>", &[]),
+        ];
+        let task = TaskCtx::new(&cfg, &c, &examples);
+        let mut stats = SynthStats::default();
+        let found = drain(&task, &[0], &[1], 0.0, &mut stats, 20);
+        assert!(!found.is_empty());
+        for g in &found {
+            assert!(guard_true(&c, g, &examples[0]));
+            assert!(!guard_true(&c, g, &examples[1]));
+        }
+    }
+
+    #[test]
+    fn entry_ub_matches_recomputed_ceiling() {
+        let cfg = SynthConfig::fast();
+        let c = ctx();
+        let examples = [example(
+            "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul><h2>B</h2><p>x</p>",
             &["Jane Doe"],
         )];
-        let neg = [example("<h1>C</h1><h2>Contact</h2><p>email</p>", &[])];
-        let mut en = GuardEnumerator::new(&cfg, &c, &pos, &neg);
+        let task = TaskCtx::new(&cfg, &c, &examples);
+        let mut en = GuardEnumerator::new(&task, &[0], &[]);
         let mut stats = SynthStats::default();
-        let mut n = 0;
-        while let Some(g) = en.next(0.0, &mut stats) {
-            assert!(guard_true(&c, &g, &pos[0]));
-            assert!(!guard_true(&c, &g, &neg[0]));
-            n += 1;
-            if n >= 20 {
-                break;
-            }
+        while let Some((_, eid)) = en.next(0.0, &mut stats) {
+            let recomputed: Counts = en
+                .entry_nodes(eid)
+                .iter()
+                .map(|nodes| examples[0].ceiling_counts(nodes))
+                .sum();
+            assert_eq!(en.entry_ub(eid), recomputed);
+            // The stored nodes equal a fresh propagation of the locator.
+            let direct = propagate_examples(&c, en.entry_locator(eid), [&examples[0]]);
+            assert_eq!(en.entry_nodes(eid), direct.as_slice());
         }
-        assert!(n > 0);
     }
 }

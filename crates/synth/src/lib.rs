@@ -18,6 +18,40 @@
 //! [`SynthConfig::without_pruning`] (`WebQA-NoPrune`) and
 //! [`SynthConfig::without_decomposition`] (`WebQA-NoDecomp`).
 //!
+//! ## Hot-path architecture
+//!
+//! The enumerative search scores hundreds of thousands of candidate
+//! terms per task; the implementation keeps that affordable with four
+//! semantics-free layers (each disabled by
+//! [`SynthConfig::reference`], which swaps in the original definitional
+//! kernels — `tests/synth_parity.rs` proves the two paths
+//! observationally identical on the full corpus):
+//!
+//! * **Interned scoring** (`scorer` module): gold bags and candidate
+//!   outputs are interned to dense `u32` token ids once per distinct
+//!   string (`webqa_metrics::TokenInterner`), and F₁ counts are multiset
+//!   overlaps over small integer bags — no tokenization or string
+//!   hashing per candidate. The `UB = 2R/(1+R)` ceiling (Eq. 3) runs on
+//!   per-node dense gold-id bags precomputed in [`Example`].
+//! * **Task-level mask tables**: every `NodeFilter` in the pool is
+//!   evaluated once per (example, node) — via a single neural-feature
+//!   pass per node text — and the `[example][filter][node]` mask table
+//!   is shared by every branch problem of the task, instead of being
+//!   recomputed per `SynthesizeBranch` call.
+//! * **Arena-indexed locator memo**: the guard enumerator keeps its
+//!   locator entries (with their propagated node sets and recall
+//!   ceilings) in an arena and yields `(guard, entry id)`; the footnote 6
+//!   extractor-synthesis memo is a dense vector over those ids holding
+//!   `Arc`-shared results — no locator cloning/hashing, no node
+//!   re-propagation, no group deep-copies.
+//! * **Step-wise extractor enumeration**: children are generated as
+//!   production steps applied to the parent's shared `Arc<str>` outputs;
+//!   the UB prune fires *before* the child AST is built, so dominated
+//!   candidates never materialize.
+//!
+//! Partition blocks can additionally be solved in parallel inside one
+//! task ([`SynthConfig::jobs`]) with a deterministic merge.
+//!
 //! ```
 //! use webqa_dsl::{PageTree, QueryContext};
 //! use webqa_synth::{synthesize, Example, SynthConfig};
@@ -41,6 +75,7 @@ mod extractors;
 mod guards;
 pub mod oracle;
 mod pool;
+mod scorer;
 mod stats;
 mod top;
 

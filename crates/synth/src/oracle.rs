@@ -121,6 +121,8 @@ pub fn tiny_config() -> SynthConfig {
         decompose: true,
         lazy_guards: true,
         filter_conjunctions: false,
+        reference_kernels: false,
+        jobs: 1,
     }
 }
 

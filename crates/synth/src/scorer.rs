@@ -1,0 +1,659 @@
+//! Task-level caches and interned scoring kernels for the synthesis hot
+//! path.
+//!
+//! Everything in this module is *semantics-free* acceleration: the same
+//! scores, masks, and classifications the definitional code paths
+//! compute, produced from precomputed tables instead of repeated string
+//! work. `SynthConfig::reference()` disables all of it
+//! (`reference_kernels = true`) and routes every decision through the
+//! original definitional evaluation — `tests/synth_parity.rs` proves the
+//! two paths observationally identical on the whole corpus.
+//!
+//! Three layers:
+//!
+//! * [`TaskCtx`] — one per [`crate::synthesize`] call: the filter /
+//!   predicate / production pools, plus (optimized mode only) per-node
+//!   [`TextFeatures`] and the `[example][filter][node]` mask table every
+//!   guard enumeration reads instead of re-evaluating `NodeFilter`s.
+//! * [`Scorer`] — one per branch problem: a [`TokenInterner`] plus a
+//!   string → token-id cache, so scoring a candidate extractor is a
+//!   multiset-overlap run over small integer bags rather than
+//!   re-tokenizing every output string.
+//! * [`FxHasher`] — a fast non-cryptographic hasher for the behavioral
+//!   signatures and string-keyed caches on the hot path.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+use webqa_dsl::{EntityKind, NlpPred, NodeFilter, QueryContext};
+use webqa_metrics::{BagOverlap, Counts, IdBag, IdVec, TokenInterner};
+
+use crate::config::SynthConfig;
+use crate::example::Example;
+use crate::pool::{nlp_preds, node_filters};
+
+/// FxHash (the rustc hash): fast, deterministic, non-cryptographic.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash = (self.hash.rotate_left(5) ^ u64::from(b)).wrapping_mul(FX_SEED);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-keyed maps.
+pub(crate) type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// Per-string neural-module outcomes, precomputed once per node text so
+/// every predicate in the pool evaluates against them without touching
+/// the (mutex-guarded) context caches.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct TextFeatures {
+    kw: f64,
+    has_answer: bool,
+    entities: u8,
+}
+
+fn kind_bit(kind: EntityKind) -> u8 {
+    match kind {
+        EntityKind::Person => 1 << 0,
+        EntityKind::Organization => 1 << 1,
+        EntityKind::Date => 1 << 2,
+        EntityKind::Time => 1 << 3,
+        EntityKind::Location => 1 << 4,
+        EntityKind::Money => 1 << 5,
+    }
+}
+
+/// Computes the features of one string. `want_answer` mirrors
+/// `QueryContext::has_answer`'s empty-question short-circuit.
+pub(crate) fn features_of(ctx: &QueryContext, text: &str, want_answer: bool) -> TextFeatures {
+    let kw = ctx.keyword_score(text);
+    let has_answer = want_answer && ctx.has_answer(text);
+    let mut entities = 0u8;
+    for e in ctx.entities(text) {
+        entities |= kind_bit(e.kind);
+    }
+    TextFeatures {
+        kw,
+        has_answer,
+        entities,
+    }
+}
+
+/// `NlpPred::eval` against precomputed features — must agree with
+/// `pred.eval(ctx, text)` for the features of `text` (tested in this
+/// module and by the parity suite).
+pub(crate) fn pred_holds(pred: &NlpPred, f: &TextFeatures) -> bool {
+    match pred {
+        NlpPred::MatchKeyword(t) => f.kw >= t.value(),
+        NlpPred::HasAnswer => f.has_answer,
+        NlpPred::HasEntity(kind) => f.entities & kind_bit(*kind) != 0,
+        NlpPred::True => true,
+        NlpPred::And(a, b) => pred_holds(a, f) && pred_holds(b, f),
+        NlpPred::Or(a, b) => pred_holds(a, f) || pred_holds(b, f),
+        NlpPred::Not(a) => !pred_holds(a, f),
+    }
+}
+
+/// `NodeFilter::eval` against precomputed own/subtree features.
+fn filter_holds(
+    filter: &NodeFilter,
+    own: &TextFeatures,
+    subtree: &TextFeatures,
+    is_leaf: bool,
+    is_elem: bool,
+) -> bool {
+    match filter {
+        NodeFilter::IsLeaf => is_leaf,
+        NodeFilter::IsElem => is_elem,
+        NodeFilter::MatchText { pred, subtree: s } => {
+            pred_holds(pred, if *s { subtree } else { own })
+        }
+        NodeFilter::True => true,
+        NodeFilter::And(a, b) => {
+            filter_holds(a, own, subtree, is_leaf, is_elem)
+                && filter_holds(b, own, subtree, is_leaf, is_elem)
+        }
+        NodeFilter::Or(a, b) => {
+            filter_holds(a, own, subtree, is_leaf, is_elem)
+                || filter_holds(b, own, subtree, is_leaf, is_elem)
+        }
+        NodeFilter::Not(a) => !filter_holds(a, own, subtree, is_leaf, is_elem),
+    }
+}
+
+/// One shard of the task-level production-output cache: input string
+/// content → the step's outputs.
+type StepShard = Mutex<HashMap<Box<str>, Vec<OutStr>, FxBuild>>;
+
+/// One extractor production step, applied to parent outputs without
+/// materializing the child AST (the AST is built only for candidates that
+/// survive pruning and behavioral dedup).
+#[derive(Debug, Clone)]
+pub(crate) enum StepOp {
+    /// `Filter(e, φ)`.
+    Filter(NlpPred),
+    /// `Substring(e, φ, k)`.
+    Substring(NlpPred, usize),
+    /// `Split(e, c)`.
+    Split(char),
+}
+
+/// Per-`synthesize`-call context: pools plus the optimized-mode caches.
+pub(crate) struct TaskCtx<'a> {
+    pub cfg: &'a SynthConfig,
+    pub ctx: &'a QueryContext,
+    pub examples: &'a [Example],
+    /// The node-filter pool (`GetChildren`/`GetDescendants` filters).
+    pub filters: Vec<NodeFilter>,
+    /// The guard predicate pool, in `gen_guards` order: `⊤` first, then
+    /// the NLP predicates.
+    pub guard_preds: Vec<NlpPred>,
+    /// The extractor production pool, in `extend_extractor` order.
+    pub steps: Vec<StepOp>,
+    /// Optimized mode: per-node own-text features, `[example][node]`
+    /// (used for guard classification). Empty in reference mode.
+    feats: Vec<Vec<TextFeatures>>,
+    /// Optimized mode: precomputed filter masks, `[example][filter]` →
+    /// one bool per node. Empty in reference mode.
+    masks: Vec<Vec<Vec<bool>>>,
+    /// Task-level production-step output cache, content-keyed and shared
+    /// across branch problems (and branch-parallel workers, hence the
+    /// mutexes). `Substring`'s span search is by far the most expensive
+    /// string operation in the search and the same strings recur in every
+    /// branch over the same pages, so its results are computed once per
+    /// distinct (step, content) for the whole task. `Filter` entries stay
+    /// `None`: their output aliases the *input* allocation and the
+    /// context-cached predicate lookup is already cheap. All `None` in
+    /// reference mode.
+    step_results: Vec<Option<StepShard>>,
+}
+
+impl<'a> TaskCtx<'a> {
+    pub fn new(cfg: &'a SynthConfig, ctx: &'a QueryContext, examples: &'a [Example]) -> Self {
+        let filters = node_filters(cfg, ctx);
+        let preds = nlp_preds(cfg, ctx);
+        let mut guard_preds = vec![NlpPred::True];
+        guard_preds.extend(preds.iter().cloned());
+        let mut steps = Vec::new();
+        for pred in &preds {
+            steps.push(StepOp::Filter(pred.clone()));
+            for &k in &cfg.substring_ks {
+                steps.push(StepOp::Substring(pred.clone(), k));
+            }
+        }
+        for &c in &cfg.delimiters {
+            steps.push(StepOp::Split(c));
+        }
+        let step_results = steps
+            .iter()
+            .map(|s| {
+                (!cfg.reference_kernels && !matches!(s, StepOp::Filter(_)))
+                    .then(|| Mutex::new(HashMap::default()))
+            })
+            .collect();
+
+        let (feats, masks) = if cfg.reference_kernels {
+            (Vec::new(), Vec::new())
+        } else {
+            let want_answer = !ctx.question().is_empty();
+            let mut feats = Vec::with_capacity(examples.len());
+            let mut masks = Vec::with_capacity(examples.len());
+            for ex in examples {
+                let page = &ex.page;
+                let own: Vec<TextFeatures> = page
+                    .iter()
+                    .map(|n| features_of(ctx, page.text(n), want_answer))
+                    .collect();
+                let sub: Vec<TextFeatures> = page
+                    .iter()
+                    .map(|n| features_of(ctx, &page.subtree_text(n), want_answer))
+                    .collect();
+                let ex_masks: Vec<Vec<bool>> = filters
+                    .iter()
+                    .map(|f| {
+                        page.iter()
+                            .map(|n| {
+                                filter_holds(
+                                    f,
+                                    &own[n.index()],
+                                    &sub[n.index()],
+                                    page.is_leaf(n),
+                                    page.is_elem(n),
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect();
+                feats.push(own);
+                masks.push(ex_masks);
+            }
+            (feats, masks)
+        };
+        TaskCtx {
+            cfg,
+            ctx,
+            examples,
+            filters,
+            guard_preds,
+            steps,
+            feats,
+            masks,
+            step_results,
+        }
+    }
+
+    /// The precomputed mask of `filter` over `example`'s nodes
+    /// (optimized mode only).
+    pub fn mask(&self, example: usize, filter: usize) -> &[bool] {
+        &self.masks[example][filter]
+    }
+
+    /// The own-text features of `example`'s nodes (optimized mode only).
+    pub fn feats(&self, example: usize) -> &[TextFeatures] {
+        &self.feats[example]
+    }
+}
+
+/// Internal output representation of the extractor search: shared string
+/// slices, so `Filter` steps and dedup clone a pointer, not the bytes.
+/// Atomically counted so the task-level extraction cache can be shared
+/// by the branch-parallel workers.
+pub(crate) type OutStr = Arc<str>;
+
+/// Everything the scorer knows about one distinct string allocation:
+/// its interned token ids and its content hash. Keyed by the `Arc`
+/// allocation address; the stored handle keeps the allocation alive so
+/// the address can never be reused while the entry exists.
+struct StrInfo {
+    /// Never read — exists to pin the allocation so the address key
+    /// stays valid for the scorer's lifetime.
+    _keepalive: OutStr,
+    ids: IdVec,
+    content_hash: u64,
+}
+
+/// Per-branch scoring state: the positive examples with their gold bags
+/// interned into one id space, plus pointer-keyed caches for string
+/// token-ids, content hashes, and production-step outputs.
+pub(crate) struct Scorer<'a> {
+    reference: bool,
+    /// The branch's positive examples (scoring targets), in order.
+    pub pos: Vec<&'a Example>,
+    interner: TokenInterner,
+    gold: Vec<IdBag>,
+    strings: HashMap<usize, StrInfo, FxBuild>,
+    /// `(string allocation, step index)` → the step's outputs on that
+    /// string. Production steps are pure string functions, so the result
+    /// is computed once per distinct input allocation and the output
+    /// `Rc`s are shared by every candidate that reaches it.
+    step_cache: HashMap<(usize, u32), Vec<OutStr>, FxBuild>,
+    overlap: BagOverlap,
+}
+
+fn addr(s: &OutStr) -> usize {
+    Arc::as_ptr(s) as *const u8 as usize
+}
+
+fn fx_content_hash(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    s.hash(&mut h);
+    h.finish()
+}
+
+impl<'a> Scorer<'a> {
+    pub fn new(task: &TaskCtx<'a>, pos: &[usize]) -> Self {
+        let pos: Vec<&Example> = pos.iter().map(|&i| &task.examples[i]).collect();
+        let mut interner = TokenInterner::new();
+        let gold = pos
+            .iter()
+            .map(|ex| {
+                IdBag::from_ids(
+                    ex.gold_tokens()
+                        .iter()
+                        .map(|t| interner.intern(t))
+                        .collect(),
+                )
+            })
+            .collect();
+        Scorer {
+            reference: task.cfg.reference_kernels,
+            pos,
+            interner,
+            gold,
+            strings: HashMap::default(),
+            step_cache: HashMap::default(),
+            overlap: BagOverlap::default(),
+        }
+    }
+
+    fn info<'m>(
+        strings: &'m mut HashMap<usize, StrInfo, FxBuild>,
+        interner: &mut TokenInterner,
+        s: &OutStr,
+    ) -> &'m StrInfo {
+        strings.entry(addr(s)).or_insert_with(|| StrInfo {
+            _keepalive: Arc::clone(s),
+            ids: interner.tokenize_ids(s),
+            content_hash: fx_content_hash(s),
+        })
+    }
+
+    /// Micro-averaged counts of the raw per-example output multisets —
+    /// the `UB` input of Eq. 3.
+    pub fn counts_raw(&mut self, outputs: &[Vec<OutStr>]) -> Counts {
+        if self.reference {
+            return crate::example::counts_of_outputs_ref(&self.pos, outputs, false);
+        }
+        let mut total = Counts::default();
+        for (i, strings) in outputs.iter().enumerate() {
+            let gold = &self.gold[i];
+            self.overlap.begin(gold);
+            let mut matched = 0usize;
+            let mut predicted = 0usize;
+            for s in strings {
+                let info = Self::info(&mut self.strings, &mut self.interner, s);
+                predicted += info.ids.len();
+                matched += info
+                    .ids
+                    .iter()
+                    .filter(|&&id| self.overlap.consume(gold, id))
+                    .count();
+            }
+            total += Counts {
+                matched,
+                predicted,
+                gold: gold.total(),
+            };
+        }
+        total
+    }
+
+    /// Micro-averaged counts under the program-level set semantics:
+    /// per-example duplicate strings are counted once (Figure 6).
+    pub fn counts_dedup(&mut self, outputs: &[Vec<OutStr>]) -> Counts {
+        if self.reference {
+            return crate::example::counts_of_outputs_ref(&self.pos, outputs, true);
+        }
+        let mut total = Counts::default();
+        for (i, strings) in outputs.iter().enumerate() {
+            // Order-preserving first-occurrence filter, content equality
+            // (pointer equality as the fast path — shared `Rc`s make it
+            // hit almost always). Inline buffer for the common small
+            // case; spills only for outputs with many distinct strings.
+            let mut inline: [&str; 16] = [""; 16];
+            let mut inline_len = 0usize;
+            let mut spill: Vec<&str> = Vec::new();
+            let gold = &self.gold[i];
+            self.overlap.begin(gold);
+            let mut matched = 0usize;
+            let mut predicted = 0usize;
+            'strings: for s in strings {
+                let str_ref: &str = s;
+                for seen in inline[..inline_len].iter().chain(spill.iter()) {
+                    if std::ptr::eq(*seen as *const str, str_ref as *const str) || *seen == str_ref
+                    {
+                        continue 'strings;
+                    }
+                }
+                if inline_len < inline.len() {
+                    inline[inline_len] = str_ref;
+                    inline_len += 1;
+                } else {
+                    spill.push(str_ref);
+                }
+                let info = Self::info(&mut self.strings, &mut self.interner, s);
+                predicted += info.ids.len();
+                matched += info
+                    .ids
+                    .iter()
+                    .filter(|&&id| self.overlap.consume(gold, id))
+                    .count();
+            }
+            total += Counts {
+                matched,
+                predicted,
+                gold: gold.total(),
+            };
+        }
+        total
+    }
+
+    /// Applies production step `si` of the task's pool to the parent's
+    /// outputs. In optimized mode the per-string results are memoized by
+    /// input allocation — `Substring`'s span search and `Split`'s
+    /// re-allocation happen once per distinct string, and their output
+    /// `Rc`s are shared across all candidates. Reference mode computes
+    /// every application definitionally.
+    pub fn apply_step(
+        &mut self,
+        task: &TaskCtx,
+        si: usize,
+        parent_outputs: &[Vec<OutStr>],
+    ) -> Vec<Vec<OutStr>> {
+        let step = &task.steps[si];
+        parent_outputs
+            .iter()
+            .map(|strings| {
+                let mut out: Vec<OutStr> = Vec::with_capacity(strings.len());
+                for s in strings {
+                    if self.reference {
+                        apply_step_one(task.ctx, step, s, &mut out);
+                        continue;
+                    }
+                    match self.step_cache.get(&(addr(s), si as u32)) {
+                        Some(cached) => out.extend(cached.iter().cloned()),
+                        None => {
+                            let one = match &task.step_results[si] {
+                                // Expensive step: go through the
+                                // task-level content-keyed cache shared
+                                // by all branches.
+                                Some(shared) => {
+                                    let mut map = shared.lock().expect("step cache lock");
+                                    match map.get(&**s) {
+                                        Some(v) => v.clone(),
+                                        None => {
+                                            let mut v = Vec::new();
+                                            apply_step_one(task.ctx, step, s, &mut v);
+                                            map.insert(Box::from(&**s), v.clone());
+                                            v
+                                        }
+                                    }
+                                }
+                                None => {
+                                    let mut v = Vec::new();
+                                    apply_step_one(task.ctx, step, s, &mut v);
+                                    v
+                                }
+                            };
+                            out.extend(one.iter().cloned());
+                            // Retain the input `Arc` in the strings
+                            // table so its address key stays valid for
+                            // the scorer's lifetime.
+                            Self::info(&mut self.strings, &mut self.interner, s);
+                            self.step_cache.insert((addr(s), si as u32), one);
+                        }
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Order-sensitive behavioral signature of per-example outputs. The
+    /// optimized path combines per-string content hashes (cached per
+    /// allocation) with [`FxHasher`]; the reference path hashes the whole
+    /// nested structure with the standard library's SipHash, exactly as
+    /// the pre-overhaul code did.
+    pub fn signature(&mut self, outputs: &[Vec<OutStr>]) -> u64 {
+        if self.reference {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            outputs.hash(&mut h);
+            return h.finish();
+        }
+        let mut h = FxHasher::default();
+        for strings in outputs {
+            h.write_u64(strings.len() as u64);
+            for s in strings {
+                let info = Self::info(&mut self.strings, &mut self.interner, s);
+                h.write_u64(info.content_hash);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// One production step on one string, definitionally.
+fn apply_step_one(ctx: &QueryContext, step: &StepOp, s: &OutStr, out: &mut Vec<OutStr>) {
+    match step {
+        StepOp::Filter(pred) => {
+            if pred.eval(ctx, s) {
+                out.push(Arc::clone(s));
+            }
+        }
+        StepOp::Substring(pred, k) => {
+            out.extend(pred.extract(ctx, s).into_iter().take(*k).map(Arc::from));
+        }
+        StepOp::Split(c) => {
+            out.extend(
+                s.split(*c)
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(Arc::from),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webqa_dsl::{PageTree, Threshold};
+
+    fn ctx() -> QueryContext {
+        QueryContext::new("Who are the students?", ["Students", "PhD"])
+    }
+
+    fn example(html: &str, gold: &[&str]) -> Example {
+        Example::new(
+            PageTree::parse(html),
+            gold.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    #[test]
+    fn features_agree_with_pred_eval() {
+        let c = ctx();
+        let texts = [
+            "PhD Students",
+            "Jane Doe",
+            "reading group, hiking",
+            "Robert Smith since 2019",
+            "",
+        ];
+        let preds = [
+            NlpPred::True,
+            NlpPred::MatchKeyword(Threshold::new(0.5)),
+            NlpPred::MatchKeyword(Threshold::new(0.95)),
+            NlpPred::HasAnswer,
+            NlpPred::HasEntity(EntityKind::Person),
+            NlpPred::HasEntity(EntityKind::Date),
+            NlpPred::Not(Box::new(NlpPred::HasEntity(EntityKind::Money))),
+            NlpPred::And(
+                Box::new(NlpPred::MatchKeyword(Threshold::new(0.5))),
+                Box::new(NlpPred::True),
+            ),
+        ];
+        for text in texts {
+            let f = features_of(&c, text, !c.question().is_empty());
+            for p in &preds {
+                assert_eq!(
+                    pred_holds(p, &f),
+                    p.eval(&c, text),
+                    "pred {p:?} on {text:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masks_agree_with_direct_filter_eval() {
+        let c = ctx();
+        let cfg = SynthConfig::fast();
+        let examples = vec![example(
+            "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li><li>Bob Smith</li></ul>\
+             <h2>Contact</h2><p>a@x.edu</p>",
+            &["Jane Doe", "Bob Smith"],
+        )];
+        let task = TaskCtx::new(&cfg, &c, &examples);
+        for (fi, filter) in task.filters.iter().enumerate() {
+            let mask = task.mask(0, fi);
+            for n in examples[0].page.iter() {
+                assert_eq!(
+                    mask[n.index()],
+                    filter.eval(&c, &examples[0].page, n),
+                    "filter {filter} node {}",
+                    n.index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scorer_counts_match_reference_counts() {
+        let c = ctx();
+        let cfg_fast = SynthConfig::fast();
+        let cfg_ref = SynthConfig::fast().with_reference_kernels();
+        let examples = vec![
+            example(
+                "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>",
+                &["Jane Doe"],
+            ),
+            example(
+                "<h1>B</h1><h2>PhD</h2><ul><li>Bob Smith</li></ul>",
+                &["Bob Smith", "Jane Doe"],
+            ),
+        ];
+        let task_fast = TaskCtx::new(&cfg_fast, &c, &examples);
+        let task_ref = TaskCtx::new(&cfg_ref, &c, &examples);
+        let outputs: Vec<Vec<OutStr>> = vec![
+            vec![
+                Arc::from("Jane Doe"),
+                Arc::from("Jane Doe"),
+                Arc::from("noise"),
+            ],
+            vec![Arc::from("Bob Smith"), Arc::from("")],
+        ];
+        let mut fast = Scorer::new(&task_fast, &[0, 1]);
+        let mut slow = Scorer::new(&task_ref, &[0, 1]);
+        assert_eq!(fast.counts_raw(&outputs), slow.counts_raw(&outputs));
+        assert_eq!(fast.counts_dedup(&outputs), slow.counts_dedup(&outputs));
+        // Dedup drops the duplicate "Jane Doe" but keeps distinct strings.
+        let raw = fast.counts_raw(&outputs);
+        let dedup = fast.counts_dedup(&outputs);
+        assert_eq!(raw.predicted, dedup.predicted + 2);
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic() {
+        let hash = |s: &str| {
+            let mut h = FxHasher::default();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash("abc"), hash("abc"));
+        assert_ne!(hash("abc"), hash("abd"));
+    }
+}

@@ -14,10 +14,16 @@ pub struct SynthStats {
     pub extractors_enumerated: usize,
     /// Extractor extensions discarded by the UB check (Figure 9 line 9).
     pub extractors_pruned: usize,
-    /// Calls to `SynthesizeBranch` (one per partition block, memoized).
+    /// Calls to `SynthesizeBranch` (one per distinct partition block;
+    /// with `SynthConfig::jobs > 1` this can include speculatively solved
+    /// blocks the lazy sequential scan would have skipped).
     pub branch_calls: usize,
-    /// Branch-synthesis results served from the memo table.
+    /// Partition-block synthesis results served from the top-level
+    /// `(E⁺, E⁻)` memo (Figure 7).
     pub memo_hits: usize,
+    /// Extractor-synthesis results shared across guards over the same
+    /// section locator (the footnote 6 memo inside one branch problem).
+    pub locator_memo_hits: usize,
 }
 
 impl SynthStats {
@@ -37,6 +43,7 @@ impl std::ops::AddAssign for SynthStats {
         self.extractors_pruned += rhs.extractors_pruned;
         self.branch_calls += rhs.branch_calls;
         self.memo_hits += rhs.memo_hits;
+        self.locator_memo_hits += rhs.locator_memo_hits;
     }
 }
 
@@ -64,9 +71,11 @@ mod tests {
         a += SynthStats {
             guards_yielded: 2,
             memo_hits: 4,
+            locator_memo_hits: 7,
             ..Default::default()
         };
         assert_eq!(a.guards_yielded, 3);
         assert_eq!(a.memo_hits, 4);
+        assert_eq!(a.locator_memo_hits, 7);
     }
 }

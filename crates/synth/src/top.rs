@@ -1,8 +1,18 @@
 //! Top-level `Synthesize` (Figure 7 of the paper): enumerate ordered
 //! example partitions, synthesize optimal branch programs per block, and
 //! return *all* programs achieving the optimal F₁.
+//!
+//! Partition blocks are independent (E⁺, E⁻) problems memoized by example
+//! bitmask. With `SynthConfig::jobs > 1` the distinct block problems are
+//! solved up-front on a scoped worker pool (the same pattern as
+//! `webqa::Engine::run_batch`, one level down) and the partition
+//! assembly then reads the finished results — the merge is performed in
+//! first-encounter key order, so programs, counts, and F₁ are
+//! byte-identical to the sequential run regardless of worker count.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use webqa_dsl::{Branch, Extractor, Guard, Program, QueryContext};
 use webqa_metrics::Counts;
@@ -11,6 +21,7 @@ use crate::branch::{synthesize_branch, BranchSynthesis};
 use crate::config::SynthConfig;
 use crate::example::Example;
 use crate::extractors::F1_EPS;
+use crate::scorer::TaskCtx;
 use crate::stats::SynthStats;
 
 /// The result of [`synthesize`]: all optimal programs (capped), their
@@ -47,74 +58,109 @@ pub fn synthesize(cfg: &SynthConfig, ctx: &QueryContext, examples: &[Example]) -
         };
     }
 
-    // Memoize branch synthesis by (positive set, negative set) bitmask —
-    // different partitions share blocks heavily.
-    let mut memo: HashMap<(u32, u32), Option<BranchSynthesis>> = HashMap::new();
+    let task = TaskCtx::new(cfg, ctx, examples);
+    let partitions = ordered_partitions(n, cfg.max_blocks);
 
-    let mut best_f1 = -1.0f64;
-    let mut best_counts = Counts::default();
-    // Each optimal partition contributes a list of per-block option sets.
-    let mut best_partitions: Vec<Vec<BranchSynthesis>> = Vec::new();
-
-    // The micro-averaged F₁ of a multi-branch program is a function of
-    // the *sum* of per-branch token counts, and branches tied on F₁ can
-    // have different counts — so a partition's achievable optimum is the
-    // best F₁ over all combinations of per-block count groups, computed
-    // here by folding the achievable-sum set across blocks.
-    fn partition_best(blocks: &[BranchSynthesis]) -> (f64, Counts) {
-        let mut sums: HashSet<Counts> = HashSet::new();
-        sums.insert(Counts::default());
-        for b in blocks {
-            let choices = b.distinct_counts();
-            let mut next = HashSet::with_capacity(sums.len() * choices.len());
-            for s in &sums {
-                for c in &choices {
-                    next.insert(*s + *c);
-                }
-            }
-            sums = next;
-        }
-        sums.into_iter()
-            .map(|c| (c.f1(), c))
-            .fold(
-                (-1.0, Counts::default()),
-                |acc, x| if x.0 > acc.0 { x } else { acc },
-            )
-    }
-
-    for partition in ordered_partitions(n, cfg.max_blocks) {
-        let mut blocks: Vec<BranchSynthesis> = Vec::new();
-        let mut ok = true;
-        let mut counts = Counts::default();
+    // Branch problems are memoized by (positive set, negative set)
+    // bitmask — different partitions share blocks heavily. Key order is
+    // first encounter across the partition scan, which is what makes the
+    // parallel solve's stats merge deterministic.
+    let mut keys: Vec<(u32, u32)> = Vec::new();
+    let mut key_index: HashMap<(u32, u32), usize> = HashMap::new();
+    for partition in &partitions {
         for (i, block) in partition.iter().enumerate() {
             let pos_mask = mask_of(block);
-            // E⁻ = examples not yet covered by this or earlier blocks
-            // (footnote 5 of the paper).
             let mut neg_mask = 0u32;
             for later in &partition[i + 1..] {
                 neg_mask |= mask_of(later);
             }
-            let entry = match memo.get(&(pos_mask, neg_mask)) {
+            key_index.entry((pos_mask, neg_mask)).or_insert_with(|| {
+                keys.push((pos_mask, neg_mask));
+                keys.len() - 1
+            });
+        }
+    }
+
+    let solve = |key: (u32, u32)| -> (Option<BranchSynthesis>, SynthStats) {
+        let mut st = SynthStats::default();
+        let pos = bits_of(key.0);
+        // E⁻ = examples in later blocks of the partition (footnote 5).
+        let neg = bits_of(key.1);
+        let r = synthesize_branch(&task, &pos, &neg, &mut st);
+        (r, st)
+    };
+
+    // `None` = not solved yet; `Some(None)` = solved, no separating guard.
+    let mut solved: Vec<Option<Option<Arc<BranchSynthesis>>>> = vec![None; keys.len()];
+    let jobs = cfg.jobs.clamp(1, keys.len().max(1));
+    if jobs > 1 {
+        // Solve every distinct block problem up-front on a scoped pool.
+        // This can touch blocks the lazy sequential scan would have
+        // skipped (blocks after a failing one in every containing
+        // partition): their full search counters accumulate into the
+        // stats, but the optimum and the program set cannot change.
+        type Slot = Option<(Option<BranchSynthesis>, SynthStats)>;
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Slot>> = Mutex::new((0..keys.len()).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&key) = keys.get(i) else { break };
+                    let result = solve(key);
+                    slots.lock().expect("no poisoned workers")[i] = Some(result);
+                });
+            }
+        });
+        // Deterministic merge: stats accumulate in key order.
+        for (i, slot) in slots
+            .into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .enumerate()
+        {
+            let (r, st) = slot.expect("every index was claimed");
+            stats += st;
+            solved[i] = Some(r.map(Arc::new));
+        }
+    }
+
+    let mut best_f1 = -1.0f64;
+    let mut best_counts = Counts::default();
+    // Each optimal partition contributes a list of per-block option sets.
+    let mut best_partitions: Vec<Vec<Arc<BranchSynthesis>>> = Vec::new();
+    // Whether a key has been looked up during assembly before (memo-hit
+    // accounting identical to the lazy path).
+    let mut touched = vec![false; keys.len()];
+
+    for partition in &partitions {
+        let mut blocks: Vec<Arc<BranchSynthesis>> = Vec::new();
+        let mut ok = true;
+        for (i, block) in partition.iter().enumerate() {
+            let pos_mask = mask_of(block);
+            let mut neg_mask = 0u32;
+            for later in &partition[i + 1..] {
+                neg_mask |= mask_of(later);
+            }
+            let ki = key_index[&(pos_mask, neg_mask)];
+            let entry: Option<Arc<BranchSynthesis>> = match &solved[ki] {
                 Some(cached) => {
-                    stats.memo_hits += 1;
+                    if touched[ki] {
+                        stats.memo_hits += 1;
+                    }
                     cached.clone()
                 }
                 None => {
-                    let pos: Vec<Example> = block.iter().map(|&i| examples[i].clone()).collect();
-                    let neg: Vec<Example> = (0..n)
-                        .filter(|i| neg_mask & (1 << i) != 0)
-                        .map(|i| examples[i].clone())
-                        .collect();
-                    let r = synthesize_branch(cfg, ctx, &pos, &neg, &mut stats);
-                    memo.insert((pos_mask, neg_mask), r.clone());
+                    let (r, st) = solve((pos_mask, neg_mask));
+                    stats += st;
+                    let r = r.map(Arc::new);
+                    solved[ki] = Some(r.clone());
                     r
                 }
             };
+            touched[ki] = true;
             match entry {
-                Some(b) => {
-                    counts += b.counts;
-                    blocks.push(b);
-                }
+                Some(b) => blocks.push(b),
                 None => {
                     ok = false;
                     break;
@@ -124,7 +170,6 @@ pub fn synthesize(cfg: &SynthConfig, ctx: &QueryContext, examples: &[Example]) -
         if !ok {
             continue;
         }
-        let _ = counts; // per-block representative counts; superseded below
         let (f1, part_counts) = partition_best(&blocks);
         if f1 > best_f1 + F1_EPS {
             best_f1 = f1;
@@ -155,8 +200,38 @@ pub fn synthesize(cfg: &SynthConfig, ctx: &QueryContext, examples: &[Example]) -
     }
 }
 
+/// The micro-averaged F₁ of a multi-branch program is a function of the
+/// *sum* of per-branch token counts, and branches tied on F₁ can have
+/// different counts — so a partition's achievable optimum is the best F₁
+/// over all combinations of per-block count groups, computed here by
+/// folding the achievable-sum set across blocks.
+fn partition_best(blocks: &[Arc<BranchSynthesis>]) -> (f64, Counts) {
+    let mut sums: HashSet<Counts> = HashSet::new();
+    sums.insert(Counts::default());
+    for b in blocks {
+        let choices = b.distinct_counts();
+        let mut next = HashSet::with_capacity(sums.len() * choices.len());
+        for s in &sums {
+            for c in &choices {
+                next.insert(*s + *c);
+            }
+        }
+        sums = next;
+    }
+    sums.into_iter()
+        .map(|c| (c.f1(), c))
+        .fold(
+            (-1.0, Counts::default()),
+            |acc, x| if x.0 > acc.0 { x } else { acc },
+        )
+}
+
 fn mask_of(block: &[usize]) -> u32 {
     block.iter().fold(0u32, |m, &i| m | (1 << i))
+}
+
+fn bits_of(mask: u32) -> Vec<usize> {
+    (0..32).filter(|i| mask & (1 << i) != 0).collect()
 }
 
 /// All ordered partitions of `{0..n}` into at most `max_blocks` non-empty
@@ -210,7 +285,7 @@ pub(crate) fn ordered_partitions(n: usize, max_blocks: usize) -> Vec<Vec<Vec<usi
 /// optimal space rather than the first guard's extractor variants (the
 /// transductive ensemble is sampled from this set, Section 6).
 fn materialize(
-    partitions: &[Vec<BranchSynthesis>],
+    partitions: &[Vec<Arc<BranchSynthesis>>],
     cap: usize,
     best_f1: f64,
 ) -> (Vec<Program>, usize) {
@@ -229,12 +304,12 @@ fn materialize(
                 let max_len = b
                     .options
                     .iter()
-                    .map(|(_, gs)| gs.iter().map(|(_, es)| es.len()).max().unwrap_or(0))
+                    .map(|(_, gs)| gs.groups.iter().map(|(_, es)| es.len()).max().unwrap_or(0))
                     .max()
                     .unwrap_or(0);
                 for i in 0..max_len {
                     for (g, gs) in &b.options {
-                        for (c, es) in gs {
+                        for (c, es) in &gs.groups {
                             if let Some(e) = es.get(i) {
                                 pairs.push((g, e, *c));
                             }
@@ -470,5 +545,39 @@ mod tests {
             with.stats.work(),
             without.stats.work()
         );
+    }
+
+    #[test]
+    fn parallel_block_solving_is_deterministic() {
+        let c = ctx();
+        let mut cfg = SynthConfig::fast();
+        cfg.max_blocks = 2;
+        let examples = vec![
+            example(
+                "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>",
+                &["Jane Doe"],
+            ),
+            example(
+                "<h1>B</h1><h2>Group</h2><ul><li>Mary Anderson</li></ul>",
+                &["Mary Anderson"],
+            ),
+            example(
+                "<h1>C</h1><h2>PhD Students</h2><ul><li>Wei Chen</li></ul>",
+                &["Wei Chen"],
+            ),
+        ];
+        let sequential = synthesize(&cfg, &c, &examples);
+        for jobs in [2, 4] {
+            let mut pcfg = cfg.clone();
+            pcfg.jobs = jobs;
+            let parallel = synthesize(&pcfg, &c, &examples);
+            assert_eq!(parallel.programs, sequential.programs, "jobs={jobs}");
+            assert_eq!(parallel.f1, sequential.f1, "jobs={jobs}");
+            assert_eq!(parallel.counts, sequential.counts, "jobs={jobs}");
+            assert_eq!(
+                parallel.total_optimal, sequential.total_optimal,
+                "jobs={jobs}"
+            );
+        }
     }
 }

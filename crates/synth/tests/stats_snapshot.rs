@@ -1,0 +1,141 @@
+//! Search-statistics snapshot tests.
+//!
+//! The hot-path overhaul is only safe to evolve if a change that
+//! silently *loses* pruning, memoization, or behavioral dedup fails a
+//! test rather than a stopwatch. These tests pin the exact `SynthStats`
+//! counters of two fixed fixtures; any structural change to the search
+//! (an extra candidate enumerated, a memo hit lost, a prune skipped)
+//! shifts a counter and trips the assertion.
+//!
+//! If a deliberate search change lands (new production pool, different
+//! dedup rule, …), re-pin the numbers — after checking the *direction*
+//! of each delta is the one the change intends.
+
+use webqa_dsl::{PageTree, QueryContext};
+use webqa_synth::{synthesize, Example, SynthConfig, SynthStats};
+
+fn example(html: &str, gold: &[&str]) -> Example {
+    Example::new(
+        PageTree::parse(html),
+        gold.iter().map(|s| s.to_string()).collect(),
+    )
+}
+
+/// Fixture 1: the motivating "PhD students" task — two list pages, one
+/// distractor section each, perfectly solvable.
+fn students_fixture() -> (QueryContext, Vec<Example>) {
+    let ctx = QueryContext::new("Who are the current PhD students?", ["Students", "PhD"]);
+    let examples = vec![
+        example(
+            "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li><li>Bob Smith</li></ul>\
+             <h2>Contact</h2><p>a@x.edu</p>",
+            &["Jane Doe", "Bob Smith"],
+        ),
+        example(
+            "<h1>B</h1><h2>Publications</h2><p>Some paper. PLDI 2020.</p>\
+             <h2>PhD Students</h2><ul><li>Mary Anderson</li></ul>",
+            &["Mary Anderson"],
+        ),
+    ];
+    (ctx, examples)
+}
+
+/// Fixture 2: the "program committees" task — comma-packed list items
+/// that need split/filter chains, imperfectly solvable.
+fn service_fixture() -> (QueryContext, Vec<Example>) {
+    let ctx = QueryContext::new(
+        "Which program committees has this researcher served on?",
+        ["PC", "Program Committee", "Service"],
+    );
+    let examples = vec![
+        example(
+            "<h1>R</h1><h2>Service</h2>\
+             <ul><li>PLDI '21 (PC), CAV '20 (PC)</li><li>reading group, hiking club</li></ul>",
+            &["PLDI '21 (PC)", "CAV '20 (PC)"],
+        ),
+        example(
+            "<h1>S</h1><h2>Activities</h2><b>Professional Service</b>\
+             <ul><li>POPL '20 (PC)</li><li>ICFP '19 (SRC)</li></ul>\
+             <h2>Teaching</h2><p>CS 101</p>",
+            &["POPL '20 (PC)", "ICFP '19 (SRC)"],
+        ),
+    ];
+    (ctx, examples)
+}
+
+fn cfg() -> SynthConfig {
+    let mut c = SynthConfig::fast();
+    c.max_blocks = 2;
+    c
+}
+
+#[test]
+fn students_fixture_stats_snapshot() {
+    let (ctx, examples) = students_fixture();
+    let out = synthesize(&cfg(), &ctx, &examples);
+    assert!(out.f1 > 0.99, "fixture must stay perfectly solvable");
+    assert_eq!(
+        out.stats,
+        SynthStats {
+            guards_yielded: 1022,
+            locators_expanded: 10200,
+            locators_pruned: 6760,
+            extractors_enumerated: 6232,
+            extractors_pruned: 13677,
+            branch_calls: 4,
+            memo_hits: 0,
+            locator_memo_hits: 544,
+        },
+        "search-shape regression: pruning/memoization/dedup changed \
+         (re-pin deliberately, checking each delta's direction)"
+    );
+}
+
+#[test]
+fn service_fixture_stats_snapshot() {
+    let (ctx, examples) = service_fixture();
+    let out = synthesize(&cfg(), &ctx, &examples);
+    assert!(out.f1 > 0.5, "fixture must stay mostly solvable");
+    assert_eq!(
+        out.stats,
+        SynthStats {
+            guards_yielded: 2649,
+            locators_expanded: 10200,
+            locators_pruned: 4566,
+            extractors_enumerated: 17846,
+            extractors_pruned: 53322,
+            branch_calls: 4,
+            memo_hits: 0,
+            locator_memo_hits: 1861,
+        },
+        "search-shape regression: pruning/memoization/dedup changed \
+         (re-pin deliberately, checking each delta's direction)"
+    );
+}
+
+/// The counters the snapshots pin must actually move in the direction
+/// each mechanism promises — this guards the *meaning* of the counters
+/// themselves, so the snapshots above stay interpretable.
+#[test]
+fn counters_move_with_their_mechanisms() {
+    let (ctx, examples) = students_fixture();
+    let base = synthesize(&cfg(), &ctx, &examples).stats;
+    assert!(base.locators_pruned > 0, "pruning is live on this fixture");
+    assert!(base.extractors_pruned > 0);
+    assert!(base.locator_memo_hits > 0, "locator memo is live");
+
+    let noprune = synthesize(&cfg().without_pruning(), &ctx, &examples).stats;
+    assert_eq!(noprune.locators_pruned, 0);
+    assert_eq!(noprune.extractors_pruned, 0);
+    assert!(
+        noprune.extractors_enumerated >= base.extractors_enumerated,
+        "disabling pruning cannot shrink the enumeration"
+    );
+
+    let nodecomp = synthesize(&cfg().without_decomposition(), &ctx, &examples).stats;
+    assert_eq!(
+        nodecomp.locator_memo_hits, 0,
+        "joint synthesis shares nothing"
+    );
+    assert!(nodecomp.extractors_enumerated >= base.extractors_enumerated);
+}
