@@ -1,0 +1,236 @@
+//! **Serving throughput** — requests/sec and cross-request cache hit
+//! rates of the resident `webqa_server` daemon under concurrent
+//! clients, appended to the machine-readable trajectory at
+//! `BENCH_serve.json` (workspace root).
+//!
+//! The workload mirrors the `tests/serve_api.rs` harness at bench scale:
+//! a stream of distinct corpus tasks, replayed with duplication by
+//! several concurrent TCP clients (each client starts at a different
+//! offset, so the interleaving is adversarial). The interesting numbers
+//! are the requests/sec trend and the `FeatureStore` / result-LRU hit
+//! rates — on a duplicated stream most requests should be cache hits.
+//!
+//! Regenerate with:
+//! `cargo bench -p webqa_bench --bench serve_throughput`
+//!
+//! Knobs: `WEBQA_PAGES` / `WEBQA_TRAIN` / `WEBQA_SEED` (corpus),
+//! `WEBQA_CLIENTS` (concurrent connections, default 4), `WEBQA_REPEATS`
+//! (stream replays per client, default 3), plus `WEBQA_TRAJECTORY=0` to
+//! skip writing the file.
+
+use std::time::Instant;
+
+use webqa_bench::trajectory::{self, ServeRecord};
+use webqa_corpus::{task_by_id, Corpus, Domain};
+use webqa_server::{Client, ServeOptions, Server};
+
+/// Two tasks per domain: enough duplication pressure without re-running
+/// the whole 25-task catalogue per repeat.
+const TASK_IDS: [&str; 8] = [
+    "fac_t1",
+    "fac_t2",
+    "conf_t1",
+    "conf_t2",
+    "class_t1",
+    "class_t2",
+    "clinic_t1",
+    "clinic_t2",
+];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let pages = env_usize("WEBQA_PAGES", 8);
+    let train = env_usize("WEBQA_TRAIN", 3)
+        .min(pages.saturating_sub(1))
+        .max(1);
+    let seed = env_usize("WEBQA_SEED", 42) as u64;
+    let clients = env_usize("WEBQA_CLIENTS", 4);
+    let repeats = env_usize("WEBQA_REPEATS", 3);
+
+    println!(
+        "# Serving throughput: {clients} clients × {repeats} repeats over {} tasks",
+        TASK_IDS.len()
+    );
+    println!("# corpus: {pages} pages/domain, {train} labeled, seed {seed}\n");
+
+    let listening = Server::new(ServeOptions {
+        engine: webqa::Config {
+            synth: webqa::SynthConfig::fast(),
+            ..webqa::Config::default()
+        },
+        max_frame_bytes: 16 << 20,
+    })
+    .listen(Some("127.0.0.1:0"), None)
+    .expect("bind loopback");
+    let addr = listening.tcp_addr().expect("tcp endpoint");
+
+    // Intern every involved page once up-front (out of the timed
+    // window), keeping per-domain handle lists; the timed stream then
+    // references pages by handle, like a steady-state client would.
+    let corpus = Corpus::generate(pages, seed);
+    let mut setup_client = Client::connect_tcp(addr).expect("connect");
+    let mut handles: Vec<(Domain, Vec<u64>)> = Vec::new();
+    for &domain in &Domain::ALL {
+        let ids: Vec<u64> = corpus
+            .pages(domain)
+            .iter()
+            .map(|p| {
+                let mut m = serde_json::Map::new();
+                m.insert("op".to_string(), serde_json::json!("intern"));
+                m.insert("html".to_string(), serde_json::json!(p.html.clone()));
+                let resp = setup_client
+                    .request(&serde_json::Value::Object(m))
+                    .expect("intern");
+                resp["ok"]["page"].as_u64().expect("page handle")
+            })
+            .collect();
+        handles.push((domain, ids));
+    }
+    let ids_of = |d: Domain| -> &[u64] {
+        handles
+            .iter()
+            .find(|(dom, _)| *dom == d)
+            .map(|(_, ids)| ids.as_slice())
+            .expect("all domains interned")
+    };
+
+    // One `run` request line per task, built once and shared by every
+    // client (the protocol is stateless per request).
+    let requests: Vec<String> = TASK_IDS
+        .iter()
+        .map(|id| {
+            let task = task_by_id(id).expect("catalogue task");
+            let pages_of = corpus.pages(task.domain);
+            let ids = ids_of(task.domain);
+            let labeled: Vec<serde_json::Value> = ids[..train]
+                .iter()
+                .zip(pages_of)
+                .map(|(&h, p)| {
+                    let mut m = serde_json::Map::new();
+                    m.insert("page".to_string(), serde_json::json!(h));
+                    m.insert(
+                        "gold".to_string(),
+                        serde_json::json!(p.gold(task.id).to_vec()),
+                    );
+                    serde_json::Value::Object(m)
+                })
+                .collect();
+            let mut m = serde_json::Map::new();
+            m.insert("op".to_string(), serde_json::json!("run"));
+            m.insert("question".to_string(), serde_json::json!(task.question));
+            m.insert(
+                "keywords".to_string(),
+                serde_json::json!(task
+                    .keywords
+                    .iter()
+                    .map(|k| k.to_string())
+                    .collect::<Vec<_>>()),
+            );
+            m.insert("labeled".to_string(), serde_json::Value::Array(labeled));
+            m.insert(
+                "targets".to_string(),
+                serde_json::json!(ids[train..].to_vec()),
+            );
+            serde_json::to_string(&serde_json::Value::Object(m)).expect("serializable")
+        })
+        .collect();
+
+    // The timed window: every client replays the full stream `repeats`
+    // times, starting at its own offset.
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let requests = &requests;
+            scope.spawn(move || {
+                let mut client = Client::connect_tcp(addr).expect("connect");
+                for r in 0..repeats {
+                    for i in 0..requests.len() {
+                        let line = &requests[(i + c + r) % requests.len()];
+                        let resp = client.request_line(line).expect("response");
+                        assert!(resp.contains("\"ok\""), "request failed: {resp}");
+                    }
+                }
+            });
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let total_requests = clients * repeats * requests.len();
+
+    let stats_resp = setup_client
+        .request_line("{\"op\":\"stats\"}")
+        .expect("stats");
+    let v: serde_json::Value = serde_json::from_str(&stats_resp).expect("valid JSON");
+    let counter = |name: &str| v["ok"]["cache"][name].as_u64().unwrap_or(0);
+    let cache = webqa::CacheStats {
+        feature_hits: counter("feature_hits"),
+        feature_misses: counter("feature_misses"),
+        feature_evictions: counter("feature_evictions"),
+        result_hits: counter("result_hits"),
+        result_misses: counter("result_misses"),
+        result_evictions: counter("result_evictions"),
+    };
+
+    let record = ServeRecord {
+        timestamp_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        pages,
+        train,
+        seed,
+        clients,
+        repeats,
+        distinct_tasks: requests.len(),
+        requests: total_requests,
+        wall_s,
+        requests_per_sec: total_requests as f64 / wall_s.max(1e-9),
+        cache,
+    };
+
+    println!("{:<22} {:>10}", "run requests", record.requests);
+    println!("{:<22} {:>10.3}", "wall seconds", record.wall_s);
+    println!("{:<22} {:>10.1}", "requests/sec", record.requests_per_sec);
+    println!(
+        "{:<22} {:>9.1}%  ({} hits / {} misses)",
+        "feature hit rate",
+        100.0 * record.feature_hit_rate(),
+        cache.feature_hits,
+        cache.feature_misses,
+    );
+    println!(
+        "{:<22} {:>9.1}%  ({} hits / {} misses)",
+        "result hit rate",
+        100.0 * record.result_hit_rate(),
+        cache.result_hits,
+        cache.result_misses,
+    );
+
+    // A duplicated stream must actually exercise the caches — fail the
+    // bench (it runs in CI smoke) if serving stopped memoizing.
+    assert!(
+        cache.result_hits > 0,
+        "duplicated task stream produced no result-cache hits"
+    );
+    assert!(
+        cache.feature_hits > 0,
+        "repeat queries over interned pages produced no feature-store hits"
+    );
+
+    listening.shutdown();
+
+    if std::env::var("WEBQA_TRAJECTORY").as_deref() == Ok("0") {
+        println!("\n# WEBQA_TRAJECTORY=0: not recording");
+        return;
+    }
+    let path = trajectory::serve_path();
+    match trajectory::append(&path, &record) {
+        Ok(()) => println!("\n# recorded to {}", path.display()),
+        Err(e) => println!("\n# trajectory not recorded ({e})"),
+    }
+}

@@ -1,12 +1,16 @@
-//! Machine-readable perf trajectory for the synthesis hot path.
+//! Machine-readable perf trajectories.
 //!
-//! `BENCH_synth.json` (workspace root) accumulates one record per
-//! recorded bench run: per-target wall time plus the full `SynthStats`
-//! counters, keyed by the corpus knobs. Timing alone cannot be asserted
-//! in CI (hardware varies); the counters can — and the trajectory file
-//! is what lets a future "make it faster" PR show its numbers instead of
-//! hand-waving. The `synth_hotpath` bench target writes it; nothing
-//! reads it programmatically yet.
+//! Two append-only JSON-array files at the workspace root accumulate one
+//! record per recorded bench run, keyed by the corpus knobs. Timing
+//! alone cannot be asserted in CI (hardware varies); the counters can —
+//! and the trajectory files are what let a future "make it faster" PR
+//! show its numbers instead of hand-waving:
+//!
+//! * `BENCH_synth.json` ([`RunRecord`], written by `synth_hotpath`):
+//!   per-task synthesis wall time plus the full `SynthStats` counters;
+//! * `BENCH_serve.json` ([`ServeRecord`], written by
+//!   `serve_throughput`): served requests/sec across concurrent clients
+//!   plus the engine's cross-request cache hit/miss/eviction counters.
 
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -61,15 +65,72 @@ impl RunRecord {
     }
 }
 
-/// Default trajectory path: `BENCH_synth.json` at the workspace root.
+/// One recorded serving-throughput run (`cargo bench --bench
+/// serve_throughput` → `BENCH_serve.json`).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ServeRecord {
+    /// Seconds since the Unix epoch when the run finished.
+    pub timestamp_unix: u64,
+    /// `WEBQA_PAGES` (pages per domain of the generated workload).
+    pub pages: usize,
+    /// `WEBQA_TRAIN` (labeled pages per task).
+    pub train: usize,
+    /// `WEBQA_SEED` (corpus seed).
+    pub seed: u64,
+    /// Concurrent client connections (`WEBQA_CLIENTS`).
+    pub clients: usize,
+    /// Times each client replayed its full task stream
+    /// (`WEBQA_REPEATS`).
+    pub repeats: usize,
+    /// Distinct tasks in the stream.
+    pub distinct_tasks: usize,
+    /// Total `run` requests served (all clients, all repeats).
+    pub requests: usize,
+    /// Wall-clock seconds from first request sent to last response read.
+    pub wall_s: f64,
+    /// `requests / wall_s`.
+    pub requests_per_sec: f64,
+    /// The server engine's cross-request cache counters after the run.
+    pub cache: webqa::CacheStats,
+}
+
+impl ServeRecord {
+    /// Fraction of feature-table lookups served from the store.
+    pub fn feature_hit_rate(&self) -> f64 {
+        let total = self.cache.feature_hits + self.cache.feature_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache.feature_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of completed-run lookups served from the LRU.
+    pub fn result_hit_rate(&self) -> f64 {
+        let total = self.cache.result_hits + self.cache.result_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache.result_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Default synthesis-trajectory path: `BENCH_synth.json` at the
+/// workspace root.
 pub fn default_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_synth.json")
+}
+
+/// Serving-trajectory path: `BENCH_serve.json` at the workspace root.
+pub fn serve_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json")
 }
 
 /// Appends `run` to the trajectory file at `path`, preserving previous
 /// records (the file is a JSON array of run objects). IO errors are
 /// reported, not fatal — a read-only checkout must not fail the bench.
-pub fn append(path: &std::path::Path, run: &RunRecord) -> std::io::Result<()> {
+pub fn append<T: serde::Serialize>(path: &std::path::Path, run: &T) -> std::io::Result<()> {
     let mut runs: Vec<serde_json::Value> = match std::fs::read_to_string(path) {
         Ok(text) => match serde_json::from_str::<serde_json::Value>(&text) {
             Ok(serde_json::Value::Array(a)) => a,

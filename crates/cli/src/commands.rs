@@ -55,6 +55,17 @@ COMMANDS:
                   --program SRC [--question Q] [--keywords A,B] [--normalize]
     stats     Structural-heterogeneity statistics of the generated corpus
                   [--count N] [--seed S] [--domain D]
+    serve     Run the resident serving daemon (line-delimited JSON;
+              see webqa_server's crate docs for the wire protocol)
+                  (--tcp HOST:PORT | --unix PATH | both) [--paper]
+                  [--synth-jobs N] [--feature-cache N] [--result-cache N]
+                  [--max-frame BYTES] [--max-requests N]
+                  --max-requests N stops after N requests (0 = run until
+                  killed, the default); cache knobs size the engine's
+                  cross-request feature store / result LRU (0 disables)
+    client    Send one request line to a running server, print the reply
+                  (--tcp HOST:PORT | --unix PATH)
+                  (--request REQUEST | --op ping|stats)
     help      Show this message
 "
     .to_string()
@@ -570,6 +581,113 @@ pub(crate) fn run(a: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `serve`: run the resident daemon until killed (or until
+/// `--max-requests` requests have been served, the scriptable stop
+/// condition smoke tests rely on).
+pub(crate) fn serve(a: &ParsedArgs) -> Result<String, CliError> {
+    a.expect_only(&[
+        "tcp",
+        "unix",
+        "paper",
+        "synth-jobs",
+        "feature-cache",
+        "result-cache",
+        "max-frame",
+        "max-requests",
+    ])?;
+    let tcp = a.get("tcp");
+    let unix = a.get("unix").map(std::path::PathBuf::from);
+    if tcp.is_none() && unix.is_none() {
+        return Err(CliError::Command(
+            "serve needs an endpoint: --tcp HOST:PORT and/or --unix PATH".to_string(),
+        ));
+    }
+
+    let mut config = Config::default();
+    if a.switch("paper") {
+        config.synth = SynthConfig::paper();
+    }
+    config.synth.jobs = a.get_parsed("synth-jobs", 1, "a positive integer")?;
+    config.cache.feature_capacity = a.get_parsed(
+        "feature-cache",
+        config.cache.feature_capacity,
+        "a non-negative integer",
+    )?;
+    config.cache.result_capacity = a.get_parsed(
+        "result-cache",
+        config.cache.result_capacity,
+        "a non-negative integer",
+    )?;
+    let max_frame_bytes: usize = a.get_parsed("max-frame", 1 << 20, "a positive integer")?;
+    let max_requests: u64 = a.get_parsed("max-requests", 0, "a non-negative integer")?;
+
+    let listening = webqa_server::Server::new(webqa_server::ServeOptions {
+        engine: config,
+        max_frame_bytes,
+    })
+    .listen(tcp, unix.as_deref())
+    .map_err(|e| CliError::Command(format!("cannot bind: {e}")))?;
+
+    // The daemon blocks here; announce the endpoints on stderr so
+    // clients can find an OS-assigned port before we return.
+    if let Some(addr) = listening.tcp_addr() {
+        eprintln!("webqa-server listening on tcp://{addr}");
+    }
+    if let Some(path) = listening.unix_path() {
+        eprintln!("webqa-server listening on unix://{}", path.display());
+    }
+
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Poll the *completed-response* counter, not the frames-read
+        // counter: stopping on read-time counts could tear down the
+        // server while the Nth response is still being computed.
+        if max_requests > 0 && listening.responses_sent() >= max_requests {
+            break;
+        }
+    }
+    let served = listening.responses_sent();
+    listening.shutdown();
+    Ok(format!("served {served} requests\n"))
+}
+
+/// `client`: one request line to a running server, one response line
+/// back.
+pub(crate) fn client(a: &ParsedArgs) -> Result<String, CliError> {
+    // `--request`, not `--json`: `json` is a global boolean switch
+    // (`synth --json`), so it can never carry a value.
+    a.expect_only(&["tcp", "unix", "request", "op"])?;
+    let line = match (a.get("request"), a.get("op")) {
+        (Some(request), None) => request.to_string(),
+        (None, Some(op @ ("ping" | "stats"))) => format!("{{\"op\":\"{op}\"}}"),
+        (None, Some(other)) => {
+            return Err(CliError::Command(format!(
+                "--op {other:?} has no argument-free form (expected ping|stats); use --request"
+            )))
+        }
+        _ => {
+            return Err(CliError::Command(
+                "exactly one of --request REQUEST or --op ping|stats is required".to_string(),
+            ))
+        }
+    };
+    let mut client = match (a.get("tcp"), a.get("unix")) {
+        (Some(addr), None) => webqa_server::Client::connect_tcp(addr)
+            .map_err(|e| CliError::Command(format!("cannot connect to tcp://{addr}: {e}")))?,
+        (None, Some(path)) => webqa_server::Client::connect_unix(path)
+            .map_err(|e| CliError::Command(format!("cannot connect to unix://{path}: {e}")))?,
+        _ => {
+            return Err(CliError::Command(
+                "exactly one of --tcp HOST:PORT or --unix PATH is required".to_string(),
+            ))
+        }
+    };
+    let response = client
+        .request_line(&line)
+        .map_err(|e| CliError::Command(format!("request failed: {e}")))?;
+    Ok(response + "\n")
+}
+
 /// `check`: lint + optional normalization of a program.
 pub(crate) fn check(a: &ParsedArgs) -> Result<String, CliError> {
     a.expect_only(&["program", "question", "keywords", "normalize"])?;
@@ -820,6 +938,64 @@ mod tests {
             .count();
         assert_eq!(html_files, 3);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_requires_an_endpoint_and_client_requires_exactly_one() {
+        let err = dispatch(&["serve"]).unwrap_err();
+        assert!(err.to_string().contains("endpoint"), "{err}");
+        let err = dispatch(&["client", "--op", "ping"]).unwrap_err();
+        assert!(err.to_string().contains("--tcp"), "{err}");
+        let err = dispatch(&["client", "--tcp", "x", "--unix", "y", "--op", "ping"]).unwrap_err();
+        assert!(err.to_string().contains("exactly one"), "{err}");
+        let err = dispatch(&["client", "--tcp", "127.0.0.1:1", "--op", "run"]).unwrap_err();
+        assert!(err.to_string().contains("ping|stats"), "{err}");
+    }
+
+    #[test]
+    fn serve_and_client_round_trip_over_a_unix_socket() {
+        let path =
+            std::env::temp_dir().join(format!("webqa_cli_serve_{}.sock", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        let server_path = path_str.clone();
+        let server = std::thread::spawn(move || {
+            dispatch(&[
+                "serve",
+                "--unix",
+                &server_path,
+                "--max-requests",
+                "3",
+                "--feature-cache",
+                "8",
+            ])
+        });
+        // Wait for the socket to appear, then drive three requests so
+        // the --max-requests stop condition fires.
+        for _ in 0..200 {
+            if path.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let pong = dispatch(&["client", "--unix", &path_str, "--op", "ping"]).unwrap();
+        assert_eq!(pong.trim(), r#"{"id":null,"ok":{"pong":true}}"#);
+        // A raw --request payload (regression: `--json` was a global
+        // switch and could never carry one).
+        let interned = dispatch(&[
+            "client",
+            "--unix",
+            &path_str,
+            "--request",
+            r#"{"id":7,"op":"intern","html":"<h1>A</h1><p>x</p>"}"#,
+        ])
+        .unwrap();
+        assert_eq!(interned.trim(), r#"{"id":7,"ok":{"page":0,"nodes":2}}"#);
+        let stats = dispatch(&["client", "--unix", &path_str, "--op", "stats"]).unwrap();
+        assert!(stats.contains("\"cache\""), "{stats}");
+        assert!(stats.contains("\"pages\":1"), "{stats}");
+        let out = server.join().expect("server thread").unwrap();
+        assert!(out.contains("served 3 requests"), "{out}");
+        assert!(!path.exists(), "socket file is removed on shutdown");
     }
 
     #[test]

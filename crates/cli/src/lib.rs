@@ -14,6 +14,8 @@
 //! webqa-cli eval [--tasks A,B,C] [--domain D] [--pages N] [--train N] [--seed S] [--jobs N]
 //! webqa-cli run --program SRC --question Q --keywords A,B (--html SRC | --html-file PATH)
 //! webqa-cli check --program SRC [--question Q] [--keywords A,B]
+//! webqa-cli serve (--tcp HOST:PORT | --unix PATH) [--max-requests N]
+//! webqa-cli client (--tcp HOST:PORT | --unix PATH) (--request REQ | --op ping|stats)
 //! webqa-cli help
 //! ```
 //!
@@ -87,6 +89,8 @@ pub fn dispatch<S: AsRef<str>>(raw: &[S]) -> Result<String, CliError> {
         "check" => commands::check(&parsed),
         "stats" => commands::stats(&parsed),
         "export" => commands::export(&parsed),
+        "serve" => commands::serve(&parsed),
+        "client" => commands::client(&parsed),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -106,7 +110,8 @@ mod tests {
     fn help_lists_all_commands() {
         let out = dispatch(&["help"]).unwrap();
         for c in [
-            "tasks", "corpus", "synth", "eval", "run", "check", "stats", "export",
+            "tasks", "corpus", "synth", "eval", "run", "check", "stats", "export", "serve",
+            "client",
         ] {
             assert!(out.contains(c), "help is missing {c}");
         }

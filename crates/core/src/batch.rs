@@ -29,6 +29,15 @@ impl Engine {
     /// sequential synthesis. Both levels are deterministic, so any
     /// combination produces identical results.
     ///
+    /// The two levels multiply: `jobs` batch workers each spawning
+    /// `synth.jobs` branch workers would oversubscribe the machine
+    /// (`jobs × synth.jobs` live threads for `available_parallelism`
+    /// cores). The batch runner therefore caps the *effective* per-task
+    /// branch worker count so the product stays within the hardware
+    /// budget. The cap is invisible in the output — programs, counts,
+    /// F₁, and answers are identical for every worker-count combination
+    /// (`tests/staged_api.rs` pins batch × branch determinism).
+    ///
     /// # Errors
     ///
     /// The first failing task's error, by input order (tasks after a
@@ -58,6 +67,27 @@ impl Engine {
             return tasks.iter().map(|t| self.run(t)).collect();
         }
 
+        // Cap combined batch × branch parallelism: `jobs` workers share
+        // the machine, so each task gets at most its fair share of cores
+        // for branch-level synthesis (never more than configured, never
+        // less than 1). Purely a scheduling change — results are
+        // identical for any effective worker count.
+        let synth_jobs = self.config().synth.jobs.max(1);
+        let budget = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let effective = synth_jobs.min((budget / jobs).max(1));
+        // Compare against the *normalized* count: jobs 0 and 1 are the
+        // same sequential config, and a needless worker-engine clone
+        // would carry a different config digest — splitting the shared
+        // result cache between `run` and `run_batch` entries.
+        let worker_engine = if effective == synth_jobs {
+            None
+        } else {
+            Some(self.with_synth_jobs(effective))
+        };
+        let engine: &Engine = worker_engine.as_ref().unwrap_or(self);
+
         let next = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<Result<RunResult, Error>>>> =
             Mutex::new((0..tasks.len()).map(|_| None).collect());
@@ -66,7 +96,7 @@ impl Engine {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(task) = tasks.get(i) else { break };
-                    let result = self.run(task);
+                    let result = engine.run(task);
                     slots.lock().expect("no poisoned workers")[i] = Some(result);
                 });
             }

@@ -1,0 +1,457 @@
+//! Cross-request memoization: the engine-owned [`FeatureStore`] and the
+//! completed-run LRU.
+//!
+//! PR 4 made everything *inside* one `synthesize` call cheap; what was
+//! left on the table is cross-*task* reuse — every `Engine::prepare →
+//! synthesize` rebuilt its per-page neural-feature / `[filter][node]`
+//! mask tables even over the same interned pages, and a repeat of an
+//! identical query re-ran the whole search. Both artifacts are pure
+//! functions of their keys:
+//!
+//! * a [`webqa_synth::PageFeatures`] table is determined by
+//!   `(page, question+keywords, synth config)` — cached in the sharded
+//!   [`FeatureStore`], keyed by the page's [`PageId`] (which embeds the
+//!   content digest) plus a pool digest of the context and config;
+//! * a [`RunResult`] is determined by `(task, engine config)` — cached in
+//!   the [`ResultCache`], keyed by the full task (exact, not a digest:
+//!   a hash collision must not serve the wrong programs).
+//!
+//! Because both values are pure, a cache hit is observationally
+//! invisible: reuse, eviction, and re-insertion change latency, never
+//! bytes. `tests/serve_api.rs` and the cache-invalidation proptest
+//! (`crates/core/tests/cache_semantics.rs`) pin that — every cached
+//! engine response is compared against a cold, never-cached reference
+//! engine, the same discipline `tests/synth_parity.rs` applies one level
+//! down.
+//!
+//! Eviction is LRU via a monotonic clock stamp per entry; capacities are
+//! set by [`CacheConfig`] (0 disables a cache entirely). Counters are
+//! atomics, snapshotted by [`Engine::cache_stats`](crate::Engine::cache_stats)
+//! and served over the wire by `webqa_server`'s `stats` op.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::engine::Task;
+use crate::pipeline::{Config, RunResult};
+use crate::store::PageId;
+use webqa_dsl::QueryContext;
+use webqa_synth::{PageFeatures, SynthConfig};
+
+/// Capacities of the engine's cross-request caches (entries, not bytes).
+/// `0` disables the respective cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Max feature tables resident in the engine's feature store (one
+    /// table per distinct `(page, question+keywords, synth config)`).
+    ///
+    /// Rounded up to the store's shard granularity: capacity is split
+    /// evenly across 8 independently locked shards, so the actual
+    /// resident maximum is `8 × ceil(feature_capacity / 8)` (a nonzero
+    /// capacity always admits at least one table per shard).
+    pub feature_capacity: usize,
+    /// Max completed [`RunResult`]s resident in the result LRU.
+    pub result_capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            feature_capacity: 512,
+            result_capacity: 128,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Both caches off — every request recomputes from scratch (the
+    /// "never-cached reference path" the cache-semantics tests compare
+    /// against).
+    pub fn disabled() -> Self {
+        CacheConfig {
+            feature_capacity: 0,
+            result_capacity: 0,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CacheStats {
+    /// Feature tables served from the store.
+    pub feature_hits: u64,
+    /// Feature tables computed (cache cold, evicted, or disabled).
+    pub feature_misses: u64,
+    /// Feature tables evicted (LRU, over capacity).
+    pub feature_evictions: u64,
+    /// Completed runs served from the result LRU.
+    pub result_hits: u64,
+    /// Completed runs computed.
+    pub result_misses: u64,
+    /// Completed runs evicted (LRU, over capacity).
+    pub result_evictions: u64,
+}
+
+/// Number of independently locked shards in the [`FeatureStore`]:
+/// concurrent requests over different pages take different locks.
+const FEATURE_SHARDS: usize = 8;
+
+/// Key of one feature table: the page handle (whose embedded content
+/// digest makes the key content-addressed) plus the pool digest of the
+/// query context and synthesis config it was built under.
+type FeatKey = (PageId, u64);
+
+#[derive(Debug)]
+struct FeatEntry {
+    table: Arc<PageFeatures>,
+    stamp: u64,
+}
+
+/// Sharded, content-keyed store of [`PageFeatures`] tables.
+#[derive(Debug)]
+pub(crate) struct FeatureStore {
+    /// Per-shard capacity (total capacity split across shards); 0 = off.
+    shard_capacity: usize,
+    enabled: bool,
+    shards: Vec<Mutex<HashMap<FeatKey, FeatEntry>>>,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl FeatureStore {
+    fn new(capacity: usize) -> Self {
+        FeatureStore {
+            shard_capacity: capacity.div_ceil(FEATURE_SHARDS),
+            enabled: capacity > 0,
+            shards: (0..FEATURE_SHARDS).map(|_| Mutex::default()).collect(),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &FeatKey) -> &Mutex<HashMap<FeatKey, FeatEntry>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % FEATURE_SHARDS]
+    }
+
+    /// The table for `key`, computing (and caching) it on a miss. The
+    /// compute runs *outside* the shard lock, so a slow table build never
+    /// blocks hits on other pages; two concurrent misses on the same key
+    /// may both compute, and the first insert wins (the values are
+    /// identical by purity, so which one survives is unobservable).
+    pub fn get_or_compute(
+        &self,
+        key: FeatKey,
+        compute: impl FnOnce() -> PageFeatures,
+    ) -> Arc<PageFeatures> {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(compute());
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut shard = self.shard_of(&key).lock().expect("feature shard");
+            if let Some(entry) = shard.get_mut(&key) {
+                entry.stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.table);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let table = Arc::new(compute());
+        let mut shard = self.shard_of(&key).lock().expect("feature shard");
+        if let Some(entry) = shard.get(&key) {
+            // Lost the race to a concurrent miss: share its table.
+            return Arc::clone(&entry.table);
+        }
+        if shard.len() >= self.shard_capacity {
+            let victim = shard.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k);
+            if let Some(victim) = victim {
+                shard.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.insert(
+            key,
+            FeatEntry {
+                table: Arc::clone(&table),
+                stamp,
+            },
+        );
+        table
+    }
+}
+
+#[derive(Debug)]
+struct ResultEntry {
+    /// The exact task this entry was computed for — verified on lookup,
+    /// so a digest collision can never serve another task's programs.
+    task: Task,
+    result: RunResult,
+    stamp: u64,
+}
+
+/// LRU of completed `(task, config)` runs, bucketed by digest with exact
+/// task equality inside a bucket.
+///
+/// Eviction scans all resident entries for the minimum stamp — O(capacity)
+/// per at-capacity insert. That is deliberate: capacities are small (a
+/// few hundred entries of whole `RunResult`s), inserts are rare next to
+/// the synthesis they follow, and the scan keeps the structure a plain
+/// map instead of a linked LRU. Revisit if `--result-cache` is ever
+/// sized in the tens of thousands.
+#[derive(Debug)]
+pub(crate) struct ResultCache {
+    capacity: usize,
+    buckets: Mutex<HashMap<u64, Vec<ResultEntry>>>,
+    len: AtomicU64,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+fn result_key(cfg: u64, task: &Task) -> u64 {
+    let mut h = DefaultHasher::new();
+    cfg.hash(&mut h);
+    task.hash(&mut h);
+    h.finish()
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            buckets: Mutex::default(),
+            len: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cached run for the task under config digest `cfg`, if resident.
+    pub fn get(&self, cfg: u64, task: &Task) -> Option<RunResult> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut buckets = self.buckets.lock().expect("result cache");
+        let found = buckets
+            .get_mut(&result_key(cfg, task))
+            .and_then(|bucket| bucket.iter_mut().find(|e| e.task == *task))
+            .map(|e| {
+                e.stamp = stamp;
+                e.result.clone()
+            });
+        match found {
+            Some(r) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(r)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a completed run, evicting the least-recently-used entry
+    /// when over capacity.
+    pub fn insert(&self, cfg: u64, task: &Task, result: RunResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let key = result_key(cfg, task);
+        let mut buckets = self.buckets.lock().expect("result cache");
+        let resident = buckets
+            .get(&key)
+            .is_some_and(|b| b.iter().any(|e| e.task == *task));
+        if !resident && self.len.load(Ordering::Relaxed) as usize >= self.capacity {
+            // Evict the globally least-recently-used entry.
+            if let Some(victim_key) = buckets
+                .iter()
+                .filter_map(|(k, b)| b.iter().map(|e| e.stamp).min().map(|s| (s, *k)))
+                .min()
+                .map(|(_, k)| k)
+            {
+                let bucket = buckets.get_mut(&victim_key).expect("victim bucket");
+                let oldest = bucket
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.stamp)
+                    .map(|(i, _)| i)
+                    .expect("non-empty bucket");
+                bucket.swap_remove(oldest);
+                if bucket.is_empty() {
+                    buckets.remove(&victim_key);
+                }
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let bucket = buckets.entry(key).or_default();
+        match bucket.iter_mut().find(|e| e.task == *task) {
+            Some(existing) => {
+                existing.result = result;
+                existing.stamp = stamp;
+            }
+            None => {
+                bucket.push(ResultEntry {
+                    task: task.clone(),
+                    result,
+                    stamp,
+                });
+                self.len.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// The caches an [`Engine`](crate::Engine) owns; clones of an engine
+/// share them through an `Arc`, so a server handing out per-request
+/// engine views accumulates hits in one place.
+#[derive(Debug)]
+pub(crate) struct EngineCaches {
+    pub features: FeatureStore,
+    pub results: ResultCache,
+}
+
+impl EngineCaches {
+    pub fn new(config: CacheConfig) -> Self {
+        EngineCaches {
+            features: FeatureStore::new(config.feature_capacity),
+            results: ResultCache::new(config.result_capacity),
+        }
+    }
+
+    /// A point-in-time snapshot of all counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            feature_hits: self.features.hits.load(Ordering::Relaxed),
+            feature_misses: self.features.misses.load(Ordering::Relaxed),
+            feature_evictions: self.features.evictions.load(Ordering::Relaxed),
+            result_hits: self.results.hits.load(Ordering::Relaxed),
+            result_misses: self.results.misses.load(Ordering::Relaxed),
+            result_evictions: self.results.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Digest of the feature-table pool: the query context plus the synth
+/// config *with the worker count normalized out* — `jobs` parallelizes
+/// the search but never changes a table, so a batch run with a capped
+/// worker count still hits tables built by a single-threaded run.
+pub(crate) fn pool_digest(cfg: &SynthConfig, ctx: &QueryContext) -> u64 {
+    let mut h = DefaultHasher::new();
+    ctx.question().hash(&mut h);
+    ctx.keywords().hash(&mut h);
+    let mut normalized = cfg.clone();
+    normalized.jobs = 1;
+    // SynthConfig has no Hash (f64 fields); its derived Debug output is
+    // injective enough for an in-process cache key (floats round-trip).
+    format!("{normalized:?}").hash(&mut h);
+    h.finish()
+}
+
+/// Digest of the full engine config for result-cache keying. `jobs` is
+/// *kept*: branch-parallel runs can legitimately differ from sequential
+/// ones in their speculative `SynthStats` counters, and a cached result
+/// must be byte-identical to what the live config would compute.
+pub(crate) fn config_digest(config: &Config) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{config:?}").hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webqa_dsl::PageTree;
+
+    fn table(nodes: &str) -> PageFeatures {
+        let cfg = SynthConfig::fast();
+        let ctx = QueryContext::new("Who?", ["Students"]);
+        PageFeatures::compute(&cfg, &ctx, &PageTree::parse(nodes))
+    }
+
+    fn key(n: u32) -> FeatKey {
+        (crate::store::PageId::forged(n), 7)
+    }
+
+    #[test]
+    fn feature_store_hits_after_insert() {
+        let store = FeatureStore::new(16);
+        let a1 = store.get_or_compute(key(1), || table("<p>a</p>"));
+        let a2 = store.get_or_compute(key(1), || panic!("must hit"));
+        assert!(Arc::ptr_eq(&a1, &a2));
+        let s = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        assert_eq!((s(&store.hits), s(&store.misses)), (1, 1));
+    }
+
+    #[test]
+    fn feature_store_evicts_least_recently_used() {
+        // Capacity 8 over 8 shards = 1 entry per shard; two keys in the
+        // same shard force an eviction of the older one.
+        let store = FeatureStore::new(8);
+        let mut in_shard = (0u32..).filter(|&n| {
+            std::ptr::eq(
+                store.shard_of(&key(n)) as *const _,
+                store.shard_of(&key(0)) as *const _,
+            )
+        });
+        let a = in_shard.next().unwrap();
+        let b = in_shard.next().unwrap();
+        store.get_or_compute(key(a), || table("<p>a</p>"));
+        store.get_or_compute(key(b), || table("<p>b</p>"));
+        assert_eq!(store.evictions.load(Ordering::Relaxed), 1);
+        // `a` was evicted: asking again recomputes.
+        store.get_or_compute(key(a), || table("<p>a</p>"));
+        assert_eq!(store.hits.load(Ordering::Relaxed), 0);
+        assert_eq!(store.misses.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn disabled_feature_store_is_a_pass_through() {
+        let store = FeatureStore::new(0);
+        store.get_or_compute(key(1), || table("<p>a</p>"));
+        store.get_or_compute(key(1), || table("<p>a</p>"));
+        assert_eq!(store.hits.load(Ordering::Relaxed), 0);
+        assert_eq!(store.misses.load(Ordering::Relaxed), 2);
+        assert!(store.shards.iter().all(|s| s.lock().unwrap().is_empty()));
+    }
+
+    #[test]
+    fn pool_digest_ignores_jobs_but_not_search_knobs() {
+        let ctx = QueryContext::new("Who?", ["Students"]);
+        let base = SynthConfig::fast();
+        assert_eq!(
+            pool_digest(&base, &ctx),
+            pool_digest(&base.clone().with_jobs(4), &ctx)
+        );
+        let mut deeper = base.clone();
+        deeper.guard_depth += 1;
+        assert_ne!(pool_digest(&base, &ctx), pool_digest(&deeper, &ctx));
+        let other_ctx = QueryContext::new("Who?", ["Faculty"]);
+        assert_ne!(pool_digest(&base, &ctx), pool_digest(&base, &other_ctx));
+    }
+
+    #[test]
+    fn config_digest_keeps_jobs() {
+        let base = Config::default();
+        let mut jobs4 = base.clone();
+        jobs4.synth.jobs = 4;
+        assert_ne!(config_digest(&base), config_digest(&jobs4));
+    }
+}

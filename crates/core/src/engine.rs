@@ -21,15 +21,16 @@
 
 use std::sync::Arc;
 
+use crate::cache::{self, CacheStats, EngineCaches};
 use crate::error::Error;
 use crate::pipeline::{Config, RunResult, Selection};
 use crate::store::{PageId, PageStore};
 use webqa_dsl::{PageTree, Program, QueryContext};
 use webqa_select::{select_from_ensemble, select_random, select_shortest, Ensemble};
-use webqa_synth::{synthesize, Example, SynthesisOutcome};
+use webqa_synth::{synthesize_with_features, Example, PageFeatures, SynthesisOutcome};
 
 /// One extraction task over pages interned in an engine's store.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Task {
     /// The natural-language question.
     pub question: String,
@@ -135,32 +136,56 @@ impl Task {
 /// assert_eq!(selected.answers(), vec![vec!["Wei Chen".to_string()]]);
 /// # Ok::<(), webqa::Error>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Engine {
     config: Config,
     store: PageStore,
+    /// Cross-request caches ([`crate::cache`]); shared by clones of this
+    /// engine, so per-request engine views accumulate hits in one place.
+    caches: Arc<EngineCaches>,
+    /// Digest of `config` for result-cache keying, fixed at construction
+    /// (the config is immutable afterwards).
+    config_digest: u64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(Config::default())
+    }
 }
 
 impl Engine {
     /// An engine with an empty page store.
     pub fn new(config: Config) -> Self {
-        Engine {
-            config,
-            store: PageStore::new(),
-        }
+        Self::with_store(config, PageStore::new())
     }
 
     /// An engine over an existing (possibly shared-by-clone) store —
     /// interning is content-addressed, so a store built once can be
     /// cloned cheaply into engines with different configs and the ids
-    /// stay valid.
+    /// stay valid. The caches start empty (they are per-engine, not
+    /// per-store).
     pub fn with_store(config: Config, store: PageStore) -> Self {
-        Engine { config, store }
+        let caches = Arc::new(EngineCaches::new(config.cache));
+        let config_digest = cache::config_digest(&config);
+        Engine {
+            config,
+            store,
+            caches,
+            config_digest,
+        }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &Config {
         &self.config
+    }
+
+    /// A snapshot of the cross-request cache counters (feature-store and
+    /// result-LRU hits / misses / evictions). Counters accumulate across
+    /// every `prepare`/`run` of this engine and its clones.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.caches.stats()
     }
 
     /// The page store (read access).
@@ -193,21 +218,65 @@ impl Engine {
             .iter()
             .map(|id| Ok(Arc::clone(self.store.get(*id)?)))
             .collect::<Result<Vec<_>, Error>>()?;
-        Ok(Prepared {
+        let pool_digest = cache::pool_digest(&self.config.synth, &ctx);
+        let mut prepared = Prepared {
             engine: self,
             ctx,
             examples,
             unlabeled,
-        })
+            unlabeled_ids: task.unlabeled.clone(),
+            features: Vec::new(),
+            pool_digest,
+        };
+        // Feature/mask tables for the labeled pages, through the engine's
+        // cross-request store (pure per-(page, query, config), so a hit
+        // is byte-identical to a rebuild). Reference-kernel mode computes
+        // everything definitionally inside the search instead.
+        if !self.config.synth.reference_kernels {
+            prepared.features = task
+                .labeled
+                .iter()
+                .zip(&prepared.examples)
+                .map(|((id, _), ex)| prepared.fetch_features(*id, &ex.page))
+                .collect();
+        }
+        Ok(prepared)
     }
 
-    /// Runs the full staged pipeline on one task.
+    /// Runs the full staged pipeline on one task, through the engine's
+    /// completed-run LRU: a repeat of an identical task under an
+    /// identical config is a cache hit, returning the stored result —
+    /// byte-identical to recomputation because the pipeline is
+    /// deterministic in (task, config).
     ///
     /// # Errors
     ///
     /// [`Error::UnknownPage`] — see [`Engine::prepare`].
     pub fn run(&self, task: &Task) -> Result<RunResult, Error> {
-        Ok(self.prepare(task)?.synthesize().select().finish())
+        if let Some(cached) = self.caches.results.get(self.config_digest, task) {
+            return Ok(cached);
+        }
+        let result = self.prepare(task)?.synthesize().select().finish();
+        self.caches
+            .results
+            .insert(self.config_digest, task, result.clone());
+        Ok(result)
+    }
+
+    /// A clone of this engine sharing the page store (cheap: `Arc`
+    /// refcounts) and the caches, with the branch-level synthesis worker
+    /// count replaced — the batch runner uses it to cap combined
+    /// batch × branch parallelism (see [`Engine::run_batch`]).
+    pub(crate) fn with_synth_jobs(&self, jobs: usize) -> Engine {
+        let mut config = self.config.clone();
+        config.synth.jobs = jobs;
+        let config_digest = cache::config_digest(&config);
+        Engine {
+            config,
+            store: self.store.clone(),
+            caches: Arc::clone(&self.caches),
+            config_digest,
+        }
     }
 }
 
@@ -224,9 +293,30 @@ pub struct Prepared<'e> {
     ctx: QueryContext,
     examples: Vec<Example>,
     unlabeled: Vec<Arc<PageTree>>,
+    /// Store handles of `unlabeled`, aligned — kept so a page moved into
+    /// the labeled set by [`Prepared::label`] stays feature-cacheable.
+    unlabeled_ids: Vec<PageId>,
+    /// Feature/mask tables aligned with `examples` (empty in
+    /// reference-kernel mode, where the search computes definitionally).
+    features: Vec<Arc<PageFeatures>>,
+    /// Cache key half identifying the (query context, synth config) pool
+    /// the feature tables were built under.
+    pool_digest: u64,
 }
 
 impl<'e> Prepared<'e> {
+    /// One page's feature table, through the engine's cross-request
+    /// store.
+    fn fetch_features(&self, id: PageId, page: &Arc<PageTree>) -> Arc<PageFeatures> {
+        let (cfg, ctx) = (&self.engine.config.synth, &self.ctx);
+        let page = Arc::clone(page);
+        self.engine
+            .caches
+            .features
+            .get_or_compute((id, self.pool_digest), move || {
+                PageFeatures::compute(cfg, ctx, &page)
+            })
+    }
     /// The query context (modality already applied).
     pub fn context(&self) -> &QueryContext {
         &self.ctx
@@ -259,6 +349,10 @@ impl<'e> Prepared<'e> {
     /// unlabeled set.
     pub fn label(&mut self, index: usize, gold: Vec<String>) {
         let page = self.unlabeled.remove(index);
+        let id = self.unlabeled_ids.remove(index);
+        if !self.engine.config.synth.reference_kernels {
+            self.features.push(self.fetch_features(id, &page));
+        }
         self.examples.push(Example::new(page, gold));
     }
 
@@ -271,14 +365,23 @@ impl<'e> Prepared<'e> {
     /// store.
     pub fn add_label(&mut self, page: PageId, gold: Vec<String>) -> Result<(), Error> {
         let tree = Arc::clone(self.engine.store.get(page)?);
+        if !self.engine.config.synth.reference_kernels {
+            self.features.push(self.fetch_features(page, &tree));
+        }
         self.examples.push(Example::new(tree, gold));
         Ok(())
     }
 
     /// Stage 2: synthesizes **all** optimal programs on the current
-    /// labeled set (Section 5).
+    /// labeled set (Section 5), reusing the prepared (possibly
+    /// cache-borrowed) feature tables.
     pub fn synthesize(self) -> Synthesized<'e> {
-        let outcome = synthesize(&self.engine.config.synth, &self.ctx, &self.examples);
+        let outcome = synthesize_with_features(
+            &self.engine.config.synth,
+            &self.ctx,
+            &self.examples,
+            &self.features,
+        );
         Synthesized {
             prepared: self,
             outcome,
@@ -537,6 +640,74 @@ mod tests {
         let selected = random.prepare(&t).unwrap().synthesize().select();
         assert!(selected.ensemble().is_none());
         assert!(selected.program().is_some());
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cross_request_caches() {
+        let (engine, a, b, c) = engine_with_pages();
+        let t = task(a, b, c);
+        let first = engine.run(&t).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.feature_hits, 0);
+        assert_eq!(stats.feature_misses, 2, "two labeled pages, two tables");
+        assert_eq!(stats.result_hits, 0);
+        assert_eq!(stats.result_misses, 1);
+
+        // The identical repeat is a result-cache hit with an identical
+        // payload.
+        let second = engine.run(&t).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.result_hits, 1);
+        assert_eq!(second.program, first.program);
+        assert_eq!(second.answers, first.answers);
+        assert_eq!(second.synthesis.stats, first.synthesis.stats);
+
+        // A *different* task over the same labeled pages misses the
+        // result cache but reuses both feature tables.
+        let variant = task(a, b, c).with_target(b);
+        let _ = engine.run(&variant).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.result_hits, 1);
+        assert_eq!(stats.result_misses, 2);
+        assert_eq!(stats.feature_hits, 2);
+        assert_eq!(stats.feature_misses, 2);
+    }
+
+    #[test]
+    fn disabled_caches_still_compute_identical_results() {
+        let (cached, a, b, c) = engine_with_pages();
+        let cold = Engine::with_store(
+            Config {
+                cache: crate::CacheConfig::disabled(),
+                ..cached.config().clone()
+            },
+            cached.store().clone(),
+        );
+        // Reuse the same engine twice vs a cache-disabled twin.
+        let t = task(a, b, c);
+        let warm = {
+            let _ = cached.run(&t).unwrap();
+            cached.run(&t).unwrap()
+        };
+        let reference = cold.run(&t).unwrap();
+        assert_eq!(warm.program, reference.program);
+        assert_eq!(warm.answers, reference.answers);
+        assert_eq!(warm.synthesis.f1, reference.synthesis.f1);
+        assert_eq!(warm.synthesis.counts, reference.synthesis.counts);
+        assert_eq!(warm.synthesis.stats, reference.synthesis.stats);
+        assert_eq!(cold.cache_stats().result_hits, 0);
+        assert_eq!(cold.cache_stats().feature_hits, 0);
+    }
+
+    #[test]
+    fn engine_clones_share_the_caches() {
+        let (engine, a, b, c) = engine_with_pages();
+        let t = task(a, b, c);
+        let clone = engine.clone();
+        let _ = clone.run(&t).unwrap();
+        assert_eq!(engine.cache_stats().result_misses, 1);
+        let _ = engine.run(&t).unwrap();
+        assert_eq!(engine.cache_stats().result_hits, 1);
     }
 
     #[test]

@@ -51,12 +51,14 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod cache;
 mod engine;
 mod error;
 mod labeling;
 mod pipeline;
 mod store;
 
+pub use cache::{CacheConfig, CacheStats};
 pub use engine::{Engine, Prepared, Selected, Synthesized, Task};
 pub use error::Error;
 pub use labeling::{suggest_labels, MAX_LABEL_REQUESTS};

@@ -51,6 +51,10 @@ pub struct Config {
     pub strategy: Selection,
     /// Which query modalities to use.
     pub modality: Modality,
+    /// Capacities of the engine's cross-request caches (the feature
+    /// store and the completed-run LRU — see [`crate::CacheConfig`]).
+    /// Caching never changes results, only latency.
+    pub cache: crate::CacheConfig,
 }
 
 /// The WebQA system.

@@ -172,6 +172,18 @@ impl PageStore {
     pub fn pages(&self) -> &[Arc<PageTree>] {
         &self.pages
     }
+
+    /// The handle of the page at dense index `index`, if one is interned
+    /// there — how a front end holding raw indices (e.g. `webqa_server`'s
+    /// wire-level page handles) recovers full, digest-checked [`PageId`]s.
+    pub fn id_at(&self, index: usize) -> Option<PageId> {
+        let digest = *self.digests.get(index)?;
+        Some(PageId {
+            store: self.token,
+            index: u32::try_from(index).ok()?,
+            digest,
+        })
+    }
 }
 
 /// Content digest of a tree (not a stable format — in-process interning

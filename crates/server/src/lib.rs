@@ -1,0 +1,542 @@
+//! # webqa-server
+//!
+//! The resident serving layer: a daemon owning one long-lived
+//! [`webqa::Engine`] — and therefore its cross-request caches (the
+//! feature store and the completed-run LRU, `webqa::CacheStats`) — and
+//! speaking a line-delimited JSON protocol over TCP and/or Unix domain
+//! sockets. Every transport primitive is hand-rolled on `std::net` /
+//! `std::os::unix::net` (this build environment has no crates.io access,
+//! so no tokio/hyper/axum — and none is needed: the protocol is
+//! newline-framed request/response over blocking sockets, one thread per
+//! connection).
+//!
+//! The engine sits behind one `RwLock`: `run` requests share a read
+//! lock (synthesis runs concurrently across connections), and page
+//! interning takes a brief write lock. The page store is append-only,
+//! so handles issued under the write lock stay valid forever after.
+//!
+//! **Semantics guarantee.** Serving is observationally invisible: the
+//! response to a `run` request is byte-identical to what a cold,
+//! single-threaded [`webqa::Engine`] computes for the same task and
+//! config — regardless of cache hits, evictions, interleaving with
+//! other clients, or how often the query repeats. `tests/serve_api.rs`
+//! (workspace root) is the harness that pins this: N concurrent clients
+//! over shuffled, duplicated task streams, every response compared
+//! byte-for-byte against a never-cached reference engine.
+//!
+//! # Wire protocol
+//!
+//! ## Framing
+//!
+//! * One request per line: a UTF-8 JSON **object** terminated by `\n`
+//!   (a trailing `\r` is tolerated and stripped). Blank lines are
+//!   ignored.
+//! * One response per line, in request order per connection.
+//! * Frames larger than the server's `max_frame_bytes` (default 1 MiB)
+//!   get an `oversized` error response and the connection is then
+//!   closed — framing cannot resync past an unread tail.
+//! * A line that is not valid JSON (or not an object, or not UTF-8)
+//!   gets a `bad-frame` error; the connection stays open.
+//! * EOF before a newline discards the partial frame and closes the
+//!   connection quietly — a mid-request disconnect is never executed as
+//!   a request and never poisons the shared engine.
+//!
+//! ## Envelope
+//!
+//! Requests carry an operation and an optional correlation id (any JSON
+//! value, echoed verbatim; `null` when absent or unparsable):
+//!
+//! ```text
+//! → {"id": 1, "op": "<ping|intern|run|stats>", ...op fields...}
+//! ← {"id": 1, "ok": {...}}
+//! ← {"id": 1, "err": {"kind": "<kind>", "message": "..."}}
+//! ```
+//!
+//! Error kinds: `bad-frame`, `oversized`, `bad-request`, `unknown-op`,
+//! `page`, `unknown-page`, `internal` (see [`protocol::ErrKind`]).
+//! Errors are responses like any other — the engine and the connection
+//! remain fully usable afterwards (except `oversized`, which closes).
+//!
+//! ## Operations
+//!
+//! ### `ping`
+//!
+//! ```text
+//! → {"op":"ping"}
+//! ← {"id":null,"ok":{"pong":true}}
+//! ```
+//!
+//! ### `intern` — parse and store a page, returning its handle
+//!
+//! ```text
+//! → {"op":"intern","html":"<h1>A</h1>..."}
+//! ← {"id":null,"ok":{"page":0,"nodes":7}}
+//! ```
+//!
+//! Interning is content-addressed (the store deduplicates): the same
+//! HTML always yields the same handle, however many clients send it.
+//! Damaged HTML is rejected with `kind:"page"`.
+//!
+//! ### `run` — synthesize and answer one task
+//!
+//! ```text
+//! → {"op":"run",
+//!    "question": "Who are the PhD students?",
+//!    "keywords": ["Students"],
+//!    "labeled":  [{"page": 0, "gold": ["Jane Doe"]},
+//!                 {"html": "<h1>B</h1>...", "gold": ["Mary"]}],
+//!    "targets":  [1, {"html": "<h1>C</h1>..."}]}
+//! ← {"id":null,"ok":{
+//!      "program": "sat(...) -> ...",        // null when nothing found
+//!      "train_f1": 1.0,
+//!      "counts": {"matched":3,"predicted":3,"gold":3},
+//!      "total_optimal": 12,
+//!      "answers": [["Wei Chen"], ["..."]]}}  // aligned with targets
+//! ```
+//!
+//! Pages are referenced by handle (from `intern`, or a previous inline
+//! use) or supplied inline as `{"html": ...}`; inline pages are interned
+//! first (content-addressed, so resending the same page is free) and the
+//! request then runs against the store. Unknown handles yield
+//! `kind:"unknown-page"`.
+//!
+//! ### `stats` — serving and cache counters
+//!
+//! ```text
+//! → {"op":"stats"}
+//! ← {"id":null,"ok":{
+//!      "requests": 42, "errors": 1, "pages": 7, "uptime_ms": 12345,
+//!      "cache": {"feature_hits":30,"feature_misses":4,"feature_evictions":0,
+//!                "result_hits":11,"result_misses":9,"result_evictions":0}}}
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use webqa_server::{Client, ServeOptions, Server};
+//!
+//! let listening = Server::new(ServeOptions::default())
+//!     .listen(Some("127.0.0.1:0"), None)?;
+//! let addr = listening.tcp_addr().expect("tcp endpoint");
+//!
+//! let mut client = Client::connect_tcp(addr)?;
+//! let pong = client.request_line(r#"{"id":1,"op":"ping"}"#)?;
+//! assert_eq!(pong, r#"{"id":1,"ok":{"pong":true}}"#);
+//!
+//! listening.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod net;
+pub mod protocol;
+
+pub use net::{Client, Listening};
+pub use protocol::{render_run_result, ErrKind};
+
+use std::io;
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use serde_json::{Map, Value};
+use webqa::{Engine, Error as EngineError, PageId, Task};
+
+use protocol::{bad_request, envelope, page_ref, str_field, string_list, PageRef, ProtoError};
+
+/// Server construction options.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// The resident engine's pipeline configuration (synthesis knobs,
+    /// selection strategy, cache capacities).
+    pub engine: webqa::Config,
+    /// Maximum request-frame size in bytes (default 1 MiB). Larger
+    /// frames are refused with an `oversized` error.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            engine: webqa::Config::default(),
+            max_frame_bytes: 1 << 20,
+        }
+    }
+}
+
+/// State shared by every connection of one daemon.
+pub(crate) struct Shared {
+    pub(crate) engine: RwLock<Engine>,
+    pub(crate) max_frame_bytes: usize,
+    pub(crate) started: Instant,
+    /// Frames received (counted at read time).
+    pub(crate) requests: AtomicU64,
+    /// Responses fully written (counted after the write completes).
+    pub(crate) responses: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) shutdown: AtomicBool,
+    /// Live-connection close handles, so shutdown can unblock idle
+    /// readers instead of leaking their threads.
+    pub(crate) conns: std::sync::Mutex<std::collections::HashMap<u64, net::CloseFn>>,
+    pub(crate) next_conn: AtomicU64,
+}
+
+/// The resident WebQA server. Construct with [`Server::new`], then
+/// either bind endpoints with [`Server::listen`] or drive the protocol
+/// in-process with [`Server::handle_line`] (what the tests of pure
+/// protocol behavior do).
+pub struct Server {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl Server {
+    /// A server owning a fresh engine built from `opts`.
+    pub fn new(opts: ServeOptions) -> Server {
+        Server {
+            shared: Arc::new(Shared {
+                engine: RwLock::new(Engine::new(opts.engine)),
+                max_frame_bytes: opts.max_frame_bytes,
+                started: Instant::now(),
+                requests: AtomicU64::new(0),
+                responses: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                conns: std::sync::Mutex::new(std::collections::HashMap::new()),
+                next_conn: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Binds the requested endpoints (at least one) and spawns their
+    /// accept threads. TCP addresses are standard `host:port` strings
+    /// (`port 0` = OS-assigned, readable back from
+    /// [`Listening::tcp_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, or [`io::ErrorKind::InvalidInput`] when no
+    /// endpoint was requested.
+    pub fn listen(self, tcp: Option<&str>, unix: Option<&Path>) -> io::Result<Listening> {
+        if tcp.is_none() && unix.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no endpoint requested: pass a TCP address and/or a Unix socket path",
+            ));
+        }
+        let mut accept_threads = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = tcp {
+            let listener = TcpListener::bind(addr)?;
+            tcp_addr = Some(listener.local_addr()?);
+            accept_threads.push(net::accept_tcp(Arc::clone(&self.shared), listener));
+        }
+        let mut unix_path = None;
+        #[cfg(unix)]
+        if let Some(path) = unix {
+            // A stale socket file from a crashed predecessor would make
+            // bind fail; remove it (connecting to a live one would fail
+            // the bind anyway, which is the behavior we want).
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            unix_path = Some(path.to_path_buf());
+            accept_threads.push(net::accept_unix(Arc::clone(&self.shared), listener));
+        }
+        #[cfg(not(unix))]
+        if unix.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            ));
+        }
+        Ok(Listening {
+            shared: self.shared,
+            tcp_addr,
+            unix_path,
+            accept_threads,
+        })
+    }
+
+    /// Handles one complete frame and renders the one-line response —
+    /// the entire protocol, transport-free. Connection loops call this;
+    /// so can tests.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        let (id, outcome) = match serde_json::from_str::<Value>(line) {
+            Err(_) => (
+                Value::Null,
+                Err(ProtoError::new(
+                    ErrKind::BadFrame,
+                    "frame is not valid JSON",
+                )),
+            ),
+            Ok(v) if v.as_object().is_none() => (
+                Value::Null,
+                Err(ProtoError::new(
+                    ErrKind::BadFrame,
+                    "frame must be a JSON object",
+                )),
+            ),
+            Ok(v) => {
+                let id = v["id"].clone();
+                (id, self.dispatch(&v))
+            }
+        };
+        if outcome.is_err() {
+            self.shared.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        envelope(id, outcome)
+    }
+
+    /// The response to a frame that blew the size cap (counted like any
+    /// other request; the caller closes the connection afterwards).
+    pub(crate) fn oversized_response(&self) -> String {
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        self.shared.errors.fetch_add(1, Ordering::Relaxed);
+        envelope(
+            Value::Null,
+            Err(ProtoError::new(
+                ErrKind::Oversized,
+                format!(
+                    "frame exceeds max_frame_bytes ({}); closing connection",
+                    self.shared.max_frame_bytes
+                ),
+            )),
+        )
+    }
+
+    /// The response to a complete but non-UTF-8 frame.
+    pub(crate) fn bad_utf8_response(&self) -> String {
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        self.shared.errors.fetch_add(1, Ordering::Relaxed);
+        envelope(
+            Value::Null,
+            Err(ProtoError::new(ErrKind::BadFrame, "frame is not UTF-8")),
+        )
+    }
+
+    fn dispatch(&self, request: &Value) -> Result<Value, ProtoError> {
+        match request["op"].as_str() {
+            Some("ping") => {
+                let mut map = Map::new();
+                map.insert("pong".to_string(), Value::Bool(true));
+                Ok(Value::Object(map))
+            }
+            Some("intern") => self.op_intern(request),
+            Some("run") => self.op_run(request),
+            Some("stats") => self.op_stats(),
+            Some(other) => Err(ProtoError::new(
+                ErrKind::UnknownOp,
+                format!("unknown op {other:?} (expected ping|intern|run|stats)"),
+            )),
+            None => bad_request("field \"op\" must be a string"),
+        }
+    }
+
+    /// Interns inline HTML (brief write lock), returning its handle and
+    /// the parsed tree's node count.
+    fn intern_html(&self, html: &str) -> Result<(u64, usize), ProtoError> {
+        let mut engine = self.shared.engine.write().expect("engine lock");
+        let id = engine
+            .store_mut()
+            .insert_html(html)
+            .map_err(|e| ProtoError::new(ErrKind::Page, e.to_string()))?;
+        let nodes = engine
+            .store()
+            .get(id)
+            .expect("just-interned id resolves")
+            .len();
+        Ok((id.index() as u64, nodes))
+    }
+
+    fn op_intern(&self, request: &Value) -> Result<Value, ProtoError> {
+        let html = str_field(request, "html")?;
+        let (handle, nodes) = self.intern_html(html)?;
+        let mut map = Map::new();
+        map.insert("page".to_string(), serde_json::json!(handle));
+        map.insert("nodes".to_string(), serde_json::json!(nodes));
+        Ok(Value::Object(map))
+    }
+
+    /// Resolves one page reference to a store handle, interning inline
+    /// HTML on the fly.
+    fn resolve(&self, r: PageRef) -> Result<u64, ProtoError> {
+        match r {
+            PageRef::Handle(n) => Ok(n),
+            PageRef::Html(html) => self.intern_html(&html).map(|(handle, _)| handle),
+        }
+    }
+
+    fn op_run(&self, request: &Value) -> Result<Value, ProtoError> {
+        let question = str_field(request, "question")?.to_string();
+        let keywords = string_list(request, "keywords")?;
+
+        // Parse both page lists fully before touching the engine, so a
+        // malformed tail can never leave a half-interned request behind.
+        let labeled_specs: Vec<(PageRef, Vec<String>)> = match &request["labeled"] {
+            Value::Null => Vec::new(),
+            Value::Array(items) => items
+                .iter()
+                .map(|item| {
+                    let r = page_ref(item, "labeled[] entry")?;
+                    let gold = string_list(item, "gold")?;
+                    Ok((r, gold))
+                })
+                .collect::<Result<_, ProtoError>>()?,
+            _ => return bad_request("field \"labeled\" must be an array"),
+        };
+        let target_specs: Vec<PageRef> = match &request["targets"] {
+            Value::Null => Vec::new(),
+            Value::Array(items) => items
+                .iter()
+                .map(|item| page_ref(item, "targets[] entry"))
+                .collect::<Result<_, ProtoError>>()?,
+            _ => return bad_request("field \"targets\" must be an array"),
+        };
+
+        let mut task = Task::new(question, keywords);
+        for (r, gold) in labeled_specs {
+            let handle = self.resolve(r)?;
+            task.labeled.push((self.handle_to_id(handle)?, gold));
+        }
+        for r in target_specs {
+            let handle = self.resolve(r)?;
+            task.unlabeled.push(self.handle_to_id(handle)?);
+        }
+
+        // The long-running part shares a read lock: concurrent `run`s
+        // proceed in parallel, `intern`s briefly serialize against them.
+        let engine = self.shared.engine.read().expect("engine lock");
+        let result = engine.run(&task).map_err(|e| match e {
+            EngineError::UnknownPage(id) => ProtoError::new(
+                ErrKind::UnknownPage,
+                format!("page handle {} is unknown to this server", id.index()),
+            ),
+            other => ProtoError::new(ErrKind::Internal, other.to_string()),
+        })?;
+        Ok(render_run_result(&result))
+    }
+
+    /// Converts a wire handle to a digest-checked [`PageId`].
+    fn handle_to_id(&self, handle: u64) -> Result<PageId, ProtoError> {
+        let engine = self.shared.engine.read().expect("engine lock");
+        engine.store().id_at(handle as usize).ok_or_else(|| {
+            ProtoError::new(
+                ErrKind::UnknownPage,
+                format!("page handle {handle} is unknown to this server"),
+            )
+        })
+    }
+
+    fn op_stats(&self) -> Result<Value, ProtoError> {
+        let engine = self.shared.engine.read().expect("engine lock");
+        let cache = serde_json::to_value(&engine.cache_stats())
+            .map_err(|e| ProtoError::new(ErrKind::Internal, e.to_string()))?;
+        let mut map = Map::new();
+        map.insert(
+            "requests".to_string(),
+            serde_json::json!(self.shared.requests.load(Ordering::Relaxed)),
+        );
+        map.insert(
+            "errors".to_string(),
+            serde_json::json!(self.shared.errors.load(Ordering::Relaxed)),
+        );
+        map.insert("pages".to_string(), serde_json::json!(engine.store().len()));
+        map.insert(
+            "uptime_ms".to_string(),
+            serde_json::json!(self.shared.started.elapsed().as_millis() as u64),
+        );
+        map.insert("cache".to_string(), cache);
+        Ok(Value::Object(map))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> Server {
+        Server::new(ServeOptions {
+            engine: webqa::Config {
+                synth: webqa::SynthConfig::fast(),
+                ..webqa::Config::default()
+            },
+            max_frame_bytes: 1 << 16,
+        })
+    }
+
+    #[test]
+    fn ping_echoes_the_id() {
+        let s = server();
+        assert_eq!(
+            s.handle_line(r#"{"id":42,"op":"ping"}"#),
+            r#"{"id":42,"ok":{"pong":true}}"#
+        );
+        // Ids are arbitrary JSON, echoed verbatim.
+        assert_eq!(
+            s.handle_line(r#"{"id":"abc","op":"ping"}"#),
+            r#"{"id":"abc","ok":{"pong":true}}"#
+        );
+    }
+
+    #[test]
+    fn malformed_and_unknown_frames_are_typed_errors() {
+        let s = server();
+        let r = s.handle_line("this is not json");
+        assert!(r.contains(r#""kind":"bad-frame""#), "{r}");
+        let r = s.handle_line("[1,2,3]");
+        assert!(r.contains(r#""kind":"bad-frame""#), "{r}");
+        let r = s.handle_line(r#"{"op":"frobnicate"}"#);
+        assert!(r.contains(r#""kind":"unknown-op""#), "{r}");
+        let r = s.handle_line(r#"{"op":"run"}"#);
+        assert!(r.contains(r#""kind":"bad-request""#), "{r}");
+        // The server still works after every error.
+        assert!(s.handle_line(r#"{"op":"ping"}"#).contains("pong"));
+    }
+
+    #[test]
+    fn intern_is_content_addressed() {
+        let s = server();
+        let a = s.handle_line(r#"{"op":"intern","html":"<h1>A</h1><p>x</p>"}"#);
+        let b = s.handle_line(r#"{"op":"intern","html":"<h1>A</h1><p>x</p>"}"#);
+        assert_eq!(a, b);
+        assert!(a.contains(r#""page":0"#), "{a}");
+        let damaged = s.handle_line(r#"{"op":"intern","html":"<p>50&bogus;mg</p>"}"#);
+        assert!(damaged.contains(r#""kind":"page""#), "{damaged}");
+    }
+
+    #[test]
+    fn run_with_inline_pages_answers() {
+        let s = server();
+        let req = r#"{"id":1,"op":"run","question":"Who are the PhD students?","keywords":["Students"],"labeled":[{"html":"<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>","gold":["Jane Doe"]}],"targets":[{"html":"<h1>B</h1><h2>Advisees</h2><ul><li>Wei Chen</li></ul>"}]}"#;
+        let resp = s.handle_line(req);
+        assert!(resp.contains(r#""answers":[["Wei Chen"]]"#), "{resp}");
+        assert!(resp.contains(r#""train_f1":1.0"#), "{resp}");
+
+        // Unknown handles are typed errors, and the engine survives.
+        let bad = s.handle_line(
+            r#"{"op":"run","question":"Q","keywords":[],"labeled":[{"page":999,"gold":["x"]}],"targets":[]}"#,
+        );
+        assert!(bad.contains(r#""kind":"unknown-page""#), "{bad}");
+        let resp2 = s.handle_line(req);
+        assert_eq!(
+            resp2, resp,
+            "repeat after an error must be byte-identical (and a cache hit)"
+        );
+    }
+
+    #[test]
+    fn stats_reports_counters_and_cache() {
+        let s = server();
+        let _ = s.handle_line(r#"{"op":"ping"}"#);
+        let resp = s.handle_line(r#"{"op":"stats"}"#);
+        let v: Value = serde_json::from_str(&resp).expect("valid JSON");
+        assert_eq!(v["ok"]["requests"].as_u64(), Some(2));
+        assert_eq!(v["ok"]["errors"].as_u64(), Some(0));
+        assert!(v["ok"]["cache"]["feature_hits"].as_u64().is_some());
+    }
+}

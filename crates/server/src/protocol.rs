@@ -1,0 +1,234 @@
+//! Pure request/response machinery of the wire protocol: typed error
+//! kinds, the response envelope, field extraction from parsed frames,
+//! and the canonical rendering of a [`RunResult`].
+//!
+//! Everything here is a function from values to values — no sockets —
+//! so the whole protocol surface is unit-testable without a listener,
+//! and the determinism harness (`tests/serve_api.rs`) can render its
+//! *expected* responses through the very same code path the server uses.
+
+use serde_json::{Map, Value};
+use webqa::RunResult;
+
+/// The typed error kinds of the wire protocol (the `err.kind` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrKind {
+    /// The frame was not a valid JSON object (unparsable bytes, non-UTF-8
+    /// content, or a non-object top level). The connection stays open.
+    BadFrame,
+    /// The frame exceeded the server's `max_frame_bytes`. The connection
+    /// is closed after the response — framing cannot resync past an
+    /// unread tail.
+    Oversized,
+    /// The request was a well-formed frame with missing or ill-typed
+    /// fields for its `op`.
+    BadRequest,
+    /// The `op` field named no operation this server implements.
+    UnknownOp,
+    /// Page ingestion failed (damaged HTML rejected by the strict
+    /// parser).
+    Page,
+    /// A page handle that this server never issued.
+    UnknownPage,
+    /// Anything else — the engine failed in a way the protocol does not
+    /// classify.
+    Internal,
+}
+
+impl ErrKind {
+    /// The wire spelling of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrKind::BadFrame => "bad-frame",
+            ErrKind::Oversized => "oversized",
+            ErrKind::BadRequest => "bad-request",
+            ErrKind::UnknownOp => "unknown-op",
+            ErrKind::Page => "page",
+            ErrKind::UnknownPage => "unknown-page",
+            ErrKind::Internal => "internal",
+        }
+    }
+}
+
+/// A typed protocol error: kind plus a human-readable message.
+#[derive(Debug, Clone)]
+pub struct ProtoError {
+    /// The typed kind (stable wire vocabulary).
+    pub kind: ErrKind,
+    /// Human-readable detail, not part of the stable surface.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// Builds an error.
+    pub fn new(kind: ErrKind, message: impl Into<String>) -> Self {
+        ProtoError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+/// Shorthand for `Err(ProtoError::new(..))` in extraction helpers.
+pub(crate) fn bad_request<T>(message: impl Into<String>) -> Result<T, ProtoError> {
+    Err(ProtoError::new(ErrKind::BadRequest, message))
+}
+
+/// Renders the one-line response envelope: `{"id":…,"ok":…}` on success,
+/// `{"id":…,"err":{"kind":…,"message":…}}` on failure. `id` is the
+/// request's `id` field echoed verbatim (JSON `null` when absent or when
+/// the frame never parsed).
+pub fn envelope(id: Value, outcome: Result<Value, ProtoError>) -> String {
+    let mut map = Map::new();
+    map.insert("id".to_string(), id);
+    match outcome {
+        Ok(body) => {
+            map.insert("ok".to_string(), body);
+        }
+        Err(e) => {
+            let mut err = Map::new();
+            err.insert(
+                "kind".to_string(),
+                Value::String(e.kind.as_str().to_string()),
+            );
+            err.insert("message".to_string(), Value::String(e.message));
+            map.insert("err".to_string(), Value::Object(err));
+        }
+    }
+    serde_json::to_string(&Value::Object(map)).expect("envelope values always serialize")
+}
+
+/// The canonical rendering of a completed run — the `ok` body of a `run`
+/// response. Public so test harnesses can render the *expected* body
+/// from a reference engine's [`RunResult`] through the identical code
+/// path and compare responses byte for byte.
+pub fn render_run_result(result: &RunResult) -> Value {
+    let mut map = Map::new();
+    map.insert(
+        "program".to_string(),
+        match &result.program {
+            Some(p) => Value::String(p.to_string()),
+            None => Value::Null,
+        },
+    );
+    map.insert(
+        "train_f1".to_string(),
+        serde_json::json!(result.synthesis.f1),
+    );
+    let mut counts = Map::new();
+    counts.insert(
+        "matched".to_string(),
+        serde_json::json!(result.synthesis.counts.matched),
+    );
+    counts.insert(
+        "predicted".to_string(),
+        serde_json::json!(result.synthesis.counts.predicted),
+    );
+    counts.insert(
+        "gold".to_string(),
+        serde_json::json!(result.synthesis.counts.gold),
+    );
+    map.insert("counts".to_string(), Value::Object(counts));
+    map.insert(
+        "total_optimal".to_string(),
+        serde_json::json!(result.synthesis.total_optimal),
+    );
+    map.insert("answers".to_string(), serde_json::json!(result.answers));
+    Value::Object(map)
+}
+
+/// Extracts a required string field.
+pub(crate) fn str_field<'v>(obj: &'v Value, name: &str) -> Result<&'v str, ProtoError> {
+    match obj[name].as_str() {
+        Some(s) => Ok(s),
+        None => bad_request(format!("field {name:?} must be a string")),
+    }
+}
+
+/// Extracts an optional array-of-strings field (absent = empty).
+pub(crate) fn string_list(obj: &Value, name: &str) -> Result<Vec<String>, ProtoError> {
+    match &obj[name] {
+        Value::Null => Ok(Vec::new()),
+        Value::Array(items) => items
+            .iter()
+            .map(|v| match v.as_str() {
+                Some(s) => Ok(s.to_string()),
+                None => bad_request(format!("field {name:?} must contain only strings")),
+            })
+            .collect(),
+        _ => bad_request(format!("field {name:?} must be an array of strings")),
+    }
+}
+
+/// A page reference in a request: either a handle issued by `intern` or
+/// inline HTML to be interned on the fly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum PageRef {
+    Handle(u64),
+    Html(String),
+}
+
+/// Parses a page reference: a bare number, or an object with exactly one
+/// of `"page"` (handle) / `"html"` (inline source).
+pub(crate) fn page_ref(v: &Value, what: &str) -> Result<PageRef, ProtoError> {
+    if let Some(n) = v.as_u64() {
+        return Ok(PageRef::Handle(n));
+    }
+    if v.as_object().is_some() {
+        match (v["page"].as_u64(), v["html"].as_str()) {
+            (Some(n), None) => return Ok(PageRef::Handle(n)),
+            (None, Some(h)) => return Ok(PageRef::Html(h.to_string())),
+            _ => {}
+        }
+    }
+    bad_request(format!(
+        "{what} must be a page handle or an object with exactly one of \"page\" / \"html\""
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_shapes() {
+        let ok = envelope(serde_json::json!(7u64), Ok(Value::Bool(true)));
+        assert_eq!(ok, r#"{"id":7,"ok":true}"#);
+        let err = envelope(Value::Null, Err(ProtoError::new(ErrKind::BadFrame, "nope")));
+        assert_eq!(
+            err,
+            r#"{"id":null,"err":{"kind":"bad-frame","message":"nope"}}"#
+        );
+    }
+
+    #[test]
+    fn page_refs_parse_both_spellings() {
+        assert_eq!(
+            page_ref(&serde_json::json!(3u64), "target").unwrap(),
+            PageRef::Handle(3)
+        );
+        let v: Value = serde_json::from_str(r#"{"html":"<p>x</p>"}"#).unwrap();
+        assert_eq!(
+            page_ref(&v, "target").unwrap(),
+            PageRef::Html("<p>x</p>".to_string())
+        );
+        let both: Value = serde_json::from_str(r#"{"html":"x","page":1}"#).unwrap();
+        assert!(page_ref(&both, "target").is_err());
+        assert!(page_ref(&Value::String("x".into()), "target").is_err());
+    }
+
+    #[test]
+    fn error_kinds_have_stable_spellings() {
+        for (k, s) in [
+            (ErrKind::BadFrame, "bad-frame"),
+            (ErrKind::Oversized, "oversized"),
+            (ErrKind::BadRequest, "bad-request"),
+            (ErrKind::UnknownOp, "unknown-op"),
+            (ErrKind::Page, "page"),
+            (ErrKind::UnknownPage, "unknown-page"),
+            (ErrKind::Internal, "internal"),
+        ] {
+            assert_eq!(k.as_str(), s);
+        }
+    }
+}

@@ -81,5 +81,6 @@ mod top;
 
 pub use config::SynthConfig;
 pub use example::{counts_of_outputs, extractor_outputs, f1_of_outputs, program_counts, Example};
+pub use scorer::PageFeatures;
 pub use stats::SynthStats;
-pub use top::{synthesize, SynthesisOutcome};
+pub use top::{synthesize, synthesize_with_features, SynthesisOutcome};

@@ -138,6 +138,86 @@ fn filter_holds(
 /// content → the step's outputs.
 type StepShard = Mutex<HashMap<Box<str>, Vec<OutStr>, FxBuild>>;
 
+/// The per-page half of the task-level caches: one node's worth of
+/// neural-module outcomes per tree node plus the `[filter][node]` mask
+/// table over the synthesis pool — everything the search context needs
+/// about a page that does not depend on the other examples of the task.
+///
+/// A table is a pure function of `(config, query context, page)`:
+/// computing it once and reusing it across `synthesize` calls (what
+/// `webqa::Engine`'s cross-request feature store does) is observationally
+/// invisible — the search reads identical bytes either way. Tables are
+/// *shape*-checked on use ([`PageFeatures::fits`]): a table whose node or
+/// filter counts don't match falls back to a fresh computation. The
+/// shape check cannot detect a table built for a *different page of the
+/// same size* under the same config — callers are responsible for keying
+/// stored tables by page content and query/config identity, as
+/// `webqa::Engine`'s feature store does.
+#[derive(Debug)]
+pub struct PageFeatures {
+    /// Per-node own-text features (guard classification reads these).
+    pub(crate) own: Vec<TextFeatures>,
+    /// `[filter][node]` masks over the node-filter pool.
+    pub(crate) masks: Vec<Vec<bool>>,
+}
+
+impl PageFeatures {
+    /// Computes the table for one page under one `(config, context)`
+    /// pool. The pool is derived internally exactly as the search
+    /// derives it, so a stored table can be handed back to any later
+    /// `synthesize` call with the same config and context.
+    pub fn compute(
+        cfg: &crate::config::SynthConfig,
+        ctx: &QueryContext,
+        page: &webqa_dsl::PageTree,
+    ) -> PageFeatures {
+        Self::compute_over(&node_filters(cfg, ctx), ctx, page)
+    }
+
+    /// [`PageFeatures::compute`] against an already-built filter pool
+    /// (the internal path — avoids re-deriving the pool per example).
+    pub(crate) fn compute_over(
+        filters: &[NodeFilter],
+        ctx: &QueryContext,
+        page: &webqa_dsl::PageTree,
+    ) -> PageFeatures {
+        let want_answer = !ctx.question().is_empty();
+        let own: Vec<TextFeatures> = page
+            .iter()
+            .map(|n| features_of(ctx, page.text(n), want_answer))
+            .collect();
+        let sub: Vec<TextFeatures> = page
+            .iter()
+            .map(|n| features_of(ctx, &page.subtree_text(n), want_answer))
+            .collect();
+        let masks: Vec<Vec<bool>> = filters
+            .iter()
+            .map(|f| {
+                page.iter()
+                    .map(|n| {
+                        filter_holds(
+                            f,
+                            &own[n.index()],
+                            &sub[n.index()],
+                            page.is_leaf(n),
+                            page.is_elem(n),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        PageFeatures { own, masks }
+    }
+
+    /// Whether this table was built over a pool of `filters` filters and
+    /// a page of `nodes` nodes — the shape check guarding reuse.
+    pub fn fits(&self, filters: usize, nodes: usize) -> bool {
+        self.own.len() == nodes
+            && self.masks.len() == filters
+            && self.masks.iter().all(|m| m.len() == nodes)
+    }
+}
+
 /// One extractor production step, applied to parent outputs without
 /// materializing the child AST (the AST is built only for candidates that
 /// survive pruning and behavioral dedup).
@@ -163,12 +243,10 @@ pub(crate) struct TaskCtx<'a> {
     pub guard_preds: Vec<NlpPred>,
     /// The extractor production pool, in `extend_extractor` order.
     pub steps: Vec<StepOp>,
-    /// Optimized mode: per-node own-text features, `[example][node]`
-    /// (used for guard classification). Empty in reference mode.
-    feats: Vec<Vec<TextFeatures>>,
-    /// Optimized mode: precomputed filter masks, `[example][filter]` →
-    /// one bool per node. Empty in reference mode.
-    masks: Vec<Vec<Vec<bool>>>,
+    /// Optimized mode: one feature/mask table per example, either
+    /// borrowed from the caller (the engine's cross-request store) or
+    /// computed here. Empty in reference mode.
+    tables: Vec<Arc<PageFeatures>>,
     /// Task-level production-step output cache, content-keyed and shared
     /// across branch problems (and branch-parallel workers, hence the
     /// mutexes). `Substring`'s span search is by far the most expensive
@@ -182,7 +260,22 @@ pub(crate) struct TaskCtx<'a> {
 }
 
 impl<'a> TaskCtx<'a> {
+    #[allow(dead_code)] // the no-borrowed-tables convenience, used by tests
     pub fn new(cfg: &'a SynthConfig, ctx: &'a QueryContext, examples: &'a [Example]) -> Self {
+        Self::with_features(cfg, ctx, examples, &[])
+    }
+
+    /// [`TaskCtx::new`] with caller-supplied feature tables, aligned with
+    /// `examples` (missing or shape-mismatched entries are computed
+    /// fresh). Reused tables are observationally invisible: the table is
+    /// a pure function of `(cfg, ctx, page)`, so the search reads the
+    /// same bytes whether the table was borrowed or rebuilt.
+    pub fn with_features(
+        cfg: &'a SynthConfig,
+        ctx: &'a QueryContext,
+        examples: &'a [Example],
+        features: &[Arc<PageFeatures>],
+    ) -> Self {
         let filters = node_filters(cfg, ctx);
         let preds = nlp_preds(cfg, ctx);
         let mut guard_preds = vec![NlpPred::True];
@@ -205,42 +298,21 @@ impl<'a> TaskCtx<'a> {
             })
             .collect();
 
-        let (feats, masks) = if cfg.reference_kernels {
-            (Vec::new(), Vec::new())
+        let tables = if cfg.reference_kernels {
+            Vec::new()
         } else {
-            let want_answer = !ctx.question().is_empty();
-            let mut feats = Vec::with_capacity(examples.len());
-            let mut masks = Vec::with_capacity(examples.len());
-            for ex in examples {
-                let page = &ex.page;
-                let own: Vec<TextFeatures> = page
-                    .iter()
-                    .map(|n| features_of(ctx, page.text(n), want_answer))
-                    .collect();
-                let sub: Vec<TextFeatures> = page
-                    .iter()
-                    .map(|n| features_of(ctx, &page.subtree_text(n), want_answer))
-                    .collect();
-                let ex_masks: Vec<Vec<bool>> = filters
-                    .iter()
-                    .map(|f| {
-                        page.iter()
-                            .map(|n| {
-                                filter_holds(
-                                    f,
-                                    &own[n.index()],
-                                    &sub[n.index()],
-                                    page.is_leaf(n),
-                                    page.is_elem(n),
-                                )
-                            })
-                            .collect()
-                    })
-                    .collect();
-                feats.push(own);
-                masks.push(ex_masks);
-            }
-            (feats, masks)
+            examples
+                .iter()
+                .enumerate()
+                .map(|(i, ex)| {
+                    match features.get(i) {
+                        Some(t) if t.fits(filters.len(), ex.page.len()) => Arc::clone(t),
+                        // Absent or built under a different pool/page:
+                        // compute fresh rather than read wrong masks.
+                        _ => Arc::new(PageFeatures::compute_over(&filters, ctx, &ex.page)),
+                    }
+                })
+                .collect()
         };
         TaskCtx {
             cfg,
@@ -249,8 +321,7 @@ impl<'a> TaskCtx<'a> {
             filters,
             guard_preds,
             steps,
-            feats,
-            masks,
+            tables,
             step_results,
         }
     }
@@ -258,12 +329,12 @@ impl<'a> TaskCtx<'a> {
     /// The precomputed mask of `filter` over `example`'s nodes
     /// (optimized mode only).
     pub fn mask(&self, example: usize, filter: usize) -> &[bool] {
-        &self.masks[example][filter]
+        &self.tables[example].masks[filter]
     }
 
     /// The own-text features of `example`'s nodes (optimized mode only).
     pub fn feats(&self, example: usize) -> &[TextFeatures] {
-        &self.feats[example]
+        &self.tables[example].own
     }
 }
 

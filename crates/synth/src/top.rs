@@ -21,7 +21,7 @@ use crate::branch::{synthesize_branch, BranchSynthesis};
 use crate::config::SynthConfig;
 use crate::example::Example;
 use crate::extractors::F1_EPS;
-use crate::scorer::TaskCtx;
+use crate::scorer::{PageFeatures, TaskCtx};
 use crate::stats::SynthStats;
 
 /// The result of [`synthesize`]: all optimal programs (capped), their
@@ -46,6 +46,28 @@ pub struct SynthesisOutcome {
 /// Partitions of more than `config.max_blocks` blocks are not considered;
 /// with `max_blocks ≥ |examples|` the search matches the paper exactly.
 pub fn synthesize(cfg: &SynthConfig, ctx: &QueryContext, examples: &[Example]) -> SynthesisOutcome {
+    synthesize_with_features(cfg, ctx, examples, &[])
+}
+
+/// [`synthesize`] with caller-supplied per-example feature tables
+/// ([`PageFeatures`], aligned with `examples`; pass `&[]` — or tables
+/// that fail the shape check — to have them computed here).
+///
+/// This is the table-build/search split behind cross-request
+/// memoization: a long-lived `webqa::Engine` computes each page's table
+/// once per `(page, query, config)` and hands it back for every repeat
+/// query. The outcome is byte-identical either way — a table is a pure
+/// function of its key, so borrowing one changes *work*, never results.
+/// The shape check is the only internal validation: handing in a table
+/// built for a different same-sized page or query is the caller's bug
+/// (key stored tables by page content and query/config, as the engine
+/// does).
+pub fn synthesize_with_features(
+    cfg: &SynthConfig,
+    ctx: &QueryContext,
+    examples: &[Example],
+    features: &[Arc<PageFeatures>],
+) -> SynthesisOutcome {
     let mut stats = SynthStats::default();
     let n = examples.len();
     if n == 0 {
@@ -58,7 +80,7 @@ pub fn synthesize(cfg: &SynthConfig, ctx: &QueryContext, examples: &[Example]) -
         };
     }
 
-    let task = TaskCtx::new(cfg, ctx, examples);
+    let task = TaskCtx::with_features(cfg, ctx, examples, features);
     let partitions = ordered_partitions(n, cfg.max_blocks);
 
     // Branch problems are memoized by (positive set, negative set)
@@ -545,6 +567,43 @@ mod tests {
             with.stats.work(),
             without.stats.work()
         );
+    }
+
+    #[test]
+    fn borrowed_feature_tables_do_not_change_the_outcome() {
+        let cfg = SynthConfig::fast();
+        let c = ctx();
+        let examples = vec![
+            example(
+                "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li><li>Bob Smith</li></ul>",
+                &["Jane Doe", "Bob Smith"],
+            ),
+            example(
+                "<h1>B</h1><h2>PhD Students</h2><ul><li>Mary Anderson</li></ul>",
+                &["Mary Anderson"],
+            ),
+        ];
+        let fresh = synthesize(&cfg, &c, &examples);
+        let tables: Vec<Arc<PageFeatures>> = examples
+            .iter()
+            .map(|ex| Arc::new(PageFeatures::compute(&cfg, &c, &ex.page)))
+            .collect();
+        let borrowed = synthesize_with_features(&cfg, &c, &examples, &tables);
+        assert_eq!(borrowed.programs, fresh.programs);
+        assert_eq!(borrowed.f1, fresh.f1);
+        assert_eq!(borrowed.counts, fresh.counts);
+        assert_eq!(borrowed.stats, fresh.stats);
+
+        // A table with the wrong shape is rejected and recomputed, not
+        // read: same outcome even when handed garbage-shaped tables.
+        let wrong = vec![Arc::new(PageFeatures::compute(
+            &cfg,
+            &c,
+            &PageTree::parse("<p>unrelated</p>"),
+        ))];
+        let recovered = synthesize_with_features(&cfg, &c, &examples, &wrong);
+        assert_eq!(recovered.programs, fresh.programs);
+        assert_eq!(recovered.stats, fresh.stats);
     }
 
     #[test]

@@ -19,10 +19,15 @@
 //! binary on top. Arrows point from dependent to dependency:
 //!
 //! ```text
-//!                  webqa_cli (bin)        webqa_bench (9 bench targets)
-//!                        │                        │
-//!                        └───────┬────────────────┘
-//!                                ▼
+//!        webqa_cli (bin)   webqa_bench (10 bench targets)
+//!              │  │                │  │
+//!              │  └────────┬───────┘  │
+//!              │           ▼          │
+//!              │    webqa_server      │
+//!              │   (resident daemon)  │
+//!              │           │          │
+//!              └───────┬───┴──────────┘
+//!                      ▼
 //!                   webqa  ──────────────┐
 //!                   │  │                 │
 //!          ┌────────┘  └──────┐          │
@@ -54,13 +59,26 @@
 //!   interactive-labeling loop and the ablations can drive any stage
 //!   alone, errors are a typed `webqa::Error`, and independent tasks
 //!   batch through `Engine::run_batch` on a scoped threadpool with
-//!   deterministic input-ordered results. The pre-engine one-shot facade
+//!   deterministic input-ordered results (the runner caps combined
+//!   batch × branch-parallel worker counts against the hardware budget).
+//!   The engine additionally owns the cross-request caches: a sharded,
+//!   content-keyed `FeatureStore` of per-(page, query, config)
+//!   neural-feature/mask tables and an LRU of completed runs — pure
+//!   values, so hits and evictions change latency, never results
+//!   (`webqa::CacheStats` counts them). The pre-engine one-shot facade
 //!   survives as the thin `WebQa::run` compatibility wrapper.
 //!   **Workloads** (`webqa_corpus`, `webqa_baselines`) provide the 25
 //!   evaluation tasks, the seeded page generators, and the three
 //!   baseline systems.
+//! * **Serving** (`webqa_server`) keeps one engine — and its caches —
+//!   resident across requests: a line-delimited JSON protocol over TCP
+//!   and Unix sockets, hand-rolled on `std::net` (see the crate docs for
+//!   the wire spec). `tests/serve_api.rs` proves serving observationally
+//!   invisible: concurrent duplicated request streams answer
+//!   byte-identically to a cold, never-cached engine.
 //! * **Apps** (`webqa_cli`, `webqa_bench`) stay thin: argument parsing and
-//!   report formatting only, every decision delegated to the libraries.
+//!   report formatting only, every decision delegated to the libraries
+//!   (`webqa-cli serve` / `client` front the daemon).
 //!
 //! This umbrella crate (`webqa-repro`) re-exports everything so the
 //! integration tests and examples can `use` one coherent surface.
@@ -78,4 +96,5 @@ pub use webqa_html;
 pub use webqa_metrics;
 pub use webqa_nlp;
 pub use webqa_select;
+pub use webqa_server;
 pub use webqa_synth;

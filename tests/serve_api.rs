@@ -1,0 +1,415 @@
+//! The serving-layer concurrency & determinism harness.
+//!
+//! `webqa_server` keeps one engine — and its cross-request caches —
+//! alive across requests and clients. That is only admissible if
+//! serving is observationally invisible: **every** response must be
+//! byte-identical to what a cold, single-threaded, never-cached
+//! `webqa::Engine` computes for the same task, no matter how requests
+//! interleave, repeat, or hit the caches. This harness pins exactly
+//! that, the way `tests/synth_parity.rs` pinned the PR 4 hot-path
+//! rewrite one level down:
+//!
+//! * N ≥ 4 concurrent clients hammer one server with shuffled,
+//!   duplicated task streams; every response line is compared byte for
+//!   byte against an envelope rendered from the cold reference engine
+//!   (same `render_run_result` code path, so a single differing bit in
+//!   programs, `Counts`, F₁, or answers fails the test);
+//! * a warm repeat shows `FeatureStore` hits and result-LRU hits in the
+//!   served cache-stats — the caches demonstrably *work* and
+//!   demonstrably *don't show* in the payloads;
+//! * protocol robustness: malformed frames, oversized requests, unknown
+//!   handles, and mid-request disconnects each produce a typed error
+//!   (or a clean drop) without poisoning the shared engine — the next
+//!   request always succeeds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use webqa::{CacheConfig, Config, Engine, SynthConfig, Task};
+use webqa_corpus::{task_by_id, Corpus};
+use webqa_server::{render_run_result, Client, Listening, ServeOptions, Server};
+
+/// The engine config both the server and the cold reference use (the
+/// reference additionally disables the caches — cold means *never*
+/// cached).
+fn engine_config() -> Config {
+    Config {
+        synth: SynthConfig::fast(),
+        ..Config::default()
+    }
+}
+
+/// One task of the workload: the wire-level `run` request fields, plus
+/// everything needed to replay it on a local engine.
+#[derive(Clone)]
+struct Spec {
+    question: String,
+    keywords: Vec<String>,
+    labeled: Vec<(String, Vec<String>)>,
+    targets: Vec<String>,
+}
+
+impl Spec {
+    /// The JSON `run` request for this spec, with inline HTML pages (the
+    /// server interns them content-addressed, so repeats are dedup'd).
+    fn request(&self, id: u64) -> String {
+        let mut m = serde_json::Map::new();
+        m.insert("id".to_string(), serde_json::json!(id));
+        m.insert("op".to_string(), serde_json::json!("run"));
+        m.insert(
+            "question".to_string(),
+            serde_json::json!(self.question.clone()),
+        );
+        m.insert(
+            "keywords".to_string(),
+            serde_json::json!(self.keywords.clone()),
+        );
+        let labeled: Vec<serde_json::Value> = self
+            .labeled
+            .iter()
+            .map(|(html, gold)| {
+                let mut e = serde_json::Map::new();
+                e.insert("html".to_string(), serde_json::json!(html.clone()));
+                e.insert("gold".to_string(), serde_json::json!(gold.clone()));
+                serde_json::Value::Object(e)
+            })
+            .collect();
+        m.insert("labeled".to_string(), serde_json::Value::Array(labeled));
+        let targets: Vec<serde_json::Value> = self
+            .targets
+            .iter()
+            .map(|html| {
+                let mut e = serde_json::Map::new();
+                e.insert("html".to_string(), serde_json::json!(html.clone()));
+                serde_json::Value::Object(e)
+            })
+            .collect();
+        m.insert("targets".to_string(), serde_json::Value::Array(targets));
+        serde_json::to_string(&serde_json::Value::Object(m)).expect("serializable")
+    }
+
+    /// Runs this spec on a cold, never-cached, single-threaded engine
+    /// and renders the `ok` body through the server's own code path.
+    fn cold_body(&self) -> String {
+        let mut engine = Engine::new(Config {
+            cache: CacheConfig::disabled(),
+            ..engine_config()
+        });
+        let mut task = Task::new(self.question.clone(), self.keywords.clone());
+        for (html, gold) in &self.labeled {
+            let id = engine.store_mut().insert_html(html).expect("clean HTML");
+            task.labeled.push((id, gold.clone()));
+        }
+        for html in &self.targets {
+            let id = engine.store_mut().insert_html(html).expect("clean HTML");
+            task.unlabeled.push(id);
+        }
+        let result = engine.run(&task).expect("ids resolve");
+        serde_json::to_string(&render_run_result(&result)).expect("serializable")
+    }
+}
+
+/// The workload: hand-written mini-tasks (including pairs sharing their
+/// labeled pages under one question, so feature-table reuse triggers
+/// even when the result LRU absorbs exact repeats) plus corpus tasks.
+fn workload() -> Vec<Spec> {
+    let a = "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li><li>Bob Smith</li></ul>".to_string();
+    let b = "<h1>B</h1><h2>PhD Students</h2><ul><li>Mary Anderson</li></ul>".to_string();
+    let c = "<h1>C</h1><h2>Advisees</h2><ul><li>Wei Chen</li></ul>".to_string();
+    let d = "<h1>D</h1><h2>Students</h2><ul><li>Elena Petrov</li></ul>".to_string();
+    let students = |targets: Vec<String>| Spec {
+        question: "Who are the current PhD students?".to_string(),
+        keywords: vec!["Students".to_string(), "PhD".to_string()],
+        labeled: vec![
+            (
+                a.clone(),
+                vec!["Jane Doe".to_string(), "Bob Smith".to_string()],
+            ),
+            (b.clone(), vec!["Mary Anderson".to_string()]),
+        ],
+        targets,
+    };
+    let mut specs = vec![
+        // Same question + labeled pages, different target sets: distinct
+        // result-cache keys sharing their feature tables.
+        students(vec![c.clone()]),
+        students(vec![c.clone(), d.clone()]),
+        students(vec![d.clone()]),
+    ];
+
+    // Two corpus tasks over a tiny generated corpus.
+    let corpus = Corpus::generate(4, 2024);
+    for id in ["fac_t1", "clinic_t1"] {
+        let task = task_by_id(id).expect("catalogue task");
+        let data = corpus.dataset(task, 2);
+        specs.push(Spec {
+            question: task.question.to_string(),
+            keywords: task.keywords.iter().map(|k| k.to_string()).collect(),
+            labeled: data.train.into_iter().map(|p| (p.html, p.gold)).collect(),
+            targets: data.test.into_iter().map(|p| p.html).collect(),
+        });
+    }
+    specs
+}
+
+fn spawn_server(opts: ServeOptions) -> Listening {
+    Server::new(opts)
+        .listen(Some("127.0.0.1:0"), None)
+        .expect("bind loopback")
+}
+
+/// The headline test: 4 concurrent clients, shuffled duplicated
+/// streams, every response byte-identical to the cold reference; warm
+/// cache-stats show the memoization actually engaged.
+#[test]
+fn concurrent_duplicated_streams_are_byte_identical_to_a_cold_engine() {
+    let specs = workload();
+    let expected: Vec<String> = specs.iter().map(Spec::cold_body).collect();
+
+    let listening = spawn_server(ServeOptions {
+        engine: engine_config(),
+        max_frame_bytes: 1 << 20,
+    });
+    let addr = listening.tcp_addr().expect("tcp endpoint");
+
+    const CLIENTS: usize = 4;
+    const REPEATS: usize = 3;
+    let next_id = AtomicU64::new(1);
+    std::thread::scope(|scope| {
+        for client_idx in 0..CLIENTS {
+            let (specs, expected, next_id) = (&specs, &expected, &next_id);
+            scope.spawn(move || {
+                let mut client = Client::connect_tcp(addr).expect("connect");
+                // A client-specific shuffle of the duplicated stream:
+                // stride through `REPEATS` copies at a client-dependent
+                // offset and step. The stride is forced coprime to the
+                // stream length, so every client sees every task
+                // `REPEATS` times in a different order and duplicates
+                // interleave across clients — for any workload size.
+                let n = specs.len();
+                fn gcd(a: usize, b: usize) -> usize {
+                    if b == 0 {
+                        a
+                    } else {
+                        gcd(b, a % b)
+                    }
+                }
+                let mut stride = client_idx + 1;
+                while gcd(stride, n) != 1 {
+                    stride += 1;
+                }
+                let mut seen = vec![0usize; n];
+                for k in 0..n * REPEATS {
+                    let i = (client_idx + k * stride) % n;
+                    seen[i] += 1;
+                    let id = next_id.fetch_add(1, Ordering::Relaxed);
+                    let response = client
+                        .request_line(&specs[i].request(id))
+                        .expect("response");
+                    let want = format!("{{\"id\":{id},\"ok\":{}}}", expected[i]);
+                    assert_eq!(
+                        response, want,
+                        "client {client_idx} request {k} (task {i}) diverged from the cold engine"
+                    );
+                }
+                assert!(
+                    seen.iter().all(|&c| c == REPEATS),
+                    "client {client_idx} did not see every task {REPEATS}×: {seen:?}"
+                );
+            });
+        }
+    });
+
+    // The caches must have engaged: with 4 clients × 3 repeats of 5
+    // tasks, repeats hit the result LRU, and the same-pages/different-
+    // targets specs hit the feature store even on result misses.
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let stats = client
+        .request(&serde_json::from_str(r#"{"op":"stats"}"#).unwrap())
+        .expect("stats");
+    let cache = &stats["ok"]["cache"];
+    assert!(
+        cache["result_hits"].as_u64().unwrap() > 0,
+        "duplicated streams must hit the result LRU: {stats:?}"
+    );
+    assert!(
+        cache["feature_hits"].as_u64().unwrap() > 0,
+        "shared labeled pages must hit the FeatureStore: {stats:?}"
+    );
+    listening.shutdown();
+}
+
+/// A warm repeat over one connection: first query misses, the repeat is
+/// served from cache — and the two payloads are byte-identical.
+#[test]
+fn warm_repeat_is_a_cache_hit_with_an_identical_payload() {
+    let specs = workload();
+    let listening = spawn_server(ServeOptions {
+        engine: engine_config(),
+        max_frame_bytes: 1 << 20,
+    });
+    let addr = listening.tcp_addr().expect("tcp endpoint");
+    let mut client = Client::connect_tcp(addr).expect("connect");
+
+    let first = client.request_line(&specs[0].request(1)).expect("cold run");
+    let stats0 = client
+        .request(&serde_json::from_str(r#"{"op":"stats"}"#).unwrap())
+        .expect("stats");
+    assert_eq!(stats0["ok"]["cache"]["result_hits"].as_u64(), Some(0));
+
+    let second = client.request_line(&specs[0].request(1)).expect("warm run");
+    assert_eq!(second, first, "cache hit changed the payload");
+
+    // A same-pages/different-targets query exercises the FeatureStore
+    // without being an exact repeat.
+    let _ = client.request_line(&specs[1].request(2)).expect("variant");
+    let stats1 = client
+        .request(&serde_json::from_str(r#"{"op":"stats"}"#).unwrap())
+        .expect("stats");
+    let cache = &stats1["ok"]["cache"];
+    assert_eq!(cache["result_hits"].as_u64(), Some(1), "{stats1:?}");
+    assert!(
+        cache["feature_hits"].as_u64().unwrap() >= 2,
+        "the variant query must reuse both labeled tables: {stats1:?}"
+    );
+    listening.shutdown();
+}
+
+/// Malformed frames are typed errors and never poison the engine.
+#[test]
+fn malformed_frames_get_typed_errors_and_the_connection_survives() {
+    let listening = spawn_server(ServeOptions::default());
+    let addr = listening.tcp_addr().expect("tcp endpoint");
+    let mut client = Client::connect_tcp(addr).expect("connect");
+
+    let bad = client.request_line("{not json at all").expect("response");
+    assert_eq!(
+        bad,
+        r#"{"id":null,"err":{"kind":"bad-frame","message":"frame is not valid JSON"}}"#
+    );
+    let bad = client.request_line("[1,2,3]").expect("response");
+    assert!(bad.contains(r#""kind":"bad-frame""#), "{bad}");
+    let bad = client
+        .request_line(r#"{"id":9,"op":"launch-missiles"}"#)
+        .expect("response");
+    assert_eq!(
+        bad,
+        r#"{"id":9,"err":{"kind":"unknown-op","message":"unknown op \"launch-missiles\" (expected ping|intern|run|stats)"}}"#
+    );
+    let bad = client
+        .request_line(r#"{"op":"run","question":7}"#)
+        .expect("response");
+    assert!(bad.contains(r#""kind":"bad-request""#), "{bad}");
+    let bad = client
+        .request_line(r#"{"op":"run","question":"Q","labeled":[{"page":12345,"gold":[]}]}"#)
+        .expect("response");
+    assert!(bad.contains(r#""kind":"unknown-page""#), "{bad}");
+
+    // Same connection, same engine: still fully functional.
+    let pong = client
+        .request_line(r#"{"id":1,"op":"ping"}"#)
+        .expect("ping");
+    assert_eq!(pong, r#"{"id":1,"ok":{"pong":true}}"#);
+    listening.shutdown();
+}
+
+/// Oversized frames are refused with a typed error (streamed — the
+/// server never buffers the oversized payload) and the connection is
+/// closed; the server keeps serving new connections.
+#[test]
+fn oversized_frames_are_refused_and_only_that_connection_closes() {
+    let listening = spawn_server(ServeOptions {
+        engine: Config::default(),
+        max_frame_bytes: 256,
+    });
+    let addr = listening.tcp_addr().expect("tcp endpoint");
+    let mut client = Client::connect_tcp(addr).expect("connect");
+
+    let huge = format!(r#"{{"op":"intern","html":"{}"}}"#, "x".repeat(4096));
+    let resp = client.request_line(&huge).expect("error response");
+    assert!(resp.contains(r#""kind":"oversized""#), "{resp}");
+    // The connection is then closed.
+    assert!(client.request_line(r#"{"op":"ping"}"#).is_err());
+
+    // A fresh connection is unaffected.
+    let mut fresh = Client::connect_tcp(addr).expect("connect");
+    let pong = fresh.request_line(r#"{"op":"ping"}"#).expect("ping");
+    assert!(pong.contains("pong"), "{pong}");
+    listening.shutdown();
+}
+
+/// A client disconnecting mid-frame is a clean drop: the partial bytes
+/// are never executed and the next request (from a new connection)
+/// succeeds.
+#[test]
+fn mid_request_disconnects_drop_cleanly() {
+    let listening = spawn_server(ServeOptions::default());
+    let addr = listening.tcp_addr().expect("tcp endpoint");
+
+    {
+        let mut half = Client::connect_tcp(addr).expect("connect");
+        half.send_raw(br#"{"op":"intern","html":"<h1>never completed"#)
+            .expect("partial write");
+        // Drop without ever sending the newline.
+    }
+    // And a half-line *with* other complete frames before it.
+    {
+        let mut half = Client::connect_tcp(addr).expect("connect");
+        half.send_raw(b"{\"op\":\"ping\"}\n{\"op\":\"intern\",\"html\":\"<p>trunc")
+            .expect("write");
+        let pong = half.read_response_line().expect("first frame answered");
+        assert!(pong.contains("pong"), "{pong}");
+    }
+
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let resp = client
+        .request_line(r#"{"id":7,"op":"intern","html":"<h1>ok</h1>"}"#)
+        .expect("response");
+    assert!(resp.contains(r#""ok""#), "{resp}");
+    // The aborted interns never executed: this is the store's first page.
+    assert!(resp.contains(r#""page":0"#), "{resp}");
+    listening.shutdown();
+}
+
+/// Shutdown with an idle connection still open must return promptly and
+/// close that connection (no leaked reader threads blocked forever).
+#[test]
+fn shutdown_closes_idle_connections_promptly() {
+    let listening = spawn_server(ServeOptions::default());
+    let addr = listening.tcp_addr().expect("tcp endpoint");
+    let mut idle = Client::connect_tcp(addr).expect("connect");
+    let pong = idle.request_line(r#"{"op":"ping"}"#).expect("ping");
+    assert!(pong.contains("pong"), "{pong}");
+
+    // The connection stays open and idle across the shutdown.
+    let start = std::time::Instant::now();
+    listening.shutdown();
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown must not wait on idle connections"
+    );
+    // The idle client's stream was closed server-side.
+    assert!(idle.request_line(r#"{"op":"ping"}"#).is_err());
+}
+
+/// The same protocol serves over a Unix domain socket.
+#[cfg(unix)]
+#[test]
+fn unix_socket_round_trip() {
+    let path = std::env::temp_dir().join(format!("webqa_serve_api_{}.sock", std::process::id()));
+    let listening = Server::new(ServeOptions::default())
+        .listen(None, Some(&path))
+        .expect("bind unix socket");
+    let mut client = Client::connect_unix(&path).expect("connect");
+    let pong = client
+        .request_line(r#"{"id":5,"op":"ping"}"#)
+        .expect("ping");
+    assert_eq!(pong, r#"{"id":5,"ok":{"pong":true}}"#);
+
+    let spec = &workload()[0];
+    let resp = client.request_line(&spec.request(6)).expect("run");
+    let want = format!("{{\"id\":6,\"ok\":{}}}", spec.cold_body());
+    assert_eq!(resp, want, "unix transport diverged from the cold engine");
+
+    listening.shutdown();
+    assert!(!path.exists(), "socket file removed on shutdown");
+}

@@ -82,6 +82,53 @@ fn corpus_pages_intern_once_across_tasks() {
     assert!(Arc::ptr_eq(t1, t2), "interning must share one allocation");
 }
 
+/// Regression: batch-level (`Engine::run_batch`) and branch-level
+/// (`SynthConfig::jobs`) parallelism compose without changing output.
+/// The batch runner caps the effective branch worker count so
+/// `jobs × synth.jobs` cannot oversubscribe the machine — and neither
+/// the cap nor any worker-count combination may leak into programs or
+/// answers.
+#[test]
+fn batch_times_branch_parallelism_is_deterministic() {
+    let (engine, tasks) = engine_and_corpus_tasks();
+    let sequential: Vec<_> = tasks
+        .iter()
+        .map(|t| engine.run(t).expect("ids from this store"))
+        .collect();
+
+    // Deliberately oversubscribed: 4 batch workers × 8 branch workers
+    // on a small CI box. The runner caps the product; results must be
+    // byte-identical to the fully sequential engine.
+    let oversubscribed = Engine::with_store(
+        Config {
+            synth: SynthConfig::fast().with_jobs(8),
+            ..fast_config()
+        },
+        engine.store().clone(),
+    );
+    for jobs in [2, 4] {
+        let batched = oversubscribed.run_batch(&tasks, jobs).expect("same ids");
+        for (id, (b, s)) in TASK_IDS.iter().zip(batched.iter().zip(&sequential)) {
+            assert_eq!(
+                b.program, s.program,
+                "{id}: program diverged at jobs={jobs}"
+            );
+            assert_eq!(
+                b.answers, s.answers,
+                "{id}: answers diverged at jobs={jobs}"
+            );
+            assert_eq!(
+                b.synthesis.f1, s.synthesis.f1,
+                "{id}: F1 diverged at jobs={jobs}"
+            );
+            assert_eq!(
+                b.synthesis.counts, s.synthesis.counts,
+                "{id}: counts diverged at jobs={jobs}"
+            );
+        }
+    }
+}
+
 #[test]
 fn incremental_label_via_stages_does_not_regress_train_f1() {
     let corpus = Corpus::generate(5, 2024);
