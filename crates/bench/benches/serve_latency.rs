@@ -1,0 +1,304 @@
+//! **Serving tail latency under overload** — an open-loop load
+//! generator drives a bounded-pool `webqa_server` *past* saturation and
+//! records p50/p99/p999 of the admitted requests plus the shed rate,
+//! appended to the machine-readable trajectory at `BENCH_serve.json`
+//! (workspace root, `"bench":"serve_latency"` records).
+//!
+//! Open-loop matters: a closed-loop client (send, wait, send) slows
+//! down when the server does and so never observes overload. Here
+//! arrivals happen on a fixed schedule regardless of responses, the way
+//! independent callers behave, so once the offered rate exceeds
+//! `workers / service_time` the admission queue must fill and the
+//! server must choose between bounded queueing and shedding. The bench
+//! asserts it does both: every response is either `ok` or a typed
+//! `overloaded`, at least one request is shed, and nothing hangs.
+//!
+//! The per-request service time is measured at startup (closed-loop
+//! calibration over the same request shape), then the generator offers
+//! `WEBQA_OVERLOAD_X` × the saturation rate. The server's result cache
+//! is disabled so every admitted request pays full synthesis — repeats
+//! must not collapse into cache hits.
+//!
+//! Regenerate with:
+//! `cargo bench -p webqa_bench --bench serve_latency`
+//!
+//! Knobs: `WEBQA_WORKERS` (pool size, default 2), `WEBQA_BACKLOG`
+//! (admission cap, default 4), `WEBQA_REQUESTS` (offered requests,
+//! default 600), `WEBQA_OVERLOAD_X` (offered-rate multiple of
+//! saturation, default 4), plus `WEBQA_TRAJECTORY=0` to skip writing
+//! the file.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use webqa_bench::trajectory::{self, LatencyRecord};
+use webqa_server::{Client, ServeOptions, Server};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Calibration requests: enough to average out scheduler noise.
+const CAL_REQUESTS: usize = 12;
+/// Sender connections the offered stream is striped across.
+const CONNS: usize = 8;
+
+/// One tiny two-page task per `variant`; distinct content per request
+/// so the workload is honest even if caching were re-enabled.
+fn page_pair(variant: usize) -> (String, String) {
+    (
+        format!("<h1>A{variant}</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>"),
+        format!("<h1>B{variant}</h1><h2>Advisees</h2><ul><li>Wei Chen</li></ul>"),
+    )
+}
+
+/// A handle-based `run` request line (pages pre-interned, so the timed
+/// stream classifies lock-free).
+fn request_line(setup: &mut Client, id: usize, variant: usize) -> String {
+    let (labeled_html, target_html) = page_pair(variant);
+    let mut intern = |html: &str| -> u64 {
+        let mut m = serde_json::Map::new();
+        m.insert("op".to_string(), serde_json::json!("intern"));
+        m.insert("html".to_string(), serde_json::json!(html));
+        let resp = setup
+            .request(&serde_json::Value::Object(m))
+            .expect("intern");
+        resp["ok"]["page"].as_u64().expect("page handle")
+    };
+    let mut labeled = serde_json::Map::new();
+    labeled.insert("page".to_string(), serde_json::json!(intern(&labeled_html)));
+    labeled.insert(
+        "gold".to_string(),
+        serde_json::json!(vec!["Jane Doe".to_string()]),
+    );
+    let mut m = serde_json::Map::new();
+    m.insert("id".to_string(), serde_json::json!(id as u64));
+    m.insert("op".to_string(), serde_json::json!("run"));
+    m.insert(
+        "question".to_string(),
+        serde_json::json!("Who are the PhD students?"),
+    );
+    m.insert(
+        "keywords".to_string(),
+        serde_json::json!(vec!["Students".to_string()]),
+    );
+    m.insert(
+        "labeled".to_string(),
+        serde_json::Value::Array(vec![serde_json::Value::Object(labeled)]),
+    );
+    m.insert(
+        "targets".to_string(),
+        serde_json::json!(vec![intern(&target_html)]),
+    );
+    serde_json::to_string(&serde_json::Value::Object(m)).expect("serializable")
+}
+
+/// Next line from a response stream, or a panic naming the hang.
+fn lines_next(lines: &mut std::io::Lines<BufReader<TcpStream>>) -> String {
+    lines
+        .next()
+        .expect("response before EOF")
+        .expect("readable response")
+}
+
+/// `p`-th percentile (0..=1) of an ascending-sorted latency slice, ms.
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p * sorted.len() as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+fn main() {
+    let workers = env_usize("WEBQA_WORKERS", 2);
+    let backlog = env_usize("WEBQA_BACKLOG", 4);
+    let requests = env_usize("WEBQA_REQUESTS", 600);
+    let overload_x = env_usize("WEBQA_OVERLOAD_X", 4).max(1);
+
+    println!("# Serving tail latency: open-loop, {overload_x}x saturation");
+    println!("# server: {workers} workers, backlog {backlog}; {requests} offered requests\n");
+
+    let listening = Server::new(ServeOptions {
+        engine: webqa::Config {
+            synth: webqa::SynthConfig::paper(),
+            cache: webqa::CacheConfig::disabled(),
+            ..webqa::Config::default()
+        },
+        workers,
+        backlog,
+        ..ServeOptions::default()
+    })
+    .listen(Some("127.0.0.1:0"), None)
+    .expect("bind loopback");
+    let addr = listening.tcp_addr().expect("tcp endpoint");
+
+    // Build every request (interning its pages) outside the timed
+    // window. Calibration ids live above the offered-stream ids.
+    let mut setup = Client::connect_tcp(addr).expect("connect");
+    let offered: Vec<String> = (0..requests)
+        .map(|i| request_line(&mut setup, i, i))
+        .collect();
+    let calibration: Vec<String> = (0..CAL_REQUESTS)
+        .map(|i| request_line(&mut setup, 1_000_000 + i, requests + i))
+        .collect();
+
+    // Closed-loop calibration: the mean service time of one request on
+    // an otherwise idle server sets the saturation rate. Nagle off —
+    // with it on, the round trips pay delayed-ACK stalls and the
+    // estimate lands several times above the true service time.
+    let cal_stream = TcpStream::connect(addr).expect("connect");
+    cal_stream.set_nodelay(true).expect("nodelay");
+    let mut cal_reader = BufReader::new(cal_stream.try_clone().expect("split stream")).lines();
+    let mut cal_writer = cal_stream;
+    let t0 = Instant::now();
+    for line in &calibration {
+        cal_writer.write_all(line.as_bytes()).expect("send");
+        cal_writer.write_all(b"\n").expect("send");
+        cal_writer.flush().expect("send");
+        let resp = lines_next(&mut cal_reader);
+        assert!(resp.contains("\"ok\""), "calibration failed: {resp}");
+    }
+    let service = t0.elapsed() / CAL_REQUESTS as u32;
+    let service_ms = service.as_secs_f64() * 1e3;
+    let saturation_rps = workers as f64 / service.as_secs_f64().max(1e-6);
+    let offered_rps = saturation_rps * overload_x as f64;
+    let interval = Duration::from_secs_f64(1.0 / offered_rps);
+    println!("{:<22} {:>10.3} ms", "service time (mean)", service_ms);
+    println!("{:<22} {:>10.1} rps", "saturation (est)", saturation_rps);
+    println!("{:<22} {:>10.1} rps", "offered", offered_rps);
+
+    // The open-loop window. Request `i` goes out on connection
+    // `i % CONNS` at `start + i * interval`, whether or not earlier
+    // responses have arrived; a reader thread per connection records
+    // each response's latency against the send schedule.
+    let send_at: Vec<Mutex<Option<Instant>>> = (0..requests).map(|_| Mutex::new(None)).collect();
+    let results: Mutex<Vec<(Duration, bool)>> = Mutex::new(Vec::with_capacity(requests));
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..CONNS {
+            let offered = &offered;
+            let send_at = &send_at;
+            let results = &results;
+            let assigned: Vec<usize> = (c..requests).step_by(CONNS).collect();
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).expect("nodelay");
+            let reader = stream.try_clone().expect("split stream");
+            let count = assigned.len();
+            scope.spawn({
+                let assigned = assigned.clone();
+                move || {
+                    let mut w = stream;
+                    let start = Instant::now();
+                    for &i in &assigned {
+                        let due = interval * i as u32;
+                        if let Some(wait) = due.checked_sub(start.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        *send_at[i].lock().expect("send schedule") = Some(Instant::now());
+                        w.write_all(offered[i].as_bytes()).expect("send");
+                        w.write_all(b"\n").expect("send");
+                        w.flush().expect("send");
+                    }
+                }
+            });
+            scope.spawn(move || {
+                let mut lines = BufReader::new(reader).lines();
+                for _ in 0..count {
+                    let line = lines
+                        .next()
+                        .expect("response before EOF")
+                        .expect("readable response");
+                    let done = Instant::now();
+                    let v: serde_json::Value =
+                        serde_json::from_str(&line).expect("response envelope");
+                    let id = v["id"].as_u64().expect("echoed id") as usize;
+                    let sent = send_at[id]
+                        .lock()
+                        .expect("send schedule")
+                        .expect("response follows send");
+                    let shed = line.contains("\"kind\":\"overloaded\"");
+                    assert!(
+                        shed || line.contains("\"ok\""),
+                        "unexpected response: {line}"
+                    );
+                    results
+                        .lock()
+                        .expect("results")
+                        .push((done.duration_since(sent), shed));
+                }
+            });
+        }
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let results = results.into_inner().expect("results");
+    assert_eq!(results.len(), requests, "every offered request answers");
+    let shed = results.iter().filter(|(_, s)| *s).count();
+    let mut ok_lat: Vec<Duration> = results
+        .iter()
+        .filter(|(_, s)| !*s)
+        .map(|(d, _)| *d)
+        .collect();
+    ok_lat.sort();
+    assert!(
+        !ok_lat.is_empty(),
+        "an overloaded server must still admit some requests"
+    );
+    assert!(
+        shed > 0,
+        "offering {overload_x}x saturation against backlog {backlog} must shed"
+    );
+
+    let record = LatencyRecord {
+        bench: "serve_latency".to_string(),
+        timestamp_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        workers,
+        backlog,
+        requests,
+        service_ms_est: service_ms,
+        offered_rps,
+        ok: ok_lat.len(),
+        shed,
+        shed_rate: shed as f64 / requests as f64,
+        wall_s,
+        p50_ms: percentile_ms(&ok_lat, 0.50),
+        p99_ms: percentile_ms(&ok_lat, 0.99),
+        p999_ms: percentile_ms(&ok_lat, 0.999),
+    };
+
+    println!();
+    println!("{:<22} {:>10}", "admitted (ok)", record.ok);
+    println!(
+        "{:<22} {:>10}  ({:.1}%)",
+        "shed (overloaded)",
+        record.shed,
+        100.0 * record.shed_rate
+    );
+    println!("{:<22} {:>10.3}", "wall seconds", record.wall_s);
+    println!("{:<22} {:>10.3} ms", "p50", record.p50_ms);
+    println!("{:<22} {:>10.3} ms", "p99", record.p99_ms);
+    println!("{:<22} {:>10.3} ms", "p999", record.p999_ms);
+
+    listening.shutdown();
+
+    if std::env::var("WEBQA_TRAJECTORY").as_deref() == Ok("0") {
+        println!("\n# WEBQA_TRAJECTORY=0: not recording");
+        return;
+    }
+    let path = trajectory::serve_path();
+    match trajectory::append(&path, &record) {
+        Ok(()) => println!("\n# recorded to {}", path.display()),
+        Err(e) => println!("\n# trajectory not recorded ({e})"),
+    }
+}

@@ -65,6 +65,7 @@ fn main() {
             ..webqa::Config::default()
         },
         max_frame_bytes: 16 << 20,
+        ..ServeOptions::default()
     })
     .listen(Some("127.0.0.1:0"), None)
     .expect("bind loopback");

@@ -10,7 +10,10 @@
 //!   per-task synthesis wall time plus the full `SynthStats` counters;
 //! * `BENCH_serve.json` ([`ServeRecord`], written by
 //!   `serve_throughput`): served requests/sec across concurrent clients
-//!   plus the engine's cross-request cache hit/miss/eviction counters.
+//!   plus the engine's cross-request cache hit/miss/eviction counters;
+//!   also ([`LatencyRecord`], written by `serve_latency`): open-loop
+//!   tail latency (p50/p99/p999) and shed rate past saturation. The two
+//!   record shapes share the file — each carries a `bench` tag.
 
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -114,6 +117,49 @@ impl ServeRecord {
             self.cache.result_hits as f64 / total as f64
         }
     }
+}
+
+/// One recorded open-loop latency run (`cargo bench --bench
+/// serve_latency` → `BENCH_serve.json`).
+///
+/// The load generator drives a bounded-pool server *past* saturation,
+/// so the interesting numbers are the tail of the admitted requests
+/// (`p99_ms`, `p999_ms` — bounded by the backlog cap) and the
+/// `shed_rate` (the fraction refused with a typed `overloaded` error
+/// instead of queueing without bound).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct LatencyRecord {
+    /// Record shape tag, always `"serve_latency"` (distinguishes these
+    /// records from [`ServeRecord`]s in the shared `BENCH_serve.json`).
+    pub bench: String,
+    /// Seconds since the Unix epoch when the run finished.
+    pub timestamp_unix: u64,
+    /// Worker threads in the server pool (`WEBQA_WORKERS`).
+    pub workers: usize,
+    /// Admission-queue backlog cap (`WEBQA_BACKLOG`).
+    pub backlog: usize,
+    /// Total requests offered by the open-loop generator
+    /// (`WEBQA_REQUESTS`).
+    pub requests: usize,
+    /// Mean per-request service time measured at calibration, ms.
+    pub service_ms_est: f64,
+    /// Offered arrival rate, requests/sec (a multiple of the measured
+    /// saturation rate, `WEBQA_OVERLOAD_X` × workers / service time).
+    pub offered_rps: f64,
+    /// Requests answered `ok`.
+    pub ok: usize,
+    /// Requests shed with a typed `overloaded` error.
+    pub shed: usize,
+    /// `shed / requests`.
+    pub shed_rate: f64,
+    /// Wall-clock seconds from first send to last response.
+    pub wall_s: f64,
+    /// Median latency of admitted (`ok`) requests, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile latency of admitted requests, ms.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency of admitted requests, ms.
+    pub p999_ms: f64,
 }
 
 /// Default synthesis-trajectory path: `BENCH_synth.json` at the

@@ -59,13 +59,21 @@ COMMANDS:
               see webqa_server's crate docs for the wire protocol)
                   (--tcp HOST:PORT | --unix PATH | both) [--paper]
                   [--synth-jobs N] [--feature-cache N] [--result-cache N]
-                  [--max-frame BYTES] [--max-requests N]
-                  --max-requests N stops after N requests (0 = run until
-                  killed, the default); cache knobs size the engine's
-                  cross-request feature store / result LRU (0 disables)
+                  [--max-frame BYTES] [--max-requests N] [--workers N]
+                  [--backlog N] [--deadline-ms MS]
+                  --max-requests N serves exactly N responses then stops
+                  (0 = run until killed, the default); --workers N fixes
+                  the pool executing run/run_batch (0 = all cores);
+                  --backlog N caps the admission queue (beyond it,
+                  requests are shed with an overloaded error);
+                  --deadline-ms MS bounds every request's latency (0 =
+                  none); cache knobs size the engine's cross-request
+                  feature store / result LRU (0 disables)
     client    Send one request line to a running server, print the reply
-                  (--tcp HOST:PORT | --unix PATH)
-                  (--request REQUEST | --op ping|stats)
+                  (--tcp HOST:PORT | --unix PATH) [--deadline-ms MS]
+                  (--request REQUEST | --op ping|stats | --batch TASKS)
+                  --batch TASKS wraps a JSON array of run specs into one
+                  run_batch request
     help      Show this message
 "
     .to_string()
@@ -594,6 +602,9 @@ pub(crate) fn serve(a: &ParsedArgs) -> Result<String, CliError> {
         "result-cache",
         "max-frame",
         "max-requests",
+        "workers",
+        "backlog",
+        "deadline-ms",
     ])?;
     let tcp = a.get("tcp");
     let unix = a.get("unix").map(std::path::PathBuf::from);
@@ -620,10 +631,17 @@ pub(crate) fn serve(a: &ParsedArgs) -> Result<String, CliError> {
     )?;
     let max_frame_bytes: usize = a.get_parsed("max-frame", 1 << 20, "a positive integer")?;
     let max_requests: u64 = a.get_parsed("max-requests", 0, "a non-negative integer")?;
+    let workers: usize = a.get_parsed("workers", 0, "a non-negative integer")?;
+    let backlog: usize = a.get_parsed("backlog", 64, "a positive integer")?;
+    let deadline_ms: u64 = a.get_parsed("deadline-ms", 0, "a non-negative integer")?;
 
     let listening = webqa_server::Server::new(webqa_server::ServeOptions {
         engine: config,
         max_frame_bytes,
+        workers,
+        backlog,
+        default_deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+        max_responses: (max_requests > 0).then_some(max_requests),
     })
     .listen(tcp, unix.as_deref())
     .map_err(|e| CliError::Command(format!("cannot bind: {e}")))?;
@@ -637,13 +655,16 @@ pub(crate) fn serve(a: &ParsedArgs) -> Result<String, CliError> {
         eprintln!("webqa-server listening on unix://{}", path.display());
     }
 
-    loop {
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        // Poll the *completed-response* counter, not the frames-read
-        // counter: stopping on read-time counts could tear down the
-        // server while the Nth response is still being computed.
-        if max_requests > 0 && listening.responses_sent() >= max_requests {
-            break;
+    if max_requests > 0 {
+        // Exact rendezvous on the completion condvar: the server's
+        // write-permit cap (max_responses above) guarantees exactly
+        // max_requests responses are ever written, and this wait
+        // returns the moment the last one lands — no polling interval,
+        // no overshoot.
+        listening.wait_for_responses(max_requests);
+    } else {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
         }
     }
     let served = listening.responses_sent();
@@ -656,21 +677,55 @@ pub(crate) fn serve(a: &ParsedArgs) -> Result<String, CliError> {
 pub(crate) fn client(a: &ParsedArgs) -> Result<String, CliError> {
     // `--request`, not `--json`: `json` is a global boolean switch
     // (`synth --json`), so it can never carry a value.
-    a.expect_only(&["tcp", "unix", "request", "op"])?;
-    let line = match (a.get("request"), a.get("op")) {
-        (Some(request), None) => request.to_string(),
-        (None, Some(op @ ("ping" | "stats"))) => format!("{{\"op\":\"{op}\"}}"),
-        (None, Some(other)) => {
-            return Err(CliError::Command(format!(
-                "--op {other:?} has no argument-free form (expected ping|stats); use --request"
-            )))
-        }
-        _ => {
-            return Err(CliError::Command(
-                "exactly one of --request REQUEST or --op ping|stats is required".to_string(),
-            ))
-        }
-    };
+    a.expect_only(&["tcp", "unix", "request", "op", "batch", "deadline-ms"])?;
+    let deadline_ms: u64 = a.get_parsed("deadline-ms", 0, "a non-negative integer")?;
+    let line =
+        match (a.get("request"), a.get("op"), a.get("batch")) {
+            (Some(request), None, None) if deadline_ms > 0 => {
+                let mut parsed: serde_json::Value = serde_json::from_str(request).map_err(|e| {
+                    CliError::Command(format!("--deadline-ms needs a valid JSON --request: {e}"))
+                })?;
+                match &mut parsed {
+                    serde_json::Value::Object(obj) => {
+                        obj.insert("deadline_ms".to_string(), serde_json::json!(deadline_ms));
+                    }
+                    _ => {
+                        return Err(CliError::Command(
+                            "--deadline-ms needs a JSON object --request".to_string(),
+                        ))
+                    }
+                }
+                serde_json::to_string(&parsed).expect("request values always serialize")
+            }
+            (Some(request), None, None) => request.to_string(),
+            (None, Some(op @ ("ping" | "stats")), None) => format!("{{\"op\":\"{op}\"}}"),
+            (None, Some(other), None) => {
+                return Err(CliError::Command(format!(
+                    "--op {other:?} has no argument-free form (expected ping|stats); use --request"
+                )))
+            }
+            (None, None, Some(tasks)) => {
+                let parsed: serde_json::Value = serde_json::from_str(tasks)
+                    .map_err(|e| CliError::Command(format!("bad --batch: {e}")))?;
+                if !matches!(parsed, serde_json::Value::Array(_)) {
+                    return Err(CliError::Command(
+                        "bad --batch: expected a JSON array of run specs".to_string(),
+                    ));
+                }
+                let mut request = serde_json::Map::new();
+                request.insert("op".to_string(), serde_json::json!("run_batch"));
+                request.insert("tasks".to_string(), parsed);
+                if deadline_ms > 0 {
+                    request.insert("deadline_ms".to_string(), serde_json::json!(deadline_ms));
+                }
+                serde_json::to_string(&serde_json::Value::Object(request))
+                    .expect("request values always serialize")
+            }
+            _ => return Err(CliError::Command(
+                "exactly one of --request REQUEST, --op ping|stats, or --batch TASKS is required"
+                    .to_string(),
+            )),
+        };
     let mut client = match (a.get("tcp"), a.get("unix")) {
         (Some(addr), None) => webqa_server::Client::connect_tcp(addr)
             .map_err(|e| CliError::Command(format!("cannot connect to tcp://{addr}: {e}")))?,
@@ -996,6 +1051,45 @@ mod tests {
         let out = server.join().expect("server thread").unwrap();
         assert!(out.contains("served 3 requests"), "{out}");
         assert!(!path.exists(), "socket file is removed on shutdown");
+    }
+
+    #[test]
+    fn max_requests_is_exact_under_concurrency() {
+        // N+1 concurrent requests against --max-requests N: exactly N
+        // clients get a response, the extra one sees EOF. The server's
+        // write-permit cap makes this exact, not timing-dependent.
+        let path =
+            std::env::temp_dir().join(format!("webqa_cli_serve_exact_{}.sock", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        let server_path = path_str.clone();
+        let server = std::thread::spawn(move || {
+            dispatch(&["serve", "--unix", &server_path, "--max-requests", "2"])
+        });
+        for _ in 0..200 {
+            if path.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        // Connect all three clients before any request is sent, so all
+        // three requests genuinely race for the two permits.
+        let mut clients: Vec<webqa_server::Client> = (0..3)
+            .map(|_| webqa_server::Client::connect_unix(&path).expect("connect"))
+            .collect();
+        let outcomes: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = clients
+                .iter_mut()
+                .map(|c| s.spawn(move || c.request_line(r#"{"op":"ping"}"#).is_ok()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let successes = outcomes.iter().filter(|&&ok| ok).count();
+        assert_eq!(successes, 2, "exactly N responses, whatever the timing");
+        let out = server.join().expect("server thread").unwrap();
+        assert!(out.contains("served 2 requests"), "{out}");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::sync::Mutex;
 use crate::engine::{Engine, Task};
 use crate::error::Error;
 use crate::pipeline::RunResult;
+use webqa_synth::CancelToken;
 
 impl Engine {
     /// Runs every task, using up to `jobs` worker threads (`0` and `1`
@@ -62,9 +63,34 @@ impl Engine {
     /// # Ok::<(), webqa::Error>(())
     /// ```
     pub fn run_batch(&self, tasks: &[Task], jobs: usize) -> Result<Vec<RunResult>, Error> {
+        self.run_batch_with_cancel(tasks, jobs, &CancelToken::never())
+    }
+
+    /// [`Engine::run_batch`] under a cooperative
+    /// [`CancelToken`] shared by every task in the batch — the serving
+    /// layer's `run_batch` wire op runs the whole batch under one
+    /// deadline. A trip aborts the in-flight tasks within one guard step
+    /// each, skips the unstarted ones, and the batch returns
+    /// [`Error::Cancelled`]; completed per-task results are discarded,
+    /// but anything already inserted into the shared result cache stays
+    /// (it is complete and byte-identical to an uncancelled run).
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::run_batch`], plus [`Error::Cancelled`] when the
+    /// token trips before every task finished.
+    pub fn run_batch_with_cancel(
+        &self,
+        tasks: &[Task],
+        jobs: usize,
+        cancel: &CancelToken,
+    ) -> Result<Vec<RunResult>, Error> {
         let jobs = jobs.clamp(1, tasks.len().max(1));
         if jobs == 1 {
-            return tasks.iter().map(|t| self.run(t)).collect();
+            return tasks
+                .iter()
+                .map(|t| self.run_with_cancel(t, cancel))
+                .collect();
         }
 
         // Cap combined batch × branch parallelism: `jobs` workers share
@@ -96,7 +122,13 @@ impl Engine {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(task) = tasks.get(i) else { break };
-                    let result = engine.run(task);
+                    // A tripped token drains the remaining tasks without
+                    // running them; the collect below reports Cancelled
+                    // for the unstarted slots.
+                    if cancel.is_cancelled() {
+                        break;
+                    }
+                    let result = engine.run_with_cancel(task, cancel);
                     slots.lock().expect("no poisoned workers")[i] = Some(result);
                 });
             }
@@ -106,7 +138,7 @@ impl Engine {
             .into_inner()
             .expect("workers joined")
             .into_iter()
-            .map(|slot| slot.expect("every index was claimed"))
+            .map(|slot| slot.unwrap_or(Err(Error::Cancelled)))
             .collect()
     }
 }

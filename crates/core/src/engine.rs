@@ -27,7 +27,10 @@ use crate::pipeline::{Config, RunResult, Selection};
 use crate::store::{PageId, PageStore};
 use webqa_dsl::{PageTree, Program, QueryContext};
 use webqa_select::{select_from_ensemble, select_random, select_shortest, Ensemble};
-use webqa_synth::{synthesize_with_features, Example, PageFeatures, SynthesisOutcome};
+use webqa_synth::{
+    synthesize_cancellable, synthesize_with_features, CancelToken, Example, PageFeatures,
+    SynthesisOutcome,
+};
 
 /// One extraction task over pages interned in an engine's store.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -253,14 +256,56 @@ impl Engine {
     ///
     /// [`Error::UnknownPage`] — see [`Engine::prepare`].
     pub fn run(&self, task: &Task) -> Result<RunResult, Error> {
+        self.run_with_cancel(task, &CancelToken::never())
+    }
+
+    /// [`Engine::run`] under a cooperative [`CancelToken`] — the
+    /// serving layer's per-request deadline path.
+    ///
+    /// The token is checked before the run starts (a pre-tripped token —
+    /// e.g. a request whose deadline expired while queued — returns
+    /// [`Error::Cancelled`] without touching the engine) and once per
+    /// guard step inside synthesis, so a trip aborts within one
+    /// enumerator step per in-flight branch worker. Cancellation never
+    /// poisons the caches: a cancelled run inserts nothing, and a run
+    /// that completes is byte-identical to one without a token.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Cancelled`] when the token trips mid-run;
+    /// [`Error::UnknownPage`] as for [`Engine::run`].
+    pub fn run_with_cancel(&self, task: &Task, cancel: &CancelToken) -> Result<RunResult, Error> {
+        if cancel.is_cancelled() {
+            return Err(Error::Cancelled);
+        }
         if let Some(cached) = self.caches.results.get(self.config_digest, task) {
             return Ok(cached);
         }
-        let result = self.prepare(task)?.synthesize().select().finish();
+        let result = self
+            .prepare(task)?
+            .synthesize_cancellable(cancel)?
+            .select()
+            .finish();
         self.caches
             .results
             .insert(self.config_digest, task, result.clone());
         Ok(result)
+    }
+
+    /// [`Engine::run`] with a wall-clock latency budget measured from
+    /// now: sugar for [`Engine::run_with_cancel`] over
+    /// [`CancelToken::after`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Cancelled`] when the budget is exhausted mid-run;
+    /// [`Error::UnknownPage`] as for [`Engine::run`].
+    pub fn run_with_deadline(
+        &self,
+        task: &Task,
+        budget: std::time::Duration,
+    ) -> Result<RunResult, Error> {
+        self.run_with_cancel(task, &CancelToken::after(budget))
     }
 
     /// A clone of this engine sharing the page store (cheap: `Arc`
@@ -386,6 +431,28 @@ impl<'e> Prepared<'e> {
             prepared: self,
             outcome,
         }
+    }
+
+    /// [`Prepared::synthesize`] under a cooperative [`CancelToken`]
+    /// (checked once per guard step of the enumerative search).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Cancelled`] when the token trips mid-search; no partial
+    /// outcome is exposed.
+    pub fn synthesize_cancellable(self, cancel: &CancelToken) -> Result<Synthesized<'e>, Error> {
+        let outcome = synthesize_cancellable(
+            &self.engine.config.synth,
+            &self.ctx,
+            &self.examples,
+            &self.features,
+            cancel,
+        )
+        .map_err(|_| Error::Cancelled)?;
+        Ok(Synthesized {
+            prepared: self,
+            outcome,
+        })
     }
 }
 
@@ -708,6 +775,45 @@ mod tests {
         assert_eq!(engine.cache_stats().result_misses, 1);
         let _ = engine.run(&t).unwrap();
         assert_eq!(engine.cache_stats().result_hits, 1);
+    }
+
+    #[test]
+    fn cancelled_runs_are_typed_errors_and_never_poison_the_caches() {
+        let (engine, a, b, c) = engine_with_pages();
+        let t = task(a, b, c);
+
+        // Pre-tripped token: no work, no cache traffic.
+        let pre = CancelToken::never();
+        pre.cancel();
+        assert_eq!(
+            engine.run_with_cancel(&t, &pre).unwrap_err(),
+            Error::Cancelled
+        );
+        assert_eq!(engine.cache_stats().result_misses, 0);
+
+        // Mid-run trip (deterministic step budget): typed error, and the
+        // aborted run cached nothing — the later full run still misses.
+        let mid = CancelToken::with_step_budget(3);
+        assert_eq!(
+            engine.run_with_cancel(&t, &mid).unwrap_err(),
+            Error::Cancelled
+        );
+        let full = engine.run(&t).unwrap();
+        assert_eq!(engine.cache_stats().result_hits, 0);
+
+        // The post-cancel result is byte-identical to a cold engine's.
+        let cold = Engine::with_store(engine.config().clone(), engine.store().clone());
+        let reference = cold.run(&t).unwrap();
+        assert_eq!(full.program, reference.program);
+        assert_eq!(full.answers, reference.answers);
+        assert_eq!(full.synthesis.stats, reference.synthesis.stats);
+
+        // A generous deadline never trips: identical to the plain run.
+        let relaxed = engine
+            .run_with_deadline(&t, std::time::Duration::from_secs(3600))
+            .unwrap();
+        assert_eq!(relaxed.program, full.program);
+        assert_eq!(relaxed.answers, full.answers);
     }
 
     #[test]

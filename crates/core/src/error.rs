@@ -29,6 +29,11 @@ pub enum Error {
         /// Number of gold lists.
         gold: usize,
     },
+    /// The run was abandoned cooperatively — its
+    /// [`CancelToken`](crate::CancelToken) tripped (explicit cancel,
+    /// deadline, or step budget) before the pipeline finished. No
+    /// partial result is exposed and nothing was cached.
+    Cancelled,
 }
 
 impl fmt::Display for Error {
@@ -42,6 +47,9 @@ impl fmt::Display for Error {
                 f,
                 "answers ({answers} pages) and gold ({gold} pages) are not aligned"
             ),
+            Error::Cancelled => {
+                f.write_str("run cancelled (deadline exceeded or cancellation requested)")
+            }
         }
     }
 }

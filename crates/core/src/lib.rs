@@ -69,4 +69,4 @@ pub use store::{PageId, PageStore};
 pub use webqa_dsl::{HtmlError, PageTree, Program, QueryContext};
 pub use webqa_metrics::Score;
 pub use webqa_select::{Ensemble, SelectionConfig};
-pub use webqa_synth::{SynthConfig, SynthesisOutcome};
+pub use webqa_synth::{CancelToken, SynthConfig, SynthesisOutcome};

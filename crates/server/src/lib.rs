@@ -7,13 +7,33 @@
 //! sockets. Every transport primitive is hand-rolled on `std::net` /
 //! `std::os::unix::net` (this build environment has no crates.io access,
 //! so no tokio/hyper/axum — and none is needed: the protocol is
-//! newline-framed request/response over blocking sockets, one thread per
-//! connection).
+//! newline-framed request/response over blocking sockets).
 //!
-//! The engine sits behind one `RwLock`: `run` requests share a read
-//! lock (synthesis runs concurrently across connections), and page
-//! interning takes a brief write lock. The page store is append-only,
-//! so handles issued under the write lock stay valid forever after.
+//! # Execution model: bounded worker pool
+//!
+//! Connection threads are cheap: they read frames, parse them, and
+//! answer control ops (`ping`, `intern`, `stats`) and protocol errors
+//! inline. Heavy ops (`run`, `run_batch`) instead pass through a
+//! **bounded admission queue** ([`ServeOptions::backlog`]) into a
+//! **fixed worker pool** ([`ServeOptions::workers`]):
+//!
+//! * Engine concurrency is exactly `workers`, however many sockets are
+//!   open — a connection flood cannot fork a thousand syntheses.
+//! * When the backlog is full the request is **shed immediately** with
+//!   a typed `overloaded` error; load shedding never queues behind the
+//!   work it refuses. The connection stays open.
+//! * Each heavy op carries a latency budget — the smaller of its own
+//!   `deadline_ms` field and the server's default deadline, measured
+//!   from frame arrival so *queue wait counts*. The budget is enforced
+//!   cooperatively inside the synthesis enumerator (a
+//!   [`webqa::CancelToken`] checked every guard step): an expired run
+//!   aborts promptly with a typed `deadline-exceeded` error and caches
+//!   nothing — engine state is never poisoned by a cancelled run.
+//!
+//! The engine sits behind one `RwLock`: heavy ops share a read lock
+//! (synthesis runs concurrently across workers), and page interning
+//! takes a brief write lock. The page store is append-only, so handles
+//! issued under the write lock stay valid forever after.
 //!
 //! **Semantics guarantee.** Serving is observationally invisible: the
 //! response to a `run` request is byte-identical to what a cold,
@@ -31,7 +51,12 @@
 //! * One request per line: a UTF-8 JSON **object** terminated by `\n`
 //!   (a trailing `\r` is tolerated and stripped). Blank lines are
 //!   ignored.
-//! * One response per line, in request order per connection.
+//! * One response per line, **in completion order** — *not* request
+//!   order. Clients may pipeline: send many requests without waiting,
+//!   and correlate responses by the echoed `id`. Control ops and
+//!   errors answer immediately; heavy ops answer whenever a worker
+//!   finishes them, so a fast request overtakes a slow one on the same
+//!   connection. Clients that never pipeline still see request order.
 //! * Frames larger than the server's `max_frame_bytes` (default 1 MiB)
 //!   get an `oversized` error response and the connection is then
 //!   closed — framing cannot resync past an unread tail.
@@ -47,15 +72,16 @@
 //! value, echoed verbatim; `null` when absent or unparsable):
 //!
 //! ```text
-//! → {"id": 1, "op": "<ping|intern|run|stats>", ...op fields...}
+//! → {"id": 1, "op": "<ping|intern|run|run_batch|stats>", ...op fields...}
 //! ← {"id": 1, "ok": {...}}
 //! ← {"id": 1, "err": {"kind": "<kind>", "message": "..."}}
 //! ```
 //!
 //! Error kinds: `bad-frame`, `oversized`, `bad-request`, `unknown-op`,
-//! `page`, `unknown-page`, `internal` (see [`protocol::ErrKind`]).
-//! Errors are responses like any other — the engine and the connection
-//! remain fully usable afterwards (except `oversized`, which closes).
+//! `page`, `unknown-page`, `overloaded`, `deadline-exceeded`,
+//! `internal` (see [`protocol::ErrKind`]). Errors are responses like
+//! any other — the engine and the connection remain fully usable
+//! afterwards (except `oversized`, which closes).
 //!
 //! ## Operations
 //!
@@ -100,15 +126,47 @@
 //! request then runs against the store. Unknown handles yield
 //! `kind:"unknown-page"`.
 //!
+//! An optional `"deadline_ms": N` field bounds the request's latency:
+//! if the run has not finished `N` milliseconds after the frame
+//! arrived (queue wait included), it aborts with `deadline-exceeded`.
+//! When the server also has a default deadline, the smaller budget
+//! wins.
+//!
+//! ### `run_batch` — synthesize and answer many tasks as one request
+//!
+//! ```text
+//! → {"op":"run_batch",
+//!    "tasks": [{...run fields...}, {...run fields...}],
+//!    "deadline_ms": 5000}
+//! ← {"id":null,"ok":{"results":[{...run body...}, {...run body...}]}}
+//! ```
+//!
+//! Each `tasks[]` entry takes exactly the fields of a `run` request
+//! (`question`, `keywords`, `labeled`, `targets`). The batch occupies
+//! **one** worker slot and fans its tasks out over the engine's batch
+//! runner internally (parallelism = machine budget ÷ workers), so one
+//! huge batch cannot starve other connections of the whole pool.
+//! `results` aligns with `tasks`, and every entry is byte-identical to
+//! what a separate `run` would have produced. The request is
+//! all-or-nothing: a malformed task fails the whole batch up front
+//! (before anything executes), and one optional `deadline_ms` covers
+//! the entire batch.
+//!
 //! ### `stats` — serving and cache counters
 //!
 //! ```text
 //! → {"op":"stats"}
 //! ← {"id":null,"ok":{
-//!      "requests": 42, "errors": 1, "pages": 7, "uptime_ms": 12345,
+//!      "requests": 42, "errors": 1, "shed": 0, "deadline_exceeded": 0,
+//!      "workers": 8, "backlog": 64, "queue_depth": 0,
+//!      "pages": 7, "uptime_ms": 12345,
 //!      "cache": {"feature_hits":30,"feature_misses":4,"feature_evictions":0,
 //!                "result_hits":11,"result_misses":9,"result_evictions":0}}}
 //! ```
+//!
+//! `shed` counts requests refused by the full admission queue,
+//! `deadline_exceeded` counts runs aborted by an expired latency
+//! budget; both are also included in `errors`.
 //!
 //! # Example
 //!
@@ -130,6 +188,7 @@
 #![warn(missing_docs)]
 
 mod net;
+mod pool;
 pub mod protocol;
 
 pub use net::{Client, Listening};
@@ -141,12 +200,13 @@ use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use serde_json::{Map, Value};
-use webqa::{Engine, Error as EngineError, PageId, Task};
+use webqa::{CancelToken, Engine, Error as EngineError, PageId, Task};
 
+use pool::{Admission, ConnWriter};
 use protocol::{bad_request, envelope, page_ref, str_field, string_list, PageRef, ProtoError};
 
 /// Server construction options.
@@ -158,6 +218,23 @@ pub struct ServeOptions {
     /// Maximum request-frame size in bytes (default 1 MiB). Larger
     /// frames are refused with an `oversized` error.
     pub max_frame_bytes: usize,
+    /// Worker threads executing heavy ops (`run` / `run_batch`). `0`
+    /// (the default) means auto: the machine's available parallelism.
+    /// This — not the connection count — bounds engine concurrency.
+    pub workers: usize,
+    /// Admission-queue capacity (default 64): heavy ops waiting for a
+    /// worker beyond this cap are shed with an `overloaded` error.
+    pub backlog: usize,
+    /// Default per-request latency budget, measured from frame arrival
+    /// (queue wait included). `None` (the default) = no deadline unless
+    /// a request carries `deadline_ms`; when both are present the
+    /// *smaller* budget wins.
+    pub default_deadline: Option<Duration>,
+    /// Hard cap on responses ever written (default `None` = unlimited).
+    /// Enforced by write permits, so "serve exactly N" is exact under
+    /// any concurrency; [`Listening::wait_for_responses`] blocks until
+    /// the cap (or any count) is reached.
+    pub max_responses: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -165,6 +242,24 @@ impl Default for ServeOptions {
         ServeOptions {
             engine: webqa::Config::default(),
             max_frame_bytes: 1 << 20,
+            workers: 0,
+            backlog: 64,
+            default_deadline: None,
+            max_responses: None,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// The effective worker count (`workers`, with `0` resolved to the
+    /// machine's available parallelism).
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
         }
     }
 }
@@ -176,14 +271,114 @@ pub(crate) struct Shared {
     pub(crate) started: Instant,
     /// Frames received (counted at read time).
     pub(crate) requests: AtomicU64,
-    /// Responses fully written (counted after the write completes).
-    pub(crate) responses: AtomicU64,
     pub(crate) errors: AtomicU64,
+    /// Requests shed by the admission queue (`overloaded` responses;
+    /// also counted in `errors`).
+    pub(crate) shed: AtomicU64,
+    /// Requests that returned `deadline-exceeded` (also in `errors`).
+    pub(crate) deadline_hits: AtomicU64,
     pub(crate) shutdown: AtomicBool,
+    /// The bounded admission queue feeding the worker pool.
+    pub(crate) pool: Admission,
+    /// Fixed worker count (for `stats` and the batch-jobs split).
+    pub(crate) workers: usize,
+    /// Per-task parallelism handed to `Engine::run_batch` by the
+    /// `run_batch` op: the machine budget divided across workers.
+    pub(crate) batch_jobs: usize,
+    /// Server-side default latency budget (see
+    /// [`ServeOptions::default_deadline`]).
+    pub(crate) default_deadline: Option<Duration>,
+    /// Write-permit cap: when set, at most this many responses are ever
+    /// written, totalled across all connections.
+    pub(crate) max_responses: Option<u64>,
+    /// Permits claimed (compared against `max_responses` before every
+    /// write; a failed write returns its permit).
+    pub(crate) write_permits: AtomicU64,
+    /// Responses fully written, guarded by a mutex so
+    /// [`Listening::wait_for_responses`] can condvar-wait on it.
+    pub(crate) completions: Mutex<u64>,
+    pub(crate) completion_cv: Condvar,
+    /// Cancel tokens of in-flight heavy ops, so shutdown can abort
+    /// long-running syntheses instead of waiting them out.
+    pub(crate) inflight: Mutex<std::collections::HashMap<u64, CancelToken>>,
+    pub(crate) next_job: AtomicU64,
     /// Live-connection close handles, so shutdown can unblock idle
     /// readers instead of leaking their threads.
-    pub(crate) conns: std::sync::Mutex<std::collections::HashMap<u64, net::CloseFn>>,
+    pub(crate) conns: Mutex<std::collections::HashMap<u64, net::CloseFn>>,
     pub(crate) next_conn: AtomicU64,
+}
+
+impl Shared {
+    /// Writes one response line through `conn` under the write-permit
+    /// cap and counts the completion. Returns `false` when the response
+    /// was suppressed (cap reached) or the connection is gone.
+    pub(crate) fn write_response(&self, conn: &ConnWriter, line: &str) -> bool {
+        if let Some(max) = self.max_responses {
+            let n = self.write_permits.fetch_add(1, Ordering::SeqCst);
+            if n >= max {
+                return false;
+            }
+        }
+        let ok = conn.write_line(line);
+        if ok {
+            let mut done = self.completions.lock().expect("completion counter");
+            *done += 1;
+            self.completion_cv.notify_all();
+        } else if self.max_responses.is_some() {
+            // The permit was claimed but no response reached a client;
+            // return it so the cap still yields exactly N deliveries.
+            self.write_permits.fetch_sub(1, Ordering::SeqCst);
+        }
+        ok
+    }
+
+    /// Registers an in-flight heavy op's token (shutdown cancels them).
+    pub(crate) fn track_job(&self, token: &CancelToken) -> u64 {
+        let job = self.next_job.fetch_add(1, Ordering::Relaxed);
+        self.inflight
+            .lock()
+            .expect("inflight registry")
+            .insert(job, token.clone());
+        job
+    }
+
+    pub(crate) fn untrack_job(&self, job: u64) {
+        self.inflight
+            .lock()
+            .expect("inflight registry")
+            .remove(&job);
+    }
+}
+
+/// A classified request: either answered inline by the connection
+/// thread (control ops, parse errors) or handed to the worker pool.
+pub(crate) enum Action {
+    /// The `ok` body, already computed.
+    Immediate(Value),
+    /// A parsed heavy op for the admission queue.
+    Heavy(HeavyOp),
+}
+
+/// A fully parsed heavy operation: pages resolved, deadline fixed at
+/// admission time (so queue wait counts against the budget).
+pub(crate) struct HeavyOp {
+    kind: HeavyKind,
+    deadline: Option<Instant>,
+}
+
+enum HeavyKind {
+    Run(Task),
+    Batch(Vec<Task>),
+}
+
+impl HeavyOp {
+    #[cfg(test)]
+    pub(crate) fn noop_for_tests() -> Self {
+        HeavyOp {
+            kind: HeavyKind::Batch(Vec::new()),
+            deadline: None,
+        }
+    }
 }
 
 /// The resident WebQA server. Construct with [`Server::new`], then
@@ -197,16 +392,33 @@ pub struct Server {
 impl Server {
     /// A server owning a fresh engine built from `opts`.
     pub fn new(opts: ServeOptions) -> Server {
+        let workers = opts.effective_workers();
+        let machine = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
         Server {
             shared: Arc::new(Shared {
                 engine: RwLock::new(Engine::new(opts.engine)),
                 max_frame_bytes: opts.max_frame_bytes,
                 started: Instant::now(),
                 requests: AtomicU64::new(0),
-                responses: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                deadline_hits: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
-                conns: std::sync::Mutex::new(std::collections::HashMap::new()),
+                pool: Admission::new(opts.backlog),
+                workers,
+                // Split the machine budget across workers so a full pool
+                // of run_batch ops cannot oversubscribe the cores.
+                batch_jobs: (machine / workers).max(1),
+                default_deadline: opts.default_deadline,
+                max_responses: opts.max_responses,
+                write_permits: AtomicU64::new(0),
+                completions: Mutex::new(0),
+                completion_cv: Condvar::new(),
+                inflight: Mutex::new(std::collections::HashMap::new()),
+                next_job: AtomicU64::new(0),
+                conns: Mutex::new(std::collections::HashMap::new()),
                 next_conn: AtomicU64::new(0),
             }),
         }
@@ -253,20 +465,39 @@ impl Server {
                 "unix sockets are not available on this platform",
             ));
         }
+        let worker_threads = pool::spawn_workers(&self.shared, self.shared.workers);
         Ok(Listening {
             shared: self.shared,
             tcp_addr,
             unix_path,
             accept_threads,
+            worker_threads,
         })
     }
 
     /// Handles one complete frame and renders the one-line response —
-    /// the entire protocol, transport-free. Connection loops call this;
-    /// so can tests.
+    /// the entire protocol, transport-free and synchronous (heavy ops
+    /// execute inline on the calling thread). Tests of pure protocol
+    /// behavior drive this directly; connection loops instead use the
+    /// crate-private `classify_line` so heavy ops go through the
+    /// worker pool.
     pub fn handle_line(&self, line: &str) -> String {
+        let (id, classified) = self.classify_line(line);
+        let outcome = match classified {
+            Ok(Action::Immediate(body)) => Ok(body),
+            Ok(Action::Heavy(op)) => self.execute_heavy(op),
+            Err(e) => Err(e),
+        };
+        self.render_outcome(id, outcome)
+    }
+
+    /// Parses one frame into its echo id and either an immediate result
+    /// or a pool-ready heavy op. Counts the request; the deadline (if
+    /// any) is anchored *here*, so time spent queued counts against the
+    /// request's latency budget.
+    pub(crate) fn classify_line(&self, line: &str) -> (Value, Result<Action, ProtoError>) {
         self.shared.requests.fetch_add(1, Ordering::Relaxed);
-        let (id, outcome) = match serde_json::from_str::<Value>(line) {
+        match serde_json::from_str::<Value>(line) {
             Err(_) => (
                 Value::Null,
                 Err(ProtoError::new(
@@ -285,11 +516,86 @@ impl Server {
                 let id = v["id"].clone();
                 (id, self.dispatch(&v))
             }
-        };
+        }
+    }
+
+    /// Renders the response envelope and maintains the error counter —
+    /// the single exit point for every response, wherever it executed.
+    pub(crate) fn render_outcome(&self, id: Value, outcome: Result<Value, ProtoError>) -> String {
         if outcome.is_err() {
             self.shared.errors.fetch_add(1, Ordering::Relaxed);
         }
         envelope(id, outcome)
+    }
+
+    /// The response to a heavy op the admission queue refused.
+    pub(crate) fn overloaded_response(&self, id: Value) -> String {
+        self.shared.shed.fetch_add(1, Ordering::Relaxed);
+        self.render_outcome(
+            id,
+            Err(ProtoError::new(
+                ErrKind::Overloaded,
+                format!(
+                    "admission queue full (backlog {}); request shed",
+                    self.shared.pool.capacity()
+                ),
+            )),
+        )
+    }
+
+    /// Executes a parsed heavy op under its deadline token. Runs on a
+    /// worker thread in the daemon, inline in [`Server::handle_line`].
+    pub(crate) fn execute_heavy(&self, op: HeavyOp) -> Result<Value, ProtoError> {
+        let token = match op.deadline {
+            Some(at) => CancelToken::with_deadline(at),
+            None => CancelToken::never(),
+        };
+        let job = self.shared.track_job(&token);
+        let outcome = self.run_heavy(op.kind, &token);
+        self.shared.untrack_job(job);
+        outcome
+    }
+
+    fn run_heavy(&self, kind: HeavyKind, token: &CancelToken) -> Result<Value, ProtoError> {
+        // The long-running part shares a read lock: concurrent workers
+        // proceed in parallel, `intern`s briefly serialize against them.
+        let engine = self.shared.engine.read().expect("engine lock");
+        match kind {
+            HeavyKind::Run(task) => {
+                let result = engine
+                    .run_with_cancel(&task, token)
+                    .map_err(|e| self.engine_err(e))?;
+                Ok(render_run_result(&result))
+            }
+            HeavyKind::Batch(tasks) => {
+                let results = engine
+                    .run_batch_with_cancel(&tasks, self.shared.batch_jobs, token)
+                    .map_err(|e| self.engine_err(e))?;
+                let rendered: Vec<Value> = results.iter().map(render_run_result).collect();
+                let mut map = Map::new();
+                map.insert("results".to_string(), Value::Array(rendered));
+                Ok(Value::Object(map))
+            }
+        }
+    }
+
+    /// Maps engine failures onto the wire vocabulary (and counts
+    /// deadline trips).
+    fn engine_err(&self, e: EngineError) -> ProtoError {
+        match e {
+            EngineError::UnknownPage(id) => ProtoError::new(
+                ErrKind::UnknownPage,
+                format!("page handle {} is unknown to this server", id.index()),
+            ),
+            EngineError::Cancelled => {
+                self.shared.deadline_hits.fetch_add(1, Ordering::Relaxed);
+                ProtoError::new(
+                    ErrKind::DeadlineExceeded,
+                    "latency budget expired before the run finished",
+                )
+            }
+            other => ProtoError::new(ErrKind::Internal, other.to_string()),
+        }
     }
 
     /// The response to a frame that blew the size cap (counted like any
@@ -319,22 +625,65 @@ impl Server {
         )
     }
 
-    fn dispatch(&self, request: &Value) -> Result<Value, ProtoError> {
+    fn dispatch(&self, request: &Value) -> Result<Action, ProtoError> {
         match request["op"].as_str() {
             Some("ping") => {
                 let mut map = Map::new();
                 map.insert("pong".to_string(), Value::Bool(true));
-                Ok(Value::Object(map))
+                Ok(Action::Immediate(Value::Object(map)))
             }
-            Some("intern") => self.op_intern(request),
-            Some("run") => self.op_run(request),
-            Some("stats") => self.op_stats(),
+            Some("intern") => self.op_intern(request).map(Action::Immediate),
+            Some("run") => {
+                let deadline = self.deadline_of(request)?;
+                let task = self.parse_run_task(request)?;
+                Ok(Action::Heavy(HeavyOp {
+                    kind: HeavyKind::Run(task),
+                    deadline,
+                }))
+            }
+            Some("run_batch") => {
+                let deadline = self.deadline_of(request)?;
+                let tasks = match &request["tasks"] {
+                    Value::Array(items) => items
+                        .iter()
+                        .map(|item| self.parse_run_task(item))
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return bad_request("field \"tasks\" must be an array"),
+                };
+                Ok(Action::Heavy(HeavyOp {
+                    kind: HeavyKind::Batch(tasks),
+                    deadline,
+                }))
+            }
+            Some("stats") => self.op_stats().map(Action::Immediate),
             Some(other) => Err(ProtoError::new(
                 ErrKind::UnknownOp,
-                format!("unknown op {other:?} (expected ping|intern|run|stats)"),
+                format!("unknown op {other:?} (expected ping|intern|run|run_batch|stats)"),
             )),
             None => bad_request("field \"op\" must be a string"),
         }
+    }
+
+    /// The request's effective latency budget: the smaller of its
+    /// `deadline_ms` and the server default, anchored now (= at frame
+    /// arrival).
+    fn deadline_of(&self, request: &Value) -> Result<Option<Instant>, ProtoError> {
+        let requested = match &request["deadline_ms"] {
+            Value::Null => None,
+            v => match v.as_u64() {
+                Some(ms) => Some(Duration::from_millis(ms)),
+                None => {
+                    return bad_request(
+                        "field \"deadline_ms\" must be a non-negative integer (milliseconds)",
+                    )
+                }
+            },
+        };
+        let budget = match (requested, self.shared.default_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        Ok(budget.map(|d| Instant::now() + d))
     }
 
     /// Interns inline HTML (brief write lock), returning its handle and
@@ -371,7 +720,11 @@ impl Server {
         }
     }
 
-    fn op_run(&self, request: &Value) -> Result<Value, ProtoError> {
+    /// Parses and fully resolves one run spec (the body of a `run`
+    /// request, or one `tasks[]` entry of `run_batch`) into an engine
+    /// [`Task`]. Inline pages are interned here, on the connection
+    /// thread — workers only ever synthesize.
+    fn parse_run_task(&self, request: &Value) -> Result<Task, ProtoError> {
         let question = str_field(request, "question")?.to_string();
         let keywords = string_list(request, "keywords")?;
 
@@ -407,18 +760,7 @@ impl Server {
             let handle = self.resolve(r)?;
             task.unlabeled.push(self.handle_to_id(handle)?);
         }
-
-        // The long-running part shares a read lock: concurrent `run`s
-        // proceed in parallel, `intern`s briefly serialize against them.
-        let engine = self.shared.engine.read().expect("engine lock");
-        let result = engine.run(&task).map_err(|e| match e {
-            EngineError::UnknownPage(id) => ProtoError::new(
-                ErrKind::UnknownPage,
-                format!("page handle {} is unknown to this server", id.index()),
-            ),
-            other => ProtoError::new(ErrKind::Internal, other.to_string()),
-        })?;
-        Ok(render_run_result(&result))
+        Ok(task)
     }
 
     /// Converts a wire handle to a digest-checked [`PageId`].
@@ -445,6 +787,35 @@ impl Server {
             "errors".to_string(),
             serde_json::json!(self.shared.errors.load(Ordering::Relaxed)),
         );
+        map.insert(
+            "shed".to_string(),
+            serde_json::json!(self.shared.shed.load(Ordering::Relaxed)),
+        );
+        map.insert(
+            "deadline_exceeded".to_string(),
+            serde_json::json!(self.shared.deadline_hits.load(Ordering::Relaxed)),
+        );
+        map.insert(
+            "workers".to_string(),
+            serde_json::json!(self.shared.workers as u64),
+        );
+        map.insert(
+            "backlog".to_string(),
+            serde_json::json!(self.shared.pool.capacity() as u64),
+        );
+        map.insert(
+            "queue_depth".to_string(),
+            serde_json::json!(self.shared.pool.depth() as u64),
+        );
+        map.insert(
+            "inflight".to_string(),
+            serde_json::json!(self
+                .shared
+                .inflight
+                .lock()
+                .expect("inflight registry")
+                .len() as u64),
+        );
         map.insert("pages".to_string(), serde_json::json!(engine.store().len()));
         map.insert(
             "uptime_ms".to_string(),
@@ -466,6 +837,7 @@ mod tests {
                 ..webqa::Config::default()
             },
             max_frame_bytes: 1 << 16,
+            ..ServeOptions::default()
         })
     }
 
@@ -527,6 +899,59 @@ mod tests {
             resp2, resp,
             "repeat after an error must be byte-identical (and a cache hit)"
         );
+    }
+
+    #[test]
+    fn run_batch_matches_individual_runs() {
+        let s = server();
+        let run_a = r#""question":"Who are the PhD students?","keywords":["Students"],"labeled":[{"html":"<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>","gold":["Jane Doe"]}],"targets":[{"html":"<h1>B</h1><h2>Advisees</h2><ul><li>Wei Chen</li></ul>"}]"#;
+        let batch = s.handle_line(&format!(
+            r#"{{"id":9,"op":"run_batch","tasks":[{{{run_a}}},{{{run_a}}}]}}"#
+        ));
+        let v: Value = serde_json::from_str(&batch).expect("valid JSON");
+        let results = v["ok"]["results"].as_array().expect("results array");
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0], results[1], "identical tasks, identical bodies");
+
+        // Each entry is exactly what a separate `run` would say.
+        let single = s.handle_line(&format!(r#"{{"op":"run",{run_a}}}"#));
+        let sv: Value = serde_json::from_str(&single).expect("valid JSON");
+        assert_eq!(results[0], sv["ok"]);
+
+        // A malformed task fails the whole batch before anything runs.
+        let bad = s.handle_line(&format!(
+            r#"{{"op":"run_batch","tasks":[{{{run_a}}},{{"keywords":[]}}]}}"#
+        ));
+        assert!(bad.contains(r#""kind":"bad-request""#), "{bad}");
+        let not_array = s.handle_line(r#"{"op":"run_batch","tasks":7}"#);
+        assert!(not_array.contains(r#""kind":"bad-request""#), "{not_array}");
+    }
+
+    #[test]
+    fn deadline_ms_must_be_a_nonnegative_integer() {
+        let s = server();
+        let r = s.handle_line(
+            r#"{"op":"run","deadline_ms":"soon","question":"Q","keywords":[],"labeled":[],"targets":[]}"#,
+        );
+        assert!(r.contains(r#""kind":"bad-request""#), "{r}");
+        assert!(r.contains("deadline_ms"), "{r}");
+    }
+
+    #[test]
+    fn expired_deadline_is_typed_and_the_engine_survives() {
+        let s = server();
+        let fields = r#""question":"Who are the PhD students?","keywords":["Students"],"labeled":[{"html":"<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>","gold":["Jane Doe"]}],"targets":[]"#;
+        let dead = s.handle_line(&format!(r#"{{"op":"run","deadline_ms":0,{fields}}}"#));
+        assert!(dead.contains(r#""kind":"deadline-exceeded""#), "{dead}");
+
+        // The same task without a deadline runs fine afterwards: the
+        // cancelled attempt cached nothing and poisoned nothing.
+        let ok = s.handle_line(&format!(r#"{{"op":"run",{fields}}}"#));
+        assert!(ok.contains(r#""train_f1":1.0"#), "{ok}");
+
+        let stats = s.handle_line(r#"{"op":"stats"}"#);
+        let v: Value = serde_json::from_str(&stats).expect("valid JSON");
+        assert_eq!(v["ok"]["deadline_exceeded"].as_u64(), Some(1));
     }
 
     #[test]

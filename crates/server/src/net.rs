@@ -16,7 +16,8 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crate::{Server, Shared};
+use crate::pool::{ConnWriter, Job};
+use crate::{Action, Server, Shared};
 
 /// One read attempt's outcome.
 #[derive(Debug, PartialEq, Eq)]
@@ -76,38 +77,74 @@ pub(crate) fn read_frame(reader: &mut impl BufRead, max: usize) -> Frame {
 }
 
 /// Serves one connection until EOF, an unrecoverable framing error, or
-/// server shutdown. Every complete frame gets exactly one response line.
-pub(crate) fn serve_conn<S: Read + Write>(shared: &Arc<Shared>, stream: S) {
+/// server shutdown. Every complete frame gets exactly one response line
+/// (unless the response-count cap suppresses it).
+///
+/// This is the pipelined read loop: control ops and protocol errors are
+/// answered inline, heavy ops go to the admission queue and are answered
+/// by the worker pool through the connection's shared [`ConnWriter`] —
+/// the reader keeps pulling frames while earlier requests compute, so
+/// responses arrive in completion order, correlated by `id`.
+pub(crate) fn serve_conn<S: AcceptedStream>(shared: &Arc<Shared>, stream: S) {
     let server = Server {
         shared: Arc::clone(shared),
     };
-    let mut stream = stream;
-    // Borrow the same stream for buffered reads and direct writes.
-    let mut reader = BufReader::new(&mut stream);
+    let conn = match stream.split_writer() {
+        Ok(w) => Arc::new(ConnWriter::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
     loop {
         if shared.shutdown.load(Ordering::Relaxed) {
             return;
         }
-        let (response, close) = match read_frame(&mut reader, shared.max_frame_bytes) {
+        match read_frame(&mut reader, shared.max_frame_bytes) {
             Frame::Line(line) if line.trim().is_empty() => continue,
-            Frame::Line(line) => (server.handle_line(&line), false),
+            Frame::Line(line) => {
+                let (id, classified) = server.classify_line(&line);
+                match classified {
+                    Ok(Action::Heavy(op)) => {
+                        let admitted = shared.pool.try_push(Job {
+                            id: id.clone(),
+                            op,
+                            conn: Arc::clone(&conn),
+                        });
+                        if !admitted {
+                            // Shed: constant-time refusal, written here
+                            // on the reader thread — never queued behind
+                            // the very backlog that is full.
+                            let response = server.overloaded_response(id);
+                            if !shared.write_response(&conn, &response) {
+                                return;
+                            }
+                        }
+                    }
+                    Ok(Action::Immediate(body)) => {
+                        let response = server.render_outcome(id, Ok(body));
+                        if !shared.write_response(&conn, &response) {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        let response = server.render_outcome(id, Err(e));
+                        if !shared.write_response(&conn, &response) {
+                            return;
+                        }
+                    }
+                }
+            }
             Frame::Eof | Frame::Io => return,
-            Frame::Oversized => (server.oversized_response(), true),
-            Frame::BadUtf8 => (server.bad_utf8_response(), false),
-        };
-        let stream = reader.get_mut();
-        if stream.write_all(response.as_bytes()).is_err()
-            || stream.write_all(b"\n").is_err()
-            || stream.flush().is_err()
-        {
-            return;
-        }
-        // Counted only after the response is fully written, so callers
-        // polling [`Listening::responses_sent`] (e.g. the CLI's
-        // `--max-requests` stop condition) never cut a response short.
-        shared.responses.fetch_add(1, Ordering::Relaxed);
-        if close {
-            return;
+            Frame::Oversized => {
+                let response = server.oversized_response();
+                let _ = shared.write_response(&conn, &response);
+                return;
+            }
+            Frame::BadUtf8 => {
+                let response = server.bad_utf8_response();
+                if !shared.write_response(&conn, &response) {
+                    return;
+                }
+            }
         }
     }
 }
@@ -124,6 +161,7 @@ pub struct Listening {
     pub(crate) tcp_addr: Option<SocketAddr>,
     pub(crate) unix_path: Option<PathBuf>,
     pub(crate) accept_threads: Vec<JoinHandle<()>>,
+    pub(crate) worker_threads: Vec<JoinHandle<()>>,
 }
 
 impl Listening {
@@ -154,11 +192,30 @@ impl Listening {
         self.shared.requests.load(Ordering::Relaxed)
     }
 
-    /// Total responses fully written to clients — the counter to poll
-    /// for "stop after N requests" conditions, since it can never run
-    /// ahead of a response still being computed.
+    /// Total responses fully written to clients. It can never run ahead
+    /// of a response still being computed; for "stop after N requests"
+    /// conditions use [`Listening::wait_for_responses`] instead of
+    /// polling.
     pub fn responses_sent(&self) -> u64 {
-        self.shared.responses.load(Ordering::Relaxed)
+        *self.shared.completions.lock().expect("completion counter")
+    }
+
+    /// Blocks until at least `n` responses have been fully written
+    /// (condvar wait, no polling), returning the count observed. With
+    /// [`crate::ServeOptions::max_responses`] set to `n`, this is an
+    /// exact "serve exactly n, then stop" rendezvous: the write-permit
+    /// cap guarantees the count never overshoots, whatever the
+    /// concurrency.
+    pub fn wait_for_responses(&self, n: u64) -> u64 {
+        let mut done = self.shared.completions.lock().expect("completion counter");
+        while *done < n {
+            done = self
+                .shared
+                .completion_cv
+                .wait(done)
+                .expect("completion counter");
+        }
+        *done
     }
 
     /// Stops accepting, wakes and joins the accept threads, and closes
@@ -176,6 +233,22 @@ impl Listening {
 impl Drop for Listening {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Abort in-flight syntheses: their cooperative tokens trip at
+        // the next enumerator checkpoint, so workers drain in bounded
+        // steps instead of finishing arbitrarily long runs.
+        for (_, token) in self
+            .shared
+            .inflight
+            .lock()
+            .expect("inflight registry")
+            .iter()
+        {
+            token.cancel();
+        }
+        // Wake workers parked on the empty admission queue so they
+        // observe the flag (queued-but-unstarted jobs are abandoned —
+        // their connections are closing below anyway).
+        self.shared.pool.wake_all();
         // Poke each endpoint so a blocked `accept` returns and observes
         // the flag.
         if let Some(addr) = self.tcp_addr {
@@ -193,6 +266,10 @@ impl Drop for Listening {
         for (_, close) in self.shared.conns.lock().expect("conn registry").drain() {
             close();
         }
+        // Workers exit after their current (now-cancelled) job.
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
         #[cfg(unix)]
         if let Some(path) = &self.unix_path {
             let _ = std::fs::remove_file(path);
@@ -206,8 +283,11 @@ pub(crate) type CloseFn = Box<dyn Fn() + Send>;
 
 /// A stream type the accept loop can serve: readable/writable, and able
 /// to produce an out-of-band close handle for the shutdown registry.
-trait AcceptedStream: Read + Write + Send + Sized + 'static {
+pub(crate) trait AcceptedStream: Read + Write + Send + Sized + 'static {
     fn closer(&self) -> Option<CloseFn>;
+    /// An independently owned write half (the reader keeps the original),
+    /// so the worker pool can answer while the reader blocks on frames.
+    fn split_writer(&self) -> io::Result<Box<dyn Write + Send>>;
 }
 
 impl AcceptedStream for TcpStream {
@@ -217,6 +297,10 @@ impl AcceptedStream for TcpStream {
                 let _ = s.shutdown(std::net::Shutdown::Both);
             })
         })
+    }
+
+    fn split_writer(&self) -> io::Result<Box<dyn Write + Send>> {
+        Ok(Box::new(self.try_clone()?))
     }
 }
 
@@ -228,6 +312,10 @@ impl AcceptedStream for UnixStream {
                 let _ = s.shutdown(std::net::Shutdown::Both);
             })
         })
+    }
+
+    fn split_writer(&self) -> io::Result<Box<dyn Write + Send>> {
+        Ok(Box::new(self.try_clone()?))
     }
 }
 
@@ -359,10 +447,17 @@ impl Client {
     /// Transport errors, including the server closing the connection
     /// without a response ([`io::ErrorKind::UnexpectedEof`]).
     pub fn request_line(&mut self, line: &str) -> io::Result<String> {
+        self.send_line(line)?;
+        self.read_response_line()
+    }
+
+    /// Sends one request line *without* waiting for its response — the
+    /// pipelining primitive. Responses come back in completion order;
+    /// pair ids from [`Client::read_response_line`] to correlate.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        self.read_response_line()
+        self.writer.flush()
     }
 
     /// Sends raw bytes verbatim (no newline appended) — the protocol-

@@ -30,6 +30,16 @@ pub enum ErrKind {
     Page,
     /// A page handle that this server never issued.
     UnknownPage,
+    /// The admission queue was full when the request arrived: the server
+    /// shed it without executing anything. The connection stays open;
+    /// retrying later (or against a server with a larger `backlog`) is
+    /// the client's call.
+    Overloaded,
+    /// The request's latency budget (its `deadline_ms`, the server's
+    /// default deadline, or both) expired before the run finished — in
+    /// the queue or mid-synthesis. The engine state is untouched: a
+    /// cancelled run caches nothing and poisons nothing.
+    DeadlineExceeded,
     /// Anything else — the engine failed in a way the protocol does not
     /// classify.
     Internal,
@@ -45,6 +55,8 @@ impl ErrKind {
             ErrKind::UnknownOp => "unknown-op",
             ErrKind::Page => "page",
             ErrKind::UnknownPage => "unknown-page",
+            ErrKind::Overloaded => "overloaded",
+            ErrKind::DeadlineExceeded => "deadline-exceeded",
             ErrKind::Internal => "internal",
         }
     }
@@ -226,6 +238,8 @@ mod tests {
             (ErrKind::UnknownOp, "unknown-op"),
             (ErrKind::Page, "page"),
             (ErrKind::UnknownPage, "unknown-page"),
+            (ErrKind::Overloaded, "overloaded"),
+            (ErrKind::DeadlineExceeded, "deadline-exceeded"),
             (ErrKind::Internal, "internal"),
         ] {
             assert_eq!(k.as_str(), s);

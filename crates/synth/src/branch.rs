@@ -98,6 +98,11 @@ fn synthesize_branch_decomposed(
     } else {
         let mut q = std::collections::VecDeque::new();
         while let Some(g) = enumerator.next(0.0, stats) {
+            if task.cancel.checkpoint() {
+                // The whole search is being abandoned; the top level
+                // discards this `None` and reports `Cancelled`.
+                return None;
+            }
             q.push_back(g);
         }
         Some(q)
@@ -117,6 +122,12 @@ fn synthesize_branch_decomposed(
         Some(q) => q.pop_front(),
         None => enumerator.next(opt, stats),
     } {
+        // One cooperative cancellation checkpoint per guard step: a
+        // cancelled search bails before the next extractor synthesis, so
+        // latency overrun is bounded by one step's work.
+        if task.cancel.checkpoint() {
+            return None;
+        }
         if memo.len() <= eid {
             memo.resize_with(eid + 1, || None);
         }
@@ -211,6 +222,9 @@ fn synthesize_branch_joint(
     let mut enumerator = GuardEnumerator::new(task, pos, neg);
     let mut guards = Vec::new();
     while let Some(g) = enumerator.next(0.0, stats) {
+        if task.cancel.checkpoint() {
+            return None;
+        }
         guards.push(g);
     }
     let mut scorer = Scorer::new(task, pos);
@@ -218,6 +232,9 @@ fn synthesize_branch_joint(
     let mut options: Vec<(Guard, GuardOptions)> = Vec::new();
     let mut counts = Counts::default();
     for (guard, eid) in guards {
+        if task.cancel.checkpoint() {
+            return None;
+        }
         let synth = if task.cfg.reference_kernels {
             let pos_examples = pos.iter().map(|&i| &task.examples[i]);
             let nodes = propagate_examples(task.ctx, guard.locator(), pos_examples);

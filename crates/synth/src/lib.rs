@@ -52,6 +52,13 @@
 //! Partition blocks can additionally be solved in parallel inside one
 //! task ([`SynthConfig::jobs`]) with a deterministic merge.
 //!
+//! The search can be abandoned cooperatively: [`synthesize_cancellable`]
+//! threads a [`CancelToken`] (explicit cancel, wall-clock deadline, or
+//! deterministic step budget) through the enumerator loop, checked once
+//! per guard step — the serving layer's per-request deadlines ride on
+//! this. A cancelled search returns [`Cancelled`] and never exposes a
+//! partial outcome.
+//!
 //! ```
 //! use webqa_dsl::{PageTree, QueryContext};
 //! use webqa_synth::{synthesize, Example, SynthConfig};
@@ -69,6 +76,7 @@
 #![warn(missing_docs)]
 
 mod branch;
+mod cancel;
 mod config;
 mod example;
 mod extractors;
@@ -79,8 +87,9 @@ mod scorer;
 mod stats;
 mod top;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use config::SynthConfig;
 pub use example::{counts_of_outputs, extractor_outputs, f1_of_outputs, program_counts, Example};
 pub use scorer::PageFeatures;
 pub use stats::SynthStats;
-pub use top::{synthesize, synthesize_with_features, SynthesisOutcome};
+pub use top::{synthesize, synthesize_cancellable, synthesize_with_features, SynthesisOutcome};

@@ -29,6 +29,7 @@ use std::sync::{Arc, Mutex};
 use webqa_dsl::{EntityKind, NlpPred, NodeFilter, QueryContext};
 use webqa_metrics::{BagOverlap, Counts, IdBag, IdVec, TokenInterner};
 
+use crate::cancel::CancelToken;
 use crate::config::SynthConfig;
 use crate::example::Example;
 use crate::pool::{nlp_preds, node_filters};
@@ -243,6 +244,9 @@ pub(crate) struct TaskCtx<'a> {
     pub guard_preds: Vec<NlpPred>,
     /// The extractor production pool, in `extend_extractor` order.
     pub steps: Vec<StepOp>,
+    /// Cooperative cancellation handle, checkpointed once per guard step
+    /// by the branch synthesizer (shared by the branch-parallel workers).
+    pub cancel: CancelToken,
     /// Optimized mode: one feature/mask table per example, either
     /// borrowed from the caller (the engine's cross-request store) or
     /// computed here. Empty in reference mode.
@@ -275,6 +279,20 @@ impl<'a> TaskCtx<'a> {
         ctx: &'a QueryContext,
         examples: &'a [Example],
         features: &[Arc<PageFeatures>],
+    ) -> Self {
+        Self::with_features_cancel(cfg, ctx, examples, features, CancelToken::never())
+    }
+
+    /// [`TaskCtx::with_features`] carrying a caller-supplied
+    /// [`CancelToken`]. The branch synthesizer checkpoints the token once
+    /// per guard step; a never-token makes those checkpoints free-ish
+    /// atomic increments.
+    pub fn with_features_cancel(
+        cfg: &'a SynthConfig,
+        ctx: &'a QueryContext,
+        examples: &'a [Example],
+        features: &[Arc<PageFeatures>],
+        cancel: CancelToken,
     ) -> Self {
         let filters = node_filters(cfg, ctx);
         let preds = nlp_preds(cfg, ctx);
@@ -321,6 +339,7 @@ impl<'a> TaskCtx<'a> {
             filters,
             guard_preds,
             steps,
+            cancel,
             tables,
             step_results,
         }

@@ -18,6 +18,7 @@ use webqa_dsl::{Branch, Extractor, Guard, Program, QueryContext};
 use webqa_metrics::Counts;
 
 use crate::branch::{synthesize_branch, BranchSynthesis};
+use crate::cancel::{CancelToken, Cancelled};
 use crate::config::SynthConfig;
 use crate::example::Example;
 use crate::extractors::F1_EPS;
@@ -68,19 +69,44 @@ pub fn synthesize_with_features(
     examples: &[Example],
     features: &[Arc<PageFeatures>],
 ) -> SynthesisOutcome {
+    synthesize_cancellable(cfg, ctx, examples, features, &CancelToken::never())
+        .expect("a never-token cannot cancel")
+}
+
+/// [`synthesize_with_features`] under a cooperative [`CancelToken`].
+///
+/// The token is checkpointed once on entry and once per guard step of
+/// every branch problem (including the branch-parallel workers), so a
+/// trip — explicit cancel, deadline, or step budget — aborts the search
+/// within one guard step per in-flight worker. A cancelled search
+/// returns [`Err(Cancelled)`](Cancelled) and exposes **no** partial
+/// outcome; a search that completes is byte-identical to one run without
+/// a token (the token's counters are separate from [`SynthStats`]).
+pub fn synthesize_cancellable(
+    cfg: &SynthConfig,
+    ctx: &QueryContext,
+    examples: &[Example],
+    features: &[Arc<PageFeatures>],
+    cancel: &CancelToken,
+) -> Result<SynthesisOutcome, Cancelled> {
+    // Entry checkpoint: a pre-cancelled token aborts before the pools,
+    // tables, or any branch problem are even built.
+    if cancel.checkpoint() {
+        return Err(Cancelled);
+    }
     let mut stats = SynthStats::default();
     let n = examples.len();
     if n == 0 {
-        return SynthesisOutcome {
+        return Ok(SynthesisOutcome {
             programs: Vec::new(),
             f1: 0.0,
             counts: Counts::default(),
             total_optimal: 0,
             stats,
-        };
+        });
     }
 
-    let task = TaskCtx::with_features(cfg, ctx, examples, features);
+    let task = TaskCtx::with_features_cancel(cfg, ctx, examples, features, cancel.clone());
     let partitions = ordered_partitions(n, cfg.max_blocks);
 
     // Branch problems are memoized by (positive set, negative set)
@@ -129,19 +155,25 @@ pub fn synthesize_with_features(
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&key) = keys.get(i) else { break };
+                    // A tripped token drains the queue without solving:
+                    // the whole search is abandoned below.
+                    if cancel.is_cancelled() {
+                        break;
+                    }
                     let result = solve(key);
                     slots.lock().expect("no poisoned workers")[i] = Some(result);
                 });
             }
         });
-        // Deterministic merge: stats accumulate in key order.
+        // Deterministic merge: stats accumulate in key order. Unclaimed
+        // slots only exist after a cancel, which discards everything.
         for (i, slot) in slots
             .into_inner()
             .expect("workers joined")
             .into_iter()
             .enumerate()
         {
-            let (r, st) = slot.expect("every index was claimed");
+            let Some((r, st)) = slot else { continue };
             stats += st;
             solved[i] = Some(r.map(Arc::new));
         }
@@ -156,6 +188,9 @@ pub fn synthesize_with_features(
     let mut touched = vec![false; keys.len()];
 
     for partition in &partitions {
+        if cancel.is_cancelled() {
+            return Err(Cancelled);
+        }
         let mut blocks: Vec<Arc<BranchSynthesis>> = Vec::new();
         let mut ok = true;
         for (i, block) in partition.iter().enumerate() {
@@ -202,24 +237,31 @@ pub fn synthesize_with_features(
         }
     }
 
+    // A trip during the last partition's solve leaves no later loop head
+    // to notice it — re-check before exposing any outcome built from
+    // aborted branch problems.
+    if cancel.is_cancelled() {
+        return Err(Cancelled);
+    }
+
     if best_f1 < 0.0 {
-        return SynthesisOutcome {
+        return Ok(SynthesisOutcome {
             programs: Vec::new(),
             f1: 0.0,
             counts: Counts::default(),
             total_optimal: 0,
             stats,
-        };
+        });
     }
 
     let (programs, total) = materialize(&best_partitions, cfg.max_programs, best_f1);
-    SynthesisOutcome {
+    Ok(SynthesisOutcome {
         programs,
         f1: best_f1,
         counts: best_counts,
         total_optimal: total,
         stats,
-    }
+    })
 }
 
 /// The micro-averaged F₁ of a multi-branch program is a function of the

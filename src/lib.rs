@@ -73,9 +73,22 @@
 //! * **Serving** (`webqa_server`) keeps one engine — and its caches —
 //!   resident across requests: a line-delimited JSON protocol over TCP
 //!   and Unix sockets, hand-rolled on `std::net` (see the crate docs for
-//!   the wire spec). `tests/serve_api.rs` proves serving observationally
-//!   invisible: concurrent duplicated request streams answer
-//!   byte-identically to a cold, never-cached engine.
+//!   the wire spec). Execution is a **bounded worker pool** behind a
+//!   bounded admission queue: engine concurrency is `workers`, never
+//!   "number of open sockets", and when the backlog cap is hit excess
+//!   requests shed immediately with a typed `overloaded` error.
+//!   Requests pipeline on one connection (responses return in
+//!   completion order, correlated by the echoed `id`), `run_batch`
+//!   ships many tasks in one frame, and a per-request `deadline_ms`
+//!   budget — queue wait included — trips a cooperative cancel token
+//!   inside the synthesis enumerator, returning a typed
+//!   `deadline-exceeded` without poisoning any cache.
+//!   `tests/serve_api.rs` proves serving observationally invisible
+//!   (concurrent duplicated request streams answer byte-identically to
+//!   a cold, never-cached engine, and fuzzed pipelined interleavings
+//!   never wedge); `tests/serve_overload.rs` proves the bounds (prompt
+//!   typed shedding at saturation, deadlines covering synthesis and
+//!   queue wait, cancellation isolated from pipelined neighbors).
 //! * **Apps** (`webqa_cli`, `webqa_bench`) stay thin: argument parsing and
 //!   report formatting only, every decision delegated to the libraries
 //!   (`webqa-cli serve` / `client` front the daemon).

@@ -168,6 +168,7 @@ fn concurrent_duplicated_streams_are_byte_identical_to_a_cold_engine() {
     let listening = spawn_server(ServeOptions {
         engine: engine_config(),
         max_frame_bytes: 1 << 20,
+        ..ServeOptions::default()
     });
     let addr = listening.tcp_addr().expect("tcp endpoint");
 
@@ -246,6 +247,7 @@ fn warm_repeat_is_a_cache_hit_with_an_identical_payload() {
     let listening = spawn_server(ServeOptions {
         engine: engine_config(),
         max_frame_bytes: 1 << 20,
+        ..ServeOptions::default()
     });
     let addr = listening.tcp_addr().expect("tcp endpoint");
     let mut client = Client::connect_tcp(addr).expect("connect");
@@ -293,7 +295,7 @@ fn malformed_frames_get_typed_errors_and_the_connection_survives() {
         .expect("response");
     assert_eq!(
         bad,
-        r#"{"id":9,"err":{"kind":"unknown-op","message":"unknown op \"launch-missiles\" (expected ping|intern|run|stats)"}}"#
+        r#"{"id":9,"err":{"kind":"unknown-op","message":"unknown op \"launch-missiles\" (expected ping|intern|run|run_batch|stats)"}}"#
     );
     let bad = client
         .request_line(r#"{"op":"run","question":7}"#)
@@ -320,6 +322,7 @@ fn oversized_frames_are_refused_and_only_that_connection_closes() {
     let listening = spawn_server(ServeOptions {
         engine: Config::default(),
         max_frame_bytes: 256,
+        ..ServeOptions::default()
     });
     let addr = listening.tcp_addr().expect("tcp endpoint");
     let mut client = Client::connect_tcp(addr).expect("connect");
@@ -412,4 +415,124 @@ fn unix_socket_round_trip() {
 
     listening.shutdown();
     assert!(!path.exists(), "socket file removed on shutdown");
+}
+
+/// Protocol fuzz over pipelined connections: random interleavings of
+/// valid ops, `run_batch`, deadline-carrying runs, malformed JSON, and
+/// mid-frame disconnects. Two invariants, whatever the interleaving:
+/// every frame gets exactly one response whose `id` echoes the request
+/// (ids compare as multisets — pipelined responses arrive in completion
+/// order, not request order), and the server never wedges (a fresh
+/// connection always answers a ping afterwards).
+mod protocol_fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The fields of a small, fast `run` request (inline pages, so the
+    /// server is self-contained per case).
+    const TINY_RUN_FIELDS: &str = r#""question":"Who are the PhD students?","keywords":["Students"],"labeled":[{"html":"<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>","gold":["Jane Doe"]}],"targets":[{"html":"<h1>B</h1><h2>Advisees</h2><ul><li>Wei Chen</li></ul>"}]"#;
+
+    /// Renders frame kind `kind` with request id `id`, returning the
+    /// line and the id the response must echo (`None` = JSON null, for
+    /// frames too broken to carry one).
+    fn frame(kind: u8, id: u64) -> (String, Option<u64>) {
+        match kind {
+            0 => (format!(r#"{{"id":{id},"op":"ping"}}"#), Some(id)),
+            1 => (
+                format!(
+                    r#"{{"id":{id},"op":"intern","html":"<h1>P{}</h1><p>x</p>"}}"#,
+                    id % 5
+                ),
+                Some(id),
+            ),
+            2 => (format!(r#"{{"id":{id},"op":"stats"}}"#), Some(id)),
+            3 => (
+                format!(r#"{{"id":{id},"op":"run",{TINY_RUN_FIELDS}}}"#),
+                Some(id),
+            ),
+            4 => (
+                format!(
+                    r#"{{"id":{id},"op":"run_batch","tasks":[{{{TINY_RUN_FIELDS}}},{{{TINY_RUN_FIELDS}}}]}}"#
+                ),
+                Some(id),
+            ),
+            // An already-expired deadline: typed deadline-exceeded, id
+            // still echoed, engine untouched.
+            5 => (
+                format!(r#"{{"id":{id},"op":"run","deadline_ms":0,{TINY_RUN_FIELDS}}}"#),
+                Some(id),
+            ),
+            // Malformed JSON: bad-frame with a null id.
+            6 => (format!("{{not json {id}"), None),
+            // Well-formed but invalid request: typed error, id echoed.
+            _ => (
+                format!(r#"{{"id":{id},"op":"run","question":7}}"#),
+                Some(id),
+            ),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn pipelined_interleavings_echo_ids_and_never_wedge(
+            script_a in proptest::collection::vec(0u8..8, 1..12),
+            script_b in proptest::collection::vec(0u8..8, 1..12),
+        ) {
+            let listening = spawn_server(ServeOptions {
+                engine: engine_config(),
+                workers: 2,
+                backlog: 4,
+                ..ServeOptions::default()
+            });
+            let addr = listening.tcp_addr().expect("tcp endpoint");
+
+            // A mid-frame disconnect racing the scripted connections: a
+            // complete frame, then a torn-off partial one.
+            {
+                let mut half = Client::connect_tcp(addr).expect("connect");
+                half.send_raw(b"{\"op\":\"ping\"}\n{\"op\":\"run\",\"question\":\"trunc")
+                    .expect("partial write");
+            }
+
+            let next_id = AtomicU64::new(1);
+            std::thread::scope(|scope| {
+                for script in [&script_a, &script_b] {
+                    let next_id = &next_id;
+                    scope.spawn(move || {
+                        let mut client = Client::connect_tcp(addr).expect("connect");
+                        let mut want: Vec<Option<u64>> = Vec::new();
+                        // Pipeline the whole script without reading.
+                        for &kind in script {
+                            let id = next_id.fetch_add(1, Ordering::Relaxed);
+                            let (line, echo) = frame(kind, id);
+                            client.send_line(&line).expect("send");
+                            want.push(echo);
+                        }
+                        // Exactly one response per frame, ids matching as
+                        // a multiset (completion order is not request
+                        // order under pipelining).
+                        let mut got: Vec<Option<u64>> = (0..script.len())
+                            .map(|_| {
+                                let resp = client.read_response_line().expect("response");
+                                let v: serde_json::Value =
+                                    serde_json::from_str(&resp).expect("valid envelope");
+                                v["id"].as_u64()
+                            })
+                            .collect();
+                        got.sort_unstable();
+                        want.sort_unstable();
+                        assert_eq!(got, want, "response ids must echo request ids");
+                    });
+                }
+            });
+
+            // The server survived the whole interleaving.
+            let mut probe = Client::connect_tcp(addr).expect("connect after fuzz");
+            let pong = probe.request_line(r#"{"op":"ping"}"#).expect("ping");
+            prop_assert!(pong.contains("pong"), "{}", pong);
+            listening.shutdown();
+        }
+    }
 }
