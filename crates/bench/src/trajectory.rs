@@ -162,6 +162,46 @@ pub struct LatencyRecord {
     pub p999_ms: f64,
 }
 
+/// One shard count's measurement within a [`FleetRecord`] sweep.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FleetEntry {
+    /// Engine shards per daemon for this sweep point.
+    pub shards: usize,
+    /// Total `run` requests served across the fleet.
+    pub requests: usize,
+    /// Wall-clock seconds from first request sent to last response read.
+    pub wall_s: f64,
+    /// `requests / wall_s`.
+    pub requests_per_sec: f64,
+}
+
+/// One recorded fleet-scaling run (`webqa-cli bench-fleet` →
+/// `BENCH_serve.json`): the same duplicated task stream served at each
+/// shard count in a sweep, so the trajectory shows how requests/sec
+/// moves as the per-daemon engine is split into digest-routed shards.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FleetRecord {
+    /// Record shape tag, always `"serve_fleet"` (distinguishes these
+    /// records from the other shapes in the shared `BENCH_serve.json`).
+    pub bench: String,
+    /// Seconds since the Unix epoch when the run finished.
+    pub timestamp_unix: u64,
+    /// Daemons in the fleet (clients round-robin across them).
+    pub daemons: usize,
+    /// Concurrent client connections per daemon.
+    pub clients: usize,
+    /// Times each client replayed its full task stream.
+    pub repeats: usize,
+    /// `WEBQA_PAGES`-style corpus knob (pages per domain).
+    pub pages: usize,
+    /// Labeled pages per task.
+    pub train: usize,
+    /// Corpus seed.
+    pub seed: u64,
+    /// One entry per shard count swept, in sweep order.
+    pub entries: Vec<FleetEntry>,
+}
+
 /// Default synthesis-trajectory path: `BENCH_synth.json` at the
 /// workspace root.
 pub fn default_path() -> std::path::PathBuf {

@@ -14,8 +14,11 @@
 //! webqa-cli eval [--tasks A,B,C] [--domain D] [--pages N] [--train N] [--seed S] [--jobs N]
 //! webqa-cli run --program SRC --question Q --keywords A,B (--html SRC | --html-file PATH)
 //! webqa-cli check --program SRC [--question Q] [--keywords A,B]
-//! webqa-cli serve (--tcp HOST:PORT | --unix PATH) [--max-requests N]
-//! webqa-cli client (--tcp HOST:PORT | --unix PATH) (--request REQ | --op ping|stats)
+//! webqa-cli serve (--tcp HOST:PORT | --unix PATH | --http HOST:PORT) [--shards N]
+//!                 [--max-requests N]
+//! webqa-cli client (--tcp HOST:PORT | --unix PATH | --http HOST:PORT)
+//!                  (--request REQ | --op ping|stats)
+//! webqa-cli bench-fleet [--daemons K] [--shards 1,2,4] [--clients N] [--repeats N] [--record]
 //! webqa-cli help
 //! ```
 //!
@@ -66,7 +69,15 @@ impl From<ArgError> for CliError {
 }
 
 /// Switch-style options across all commands (take no value).
-const SWITCHES: &[&str] = &["paper", "raw", "baselines", "normalize", "json", "lenient"];
+const SWITCHES: &[&str] = &[
+    "paper",
+    "raw",
+    "baselines",
+    "normalize",
+    "json",
+    "lenient",
+    "record",
+];
 
 /// Parses and runs one command line, returning the text to print.
 ///
@@ -91,6 +102,7 @@ pub fn dispatch<S: AsRef<str>>(raw: &[S]) -> Result<String, CliError> {
         "export" => commands::export(&parsed),
         "serve" => commands::serve(&parsed),
         "client" => commands::client(&parsed),
+        "bench-fleet" => commands::bench_fleet(&parsed),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -110,8 +122,17 @@ mod tests {
     fn help_lists_all_commands() {
         let out = dispatch(&["help"]).unwrap();
         for c in [
-            "tasks", "corpus", "synth", "eval", "run", "check", "stats", "export", "serve",
+            "tasks",
+            "corpus",
+            "synth",
+            "eval",
+            "run",
+            "check",
+            "stats",
+            "export",
+            "serve",
             "client",
+            "bench-fleet",
         ] {
             assert!(out.contains(c), "help is missing {c}");
         }

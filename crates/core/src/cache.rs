@@ -13,8 +13,13 @@
 //!   [`FeatureStore`], keyed by the page's [`PageId`] (which embeds the
 //!   content digest) plus a pool digest of the context and config;
 //! * a [`RunResult`] is determined by `(task, engine config)` — cached in
-//!   the [`ResultCache`], keyed by the full task (exact, not a digest:
-//!   a hash collision must not serve the wrong programs).
+//!   the [`ResultCache`], keyed by the task's canonical form (exact, not
+//!   a digest: a hash collision must not serve the wrong programs). The
+//!   canonical form ([`normalize_task`]) folds together only input
+//!   reorderings the pipeline is provably invariant to — sorted/deduped
+//!   keywords, sorted gold per example — so semantically equivalent
+//!   requests share one entry while example and target order (which the
+//!   pipeline *does* observe) stay significant.
 //!
 //! Because both values are pure, a cache hit is observationally
 //! invisible: reuse, eviction, and re-insertion change latency, never
@@ -93,6 +98,22 @@ pub struct CacheStats {
     pub result_misses: u64,
     /// Completed runs evicted (LRU, over capacity).
     pub result_evictions: u64,
+}
+
+impl CacheStats {
+    /// Field-wise sum of two snapshots — how a front end holding several
+    /// independent engines (e.g. `webqa_server`'s per-shard engines)
+    /// aggregates their counters into one fleet-wide view.
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            feature_hits: self.feature_hits + other.feature_hits,
+            feature_misses: self.feature_misses + other.feature_misses,
+            feature_evictions: self.feature_evictions + other.feature_evictions,
+            result_hits: self.result_hits + other.result_hits,
+            result_misses: self.result_misses + other.result_misses,
+            result_evictions: self.result_evictions + other.result_evictions,
+        }
+    }
 }
 
 /// Number of independently locked shards in the [`FeatureStore`]:
@@ -192,8 +213,9 @@ impl FeatureStore {
 
 #[derive(Debug)]
 struct ResultEntry {
-    /// The exact task this entry was computed for — verified on lookup,
-    /// so a digest collision can never serve another task's programs.
+    /// The canonical form ([`normalize_task`]) of the task this entry
+    /// was computed for — verified on lookup, so a digest collision can
+    /// never serve another task's programs.
     task: Task,
     result: RunResult,
     stamp: u64,
@@ -226,6 +248,32 @@ fn result_key(cfg: u64, task: &Task) -> u64 {
     h.finish()
 }
 
+/// The canonical form of a task for result-cache keying, folding
+/// together exactly the input reorderings the pipeline is invariant to:
+///
+/// * **keywords** are sorted and deduplicated — keyword evidence is
+///   accumulated by order-insensitive folds (max-similarity per node),
+///   so permuting or repeating keywords never changes a result;
+/// * **gold strings within one labeled example** are sorted — gold sets
+///   are compared as bags by the F₁ kernels, never positionally.
+///
+/// The *order of labeled examples* and the *order of targets* are kept
+/// exactly as given: example order steers enumeration tie-breaks (a
+/// reordering can legitimately select a different optimal program), and
+/// answers align positionally with targets. Normalizing either would
+/// break the byte-identical-to-a-cold-engine contract; the invariances
+/// above are pinned (against a never-cached reference engine) by
+/// `crates/core/tests/cache_semantics.rs`.
+fn normalize_task(task: &Task) -> Task {
+    let mut t = task.clone();
+    t.keywords.sort();
+    t.keywords.dedup();
+    for (_, gold) in &mut t.labeled {
+        gold.sort();
+    }
+    t
+}
+
 impl ResultCache {
     fn new(capacity: usize) -> Self {
         ResultCache {
@@ -240,16 +288,20 @@ impl ResultCache {
     }
 
     /// A cached run for the task under config digest `cfg`, if resident.
+    /// Lookup is by the task's canonical form ([`normalize_task`]), so a
+    /// request that merely reorders keywords or gold strings hits the
+    /// entry its equivalent predecessor filled.
     pub fn get(&self, cfg: u64, task: &Task) -> Option<RunResult> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
+        let task = normalize_task(task);
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut buckets = self.buckets.lock().expect("result cache");
         let found = buckets
-            .get_mut(&result_key(cfg, task))
-            .and_then(|bucket| bucket.iter_mut().find(|e| e.task == *task))
+            .get_mut(&result_key(cfg, &task))
+            .and_then(|bucket| bucket.iter_mut().find(|e| e.task == task))
             .map(|e| {
                 e.stamp = stamp;
                 e.result.clone()
@@ -266,18 +318,20 @@ impl ResultCache {
         }
     }
 
-    /// Inserts a completed run, evicting the least-recently-used entry
-    /// when over capacity.
+    /// Inserts a completed run under the task's canonical form
+    /// ([`normalize_task`]), evicting the least-recently-used entry when
+    /// over capacity.
     pub fn insert(&self, cfg: u64, task: &Task, result: RunResult) {
         if self.capacity == 0 {
             return;
         }
+        let task = normalize_task(task);
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let key = result_key(cfg, task);
+        let key = result_key(cfg, &task);
         let mut buckets = self.buckets.lock().expect("result cache");
         let resident = buckets
             .get(&key)
-            .is_some_and(|b| b.iter().any(|e| e.task == *task));
+            .is_some_and(|b| b.iter().any(|e| e.task == task));
         if !resident && self.len.load(Ordering::Relaxed) as usize >= self.capacity {
             // Evict the globally least-recently-used entry.
             if let Some(victim_key) = buckets
@@ -302,14 +356,14 @@ impl ResultCache {
             }
         }
         let bucket = buckets.entry(key).or_default();
-        match bucket.iter_mut().find(|e| e.task == *task) {
+        match bucket.iter_mut().find(|e| e.task == task) {
             Some(existing) => {
                 existing.result = result;
                 existing.stamp = stamp;
             }
             None => {
                 bucket.push(ResultEntry {
-                    task: task.clone(),
+                    task,
                     result,
                     stamp,
                 });

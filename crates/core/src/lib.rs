@@ -63,7 +63,7 @@ pub use engine::{Engine, Prepared, Selected, Synthesized, Task};
 pub use error::Error;
 pub use labeling::{suggest_labels, MAX_LABEL_REQUESTS};
 pub use pipeline::{score_answers, Config, Modality, RunResult, Selection, WebQa};
-pub use store::{PageId, PageStore};
+pub use store::{content_digest, PageId, PageStore};
 
 // Re-export the workspace vocabulary that appears in this crate's API.
 pub use webqa_dsl::{HtmlError, PageTree, Program, QueryContext};

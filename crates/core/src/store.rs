@@ -51,6 +51,16 @@ impl PageId {
         self.index as usize
     }
 
+    /// The content digest of the page this id names — the same value
+    /// [`content_digest`] computes for the page's tree. A pure function
+    /// of page *content*: two ids for structurally identical pages carry
+    /// equal digests even across unrelated stores, which is what lets a
+    /// front end (e.g. `webqa_server`'s shard router) partition pages
+    /// deterministically without consulting any store.
+    pub fn digest(self) -> u64 {
+        self.digest
+    }
+
     /// An id no store ever issued (token `0`), for exercising the
     /// foreign-handle error paths.
     #[cfg(test)]
@@ -131,7 +141,7 @@ impl PageStore {
     /// Interns a tree that is already behind an `Arc` (shares the handle
     /// instead of re-wrapping when the tree is new to the store).
     pub fn insert_shared(&mut self, tree: Arc<PageTree>) -> PageId {
-        let digest = digest_of(&tree);
+        let digest = content_digest(&tree);
         let bucket = self.by_digest.entry(digest).or_default();
         for &id in bucket.iter() {
             if self.pages[id.index()] == tree {
@@ -184,11 +194,27 @@ impl PageStore {
             digest,
         })
     }
+
+    /// The handle of an already-interned tree, without inserting — the
+    /// read-only half of [`PageStore::insert_shared`]'s dedup. Lets a
+    /// caller that only holds a shared reference (e.g. a server resolving
+    /// a request under a read lock) discover whether a page is resident
+    /// before committing to a write lock.
+    pub fn lookup(&self, tree: &PageTree) -> Option<PageId> {
+        let bucket = self.by_digest.get(&content_digest(tree))?;
+        bucket
+            .iter()
+            .copied()
+            .find(|&id| *self.pages[id.index()] == *tree)
+    }
 }
 
-/// Content digest of a tree (not a stable format — in-process interning
-/// only).
-fn digest_of(tree: &PageTree) -> u64 {
+/// Content digest of a page tree — the value embedded in every
+/// [`PageId`] and the key of the store's content-addressed dedup. A pure
+/// function of tree structure: structurally identical pages digest
+/// equally whatever bytes they were parsed from. Not a stable on-disk
+/// format — in-process addressing (interning, shard routing) only.
+pub fn content_digest(tree: &PageTree) -> u64 {
     let mut h = DefaultHasher::new();
     tree.hash(&mut h);
     h.finish()
@@ -284,6 +310,19 @@ mod tests {
             store.get(PageId::forged(3)).unwrap_err(),
             Error::UnknownPage(PageId::forged(3))
         );
+    }
+
+    #[test]
+    fn lookup_finds_resident_pages_without_inserting() {
+        let mut store = PageStore::new();
+        let id = store.insert_html("<h1>A</h1>").unwrap();
+        let same = PageTree::parse("<h1>A</h1>");
+        let other = PageTree::parse("<h1>B</h1>");
+        assert_eq!(store.lookup(&same), Some(id));
+        assert_eq!(store.lookup(&other), None);
+        assert_eq!(store.len(), 1, "lookup never inserts");
+        // The digest a lookup routes by is the one the id carries.
+        assert_eq!(id.digest(), content_digest(&same));
     }
 
     #[test]

@@ -126,6 +126,30 @@ fn assert_sequence_equal(cached: &Engine, reference: &Engine, tasks: &[Task], se
     }
 }
 
+/// A semantically equivalent spelling of `task`: keywords rotated by
+/// `salt` (and, for odd salts, the lead keyword repeated), gold strings
+/// of every labeled example rotated by `salt`. These are exactly the
+/// reorderings the result LRU's canonical task key folds together;
+/// example and target order are deliberately left untouched (the
+/// pipeline observes both).
+fn respelled(task: &Task, salt: usize) -> Task {
+    let mut t = task.clone();
+    if !t.keywords.is_empty() {
+        let by = salt % t.keywords.len();
+        t.keywords.rotate_left(by);
+        if salt % 2 == 1 {
+            t.keywords.push(t.keywords[0].clone());
+        }
+    }
+    for (_, gold) in &mut t.labeled {
+        if !gold.is_empty() {
+            let by = salt % gold.len();
+            gold.rotate_left(by);
+        }
+    }
+    t
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -146,6 +170,29 @@ proptest! {
         // The reference engine must really be the never-cached path.
         prop_assert_eq!(reference.cache_stats().feature_hits, 0);
         prop_assert_eq!(reference.cache_stats().result_hits, 0);
+    }
+
+    /// Key normalization is observationally invisible: a cached engine
+    /// fed arbitrarily *respelled* requests (rotated/duplicated
+    /// keywords, rotated gold) — where a respelled repeat may be served
+    /// from an entry its differently-spelled predecessor filled — still
+    /// equals the never-cached reference run of each exact request.
+    fn normalized_keys_equal_never_cached_reference(
+        seq in proptest::collection::vec((0usize..7, 0usize..5), 1..12),
+    ) {
+        let mut store = PageStore::new();
+        let tasks = task_pool(&mut store);
+        let cached = engine_with(
+            CacheConfig { feature_capacity: 64, result_capacity: 8 },
+            store.clone(),
+        );
+        let reference = engine_with(CacheConfig::disabled(), store);
+        let variants: Vec<Task> = seq
+            .iter()
+            .map(|&(i, salt)| respelled(&tasks[i], salt))
+            .collect();
+        let steps: Vec<usize> = (0..variants.len()).collect();
+        assert_sequence_equal(&cached, &reference, &variants, &steps);
     }
 }
 
@@ -202,4 +249,82 @@ fn fixed_sequence_exercises_hits_evictions_and_reinsertions() {
         "10 keys into 8 single-entry shards must evict: {stats:?}"
     );
     assert!(stats.result_evictions > 0, "no result evictions: {stats:?}");
+}
+
+/// The soundness basis for key normalization, pinned at the engine level
+/// with caches disabled: the pipeline itself is invariant to keyword
+/// order, keyword duplication, and gold order within an example — while
+/// labeled-example order is *observed* (a reordering may legitimately
+/// change the selected program), which is why the canonical key leaves
+/// it alone.
+#[test]
+fn pipeline_is_invariant_to_keyword_and_gold_order_only() {
+    let mut store = PageStore::new();
+    let tasks = task_pool(&mut store);
+    let engine = engine_with(CacheConfig::disabled(), store);
+
+    for (i, task) in tasks.iter().enumerate() {
+        let base = engine.run(task).expect("store-issued ids resolve");
+        for salt in 1..4 {
+            let variant = respelled(task, salt);
+            let got = engine.run(&variant).expect("store-issued ids resolve");
+            assert_eq!(base.program, got.program, "program, task {i} salt {salt}");
+            assert_eq!(base.answers, got.answers, "answers, task {i} salt {salt}");
+            assert_eq!(
+                base.synthesis.stats, got.synthesis.stats,
+                "stats, task {i} salt {salt}"
+            );
+        }
+    }
+}
+
+/// Reordered-input requests are *actual* cache hits (not just equal
+/// bytes): the respelled repeat is served from the entry its
+/// differently-spelled predecessor filled, and a reordering the
+/// pipeline observes (labeled-example order) correctly misses.
+#[test]
+fn reordered_requests_hit_the_result_cache() {
+    let mut store = PageStore::new();
+    let tasks = task_pool(&mut store);
+    let reference = engine_with(CacheConfig::disabled(), store.clone());
+    let cached = engine_with(
+        CacheConfig {
+            feature_capacity: 64,
+            result_capacity: 8,
+        },
+        store,
+    );
+
+    // Cold fill, then three equivalent respellings: every one a hit,
+    // every one byte-equal to the reference run of its exact spelling.
+    cached.run(&tasks[0]).expect("store-issued ids resolve");
+    assert_eq!(cached.cache_stats().result_hits, 0);
+    for salt in 1..4 {
+        let variant = respelled(&tasks[0], salt);
+        let got = cached.run(&variant).expect("store-issued ids resolve");
+        let want = reference.run(&variant).expect("store-issued ids resolve");
+        assert_eq!(got.program, want.program, "salt {salt}");
+        assert_eq!(got.answers, want.answers, "salt {salt}");
+        assert_eq!(got.synthesis.stats, want.synthesis.stats, "salt {salt}");
+    }
+    let stats = cached.cache_stats();
+    assert_eq!(
+        stats.result_hits, 3,
+        "every respelled repeat must hit: {stats:?}"
+    );
+    assert_eq!(stats.result_misses, 1, "one cold fill only: {stats:?}");
+
+    // Flipping labeled-example order is NOT equivalent; it must miss
+    // (and still match the reference for that exact ordering).
+    let mut flipped = tasks[0].clone();
+    flipped.labeled.reverse();
+    let got = cached.run(&flipped).expect("store-issued ids resolve");
+    let want = reference.run(&flipped).expect("store-issued ids resolve");
+    assert_eq!(got.program, want.program);
+    assert_eq!(got.answers, want.answers);
+    let stats = cached.cache_stats();
+    assert_eq!(
+        stats.result_misses, 2,
+        "example order is significant; the flip must miss: {stats:?}"
+    );
 }

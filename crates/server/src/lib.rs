@@ -1,13 +1,16 @@
 //! # webqa-server
 //!
-//! The resident serving layer: a daemon owning one long-lived
-//! [`webqa::Engine`] — and therefore its cross-request caches (the
-//! feature store and the completed-run LRU, `webqa::CacheStats`) — and
-//! speaking a line-delimited JSON protocol over TCP and/or Unix domain
-//! sockets. Every transport primitive is hand-rolled on `std::net` /
-//! `std::os::unix::net` (this build environment has no crates.io access,
-//! so no tokio/hyper/axum — and none is needed: the protocol is
-//! newline-framed request/response over blocking sockets).
+//! The resident serving layer: a daemon owning long-lived
+//! [`webqa::Engine`] state — and therefore its cross-request caches
+//! (the feature store and the completed-run LRU, `webqa::CacheStats`)
+//! — split into digest-routed **shards** and speaking two wire
+//! surfaces: a line-delimited JSON protocol over TCP and/or Unix
+//! domain sockets, and a minimal HTTP/1.1 facade mapping the same
+//! operations onto `POST`/`GET` routes. Every transport primitive is
+//! hand-rolled on `std::net` / `std::os::unix::net` (this build
+//! environment has no crates.io access, so no tokio/hyper/axum — and
+//! none is needed: both protocols are request/response over blocking
+//! sockets).
 //!
 //! # Execution model: bounded worker pool
 //!
@@ -30,10 +33,33 @@
 //!   aborts promptly with a typed `deadline-exceeded` error and caches
 //!   nothing — engine state is never poisoned by a cancelled run.
 //!
-//! The engine sits behind one `RwLock`: heavy ops share a read lock
-//! (synthesis runs concurrently across workers), and page interning
-//! takes a brief write lock. The page store is append-only, so handles
-//! issued under the write lock stay valid forever after.
+//! # Sharding: N engines routed by content digest
+//!
+//! The engine is split into [`ServeOptions::shards`] independent shards
+//! (default 1; `0` = one per core). Each shard owns its *own* engine —
+//! page store, feature store, result LRU — behind its own `RwLock`,
+//! plus its own admission queue and worker slice (the global
+//! `workers`/`backlog` budgets are split as evenly as possible, floored
+//! at one per shard). A page belongs to exactly one shard, chosen by a
+//! pure function of its content digest (`digest % shards`), so the same
+//! page lands on the same shard on every daemon of a fleet without
+//! coordination — and interning on one shard never takes another
+//! shard's write lock. Within a shard, heavy ops share the read lock
+//! (synthesis runs concurrently across that shard's workers) and
+//! interning takes a brief write lock; stores are append-only, so
+//! handles stay valid forever after.
+//!
+//! Wire handles interleave the shard id into the low bits
+//! (`handle = local_index * shards + shard`), which keeps handles dense
+//! globally and makes a 1-shard server bit-compatible with the
+//! pre-shard protocol (`handle == local_index`). A task executes on its
+//! **home shard** — the owner of its first page reference — and any
+//! page it references from another shard is pulled in by `Arc`-sharing
+//! the parsed tree (one brief write lock on the home shard,
+//! content-addressed dedup making repeats free). Responses carry no
+//! page handles, so sharding is observationally invisible:
+//! `tests/serve_api.rs` pins 4-shard responses byte-identical to
+//! 1-shard and to the cold reference.
 //!
 //! **Semantics guarantee.** Serving is observationally invisible: the
 //! response to a `run` request is byte-identical to what a cold,
@@ -158,15 +184,57 @@
 //! → {"op":"stats"}
 //! ← {"id":null,"ok":{
 //!      "requests": 42, "errors": 1, "shed": 0, "deadline_exceeded": 0,
-//!      "workers": 8, "backlog": 64, "queue_depth": 0,
+//!      "workers": 8, "backlog": 64, "queue_depth": 0, "inflight": 0,
 //!      "pages": 7, "uptime_ms": 12345,
 //!      "cache": {"feature_hits":30,"feature_misses":4,"feature_evictions":0,
-//!                "result_hits":11,"result_misses":9,"result_evictions":0}}}
+//!                "result_hits":11,"result_misses":9,"result_evictions":0},
+//!      "shards": [{"shard":0,"workers":8,"backlog":64,"queue_depth":0,
+//!                  "inflight":0,"pages":7,"cache":{...}}, ...]}}
 //! ```
 //!
 //! `shed` counts requests refused by the full admission queue,
 //! `deadline_exceeded` counts runs aborted by an expired latency
-//! budget; both are also included in `errors`.
+//! budget; both are also included in `errors`. The `shards` array
+//! breaks workers, backlog, queue depth, inflight ops, pages, and
+//! every cache counter down per shard — computed in the same pass as
+//! the totals, so the breakdown always sums to them exactly
+//! (`tests/serve_api.rs` asserts this).
+//!
+//! # HTTP/1.1 facade
+//!
+//! With an HTTP endpoint bound ([`Server::listen_all`], or
+//! `webqa-cli serve --http HOST:PORT`), the same five operations are
+//! served as routes; the response **body is the line-protocol envelope
+//! byte for byte** (without the trailing newline), so everything above
+//! about envelopes, error kinds, and byte-identical semantics carries
+//! over verbatim:
+//!
+//! ```text
+//! POST /v1/run        body = the run request object (op injected)
+//! POST /v1/run_batch  body = the run_batch request object
+//! POST /v1/intern     body = {"html": "..."}
+//! GET  /v1/ping       (empty body)
+//! GET  /v1/stats      (empty body)
+//! ```
+//!
+//! * **Framing**: requests must carry `Content-Length` (no chunked
+//!   encoding); bodies above `max_frame_bytes` are refused with 413.
+//!   An empty body is treated as `{}` (all ops accept it except the
+//!   heavy ones, which then fail with their usual typed errors).
+//!   Responses always carry `Content-Type: application/json` and
+//!   `Content-Length`.
+//! * **Keep-alive**: connections persist by default (HTTP/1.1
+//!   semantics); `Connection: close` — or an `HTTP/1.0` request line —
+//!   is honored. Requests on one connection are processed in order;
+//!   there is no cross-request pipelining on the facade (use the line
+//!   protocol for that).
+//! * **Status codes** map from the envelope's error kind: 200 `ok`,
+//!   400 `bad-frame`/`bad-request`, 404 `unknown-op`/`unknown-page`
+//!   (and unknown paths), 405 wrong method on a known path, 413
+//!   `oversized`, 422 `page`, 503 `overloaded`, 504
+//!   `deadline-exceeded`, 500 `internal`. Heavy ops pass through the
+//!   same per-shard admission queues, deadlines, and shedding as the
+//!   line protocol.
 //!
 //! # Example
 //!
@@ -187,10 +255,13 @@
 
 #![warn(missing_docs)]
 
+mod http;
 mod net;
 mod pool;
 pub mod protocol;
+mod shard;
 
+pub use http::HttpClient;
 pub use net::{Client, Listening};
 pub use protocol::{render_run_result, ErrKind};
 
@@ -200,14 +271,17 @@ use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use serde_json::{Map, Value};
-use webqa::{CancelToken, Engine, Error as EngineError, PageId, Task};
+use webqa::{
+    content_digest, CacheStats, CancelToken, Engine, Error as EngineError, PageId, PageTree, Task,
+};
 
-use pool::{Admission, ConnWriter};
+use pool::ConnWriter;
 use protocol::{bad_request, envelope, page_ref, str_field, string_list, PageRef, ProtoError};
+use shard::ShardSet;
 
 /// Server construction options.
 #[derive(Debug, Clone)]
@@ -218,13 +292,21 @@ pub struct ServeOptions {
     /// Maximum request-frame size in bytes (default 1 MiB). Larger
     /// frames are refused with an `oversized` error.
     pub max_frame_bytes: usize,
-    /// Worker threads executing heavy ops (`run` / `run_batch`). `0`
-    /// (the default) means auto: the machine's available parallelism.
-    /// This — not the connection count — bounds engine concurrency.
+    /// Worker threads executing heavy ops (`run` / `run_batch`), divided
+    /// as evenly as possible across the shards (every shard gets at
+    /// least one). `0` (the default) means auto: the machine's available
+    /// parallelism. This — not the connection count — bounds engine
+    /// concurrency.
     pub workers: usize,
-    /// Admission-queue capacity (default 64): heavy ops waiting for a
-    /// worker beyond this cap are shed with an `overloaded` error.
+    /// Admission-queue capacity (default 64), divided across the shards
+    /// like `workers`: heavy ops waiting for a worker beyond a shard's
+    /// share are shed with an `overloaded` error.
     pub backlog: usize,
+    /// Engine shards, routed by page content digest (see the module docs
+    /// of `shard.rs`). `1` (the default) reproduces the single-engine
+    /// server exactly — wire handles included; `0` means auto: one shard
+    /// per unit of available parallelism.
+    pub shards: usize,
     /// Default per-request latency budget, measured from frame arrival
     /// (queue wait included). `None` (the default) = no deadline unless
     /// a request carries `deadline_ms`; when both are present the
@@ -244,10 +326,18 @@ impl Default for ServeOptions {
             max_frame_bytes: 1 << 20,
             workers: 0,
             backlog: 64,
+            shards: 1,
             default_deadline: None,
             max_responses: None,
         }
     }
+}
+
+/// The machine's available parallelism (the `0 = auto` resolution).
+fn machine_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
 }
 
 impl ServeOptions {
@@ -257,31 +347,38 @@ impl ServeOptions {
         if self.workers > 0 {
             self.workers
         } else {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(4)
+            machine_parallelism()
+        }
+    }
+
+    /// The effective shard count (`shards`, with `0` resolved to the
+    /// machine's available parallelism).
+    fn effective_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            machine_parallelism()
         }
     }
 }
 
 /// State shared by every connection of one daemon.
 pub(crate) struct Shared {
-    pub(crate) engine: RwLock<Engine>,
+    /// The engine shards: each owns its engine (store + caches), its
+    /// admission queue, and its worker slice; pages route to shards by
+    /// content digest.
+    pub(crate) shards: ShardSet,
     pub(crate) max_frame_bytes: usize,
     pub(crate) started: Instant,
     /// Frames received (counted at read time).
     pub(crate) requests: AtomicU64,
     pub(crate) errors: AtomicU64,
-    /// Requests shed by the admission queue (`overloaded` responses;
+    /// Requests shed by the admission queues (`overloaded` responses;
     /// also counted in `errors`).
     pub(crate) shed: AtomicU64,
     /// Requests that returned `deadline-exceeded` (also in `errors`).
     pub(crate) deadline_hits: AtomicU64,
     pub(crate) shutdown: AtomicBool,
-    /// The bounded admission queue feeding the worker pool.
-    pub(crate) pool: Admission,
-    /// Fixed worker count (for `stats` and the batch-jobs split).
-    pub(crate) workers: usize,
     /// Per-task parallelism handed to `Engine::run_batch` by the
     /// `run_batch` op: the machine budget divided across workers.
     pub(crate) batch_jobs: usize,
@@ -359,16 +456,35 @@ pub(crate) enum Action {
     Heavy(HeavyOp),
 }
 
-/// A fully parsed heavy operation: pages resolved, deadline fixed at
-/// admission time (so queue wait counts against the budget).
+/// A fully parsed heavy operation: pages resolved onto their home
+/// shard's store, deadline fixed at admission time (so queue wait counts
+/// against the budget).
 pub(crate) struct HeavyOp {
     kind: HeavyKind,
     deadline: Option<Instant>,
+    /// The shard whose queue admits (and whose worker slice executes)
+    /// this op: the task's home shard; for a batch, the first task's
+    /// home shard (a cross-shard batch still occupies one worker slot —
+    /// its sub-batches execute from there, shard by shard).
+    pub(crate) shard: usize,
+}
+
+/// A page reference resolved onto its owning shard: the shared parsed
+/// tree, the owner shard, and the page's id *in the owner's store*.
+/// [`Server::localize`] turns this into a home-shard id when the task
+/// runs elsewhere.
+struct ResolvedPage {
+    tree: Arc<PageTree>,
+    owner: usize,
+    id_in_owner: PageId,
 }
 
 enum HeavyKind {
     Run(Task),
-    Batch(Vec<Task>),
+    /// Batch entries keep their home shard alongside the task so a
+    /// cross-shard batch can split per shard and reassemble in input
+    /// order.
+    Batch(Vec<(usize, Task)>),
 }
 
 impl HeavyOp {
@@ -377,6 +493,7 @@ impl HeavyOp {
         HeavyOp {
             kind: HeavyKind::Batch(Vec::new()),
             deadline: None,
+            shard: 0,
         }
     }
 }
@@ -390,15 +507,13 @@ pub struct Server {
 }
 
 impl Server {
-    /// A server owning a fresh engine built from `opts`.
+    /// A server owning fresh engine shards built from `opts`.
     pub fn new(opts: ServeOptions) -> Server {
         let workers = opts.effective_workers();
-        let machine = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4);
+        let machine = machine_parallelism();
         Server {
             shared: Arc::new(Shared {
-                engine: RwLock::new(Engine::new(opts.engine)),
+                shards: ShardSet::new(&opts.engine, opts.effective_shards(), workers, opts.backlog),
                 max_frame_bytes: opts.max_frame_bytes,
                 started: Instant::now(),
                 requests: AtomicU64::new(0),
@@ -406,8 +521,6 @@ impl Server {
                 shed: AtomicU64::new(0),
                 deadline_hits: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
-                pool: Admission::new(opts.backlog),
-                workers,
                 // Split the machine budget across workers so a full pool
                 // of run_batch ops cannot oversubscribe the cores.
                 batch_jobs: (machine / workers).max(1),
@@ -424,20 +537,39 @@ impl Server {
         }
     }
 
-    /// Binds the requested endpoints (at least one) and spawns their
+    /// Binds line-protocol endpoints (at least one) and spawns their
     /// accept threads. TCP addresses are standard `host:port` strings
     /// (`port 0` = OS-assigned, readable back from
-    /// [`Listening::tcp_addr`]).
+    /// [`Listening::tcp_addr`]). Shorthand for [`Server::listen_all`]
+    /// with no HTTP endpoint.
     ///
     /// # Errors
     ///
     /// Bind failures, or [`io::ErrorKind::InvalidInput`] when no
     /// endpoint was requested.
     pub fn listen(self, tcp: Option<&str>, unix: Option<&Path>) -> io::Result<Listening> {
-        if tcp.is_none() && unix.is_none() {
+        self.listen_all(tcp, unix, None)
+    }
+
+    /// Binds the requested endpoints (at least one) and spawns their
+    /// accept threads: line-protocol TCP and/or Unix socket, and/or the
+    /// HTTP/1.1 facade (`http`, a `host:port` string; the bound address
+    /// is readable back from [`Listening::http_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, or [`io::ErrorKind::InvalidInput`] when no
+    /// endpoint was requested.
+    pub fn listen_all(
+        self,
+        tcp: Option<&str>,
+        unix: Option<&Path>,
+        http: Option<&str>,
+    ) -> io::Result<Listening> {
+        if tcp.is_none() && unix.is_none() && http.is_none() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
-                "no endpoint requested: pass a TCP address and/or a Unix socket path",
+                "no endpoint requested: pass a TCP address, a Unix socket path, and/or an HTTP address",
             ));
         }
         let mut accept_threads = Vec::new();
@@ -465,11 +597,18 @@ impl Server {
                 "unix sockets are not available on this platform",
             ));
         }
-        let worker_threads = pool::spawn_workers(&self.shared, self.shared.workers);
+        let mut http_addr = None;
+        if let Some(addr) = http {
+            let listener = TcpListener::bind(addr)?;
+            http_addr = Some(listener.local_addr()?);
+            accept_threads.push(http::accept_http(Arc::clone(&self.shared), listener));
+        }
+        let worker_threads = pool::spawn_workers(&self.shared);
         Ok(Listening {
             shared: self.shared,
             tcp_addr,
             unix_path,
+            http_addr,
             accept_threads,
             worker_threads,
         })
@@ -496,27 +635,37 @@ impl Server {
     /// any) is anchored *here*, so time spent queued counts against the
     /// request's latency budget.
     pub(crate) fn classify_line(&self, line: &str) -> (Value, Result<Action, ProtoError>) {
-        self.shared.requests.fetch_add(1, Ordering::Relaxed);
         match serde_json::from_str::<Value>(line) {
-            Err(_) => (
-                Value::Null,
-                Err(ProtoError::new(
-                    ErrKind::BadFrame,
-                    "frame is not valid JSON",
-                )),
-            ),
-            Ok(v) if v.as_object().is_none() => (
+            Err(_) => {
+                self.shared.requests.fetch_add(1, Ordering::Relaxed);
+                (
+                    Value::Null,
+                    Err(ProtoError::new(
+                        ErrKind::BadFrame,
+                        "frame is not valid JSON",
+                    )),
+                )
+            }
+            Ok(v) => self.classify_value(v),
+        }
+    }
+
+    /// [`Server::classify_line`] for an already-parsed frame — the HTTP
+    /// facade's entry point (its body arrives pre-parsed, with the op
+    /// injected from the request path). Counts the request.
+    pub(crate) fn classify_value(&self, v: Value) -> (Value, Result<Action, ProtoError>) {
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        if v.as_object().is_none() {
+            return (
                 Value::Null,
                 Err(ProtoError::new(
                     ErrKind::BadFrame,
                     "frame must be a JSON object",
                 )),
-            ),
-            Ok(v) => {
-                let id = v["id"].clone();
-                (id, self.dispatch(&v))
-            }
+            );
         }
+        let id = v["id"].clone();
+        (id, self.dispatch(&v))
     }
 
     /// Renders the response envelope and maintains the error counter —
@@ -528,8 +677,9 @@ impl Server {
         envelope(id, outcome)
     }
 
-    /// The response to a heavy op the admission queue refused.
-    pub(crate) fn overloaded_response(&self, id: Value) -> String {
+    /// The response to a heavy op its home shard's admission queue
+    /// refused.
+    pub(crate) fn overloaded_response(&self, id: Value, shard: usize) -> String {
         self.shared.shed.fetch_add(1, Ordering::Relaxed);
         self.render_outcome(
             id,
@@ -537,7 +687,7 @@ impl Server {
                 ErrKind::Overloaded,
                 format!(
                     "admission queue full (backlog {}); request shed",
-                    self.shared.pool.capacity()
+                    self.shared.shards.get(shard).queue.capacity()
                 ),
             )),
         )
@@ -551,27 +701,71 @@ impl Server {
             None => CancelToken::never(),
         };
         let job = self.shared.track_job(&token);
-        let outcome = self.run_heavy(op.kind, &token);
+        let shard = self.shared.shards.get(op.shard);
+        shard.inflight.fetch_add(1, Ordering::Relaxed);
+        let outcome = self.run_heavy(op.shard, op.kind, &token);
+        shard.inflight.fetch_sub(1, Ordering::Relaxed);
         self.shared.untrack_job(job);
         outcome
     }
 
-    fn run_heavy(&self, kind: HeavyKind, token: &CancelToken) -> Result<Value, ProtoError> {
-        // The long-running part shares a read lock: concurrent workers
-        // proceed in parallel, `intern`s briefly serialize against them.
-        let engine = self.shared.engine.read().expect("engine lock");
+    fn run_heavy(
+        &self,
+        home: usize,
+        kind: HeavyKind,
+        token: &CancelToken,
+    ) -> Result<Value, ProtoError> {
         match kind {
             HeavyKind::Run(task) => {
+                // The long-running part shares the home shard's read
+                // lock: concurrent workers proceed in parallel, and only
+                // *this shard's* interns serialize against them.
+                let engine = self
+                    .shared
+                    .shards
+                    .get(home)
+                    .engine
+                    .read()
+                    .expect("engine lock");
                 let result = engine
                     .run_with_cancel(&task, token)
                     .map_err(|e| self.engine_err(e))?;
                 Ok(render_run_result(&result))
             }
             HeavyKind::Batch(tasks) => {
-                let results = engine
-                    .run_batch_with_cancel(&tasks, self.shared.batch_jobs, token)
-                    .map_err(|e| self.engine_err(e))?;
-                let rendered: Vec<Value> = results.iter().map(render_run_result).collect();
+                // Split by home shard, execute the sub-batches shard by
+                // shard (each under that shard's read lock), and
+                // reassemble in input order — every entry byte-identical
+                // to what a separate `run` would have produced.
+                let mut order: Vec<usize> = Vec::new();
+                let mut groups: std::collections::HashMap<usize, (Vec<usize>, Vec<Task>)> =
+                    std::collections::HashMap::new();
+                for (i, (shard, task)) in tasks.into_iter().enumerate() {
+                    let (indices, group) = groups.entry(shard).or_insert_with(|| {
+                        order.push(shard);
+                        (Vec::new(), Vec::new())
+                    });
+                    indices.push(i);
+                    group.push(task);
+                }
+                let mut rendered: Vec<Value> =
+                    vec![Value::Null; groups.values().map(|(i, _)| i.len()).sum()];
+                for shard in order {
+                    let (indices, group) = groups.remove(&shard).expect("grouped above");
+                    let engine = self
+                        .shared
+                        .shards
+                        .get(shard)
+                        .engine
+                        .read()
+                        .expect("engine lock");
+                    let results = engine
+                        .run_batch_with_cancel(&group, self.shared.batch_jobs, token)
+                        .map_err(|e| self.engine_err(e))?;
+                    for (slot, result) in indices.into_iter().zip(results.iter()) {
+                        rendered[slot] = render_run_result(result);
+                    }
+                }
                 let mut map = Map::new();
                 map.insert("results".to_string(), Value::Array(rendered));
                 Ok(Value::Object(map))
@@ -635,10 +829,11 @@ impl Server {
             Some("intern") => self.op_intern(request).map(Action::Immediate),
             Some("run") => {
                 let deadline = self.deadline_of(request)?;
-                let task = self.parse_run_task(request)?;
+                let (task, home) = self.parse_run_task(request)?;
                 Ok(Action::Heavy(HeavyOp {
                     kind: HeavyKind::Run(task),
                     deadline,
+                    shard: home,
                 }))
             }
             Some("run_batch") => {
@@ -646,13 +841,17 @@ impl Server {
                 let tasks = match &request["tasks"] {
                     Value::Array(items) => items
                         .iter()
-                        .map(|item| self.parse_run_task(item))
+                        .map(|item| self.parse_run_task(item).map(|(t, h)| (h, t)))
                         .collect::<Result<Vec<_>, _>>()?,
                     _ => return bad_request("field \"tasks\" must be an array"),
                 };
+                // The batch is admitted on (and its worker slot charged
+                // to) the first task's home shard.
+                let shard = tasks.first().map_or(0, |&(h, _)| h);
                 Ok(Action::Heavy(HeavyOp {
                     kind: HeavyKind::Batch(tasks),
                     deadline,
+                    shard,
                 }))
             }
             Some("stats") => self.op_stats().map(Action::Immediate),
@@ -686,45 +885,113 @@ impl Server {
         Ok(budget.map(|d| Instant::now() + d))
     }
 
-    /// Interns inline HTML (brief write lock), returning its handle and
-    /// the parsed tree's node count.
-    fn intern_html(&self, html: &str) -> Result<(u64, usize), ProtoError> {
-        let mut engine = self.shared.engine.write().expect("engine lock");
-        let id = engine
-            .store_mut()
-            .insert_html(html)
-            .map_err(|e| ProtoError::new(ErrKind::Page, e.to_string()))?;
-        let nodes = engine
-            .store()
-            .get(id)
-            .expect("just-interned id resolves")
-            .len();
-        Ok((id.index() as u64, nodes))
+    /// Parses inline HTML and interns it onto its owning shard (parse
+    /// happens *before* any lock; the owner's write lock is held only
+    /// for the content-addressed insert). Returns the resolved page
+    /// plus the parsed tree's node count.
+    fn intern_html(&self, html: &str) -> Result<(ResolvedPage, usize), ProtoError> {
+        let tree = PageTree::try_parse(html)
+            .map_err(|e| ProtoError::new(ErrKind::Page, EngineError::from(e).to_string()))?;
+        let nodes = tree.len();
+        let tree = Arc::new(tree);
+        let owner = self.shared.shards.owner_of(content_digest(&tree));
+        let id = {
+            let mut engine = self
+                .shared
+                .shards
+                .get(owner)
+                .engine
+                .write()
+                .expect("engine lock");
+            engine.store_mut().insert_shared(Arc::clone(&tree))
+        };
+        Ok((
+            ResolvedPage {
+                tree,
+                owner,
+                id_in_owner: id,
+            },
+            nodes,
+        ))
     }
 
     fn op_intern(&self, request: &Value) -> Result<Value, ProtoError> {
         let html = str_field(request, "html")?;
-        let (handle, nodes) = self.intern_html(html)?;
+        let (page, nodes) = self.intern_html(html)?;
+        let handle = self
+            .shared
+            .shards
+            .encode_handle(page.owner, page.id_in_owner.index());
         let mut map = Map::new();
         map.insert("page".to_string(), serde_json::json!(handle));
         map.insert("nodes".to_string(), serde_json::json!(nodes));
         Ok(Value::Object(map))
     }
 
-    /// Resolves one page reference to a store handle, interning inline
-    /// HTML on the fly.
-    fn resolve(&self, r: PageRef) -> Result<u64, ProtoError> {
+    /// Resolves one page reference onto its owning shard, interning
+    /// inline HTML on the fly. Handles only take the owner's read lock.
+    fn resolve(&self, r: PageRef) -> Result<ResolvedPage, ProtoError> {
         match r {
-            PageRef::Handle(n) => Ok(n),
-            PageRef::Html(html) => self.intern_html(&html).map(|(handle, _)| handle),
+            PageRef::Handle(h) => {
+                let (owner, local) = self.shared.shards.decode_handle(h);
+                let engine = self
+                    .shared
+                    .shards
+                    .get(owner)
+                    .engine
+                    .read()
+                    .expect("engine lock");
+                let id = engine.store().id_at(local as usize).ok_or_else(|| {
+                    ProtoError::new(
+                        ErrKind::UnknownPage,
+                        format!("page handle {h} is unknown to this server"),
+                    )
+                })?;
+                let tree = Arc::clone(engine.store().get(id).expect("id_at resolves"));
+                Ok(ResolvedPage {
+                    tree,
+                    owner,
+                    id_in_owner: id,
+                })
+            }
+            PageRef::Html(html) => self.intern_html(&html).map(|(page, _)| page),
         }
+    }
+
+    /// The home-shard-local id of a resolved page: its own id when it
+    /// already lives on `home`, else the id of its `Arc`-shared copy
+    /// pulled into the home shard's store. `home_engine` lazily caches
+    /// the home shard's write lock so a task with many foreign pages
+    /// pays for one acquisition — and a task with none (always the case
+    /// at one shard) never takes a write lock at all.
+    fn localize<'a>(
+        &'a self,
+        home_engine: &mut Option<std::sync::RwLockWriteGuard<'a, Engine>>,
+        home: usize,
+        page: &ResolvedPage,
+    ) -> PageId {
+        if page.owner == home {
+            return page.id_in_owner;
+        }
+        let engine = home_engine.get_or_insert_with(|| {
+            self.shared
+                .shards
+                .get(home)
+                .engine
+                .write()
+                .expect("engine lock")
+        });
+        engine.store_mut().insert_shared(Arc::clone(&page.tree))
     }
 
     /// Parses and fully resolves one run spec (the body of a `run`
     /// request, or one `tasks[]` entry of `run_batch`) into an engine
-    /// [`Task`]. Inline pages are interned here, on the connection
-    /// thread — workers only ever synthesize.
-    fn parse_run_task(&self, request: &Value) -> Result<Task, ProtoError> {
+    /// [`Task`] plus its home shard (the owner of its first page
+    /// reference; a pageless task runs on shard 0). Inline pages are
+    /// interned here, on the connection thread — workers only ever
+    /// synthesize. Foreign pages are pulled into the home shard so the
+    /// run executes against a single store.
+    fn parse_run_task(&self, request: &Value) -> Result<(Task, usize), ProtoError> {
         let question = str_field(request, "question")?.to_string();
         let keywords = string_list(request, "keywords")?;
 
@@ -751,32 +1018,75 @@ impl Server {
             _ => return bad_request("field \"targets\" must be an array"),
         };
 
-        let mut task = Task::new(question, keywords);
-        for (r, gold) in labeled_specs {
-            let handle = self.resolve(r)?;
-            task.labeled.push((self.handle_to_id(handle)?, gold));
-        }
-        for r in target_specs {
-            let handle = self.resolve(r)?;
-            task.unlabeled.push(self.handle_to_id(handle)?);
-        }
-        Ok(task)
-    }
+        // Resolve every reference onto its owning shard, then pick the
+        // home shard and localize: pages already home use their own id,
+        // foreign pages are Arc-copied in under one write lock.
+        let labeled: Vec<(ResolvedPage, Vec<String>)> = labeled_specs
+            .into_iter()
+            .map(|(r, gold)| self.resolve(r).map(|p| (p, gold)))
+            .collect::<Result<_, _>>()?;
+        let targets: Vec<ResolvedPage> = target_specs
+            .into_iter()
+            .map(|r| self.resolve(r))
+            .collect::<Result<_, _>>()?;
+        let home = labeled
+            .first()
+            .map(|(p, _)| p.owner)
+            .or_else(|| targets.first().map(|p| p.owner))
+            .unwrap_or(0);
 
-    /// Converts a wire handle to a digest-checked [`PageId`].
-    fn handle_to_id(&self, handle: u64) -> Result<PageId, ProtoError> {
-        let engine = self.shared.engine.read().expect("engine lock");
-        engine.store().id_at(handle as usize).ok_or_else(|| {
-            ProtoError::new(
-                ErrKind::UnknownPage,
-                format!("page handle {handle} is unknown to this server"),
-            )
-        })
+        let mut task = Task::new(question, keywords);
+        let mut home_engine = None;
+        for (p, gold) in &labeled {
+            let id = self.localize(&mut home_engine, home, p);
+            task.labeled.push((id, gold.clone()));
+        }
+        for p in &targets {
+            let id = self.localize(&mut home_engine, home, p);
+            task.unlabeled.push(id);
+        }
+        Ok((task, home))
     }
 
     fn op_stats(&self) -> Result<Value, ProtoError> {
-        let engine = self.shared.engine.read().expect("engine lock");
-        let cache = serde_json::to_value(&engine.cache_stats())
+        let shards = &self.shared.shards;
+        // One pass over the shards: read each engine once, emitting the
+        // per-shard breakdown while accumulating the fleet totals (so
+        // the breakdown always sums to the totals in the same response).
+        let mut shard_entries = Vec::with_capacity(shards.count());
+        let mut cache_total = CacheStats::default();
+        let mut pages_total = 0usize;
+        for (i, s) in shards.iter().enumerate() {
+            let (pages, cache) = {
+                let engine = s.engine.read().expect("engine lock");
+                (engine.store().len(), engine.cache_stats())
+            };
+            pages_total += pages;
+            cache_total = cache_total.merged(cache);
+            let mut entry = Map::new();
+            entry.insert("shard".to_string(), serde_json::json!(i as u64));
+            entry.insert("workers".to_string(), serde_json::json!(s.workers as u64));
+            entry.insert(
+                "backlog".to_string(),
+                serde_json::json!(s.queue.capacity() as u64),
+            );
+            entry.insert(
+                "queue_depth".to_string(),
+                serde_json::json!(s.queue.depth() as u64),
+            );
+            entry.insert(
+                "inflight".to_string(),
+                serde_json::json!(s.inflight.load(Ordering::Relaxed)),
+            );
+            entry.insert("pages".to_string(), serde_json::json!(pages));
+            entry.insert(
+                "cache".to_string(),
+                serde_json::to_value(&cache)
+                    .map_err(|e| ProtoError::new(ErrKind::Internal, e.to_string()))?,
+            );
+            shard_entries.push(Value::Object(entry));
+        }
+        let cache = serde_json::to_value(&cache_total)
             .map_err(|e| ProtoError::new(ErrKind::Internal, e.to_string()))?;
         let mut map = Map::new();
         map.insert(
@@ -797,15 +1107,15 @@ impl Server {
         );
         map.insert(
             "workers".to_string(),
-            serde_json::json!(self.shared.workers as u64),
+            serde_json::json!(shards.total_workers() as u64),
         );
         map.insert(
             "backlog".to_string(),
-            serde_json::json!(self.shared.pool.capacity() as u64),
+            serde_json::json!(shards.total_backlog() as u64),
         );
         map.insert(
             "queue_depth".to_string(),
-            serde_json::json!(self.shared.pool.depth() as u64),
+            serde_json::json!(shards.total_queue_depth() as u64),
         );
         map.insert(
             "inflight".to_string(),
@@ -816,12 +1126,13 @@ impl Server {
                 .expect("inflight registry")
                 .len() as u64),
         );
-        map.insert("pages".to_string(), serde_json::json!(engine.store().len()));
+        map.insert("pages".to_string(), serde_json::json!(pages_total));
         map.insert(
             "uptime_ms".to_string(),
             serde_json::json!(self.shared.started.elapsed().as_millis() as u64),
         );
         map.insert("cache".to_string(), cache);
+        map.insert("shards".to_string(), Value::Array(shard_entries));
         Ok(Value::Object(map))
     }
 }

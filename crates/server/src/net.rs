@@ -104,7 +104,8 @@ pub(crate) fn serve_conn<S: AcceptedStream>(shared: &Arc<Shared>, stream: S) {
                 let (id, classified) = server.classify_line(&line);
                 match classified {
                     Ok(Action::Heavy(op)) => {
-                        let admitted = shared.pool.try_push(Job {
+                        let shard = op.shard;
+                        let admitted = shared.shards.get(shard).queue.try_push(Job {
                             id: id.clone(),
                             op,
                             conn: Arc::clone(&conn),
@@ -113,7 +114,7 @@ pub(crate) fn serve_conn<S: AcceptedStream>(shared: &Arc<Shared>, stream: S) {
                             // Shed: constant-time refusal, written here
                             // on the reader thread — never queued behind
                             // the very backlog that is full.
-                            let response = server.overloaded_response(id);
+                            let response = server.overloaded_response(id, shard);
                             if !shared.write_response(&conn, &response) {
                                 return;
                             }
@@ -160,6 +161,7 @@ pub struct Listening {
     pub(crate) shared: Arc<Shared>,
     pub(crate) tcp_addr: Option<SocketAddr>,
     pub(crate) unix_path: Option<PathBuf>,
+    pub(crate) http_addr: Option<SocketAddr>,
     pub(crate) accept_threads: Vec<JoinHandle<()>>,
     pub(crate) worker_threads: Vec<JoinHandle<()>>,
 }
@@ -174,6 +176,11 @@ impl Listening {
     /// The bound Unix-socket path, if one was requested.
     pub fn unix_path(&self) -> Option<&Path> {
         self.unix_path.as_deref()
+    }
+
+    /// The bound address of the HTTP/1.1 facade, if one was requested.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
     }
 
     /// A [`Server`] view onto the running daemon (for in-process
@@ -245,13 +252,16 @@ impl Drop for Listening {
         {
             token.cancel();
         }
-        // Wake workers parked on the empty admission queue so they
+        // Wake workers parked on the empty admission queues so they
         // observe the flag (queued-but-unstarted jobs are abandoned —
         // their connections are closing below anyway).
-        self.shared.pool.wake_all();
+        self.shared.shards.wake_all();
         // Poke each endpoint so a blocked `accept` returns and observes
         // the flag.
         if let Some(addr) = self.tcp_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(addr) = self.http_addr {
             let _ = TcpStream::connect(addr);
         }
         #[cfg(unix)]
@@ -319,13 +329,15 @@ impl AcceptedStream for UnixStream {
     }
 }
 
-/// The accept loop shared by both transports: accept, register the
-/// connection in the shutdown registry, serve it on its own thread,
-/// deregister on exit.
-fn accept_loop<L, S>(
+/// The accept loop shared by every transport (line-protocol TCP/Unix
+/// and the HTTP facade): accept, register the connection in the
+/// shutdown registry, run `serve` on its own thread, deregister on
+/// exit.
+pub(crate) fn accept_loop<L, S>(
     shared: Arc<Shared>,
     listener: L,
     accept: fn(&L) -> io::Result<S>,
+    serve: fn(&Arc<Shared>, S),
 ) -> JoinHandle<()>
 where
     L: Send + 'static,
@@ -347,7 +359,7 @@ where
                 }
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
-                    serve_conn(&shared, stream);
+                    serve(&shared, stream);
                     shared.conns.lock().expect("conn registry").remove(&conn_id);
                 });
             }
@@ -362,17 +374,23 @@ where
 
 /// Spawns the accept thread for a TCP listener.
 pub(crate) fn accept_tcp(shared: Arc<Shared>, listener: TcpListener) -> JoinHandle<()> {
-    accept_loop(shared, listener, |l: &TcpListener| {
-        l.accept().map(|(s, _)| s)
-    })
+    accept_loop(
+        shared,
+        listener,
+        |l: &TcpListener| l.accept().map(|(s, _)| s),
+        serve_conn,
+    )
 }
 
 /// Spawns the accept thread for a Unix listener.
 #[cfg(unix)]
 pub(crate) fn accept_unix(shared: Arc<Shared>, listener: UnixListener) -> JoinHandle<()> {
-    accept_loop(shared, listener, |l: &UnixListener| {
-        l.accept().map(|(s, _)| s)
-    })
+    accept_loop(
+        shared,
+        listener,
+        |l: &UnixListener| l.accept().map(|(s, _)| s),
+        serve_conn,
+    )
 }
 
 /// One end of a client connection (TCP or Unix).

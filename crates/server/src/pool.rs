@@ -124,26 +124,30 @@ impl Admission {
     }
 }
 
-/// Spawns the fixed worker pool: each worker loops pop → execute →
-/// respond until shutdown.
-pub(crate) fn spawn_workers(shared: &Arc<Shared>, workers: usize) -> Vec<JoinHandle<()>> {
-    (0..workers.max(1))
-        .map(|_| {
+/// Spawns the fixed worker pool: each shard gets its own worker slice,
+/// every worker looping pop → execute → respond on *its shard's* queue
+/// until shutdown — a backed-up shard never steals another shard's
+/// workers, so one hot page set cannot starve the rest of the fleet.
+pub(crate) fn spawn_workers(shared: &Arc<Shared>) -> Vec<JoinHandle<()>> {
+    let mut handles = Vec::new();
+    for shard in 0..shared.shards.count() {
+        for _ in 0..shared.shards.get(shard).workers {
             let shared = Arc::clone(shared);
-            std::thread::spawn(move || {
+            handles.push(std::thread::spawn(move || {
                 let server = Server {
                     shared: Arc::clone(&shared),
                 };
-                while let Some(job) = shared.pool.pop(&shared.shutdown) {
+                while let Some(job) = shared.shards.get(shard).queue.pop(&shared.shutdown) {
                     let outcome = server.execute_heavy(job.op);
                     let line = server.render_outcome(job.id, outcome);
                     // A failed write means the client is gone; the job's
                     // work (and any cache fills) remains valid.
                     let _ = shared.write_response(&job.conn, &line);
                 }
-            })
-        })
-        .collect()
+            }));
+        }
+    }
+    handles
 }
 
 #[cfg(test)]

@@ -70,28 +70,45 @@
 //!   **Workloads** (`webqa_corpus`, `webqa_baselines`) provide the 25
 //!   evaluation tasks, the seeded page generators, and the three
 //!   baseline systems.
-//! * **Serving** (`webqa_server`) keeps one engine — and its caches —
-//!   resident across requests: a line-delimited JSON protocol over TCP
-//!   and Unix sockets, hand-rolled on `std::net` (see the crate docs for
-//!   the wire spec). Execution is a **bounded worker pool** behind a
-//!   bounded admission queue: engine concurrency is `workers`, never
-//!   "number of open sockets", and when the backlog cap is hit excess
-//!   requests shed immediately with a typed `overloaded` error.
-//!   Requests pipeline on one connection (responses return in
-//!   completion order, correlated by the echoed `id`), `run_batch`
-//!   ships many tasks in one frame, and a per-request `deadline_ms`
-//!   budget — queue wait included — trips a cooperative cancel token
-//!   inside the synthesis enumerator, returning a typed
-//!   `deadline-exceeded` without poisoning any cache.
-//!   `tests/serve_api.rs` proves serving observationally invisible
-//!   (concurrent duplicated request streams answer byte-identically to
-//!   a cold, never-cached engine, and fuzzed pipelined interleavings
-//!   never wedge); `tests/serve_overload.rs` proves the bounds (prompt
-//!   typed shedding at saturation, deadlines covering synthesis and
-//!   queue wait, cancellation isolated from pipelined neighbors).
+//! * **Serving** (`webqa_server`) keeps engine state — and its caches —
+//!   resident across requests, split into **digest-routed shards**:
+//!   each shard owns an independent engine (store + caches) behind its
+//!   own lock, its own bounded admission queue, and its own worker
+//!   slice, with pages assigned by `content_digest % shards` (a pure
+//!   function of page bytes, so a fleet of daemons agrees on placement
+//!   without coordination) and wire handles interleaving the shard id
+//!   so a 1-shard server stays bit-compatible with the pre-shard
+//!   protocol. Two wire surfaces, both hand-rolled on `std::net`: a
+//!   line-delimited JSON protocol over TCP and Unix sockets, and an
+//!   HTTP/1.1 facade (`POST /v1/run|run_batch|intern`,
+//!   `GET /v1/ping|stats`; keep-alive, `Content-Length` framing, error
+//!   kinds mapped to status codes) whose response bodies are the
+//!   line-protocol envelopes byte for byte — see the crate docs for
+//!   both wire specs. Execution is a **bounded worker pool** per shard:
+//!   engine concurrency is `workers`, never "number of open sockets",
+//!   and when a shard's backlog cap is hit excess requests shed
+//!   immediately with a typed `overloaded` error. Requests pipeline on
+//!   one line-protocol connection (responses return in completion
+//!   order, correlated by the echoed `id`), `run_batch` ships many
+//!   tasks in one frame (cross-shard batches split per shard and
+//!   reassemble in input order), and a per-request `deadline_ms` budget
+//!   — queue wait included — trips a cooperative cancel token inside
+//!   the synthesis enumerator, returning a typed `deadline-exceeded`
+//!   without poisoning any cache. `tests/serve_api.rs` proves serving
+//!   observationally invisible (concurrent duplicated request streams
+//!   answer byte-identically to a cold, never-cached engine — at 1
+//!   shard, at 4 shards, and over HTTP — shard routing ignores intern
+//!   order, the per-shard stats breakdown sums to the totals, and
+//!   fuzzed pipelined interleavings never wedge);
+//!   `tests/serve_overload.rs` proves the bounds (prompt typed shedding
+//!   at saturation, deadlines covering synthesis and queue wait,
+//!   cancellation isolated from pipelined neighbors, and the whole
+//!   contract intact on a 4-shard server with cross-shard batches).
 //! * **Apps** (`webqa_cli`, `webqa_bench`) stay thin: argument parsing and
 //!   report formatting only, every decision delegated to the libraries
-//!   (`webqa-cli serve` / `client` front the daemon).
+//!   (`webqa-cli serve` / `client` front the daemon over either
+//!   protocol; `webqa-cli bench-fleet` spawns an in-process fleet of
+//!   daemons and records the shards-vs-throughput trajectory).
 //!
 //! This umbrella crate (`webqa-repro`) re-exports everything so the
 //! integration tests and examples can `use` one coherent surface.

@@ -417,6 +417,305 @@ fn unix_socket_round_trip() {
     assert!(!path.exists(), "socket file removed on shutdown");
 }
 
+/// Sharding must be observationally invisible: the same shuffled
+/// concurrent streams served by a 4-shard engine and a 1-shard engine
+/// produce byte-identical responses, and both match the cold,
+/// never-cached reference.
+#[test]
+fn four_shards_are_byte_identical_to_one_shard_and_cold() {
+    let specs = workload();
+    let expected: Vec<String> = specs.iter().map(Spec::cold_body).collect();
+
+    let spawn = |shards: usize| {
+        spawn_server(ServeOptions {
+            engine: engine_config(),
+            max_frame_bytes: 1 << 20,
+            shards,
+            ..ServeOptions::default()
+        })
+    };
+    let one = spawn(1);
+    let four = spawn(4);
+    let addr_one = one.tcp_addr().expect("tcp endpoint");
+    let addr_four = four.tcp_addr().expect("tcp endpoint");
+
+    const CLIENTS: usize = 3;
+    const REPEATS: usize = 2;
+    std::thread::scope(|scope| {
+        for client_idx in 0..CLIENTS {
+            let (specs, expected) = (&specs, &expected);
+            scope.spawn(move || {
+                let mut c1 = Client::connect_tcp(addr_one).expect("connect 1-shard");
+                let mut c4 = Client::connect_tcp(addr_four).expect("connect 4-shard");
+                let n = specs.len();
+                for k in 0..n * REPEATS {
+                    // Same deterministic id on both servers, so the
+                    // envelopes are comparable as whole strings.
+                    let i = (client_idx + k * (client_idx + 1)) % n;
+                    let id = (client_idx * 1000 + k) as u64;
+                    let line = specs[i].request(id);
+                    let r1 = c1.request_line(&line).expect("1-shard response");
+                    let r4 = c4.request_line(&line).expect("4-shard response");
+                    let want = format!("{{\"id\":{id},\"ok\":{}}}", expected[i]);
+                    assert_eq!(r1, want, "1-shard diverged from cold (task {i})");
+                    assert_eq!(r4, r1, "4-shard diverged from 1-shard (task {i})");
+                }
+            });
+        }
+    });
+    one.shutdown();
+    four.shutdown();
+}
+
+/// The per-shard stats breakdown must sum to the fleet totals reported
+/// in the same response — workers, backlog, queue depth, inflight,
+/// pages, and every cache counter.
+#[test]
+fn shard_stats_breakdown_sums_to_totals() {
+    let specs = workload();
+    let listening = spawn_server(ServeOptions {
+        engine: engine_config(),
+        max_frame_bytes: 1 << 20,
+        workers: 6,
+        backlog: 12,
+        shards: 4,
+        ..ServeOptions::default()
+    });
+    let addr = listening.tcp_addr().expect("tcp endpoint");
+    let mut client = Client::connect_tcp(addr).expect("connect");
+
+    // Populate several shards: distinct pages spread by digest, plus a
+    // run (twice, so the caches have nonzero counters to sum).
+    for i in 0..8u64 {
+        let resp = client
+            .request_line(&format!(
+                r#"{{"op":"intern","html":"<h1>S{i}</h1><p>page body {i}</p>"}}"#
+            ))
+            .expect("intern");
+        assert!(resp.contains(r#""ok""#), "{resp}");
+    }
+    for id in [1, 2] {
+        let resp = client.request_line(&specs[0].request(id)).expect("run");
+        assert!(resp.contains(r#""ok""#), "{resp}");
+    }
+
+    let stats = client
+        .request(&serde_json::from_str(r#"{"op":"stats"}"#).unwrap())
+        .expect("stats");
+    let ok = &stats["ok"];
+    let shards = match &ok["shards"] {
+        serde_json::Value::Array(a) => a,
+        other => panic!("stats must carry a shards array, got {other:?}"),
+    };
+    assert_eq!(shards.len(), 4, "{stats:?}");
+
+    let sum = |key: &str| -> u64 {
+        shards
+            .iter()
+            .map(|s| s[key].as_u64().unwrap_or_else(|| panic!("{key} in {s:?}")))
+            .sum()
+    };
+    for key in ["workers", "backlog", "queue_depth", "inflight", "pages"] {
+        assert_eq!(
+            Some(sum(key)),
+            ok[key].as_u64(),
+            "per-shard {key} must sum to the total: {stats:?}"
+        );
+    }
+    assert!(ok["pages"].as_u64().unwrap() >= 8, "{stats:?}");
+    // Every cache counter: the totals object defines the key set.
+    let totals = match &ok["cache"] {
+        serde_json::Value::Object(m) => m,
+        other => panic!("cache totals must be an object, got {other:?}"),
+    };
+    for (key, total) in totals.iter() {
+        let shard_sum: u64 = shards
+            .iter()
+            .map(|s| s["cache"][key.as_str()].as_u64().expect("cache counter"))
+            .sum();
+        assert_eq!(
+            Some(shard_sum),
+            total.as_u64(),
+            "per-shard cache.{key} must sum to the total: {stats:?}"
+        );
+    }
+    listening.shutdown();
+}
+
+/// Shard routing is a pure function of page *content*: whatever order
+/// pages are interned in, on whatever server, a page's shard (the wire
+/// handle mod the shard count) depends only on its bytes.
+mod shard_routing {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn intern(client: &mut Client, html: &str) -> u64 {
+        let mut m = serde_json::Map::new();
+        m.insert("op".to_string(), serde_json::json!("intern"));
+        m.insert("html".to_string(), serde_json::json!(html));
+        let resp = client
+            .request(&serde_json::Value::Object(m))
+            .expect("intern");
+        resp["ok"]["page"].as_u64().expect("handle")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn shard_assignment_ignores_intern_order(
+            contents in proptest::collection::vec(0u32..500, 1..12),
+            rotate in 0usize..12,
+        ) {
+            let pages: Vec<String> = contents
+                .iter()
+                .map(|c| format!("<h1>R{c}</h1><p>content {c}</p>"))
+                .collect();
+            // A second order: reversed, then rotated.
+            let mut other = pages.clone();
+            other.reverse();
+            let k = rotate % other.len();
+            other.rotate_left(k);
+
+            let spawn = || {
+                spawn_server(ServeOptions {
+                    shards: 4,
+                    ..ServeOptions::default()
+                })
+            };
+            let (a, b) = (spawn(), spawn());
+            let mut ca = Client::connect_tcp(a.tcp_addr().unwrap()).expect("connect");
+            let mut cb = Client::connect_tcp(b.tcp_addr().unwrap()).expect("connect");
+
+            let mut shard_of = std::collections::HashMap::new();
+            for p in &pages {
+                shard_of.insert(p.clone(), intern(&mut ca, p) % 4);
+            }
+            for p in &other {
+                prop_assert_eq!(
+                    intern(&mut cb, p) % 4,
+                    shard_of[p],
+                    "page placement must not depend on intern order"
+                );
+            }
+            a.shutdown();
+            b.shutdown();
+        }
+    }
+}
+
+/// The HTTP/1.1 facade: the response body is the line-protocol envelope
+/// byte for byte, whatever the shard count — and errors map to typed
+/// status codes.
+mod http_facade {
+    use super::*;
+    use webqa_server::HttpClient;
+
+    fn spawn_http(opts: ServeOptions) -> Listening {
+        Server::new(opts)
+            .listen_all(None, None, Some("127.0.0.1:0"))
+            .expect("bind http loopback")
+    }
+
+    /// POST /v1/run at 1 and 4 shards: status 200, body identical to the
+    /// line-protocol envelope (and hence to the cold engine), keep-alive
+    /// across requests on one connection.
+    #[test]
+    fn run_over_http_is_byte_identical_across_shard_counts() {
+        let specs = workload();
+        let expected: Vec<String> = specs.iter().take(3).map(Spec::cold_body).collect();
+        for shards in [1usize, 4] {
+            let listening = spawn_http(ServeOptions {
+                engine: engine_config(),
+                max_frame_bytes: 1 << 20,
+                shards,
+                ..ServeOptions::default()
+            });
+            let addr = listening.http_addr().expect("http endpoint");
+            let mut client = HttpClient::connect(addr).expect("connect");
+            for (i, want_body) in expected.iter().enumerate() {
+                let id = i as u64 + 1;
+                let (status, body) = client
+                    .post("/v1/run", &specs[i].request(id))
+                    .expect("http run");
+                assert_eq!(status, 200, "{body}");
+                assert_eq!(
+                    body,
+                    format!("{{\"id\":{id},\"ok\":{want_body}}}"),
+                    "HTTP body diverged from the line protocol at {shards} shard(s)"
+                );
+            }
+            // Keep-alive held: ping still answers on the same connection.
+            let (status, body) = client.get("/v1/ping").expect("ping");
+            assert_eq!((status, body.contains("pong")), (200, true), "{body}");
+            listening.shutdown();
+        }
+    }
+
+    /// Typed errors map onto HTTP status codes: 400 bad frame, 404
+    /// unknown path / unknown page, 405 wrong method, 413 oversized,
+    /// 422 damaged page, 504 expired deadline.
+    #[test]
+    fn error_kinds_map_to_status_codes() {
+        let listening = spawn_http(ServeOptions {
+            engine: engine_config(),
+            max_frame_bytes: 1 << 20,
+            ..ServeOptions::default()
+        });
+        let addr = listening.http_addr().expect("http endpoint");
+        let mut client = HttpClient::connect(addr).expect("connect");
+
+        let (status, body) = client.post("/v1/run", "{not json").expect("bad body");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains(r#""kind":"bad-frame""#), "{body}");
+
+        let (status, body) = client.get("/v1/nope").expect("bad path");
+        assert_eq!(status, 404, "{body}");
+        assert!(body.contains("unknown path"), "{body}");
+
+        let (status, body) = client.get("/v1/run").expect("bad method");
+        assert_eq!(status, 405, "{body}");
+
+        let (status, body) = client
+            .post("/v1/intern", r#"{"html":"<p>50&bogus;mg</p>"}"#)
+            .expect("damaged page");
+        assert_eq!(status, 422, "{body}");
+        assert!(body.contains(r#""kind":"page""#), "{body}");
+
+        let (status, body) = client
+            .post(
+                "/v1/run",
+                r#"{"question":"Q","labeled":[{"page":99999,"gold":[]}]}"#,
+            )
+            .expect("unknown page");
+        assert_eq!(status, 404, "{body}");
+        assert!(body.contains(r#""kind":"unknown-page""#), "{body}");
+
+        let spec = &workload()[0];
+        let line = spec.request(9);
+        let doomed = format!(r#"{{"deadline_ms":0,{}"#, &line[1..]);
+        let (status, body) = client.post("/v1/run", &doomed).expect("expired deadline");
+        assert_eq!(status, 504, "{body}");
+        assert!(body.contains(r#""kind":"deadline-exceeded""#), "{body}");
+
+        listening.shutdown();
+
+        // Oversized bodies: their own server (tiny frame cap), 413.
+        let listening = spawn_http(ServeOptions {
+            engine: Config::default(),
+            max_frame_bytes: 256,
+            ..ServeOptions::default()
+        });
+        let addr = listening.http_addr().expect("http endpoint");
+        let mut client = HttpClient::connect(addr).expect("connect");
+        let huge = format!(r#"{{"html":"{}"}}"#, "x".repeat(4096));
+        let (status, body) = client.post("/v1/intern", &huge).expect("oversized");
+        assert_eq!(status, 413, "{body}");
+        assert!(body.contains(r#""kind":"oversized""#), "{body}");
+        listening.shutdown();
+    }
+}
+
 /// Protocol fuzz over pipelined connections: random interleavings of
 /// valid ops, `run_batch`, deadline-carrying runs, malformed JSON, and
 /// mid-frame disconnects. Two invariants, whatever the interleaving:

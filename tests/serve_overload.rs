@@ -442,6 +442,127 @@ fn pipelined_deadline_failure_leaves_neighbors_byte_identical() {
     listening.shutdown();
 }
 
+/// The bounded-serving contract survives sharding: on a 4-shard server,
+/// handle-based requests resolve interleaved wire handles, a batch
+/// whose pages live on *different* shards comes back in input order
+/// byte-identical to the cold reference, and deadlines still trip with
+/// typed errors that leave the engines unpoisoned.
+#[test]
+fn four_shard_wire_handles_batches_and_deadlines_stay_exact() {
+    let specs = [probe_spec(30), probe_spec(31), probe_spec(32)];
+    let colds: Vec<String> = specs.iter().map(Spec::cold_body).collect();
+
+    let listening = spawn_server(ServeOptions {
+        engine: engine_config(),
+        workers: 4,
+        backlog: 8,
+        shards: 4,
+        ..ServeOptions::default()
+    });
+    let addr = listening.tcp_addr().expect("tcp endpoint");
+    let mut client = Client::connect_tcp(addr).expect("connect");
+
+    // Intern every page up front: handles are shard-interleaved
+    // (handle % 4 is the owning shard). The workload must actually be
+    // cross-shard for the test to mean anything.
+    let mut handles: Vec<Vec<(Vec<u64>, Vec<u64>)>> = Vec::new();
+    for spec in &specs {
+        let labeled: Vec<u64> = spec
+            .labeled
+            .iter()
+            .map(|(html, _)| intern(&mut client, html))
+            .collect();
+        let targets: Vec<u64> = spec
+            .targets
+            .iter()
+            .map(|h| intern(&mut client, h))
+            .collect();
+        handles.push(vec![(labeled, targets)]);
+    }
+    let shards_touched: std::collections::HashSet<u64> = handles
+        .iter()
+        .flat_map(|v| v.iter())
+        .flat_map(|(l, t)| l.iter().chain(t.iter()))
+        .map(|h| h % 4)
+        .collect();
+    assert!(
+        shards_touched.len() > 1,
+        "workload must span shards, got {shards_touched:?}"
+    );
+
+    // Handle-based single runs: byte-identical to cold.
+    let wired = |spec: &Spec, (labeled, targets): &(Vec<u64>, Vec<u64>), id: u64| {
+        let lab: Vec<serde_json::Value> = labeled
+            .iter()
+            .zip(&spec.labeled)
+            .map(|(&h, (_, gold))| {
+                let mut e = serde_json::Map::new();
+                e.insert("page".to_string(), serde_json::json!(h));
+                e.insert("gold".to_string(), serde_json::json!(gold.clone()));
+                serde_json::Value::Object(e)
+            })
+            .collect();
+        let mut m = serde_json::Map::new();
+        if id > 0 {
+            m.insert("id".to_string(), serde_json::json!(id));
+        }
+        m.insert("op".to_string(), serde_json::json!("run"));
+        m.insert(
+            "question".to_string(),
+            serde_json::json!(spec.question.clone()),
+        );
+        m.insert(
+            "keywords".to_string(),
+            serde_json::json!(spec.keywords.clone()),
+        );
+        m.insert("labeled".to_string(), serde_json::Value::Array(lab));
+        m.insert("targets".to_string(), serde_json::json!(targets.clone()));
+        serde_json::to_string(&serde_json::Value::Object(m)).expect("serializable")
+    };
+    for (i, spec) in specs.iter().enumerate() {
+        let resp = client
+            .request_line(&wired(spec, &handles[i][0], i as u64 + 1))
+            .expect("run");
+        let want = format!("{{\"id\":{},\"ok\":{}}}", i + 1, colds[i]);
+        assert_eq!(resp, want, "sharded handle run {i} diverged from cold");
+    }
+
+    // A cross-shard batch: tasks homed on different shards execute
+    // per-shard and reassemble in input order, byte-identical to cold.
+    let tasks: Vec<String> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| wired(spec, &handles[i][0], 0))
+        .collect();
+    let resp = client
+        .request_line(&format!(
+            "{{\"id\":10,\"op\":\"run_batch\",\"tasks\":[{}]}}",
+            tasks.join(",")
+        ))
+        .expect("batch response");
+    let want = format!("{{\"id\":10,\"ok\":{{\"results\":[{}]}}}}", colds.join(","));
+    assert_eq!(resp, want, "cross-shard batch diverged from cold");
+
+    // An already-expired deadline on a sharded run: typed error, and the
+    // task rerun afterwards is still exact (nothing was poisoned).
+    let line = wired(&specs[0], &handles[0][0], 11);
+    let doomed = format!("{{\"deadline_ms\":0,{}", &line[1..]);
+    let resp = client.request_line(&doomed).expect("doomed response");
+    assert!(
+        resp.contains(r#""kind":"deadline-exceeded""#),
+        "expected a deadline trip, got: {resp}"
+    );
+    let resp = client
+        .request_line(&wired(&specs[0], &handles[0][0], 12))
+        .expect("rerun");
+    assert_eq!(resp, format!("{{\"id\":12,\"ok\":{}}}", colds[0]));
+
+    let s = stats(addr);
+    assert_eq!(s["ok"]["deadline_exceeded"].as_u64(), Some(1), "{s:?}");
+    assert_eq!(s["ok"]["shed"].as_u64(), Some(0), "{s:?}");
+    listening.shutdown();
+}
+
 /// `run_batch` over the wire matches per-task `run` responses
 /// byte-for-byte and occupies one worker slot for the whole batch.
 #[test]
