@@ -51,8 +51,11 @@ COMMANDS:
                   (--html SRC | --html-file PATH) [--lenient]
                   --lenient skips the strict damage checks (browser-style
                   recovery) for pages the fallible parser rejects
-    check     Lint a DSL program and print its normalized form
-                  --program SRC [--question Q] [--keywords A,B] [--normalize]
+    check     Lint + analyze a DSL program (sound static verdicts:
+              provably-false guards, subsumed branches, provably-empty
+              extractors); exits non-zero when anything fires
+                  --program SRC [--question Q] [--keywords A,B]
+                  [--normalize] [--json]
     stats     Structural-heterogeneity statistics of the generated corpus
                   [--count N] [--seed S] [--domain D]
     serve     Run the resident serving daemon (line-delimited JSON
@@ -781,11 +784,12 @@ pub(crate) fn client(a: &ParsedArgs) -> Result<String, CliError> {
                 Some("run") => ("POST", "/v1/run"),
                 Some("run_batch") => ("POST", "/v1/run_batch"),
                 Some("intern") => ("POST", "/v1/intern"),
+                Some("check") => ("POST", "/v1/check"),
                 Some("ping") => ("GET", "/v1/ping"),
                 Some("stats") => ("GET", "/v1/stats"),
                 other => {
                     return Err(CliError::Command(format!(
-                        "cannot route op {other:?} over HTTP (expected ping|intern|run|run_batch|stats)"
+                        "cannot route op {other:?} over HTTP (expected ping|intern|run|run_batch|check|stats)"
                     )))
                 }
             };
@@ -1071,33 +1075,69 @@ pub(crate) fn bench_fleet(a: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `check`: lint + optional normalization of a program.
+/// `check`: lint + abstract-interpretation verdicts (and optional
+/// normalization) of a program. Returns [`CliError::CheckFailed`] —
+/// carrying the full report, which the binary prints to stdout with a
+/// failing exit status — when either pass finds a problem.
 pub(crate) fn check(a: &ParsedArgs) -> Result<String, CliError> {
-    a.expect_only(&["program", "question", "keywords", "normalize"])?;
+    a.expect_only(&["program", "question", "keywords", "normalize", "json"])?;
     let program: Program = a
         .require("program")?
         .parse()
         .map_err(|e| CliError::Command(format!("bad --program: {e}")))?;
     let ctx = QueryContext::new(a.get("question").unwrap_or(""), a.get_list("keywords"));
     let report = lint(&program, &ctx);
-    let mut out = String::new();
-    let _ = writeln!(out, "program: {program}");
-    let _ = writeln!(
-        out,
-        "size {} | branches {}",
-        program.size(),
-        program.branches.len()
-    );
-    let _ = writeln!(out, "lint: {report}");
-    if a.switch("normalize") {
-        let n = normalize(&program);
-        if n == program {
-            let _ = writeln!(out, "normalized: (already normal)");
-        } else {
-            let _ = writeln!(out, "normalized: {n}");
+    let analysis = webqa_dsl::Analyzer::new(&ctx).analyze(&program);
+    let verdicts = analysis.verdicts();
+    let clean = report.is_clean() && verdicts.is_empty();
+    let normalized = a.switch("normalize").then(|| normalize(&program));
+    let out = if a.switch("json") {
+        let strings = |items: Vec<String>| {
+            serde_json::Value::Array(items.into_iter().map(serde_json::Value::from).collect())
+        };
+        let mut obj = serde_json::Map::new();
+        obj.insert("program".into(), program.to_string().into());
+        obj.insert("size".into(), serde_json::json!(program.size()));
+        obj.insert("branches".into(), serde_json::json!(program.branches.len()));
+        obj.insert(
+            "lint".into(),
+            strings(report.issues.iter().map(|i| i.to_string()).collect()),
+        );
+        obj.insert("verdicts".into(), strings(verdicts.clone()));
+        obj.insert(
+            "canonical_key".into(),
+            analysis.canonical_key.clone().into(),
+        );
+        obj.insert("clean".into(), serde_json::Value::Bool(clean));
+        if let Some(n) = &normalized {
+            obj.insert("normalized".into(), n.to_string().into());
         }
+        format!("{}\n", serde_json::Value::Object(obj))
+    } else {
+        let mut out = String::new();
+        let _ = writeln!(out, "program: {program}");
+        let _ = writeln!(
+            out,
+            "size {} | branches {}",
+            program.size(),
+            program.branches.len()
+        );
+        let _ = writeln!(out, "lint: {report}");
+        let _ = writeln!(out, "analysis: {analysis}");
+        if let Some(n) = &normalized {
+            if *n == program {
+                let _ = writeln!(out, "normalized: (already normal)");
+            } else {
+                let _ = writeln!(out, "normalized: {n}");
+            }
+        }
+        out
+    };
+    if clean {
+        Ok(out)
+    } else {
+        Err(CliError::CheckFailed(out))
     }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -1459,7 +1499,9 @@ mod tests {
 
     #[test]
     fn check_reports_lint_and_normal_form() {
-        let out = dispatch(&[
+        // The no-op filter is a lint issue, so the report comes back as
+        // CheckFailed (printed to stdout with a failing exit status).
+        let err = dispatch(&[
             "check",
             "--program",
             "sat(root, kw(0.60)) -> filter(content, true)",
@@ -1467,11 +1509,79 @@ mod tests {
             "Students",
             "--normalize",
         ])
-        .unwrap();
+        .unwrap_err();
+        let crate::CliError::CheckFailed(out) = err else {
+            panic!("expected CheckFailed, got {err}");
+        };
         assert!(out.contains("no-op"), "{out}");
         assert!(
             out.contains("normalized: sat(root, kw(0.60)) -> content"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn check_passes_clean_programs() {
+        let out = dispatch(&[
+            "check",
+            "--program",
+            "sat(root, kw(0.60)) -> content",
+            "--keywords",
+            "Students",
+        ])
+        .unwrap();
+        assert!(out.contains("lint: no issues"), "{out}");
+        assert!(out.contains("analysis: no verdicts"), "{out}");
+    }
+
+    #[test]
+    fn check_reports_analyzer_verdicts() {
+        // No --keywords: kw(0.60) is provably false, and the second
+        // branch's guard is subsumed by the first's.
+        let err = dispatch(&[
+            "check",
+            "--program",
+            "sat(root, kw(0.60)) -> content; \
+             sat(root, true) -> content; \
+             sat(root, true) -> split(content, ',')",
+            "--question",
+            "Who are the students?",
+        ])
+        .unwrap_err();
+        let crate::CliError::CheckFailed(out) = err else {
+            panic!("expected CheckFailed, got {err}");
+        };
+        assert!(out.contains("branch 0: guard is provably false"), "{out}");
+        assert!(
+            out.contains("branch 2: guard is subsumed by branch 1's guard"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn check_json_snapshot() {
+        let err = dispatch(&[
+            "check",
+            "--program",
+            "sat(root, kw(0.60)) -> content; sat(root, true) -> content",
+            "--question",
+            "Who are the students?",
+            "--normalize",
+            "--json",
+        ])
+        .unwrap_err();
+        let crate::CliError::CheckFailed(out) = err else {
+            panic!("expected CheckFailed, got {err}");
+        };
+        let expected = concat!(
+            r#"{"program":"sat(root, kw(0.60)) -> content; sat(root, true) -> content","#,
+            r#""size":8,"branches":2,"#,
+            r#""lint":["program uses matchKeyword but the context has no keywords"],"#,
+            r#""verdicts":["branch 0: guard is provably false"],"#,
+            r#""canonical_key":"sat(root, true) -> content","clean":false,"#,
+            r#""normalized":"sat(root, kw(0.60)) -> content; sat(root, true) -> content"}"#,
+            "\n",
+        );
+        assert_eq!(out, expected, "json report drifted:\n{out}");
     }
 }

@@ -13,7 +13,7 @@
 //!                 [--baselines] [--show N]
 //! webqa-cli eval [--tasks A,B,C] [--domain D] [--pages N] [--train N] [--seed S] [--jobs N]
 //! webqa-cli run --program SRC --question Q --keywords A,B (--html SRC | --html-file PATH)
-//! webqa-cli check --program SRC [--question Q] [--keywords A,B]
+//! webqa-cli check --program SRC [--question Q] [--keywords A,B] [--normalize] [--json]
 //! webqa-cli serve (--tcp HOST:PORT | --unix PATH | --http HOST:PORT) [--shards N]
 //!                 [--max-requests N]
 //! webqa-cli client (--tcp HOST:PORT | --unix PATH | --http HOST:PORT)
@@ -46,6 +46,11 @@ pub enum CliError {
     /// Anything the command itself rejects (unknown task id, unparsable
     /// program, unreadable file…).
     Command(String),
+    /// `check` ran and found problems: the payload is the full report
+    /// (text or JSON, per the flags). The binary prints it to *stdout* —
+    /// it is the command's output, not a usage error — and exits
+    /// non-zero so scripts and CI can gate on a clean program.
+    CheckFailed(String),
 }
 
 impl fmt::Display for CliError {
@@ -56,6 +61,7 @@ impl fmt::Display for CliError {
                 write!(f, "unknown command {c:?}; try `webqa-cli help`")
             }
             CliError::Command(m) => write!(f, "{m}"),
+            CliError::CheckFailed(report) => write!(f, "{report}"),
         }
     }
 }

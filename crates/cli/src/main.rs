@@ -9,6 +9,12 @@ fn main() -> ExitCode {
             print!("{out}");
             ExitCode::SUCCESS
         }
+        // A failed `check` is a report, not a usage error: it goes to
+        // stdout (where --json consumers read it) with a failing status.
+        Err(webqa_cli::CliError::CheckFailed(report)) => {
+            print!("{report}");
+            ExitCode::FAILURE
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -66,7 +66,9 @@ pub use pipeline::{score_answers, Config, Modality, RunResult, Selection, WebQa}
 pub use store::{content_digest, PageId, PageStore};
 
 // Re-export the workspace vocabulary that appears in this crate's API.
-pub use webqa_dsl::{HtmlError, PageTree, Program, QueryContext};
+pub use webqa_dsl::{
+    lint, AnalysisReport, Analyzer, HtmlError, LintReport, PageTree, Program, QueryContext,
+};
 pub use webqa_metrics::Score;
 pub use webqa_select::{Ensemble, SelectionConfig};
 pub use webqa_synth::{CancelToken, SynthConfig, SynthesisOutcome};

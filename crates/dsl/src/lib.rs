@@ -32,9 +32,31 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Static analysis
+//!
+//! Beyond evaluation, the crate ships two static passes over programs:
+//!
+//! * [`lint`] — syntactic well-formedness diagnostics (off-grid
+//!   thresholds, depth bounds, no-op filters…);
+//! * [`analysis`] — a **sound abstract interpreter** deriving
+//!   page-independent verdicts from the query-context facts alone:
+//!   output emptiness (a branch or whole program provably returns `∅`),
+//!   guard subsumption (a later branch's guard semantically implies an
+//!   earlier one's, so the branch can never fire), and equivalence up to
+//!   normalization (a canonical dedup key extending [`normalize`] with
+//!   the analysis-proven rewrites). [`lint`]'s dead-branch diagnostic
+//!   delegates to the semantic subsumption lattice, and the synthesizer
+//!   (`webqa_synth`) consults the same facts to prune candidates that
+//!   are provably dead before building or scoring them.
+//!
+//! Every definite verdict is a theorem about the definitional semantics
+//! — `tests/analysis_soundness.rs` (workspace root) property-tests the
+//! analyzer against [`Program::eval`] on random generator pages.
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 mod ast;
 mod context;
 mod eval;
@@ -43,6 +65,7 @@ mod normalize;
 mod parse;
 mod print;
 
+pub use analysis::{AnalysisReport, Analyzer, BranchAnalysis, LocatorCard, Truth};
 pub use ast::{Branch, Extractor, Guard, Locator, NlpPred, NodeFilter, Program, Threshold};
 pub use context::QueryContext;
 pub use lint::{lint, LintIssue, LintReport};

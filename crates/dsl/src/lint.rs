@@ -22,8 +22,11 @@ pub enum LintIssue {
     KeywordsUnavailable,
     /// The program uses `hasAnswer` but the context question is empty.
     QuestionUnavailable,
-    /// Branch `later` can never fire: its guard is syntactically identical
-    /// to branch `earlier`'s guard, which takes precedence.
+    /// Branch `later` can never fire: its guard is subsumed by branch
+    /// `earlier`'s guard, which takes precedence. Subsumption is decided
+    /// semantically ([`crate::analysis::Analyzer::guard_implies`]) —
+    /// byte-identical guards are the simplest case and are attributed
+    /// first when both kinds of shadow exist.
     DeadBranch {
         /// Index of the shadowing branch.
         earlier: usize,
@@ -89,7 +92,7 @@ impl fmt::Display for LintIssue {
             }
             LintIssue::DeadBranch { earlier, later } => write!(
                 f,
-                "branch {later} is unreachable: its guard equals branch {earlier}'s guard"
+                "branch {later} is unreachable: its guard is subsumed by branch {earlier}'s guard"
             ),
             LintIssue::TrivialFilter { branch } => {
                 write!(f, "branch {branch}: filter(e, true) is a no-op")
@@ -173,6 +176,7 @@ pub const DEFAULT_EXTRACTOR_DEPTH: usize = 5;
 /// ```
 pub fn lint(program: &Program, ctx: &QueryContext) -> LintReport {
     let mut issues = Vec::new();
+    let analyzer = crate::analysis::Analyzer::new(ctx);
 
     if program.uses_keywords() && ctx.keywords().is_empty() {
         issues.push(LintIssue::KeywordsUnavailable);
@@ -182,14 +186,20 @@ pub fn lint(program: &Program, ctx: &QueryContext) -> LintReport {
     }
 
     for (i, b) in program.branches.iter().enumerate() {
-        for (j, earlier) in program.branches[..i].iter().enumerate() {
-            if earlier.guard == b.guard {
-                issues.push(LintIssue::DeadBranch {
-                    earlier: j,
-                    later: i,
-                });
-                break;
-            }
+        // Dead branches are decided by the semantic subsumption analysis;
+        // byte-identical guards are scanned first so the attribution (and
+        // the report text) stays what the purely syntactic pass produced.
+        let earlier = &program.branches[..i];
+        let shadow = earlier.iter().position(|e| e.guard == b.guard).or_else(|| {
+            earlier
+                .iter()
+                .position(|e| analyzer.guard_implies(&b.guard, &e.guard))
+        });
+        if let Some(j) = shadow {
+            issues.push(LintIssue::DeadBranch {
+                earlier: j,
+                later: i,
+            });
         }
         let depth = locator_depth(b.guard.locator());
         if depth > DEFAULT_LOCATOR_DEPTH {
@@ -325,6 +335,47 @@ mod tests {
     #[test]
     fn dead_branch_flagged() {
         let p = parse("sat(root, true) -> content; sat(root, true) -> split(content, ',')");
+        let r = lint(&p, &ctx());
+        assert!(r.issues.contains(&LintIssue::DeadBranch {
+            earlier: 0,
+            later: 1
+        }));
+    }
+
+    #[test]
+    fn semantically_subsumed_branch_flagged() {
+        // Guards differ syntactically, but kw(0.80) ⇒ kw(0.50): the
+        // second branch can never fire.
+        let p = parse("sat(root, kw(0.50)) -> content; sat(root, kw(0.80)) -> content");
+        let r = lint(&p, &ctx());
+        assert!(r.issues.contains(&LintIssue::DeadBranch {
+            earlier: 0,
+            later: 1
+        }));
+        // The reverse order is fine: the stronger guard fires first.
+        let p = parse("sat(root, kw(0.80)) -> content; sat(root, kw(0.50)) -> content");
+        assert!(lint(&p, &ctx()).is_clean());
+    }
+
+    #[test]
+    fn byte_identical_guard_attribution_wins() {
+        // Branch 2's guard both implies branch 0's and equals branch 1's;
+        // the byte-identical earlier branch is the one reported.
+        let p = parse(
+            "sat(root, kw(0.50)) -> content; \
+             sat(root, kw(0.80)) -> content; \
+             sat(root, kw(0.80)) -> split(content, ',')",
+        );
+        let r = lint(&p, &ctx());
+        assert!(r.issues.contains(&LintIssue::DeadBranch {
+            earlier: 1,
+            later: 2
+        }));
+    }
+
+    #[test]
+    fn branch_after_catch_all_flagged() {
+        let p = parse("sat(root, true) -> content; sat(root, kw(0.80)) -> content");
         let r = lint(&p, &ctx());
         assert!(r.issues.contains(&LintIssue::DeadBranch {
             earlier: 0,

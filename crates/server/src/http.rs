@@ -227,6 +227,7 @@ fn route(method: &str, path: &str) -> Route {
         "/v1/run" => ("run", "POST"),
         "/v1/run_batch" => ("run_batch", "POST"),
         "/v1/intern" => ("intern", "POST"),
+        "/v1/check" => ("check", "POST"),
         "/v1/ping" => ("ping", "GET"),
         "/v1/stats" => ("stats", "GET"),
         _ => return Route::Unknown,
@@ -310,7 +311,7 @@ impl ResponseGate {
     /// response, e.g. under a write-permit cap, must not pin the thread
     /// forever).
     fn wait(&self, shutdown: &AtomicBool) -> Option<String> {
-        let mut slot = self.slot.lock().expect("response gate");
+        let mut slot = crate::relock(self.slot.lock());
         loop {
             if let Some(line) = slot.take() {
                 return Some(line);
@@ -318,10 +319,7 @@ impl ResponseGate {
             if shutdown.load(Ordering::SeqCst) {
                 return None;
             }
-            let (s, _) = self
-                .ready
-                .wait_timeout(slot, Duration::from_millis(100))
-                .expect("response gate");
+            let (s, _) = crate::relock(self.ready.wait_timeout(slot, Duration::from_millis(100)));
             slot = s;
         }
     }
@@ -351,7 +349,7 @@ impl Write for GateWriter {
         while line.ends_with('\n') || line.ends_with('\r') {
             line.pop();
         }
-        *self.gate.slot.lock().expect("response gate") = Some(line);
+        *crate::relock(self.gate.slot.lock()) = Some(line);
         self.gate.ready.notify_all();
         Ok(())
     }
@@ -391,7 +389,7 @@ pub(crate) fn serve_http_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
                     &server,
                     ErrKind::UnknownOp,
                     &format!(
-                        "unknown path {} (expected /v1/run, /v1/run_batch, /v1/intern, /v1/ping, or /v1/stats)",
+                        "unknown path {} (expected /v1/run, /v1/run_batch, /v1/intern, /v1/check, /v1/ping, or /v1/stats)",
                         request.path
                     ),
                 ),

@@ -98,7 +98,7 @@
 //! value, echoed verbatim; `null` when absent or unparsable):
 //!
 //! ```text
-//! → {"id": 1, "op": "<ping|intern|run|run_batch|stats>", ...op fields...}
+//! → {"id": 1, "op": "<ping|intern|run|run_batch|check|stats>", ...op fields...}
 //! ← {"id": 1, "ok": {...}}
 //! ← {"id": 1, "err": {"kind": "<kind>", "message": "..."}}
 //! ```
@@ -200,10 +200,36 @@
 //! the totals, so the breakdown always sums to them exactly
 //! (`tests/serve_api.rs` asserts this).
 //!
+//! ### `check` — lint + abstract-interpretation verdicts for a program
+//!
+//! ```text
+//! → {"op":"check",
+//!    "program": "sat(root, kw(0.60)) -> content; sat(root, true) -> content",
+//!    "question": "Who are the PhD students?",   // optional
+//!    "keywords": ["Students"]}                  // optional
+//! ← {"id":null,"ok":{
+//!      "program": "sat(...) -> ...",   // round-tripped canonical text
+//!      "size": 8, "branches": 2,
+//!      "lint": ["..."],                // static well-formedness issues
+//!      "verdicts": ["..."],            // analyzer proofs of dead code
+//!      "canonical_key": "...",         // equality-up-to-normalization key
+//!      "clean": true}}                 // no lint issues, no verdicts
+//! ```
+//!
+//! Pure static analysis ([`webqa::lint`] plus the abstract interpreter,
+//! [`webqa::Analyzer`]): the program is parsed and analyzed against the
+//! given query context without evaluating any page — the op is answered
+//! inline on the connection thread and never takes an engine lock, a
+//! worker slot, or an admission-queue place. An unparsable `program` is
+//! a `bad-request`; a parseable program with findings still answers
+//! `ok` (with `"clean": false`) — findings are the op's *output*, not a
+//! protocol failure. The body mirrors `webqa-cli check --json` field
+//! for field.
+//!
 //! # HTTP/1.1 facade
 //!
 //! With an HTTP endpoint bound ([`Server::listen_all`], or
-//! `webqa-cli serve --http HOST:PORT`), the same five operations are
+//! `webqa-cli serve --http HOST:PORT`), the same six operations are
 //! served as routes; the response **body is the line-protocol envelope
 //! byte for byte** (without the trailing newline), so everything above
 //! about envelopes, error kinds, and byte-identical semantics carries
@@ -213,6 +239,7 @@
 //! POST /v1/run        body = the run request object (op injected)
 //! POST /v1/run_batch  body = the run_batch request object
 //! POST /v1/intern     body = {"html": "..."}
+//! POST /v1/check      body = the check request object (op injected)
 //! GET  /v1/ping       (empty body)
 //! GET  /v1/stats      (empty body)
 //! ```
@@ -254,6 +281,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// A panicking worker must never take the daemon down with it: resident
+// code recovers poisoned locks and degrades typed instead of unwrapping.
+// Tests are exempt — there a panic is the assertion mechanism.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod http;
 mod net;
@@ -276,12 +307,23 @@ use std::time::{Duration, Instant};
 
 use serde_json::{Map, Value};
 use webqa::{
-    content_digest, CacheStats, CancelToken, Engine, Error as EngineError, PageId, PageTree, Task,
+    content_digest, lint, Analyzer, CacheStats, CancelToken, Engine, Error as EngineError, PageId,
+    PageTree, Program, QueryContext, Task,
 };
 
 use pool::ConnWriter;
 use protocol::{bad_request, envelope, page_ref, str_field, string_list, PageRef, ProtoError};
 use shard::ShardSet;
+
+/// Recovers a poisoned lock. Everything behind the server's locks —
+/// completion counters, job/connection registries, the engines' stores
+/// and caches — is valid at every intermediate step, so a worker that
+/// panicked while holding one leaves usable state behind; the serving
+/// loop keeps answering instead of cascading the panic into every
+/// thread that touches the lock afterwards.
+pub(crate) fn relock<G>(result: Result<G, std::sync::PoisonError<G>>) -> G {
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Server construction options.
 #[derive(Debug, Clone)]
@@ -418,7 +460,7 @@ impl Shared {
         }
         let ok = conn.write_line(line);
         if ok {
-            let mut done = self.completions.lock().expect("completion counter");
+            let mut done = relock(self.completions.lock());
             *done += 1;
             self.completion_cv.notify_all();
         } else if self.max_responses.is_some() {
@@ -432,18 +474,12 @@ impl Shared {
     /// Registers an in-flight heavy op's token (shutdown cancels them).
     pub(crate) fn track_job(&self, token: &CancelToken) -> u64 {
         let job = self.next_job.fetch_add(1, Ordering::Relaxed);
-        self.inflight
-            .lock()
-            .expect("inflight registry")
-            .insert(job, token.clone());
+        relock(self.inflight.lock()).insert(job, token.clone());
         job
     }
 
     pub(crate) fn untrack_job(&self, job: u64) {
-        self.inflight
-            .lock()
-            .expect("inflight registry")
-            .remove(&job);
+        relock(self.inflight.lock()).remove(&job);
     }
 }
 
@@ -720,13 +756,7 @@ impl Server {
                 // The long-running part shares the home shard's read
                 // lock: concurrent workers proceed in parallel, and only
                 // *this shard's* interns serialize against them.
-                let engine = self
-                    .shared
-                    .shards
-                    .get(home)
-                    .engine
-                    .read()
-                    .expect("engine lock");
+                let engine = relock(self.shared.shards.get(home).engine.read());
                 let result = engine
                     .run_with_cancel(&task, token)
                     .map_err(|e| self.engine_err(e))?;
@@ -751,14 +781,12 @@ impl Server {
                 let mut rendered: Vec<Value> =
                     vec![Value::Null; groups.values().map(|(i, _)| i.len()).sum()];
                 for shard in order {
-                    let (indices, group) = groups.remove(&shard).expect("grouped above");
-                    let engine = self
-                        .shared
-                        .shards
-                        .get(shard)
-                        .engine
-                        .read()
-                        .expect("engine lock");
+                    // Grouped above: every key in `order` was inserted
+                    // exactly once and is removed exactly once here.
+                    let Some((indices, group)) = groups.remove(&shard) else {
+                        continue;
+                    };
+                    let engine = relock(self.shared.shards.get(shard).engine.read());
                     let results = engine
                         .run_batch_with_cancel(&group, self.shared.batch_jobs, token)
                         .map_err(|e| self.engine_err(e))?;
@@ -854,10 +882,11 @@ impl Server {
                     shard,
                 }))
             }
+            Some("check") => self.op_check(request).map(Action::Immediate),
             Some("stats") => self.op_stats().map(Action::Immediate),
             Some(other) => Err(ProtoError::new(
                 ErrKind::UnknownOp,
-                format!("unknown op {other:?} (expected ping|intern|run|run_batch|stats)"),
+                format!("unknown op {other:?} (expected ping|intern|run|run_batch|check|stats)"),
             )),
             None => bad_request("field \"op\" must be a string"),
         }
@@ -896,13 +925,7 @@ impl Server {
         let tree = Arc::new(tree);
         let owner = self.shared.shards.owner_of(content_digest(&tree));
         let id = {
-            let mut engine = self
-                .shared
-                .shards
-                .get(owner)
-                .engine
-                .write()
-                .expect("engine lock");
+            let mut engine = relock(self.shared.shards.get(owner).engine.write());
             engine.store_mut().insert_shared(Arc::clone(&tree))
         };
         Ok((
@@ -934,20 +957,25 @@ impl Server {
         match r {
             PageRef::Handle(h) => {
                 let (owner, local) = self.shared.shards.decode_handle(h);
-                let engine = self
-                    .shared
-                    .shards
-                    .get(owner)
-                    .engine
-                    .read()
-                    .expect("engine lock");
+                let engine = relock(self.shared.shards.get(owner).engine.read());
                 let id = engine.store().id_at(local as usize).ok_or_else(|| {
                     ProtoError::new(
                         ErrKind::UnknownPage,
                         format!("page handle {h} is unknown to this server"),
                     )
                 })?;
-                let tree = Arc::clone(engine.store().get(id).expect("id_at resolves"));
+                // `id_at` just resolved this id under the same read
+                // lock, so `get` can only miss if the store is corrupt —
+                // degrade typed rather than panic the connection thread.
+                let tree = match engine.store().get(id) {
+                    Ok(tree) => Arc::clone(tree),
+                    Err(_) => {
+                        return Err(ProtoError::new(
+                            ErrKind::Internal,
+                            format!("page handle {h} resolved to a missing store slot"),
+                        ))
+                    }
+                };
                 Ok(ResolvedPage {
                     tree,
                     owner,
@@ -973,14 +1001,8 @@ impl Server {
         if page.owner == home {
             return page.id_in_owner;
         }
-        let engine = home_engine.get_or_insert_with(|| {
-            self.shared
-                .shards
-                .get(home)
-                .engine
-                .write()
-                .expect("engine lock")
-        });
+        let engine =
+            home_engine.get_or_insert_with(|| relock(self.shared.shards.get(home).engine.write()));
         engine.store_mut().insert_shared(Arc::clone(&page.tree))
     }
 
@@ -1048,6 +1070,53 @@ impl Server {
         Ok((task, home))
     }
 
+    /// `check`: lint plus abstract-interpretation verdicts for a program
+    /// against an (optional) query context. Pure static analysis — no
+    /// page is evaluated, no engine lock is taken, no worker slot or
+    /// queue place is consumed — so it is answered inline like `ping`.
+    /// The body mirrors `webqa-cli check --json` field for field.
+    fn op_check(&self, request: &Value) -> Result<Value, ProtoError> {
+        let src = str_field(request, "program")?;
+        let program: Program = src.parse().map_err(|e| {
+            ProtoError::new(
+                ErrKind::BadRequest,
+                format!("field \"program\" does not parse: {e}"),
+            )
+        })?;
+        let question = match &request["question"] {
+            Value::Null => "",
+            v => match v.as_str() {
+                Some(q) => q,
+                None => return bad_request("field \"question\" must be a string"),
+            },
+        };
+        let ctx = QueryContext::new(question, string_list(request, "keywords")?);
+        let report = lint(&program, &ctx);
+        let analysis = Analyzer::new(&ctx).analyze(&program);
+        let verdicts = analysis.verdicts();
+        let clean = report.is_clean() && verdicts.is_empty();
+        let strings =
+            |items: Vec<String>| Value::Array(items.into_iter().map(Value::String).collect());
+        let mut map = Map::new();
+        map.insert("program".to_string(), Value::String(program.to_string()));
+        map.insert("size".to_string(), serde_json::json!(program.size()));
+        map.insert(
+            "branches".to_string(),
+            serde_json::json!(program.branches.len()),
+        );
+        map.insert(
+            "lint".to_string(),
+            strings(report.issues.iter().map(|i| i.to_string()).collect()),
+        );
+        map.insert("verdicts".to_string(), strings(verdicts));
+        map.insert(
+            "canonical_key".to_string(),
+            Value::String(analysis.canonical_key.clone()),
+        );
+        map.insert("clean".to_string(), Value::Bool(clean));
+        Ok(Value::Object(map))
+    }
+
     fn op_stats(&self) -> Result<Value, ProtoError> {
         let shards = &self.shared.shards;
         // One pass over the shards: read each engine once, emitting the
@@ -1058,7 +1127,7 @@ impl Server {
         let mut pages_total = 0usize;
         for (i, s) in shards.iter().enumerate() {
             let (pages, cache) = {
-                let engine = s.engine.read().expect("engine lock");
+                let engine = relock(s.engine.read());
                 (engine.store().len(), engine.cache_stats())
             };
             pages_total += pages;
@@ -1119,12 +1188,7 @@ impl Server {
         );
         map.insert(
             "inflight".to_string(),
-            serde_json::json!(self
-                .shared
-                .inflight
-                .lock()
-                .expect("inflight registry")
-                .len() as u64),
+            serde_json::json!(relock(self.shared.inflight.lock()).len() as u64),
         );
         map.insert("pages".to_string(), serde_json::json!(pages_total));
         map.insert(
@@ -1263,6 +1327,43 @@ mod tests {
         let stats = s.handle_line(r#"{"op":"stats"}"#);
         let v: Value = serde_json::from_str(&stats).expect("valid JSON");
         assert_eq!(v["ok"]["deadline_exceeded"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn check_reports_verdicts_without_touching_the_engine() {
+        let s = server();
+        let resp = s.handle_line(
+            r#"{"id":3,"op":"check","program":"sat(root, kw(0.60)) -> content; sat(root, true) -> content","keywords":["Students"]}"#,
+        );
+        let v: Value = serde_json::from_str(&resp).expect("valid JSON");
+        assert_eq!(v["id"].as_u64(), Some(3));
+        assert_eq!(v["ok"]["branches"].as_u64(), Some(2));
+        assert_eq!(v["ok"]["clean"].as_bool(), Some(true));
+        assert_eq!(v["ok"]["verdicts"].as_array().map(Vec::len), Some(0));
+        assert!(v["ok"]["canonical_key"].as_str().is_some(), "{resp}");
+
+        // Without keywords the kw-guard is provably false: findings are
+        // the op's *output*, still an `ok` response.
+        let dirty = s.handle_line(
+            r#"{"op":"check","program":"sat(root, kw(0.60)) -> content; sat(root, true) -> content"}"#,
+        );
+        let v: Value = serde_json::from_str(&dirty).expect("valid JSON");
+        assert_eq!(v["ok"]["clean"].as_bool(), Some(false));
+        let verdicts = v["ok"]["verdicts"].as_array().expect("verdicts array");
+        assert!(
+            verdicts
+                .iter()
+                .any(|x| x.as_str() == Some("branch 0: guard is provably false")),
+            "{dirty}"
+        );
+
+        // An unparsable program is a protocol error, not a finding —
+        // and the op consumed no engine state: the store stays empty.
+        let bad = s.handle_line(r#"{"op":"check","program":"sat(root,"}"#);
+        assert!(bad.contains(r#""kind":"bad-request""#), "{bad}");
+        let stats = s.handle_line(r#"{"op":"stats"}"#);
+        let v: Value = serde_json::from_str(&stats).expect("valid JSON");
+        assert_eq!(v["ok"]["pages"].as_u64(), Some(0));
     }
 
     #[test]

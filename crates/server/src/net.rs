@@ -204,7 +204,7 @@ impl Listening {
     /// conditions use [`Listening::wait_for_responses`] instead of
     /// polling.
     pub fn responses_sent(&self) -> u64 {
-        *self.shared.completions.lock().expect("completion counter")
+        *crate::relock(self.shared.completions.lock())
     }
 
     /// Blocks until at least `n` responses have been fully written
@@ -214,13 +214,9 @@ impl Listening {
     /// cap guarantees the count never overshoots, whatever the
     /// concurrency.
     pub fn wait_for_responses(&self, n: u64) -> u64 {
-        let mut done = self.shared.completions.lock().expect("completion counter");
+        let mut done = crate::relock(self.shared.completions.lock());
         while *done < n {
-            done = self
-                .shared
-                .completion_cv
-                .wait(done)
-                .expect("completion counter");
+            done = crate::relock(self.shared.completion_cv.wait(done));
         }
         *done
     }
@@ -243,13 +239,7 @@ impl Drop for Listening {
         // Abort in-flight syntheses: their cooperative tokens trip at
         // the next enumerator checkpoint, so workers drain in bounded
         // steps instead of finishing arbitrarily long runs.
-        for (_, token) in self
-            .shared
-            .inflight
-            .lock()
-            .expect("inflight registry")
-            .iter()
-        {
+        for (_, token) in crate::relock(self.shared.inflight.lock()).iter() {
             token.cancel();
         }
         // Wake workers parked on the empty admission queues so they
@@ -273,7 +263,7 @@ impl Drop for Listening {
         }
         // Close every live connection so idle reads unblock and their
         // threads exit rather than leaking.
-        for (_, close) in self.shared.conns.lock().expect("conn registry").drain() {
+        for (_, close) in crate::relock(self.shared.conns.lock()).drain() {
             close();
         }
         // Workers exit after their current (now-cancelled) job.
@@ -351,16 +341,12 @@ where
                 }
                 let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
                 if let Some(close) = stream.closer() {
-                    shared
-                        .conns
-                        .lock()
-                        .expect("conn registry")
-                        .insert(conn_id, close);
+                    crate::relock(shared.conns.lock()).insert(conn_id, close);
                 }
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
                     serve(&shared, stream);
-                    shared.conns.lock().expect("conn registry").remove(&conn_id);
+                    crate::relock(shared.conns.lock()).remove(&conn_id);
                 });
             }
             Err(_) => {

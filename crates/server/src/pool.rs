@@ -28,7 +28,7 @@ use std::thread::JoinHandle;
 
 use serde_json::Value;
 
-use crate::{HeavyOp, Server, Shared};
+use crate::{relock, HeavyOp, Server, Shared};
 
 /// The write half of one connection, shared between its reader thread
 /// (inline responses) and the worker pool (heavy-op responses). The
@@ -48,7 +48,7 @@ impl ConnWriter {
     /// other lines on this connection. Returns whether the full line
     /// reached the transport.
     pub(crate) fn write_line(&self, line: &str) -> bool {
-        let mut w = self.writer.lock().expect("conn writer");
+        let mut w = relock(self.writer.lock());
         w.write_all(line.as_bytes())
             .and_then(|()| w.write_all(b"\n"))
             .and_then(|()| w.flush())
@@ -87,7 +87,7 @@ impl Admission {
 
     /// Admits a job unless the backlog is full; `false` = shed it.
     pub(crate) fn try_push(&self, job: Job) -> bool {
-        let mut q = self.queue.lock().expect("admission queue");
+        let mut q = relock(self.queue.lock());
         if q.len() >= self.capacity {
             return false;
         }
@@ -100,7 +100,7 @@ impl Admission {
     /// means the pool is winding down (queued jobs are abandoned — their
     /// connections are being closed anyway).
     pub(crate) fn pop(&self, shutdown: &AtomicBool) -> Option<Job> {
-        let mut q = self.queue.lock().expect("admission queue");
+        let mut q = relock(self.queue.lock());
         loop {
             if shutdown.load(Ordering::SeqCst) {
                 return None;
@@ -108,19 +108,19 @@ impl Admission {
             if let Some(job) = q.pop_front() {
                 return Some(job);
             }
-            q = self.ready.wait(q).expect("admission queue");
+            q = relock(self.ready.wait(q));
         }
     }
 
     /// Wakes every blocked worker (shutdown path).
     pub(crate) fn wake_all(&self) {
-        let _guard = self.queue.lock().expect("admission queue");
+        let _guard = relock(self.queue.lock());
         self.ready.notify_all();
     }
 
     /// Current queue depth (diagnostics).
     pub(crate) fn depth(&self) -> usize {
-        self.queue.lock().expect("admission queue").len()
+        relock(self.queue.lock()).len()
     }
 }
 

@@ -107,7 +107,13 @@ pub fn envelope(id: Value, outcome: Result<Value, ProtoError>) -> String {
             map.insert("err".to_string(), Value::Object(err));
         }
     }
-    serde_json::to_string(&Value::Object(map)).expect("envelope values always serialize")
+    serde_json::to_string(&Value::Object(map)).unwrap_or_else(|_| {
+        // Unreachable for tree-shaped `Value`s, but a worker thread must
+        // answer *something* rather than panic while holding shared
+        // state — degrade to a well-formed internal error.
+        r#"{"id":null,"err":{"kind":"internal","message":"response serialization failed"}}"#
+            .to_string()
+    })
 }
 
 /// The canonical rendering of a completed run — the `ok` body of a `run`

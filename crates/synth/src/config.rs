@@ -29,6 +29,16 @@ pub struct SynthConfig {
     /// Whether UB-based pruning is enabled (the `WebQA-NoPrune` ablation
     /// sets this to `false`).
     pub prune: bool,
+    /// Whether the abstract-interpretation prune is enabled: candidates
+    /// the `webqa_dsl::analysis` verdicts prove dead (guards that can
+    /// never classify, locator extensions selecting no nodes, extractor
+    /// extensions with provably-empty outputs) are skipped before being
+    /// built or scored. A *sound* prune alongside the UB cut — programs,
+    /// counts, and F₁ are unchanged for any value (held by
+    /// `tests/synth_parity.rs`); only the `analysis_pruned_*` counters
+    /// and the work they save move. [`SynthConfig::without_analysis`]
+    /// is the ablation.
+    pub analysis: bool,
     /// Whether guard/extractor synthesis is decomposed (the
     /// `WebQA-NoDecomp` ablation sets this to `false`).
     pub decompose: bool,
@@ -70,6 +80,7 @@ impl SynthConfig {
             max_guards_per_branch: 512,
             max_programs: 5_000,
             prune: true,
+            analysis: true,
             decompose: true,
             lazy_guards: true,
             filter_conjunctions: true,
@@ -92,6 +103,7 @@ impl SynthConfig {
             max_guards_per_branch: 1024,
             max_programs: 1_500,
             prune: true,
+            analysis: true,
             decompose: true,
             lazy_guards: true,
             filter_conjunctions: false,
@@ -128,6 +140,13 @@ impl SynthConfig {
     /// The `WebQA-NoPrune` ablation of Section 8.2.
     pub fn without_pruning(mut self) -> Self {
         self.prune = false;
+        self
+    }
+
+    /// Disables the abstract-interpretation prune (the `NoAnalysis`
+    /// ablation — this repo's extension; see [`SynthConfig::analysis`]).
+    pub fn without_analysis(mut self) -> Self {
+        self.analysis = false;
         self
     }
 
@@ -178,6 +197,10 @@ mod tests {
         let c = SynthConfig::fast().without_lazy_guards();
         assert!(!c.lazy_guards);
         assert!(c.prune && c.decompose);
+        let c = SynthConfig::fast().without_analysis();
+        assert!(!c.analysis);
+        assert!(c.prune && c.decompose && c.lazy_guards);
+        assert!(SynthConfig::fast().analysis && SynthConfig::paper().analysis);
     }
 
     #[test]

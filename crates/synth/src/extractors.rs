@@ -135,6 +135,16 @@ pub(crate) fn synthesize_extractors(
     let mut seen_outputs: HashSet<u64> = HashSet::new();
     seen_outputs.insert(seed_sig);
 
+    // Analysis prune (sound, kernel-mode-invariant): with gold tokens
+    // present, a candidate whose outputs are empty on every example —
+    // and every extension of it, since productions are pointwise string
+    // transformers — scores F₁ = 0 and can never join the optimal set
+    // (ties require a positive score). Gated on `gold_total > 0`: with
+    // no gold tokens the empty output scores a vacuous perfect F₁ and
+    // must stay enumerable. Also gated on `opt ≥ 0` so a zero score can
+    // never beat the running optimum.
+    let analyze = task.analysis.enabled && opt >= 0.0 && scorer.gold_total() > 0;
+
     while let Some(cand) = worklist.pop_front() {
         stats.extractors_enumerated += 1;
         // Score with the *program-level* set semantics (Figure 6: programs
@@ -162,7 +172,17 @@ pub(crate) fn synthesize_extractors(
                     continue;
                 }
             }
+            // A step the analyzer proves maps every string to `∅` yields
+            // an all-empty child — skip before even applying it.
+            if analyze && task.analysis.step_dead[si] {
+                stats.analysis_pruned_extractors += 1;
+                continue;
+            }
             let child_outputs = scorer.apply_step(task, si, &cand.outputs);
+            if analyze && child_outputs.iter().all(Vec::is_empty) {
+                stats.analysis_pruned_extractors += 1;
+                continue;
+            }
             // UB(e′, E) over the *raw* multiset (Eq. 3): raw recall
             // dominates the set-semantics recall of every extension, so
             // pruning on it is sound for the deduplicated score too. The

@@ -162,6 +162,10 @@ impl<'a> GuardEnumerator<'a> {
         loop {
             if let Some(eid) = self.current {
                 while let Some(spec) = self.pending.pop_front() {
+                    if self.analysis_rejects(&spec, eid) {
+                        stats.analysis_pruned_guards += 1;
+                        continue;
+                    }
                     if self.classifies(&spec, eid) {
                         self.yielded += 1;
                         stats.guards_yielded += 1;
@@ -195,15 +199,62 @@ impl<'a> GuardEnumerator<'a> {
         }
     }
 
+    /// Whether the abstract interpreter proves this guard can never
+    /// classify `(E⁺, E⁻)`, without evaluating it. Two sound verdicts
+    /// (both page-independent, so reference and optimized runs agree):
+    ///
+    /// * the predicate is provably `⊥` under the query context, so
+    ///   `Sat` cannot hold on any positive example (requires `E⁺ ≠ ∅` —
+    ///   with no positives a false predicate trivially *rejects* every
+    ///   negative and the guard may legitimately classify);
+    /// * the guard is provably `⊤` (locator of cardinality exactly one —
+    ///   `GetRoot` — with a provably-true predicate, or `IsSingleton`
+    ///   over it), so it cannot reject any negative (requires `E⁻ ≠ ∅`).
+    fn analysis_rejects(&self, spec: &GuardSpec, eid: usize) -> bool {
+        let facts = &self.task.analysis;
+        if !facts.enabled {
+            return false;
+        }
+        let always_one = matches!(self.entries[eid].locator, Locator::Root);
+        match spec {
+            GuardSpec::Singleton => always_one && !self.neg.is_empty(),
+            GuardSpec::Sat(pi) => match facts.guard_pred_truth[*pi] {
+                webqa_dsl::Truth::False => !self.pos.is_empty(),
+                webqa_dsl::Truth::True => always_one && !self.neg.is_empty(),
+                webqa_dsl::Truth::Unknown => false,
+            },
+        }
+    }
+
     /// `ApplyProduction(ν)` with incremental node evaluation and the UB
     /// check of Figure 10 line 8.
     fn expand(&mut self, eid: usize, opt: f64, stats: &mut SynthStats) {
         if self.entries[eid].locator.depth() >= self.task.cfg.guard_depth {
             return;
         }
+        // Analysis prune (sound, kernel-mode-invariant): a locator whose
+        // node sets are empty on every positive example can never back a
+        // classifying guard — and neither can any extension of it, since
+        // productions only filter the frontier. `empty_child[fi*2+di]`
+        // records which extensions of *this* entry came up empty so that
+        // provably-stronger filters (`filter_implied`) skip the node
+        // propagation entirely. Gated on `E⁺ ≠ ∅`: with no positives the
+        // "empty on all positives" condition is vacuous, not a proof.
+        let analyze = self.task.analysis.enabled && !self.pos.is_empty();
+        let mut empty_child = vec![false; self.task.filters.len() * 2];
         let mut created: Vec<Entry> = Vec::new();
         for fi in 0..self.task.filters.len() {
             for descend in [false, true] {
+                let di = fi * 2 + usize::from(descend);
+                if analyze
+                    && self.task.analysis.filter_implied[fi]
+                        .iter()
+                        .any(|&fj| empty_child[fj * 2 + usize::from(descend)])
+                {
+                    empty_child[di] = true;
+                    stats.analysis_pruned_locators += 1;
+                    continue;
+                }
                 stats.locators_expanded += 1;
                 let entry = &self.entries[eid];
                 let pos_nodes: Vec<Vec<PageNodeId>> = self
@@ -219,6 +270,11 @@ impl<'a> GuardEnumerator<'a> {
                         )
                     })
                     .collect();
+                if analyze && pos_nodes.iter().all(Vec::is_empty) {
+                    empty_child[di] = true;
+                    stats.analysis_pruned_locators += 1;
+                    continue;
+                }
                 // Only computed when pruning can read it (the NoPrune
                 // ablation must not pay for an unused bound).
                 let ub: Counts = if self.task.cfg.prune {

@@ -118,6 +118,7 @@ pub fn tiny_config() -> SynthConfig {
         max_guards_per_branch: usize::MAX,
         max_programs: usize::MAX,
         prune: true,
+        analysis: true,
         decompose: true,
         lazy_guards: true,
         filter_conjunctions: false,

@@ -26,7 +26,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::{Arc, Mutex};
 
-use webqa_dsl::{EntityKind, NlpPred, NodeFilter, QueryContext};
+use webqa_dsl::{Analyzer, EntityKind, NlpPred, NodeFilter, QueryContext, Truth};
 use webqa_metrics::{BagOverlap, Counts, IdBag, IdVec, TokenInterner};
 
 use crate::cancel::CancelToken;
@@ -232,6 +232,62 @@ pub(crate) enum StepOp {
     Split(char),
 }
 
+/// Page-independent facts the abstract interpreter
+/// ([`webqa_dsl::analysis`]) derives about the synthesis pools, computed
+/// once per task. Every fact is a theorem about the definitional
+/// semantics under this task's `QueryContext`, so prunes keyed on them
+/// are *sound*: they only skip candidates that provably cannot classify
+/// or produce output. Crucially the facts depend only on `(cfg, ctx)` —
+/// never on the kernel mode — so reference and optimized runs make
+/// identical prune decisions (`tests/synth_parity.rs`).
+pub(crate) struct AnalysisFacts {
+    /// `SynthConfig::analysis` — when false, no fact is consulted.
+    pub enabled: bool,
+    /// Abstract truth of each guard predicate, aligned with
+    /// [`TaskCtx::guard_preds`]. `False` entries can never hold on a
+    /// positive example; `True` entries hold on every non-empty node set.
+    pub guard_pred_truth: Vec<Truth>,
+    /// Production steps proven to map *every* input string to `∅`
+    /// (a `Filter` whose predicate is `⊥`, a `Substring` whose predicate
+    /// extracts nothing), aligned with [`TaskCtx::steps`].
+    pub step_dead: Vec<bool>,
+    /// For each filter `fi` of [`TaskCtx::filters`], the earlier (weaker)
+    /// filters `fj < fi` with `filters[fi] ⇒ filters[fj]`: whenever `fj`
+    /// selects no nodes from a frontier, `fi` cannot either.
+    pub filter_implied: Vec<Vec<usize>>,
+}
+
+impl AnalysisFacts {
+    fn compute(
+        cfg: &SynthConfig,
+        ctx: &QueryContext,
+        filters: &[NodeFilter],
+        guard_preds: &[NlpPred],
+        steps: &[StepOp],
+    ) -> Self {
+        let analyzer = Analyzer::new(ctx);
+        AnalysisFacts {
+            enabled: cfg.analysis,
+            guard_pred_truth: guard_preds.iter().map(|p| analyzer.pred_truth(p)).collect(),
+            step_dead: steps
+                .iter()
+                .map(|s| match s {
+                    StepOp::Filter(p) => analyzer.pred_truth(p) == Truth::False,
+                    StepOp::Substring(p, k) => *k == 0 || analyzer.pred_extract_empty(p),
+                    StepOp::Split(_) => false,
+                })
+                .collect(),
+            filter_implied: (0..filters.len())
+                .map(|fi| {
+                    (0..fi)
+                        .filter(|&fj| analyzer.filter_implies(&filters[fi], &filters[fj]))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Per-`synthesize`-call context: pools plus the optimized-mode caches.
 pub(crate) struct TaskCtx<'a> {
     pub cfg: &'a SynthConfig,
@@ -244,6 +300,10 @@ pub(crate) struct TaskCtx<'a> {
     pub guard_preds: Vec<NlpPred>,
     /// The extractor production pool, in `extend_extractor` order.
     pub steps: Vec<StepOp>,
+    /// Sound page-independent verdicts about the pools (see
+    /// [`AnalysisFacts`]); consulted by the analysis prune when
+    /// `cfg.analysis` is set.
+    pub analysis: AnalysisFacts,
     /// Cooperative cancellation handle, checkpointed once per guard step
     /// by the branch synthesizer (shared by the branch-parallel workers).
     pub cancel: CancelToken,
@@ -315,6 +375,7 @@ impl<'a> TaskCtx<'a> {
                     .then(|| Mutex::new(HashMap::default()))
             })
             .collect();
+        let analysis = AnalysisFacts::compute(cfg, ctx, &filters, &guard_preds, &steps);
 
         let tables = if cfg.reference_kernels {
             Vec::new()
@@ -339,6 +400,7 @@ impl<'a> TaskCtx<'a> {
             filters,
             guard_preds,
             steps,
+            analysis,
             cancel,
             tables,
             step_results,
@@ -427,6 +489,14 @@ impl<'a> Scorer<'a> {
             step_cache: HashMap::default(),
             overlap: BagOverlap::default(),
         }
+    }
+
+    /// Total gold tokens across the branch's positive examples. The
+    /// emptiness prune is gated on this being positive: with no gold
+    /// tokens an empty output scores a (vacuous) perfect F₁ and must stay
+    /// enumerable.
+    pub fn gold_total(&self) -> usize {
+        self.gold.iter().map(webqa_metrics::IdBag::total).sum()
     }
 
     fn info<'m>(

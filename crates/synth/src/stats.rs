@@ -24,6 +24,18 @@ pub struct SynthStats {
     /// Extractor-synthesis results shared across guards over the same
     /// section locator (the footnote 6 memo inside one branch problem).
     pub locator_memo_hits: usize,
+    /// Guard candidates skipped because the abstract interpreter proved
+    /// they can never classify (predicate provably `⊥` on the positives,
+    /// or guard provably `⊤` while negatives exist).
+    pub analysis_pruned_guards: usize,
+    /// Locator extensions skipped because they provably select no nodes
+    /// on any positive example (the extension's node sets are empty, or a
+    /// weaker filter already produced empty sets this round).
+    pub analysis_pruned_locators: usize,
+    /// Extractor extensions skipped because their outputs are provably
+    /// empty (a production step the analysis proves maps everything to
+    /// `∅`, or concrete all-empty outputs on a branch with gold tokens).
+    pub analysis_pruned_extractors: usize,
 }
 
 impl SynthStats {
@@ -44,6 +56,9 @@ impl std::ops::AddAssign for SynthStats {
         self.branch_calls += rhs.branch_calls;
         self.memo_hits += rhs.memo_hits;
         self.locator_memo_hits += rhs.locator_memo_hits;
+        self.analysis_pruned_guards += rhs.analysis_pruned_guards;
+        self.analysis_pruned_locators += rhs.analysis_pruned_locators;
+        self.analysis_pruned_extractors += rhs.analysis_pruned_extractors;
     }
 }
 

@@ -78,13 +78,16 @@ fn students_fixture_stats_snapshot() {
         out.stats,
         SynthStats {
             guards_yielded: 1022,
-            locators_expanded: 10200,
-            locators_pruned: 6760,
-            extractors_enumerated: 6232,
-            extractors_pruned: 13677,
+            locators_expanded: 3724,
+            locators_pruned: 192,
+            extractors_enumerated: 2974,
+            extractors_pruned: 897,
             branch_calls: 4,
             memo_hits: 0,
             locator_memo_hits: 544,
+            analysis_pruned_guards: 4,
+            analysis_pruned_locators: 4466,
+            analysis_pruned_extractors: 14568,
         },
         "search-shape regression: pruning/memoization/dedup changed \
          (re-pin deliberately, checking each delta's direction)"
@@ -100,13 +103,16 @@ fn service_fixture_stats_snapshot() {
         out.stats,
         SynthStats {
             guards_yielded: 2649,
-            locators_expanded: 10200,
-            locators_pruned: 4566,
-            extractors_enumerated: 17846,
-            extractors_pruned: 53322,
+            locators_expanded: 4224,
+            locators_pruned: 27,
+            extractors_enumerated: 13323,
+            extractors_pruned: 19788,
             branch_calls: 4,
             memo_hits: 0,
             locator_memo_hits: 1861,
+            analysis_pruned_guards: 4,
+            analysis_pruned_locators: 2686,
+            analysis_pruned_extractors: 35817,
         },
         "search-shape regression: pruning/memoization/dedup changed \
          (re-pin deliberately, checking each delta's direction)"
@@ -138,4 +144,32 @@ fn counters_move_with_their_mechanisms() {
         "joint synthesis shares nothing"
     );
     assert!(nodecomp.extractors_enumerated >= base.extractors_enumerated);
+
+    assert!(
+        base.analysis_pruned_locators > 0 && base.analysis_pruned_extractors > 0,
+        "analysis prune is live on this fixture"
+    );
+    let noanalysis = synthesize(&cfg().without_analysis(), &ctx, &examples).stats;
+    assert_eq!(noanalysis.analysis_pruned_guards, 0);
+    assert_eq!(noanalysis.analysis_pruned_locators, 0);
+    assert_eq!(noanalysis.analysis_pruned_extractors, 0);
+    assert!(
+        noanalysis.work() >= base.work(),
+        "disabling the analysis prune cannot shrink the search work"
+    );
+}
+
+/// The analysis prune is *sound*: it only skips candidates the abstract
+/// interpreter proves dead, so the synthesized programs, score, and
+/// guard stream are identical with it on or off.
+#[test]
+fn analysis_prune_preserves_results() {
+    for fixture in [students_fixture, service_fixture] {
+        let (ctx, examples) = fixture();
+        let on = synthesize(&cfg(), &ctx, &examples);
+        let off = synthesize(&cfg().without_analysis(), &ctx, &examples);
+        assert!((on.f1 - off.f1).abs() < 1e-9);
+        assert_eq!(on.programs, off.programs);
+        assert_eq!(on.stats.guards_yielded, off.stats.guards_yielded);
+    }
 }

@@ -47,10 +47,22 @@
 //!   in-workspace dependencies. HTML parsing, the simulated NLP modules,
 //!   and the token-level F₁ / Hamming scoring kernel.
 //! * **DSL** (`webqa_dsl`) builds the page-tree query language on the
-//!   substrates: AST, parser, printer, evaluator, normalizer, linter.
+//!   substrates: AST, parser, printer, evaluator, normalizer, linter,
+//!   and the abstract interpreter (`webqa_dsl::analysis`) — a sound
+//!   static analyzer over (program, context) pairs with three verdict
+//!   families (provably-false and subsumed guards, provably-empty
+//!   extractors, equivalence up to normalization via canonical keys)
+//!   that feeds the linter's semantic `DeadBranch`, the synthesizer's
+//!   analysis prune, and the `check` surfaces of the CLI and server;
+//!   `tests/analysis_soundness.rs` confirms every verdict against the
+//!   definitional evaluator on random corpus pages.
 //! * **Search** (`webqa_synth`, `webqa_select`) implements the paper's
 //!   two phases: optimal enumerative synthesis with the `UB = 2R/(1+R)`
-//!   pruning bound, then transductive ensemble selection.
+//!   pruning bound, then transductive ensemble selection. Synthesis
+//!   additionally consults the analyzer to skip candidates it proves
+//!   dead before building or scoring them (`SynthConfig::analysis`,
+//!   counted by the `analysis_pruned_*` stats and proven
+//!   result-preserving by `stats_snapshot.rs` and `synth_parity.rs`).
 //! * **Engine** (`webqa`) wires synthesis and selection into the
 //!   session-oriented `Engine`: pages are parsed fallibly once into a
 //!   shared `PageStore` (content-addressed `PageId` handles, zero
@@ -80,7 +92,7 @@
 //!   so a 1-shard server stays bit-compatible with the pre-shard
 //!   protocol. Two wire surfaces, both hand-rolled on `std::net`: a
 //!   line-delimited JSON protocol over TCP and Unix sockets, and an
-//!   HTTP/1.1 facade (`POST /v1/run|run_batch|intern`,
+//!   HTTP/1.1 facade (`POST /v1/run|run_batch|intern|check`,
 //!   `GET /v1/ping|stats`; keep-alive, `Content-Length` framing, error
 //!   kinds mapped to status codes) whose response bodies are the
 //!   line-protocol envelopes byte for byte — see the crate docs for

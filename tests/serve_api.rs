@@ -295,7 +295,7 @@ fn malformed_frames_get_typed_errors_and_the_connection_survives() {
         .expect("response");
     assert_eq!(
         bad,
-        r#"{"id":9,"err":{"kind":"unknown-op","message":"unknown op \"launch-missiles\" (expected ping|intern|run|run_batch|stats)"}}"#
+        r#"{"id":9,"err":{"kind":"unknown-op","message":"unknown op \"launch-missiles\" (expected ping|intern|run|run_batch|check|stats)"}}"#
     );
     let bad = client
         .request_line(r#"{"op":"run","question":7}"#)
@@ -650,6 +650,30 @@ mod http_facade {
             assert_eq!((status, body.contains("pong")), (200, true), "{body}");
             listening.shutdown();
         }
+    }
+
+    /// `check` over HTTP: POST-routed like the other request-bearing
+    /// ops, and the body is the line protocol's envelope — static
+    /// analysis without any engine state.
+    #[test]
+    fn check_routes_over_http() {
+        let listening = spawn_http(ServeOptions {
+            engine: Config::default(),
+            ..ServeOptions::default()
+        });
+        let addr = listening.http_addr().expect("http endpoint");
+        let mut client = HttpClient::connect(addr).expect("connect");
+        let (status, body) = client
+            .post(
+                "/v1/check",
+                r#"{"program":"sat(root, kw(0.60)) -> content","keywords":["Students"]}"#,
+            )
+            .expect("check");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains(r#""clean":true"#), "{body}");
+        let (status, body) = client.get("/v1/check").expect("wrong method");
+        assert_eq!(status, 405, "{body}");
+        listening.shutdown();
     }
 
     /// Typed errors map onto HTTP status codes: 400 bad frame, 404
