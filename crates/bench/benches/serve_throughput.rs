@@ -168,13 +168,19 @@ fn main() {
         .expect("stats");
     let v: serde_json::Value = serde_json::from_str(&stats_resp).expect("valid JSON");
     let counter = |name: &str| v["ok"]["cache"][name].as_u64().unwrap_or(0);
+    let flag = |name: &str| v["ok"]["cache"][name].as_bool().unwrap_or(false);
     let cache = webqa::CacheStats {
         feature_hits: counter("feature_hits"),
         feature_misses: counter("feature_misses"),
         feature_evictions: counter("feature_evictions"),
+        base_hits: counter("base_hits"),
+        base_misses: counter("base_misses"),
+        base_evictions: counter("base_evictions"),
         result_hits: counter("result_hits"),
         result_misses: counter("result_misses"),
         result_evictions: counter("result_evictions"),
+        features_enabled: flag("features_enabled"),
+        results_enabled: flag("results_enabled"),
     };
 
     let record = ServeRecord {
@@ -197,17 +203,30 @@ fn main() {
     println!("{:<22} {:>10}", "run requests", record.requests);
     println!("{:<22} {:>10.3}", "wall seconds", record.wall_s);
     println!("{:<22} {:>10.1}", "requests/sec", record.requests_per_sec);
+    // `None` = tier disabled or untouched: print "off" rather than the
+    // misleading "0.0%" this used to show for a cache that was off.
+    let pct = |rate: Option<f64>| match rate {
+        Some(r) => format!("{:>9.1}%", 100.0 * r),
+        None => format!("{:>10}", "off"),
+    };
     println!(
-        "{:<22} {:>9.1}%  ({} hits / {} misses)",
+        "{:<22} {}  ({} hits / {} misses)",
         "feature hit rate",
-        100.0 * record.feature_hit_rate(),
+        pct(record.feature_hit_rate()),
         cache.feature_hits,
         cache.feature_misses,
     );
     println!(
-        "{:<22} {:>9.1}%  ({} hits / {} misses)",
+        "{:<22} {}  ({} hits / {} misses)",
+        "base hit rate",
+        pct(record.base_hit_rate()),
+        cache.base_hits,
+        cache.base_misses,
+    );
+    println!(
+        "{:<22} {}  ({} hits / {} misses)",
         "result hit rate",
-        100.0 * record.result_hit_rate(),
+        pct(record.result_hit_rate()),
         cache.result_hits,
         cache.result_misses,
     );

@@ -1,0 +1,270 @@
+//! **Warm restart** — how much of a fresh daemon's cold start the
+//! on-disk snapshot tier (`ServeOptions::cache_dir`) actually saves,
+//! appended to the machine-readable trajectory at `BENCH_serve.json`
+//! (workspace root) as a `"bench": "serve_warm"` record.
+//!
+//! Two daemon lives over one cache directory:
+//!
+//! 1. **Seed life**: serve the catalogue task stream once, then shut
+//!    down gracefully — the daemon spills its content-addressed page
+//!    store and the query-independent base-feature tier to
+//!    `DIR/snapshot-v1/`.
+//! 2. **Warm life**: restart on the same directory, re-intern the same
+//!    pages (content addressing dedups them onto the snapshot-loaded
+//!    trees), and serve a second query stream over the known pages.
+//!    Every base-tier hit in this phase is an NER + mask-extraction
+//!    pass the snapshot paid for in the previous life.
+//!
+//! The interesting numbers are the snapshot load counters
+//! (`pages_loaded`, `base_loaded`, `load_ms`) and the warm stream's
+//! base-tier hit rate — a zero hit rate means persistence stopped
+//! working, so this bench asserts it non-zero (it runs in CI smoke).
+//!
+//! Regenerate with:
+//! `cargo bench -p webqa_bench --bench serve_warm`
+//!
+//! Knobs: `WEBQA_PAGES` / `WEBQA_TRAIN` / `WEBQA_SEED` (corpus), plus
+//! `WEBQA_TRAJECTORY=0` to skip writing the file.
+
+use std::time::Instant;
+
+use webqa_bench::trajectory::{self, WarmRecord};
+use webqa_corpus::{task_by_id, Corpus, Domain};
+use webqa_server::{Client, Listening, ServeOptions, Server};
+
+/// Two tasks per domain, same slice as `serve_throughput`: enough
+/// coverage to populate base tables for every domain's pages.
+const TASK_IDS: [&str; 8] = [
+    "fac_t1",
+    "fac_t2",
+    "conf_t1",
+    "conf_t2",
+    "class_t1",
+    "class_t2",
+    "clinic_t1",
+    "clinic_t2",
+];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Starts a daemon on the given snapshot directory and a client bound
+/// to it.
+fn start(cache_dir: &std::path::Path) -> (Listening, Client) {
+    let listening = Server::new(ServeOptions {
+        engine: webqa::Config {
+            synth: webqa::SynthConfig::fast(),
+            ..webqa::Config::default()
+        },
+        max_frame_bytes: 16 << 20,
+        cache_dir: Some(cache_dir.to_path_buf()),
+        ..ServeOptions::default()
+    })
+    .listen(Some("127.0.0.1:0"), None)
+    .expect("bind loopback");
+    let addr = listening.tcp_addr().expect("tcp endpoint");
+    let client = Client::connect_tcp(addr).expect("connect");
+    (listening, client)
+}
+
+/// Interns every corpus page through `client`, returning per-domain
+/// handle lists. Handles are per-life (a warm restart may hand out
+/// different ones for the same content), so each life interns afresh —
+/// in the warm life this dedups onto the snapshot-loaded trees.
+fn intern_all(client: &mut Client, corpus: &Corpus) -> Vec<(Domain, Vec<u64>)> {
+    Domain::ALL
+        .iter()
+        .map(|&domain| {
+            let ids = corpus
+                .pages(domain)
+                .iter()
+                .map(|p| {
+                    let mut m = serde_json::Map::new();
+                    m.insert("op".to_string(), serde_json::json!("intern"));
+                    m.insert("html".to_string(), serde_json::json!(p.html.clone()));
+                    let resp = client
+                        .request(&serde_json::Value::Object(m))
+                        .expect("intern");
+                    resp["ok"]["page"].as_u64().expect("page handle")
+                })
+                .collect();
+            (domain, ids)
+        })
+        .collect()
+}
+
+/// One `run` request line per catalogue task against this life's
+/// handles.
+fn build_requests(corpus: &Corpus, handles: &[(Domain, Vec<u64>)], train: usize) -> Vec<String> {
+    let ids_of = |d: Domain| -> &[u64] {
+        handles
+            .iter()
+            .find(|(dom, _)| *dom == d)
+            .map(|(_, ids)| ids.as_slice())
+            .expect("all domains interned")
+    };
+    TASK_IDS
+        .iter()
+        .map(|id| {
+            let task = task_by_id(id).expect("catalogue task");
+            let pages_of = corpus.pages(task.domain);
+            let ids = ids_of(task.domain);
+            let labeled: Vec<serde_json::Value> = ids[..train]
+                .iter()
+                .zip(pages_of)
+                .map(|(&h, p)| {
+                    let mut m = serde_json::Map::new();
+                    m.insert("page".to_string(), serde_json::json!(h));
+                    m.insert(
+                        "gold".to_string(),
+                        serde_json::json!(p.gold(task.id).to_vec()),
+                    );
+                    serde_json::Value::Object(m)
+                })
+                .collect();
+            let mut m = serde_json::Map::new();
+            m.insert("op".to_string(), serde_json::json!("run"));
+            m.insert("question".to_string(), serde_json::json!(task.question));
+            m.insert(
+                "keywords".to_string(),
+                serde_json::json!(task
+                    .keywords
+                    .iter()
+                    .map(|k| k.to_string())
+                    .collect::<Vec<_>>()),
+            );
+            m.insert("labeled".to_string(), serde_json::Value::Array(labeled));
+            m.insert(
+                "targets".to_string(),
+                serde_json::json!(ids[train..].to_vec()),
+            );
+            serde_json::to_string(&serde_json::Value::Object(m)).expect("serializable")
+        })
+        .collect()
+}
+
+fn run_stream(client: &mut Client, requests: &[String]) {
+    for line in requests {
+        let resp = client.request_line(line).expect("response");
+        assert!(resp.contains("\"ok\""), "request failed: {resp}");
+    }
+}
+
+fn main() {
+    let pages = env_usize("WEBQA_PAGES", 8);
+    let train = env_usize("WEBQA_TRAIN", 3)
+        .min(pages.saturating_sub(1))
+        .max(1);
+    let seed = env_usize("WEBQA_SEED", 42) as u64;
+
+    let cache_dir =
+        std::env::temp_dir().join(format!("webqa-serve-warm-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    println!(
+        "# Warm restart: {} tasks per life, snapshot at {}",
+        TASK_IDS.len(),
+        cache_dir.display()
+    );
+    println!("# corpus: {pages} pages/domain, {train} labeled, seed {seed}\n");
+
+    let corpus = Corpus::generate(pages, seed);
+
+    // Seed life: serve the stream once, shut down, spill the snapshot.
+    let seed_start = Instant::now();
+    let (listening, mut client) = start(&cache_dir);
+    let handles = intern_all(&mut client, &corpus);
+    let requests = build_requests(&corpus, &handles, train);
+    run_stream(&mut client, &requests);
+    drop(client);
+    listening.shutdown();
+    let seed_wall_s = seed_start.elapsed().as_secs_f64();
+    assert!(
+        cache_dir.join("snapshot-v1").is_dir(),
+        "graceful shutdown must leave a snapshot"
+    );
+
+    // Warm life: restart on the same directory and serve again.
+    let (listening, mut client) = start(&cache_dir);
+    let handles = intern_all(&mut client, &corpus);
+    let requests = build_requests(&corpus, &handles, train);
+    let warm_start = Instant::now();
+    run_stream(&mut client, &requests);
+    let wall_s = warm_start.elapsed().as_secs_f64();
+
+    let stats_resp = client.request_line("{\"op\":\"stats\"}").expect("stats");
+    let v: serde_json::Value = serde_json::from_str(&stats_resp).expect("valid JSON");
+    let persist = |name: &str| v["ok"]["persist"][name].as_u64().unwrap_or(0);
+    let counter = |name: &str| v["ok"]["cache"][name].as_u64().unwrap_or(0);
+    let (base_hits, base_misses) = (counter("base_hits"), counter("base_misses"));
+    let base_hit_rate = if base_hits + base_misses > 0 {
+        base_hits as f64 / (base_hits + base_misses) as f64
+    } else {
+        0.0
+    };
+
+    let record = WarmRecord {
+        bench: "serve_warm".to_string(),
+        timestamp_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        pages,
+        train,
+        seed,
+        requests: requests.len(),
+        pages_loaded: persist("pages_loaded"),
+        base_loaded: persist("base_loaded"),
+        load_ms: persist("load_ms"),
+        base_hits,
+        base_misses,
+        base_hit_rate,
+        wall_s,
+    };
+
+    println!("{:<22} {:>10.3}", "seed-life seconds", seed_wall_s);
+    println!("{:<22} {:>10.3}", "warm-life seconds", record.wall_s);
+    println!("{:<22} {:>10}", "pages loaded", record.pages_loaded);
+    println!("{:<22} {:>10}", "base tables loaded", record.base_loaded);
+    println!("{:<22} {:>10}", "snapshot load ms", record.load_ms);
+    println!(
+        "{:<22} {:>9.1}%  ({} hits / {} misses)",
+        "base hit rate",
+        100.0 * record.base_hit_rate,
+        record.base_hits,
+        record.base_misses,
+    );
+
+    // Persistence regressions must fail the bench (it runs in CI
+    // smoke): the restart must actually load the snapshot, and the
+    // warm stream must actually be served from the loaded base tier.
+    assert!(
+        record.pages_loaded > 0,
+        "warm restart loaded no pages from the snapshot"
+    );
+    assert!(
+        record.base_loaded > 0,
+        "warm restart loaded no base-feature tables from the snapshot"
+    );
+    assert!(
+        record.base_hits > 0,
+        "warm stream over snapshot-loaded pages produced no base-tier hits"
+    );
+
+    listening.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    if std::env::var("WEBQA_TRAJECTORY").as_deref() == Ok("0") {
+        println!("\n# WEBQA_TRAJECTORY=0: not recording");
+        return;
+    }
+    let path = trajectory::serve_path();
+    match trajectory::append(&path, &record) {
+        Ok(()) => println!("\n# recorded to {}", path.display()),
+        Err(e) => println!("\n# trajectory not recorded ({e})"),
+    }
+}

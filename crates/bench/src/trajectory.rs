@@ -12,8 +12,11 @@
 //!   `serve_throughput`): served requests/sec across concurrent clients
 //!   plus the engine's cross-request cache hit/miss/eviction counters;
 //!   also ([`LatencyRecord`], written by `serve_latency`): open-loop
-//!   tail latency (p50/p99/p999) and shed rate past saturation. The two
-//!   record shapes share the file — each carries a `bench` tag.
+//!   tail latency (p50/p99/p999) and shed rate past saturation; also
+//!   ([`WarmRecord`], written by `serve_warm`): snapshot load counters
+//!   and the base-tier hit rate of a warm-restarted daemon serving new
+//!   questions over known pages. The record shapes share the file —
+//!   each carries a `bench` tag.
 
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -98,25 +101,63 @@ pub struct ServeRecord {
 }
 
 impl ServeRecord {
-    /// Fraction of feature-table lookups served from the store.
-    pub fn feature_hit_rate(&self) -> f64 {
-        let total = self.cache.feature_hits + self.cache.feature_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.cache.feature_hits as f64 / total as f64
-        }
+    /// Fraction of query-tier feature lookups served from the store —
+    /// `None` when the tier is disabled or saw no traffic (the old
+    /// `0.0` here rendered a disabled cache as a misleading "0% hit
+    /// rate").
+    pub fn feature_hit_rate(&self) -> Option<f64> {
+        self.cache.feature_hit_rate()
     }
 
-    /// Fraction of completed-run lookups served from the LRU.
-    pub fn result_hit_rate(&self) -> f64 {
-        let total = self.cache.result_hits + self.cache.result_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.cache.result_hits as f64 / total as f64
-        }
+    /// Fraction of base-tier (query-independent) feature lookups served
+    /// from the store; `None` as for
+    /// [`feature_hit_rate`](ServeRecord::feature_hit_rate).
+    pub fn base_hit_rate(&self) -> Option<f64> {
+        self.cache.base_hit_rate()
     }
+
+    /// Fraction of completed-run lookups served from the LRU; `None` as
+    /// for [`feature_hit_rate`](ServeRecord::feature_hit_rate).
+    pub fn result_hit_rate(&self) -> Option<f64> {
+        self.cache.result_hit_rate()
+    }
+}
+
+/// One recorded warm-restart run (`cargo bench --bench serve_warm` →
+/// `BENCH_serve.json`): a daemon serves a cross-query stream with
+/// `--cache-dir`, shuts down (spilling its snapshot), restarts on the
+/// same directory, and serves a stream of *different questions over the
+/// same pages*. The record captures what the restart got for free.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct WarmRecord {
+    /// Record shape tag, always `"serve_warm"`.
+    pub bench: String,
+    /// Seconds since the Unix epoch when the run finished.
+    pub timestamp_unix: u64,
+    /// Pages per domain of the generated workload (`WEBQA_PAGES`).
+    pub pages: usize,
+    /// Labeled pages per task (`WEBQA_TRAIN`).
+    pub train: usize,
+    /// Corpus seed (`WEBQA_SEED`).
+    pub seed: u64,
+    /// `run` requests served by the restarted daemon.
+    pub requests: usize,
+    /// Pages loaded from the snapshot at restart.
+    pub pages_loaded: u64,
+    /// Base-feature tables loaded from the snapshot at restart.
+    pub base_loaded: u64,
+    /// Wall-clock milliseconds the restart spent loading the snapshot.
+    pub load_ms: u64,
+    /// Base-tier hits while serving the different-questions stream —
+    /// every one is an NER pass the warm start skipped.
+    pub base_hits: u64,
+    /// Base-tier misses (pages whose base table was not in the
+    /// snapshot, plus LRU evictions).
+    pub base_misses: u64,
+    /// `base_hits / (base_hits + base_misses)` (0 when no traffic).
+    pub base_hit_rate: f64,
+    /// Wall-clock seconds serving the post-restart stream.
+    pub wall_s: f64,
 }
 
 /// One recorded open-loop latency run (`cargo bench --bench

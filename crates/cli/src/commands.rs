@@ -65,7 +65,7 @@ COMMANDS:
                   any mix) [--paper] [--shards N] [--synth-jobs N]
                   [--feature-cache N] [--result-cache N]
                   [--max-frame BYTES] [--max-requests N] [--workers N]
-                  [--backlog N] [--deadline-ms MS]
+                  [--backlog N] [--deadline-ms MS] [--cache-dir DIR]
                   --shards N splits the engine into N digest-routed
                   shards, each with its own store, caches, and worker
                   slice (0 = one per core; responses are byte-identical
@@ -78,7 +78,11 @@ COMMANDS:
                   requests are shed with an overloaded error);
                   --deadline-ms MS bounds every request's latency (0 =
                   none); cache knobs size the engine's cross-request
-                  feature store / result LRU (0 disables)
+                  feature store / result LRU (0 disables);
+                  --cache-dir DIR persists interned pages and the
+                  query-independent base-feature tier across restarts
+                  (loaded on startup, spilled on clean shutdown;
+                  responses are byte-identical with or without it)
     client    Send one request line to a running server, print the reply
                   (--tcp HOST:PORT | --unix PATH | --http HOST:PORT)
                   [--deadline-ms MS]
@@ -628,6 +632,7 @@ pub(crate) fn serve(a: &ParsedArgs) -> Result<String, CliError> {
         "backlog",
         "shards",
         "deadline-ms",
+        "cache-dir",
     ])?;
     let tcp = a.get("tcp");
     let unix = a.get("unix").map(std::path::PathBuf::from);
@@ -669,6 +674,7 @@ pub(crate) fn serve(a: &ParsedArgs) -> Result<String, CliError> {
         shards,
         default_deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
         max_responses: (max_requests > 0).then_some(max_requests),
+        cache_dir: a.get("cache-dir").map(std::path::PathBuf::from),
     })
     .listen_all(tcp, unix.as_deref(), http)
     .map_err(|e| CliError::Command(format!("cannot bind: {e}")))?;
@@ -819,8 +825,34 @@ pub(crate) fn client(a: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Renders one cache tier as `3h/2m (60%)`, `0h/0m` (no traffic yet —
+/// a rate would be 0/0), or `off` (tier disabled; rendering a hit rate
+/// for a cache that is off was the misleading "0% hit rate" this
+/// replaces).
+fn render_tier(cache: &serde_json::Value, enabled_field: &str, prefix: &str) -> String {
+    // Absent flag (older server) defaults to enabled — counters then
+    // render as before.
+    if !cache[enabled_field].as_bool().unwrap_or(true) {
+        return "off".to_string();
+    }
+    let hits = cache[format!("{prefix}_hits").as_str()]
+        .as_u64()
+        .unwrap_or(0);
+    let misses = cache[format!("{prefix}_misses").as_str()]
+        .as_u64()
+        .unwrap_or(0);
+    match hits + misses {
+        0 => format!("{hits}h/{misses}m"),
+        total => format!(
+            "{hits}h/{misses}m ({:.0}%)",
+            hits as f64 / total as f64 * 100.0
+        ),
+    }
+}
+
 /// Renders the `stats` response's per-shard breakdown as one line per
-/// shard (empty when the response has none).
+/// shard (empty when the response has none), plus a `persist:` line
+/// when the daemon has a snapshot directory with traffic.
 fn render_shard_stats(response: &str) -> String {
     let Ok(v) = serde_json::from_str::<serde_json::Value>(response) else {
         return String::new();
@@ -831,22 +863,43 @@ fn render_shard_stats(response: &str) -> String {
     let mut out = String::new();
     for s in shards {
         let n = |field: &str| s[field].as_u64().unwrap_or(0);
-        let c = |field: &str| s["cache"][field].as_u64().unwrap_or(0);
         let _ = writeln!(
             out,
             "shard {}: workers {}, backlog {}, queue {}, inflight {}, pages {}, \
-             feature {}h/{}m, result {}h/{}m",
+             feature {}, base {}, result {}",
             n("shard"),
             n("workers"),
             n("backlog"),
             n("queue_depth"),
             n("inflight"),
             n("pages"),
-            c("feature_hits"),
-            c("feature_misses"),
-            c("result_hits"),
-            c("result_misses"),
+            render_tier(&s["cache"], "features_enabled", "feature"),
+            render_tier(&s["cache"], "features_enabled", "base"),
+            render_tier(&s["cache"], "results_enabled", "result"),
         );
+    }
+    let persist = &v["ok"]["persist"];
+    if persist.as_object().is_some() {
+        let p = |field: &str| persist[field].as_u64().unwrap_or(0);
+        if p("pages_loaded")
+            + p("base_loaded")
+            + p("pages_spilled")
+            + p("base_spilled")
+            + p("corrupt_skipped")
+            > 0
+        {
+            let _ = writeln!(
+                out,
+                "persist: loaded {} pages + {} base tables in {} ms, \
+                 spilled {} pages + {} base tables, {} corrupt entries skipped",
+                p("pages_loaded"),
+                p("base_loaded"),
+                p("load_ms"),
+                p("pages_spilled"),
+                p("base_spilled"),
+                p("corrupt_skipped"),
+            );
+        }
     }
     out
 }

@@ -9,9 +9,14 @@
 //! functions of their keys:
 //!
 //! * a [`webqa_synth::PageFeatures`] table is determined by
-//!   `(page, question+keywords, synth config)` — cached in the sharded
-//!   [`FeatureStore`], keyed by the page's [`PageId`] (which embeds the
-//!   content digest) plus a pool digest of the context and config;
+//!   `(page, question+keywords, synth config)` — cached in the sharded,
+//!   **two-tier** [`FeatureStore`]: the query tier keyed by the page's
+//!   [`PageId`] (which embeds the content digest) plus a pool digest of
+//!   the context and config, and a query-independent **base tier**
+//!   ([`webqa_synth::PageBaseFeatures`]: NER entity bits, leaf/elem
+//!   masks — the expensive half) keyed by the page alone, so different
+//!   questions over the same page share it. The base tier is what
+//!   [`crate::Engine::spill_snapshot`] persists to disk;
 //! * a [`RunResult`] is determined by `(task, engine config)` — cached in
 //!   the [`ResultCache`], keyed by the task's canonical form (exact, not
 //!   a digest: a hash collision must not serve the wrong programs). The
@@ -44,7 +49,7 @@ use crate::engine::Task;
 use crate::pipeline::{Config, RunResult};
 use crate::store::PageId;
 use webqa_dsl::QueryContext;
-use webqa_synth::{PageFeatures, SynthConfig};
+use webqa_synth::{PageBaseFeatures, PageFeatures, SynthConfig};
 
 /// Capacities of the engine's cross-request caches (entries, not bytes).
 /// `0` disables the respective cache.
@@ -84,35 +89,88 @@ impl CacheConfig {
 }
 
 /// A point-in-time snapshot of the cache counters.
+///
+/// A *disabled* tier (capacity 0) counts nothing — its counters stay
+/// zero and its `*_enabled` flag is `false`, so consumers can render
+/// "cache off" instead of a misleading 0% hit rate. The
+/// `*_hit_rate` helpers fold both concerns: `None` means "no rate to
+/// report" (tier disabled or no lookups yet), never a division by zero.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct CacheStats {
-    /// Feature tables served from the store.
+    /// Full feature tables served from the query tier.
     pub feature_hits: u64,
-    /// Feature tables computed (cache cold, evicted, or disabled).
+    /// Full feature tables computed (query tier cold or evicted).
     pub feature_misses: u64,
-    /// Feature tables evicted (LRU, over capacity).
+    /// Full feature tables evicted (LRU, over capacity).
     pub feature_evictions: u64,
+    /// Query-independent base tables served from the base tier —
+    /// including to *different* questions than the one that filled them.
+    pub base_hits: u64,
+    /// Base tables computed (base tier cold or evicted).
+    pub base_misses: u64,
+    /// Base tables evicted (LRU, over capacity).
+    pub base_evictions: u64,
     /// Completed runs served from the result LRU.
     pub result_hits: u64,
     /// Completed runs computed.
     pub result_misses: u64,
     /// Completed runs evicted (LRU, over capacity).
     pub result_evictions: u64,
+    /// Whether the feature store (both tiers) is enabled (capacity > 0).
+    pub features_enabled: bool,
+    /// Whether the result LRU is enabled (capacity > 0).
+    pub results_enabled: bool,
 }
 
 impl CacheStats {
     /// Field-wise sum of two snapshots — how a front end holding several
     /// independent engines (e.g. `webqa_server`'s per-shard engines)
-    /// aggregates their counters into one fleet-wide view.
+    /// aggregates their counters into one fleet-wide view. The enabled
+    /// flags OR: a tier counts as on if any engine has it on.
     pub fn merged(self, other: CacheStats) -> CacheStats {
         CacheStats {
             feature_hits: self.feature_hits + other.feature_hits,
             feature_misses: self.feature_misses + other.feature_misses,
             feature_evictions: self.feature_evictions + other.feature_evictions,
+            base_hits: self.base_hits + other.base_hits,
+            base_misses: self.base_misses + other.base_misses,
+            base_evictions: self.base_evictions + other.base_evictions,
             result_hits: self.result_hits + other.result_hits,
             result_misses: self.result_misses + other.result_misses,
             result_evictions: self.result_evictions + other.result_evictions,
+            features_enabled: self.features_enabled || other.features_enabled,
+            results_enabled: self.results_enabled || other.results_enabled,
         }
+    }
+
+    fn rate(enabled: bool, hits: u64, misses: u64) -> Option<f64> {
+        let total = hits + misses;
+        if !enabled || total == 0 {
+            return None;
+        }
+        Some(hits as f64 / total as f64)
+    }
+
+    /// Query-tier hit rate; `None` when the feature store is disabled or
+    /// has seen no lookups.
+    pub fn feature_hit_rate(&self) -> Option<f64> {
+        Self::rate(
+            self.features_enabled,
+            self.feature_hits,
+            self.feature_misses,
+        )
+    }
+
+    /// Base-tier hit rate; `None` when the feature store is disabled or
+    /// the base tier has seen no lookups.
+    pub fn base_hit_rate(&self) -> Option<f64> {
+        Self::rate(self.features_enabled, self.base_hits, self.base_misses)
+    }
+
+    /// Result-LRU hit rate; `None` when the LRU is disabled or has seen
+    /// no lookups.
+    pub fn result_hit_rate(&self) -> Option<f64> {
+        Self::rate(self.results_enabled, self.result_hits, self.result_misses)
     }
 }
 
@@ -131,17 +189,44 @@ struct FeatEntry {
     stamp: u64,
 }
 
-/// Sharded, content-keyed store of [`PageFeatures`] tables.
+#[derive(Debug)]
+struct BaseEntry {
+    table: Arc<PageBaseFeatures>,
+    stamp: u64,
+}
+
+/// Sharded, content-keyed, **two-tier** store of feature tables.
+///
+/// * The **query tier** holds full [`PageFeatures`] tables keyed by
+///   `(page, pool digest)` — exact reuse for repeats of the same
+///   question/config over the same page.
+/// * The **base tier** holds [`PageBaseFeatures`] tables keyed by the
+///   page alone: NER entity bits and leaf/elem masks are pure functions
+///   of page content (under the pretrained modules), so *different*
+///   questions over the same page share the expensive half and only the
+///   thin keyword/answerability layer is recomputed. This tier is also
+///   what `crate::persist` spills to disk, making a restarted engine
+///   warm.
+///
+/// Both tiers are LRU with per-shard capacity; capacity 0 disables the
+/// whole store (pass-through computes, no counter traffic — see
+/// [`CacheStats`]).
 #[derive(Debug)]
 pub(crate) struct FeatureStore {
     /// Per-shard capacity (total capacity split across shards); 0 = off.
     shard_capacity: usize,
     enabled: bool,
     shards: Vec<Mutex<HashMap<FeatKey, FeatEntry>>>,
+    /// The query-independent base tier, keyed by page handle (content
+    /// digest included — the key is content-addressed like `FeatKey`).
+    base_shards: Vec<Mutex<HashMap<PageId, BaseEntry>>>,
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    base_hits: AtomicU64,
+    base_misses: AtomicU64,
+    base_evictions: AtomicU64,
 }
 
 impl FeatureStore {
@@ -150,10 +235,14 @@ impl FeatureStore {
             shard_capacity: capacity.div_ceil(FEATURE_SHARDS),
             enabled: capacity > 0,
             shards: (0..FEATURE_SHARDS).map(|_| Mutex::default()).collect(),
+            base_shards: (0..FEATURE_SHARDS).map(|_| Mutex::default()).collect(),
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            base_hits: AtomicU64::new(0),
+            base_misses: AtomicU64::new(0),
+            base_evictions: AtomicU64::new(0),
         }
     }
 
@@ -163,18 +252,98 @@ impl FeatureStore {
         &self.shards[(h.finish() as usize) % FEATURE_SHARDS]
     }
 
+    fn base_shard_of(&self, id: &PageId) -> &Mutex<HashMap<PageId, BaseEntry>> {
+        let mut h = DefaultHasher::new();
+        id.hash(&mut h);
+        &self.base_shards[(h.finish() as usize) % FEATURE_SHARDS]
+    }
+
+    /// The base table for page `id`, computing (and caching) it on a
+    /// miss. Same discipline as the query tier: compute outside the
+    /// lock, first insert wins, min-stamp eviction.
+    pub fn base_for(
+        &self,
+        id: PageId,
+        compute: impl FnOnce() -> PageBaseFeatures,
+    ) -> Arc<PageBaseFeatures> {
+        if !self.enabled {
+            return Arc::new(compute());
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut shard = self.base_shard_of(&id).lock().expect("base shard");
+            if let Some(entry) = shard.get_mut(&id) {
+                entry.stamp = stamp;
+                self.base_hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.table);
+            }
+        }
+        self.base_misses.fetch_add(1, Ordering::Relaxed);
+        let table = Arc::new(compute());
+        self.seed_base_entry(id, Arc::clone(&table), stamp);
+        table
+    }
+
+    /// Inserts a base table computed (or loaded) elsewhere — the warm-
+    /// start path of [`crate::Engine::load_snapshot`]. No counter
+    /// traffic: seeding is not a lookup. A no-op when disabled or when
+    /// the page already has a resident entry.
+    pub fn seed_base(&self, id: PageId, table: Arc<PageBaseFeatures>) {
+        if !self.enabled {
+            return;
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        self.seed_base_entry(id, table, stamp);
+    }
+
+    fn seed_base_entry(&self, id: PageId, table: Arc<PageBaseFeatures>, stamp: u64) {
+        let mut shard = self.base_shard_of(&id).lock().expect("base shard");
+        if shard.contains_key(&id) {
+            // Lost the race to a concurrent miss (or an earlier seed):
+            // the resident table is identical by purity.
+            return;
+        }
+        if shard.len() >= self.shard_capacity {
+            let victim = shard.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k);
+            if let Some(victim) = victim {
+                shard.remove(&victim);
+                self.base_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.insert(id, BaseEntry { table, stamp });
+    }
+
+    /// Snapshot of the resident base tier: every `(page, base table)`
+    /// pair, in unspecified order — the spill surface of
+    /// [`crate::Engine::spill_snapshot`].
+    pub fn resident_base(&self) -> Vec<(PageId, Arc<PageBaseFeatures>)> {
+        self.base_shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("base shard")
+                    .iter()
+                    .map(|(id, e)| (*id, Arc::clone(&e.table)))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
     /// The table for `key`, computing (and caching) it on a miss. The
     /// compute runs *outside* the shard lock, so a slow table build never
     /// blocks hits on other pages; two concurrent misses on the same key
     /// may both compute, and the first insert wins (the values are
     /// identical by purity, so which one survives is unobservable).
+    ///
+    /// When the store is disabled, this is a pure pass-through: the
+    /// compute runs and **no** counters move (a disabled cache has no
+    /// hit rate — see [`CacheStats`]).
     pub fn get_or_compute(
         &self,
         key: FeatKey,
         compute: impl FnOnce() -> PageFeatures,
     ) -> Arc<PageFeatures> {
         if !self.enabled {
-            self.misses.fetch_add(1, Ordering::Relaxed);
             return Arc::new(compute());
         }
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
@@ -293,7 +462,8 @@ impl ResultCache {
     /// entry its equivalent predecessor filled.
     pub fn get(&self, cfg: u64, task: &Task) -> Option<RunResult> {
         if self.capacity == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            // Disabled: no lookup happened, so no miss is counted — a
+            // cache that is off has no hit rate (see [`CacheStats`]).
             return None;
         }
         let task = normalize_task(task);
@@ -396,9 +566,14 @@ impl EngineCaches {
             feature_hits: self.features.hits.load(Ordering::Relaxed),
             feature_misses: self.features.misses.load(Ordering::Relaxed),
             feature_evictions: self.features.evictions.load(Ordering::Relaxed),
+            base_hits: self.features.base_hits.load(Ordering::Relaxed),
+            base_misses: self.features.base_misses.load(Ordering::Relaxed),
+            base_evictions: self.features.base_evictions.load(Ordering::Relaxed),
             result_hits: self.results.hits.load(Ordering::Relaxed),
             result_misses: self.results.misses.load(Ordering::Relaxed),
             result_evictions: self.results.evictions.load(Ordering::Relaxed),
+            features_enabled: self.features.enabled,
+            results_enabled: self.results.capacity > 0,
         }
     }
 }
@@ -440,6 +615,11 @@ mod tests {
         PageFeatures::compute(&cfg, &ctx, &PageTree::parse(nodes))
     }
 
+    fn base(nodes: &str) -> PageBaseFeatures {
+        let ctx = QueryContext::new("Who?", ["Students"]);
+        PageBaseFeatures::compute(&ctx, &PageTree::parse(nodes))
+    }
+
     fn key(n: u32) -> FeatKey {
         (crate::store::PageId::forged(n), 7)
     }
@@ -478,12 +658,76 @@ mod tests {
 
     #[test]
     fn disabled_feature_store_is_a_pass_through() {
+        // A disabled store computes every request — and counts *nothing*:
+        // a cache that is off has no hit rate (the PR 9 bugfix; it used
+        // to count every lookup as a miss, rendering as "0% hit rate").
         let store = FeatureStore::new(0);
+        assert!(!store.enabled);
         store.get_or_compute(key(1), || table("<p>a</p>"));
         store.get_or_compute(key(1), || table("<p>a</p>"));
+        store.base_for(PageId::forged(1), || base("<p>a</p>"));
+        store.seed_base(PageId::forged(1), Arc::new(base("<p>a</p>")));
         assert_eq!(store.hits.load(Ordering::Relaxed), 0);
-        assert_eq!(store.misses.load(Ordering::Relaxed), 2);
+        assert_eq!(store.misses.load(Ordering::Relaxed), 0);
+        assert_eq!(store.base_hits.load(Ordering::Relaxed), 0);
+        assert_eq!(store.base_misses.load(Ordering::Relaxed), 0);
         assert!(store.shards.iter().all(|s| s.lock().unwrap().is_empty()));
+        assert!(store
+            .base_shards
+            .iter()
+            .all(|s| s.lock().unwrap().is_empty()));
+        assert!(store.resident_base().is_empty());
+    }
+
+    #[test]
+    fn base_tier_shares_across_queries_and_evicts_lru() {
+        let store = FeatureStore::new(16);
+        let id = PageId::forged(1);
+        let b1 = store.base_for(id, || base("<p>a</p>"));
+        let b2 = store.base_for(id, || panic!("must hit"));
+        assert!(Arc::ptr_eq(&b1, &b2));
+        let s = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        assert_eq!((s(&store.base_hits), s(&store.base_misses)), (1, 1));
+        // The base tier never touches the query-tier counters.
+        assert_eq!((s(&store.hits), s(&store.misses)), (0, 0));
+        assert_eq!(store.resident_base().len(), 1);
+    }
+
+    #[test]
+    fn base_tier_eviction_is_least_recently_used() {
+        // Capacity 8 over 8 shards = 1 entry per base shard; two pages
+        // in the same shard force an eviction of the older one.
+        let store = FeatureStore::new(8);
+        let mut in_shard = (0u32..).filter(|&n| {
+            std::ptr::eq(
+                store.base_shard_of(&PageId::forged(n)) as *const _,
+                store.base_shard_of(&PageId::forged(0)) as *const _,
+            )
+        });
+        let a = PageId::forged(in_shard.next().unwrap());
+        let b = PageId::forged(in_shard.next().unwrap());
+        store.base_for(a, || base("<p>a</p>"));
+        store.base_for(b, || base("<p>b</p>"));
+        assert_eq!(store.base_evictions.load(Ordering::Relaxed), 1);
+        store.base_for(a, || base("<p>a</p>"));
+        assert_eq!(store.base_hits.load(Ordering::Relaxed), 0);
+        assert_eq!(store.base_misses.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn seeded_base_tables_hit_without_counting_a_lookup() {
+        let store = FeatureStore::new(16);
+        let id = PageId::forged(9);
+        let seeded = Arc::new(base("<p>a</p>"));
+        store.seed_base(id, Arc::clone(&seeded));
+        assert_eq!(store.base_misses.load(Ordering::Relaxed), 0);
+        let got = store.base_for(id, || panic!("must hit the seeded table"));
+        assert!(Arc::ptr_eq(&got, &seeded));
+        assert_eq!(store.base_hits.load(Ordering::Relaxed), 1);
+        // Seeding an already-resident page is a no-op, not a replace.
+        store.seed_base(id, Arc::new(base("<p>a</p>")));
+        let again = store.base_for(id, || panic!("must hit"));
+        assert!(Arc::ptr_eq(&again, &seeded));
     }
 
     #[test]

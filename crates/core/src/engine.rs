@@ -23,13 +23,14 @@ use std::sync::Arc;
 
 use crate::cache::{self, CacheStats, EngineCaches};
 use crate::error::Error;
+use crate::persist::{PersistSink, PersistStats};
 use crate::pipeline::{Config, RunResult, Selection};
 use crate::store::{PageId, PageStore};
 use webqa_dsl::{PageTree, Program, QueryContext};
 use webqa_select::{select_from_ensemble, select_random, select_shortest, Ensemble};
 use webqa_synth::{
-    synthesize_cancellable, synthesize_with_features, CancelToken, Example, PageFeatures,
-    SynthesisOutcome,
+    synthesize_cancellable, synthesize_with_features, CancelToken, Example, PageBaseFeatures,
+    PageFeatures, SynthesisOutcome,
 };
 
 /// One extraction task over pages interned in an engine's store.
@@ -149,6 +150,11 @@ pub struct Engine {
     /// Digest of `config` for result-cache keying, fixed at construction
     /// (the config is immutable afterwards).
     config_digest: u64,
+    /// Optional on-disk snapshot sink ([`crate::persist`]). Deliberately
+    /// *not* part of [`Config`]: persistence is observationally invisible
+    /// (`persist + reload ≡ never-cached`), so it must not perturb
+    /// `config_digest` or any cache key.
+    persist: Option<Arc<PersistSink>>,
 }
 
 impl Default for Engine {
@@ -176,6 +182,85 @@ impl Engine {
             store,
             caches,
             config_digest,
+            persist: None,
+        }
+    }
+
+    /// Attaches an on-disk snapshot sink: [`Engine::spill_snapshot`]
+    /// writes through it and [`Engine::load_snapshot`] reads from it.
+    /// Attaching a sink changes no observable behavior — it only lets a
+    /// later process start warm instead of cold.
+    #[must_use]
+    pub fn with_persist(mut self, sink: Arc<PersistSink>) -> Engine {
+        self.persist = Some(sink);
+        self
+    }
+
+    /// Counters of the attached sink's disk traffic (zeros when no sink
+    /// is attached).
+    pub fn persist_stats(&self) -> PersistStats {
+        self.persist
+            .as_deref()
+            .map(PersistSink::stats)
+            .unwrap_or_default()
+    }
+
+    /// Loads every snapshot entry from the attached sink: pages are
+    /// re-interned into this engine's store (content-addressing dedups
+    /// against anything already present) and verified base-feature
+    /// tables are seeded into the cache's base tier. No-op without a
+    /// sink. See [`Engine::load_snapshot_filtered`] for sharded loads.
+    pub fn load_snapshot(&mut self) {
+        self.load_snapshot_filtered(|_| true);
+    }
+
+    /// [`Engine::load_snapshot`] restricted to content digests
+    /// satisfying `keep` — a digest-routed shard passes its ownership
+    /// predicate so an N-shard warm start reads each entry exactly once
+    /// fleet-wide. Entries failing verification are skipped (counted in
+    /// [`PersistStats::corrupt_skipped`]): recovery degrades to a cold
+    /// miss, never a wrong answer.
+    pub fn load_snapshot_filtered(&mut self, keep: impl Fn(u64) -> bool) {
+        let Some(sink) = self.persist.clone() else {
+            return;
+        };
+        let (mut pages, mut bases) = (0u64, 0u64);
+        sink.load_filtered(keep, |_, tree, base| {
+            let id = self.store.insert_tree(tree);
+            pages += 1;
+            if let Some(table) = base {
+                self.caches.features.seed_base(id, Arc::new(table));
+                bases += 1;
+            }
+        });
+        sink.note_pages_loaded(pages);
+        sink.note_base_loaded(bases);
+    }
+
+    /// Spills the warm state — every interned page and every resident
+    /// base-feature table — to the attached sink. Content-addressed and
+    /// idempotent: re-spilling an unchanged state rewrites nothing.
+    /// No-op without a sink; IO failures are swallowed (spilling is an
+    /// optimization, never a correctness requirement).
+    pub fn spill_snapshot(&self) {
+        let Some(sink) = &self.persist else {
+            return;
+        };
+        for index in 0..self.store.len() {
+            let Some(id) = self.store.id_at(index) else {
+                continue;
+            };
+            let Ok(tree) = self.store.get(id) else {
+                continue;
+            };
+            sink.spill_page(id.digest(), tree);
+        }
+        for (id, table) in self.caches.features.resident_base() {
+            // Guard against a forged/foreign id: only spill a base table
+            // whose page is resolvable here, under its *content* digest.
+            if self.store.get(id).is_ok() {
+                sink.spill_base(id.digest(), &table);
+            }
         }
     }
 
@@ -321,6 +406,7 @@ impl Engine {
             store: self.store.clone(),
             caches: Arc::clone(&self.caches),
             config_digest,
+            persist: self.persist.clone(),
         }
     }
 }
@@ -350,17 +436,20 @@ pub struct Prepared<'e> {
 }
 
 impl<'e> Prepared<'e> {
-    /// One page's feature table, through the engine's cross-request
-    /// store.
+    /// One page's feature table, through the engine's two-tier
+    /// cross-request store: a query-tier miss rebuilds the full table
+    /// *over* the base tier, so the expensive query-independent half
+    /// (NER spans, structural masks) is shared by every question that
+    /// touches the page and only the thin keyword/QA layer is recomputed
+    /// per query.
     fn fetch_features(&self, id: PageId, page: &Arc<PageTree>) -> Arc<PageFeatures> {
         let (cfg, ctx) = (&self.engine.config.synth, &self.ctx);
+        let features = &self.engine.caches.features;
         let page = Arc::clone(page);
-        self.engine
-            .caches
-            .features
-            .get_or_compute((id, self.pool_digest), move || {
-                PageFeatures::compute(cfg, ctx, &page)
-            })
+        features.get_or_compute((id, self.pool_digest), move || {
+            let base = features.base_for(id, || PageBaseFeatures::compute(ctx, &page));
+            PageFeatures::compute_with_base(cfg, ctx, &page, &base)
+        })
     }
     /// The query context (modality already applied).
     pub fn context(&self) -> &QueryContext {

@@ -55,6 +55,7 @@ mod cache;
 mod engine;
 mod error;
 mod labeling;
+mod persist;
 mod pipeline;
 mod store;
 
@@ -62,6 +63,7 @@ pub use cache::{CacheConfig, CacheStats};
 pub use engine::{Engine, Prepared, Selected, Synthesized, Task};
 pub use error::Error;
 pub use labeling::{suggest_labels, MAX_LABEL_REQUESTS};
+pub use persist::{PersistSink, PersistStats};
 pub use pipeline::{score_answers, Config, Modality, RunResult, Selection, WebQa};
 pub use store::{content_digest, PageId, PageStore};
 

@@ -18,10 +18,15 @@
 //! GET  /v1/stats
 //! ```
 //!
-//! Framing is `Content-Length` only (no chunked bodies), capped at the
-//! server's `max_frame_bytes` like a line-protocol frame. Connections
-//! are keep-alive by default; `Connection: close` (or HTTP/1.0, or any
-//! framing-level error) closes after the response. Typed errors map
+//! Framing is `Content-Length` only, capped at the server's
+//! `max_frame_bytes` like a line-protocol frame. Requests that make the
+//! body boundary ambiguous are refused outright — `Transfer-Encoding`
+//! (any value) with `411 Length Required`, a duplicate `Content-Length`
+//! with `400` — because silently mis-framing one would replay its body
+//! bytes as the next request's head on a keep-alive connection (request
+//! smuggling). Connections are keep-alive by default;
+//! `Connection: close` (or HTTP/1.0, or any framing-level error) closes
+//! after the response. Typed errors map
 //! onto status codes (see `status_for`): the envelope in the body
 //! remains the source of truth, the status line is a convenience for
 //! HTTP-native clients.
@@ -164,6 +169,19 @@ fn read_request(reader: &mut BufReader<TcpStream>, max: usize) -> ReadOutcome {
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
             match value.parse::<usize>() {
+                // Framing is the one thing a facade must never guess at:
+                // a second Content-Length (even an equal one) means the
+                // sender and this parser may disagree on where the body
+                // ends, and on a keep-alive connection the leftover body
+                // bytes would be parsed as the next request's head
+                // (request smuggling). Refuse and close.
+                Ok(n) if content_length.is_some() => {
+                    return ReadOutcome::Fail(
+                        ErrKind::BadFrame,
+                        400,
+                        format!("duplicate Content-Length header ({n})"),
+                    )
+                }
                 Ok(n) => content_length = Some(n),
                 Err(_) => {
                     return ReadOutcome::Fail(
@@ -173,6 +191,16 @@ fn read_request(reader: &mut BufReader<TcpStream>, max: usize) -> ReadOutcome {
                     )
                 }
             }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // Same smuggling hazard, worse: this facade frames by
+            // Content-Length only, so a chunked body would be read as
+            // zero-length and its bytes replayed as subsequent requests.
+            // 411: the client must resend with a Content-Length.
+            return ReadOutcome::Fail(
+                ErrKind::BadFrame,
+                411,
+                format!("Transfer-Encoding {value:?} unsupported: this endpoint frames by Content-Length only"),
+            );
         } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close") {
             close = true;
         }
@@ -265,6 +293,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        411 => "Length Required",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",

@@ -70,6 +70,26 @@
 //! over shuffled, duplicated task streams, every response compared
 //! byte-for-byte against a never-cached reference engine.
 //!
+//! # Persistence: warm restarts from an on-disk snapshot
+//!
+//! With [`ServeOptions::cache_dir`] set (`webqa-cli serve --cache-dir
+//! DIR`), the daemon spills its content-addressed page store and the
+//! query-independent base-feature tier to a versioned snapshot under
+//! `DIR/snapshot-v1/` at graceful shutdown, and reloads it at startup
+//! — each shard loading only the digests it owns, so a restarted
+//! daemon answers its first requests from a warm base tier instead of
+//! re-running NER and mask extraction. Writes are content-addressed
+//! (digest = filename) and idempotent via atomic tmp-file renames;
+//! loads re-verify the embedded checksum *and* recompute the content
+//! digest, so a truncated or tampered entry is a counted cold miss
+//! (`persist.corrupt_skipped`), never a wrong answer. The same
+//! invisibility contract applies: `tests/serve_api.rs` pins a warm
+//! restart byte-identical to a cold daemon, and the engine-level
+//! proptest (`crates/core/tests/cache_semantics.rs`) pins persist →
+//! reload → re-run equal to the never-cached reference. An unusable
+//! cache dir degrades to a cold start with a warning — persistence is
+//! an optimization, never a liveness requirement.
+//!
 //! # Wire protocol
 //!
 //! ## Framing
@@ -187,17 +207,30 @@
 //!      "workers": 8, "backlog": 64, "queue_depth": 0, "inflight": 0,
 //!      "pages": 7, "uptime_ms": 12345,
 //!      "cache": {"feature_hits":30,"feature_misses":4,"feature_evictions":0,
-//!                "result_hits":11,"result_misses":9,"result_evictions":0},
+//!                "base_hits":12,"base_misses":5,"base_evictions":0,
+//!                "result_hits":11,"result_misses":9,"result_evictions":0,
+//!                "features_enabled":true,"results_enabled":true},
+//!      "persist": {"pages_loaded":7,"base_loaded":5,"pages_spilled":0,
+//!                  "base_spilled":0,"corrupt_skipped":0,"load_ms":3},
 //!      "shards": [{"shard":0,"workers":8,"backlog":64,"queue_depth":0,
 //!                  "inflight":0,"pages":7,"cache":{...}}, ...]}}
 //! ```
 //!
 //! `shed` counts requests refused by the full admission queue,
 //! `deadline_exceeded` counts runs aborted by an expired latency
-//! budget; both are also included in `errors`. The `shards` array
-//! breaks workers, backlog, queue depth, inflight ops, pages, and
-//! every cache counter down per shard — computed in the same pass as
-//! the totals, so the breakdown always sums to them exactly
+//! budget; both are also included in `errors`. The `cache` object
+//! carries the engine's three tiers — the query-keyed feature tables
+//! (`feature_*`), the query-*independent* base tables shared across
+//! questions (`base_*`), and the completed-run LRU (`result_*`) — plus
+//! the `*_enabled` flags: a disabled tier counts nothing, so its
+//! counters stay zero rather than accumulating misleading misses. The
+//! `persist` object reports the on-disk snapshot tier
+//! ([`ServeOptions::cache_dir`]): entries loaded at startup, entries
+//! spilled at shutdown, corrupt entries skipped, and the load wall
+//! time; it is all zeros when no cache dir is configured. The `shards`
+//! array breaks workers, backlog, queue depth, inflight ops, pages,
+//! and every cache counter down per shard — computed in the same pass
+//! as the totals, so the breakdown always sums to them exactly
 //! (`tests/serve_api.rs` asserts this).
 //!
 //! ### `check` — lint + abstract-interpretation verdicts for a program
@@ -244,8 +277,13 @@
 //! GET  /v1/stats      (empty body)
 //! ```
 //!
-//! * **Framing**: requests must carry `Content-Length` (no chunked
-//!   encoding); bodies above `max_frame_bytes` are refused with 413.
+//! * **Framing**: requests must carry exactly one `Content-Length` —
+//!   the facade never parses chunked bodies, so any
+//!   `Transfer-Encoding` header is refused with 411 (Length Required)
+//!   and a duplicate `Content-Length` with 400, both closing the
+//!   connection: ambiguous framing is how request smuggling works, and
+//!   refusing is the only safe answer. Bodies above `max_frame_bytes`
+//!   are refused with 413.
 //!   An empty body is treated as `{}` (all ops accept it except the
 //!   heavy ones, which then fail with their usual typed errors).
 //!   Responses always carry `Content-Type: application/json` and
@@ -359,6 +397,13 @@ pub struct ServeOptions {
     /// any concurrency; [`Listening::wait_for_responses`] blocks until
     /// the cap (or any count) is reached.
     pub max_responses: Option<u64>,
+    /// Snapshot directory for warm restarts (default `None` = fully
+    /// in-memory). When set, startup loads the versioned snapshot under
+    /// this directory (each shard loads the digests it owns; corrupt
+    /// entries degrade to cold misses) and clean shutdown spills the
+    /// interned pages and resident base-feature tables back. Purely an
+    /// optimization: responses are byte-identical with or without it.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -371,6 +416,7 @@ impl Default for ServeOptions {
             shards: 1,
             default_deadline: None,
             max_responses: None,
+            cache_dir: None,
         }
     }
 }
@@ -543,13 +589,37 @@ pub struct Server {
 }
 
 impl Server {
-    /// A server owning fresh engine shards built from `opts`.
+    /// A server owning fresh engine shards built from `opts`. When
+    /// [`ServeOptions::cache_dir`] is set, the shards warm-load the
+    /// on-disk snapshot here (an unopenable directory degrades to a cold
+    /// start with a stderr warning — persistence is an optimization,
+    /// never a liveness requirement).
     pub fn new(opts: ServeOptions) -> Server {
-        let workers = opts.effective_workers();
         let machine = machine_parallelism();
+        let persist = opts.cache_dir.as_ref().and_then(|dir| {
+            webqa::PersistSink::open(dir)
+                .map_err(|e| {
+                    eprintln!(
+                        "webqa-server: cache dir {} unusable ({e}); starting cold",
+                        dir.display()
+                    )
+                })
+                .ok()
+        });
+        let shards = ShardSet::new(
+            &opts.engine,
+            opts.effective_shards(),
+            opts.effective_workers(),
+            opts.backlog,
+            persist,
+        );
+        // Post-clamp: the shard set may have reduced the shard count to
+        // honor the global budgets, so derive per-op parallelism from
+        // what was actually built, not from what was requested.
+        let workers = shards.total_workers();
         Server {
             shared: Arc::new(Shared {
-                shards: ShardSet::new(&opts.engine, opts.effective_shards(), workers, opts.backlog),
+                shards,
                 max_frame_bytes: opts.max_frame_bytes,
                 started: Instant::now(),
                 requests: AtomicU64::new(0),
@@ -1196,6 +1266,11 @@ impl Server {
             serde_json::json!(self.shared.started.elapsed().as_millis() as u64),
         );
         map.insert("cache".to_string(), cache);
+        map.insert(
+            "persist".to_string(),
+            serde_json::to_value(&shards.persist_stats())
+                .map_err(|e| ProtoError::new(ErrKind::Internal, e.to_string()))?,
+        );
         map.insert("shards".to_string(), Value::Array(shard_entries));
         Ok(Value::Object(map))
     }

@@ -78,7 +78,11 @@ fn kind_bit(kind: EntityKind) -> u8 {
 }
 
 /// Computes the features of one string. `want_answer` mirrors
-/// `QueryContext::has_answer`'s empty-question short-circuit.
+/// `QueryContext::has_answer`'s empty-question short-circuit. The
+/// production path builds rows via [`PageFeatures::compute_over_base`]
+/// (query layer over a [`PageBaseFeatures`] base); this definitional
+/// one-shot form remains as the test oracle for feature↔pred agreement.
+#[cfg(test)]
 pub(crate) fn features_of(ctx: &QueryContext, text: &str, want_answer: bool) -> TextFeatures {
     let kw = ctx.keyword_score(text);
     let has_answer = want_answer && ctx.has_answer(text);
@@ -175,6 +179,23 @@ impl PageFeatures {
         Self::compute_over(&node_filters(cfg, ctx), ctx, page)
     }
 
+    /// [`PageFeatures::compute`] reusing a precomputed query-independent
+    /// [`PageBaseFeatures`] table — only the keyword/answerability layer
+    /// is recomputed; the NER entity bits and leaf/elem masks come from
+    /// `base`. Byte-identical to [`PageFeatures::compute`] whenever
+    /// `base` was computed for the same page under the same neural
+    /// modules ([`PageBaseFeatures::compute`] documents that contract);
+    /// a `base` whose node count doesn't match the page falls back to a
+    /// fresh computation.
+    pub fn compute_with_base(
+        cfg: &crate::config::SynthConfig,
+        ctx: &QueryContext,
+        page: &webqa_dsl::PageTree,
+        base: &PageBaseFeatures,
+    ) -> PageFeatures {
+        Self::compute_over_base(&node_filters(cfg, ctx), ctx, page, base)
+    }
+
     /// [`PageFeatures::compute`] against an already-built filter pool
     /// (the internal path — avoids re-deriving the pool per example).
     pub(crate) fn compute_over(
@@ -182,14 +203,47 @@ impl PageFeatures {
         ctx: &QueryContext,
         page: &webqa_dsl::PageTree,
     ) -> PageFeatures {
+        Self::compute_over_base(filters, ctx, page, &PageBaseFeatures::compute(ctx, page))
+    }
+
+    /// The shared lower half of `compute_over` / `compute_with_base`:
+    /// layers the query-dependent features (keyword scores, QA
+    /// answerability) over a query-independent base, then evaluates the
+    /// filter pool against the combined per-node features.
+    pub(crate) fn compute_over_base(
+        filters: &[NodeFilter],
+        ctx: &QueryContext,
+        page: &webqa_dsl::PageTree,
+        base: &PageBaseFeatures,
+    ) -> PageFeatures {
+        if !base.fits(page.len()) {
+            // A stale/foreign base table: recompute rather than risk
+            // mismatched rows (mirrors the `fits` guard on full tables).
+            let fresh = PageBaseFeatures::compute(ctx, page);
+            return Self::compute_over_base(filters, ctx, page, &fresh);
+        }
         let want_answer = !ctx.question().is_empty();
         let own: Vec<TextFeatures> = page
             .iter()
-            .map(|n| features_of(ctx, page.text(n), want_answer))
+            .map(|n| {
+                let text = page.text(n);
+                TextFeatures {
+                    kw: ctx.keyword_score(text),
+                    has_answer: want_answer && ctx.has_answer(text),
+                    entities: base.own_entities[n.index()],
+                }
+            })
             .collect();
         let sub: Vec<TextFeatures> = page
             .iter()
-            .map(|n| features_of(ctx, &page.subtree_text(n), want_answer))
+            .map(|n| {
+                let text = page.subtree_text(n);
+                TextFeatures {
+                    kw: ctx.keyword_score(&text),
+                    has_answer: want_answer && ctx.has_answer(&text),
+                    entities: base.sub_entities[n.index()],
+                }
+            })
             .collect();
         let masks: Vec<Vec<bool>> = filters
             .iter()
@@ -200,8 +254,8 @@ impl PageFeatures {
                             f,
                             &own[n.index()],
                             &sub[n.index()],
-                            page.is_leaf(n),
-                            page.is_elem(n),
+                            base.leaf[n.index()],
+                            base.elem[n.index()],
                         )
                     })
                     .collect()
@@ -216,6 +270,102 @@ impl PageFeatures {
         self.own.len() == nodes
             && self.masks.len() == filters
             && self.masks.iter().all(|m| m.len() == nodes)
+    }
+}
+
+/// The query-independent half of a page's feature table: NER entity
+/// bits for every node's own and subtree text, plus the structural
+/// leaf/elem masks. Everything here is a pure function of *page
+/// content* under the pretrained neural modules — no question, keyword,
+/// or synthesis-config input — which is what lets `webqa::Engine`'s
+/// feature store share one base table across *different* questions over
+/// the same page, and persist it to disk keyed by content digest alone.
+///
+/// Contract: [`PageBaseFeatures::compute`] reads only
+/// [`QueryContext::entities`] (the NER module) and the page's structure.
+/// A context built with custom models
+/// (`QueryContext::with_models`) may recognize different entities;
+/// callers caching base tables across contexts are responsible for only
+/// doing so under the pretrained defaults (as `webqa::Engine` does).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageBaseFeatures {
+    /// Per-node entity-kind bitmask of the node's own text.
+    own_entities: Vec<u8>,
+    /// Per-node entity-kind bitmask of the node's subtree text.
+    sub_entities: Vec<u8>,
+    /// Per-node `is_leaf`.
+    leaf: Vec<bool>,
+    /// Per-node `is_elem`.
+    elem: Vec<bool>,
+}
+
+impl PageBaseFeatures {
+    /// Computes the query-independent table for one page. Only the NER
+    /// module of `ctx` is consulted (see the type docs for the
+    /// pretrained-models contract).
+    pub fn compute(ctx: &QueryContext, page: &webqa_dsl::PageTree) -> PageBaseFeatures {
+        let entity_bits = |text: &str| {
+            let mut bits = 0u8;
+            for e in ctx.entities(text) {
+                bits |= kind_bit(e.kind);
+            }
+            bits
+        };
+        PageBaseFeatures {
+            own_entities: page.iter().map(|n| entity_bits(page.text(n))).collect(),
+            sub_entities: page
+                .iter()
+                .map(|n| entity_bits(&page.subtree_text(n)))
+                .collect(),
+            leaf: page.iter().map(|n| page.is_leaf(n)).collect(),
+            elem: page.iter().map(|n| page.is_elem(n)).collect(),
+        }
+    }
+
+    /// Number of nodes this table covers.
+    pub fn nodes(&self) -> usize {
+        self.own_entities.len()
+    }
+
+    /// Whether this table was built over a page of `nodes` nodes.
+    pub fn fits(&self, nodes: usize) -> bool {
+        self.own_entities.len() == nodes
+            && self.sub_entities.len() == nodes
+            && self.leaf.len() == nodes
+            && self.elem.len() == nodes
+    }
+
+    /// The raw per-node columns `(own_entities, sub_entities, leaf,
+    /// elem)` — the serialization surface for `webqa`'s on-disk
+    /// snapshot.
+    pub fn parts(&self) -> (&[u8], &[u8], &[bool], &[bool]) {
+        (
+            &self.own_entities,
+            &self.sub_entities,
+            &self.leaf,
+            &self.elem,
+        )
+    }
+
+    /// Rebuilds a table from its [`parts`](PageBaseFeatures::parts)
+    /// columns (the deserialization surface). `None` unless all four
+    /// columns have equal length.
+    pub fn from_parts(
+        own_entities: Vec<u8>,
+        sub_entities: Vec<u8>,
+        leaf: Vec<bool>,
+        elem: Vec<bool>,
+    ) -> Option<PageBaseFeatures> {
+        let n = own_entities.len();
+        if sub_entities.len() != n || leaf.len() != n || elem.len() != n {
+            return None;
+        }
+        Some(PageBaseFeatures {
+            own_entities,
+            sub_entities,
+            leaf,
+            elem,
+        })
     }
 }
 
@@ -746,6 +896,57 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn base_split_reproduces_the_full_table() {
+        let cfg = SynthConfig::fast();
+        let page = PageTree::parse(
+            "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li><li>Bob Smith</li></ul>\
+             <h2>Contact</h2><p>a@x.edu</p>",
+        );
+        let assert_tables_equal = |a: &PageFeatures, b: &PageFeatures| {
+            assert_eq!(a.masks, b.masks);
+            assert_eq!(a.own.len(), b.own.len());
+            for (x, y) in a.own.iter().zip(&b.own) {
+                assert_eq!(x.kw, y.kw);
+                assert_eq!(x.has_answer, y.has_answer);
+                assert_eq!(x.entities, y.entities);
+            }
+        };
+
+        let c = ctx();
+        let base = PageBaseFeatures::compute(&c, &page);
+        assert!(base.fits(page.len()));
+        assert_tables_equal(
+            &PageFeatures::compute(&cfg, &c, &page),
+            &PageFeatures::compute_with_base(&cfg, &c, &page, &base),
+        );
+
+        // The same base serves a *different* question over the page —
+        // the whole point of the query-independent split.
+        let c2 = QueryContext::new("What is the contact email?", ["Contact"]);
+        assert_tables_equal(
+            &PageFeatures::compute(&cfg, &c2, &page),
+            &PageFeatures::compute_with_base(&cfg, &c2, &page, &base),
+        );
+
+        // A base of the wrong shape falls back to a fresh computation
+        // instead of producing mismatched rows.
+        let stale = PageBaseFeatures::from_parts(vec![0], vec![0], vec![true], vec![true]).unwrap();
+        assert!(!stale.fits(page.len()));
+        assert_tables_equal(
+            &PageFeatures::compute(&cfg, &c, &page),
+            &PageFeatures::compute_with_base(&cfg, &c, &page, &stale),
+        );
+
+        // parts/from_parts round-trips; ragged columns are rejected.
+        let (own, sub, leaf, elem) = base.parts();
+        let rebuilt =
+            PageBaseFeatures::from_parts(own.to_vec(), sub.to_vec(), leaf.to_vec(), elem.to_vec())
+                .unwrap();
+        assert_eq!(rebuilt, base);
+        assert!(PageBaseFeatures::from_parts(vec![0], vec![], vec![], vec![]).is_none());
     }
 
     #[test]

@@ -74,11 +74,21 @@
 //!   deterministic input-ordered results (the runner caps combined
 //!   batch × branch-parallel worker counts against the hardware budget).
 //!   The engine additionally owns the cross-request caches: a sharded,
-//!   content-keyed `FeatureStore` of per-(page, query, config)
-//!   neural-feature/mask tables and an LRU of completed runs — pure
-//!   values, so hits and evictions change latency, never results
-//!   (`webqa::CacheStats` counts them). The pre-engine one-shot facade
-//!   survives as the thin `WebQa::run` compatibility wrapper.
+//!   content-keyed **two-tier** `FeatureStore` — a query-*independent*
+//!   base tier (NER spans, leaf/element masks, keyed by page alone, so
+//!   different questions over the same pages share the expensive half)
+//!   under a thin query-dependent tier of keyword scores — and an LRU
+//!   of completed runs; all pure values, so hits and evictions change
+//!   latency, never results (`webqa::CacheStats` counts every tier,
+//!   and a disabled tier counts nothing). The page store and base tier
+//!   additionally persist: `webqa::PersistSink` spills them to a
+//!   versioned, content-addressed on-disk snapshot
+//!   (`Engine::spill_snapshot` / `load_snapshot`), checksummed and
+//!   digest-verified on load so corruption degrades to a counted cold
+//!   miss — `crates/core/tests/cache_semantics.rs` pins persist →
+//!   reload → re-run equal to the never-cached reference. The
+//!   pre-engine one-shot facade survives as the thin `WebQa::run`
+//!   compatibility wrapper.
 //!   **Workloads** (`webqa_corpus`, `webqa_baselines`) provide the 25
 //!   evaluation tasks, the seeded page generators, and the three
 //!   baseline systems.
@@ -106,7 +116,11 @@
 //!   reassemble in input order), and a per-request `deadline_ms` budget
 //!   — queue wait included — trips a cooperative cancel token inside
 //!   the synthesis enumerator, returning a typed `deadline-exceeded`
-//!   without poisoning any cache. `tests/serve_api.rs` proves serving
+//!   without poisoning any cache. With `--cache-dir DIR` the daemon
+//!   spills its page store and base-feature tier to the on-disk
+//!   snapshot at shutdown and reloads it (per shard, owned digests
+//!   only) at startup, so restarts are warm; load/spill/corruption
+//!   counters surface through `stats` on both wire surfaces. `tests/serve_api.rs` proves serving
 //!   observationally invisible (concurrent duplicated request streams
 //!   answer byte-identically to a cold, never-cached engine — at 1
 //!   shard, at 4 shards, and over HTTP — shard routing ignores intern

@@ -426,11 +426,15 @@ fn four_shards_are_byte_identical_to_one_shard_and_cold() {
     let specs = workload();
     let expected: Vec<String> = specs.iter().map(Spec::cold_body).collect();
 
+    // Workers pinned to the shard count so the clamp (shards ≤ worker
+    // budget) keeps the 4-shard server genuinely 4-sharded even on a
+    // single-core machine.
     let spawn = |shards: usize| {
         spawn_server(ServeOptions {
             engine: engine_config(),
             max_frame_bytes: 1 << 20,
             shards,
+            workers: shards,
             ..ServeOptions::default()
         })
     };
@@ -529,6 +533,18 @@ fn shard_stats_breakdown_sums_to_totals() {
         other => panic!("cache totals must be an object, got {other:?}"),
     };
     for (key, total) in totals.iter() {
+        // The tier-enabled flags are booleans, not counters: the total
+        // is the OR (identical config across shards → identical flags).
+        if let Some(flag) = total.as_bool() {
+            for s in shards {
+                assert_eq!(
+                    s["cache"][key.as_str()].as_bool(),
+                    Some(flag),
+                    "per-shard cache.{key} flag must match the total: {stats:?}"
+                );
+            }
+            continue;
+        }
         let shard_sum: u64 = shards
             .iter()
             .map(|s| s["cache"][key.as_str()].as_u64().expect("cache counter"))
@@ -539,7 +555,99 @@ fn shard_stats_breakdown_sums_to_totals() {
             "per-shard cache.{key} must sum to the total: {stats:?}"
         );
     }
+    // The persist object is present (all-zero here: no --cache-dir).
+    let persist = match &ok["persist"] {
+        serde_json::Value::Object(m) => m,
+        other => panic!("stats must carry a persist object, got {other:?}"),
+    };
+    for (key, value) in persist.iter() {
+        assert_eq!(value.as_u64(), Some(0), "persist.{key} without a cache dir");
+    }
     listening.shutdown();
+}
+
+/// The persistence gate, at the serving layer: a daemon serves a stream
+/// with a cache dir, shuts down cleanly (spilling its pages and
+/// base-feature tables), and a *restarted* daemon on the same directory
+/// answers **different questions over the same pages** byte-identically
+/// to the cold never-cached reference — while its stats prove the warm
+/// start engaged (pages and base tables loaded from disk, base-tier
+/// hits on the new questions).
+#[test]
+fn warm_restart_is_byte_identical_and_hits_the_base_tier() {
+    let specs = workload();
+    let dir = std::env::temp_dir().join(format!("webqa-serve-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let serve_opts = || ServeOptions {
+        engine: engine_config(),
+        max_frame_bytes: 1 << 20,
+        cache_dir: Some(dir.clone()),
+        ..ServeOptions::default()
+    };
+
+    // First daemon: the cross-query student stream (specs 0..3 share
+    // their labeled pages), already byte-checked against the cold
+    // reference. Shutdown spills the snapshot.
+    {
+        let listening = spawn_server(serve_opts());
+        let addr = listening.tcp_addr().expect("tcp endpoint");
+        let mut client = Client::connect_tcp(addr).expect("connect");
+        for (i, spec) in specs.iter().take(3).enumerate() {
+            let id = i as u64 + 1;
+            let resp = client.request_line(&spec.request(id)).expect("run");
+            assert_eq!(resp, format!("{{\"id\":{id},\"ok\":{}}}", spec.cold_body()));
+        }
+        listening.shutdown();
+    }
+    assert!(
+        dir.join("snapshot-v1").is_dir(),
+        "clean shutdown must leave a snapshot directory"
+    );
+
+    // A different question over the *same* pages the first daemon saw:
+    // new query context, new query-tier key — only the base tier (NER
+    // spans, structural masks) can carry over.
+    let fresh = Spec {
+        question: "Which students does the group page list?".to_string(),
+        keywords: vec!["Students".to_string()],
+        labeled: specs[0].labeled.clone(),
+        targets: specs[2].targets.clone(),
+    };
+
+    // Second daemon, same directory: warm start.
+    let listening = spawn_server(serve_opts());
+    let addr = listening.tcp_addr().expect("tcp endpoint");
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let resp = client.request_line(&fresh.request(7)).expect("warm run");
+    assert_eq!(
+        resp,
+        format!("{{\"id\":7,\"ok\":{}}}", fresh.cold_body()),
+        "a warm restart must be observationally invisible"
+    );
+
+    let stats = client
+        .request(&serde_json::from_str(r#"{"op":"stats"}"#).unwrap())
+        .expect("stats");
+    let persist = &stats["ok"]["persist"];
+    assert!(
+        persist["pages_loaded"].as_u64().unwrap_or(0) > 0,
+        "restart must load pages from the snapshot: {stats:?}"
+    );
+    assert!(
+        persist["base_loaded"].as_u64().unwrap_or(0) > 0,
+        "restart must load base-feature tables: {stats:?}"
+    );
+    assert_eq!(
+        persist["corrupt_skipped"].as_u64(),
+        Some(0),
+        "a clean snapshot has nothing to skip: {stats:?}"
+    );
+    assert!(
+        stats["ok"]["cache"]["base_hits"].as_u64().unwrap_or(0) > 0,
+        "the new question over known pages must hit the base tier: {stats:?}"
+    );
+    listening.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Shard routing is a pure function of page *content*: whatever order
@@ -577,9 +685,13 @@ mod shard_routing {
             let k = rotate % other.len();
             other.rotate_left(k);
 
+            // 4 workers explicitly: the shard count clamps to the
+            // worker budget (PR 9), and auto-workers resolves to the
+            // core count — which may be below 4 on a small machine.
             let spawn = || {
                 spawn_server(ServeOptions {
                     shards: 4,
+                    workers: 4,
                     ..ServeOptions::default()
                 })
             };
@@ -625,10 +737,14 @@ mod http_facade {
         let specs = workload();
         let expected: Vec<String> = specs.iter().take(3).map(Spec::cold_body).collect();
         for shards in [1usize, 4] {
+            // Workers pinned to the shard count so the clamp (shards ≤
+            // worker budget) keeps this genuinely multi-shard even on a
+            // single-core machine.
             let listening = spawn_http(ServeOptions {
                 engine: engine_config(),
                 max_frame_bytes: 1 << 20,
                 shards,
+                workers: shards,
                 ..ServeOptions::default()
             });
             let addr = listening.http_addr().expect("http endpoint");
@@ -736,6 +852,70 @@ mod http_facade {
         let (status, body) = client.post("/v1/intern", &huge).expect("oversized");
         assert_eq!(status, 413, "{body}");
         assert!(body.contains(r#""kind":"oversized""#), "{body}");
+        listening.shutdown();
+    }
+
+    /// Writes raw bytes to the facade and reads until the server closes
+    /// the connection — the whole point of these tests is to see what a
+    /// framing-hostile client gets back, so no HttpClient in between.
+    fn raw_http(addr: std::net::SocketAddr, request: &str) -> String {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("write");
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).expect("read to close");
+        buf
+    }
+
+    /// The facade frames by `Content-Length` only; a request that makes
+    /// the body boundary ambiguous must be refused with a closing
+    /// response, never half-parsed. Otherwise the body bytes would be
+    /// read as the *next* request on the keep-alive connection — the
+    /// smuggled `GET /v1/ping` below must never produce a second
+    /// response.
+    #[test]
+    fn ambiguous_framing_is_refused_and_never_smuggles() {
+        let listening = spawn_http(ServeOptions {
+            engine: Config::default(),
+            ..ServeOptions::default()
+        });
+        let addr = listening.http_addr().expect("http endpoint");
+
+        // Transfer-Encoding (chunked or otherwise): 411, connection
+        // closed with the chunked body unread.
+        let reply = raw_http(
+            addr,
+            "POST /v1/check HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+             1c\r\nGET /v1/ping HTTP/1.1\r\n\r\n\r\n0\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 411 Length Required"), "{reply}");
+        assert!(reply.contains(r#""kind":"bad-frame""#), "{reply}");
+        assert_eq!(
+            reply.matches("HTTP/1.1 ").count(),
+            1,
+            "smuggled request must not be answered: {reply}"
+        );
+
+        // Duplicate Content-Length (even self-consistent): 400, closed.
+        // Under last-wins parsing the zero-length reading would leave
+        // the pipelined ping to be served as a second request.
+        let reply = raw_http(
+            addr,
+            "POST /v1/check HTTP/1.1\r\nContent-Length: 26\r\nContent-Length: 0\r\n\r\n\
+             GET /v1/ping HTTP/1.1\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 400 Bad Request"), "{reply}");
+        assert!(reply.contains("duplicate Content-Length"), "{reply}");
+        assert_eq!(
+            reply.matches("HTTP/1.1 ").count(),
+            1,
+            "smuggled request must not be answered: {reply}"
+        );
+
+        // The refusals poisoned nothing: a clean request still works.
+        let mut client = HttpClient::connect(addr).expect("connect");
+        let (status, body) = client.get("/v1/ping").expect("ping");
+        assert_eq!((status, body.contains("pong")), (200, true), "{body}");
         listening.shutdown();
     }
 }
