@@ -22,6 +22,8 @@ pub struct ParsedArgs {
     options: BTreeMap<String, String>,
     /// `--switch` booleans.
     switches: Vec<String>,
+    /// Bare (non-`--`) arguments after the subcommand, in order.
+    positionals: Vec<String>,
 }
 
 /// An argument-parsing or validation error.
@@ -33,6 +35,8 @@ pub enum ArgError {
     MissingValue(String),
     /// An option the command does not accept.
     UnknownOption(String),
+    /// A bare argument given to a command that takes none.
+    UnexpectedArgument(String),
     /// A required option is absent.
     MissingOption(String),
     /// An option value failed to parse.
@@ -52,6 +56,9 @@ impl fmt::Display for ArgError {
             ArgError::MissingCommand => write!(f, "no command given; try `webqa-cli help`"),
             ArgError::MissingValue(k) => write!(f, "option --{k} requires a value"),
             ArgError::UnknownOption(k) => write!(f, "unknown option --{k}"),
+            ArgError::UnexpectedArgument(a) => {
+                write!(f, "unexpected argument {a:?}; this command takes none")
+            }
             ArgError::MissingOption(k) => write!(f, "required option --{k} is missing"),
             ArgError::InvalidValue {
                 option,
@@ -79,7 +86,10 @@ pub fn parse<S: AsRef<str>>(raw: &[S], switches: &[&str]) -> Result<ParsedArgs, 
     };
     while let Some(tok) = it.next() {
         let Some(name) = tok.strip_prefix("--") else {
-            return Err(ArgError::UnknownOption(tok.to_string()));
+            // A bare token is a positional argument; commands that take
+            // none reject it in `expect_only`.
+            out.positionals.push(tok.to_string());
+            continue;
         };
         if switches.contains(&name) {
             out.switches.push(name.to_string());
@@ -127,8 +137,21 @@ impl ParsedArgs {
         self.switches.iter().any(|s| s == name)
     }
 
-    /// Rejects any option or switch outside `allowed`.
+    /// Rejects any option or switch outside `allowed`, and any positional
+    /// argument (commands that take positionals use
+    /// [`ParsedArgs::expect_options`] and read them with
+    /// [`ParsedArgs::positionals`]).
     pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        self.expect_options(allowed)?;
+        if let Some(first) = self.positionals.first() {
+            return Err(ArgError::UnexpectedArgument(first.clone()));
+        }
+        Ok(())
+    }
+
+    /// Rejects any option or switch outside `allowed`; positional
+    /// arguments are permitted.
+    pub fn expect_options(&self, allowed: &[&str]) -> Result<(), ArgError> {
         for k in self.options.keys() {
             if !allowed.contains(&k.as_str()) {
                 return Err(ArgError::UnknownOption(k.clone()));
@@ -140,6 +163,11 @@ impl ParsedArgs {
             }
         }
         Ok(())
+    }
+
+    /// The bare (non-option) arguments after the subcommand, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
     }
 
     /// Splits a comma-separated option into trimmed non-empty parts.
@@ -190,10 +218,15 @@ mod tests {
     }
 
     #[test]
-    fn positional_after_command_is_rejected() {
+    fn positionals_are_collected_and_rejected_by_expect_only() {
+        let a = parse(&["import", "pages/", "--lenient"], &["lenient"]).unwrap();
+        assert_eq!(a.positionals(), ["pages/"]);
+        assert!(a.switch("lenient"));
+        // Commands that take no positionals reject them on validation.
+        let a = parse(&["synth", "stray"], &[]).unwrap();
         assert_eq!(
-            parse(&["synth", "stray"], &[]),
-            Err(ArgError::UnknownOption("stray".into()))
+            a.expect_only(&["task"]),
+            Err(ArgError::UnexpectedArgument("stray".into()))
         );
     }
 

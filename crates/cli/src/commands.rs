@@ -51,6 +51,14 @@ COMMANDS:
                   (--html SRC | --html-file PATH) [--lenient]
                   --lenient skips the strict damage checks (browser-style
                   recovery) for pages the fallible parser rejects
+    import    Ingest a directory of real HTML pages through the page
+              store, printing each file's content digest and parse
+              diagnostics; strict by default (rejected pages are listed
+              and the exit code is non-zero, like check)
+                  DIR [--lenient]
+                  [--program SRC [--question Q] [--keywords A,B]]
+                  --program additionally runs the program on every
+                  interned page (import piped into run)
     check     Lint + analyze a DSL program (sound static verdicts:
               provably-false guards, subsumed branches, provably-empty
               extractors); exits non-zero when anything fires
@@ -546,6 +554,96 @@ pub(crate) fn export(a: &ParsedArgs) -> Result<String, CliError> {
         "wrote {count} pages and gold.json to {}\n",
         out_dir.display()
     ))
+}
+
+/// `import`: walk a directory of real HTML pages and intern each one
+/// through the normal [`webqa::PageStore`] path, reporting per-file parse
+/// diagnostics and content digests.
+///
+/// Strict by default: a page the fallible parser rejects is reported and
+/// counted, and the command exits non-zero (the `check` convention), so
+/// an ingestion pipeline can gate on page health. `--lenient` opts into
+/// browser-style recovery for every page. With `--program`, each
+/// successfully interned page is additionally run through the program —
+/// the one-command version of piping `import` into `run`.
+pub(crate) fn import(a: &ParsedArgs) -> Result<String, CliError> {
+    a.expect_options(&["lenient", "program", "question", "keywords"])?;
+    let [dir] = a.positionals() else {
+        return Err(CliError::Command(
+            "usage: import DIR [--lenient] [--program SRC [--question Q] [--keywords A,B]]"
+                .to_string(),
+        ));
+    };
+    let lenient = a.switch("lenient");
+    let program: Option<Program> = a
+        .get("program")
+        .map(|src| {
+            src.parse()
+                .map_err(|e| CliError::Command(format!("bad --program: {e}")))
+        })
+        .transpose()?;
+    let ctx = QueryContext::new(a.get("question").unwrap_or(""), a.get_list("keywords"));
+
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| CliError::Command(format!("cannot read directory {dir:?}: {e}")))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension()
+                .is_some_and(|x| x.eq_ignore_ascii_case("html") || x.eq_ignore_ascii_case("htm"))
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(CliError::Command(format!("no .html/.htm files in {dir:?}")));
+    }
+
+    let mut store = webqa::PageStore::new();
+    let mut out = String::new();
+    let mut rejected = 0usize;
+    for path in &files {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let html = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Command(format!("cannot read {}: {e}", path.display())))?;
+        // The strict check decides acceptance; the lenient report is what
+        // describes the damage either way (strict accepts ordinary
+        // sloppiness such as unclosed tags, and both paths build the same
+        // tree on accepted pages).
+        let (page, diag) = PageTree::parse_report(&html);
+        if !lenient {
+            if let Err(e) = PageTree::try_parse(&html) {
+                let _ = writeln!(out, "{name}: REJECTED: {e}");
+                rejected += 1;
+                continue;
+            }
+        }
+        let id = store.insert_tree(page);
+        let _ = writeln!(out, "{name}: digest {:016x} [{diag}]", id.digest());
+        if let Some(program) = &program {
+            let tree = store.get(id)?;
+            for ans in program.eval(&ctx, tree) {
+                let _ = writeln!(out, "  {ans}");
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "imported {} of {} pages ({} distinct) from {dir}",
+        files.len() - rejected,
+        files.len(),
+        store.len(),
+    );
+    if rejected > 0 {
+        let _ = writeln!(
+            out,
+            "{rejected} page(s) rejected by the strict parser; re-run with --lenient \
+             to ingest them with browser-style recovery"
+        );
+        return Err(CliError::CheckFailed(out));
+    }
+    Ok(out)
 }
 
 /// `stats`: corpus heterogeneity report.
@@ -1195,7 +1293,7 @@ pub(crate) fn check(a: &ParsedArgs) -> Result<String, CliError> {
 
 #[cfg(test)]
 mod tests {
-    use crate::dispatch;
+    use crate::{dispatch, CliError};
 
     #[test]
     fn bench_fleet_sweeps_shard_counts() {
@@ -1454,6 +1552,90 @@ mod tests {
     }
 
     #[test]
+    fn import_interns_reports_and_gates_on_strict_damage() {
+        let dir = std::env::temp_dir().join(format!("webqa_import_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("good.html"),
+            "<h1>Jane Doe</h1><ul><li>A</li></ul>",
+        )
+        .unwrap();
+        std::fs::write(dir.join("dup.html"), "<h1>Jane Doe</h1><ul><li>A</li></ul>").unwrap();
+        std::fs::write(dir.join("sloppy.html"), "<ul><li>a<li>b</ul>").unwrap();
+        std::fs::write(dir.join("bad.html"), "<p>&bogus;</p>").unwrap();
+        std::fs::write(dir.join("notes.txt"), "not a page").unwrap();
+        let dir_s = dir.to_str().unwrap();
+
+        // Strict (default): the damaged page is rejected, the command
+        // exits non-zero, and the rest are interned and reported.
+        let err = dispatch(&["import", dir_s]).unwrap_err();
+        let report = match err {
+            CliError::CheckFailed(r) => r,
+            other => panic!("expected CheckFailed, got {other:?}"),
+        };
+        assert!(
+            report.contains("bad.html: REJECTED: malformed character reference"),
+            "{report}"
+        );
+        assert!(report.contains("sloppy.html: digest"), "{report}");
+        assert!(report.contains("[implicit-closes=2]"), "{report}");
+        assert!(
+            report.contains("imported 3 of 4 pages (2 distinct)"),
+            "{report}"
+        );
+        assert!(!report.contains("notes.txt"), "{report}");
+
+        // Lenient: everything interns; identical pages share a digest.
+        let out = dispatch(&["import", dir_s, "--lenient"]).unwrap();
+        assert!(out.contains("bad.html: digest"), "{out}");
+        assert!(out.contains("[unknown-entities=1]"), "{out}");
+        assert!(out.contains("imported 4 of 4 pages (3 distinct)"), "{out}");
+        let digest_of = |name: &str| {
+            let line = out.lines().find(|l| l.starts_with(name)).unwrap();
+            line.split_whitespace().nth(2).unwrap().to_string()
+        };
+        assert_eq!(digest_of("good.html:"), digest_of("dup.html:"));
+        assert_ne!(digest_of("good.html:"), digest_of("sloppy.html:"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn import_pipes_into_run_via_program() {
+        let dir = std::env::temp_dir().join(format!("webqa_import_run_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("page.html"),
+            "<h1>A</h1><h2>Students</h2><ul><li>Jane Doe</li></ul>",
+        )
+        .unwrap();
+        let out = dispatch(&[
+            "import",
+            dir.to_str().unwrap(),
+            "--program",
+            "sat(descendants(root, leaf), true) -> content",
+            "--question",
+            "Who are the students?",
+            "--keywords",
+            "Students",
+        ])
+        .unwrap();
+        assert!(out.contains("page.html: digest"), "{out}");
+        assert!(out.contains("  Jane Doe"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn import_usage_errors() {
+        let err = dispatch(&["import"]).unwrap_err();
+        assert!(err.to_string().contains("usage: import DIR"), "{err}");
+        let err = dispatch(&["import", "a", "b"]).unwrap_err();
+        assert!(err.to_string().contains("usage: import DIR"), "{err}");
+        let err = dispatch(&["import", "/nonexistent_webqa_dir"]).unwrap_err();
+        assert!(err.to_string().contains("cannot read directory"), "{err}");
+    }
+
+    #[test]
     fn serve_requires_an_endpoint_and_client_requires_exactly_one() {
         let err = dispatch(&["serve"]).unwrap_err();
         assert!(err.to_string().contains("endpoint"), "{err}");
@@ -1502,7 +1684,10 @@ mod tests {
             r#"{"id":7,"op":"intern","html":"<h1>A</h1><p>x</p>"}"#,
         ])
         .unwrap();
-        assert_eq!(interned.trim(), r#"{"id":7,"ok":{"page":0,"nodes":2}}"#);
+        assert_eq!(
+            interned.trim(),
+            r#"{"id":7,"ok":{"page":0,"nodes":2,"digest":"ef880ccceb310b9b"}}"#
+        );
         let stats = dispatch(&["client", "--unix", &path_str, "--op", "stats"]).unwrap();
         assert!(stats.contains("\"cache\""), "{stats}");
         assert!(stats.contains("\"pages\":1"), "{stats}");

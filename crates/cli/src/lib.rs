@@ -13,6 +13,7 @@
 //!                 [--baselines] [--show N]
 //! webqa-cli eval [--tasks A,B,C] [--domain D] [--pages N] [--train N] [--seed S] [--jobs N]
 //! webqa-cli run --program SRC --question Q --keywords A,B (--html SRC | --html-file PATH)
+//! webqa-cli import DIR [--lenient] [--program SRC [--question Q] [--keywords A,B]]
 //! webqa-cli check --program SRC [--question Q] [--keywords A,B] [--normalize] [--json]
 //! webqa-cli serve (--tcp HOST:PORT | --unix PATH | --http HOST:PORT) [--shards N]
 //!                 [--max-requests N]
@@ -103,6 +104,7 @@ pub fn dispatch<S: AsRef<str>>(raw: &[S]) -> Result<String, CliError> {
         "synth" => commands::synth(&parsed),
         "eval" => commands::eval(&parsed),
         "run" => commands::run(&parsed),
+        "import" => commands::import(&parsed),
         "check" => commands::check(&parsed),
         "stats" => commands::stats(&parsed),
         "export" => commands::export(&parsed),
@@ -133,6 +135,7 @@ mod tests {
             "synth",
             "eval",
             "run",
+            "import",
             "check",
             "stats",
             "export",

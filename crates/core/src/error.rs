@@ -84,8 +84,10 @@ mod tests {
         let e = Error::from(HtmlError::TooDeep {
             depth: 300,
             limit: 256,
+            offset: 1495,
         });
         assert!(e.to_string().contains("depth 300"));
+        assert!(e.to_string().contains("byte 1495"));
     }
 
     #[test]

@@ -38,13 +38,16 @@ pub fn decode_entities(input: &str) -> String {
     out
 }
 
-/// Finds the first character reference that *looks like* an entity
+/// Finds every character reference that *looks like* an entity
 /// (`&` + `#`/alphanumerics + `;`, within the 32-byte window entities fit
-/// in) but does not decode. Returns the verbatim reference and the byte
-/// offset of its `&`. This is the diagnostic behind
-/// [`crate::HtmlError::MalformedEntity`]; [`decode_entities`] itself stays
-/// lenient and leaves such references in place.
-pub(crate) fn first_malformed_entity(input: &str) -> Option<(String, usize)> {
+/// in) but does not decode, as `(verbatim reference, byte offset of its
+/// '&')` pairs in input order. [`decode_entities`] itself stays lenient
+/// and leaves such references in place; this scan is the diagnostic
+/// behind [`crate::HtmlError::MalformedEntity`] (strict path takes the
+/// first) and the `unknown_entities` counter of
+/// [`crate::ParseDiagnostics`] (lenient path counts them all).
+pub(crate) fn malformed_entities(input: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
     let bytes = input.as_bytes();
     for (i, &b) in bytes.iter().enumerate() {
         if b != b'&' {
@@ -68,10 +71,16 @@ pub(crate) fn first_malformed_entity(input: &str) -> Option<(String, usize)> {
             && !name.is_empty()
             && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '#');
         if looks_like_entity && decode_one(&rest[..=semi]).is_none() {
-            return Some((rest[..=semi].to_string(), i));
+            out.push((rest[..=semi].to_string(), i));
         }
     }
-    None
+    out
+}
+
+/// The first malformed reference of [`malformed_entities`], if any.
+#[cfg(test)]
+fn first_malformed_entity(input: &str) -> Option<(String, usize)> {
+    malformed_entities(input).into_iter().next()
 }
 
 fn utf8_len(first_byte: u8) -> usize {
@@ -133,6 +142,70 @@ fn named_entity(name: &str) -> Option<&'static str> {
         "uuml" => "ü",
         "ouml" => "ö",
         "auml" => "ä",
+        // The long tail real pages actually hit: Latin-1 letters for
+        // names, currency/typography symbols, fractions, arrows, and the
+        // math comparisons common in dosage / schedule tables.
+        "aacute" => "á",
+        "agrave" => "à",
+        "acirc" => "â",
+        "atilde" => "ã",
+        "aring" => "å",
+        "aelig" => "æ",
+        "ccedil" => "ç",
+        "ecirc" => "ê",
+        "euml" => "ë",
+        "iacute" => "í",
+        "igrave" => "ì",
+        "icirc" => "î",
+        "iuml" => "ï",
+        "ntilde" => "ñ",
+        "oacute" => "ó",
+        "ograve" => "ò",
+        "ocirc" => "ô",
+        "otilde" => "õ",
+        "oslash" => "ø",
+        "uacute" => "ú",
+        "ugrave" => "ù",
+        "ucirc" => "û",
+        "yacute" => "ý",
+        "szlig" => "ß",
+        "euro" => "\u{20ac}",
+        "pound" => "\u{a3}",
+        "yen" => "\u{a5}",
+        "cent" => "\u{a2}",
+        "sect" => "\u{a7}",
+        "para" => "\u{b6}",
+        "laquo" => "\u{ab}",
+        "raquo" => "\u{bb}",
+        "iexcl" => "\u{a1}",
+        "iquest" => "\u{bf}",
+        "shy" => "\u{ad}",
+        "sup1" => "\u{b9}",
+        "sup2" => "\u{b2}",
+        "sup3" => "\u{b3}",
+        "frac12" => "\u{bd}",
+        "frac14" => "\u{bc}",
+        "frac34" => "\u{be}",
+        "plusmn" => "\u{b1}",
+        "divide" => "\u{f7}",
+        "micro" => "\u{b5}",
+        "dagger" => "\u{2020}",
+        "Dagger" => "\u{2021}",
+        "permil" => "\u{2030}",
+        "prime" => "\u{2032}",
+        "Prime" => "\u{2033}",
+        "larr" => "\u{2190}",
+        "uarr" => "\u{2191}",
+        "rarr" => "\u{2192}",
+        "darr" => "\u{2193}",
+        "harr" => "\u{2194}",
+        "minus" => "\u{2212}",
+        "infin" => "\u{221e}",
+        "ne" => "\u{2260}",
+        "le" => "\u{2264}",
+        "ge" => "\u{2265}",
+        "asymp" => "\u{2248}",
+        "equiv" => "\u{2261}",
         _ => return None,
     })
 }
@@ -211,5 +284,17 @@ mod tests {
     #[test]
     fn accented_names() {
         assert_eq!(decode_entities("M&uuml;ller"), "Müller");
+        assert_eq!(decode_entities("Fran&ccedil;ois"), "François");
+        assert_eq!(decode_entities("G&ouml;del &ne; Escher"), "Gödel ≠ Escher");
+        assert_eq!(decode_entities("&frac12; &euro;"), "½ €");
+    }
+
+    #[test]
+    fn all_malformed_entities_are_reported_in_order() {
+        assert_eq!(
+            malformed_entities("a &bogus; b &amp; c &#xZZ; d"),
+            vec![("&bogus;".to_string(), 2), ("&#xZZ;".to_string(), 20)]
+        );
+        assert!(malformed_entities("clean &amp; tidy").is_empty());
     }
 }

@@ -28,6 +28,10 @@ pub enum HtmlError {
         depth: usize,
         /// The configured limit ([`MAX_OPEN_DEPTH`]).
         limit: usize,
+        /// Byte offset in the input of the open tag that breached the
+        /// limit — where to look in a multi-megabyte page, not just that
+        /// a limit exists somewhere.
+        offset: usize,
     },
     /// A character reference that looks like an entity (`&name;`,
     /// `&#digits;`, `&#xhex;`) but does not decode.
@@ -50,9 +54,13 @@ pub enum HtmlError {
 impl fmt::Display for HtmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            HtmlError::TooDeep { depth, limit } => write!(
+            HtmlError::TooDeep {
+                depth,
+                limit,
+                offset,
+            } => write!(
                 f,
-                "unclosed-tag nesting reached depth {depth} (limit {limit})"
+                "unclosed-tag nesting reached depth {depth} (limit {limit}) at the open tag at byte {offset}"
             ),
             HtmlError::MalformedEntity { entity, offset } => {
                 write!(
@@ -66,6 +74,66 @@ impl fmt::Display for HtmlError {
 
 impl std::error::Error for HtmlError {}
 
+/// Recovery statistics from one lenient parse
+/// ([`crate::parse_html_report`] / [`crate::PageTree::parse_report`]).
+///
+/// The lenient parsers never fail; these counters say how much browser-style
+/// recovery a page actually needed, so ingestion tooling (CLI `import`)
+/// can report *which* files were messy and the conformance corpus can pin
+/// that each recovery path fires exactly when it should. All-zero means
+/// the page parsed without any recovery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParseDiagnostics {
+    /// Character references that look like entities (`&name;`,
+    /// `&#digits;`, `&#xhex;`) but decode to nothing and were kept
+    /// verbatim — the lenient fallback the strict path rejects as
+    /// [`HtmlError::MalformedEntity`]. Counted only in content that
+    /// survives into the tree (text runs, attribute values, `<textarea>`
+    /// raw text) — never inside comments or `<script>`/`<style>`.
+    pub unknown_entities: usize,
+    /// End tags with no matching open element, dropped.
+    pub stray_end_tags: usize,
+    /// Elements still open at end of input, closed implicitly.
+    pub unclosed_tags: usize,
+    /// Elements closed implicitly by a later start tag (`<li>` closing an
+    /// open `<li>`, a heading closing an open `<p>`, …).
+    pub implicit_closes: usize,
+}
+
+impl ParseDiagnostics {
+    /// Whether the parse needed no recovery at all.
+    pub fn is_clean(&self) -> bool {
+        *self == ParseDiagnostics::default()
+    }
+
+    /// Compact `key=value` rendering of the non-zero counters, or
+    /// `"clean"` — the per-file summary `webqa-cli import` prints.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        for (name, value) in [
+            ("unknown-entities", self.unknown_entities),
+            ("stray-end-tags", self.stray_end_tags),
+            ("unclosed-tags", self.unclosed_tags),
+            ("implicit-closes", self.implicit_closes),
+        ] {
+            if value > 0 {
+                parts.push(format!("{name}={value}"));
+            }
+        }
+        if parts.is_empty() {
+            "clean".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
+impl fmt::Display for ParseDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,14 +143,32 @@ mod tests {
         let e = HtmlError::TooDeep {
             depth: 300,
             limit: MAX_OPEN_DEPTH,
+            offset: 1495,
         };
         assert!(e.to_string().contains("300"));
         assert!(e.to_string().contains("256"));
+        assert!(e.to_string().contains("byte 1495"));
         let e = HtmlError::MalformedEntity {
             entity: "&bogus;".into(),
             offset: 7,
         };
         assert!(e.to_string().contains("&bogus;"));
         assert!(e.to_string().contains("7"));
+    }
+
+    #[test]
+    fn diagnostics_summary_lists_only_nonzero_counters() {
+        let clean = ParseDiagnostics::default();
+        assert!(clean.is_clean());
+        assert_eq!(clean.summary(), "clean");
+        let diag = ParseDiagnostics {
+            unknown_entities: 2,
+            stray_end_tags: 0,
+            unclosed_tags: 1,
+            implicit_closes: 0,
+        };
+        assert!(!diag.is_clean());
+        assert_eq!(diag.summary(), "unknown-entities=2 unclosed-tags=1");
+        assert_eq!(diag.to_string(), diag.summary());
     }
 }

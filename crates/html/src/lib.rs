@@ -22,6 +22,29 @@
 //! assert_eq!(page.kind(phd), NodeKind::List);
 //! assert_eq!(page.text(page.children(phd)[0]), "Robert Smith");
 //! ```
+//!
+//! ## The conformance corpus
+//!
+//! Real pages are sloppy in ways unit tests under-sample, so the parser's
+//! observable behaviour is pinned by a declarative, html5lib-tests-style
+//! fixture corpus in `tests/fixtures/html5/*.dat` at the workspace root,
+//! driven by `tests/html_conformance.rs`. Each `.dat` file covers one
+//! damage family — misnested and unclosed tags, raw-text elements
+//! (`<script>`/`<style>` dropped, `<textarea>` kept), exotic and
+//! malformed character references, attribute edge cases, encoding
+//! oddities (BOM, CRLF, NUL), structural noise (doctypes, comments,
+//! CDATA, processing instructions), and size/depth limits — and each
+//! case records the input, the expected tree serialization, the expected
+//! [`ParseDiagnostics`] counters, and (when strict parsing rejects) the
+//! exact [`HtmlError`] message.
+//!
+//! Both entry points are held to the corpus: [`parse_html_report`] must
+//! reproduce every tree and diagnostic byte for byte, and
+//! [`try_parse_html`] must accept or reject exactly as recorded —
+//! building the identical tree whenever it accepts. To extend the
+//! corpus, add a `#case`/`#data` pair and run the runner with
+//! `WEBQA_BLESS=1` to generate the expectation sections, then
+//! hand-review the blessed output before committing it.
 
 #![warn(missing_docs)]
 
@@ -36,8 +59,8 @@ mod tokenizer;
 
 pub use dom::{Document, Node, NodeData, NodeId};
 pub use entities::decode_entities;
-pub use error::{HtmlError, MAX_OPEN_DEPTH};
+pub use error::{HtmlError, ParseDiagnostics, MAX_OPEN_DEPTH};
 pub use pagetree::{NodeKind, PageNode, PageNodeId, PageTree, PageTreeBuilder};
-pub use parse::{parse_html, try_parse_html};
+pub use parse::{parse_html, parse_html_report, try_parse_html};
 pub use serialize::serialize;
 pub use tokenizer::{tokenize_html, Attribute, HtmlToken};

@@ -18,8 +18,8 @@
 //!   "Students" in Figure 4).
 
 use crate::dom::{normalize_ws, Document, NodeData, NodeId};
-use crate::error::HtmlError;
-use crate::parse::{parse_html, try_parse_html};
+use crate::error::{HtmlError, ParseDiagnostics};
+use crate::parse::{parse_html, parse_html_report, try_parse_html};
 
 /// The type tag of a page-tree node (Definition 3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -91,6 +91,24 @@ impl PageTree {
     /// ```
     pub fn parse(html: &str) -> Self {
         Self::from_document(&parse_html(html))
+    }
+
+    /// Parses like [`PageTree::parse`] (never fails), additionally
+    /// returning how much browser-style recovery the page needed — the
+    /// per-file diagnostics `webqa-cli import` reports.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use webqa_html::PageTree;
+    /// let (page, diag) = PageTree::parse_report("<h1>A</h1><p>50&bogus;mg");
+    /// assert_eq!(page.text(page.root()), "A");
+    /// assert_eq!(diag.unknown_entities, 1);
+    /// assert_eq!(diag.unclosed_tags, 1);
+    /// ```
+    pub fn parse_report(html: &str) -> (Self, ParseDiagnostics) {
+        let (doc, diag) = parse_html_report(html);
+        (Self::from_document(&doc), diag)
     }
 
     /// Parses HTML into a page tree, surfacing the diagnostics the lenient

@@ -4,15 +4,20 @@
 //! algorithm that matter for semi-structured pages:
 //!
 //! * void elements (`br`, `img`, …) never take children;
-//! * `<li>`, `<p>`, `<tr>`, `<td>`, `<th>`, `<option>`, `<dt>`, `<dd>` close
-//!   an open element of the same kind implicitly;
+//! * `<li>`, `<p>`, `<tr>`, `<td>`, `<th>`, `<option>`, `<dt>`, `<dd>`,
+//!   headings, and the table section tags close an open element of the
+//!   same kind implicitly; block-level start tags close an open `<p>`;
 //! * stray end tags are ignored; unclosed elements are closed at EOF;
 //! * `<script>`/`<style>` contents are dropped (the paper's parser also
-//!   removes scripts and images before building its tree).
+//!   removes scripts and images before building its tree); `<textarea>`
+//!   contents are kept — they are visible text;
+//! * every recovery the builder performs is counted in
+//!   [`ParseDiagnostics`], so ingestion tooling can report *how* messy a
+//!   page was even though the lenient parse cannot fail.
 
 use crate::dom::{Document, NodeData, NodeId};
-use crate::error::{HtmlError, MAX_OPEN_DEPTH};
-use crate::tokenizer::{tokenize_html, tokenize_html_checked, HtmlToken};
+use crate::error::{HtmlError, ParseDiagnostics, MAX_OPEN_DEPTH};
+use crate::tokenizer::{tokenize_stream, HtmlToken};
 
 /// Parses an HTML string into a [`Document`].
 ///
@@ -27,7 +32,31 @@ use crate::tokenizer::{tokenize_html, tokenize_html_checked, HtmlToken};
 /// assert_eq!(doc.text_content(doc.root()), "Title Body");
 /// ```
 pub fn parse_html(input: &str) -> Document {
-    build_document(tokenize_html(input), None).expect("lenient build has no depth limit")
+    parse_html_report(input).0
+}
+
+/// Parses like [`parse_html`], additionally reporting how much recovery
+/// the page needed (see [`ParseDiagnostics`]).
+///
+/// # Examples
+///
+/// ```
+/// use webqa_html::parse_html_report;
+/// let (_, diag) = parse_html_report("<p>clean</p>");
+/// assert!(diag.is_clean());
+/// let (_, diag) = parse_html_report("<p>50&bogus;mg</div></p>");
+/// assert_eq!(diag.unknown_entities, 1);
+/// assert_eq!(diag.stray_end_tags, 1);
+/// ```
+pub fn parse_html_report(input: &str) -> (Document, ParseDiagnostics) {
+    let stream = tokenize_stream(input);
+    let mut diag = ParseDiagnostics {
+        unknown_entities: stream.unknown_entities,
+        ..ParseDiagnostics::default()
+    };
+    let doc = build_document(stream.tokens, &stream.offsets, None, &mut diag)
+        .expect("lenient build has no depth limit");
+    (doc, diag)
 }
 
 /// Parses an HTML string into a [`Document`], reporting the damage the
@@ -40,11 +69,13 @@ pub fn parse_html(input: &str) -> Document {
 /// # Errors
 ///
 /// * [`HtmlError::MalformedEntity`] — an `&…;` reference that does not
-///   decode, in content that survives into the tree (text runs and
-///   attribute values; references inside comments and `<script>`/`<style>`
-///   raw text are never decoded, so they are not diagnosed);
+///   decode, in content that survives into the tree (text runs, attribute
+///   values, `<textarea>` raw text; references inside comments and
+///   `<script>`/`<style>` raw text are never decoded, so they are not
+///   diagnosed);
 /// * [`HtmlError::TooDeep`] — open-element nesting beyond
-///   [`MAX_OPEN_DEPTH`], i.e. unclosed tags accumulating without bound.
+///   [`MAX_OPEN_DEPTH`], i.e. unclosed tags accumulating without bound;
+///   carries the byte offset of the offending open tag.
 ///
 /// # Examples
 ///
@@ -59,22 +90,35 @@ pub fn parse_html(input: &str) -> Document {
 /// assert!(try_parse_html("<script>u = 'a=1&id2;';</script><p>ok</p>").is_ok());
 /// ```
 pub fn try_parse_html(input: &str) -> Result<Document, HtmlError> {
-    let (tokens, malformed) = tokenize_html_checked(input);
-    if let Some((entity, offset)) = malformed {
+    let stream = tokenize_stream(input);
+    if let Some((entity, offset)) = stream.malformed {
         return Err(HtmlError::MalformedEntity { entity, offset });
     }
-    build_document(tokens, Some(MAX_OPEN_DEPTH))
+    let mut diag = ParseDiagnostics::default();
+    build_document(
+        stream.tokens,
+        &stream.offsets,
+        Some(MAX_OPEN_DEPTH),
+        &mut diag,
+    )
 }
 
-/// Tokens → [`Document`]: the shared lenient tree builder. With a `limit`,
-/// rejects open-element nesting deeper than `limit` ([`HtmlError::TooDeep`]);
-/// with `None` it cannot fail.
-fn build_document(tokens: Vec<HtmlToken>, limit: Option<usize>) -> Result<Document, HtmlError> {
+/// Tokens → [`Document`]: the shared lenient tree builder. `offsets` is
+/// the per-token source position table from the tokenizer. With a
+/// `limit`, rejects open-element nesting deeper than `limit`
+/// ([`HtmlError::TooDeep`]); with `None` it cannot fail. Recovery events
+/// are accumulated into `diag`.
+fn build_document(
+    tokens: Vec<HtmlToken>,
+    offsets: &[usize],
+    limit: Option<usize>,
+    diag: &mut ParseDiagnostics,
+) -> Result<Document, HtmlError> {
     let mut doc = Document::new();
     let mut stack: Vec<(String, NodeId)> = vec![(String::from("#document"), doc.root())];
     let mut in_dropped_raw_text = false;
 
-    for token in tokens {
+    for (idx, token) in tokens.into_iter().enumerate() {
         match token {
             HtmlToken::Doctype(_) | HtmlToken::Comment(_) => {}
             HtmlToken::Text(text) => {
@@ -111,6 +155,7 @@ fn build_document(tokens: Vec<HtmlToken>, limit: Option<usize>) -> Result<Docume
                 while let Some(open) = stack.last().map(|(t, _)| t.clone()) {
                     if implicitly_closes(&name, &open) {
                         stack.pop();
+                        diag.implicit_closes += 1;
                     } else {
                         break;
                     }
@@ -131,6 +176,7 @@ fn build_document(tokens: Vec<HtmlToken>, limit: Option<usize>) -> Result<Docume
                             return Err(HtmlError::TooDeep {
                                 depth: stack.len() - 1,
                                 limit,
+                                offset: offsets.get(idx).copied().unwrap_or(0),
                             });
                         }
                     }
@@ -143,14 +189,20 @@ fn build_document(tokens: Vec<HtmlToken>, limit: Option<usize>) -> Result<Docume
                 }
                 // Find the matching open element, if any; close everything
                 // above it. A stray end tag (no match) is ignored.
-                if let Some(pos) = stack.iter().rposition(|(t, _)| *t == name) {
-                    if pos > 0 {
+                match stack.iter().rposition(|(t, _)| *t == name) {
+                    Some(pos) if pos > 0 => {
+                        // Elements above the match were never closed by
+                        // their own end tags — misnesting recovery.
+                        diag.implicit_closes += stack.len() - pos - 1;
                         stack.truncate(pos);
                     }
+                    _ => diag.stray_end_tags += 1,
                 }
             }
         }
     }
+    // Everything still open at EOF closes implicitly.
+    diag.unclosed_tags += stack.len() - 1;
     Ok(doc)
 }
 
@@ -175,6 +227,10 @@ fn is_void(tag: &str) -> bool {
     )
 }
 
+fn is_heading(tag: &str) -> bool {
+    matches!(tag, "h1" | "h2" | "h3" | "h4" | "h5" | "h6")
+}
+
 /// Whether an incoming start tag `new` implicitly closes the open tag
 /// `open` (the browser "you forgot the end tag" rules we need).
 fn implicitly_closes(new: &str, open: &str) -> bool {
@@ -184,11 +240,18 @@ fn implicitly_closes(new: &str, open: &str) -> bool {
         "p" => open == "p",
         "tr" => matches!(open, "tr" | "td" | "th"),
         "td" | "th" => matches!(open, "td" | "th"),
+        // A new table section closes the previous one and any open row.
+        "thead" | "tbody" | "tfoot" => {
+            matches!(open, "thead" | "tbody" | "tfoot" | "tr" | "td" | "th")
+        }
         "option" => open == "option",
-        // A new heading closes an open paragraph.
-        "h1" | "h2" | "h3" | "h4" | "h5" | "h6" => open == "p",
-        // Tables/lists close an open paragraph too.
-        "table" | "ul" | "ol" | "div" | "section" => open == "p",
+        "optgroup" => matches!(open, "option" | "optgroup"),
+        // A new heading closes an open paragraph or an open heading.
+        h if is_heading(h) => open == "p" || is_heading(open),
+        // Block-level elements close an open paragraph.
+        "table" | "ul" | "ol" | "dl" | "div" | "section" | "article" | "aside" | "nav"
+        | "header" | "footer" | "figure" | "blockquote" | "pre" | "form" | "fieldset"
+        | "address" | "main" => open == "p",
         _ => false,
     }
 }
@@ -242,6 +305,18 @@ mod tests {
     }
 
     #[test]
+    fn implicit_table_sections() {
+        let doc = parse_html("<table><thead><tr><th>h</th><tbody><tr><td>a</table>");
+        let table = doc.iter().find(|&n| doc.tag(n) == Some("table")).unwrap();
+        let sections: Vec<_> = doc
+            .child_elements(table)
+            .iter()
+            .filter_map(|&n| doc.tag(n).map(String::from))
+            .collect();
+        assert_eq!(sections, ["thead", "tbody"]);
+    }
+
+    #[test]
     fn stray_end_tag_ignored() {
         let doc = parse_html("</div><p>x</p>");
         assert_eq!(tags(&doc), ["p"]);
@@ -260,6 +335,15 @@ mod tests {
         let doc = parse_html("<p>keep</p><script>var x = '<p>no</p>';</script><style>p{}</style>");
         assert_eq!(tags(&doc), ["p"]);
         assert_eq!(doc.text_content(doc.root()), "keep");
+    }
+
+    #[test]
+    fn textarea_content_is_kept() {
+        // Unlike script/style, textarea content is visible text the
+        // extraction pipeline must see.
+        let doc = parse_html("<p>a</p><textarea>Draft &amp; notes</textarea>");
+        assert_eq!(tags(&doc), ["p", "textarea"]);
+        assert_eq!(doc.text_content(doc.root()), "a Draft & notes");
     }
 
     #[test]
@@ -293,6 +377,14 @@ mod tests {
     }
 
     #[test]
+    fn heading_closes_open_heading() {
+        let doc = parse_html("<h1>Title<h2>Section</h2>");
+        let h1 = doc.iter().find(|&n| doc.tag(n) == Some("h1")).unwrap();
+        let h2 = doc.iter().find(|&n| doc.tag(n) == Some("h2")).unwrap();
+        assert_eq!(doc.node(h1).parent, doc.node(h2).parent);
+    }
+
+    #[test]
     fn empty_input_is_empty_doc() {
         let doc = parse_html("");
         assert!(doc.is_empty());
@@ -307,6 +399,28 @@ mod tests {
         s.push('x');
         let doc = parse_html(&s);
         assert_eq!(doc.text_content(doc.root()), "x");
+    }
+
+    #[test]
+    fn diagnostics_count_each_recovery_path() {
+        // Clean page: all-zero.
+        let (_, diag) = parse_html_report("<div><p>x</p></div>");
+        assert!(diag.is_clean(), "{diag:?}");
+        // One of each.
+        let (_, diag) = parse_html_report("<ul><li>a<li>b</ul></div><p>&bogus;<div>dangling");
+        // <li> closes <li>; </ul> closes the open <li>; <div> closes <p>.
+        assert_eq!(diag.implicit_closes, 3);
+        assert_eq!(diag.stray_end_tags, 1); // </div> after </ul>
+        assert_eq!(diag.unknown_entities, 1); // &bogus;
+        assert_eq!(diag.unclosed_tags, 1); // the final <div>
+    }
+
+    #[test]
+    fn misnested_end_tag_counts_implicit_closes() {
+        let (_, diag) = parse_html_report("<b><i>x</b>y");
+        // </b> closes <i> implicitly, <b> properly; nothing else is open.
+        assert_eq!(diag.implicit_closes, 1);
+        assert_eq!(diag.unclosed_tags, 0);
     }
 
     #[test]
@@ -337,9 +451,16 @@ mod tests {
         }
         s.push('x');
         match try_parse_html(&s) {
-            Err(HtmlError::TooDeep { depth, limit }) => {
+            Err(HtmlError::TooDeep {
+                depth,
+                limit,
+                offset,
+            }) => {
                 assert_eq!(limit, MAX_OPEN_DEPTH);
                 assert!(depth > limit);
+                // The offending open tag is the (limit+1)-th "<div>",
+                // 5 bytes each.
+                assert_eq!(offset, MAX_OPEN_DEPTH * 5);
             }
             other => panic!("expected TooDeep, got {other:?}"),
         }
@@ -375,6 +496,18 @@ mod tests {
             try_parse_html(r#"<a title="A &bogus; B">x</a>"#),
             Err(HtmlError::MalformedEntity { entity, .. }) if entity == "&bogus;"
         ));
+    }
+
+    #[test]
+    fn try_parse_checks_textarea_content() {
+        // Textarea raw text survives into the tree, so it is checked…
+        assert!(matches!(
+            try_parse_html("<textarea>50&bogus;mg</textarea>"),
+            Err(HtmlError::MalformedEntity { entity, .. }) if entity == "&bogus;"
+        ));
+        // …and decodes like ordinary text when well-formed.
+        let doc = try_parse_html("<textarea>a &amp; b</textarea>").unwrap();
+        assert_eq!(doc.text_content(doc.root()), "a & b");
     }
 
     #[test]

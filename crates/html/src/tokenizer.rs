@@ -2,13 +2,20 @@
 //!
 //! A lenient, from-scratch tokenizer in the spirit of the WHATWG
 //! tokenization stage, covering the constructs that appear on
-//! semi-structured faculty / conference / class / clinic pages: start and
-//! end tags with attributes, self-closing tags, comments, doctype, raw-text
-//! elements (`script`, `style`), and character data. Malformed markup never
-//! panics — the tokenizer recovers the way browsers do (e.g. a stray `<`
-//! becomes text).
+//! semi-structured faculty / conference / class / clinic pages *and* the
+//! real-world markup the conformance corpus (`tests/fixtures/html5/`)
+//! tortures it with: start and end tags with attributes, self-closing
+//! tags, comments, doctype, raw-text elements (`script`, `style` verbatim;
+//! `textarea` escapable — its character references decode), and character
+//! data. Malformed markup never panics — the tokenizer recovers the way
+//! browsers do (e.g. a stray `<` becomes text).
+//!
+//! Input normalization, per the byte-stream preprocessing real pages
+//! need: a leading U+FEFF byte-order mark is dropped, `\r\n` / `\r`
+//! newlines normalize to `\n`, and U+0000 in decoded content becomes
+//! U+FFFD (the replacement character).
 
-use crate::entities::{decode_entities, first_malformed_entity};
+use crate::entities::{decode_entities, malformed_entities};
 
 /// One attribute on a start tag, already entity-decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,17 +62,57 @@ pub enum HtmlToken {
 /// assert!(matches!(&toks[1], HtmlToken::Text(t) if t == "hi"));
 /// ```
 pub fn tokenize_html(input: &str) -> Vec<HtmlToken> {
-    Tokenizer::new(input, false).run().0
+    tokenize_stream(input).tokens
 }
 
-/// Tokenizes like [`tokenize_html`], additionally reporting the first
-/// malformed `&…;` reference found in content that is actually
-/// entity-decoded — text runs and attribute values. References inside
-/// comments, doctype, and `<script>`/`<style>` raw text are never decoded
-/// and therefore never reported. Returns the verbatim reference and the
-/// byte offset of its `&` in `input`.
-pub(crate) fn tokenize_html_checked(input: &str) -> (Vec<HtmlToken>, Option<(String, usize)>) {
-    Tokenizer::new(input, true).run()
+/// The full tokenizer output: tokens, their source positions, and entity
+/// diagnostics — everything the strict *and* lenient tree builders need
+/// from one pass.
+pub(crate) struct TokenStream {
+    /// The tokens, in input order.
+    pub(crate) tokens: Vec<HtmlToken>,
+    /// Byte offset in the input where each token starts, aligned with
+    /// `tokens` (a merged text run keeps its first fragment's offset).
+    pub(crate) offsets: Vec<usize>,
+    /// First malformed `&…;` reference found in content that is actually
+    /// entity-decoded — text runs, attribute values, and `<textarea>` raw
+    /// text. References inside comments, doctype, and `<script>`/`<style>`
+    /// raw text are never decoded and therefore never reported. Holds the
+    /// verbatim reference and the byte offset of its `&` in the input.
+    pub(crate) malformed: Option<(String, usize)>,
+    /// Total count of such undecodable references — the lenient path's
+    /// `unknown_entities` diagnostic.
+    pub(crate) unknown_entities: usize,
+}
+
+/// Tokenizes like [`tokenize_html`], returning the full [`TokenStream`].
+pub(crate) fn tokenize_stream(input: &str) -> TokenStream {
+    // A leading byte-order mark is an encoding artifact, not content; it
+    // must not become a text node (or an offset skew).
+    let input = input.strip_prefix('\u{feff}').unwrap_or(input);
+    Tokenizer::new(input).run()
+}
+
+/// Normalizes decoded content: `\r\n` / `\r` → `\n`, U+0000 → U+FFFD.
+fn normalize_content(s: &str) -> String {
+    if !s.contains('\r') && !s.contains('\0') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                out.push('\n');
+            }
+            '\0' => out.push('\u{fffd}'),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 struct Tokenizer<'a> {
@@ -73,42 +120,54 @@ struct Tokenizer<'a> {
     bytes: &'a [u8],
     pos: usize,
     tokens: Vec<HtmlToken>,
-    /// Whether decoded content is scanned for malformed entities.
-    check_entities: bool,
-    /// First malformed reference seen in decoded content, with its
-    /// absolute byte offset.
+    offsets: Vec<usize>,
     malformed: Option<(String, usize)>,
+    unknown_entities: usize,
 }
 
 impl<'a> Tokenizer<'a> {
-    fn new(input: &'a str, check_entities: bool) -> Self {
+    fn new(input: &'a str) -> Self {
         Tokenizer {
             input,
             bytes: input.as_bytes(),
             pos: 0,
             tokens: Vec::new(),
-            check_entities,
+            offsets: Vec::new(),
             malformed: None,
+            unknown_entities: 0,
         }
     }
 
-    /// Records the first malformed entity of a raw slice about to be
-    /// decoded; `start` is the slice's byte offset in the input.
+    /// Appends a token, recording its source offset.
+    fn emit(&mut self, token: HtmlToken, offset: usize) {
+        self.tokens.push(token);
+        self.offsets.push(offset);
+    }
+
+    /// Records the malformed entities of a raw slice about to be decoded;
+    /// `start` is the slice's byte offset in the input.
     fn note_malformed(&mut self, raw: &str, start: usize) {
-        if self.check_entities && self.malformed.is_none() {
-            if let Some((entity, off)) = first_malformed_entity(raw) {
+        if !raw.contains('&') {
+            return;
+        }
+        let found = malformed_entities(raw);
+        self.unknown_entities += found.len();
+        if self.malformed.is_none() {
+            if let Some((entity, off)) = found.into_iter().next() {
                 self.malformed = Some((entity, start + off));
             }
         }
     }
 
-    fn run(mut self) -> (Vec<HtmlToken>, Option<(String, usize)>) {
+    fn run(mut self) -> TokenStream {
         while self.pos < self.bytes.len() {
             if self.bytes[self.pos] == b'<' {
                 if self.starts_with("<!--") {
                     self.consume_comment();
                 } else if self.starts_with_ci("<!doctype") {
                     self.consume_doctype();
+                } else if matches!(self.peek_at(1), Some(b'!' | b'?')) {
+                    self.consume_bogus_comment();
                 } else if self.peek_at(1) == Some(b'/') {
                     self.consume_end_tag();
                 } else if self.peek_at(1).is_some_and(|c| c.is_ascii_alphabetic()) {
@@ -121,7 +180,12 @@ impl<'a> Tokenizer<'a> {
                 self.consume_text();
             }
         }
-        (self.tokens, self.malformed)
+        TokenStream {
+            tokens: self.tokens,
+            offsets: self.offsets,
+            malformed: self.malformed,
+            unknown_entities: self.unknown_entities,
+        }
     }
 
     fn starts_with(&self, s: &str) -> bool {
@@ -147,49 +211,81 @@ impl<'a> Tokenizer<'a> {
         let raw = &self.input[start..self.pos];
         if !raw.is_empty() {
             self.note_malformed(raw, start);
-            self.tokens.push(HtmlToken::Text(decode_entities(raw)));
+            let text = normalize_content(&decode_entities(raw));
+            self.push_text(text, start);
+        }
+    }
+
+    /// Appends text, merging into a directly preceding text token (the
+    /// offset of the merged run stays the first fragment's).
+    fn push_text(&mut self, text: String, offset: usize) {
+        match self.tokens.last_mut() {
+            Some(HtmlToken::Text(t)) => t.push_str(&text),
+            _ => self.emit(HtmlToken::Text(text), offset),
         }
     }
 
     /// Emits `prefix` as text and continues scanning from `resume`.
     fn consume_text_from(&mut self, resume: usize, prefix: &str) {
+        let offset = self.pos;
         self.pos = resume;
-        match self.tokens.last_mut() {
-            Some(HtmlToken::Text(t)) => t.push_str(prefix),
-            _ => self.tokens.push(HtmlToken::Text(prefix.to_string())),
-        }
+        self.push_text(prefix.to_string(), offset);
     }
 
     fn consume_comment(&mut self) {
+        let offset = self.pos;
         let start = self.pos + 4;
         match self.input[start..].find("-->") {
             Some(end) => {
-                self.tokens.push(HtmlToken::Comment(
-                    self.input[start..start + end].to_string(),
-                ));
+                self.emit(
+                    HtmlToken::Comment(self.input[start..start + end].to_string()),
+                    offset,
+                );
                 self.pos = start + end + 3;
             }
             None => {
                 // Unterminated comment swallows the rest of the input.
-                self.tokens
-                    .push(HtmlToken::Comment(self.input[start..].to_string()));
+                self.emit(HtmlToken::Comment(self.input[start..].to_string()), offset);
+                self.pos = self.bytes.len();
+            }
+        }
+    }
+
+    /// `<!` or `<?` markup that is neither a comment nor a doctype —
+    /// CDATA sections, processing instructions, broken declarations.
+    /// Everything up to the next `>` becomes a bogus comment, as in the
+    /// WHATWG tokenizer, so none of it leaks into the tree as text.
+    fn consume_bogus_comment(&mut self) {
+        let offset = self.pos;
+        let start = self.pos + 2;
+        match self.input[start..].find('>') {
+            Some(end) => {
+                self.emit(
+                    HtmlToken::Comment(self.input[start..start + end].to_string()),
+                    offset,
+                );
+                self.pos = start + end + 1;
+            }
+            None => {
+                self.emit(HtmlToken::Comment(self.input[start..].to_string()), offset);
                 self.pos = self.bytes.len();
             }
         }
     }
 
     fn consume_doctype(&mut self) {
+        let offset = self.pos;
         let start = self.pos + 2;
         match self.input[start..].find('>') {
             Some(end) => {
-                self.tokens.push(HtmlToken::Doctype(
-                    self.input[start..start + end].to_string(),
-                ));
+                self.emit(
+                    HtmlToken::Doctype(self.input[start..start + end].to_string()),
+                    offset,
+                );
                 self.pos = start + end + 1;
             }
             None => {
-                self.tokens
-                    .push(HtmlToken::Doctype(self.input[start..].to_string()));
+                self.emit(HtmlToken::Doctype(self.input[start..].to_string()), offset);
                 self.pos = self.bytes.len();
             }
         }
@@ -197,6 +293,7 @@ impl<'a> Tokenizer<'a> {
 
     fn consume_end_tag(&mut self) {
         // self.pos at '<', pos+1 at '/'
+        let offset = self.pos;
         let mut i = self.pos + 2;
         let name_start = i;
         while i < self.bytes.len()
@@ -211,11 +308,12 @@ impl<'a> Tokenizer<'a> {
         }
         self.pos = (i + 1).min(self.bytes.len());
         if !name.is_empty() {
-            self.tokens.push(HtmlToken::EndTag { name });
+            self.emit(HtmlToken::EndTag { name }, offset);
         }
     }
 
     fn consume_start_tag(&mut self) {
+        let offset = self.pos;
         let mut i = self.pos + 1;
         let name_start = i;
         while i < self.bytes.len()
@@ -258,38 +356,46 @@ impl<'a> Tokenizer<'a> {
             }
         }
         self.pos = i;
-        let is_raw_text = name == "script" || name == "style";
-        self.tokens.push(HtmlToken::StartTag {
-            name: name.clone(),
-            attrs,
-            self_closing,
-        });
-        if is_raw_text && !self_closing {
-            self.consume_raw_text(&name);
+        // `script`/`style` take verbatim raw text (never decoded);
+        // `textarea` takes *escapable* raw text — no markup inside, but
+        // its character references decode like ordinary text.
+        let raw_text = matches!(name.as_str(), "script" | "style");
+        let escapable_raw_text = name == "textarea";
+        self.emit(
+            HtmlToken::StartTag {
+                name: name.clone(),
+                attrs,
+                self_closing,
+            },
+            offset,
+        );
+        if (raw_text || escapable_raw_text) && !self_closing {
+            self.consume_raw_text(&name, escapable_raw_text);
         }
     }
 
-    /// Raw-text content of `<script>`/`<style>`: everything up to the
-    /// matching close tag, emitted as a single text token (the DOM builder
-    /// discards it, but round-tripping keeps it for fidelity).
-    fn consume_raw_text(&mut self, tag: &str) {
+    /// Raw-text content of `<script>`/`<style>`/`<textarea>`: everything
+    /// up to the matching close tag, emitted as a single text token (the
+    /// DOM builder discards script/style but keeps textarea). When
+    /// `escapable`, character references decode and are diagnosed, like
+    /// ordinary text.
+    fn consume_raw_text(&mut self, tag: &str, escapable: bool) {
         let close = format!("</{tag}");
-        let rest = &self.input[self.pos..];
+        let start = self.pos;
+        let rest = &self.input[start..];
         let lower = rest.to_ascii_lowercase();
-        match lower.find(&close) {
-            Some(end) => {
-                if end > 0 {
-                    self.tokens.push(HtmlToken::Text(rest[..end].to_string()));
-                }
-                self.pos += end;
-            }
-            None => {
-                if !rest.is_empty() {
-                    self.tokens.push(HtmlToken::Text(rest.to_string()));
-                }
-                self.pos = self.bytes.len();
-            }
+        let end = lower.find(&close).unwrap_or(rest.len());
+        let raw = &rest[..end];
+        if !raw.is_empty() {
+            let text = if escapable {
+                self.note_malformed(raw, start);
+                normalize_content(&decode_entities(raw))
+            } else {
+                normalize_content(raw)
+            };
+            self.emit(HtmlToken::Text(text), start);
         }
+        self.pos = start + end;
     }
 
     /// Parses one `name`, `name=value`, `name="value"`, or `name='value'`
@@ -363,7 +469,7 @@ impl<'a> Tokenizer<'a> {
         (
             Some(Attribute {
                 name,
-                value: decode_entities(&value),
+                value: normalize_content(&decode_entities(&value)),
             }),
             next,
         )
@@ -464,6 +570,24 @@ mod tests {
     }
 
     #[test]
+    fn textarea_content_is_escapable_raw_text() {
+        // Markup inside textarea is text, but entities decode.
+        let toks = tokenize_html("<textarea><b>bold?</b> &amp; more</textarea>");
+        assert!(
+            matches!(&toks[1], HtmlToken::Text(t) if t == "<b>bold?</b> & more"),
+            "{toks:?}"
+        );
+        assert!(matches!(&toks[2], HtmlToken::EndTag { name } if name == "textarea"));
+    }
+
+    #[test]
+    fn textarea_close_tag_is_case_insensitive() {
+        let toks = tokenize_html("<TEXTAREA>x</TEXTAREA><p>y</p>");
+        assert!(matches!(&toks[1], HtmlToken::Text(t) if t == "x"));
+        assert!(matches!(&toks[2], HtmlToken::EndTag { name } if name == "textarea"));
+    }
+
+    #[test]
     fn stray_less_than_is_text() {
         let toks = tokenize_html("a < b");
         // "a " then "<" merged then " b" -> the tokenizer merges into text tokens
@@ -482,6 +606,20 @@ mod tests {
         let toks = tokenize_html("<!-- never closed <p>x</p>");
         assert_eq!(toks.len(), 1);
         assert!(matches!(&toks[0], HtmlToken::Comment(_)));
+    }
+
+    #[test]
+    fn cdata_and_processing_instructions_are_bogus_comments() {
+        let toks = tokenize_html("<p>a</p><![CDATA[not text]]><?php echo \"x\"; ?><p>b</p>");
+        let texts: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match t {
+                HtmlToken::Text(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(texts, ["a", "b"]);
+        assert!(matches!(&toks[3], HtmlToken::Comment(c) if c.contains("CDATA")));
     }
 
     #[test]
@@ -505,5 +643,54 @@ mod tests {
     fn end_tag_with_junk_after_name() {
         let toks = tokenize_html("<p>x</p junk>");
         assert!(matches!(toks.last().unwrap(), HtmlToken::EndTag { name } if name == "p"));
+    }
+
+    #[test]
+    fn leading_bom_is_stripped() {
+        let toks = tokenize_html("\u{feff}<p>x</p>");
+        assert_eq!(start(&toks, 0).0, "p");
+        // ... but a BOM later in the stream is ordinary content.
+        let toks = tokenize_html("<p>a\u{feff}b</p>");
+        assert!(matches!(&toks[1], HtmlToken::Text(t) if t == "a\u{feff}b"));
+    }
+
+    #[test]
+    fn newlines_normalize_and_nul_is_replaced() {
+        let toks = tokenize_html("<p>a\r\nb\rc\0d</p>");
+        assert!(matches!(&toks[1], HtmlToken::Text(t) if t == "a\nb\nc\u{fffd}d"));
+        let toks = tokenize_html("<a title=\"x\r\ny\">z</a>");
+        assert_eq!(start(&toks, 0).1[0].value, "x\ny");
+    }
+
+    #[test]
+    fn token_offsets_point_at_token_starts() {
+        let input = "ab<p class=\"c\">text</p><br>";
+        let stream = tokenize_stream(input);
+        let starts: Vec<(usize, &HtmlToken)> = stream
+            .offsets
+            .iter()
+            .copied()
+            .zip(stream.tokens.iter())
+            .collect();
+        assert_eq!(starts[0].0, 0); // "ab"
+        assert_eq!(starts[1].0, 2); // <p>
+        assert_eq!(starts[2].0, 15); // "text"
+        assert_eq!(starts[3].0, 19); // </p>
+        assert_eq!(starts[4].0, 23); // <br>
+        assert_eq!(stream.offsets.len(), stream.tokens.len());
+    }
+
+    #[test]
+    fn unknown_entities_are_counted_across_all_decoded_content() {
+        let stream = tokenize_stream(
+            "<p title=\"a &bad1; b\">x &bad2; y</p>\
+             <textarea>&bad3;</textarea>\
+             <script>&ignored;</script><!-- &ignored; -->",
+        );
+        assert_eq!(stream.unknown_entities, 3);
+        assert_eq!(
+            stream.malformed.as_ref().map(|(e, _)| e.as_str()),
+            Some("&bad1;")
+        );
     }
 }

@@ -13,7 +13,7 @@
 //! ```text
 //! POST /v1/run        body: {"question": ..., "keywords": ..., ...}
 //! POST /v1/run_batch  body: {"tasks": [...], ...}
-//! POST /v1/intern     body: {"html": "..."}
+//! POST /v1/intern     body: {"html": "...", "lenient": false}
 //! GET  /v1/ping
 //! GET  /v1/stats
 //! ```

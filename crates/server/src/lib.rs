@@ -141,13 +141,19 @@
 //! ### `intern` — parse and store a page, returning its handle
 //!
 //! ```text
-//! → {"op":"intern","html":"<h1>A</h1>..."}
-//! ← {"id":null,"ok":{"page":0,"nodes":7}}
+//! → {"op":"intern","html":"<h1>A</h1>...","lenient":false}
+//! ← {"id":null,"ok":{"page":0,"nodes":7,"digest":"91c5a6d2e03b7f14"}}
 //! ```
 //!
 //! Interning is content-addressed (the store deduplicates): the same
 //! HTML always yields the same handle, however many clients send it.
-//! Damaged HTML is rejected with `kind:"page"`.
+//! Damaged HTML is rejected with `kind:"page"`. The optional `"lenient"`
+//! flag (default `false`) parses with browser-style recovery instead, so
+//! real-world pages the strict parser rejects can still be ingested —
+//! the same opt-out `webqa-cli import --lenient` uses. `"digest"` is the
+//! interned tree's content digest as a 16-hex-digit string (a u64 does
+//! not survive JSON numbers); it equals the digest `import` prints for
+//! the same page, so client- and server-side ingestion can be diffed.
 //!
 //! ### `run` — synthesize and answer one task
 //!
@@ -350,7 +356,9 @@ use webqa::{
 };
 
 use pool::ConnWriter;
-use protocol::{bad_request, envelope, page_ref, str_field, string_list, PageRef, ProtoError};
+use protocol::{
+    bad_request, bool_field, envelope, page_ref, str_field, string_list, PageRef, ProtoError,
+};
 use shard::ShardSet;
 
 /// Recovers a poisoned lock. Everything behind the server's locks —
@@ -987,10 +995,16 @@ impl Server {
     /// Parses inline HTML and interns it onto its owning shard (parse
     /// happens *before* any lock; the owner's write lock is held only
     /// for the content-addressed insert). Returns the resolved page
-    /// plus the parsed tree's node count.
-    fn intern_html(&self, html: &str) -> Result<(ResolvedPage, usize), ProtoError> {
-        let tree = PageTree::try_parse(html)
-            .map_err(|e| ProtoError::new(ErrKind::Page, EngineError::from(e).to_string()))?;
+    /// plus the parsed tree's node count. `lenient` selects browser-style
+    /// recovery ([`PageTree::parse`], never fails) over the strict
+    /// damage-rejecting parse.
+    fn intern_html(&self, html: &str, lenient: bool) -> Result<(ResolvedPage, usize), ProtoError> {
+        let tree = if lenient {
+            PageTree::parse(html)
+        } else {
+            PageTree::try_parse(html)
+                .map_err(|e| ProtoError::new(ErrKind::Page, EngineError::from(e).to_string()))?
+        };
         let nodes = tree.len();
         let tree = Arc::new(tree);
         let owner = self.shared.shards.owner_of(content_digest(&tree));
@@ -1010,7 +1024,8 @@ impl Server {
 
     fn op_intern(&self, request: &Value) -> Result<Value, ProtoError> {
         let html = str_field(request, "html")?;
-        let (page, nodes) = self.intern_html(html)?;
+        let lenient = bool_field(request, "lenient", false)?;
+        let (page, nodes) = self.intern_html(html, lenient)?;
         let handle = self
             .shared
             .shards
@@ -1018,6 +1033,13 @@ impl Server {
         let mut map = Map::new();
         map.insert("page".to_string(), serde_json::json!(handle));
         map.insert("nodes".to_string(), serde_json::json!(nodes));
+        // Hex string: the digest is a full u64 and JSON numbers cannot
+        // carry it faithfully. Matches the CLI's `import` output, so
+        // client-side and server-side ingestion can be diffed directly.
+        map.insert(
+            "digest".to_string(),
+            serde_json::json!(format!("{:016x}", content_digest(&page.tree))),
+        );
         Ok(Value::Object(map))
     }
 
@@ -1052,7 +1074,9 @@ impl Server {
                     id_in_owner: id,
                 })
             }
-            PageRef::Html(html) => self.intern_html(&html).map(|(page, _)| page),
+            // Inline pages inside run/run_batch stay strict: only the
+            // dedicated `intern` op takes the lenient opt-out.
+            PageRef::Html(html) => self.intern_html(&html, false).map(|(page, _)| page),
         }
     }
 
@@ -1329,6 +1353,35 @@ mod tests {
         assert!(a.contains(r#""page":0"#), "{a}");
         let damaged = s.handle_line(r#"{"op":"intern","html":"<p>50&bogus;mg</p>"}"#);
         assert!(damaged.contains(r#""kind":"page""#), "{damaged}");
+    }
+
+    #[test]
+    fn intern_lenient_flag_and_digest() {
+        let s = server();
+        // The strict default rejects this page; lenient interning
+        // recovers it browser-style.
+        let strict = s.handle_line(r#"{"op":"intern","html":"<p>50&bogus;mg</p>"}"#);
+        assert!(strict.contains(r#""kind":"page""#), "{strict}");
+        let lenient =
+            s.handle_line(r#"{"op":"intern","html":"<p>50&bogus;mg</p>","lenient":true}"#);
+        let v: Value = serde_json::from_str(&lenient).expect("valid JSON");
+        assert!(v["ok"]["page"].as_u64().is_some(), "{lenient}");
+
+        // The digest is the tree's content digest as 16 hex digits, and
+        // it matches what the CLI computes for the same page.
+        let digest = v["ok"]["digest"].as_str().expect("digest string");
+        assert_eq!(digest.len(), 16, "{lenient}");
+        let expected = format!(
+            "{:016x}",
+            content_digest(&PageTree::parse("<p>50&bogus;mg</p>"))
+        );
+        assert_eq!(digest, expected);
+
+        // An explicit false behaves like the default; junk is typed.
+        let explicit = s.handle_line(r#"{"op":"intern","html":"<p>x</p>","lenient":false}"#);
+        assert!(explicit.contains(r#""digest":""#), "{explicit}");
+        let junk = s.handle_line(r#"{"op":"intern","html":"<p>x</p>","lenient":"yes"}"#);
+        assert!(junk.contains(r#""kind":"bad-request""#), "{junk}");
     }
 
     #[test]

@@ -163,6 +163,15 @@ pub(crate) fn str_field<'v>(obj: &'v Value, name: &str) -> Result<&'v str, Proto
     }
 }
 
+/// Extracts an optional boolean field (absent = `default`).
+pub(crate) fn bool_field(obj: &Value, name: &str, default: bool) -> Result<bool, ProtoError> {
+    match &obj[name] {
+        Value::Null => Ok(default),
+        Value::Bool(b) => Ok(*b),
+        _ => bad_request(format!("field {name:?} must be a boolean")),
+    }
+}
+
 /// Extracts an optional array-of-strings field (absent = empty).
 pub(crate) fn string_list(obj: &Value, name: &str) -> Result<Vec<String>, ProtoError> {
     match &obj[name] {
@@ -233,6 +242,16 @@ mod tests {
         let both: Value = serde_json::from_str(r#"{"html":"x","page":1}"#).unwrap();
         assert!(page_ref(&both, "target").is_err());
         assert!(page_ref(&Value::String("x".into()), "target").is_err());
+    }
+
+    #[test]
+    fn bool_fields_default_and_reject_junk() {
+        let v: Value = serde_json::from_str(r#"{"lenient":true}"#).unwrap();
+        assert!(bool_field(&v, "lenient", false).unwrap());
+        assert!(!bool_field(&v, "absent", false).unwrap());
+        assert!(bool_field(&v, "absent", true).unwrap());
+        let junk: Value = serde_json::from_str(r#"{"lenient":"yes"}"#).unwrap();
+        assert!(bool_field(&junk, "lenient", false).is_err());
     }
 
     #[test]

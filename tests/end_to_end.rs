@@ -212,3 +212,40 @@ fn fewer_examples_never_crash_and_often_degrade() {
         "five examples should not be much worse than one: {scores:?}"
     );
 }
+
+/// Real-page ingestion smoke: `webqa-cli import` over the checked-in
+/// sample pages (`tests/fixtures/pages/`) interns every page through the
+/// normal `PageStore` path in strict mode — the pages are sloppy
+/// (unclosed `<li>`/`<p>`, unquoted attributes) but undamaged — and
+/// `--program` pipes each interned page straight into evaluation.
+#[test]
+fn import_then_run_on_checked_in_sample_pages() {
+    let dir = format!("{}/tests/fixtures/pages", env!("CARGO_MANIFEST_DIR"));
+
+    // Plain import: per-page digest + diagnostics, then a summary.
+    let out = webqa_cli::dispatch(&["import", &dir]).expect("sample pages are strict-clean");
+    assert!(
+        out.contains("prof_chen.html: digest ") && out.contains("lab_people.html: digest "),
+        "{out}"
+    );
+    // The sloppiness is visible in the diagnostics, not fatal.
+    assert!(out.contains("implicit-closes="), "{out}");
+    assert!(out.contains("pages (2 distinct) from"), "{out}");
+
+    // import → run: evaluate an extraction program over every imported
+    // page. Leaf contents of the faculty page include the student roster.
+    let out = webqa_cli::dispatch(&[
+        "import",
+        &dir,
+        "--program",
+        "sat(descendants(root, leaf), true) -> content",
+        "--question",
+        "Who are the current PhD students?",
+        "--keywords",
+        "Students,PhD",
+    ])
+    .expect("import pipes into evaluation");
+    for answer in ["Jane Doe", "Bob Smith", "María García", "Wei Chen"] {
+        assert!(out.contains(answer), "missing {answer:?} in:\n{out}");
+    }
+}

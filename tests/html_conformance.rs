@@ -1,0 +1,464 @@
+//! The html5lib-style conformance harness for `webqa_html`.
+//!
+//! `tests/fixtures/html5/*.dat` is a declarative torture-test corpus of
+//! real-world markup damage — misnested and unclosed tags, raw-text
+//! elements, exotic and malformed entities, attribute edge cases,
+//! encoding oddities, and nesting limits. Each case carries the input
+//! markup, the expected DOM (as a byte-exact tree dump), the expected
+//! lenient-recovery diagnostics, and — when the strict parser must
+//! reject — the exact error message. Every parser fix lands with its
+//! fixture, so no recovery path regresses silently.
+//!
+//! Fixture format (sections in order; `#diag` / `#strict-error` optional):
+//!
+//! ```text
+//! #case implicit-li-close
+//! #data
+//! <ul><li>a<li>b</ul>
+//! #tree
+//! | <ul>
+//! |   <li>
+//! |     "a"
+//! |   <li>
+//! |     "b"
+//! #diag
+//! implicit-closes=1
+//! ```
+//!
+//! * `#data` lines are the verbatim input, joined with `\n`.
+//!   `#data-escaped` is the alternative for bytes a text file cannot
+//!   carry verbatim (`\r`, `\0`, a BOM): its lines support `\n` `\r`
+//!   `\t` `\0` `\\` and `\u{XXXX}` escapes.
+//! * `#tree` is the expected lenient-parse DOM dump (see `dump`), and —
+//!   unless `#strict-error` is present — the strict parse must produce
+//!   the *identical* dump.
+//! * `#diag` pins the [`webqa_html::ParseDiagnostics`] counters
+//!   (`ParseDiagnostics::summary()` format; omitted = all-zero).
+//! * `#strict-error` pins `try_parse_html`'s error `Display` exactly.
+//!
+//! To add a case: append `#case` + `#data` to the right category file,
+//! run `WEBQA_BLESS=1 cargo test --test html_conformance`, and review
+//! the generated `#tree`/`#diag`/`#strict-error` sections in the diff —
+//! blessing records current behaviour, the review decides it is *right*.
+//! Every case is additionally held to the serialization fixpoint:
+//! `parse(serialize(parse(data)))` must re-dump byte-identically.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Serializes fixture-directory reads against bless-mode rewrites, so
+/// `WEBQA_BLESS=1` stays safe under cargo's parallel test threads.
+static CORPUS_IO: Mutex<()> = Mutex::new(());
+
+use webqa_html::{
+    parse_html, parse_html_report, serialize, try_parse_html, Document, NodeData, NodeId, PageTree,
+    ParseDiagnostics,
+};
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/html5")
+}
+
+/// One conformance case, as parsed from a `.dat` file.
+struct Case {
+    /// Short name for failure reports (`file.dat::name`).
+    id: String,
+    /// The input markup.
+    data: String,
+    /// Raw `#data` section lines plus whether they were escaped — kept
+    /// verbatim so bless mode can rewrite expectations without touching
+    /// inputs.
+    data_lines: Vec<String>,
+    data_escaped: bool,
+    /// Expected lenient-parse tree dump.
+    tree: String,
+    /// Expected lenient diagnostics.
+    diag: ParseDiagnostics,
+    /// Expected strict-parse error message, when strict must reject.
+    strict_error: Option<String>,
+}
+
+/// `\n` `\r` `\t` `\0` `\\` and `\u{XXXX}` escapes for `#data-escaped`.
+fn unescape(line: &str) -> String {
+    let mut out = String::new();
+    let mut chars = line.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('0') => out.push('\0'),
+            Some('\\') => out.push('\\'),
+            Some('u') => {
+                let rest: String = chars.clone().collect();
+                let hex = rest
+                    .strip_prefix('{')
+                    .and_then(|r| r.split_once('}'))
+                    .expect("\\u{...} escape");
+                let code = u32::from_str_radix(hex.0, 16).expect("hex code point");
+                out.push(char::from_u32(code).expect("valid code point"));
+                for _ in 0..hex.0.len() + 2 {
+                    chars.next();
+                }
+            }
+            other => panic!("unknown escape \\{other:?} in {line:?}"),
+        }
+    }
+    out
+}
+
+/// Parses a `#diag` line in [`ParseDiagnostics::summary`] format.
+fn parse_diag(line: &str) -> ParseDiagnostics {
+    let mut d = ParseDiagnostics::default();
+    for part in line.split_whitespace() {
+        let (key, value) = part
+            .split_once('=')
+            .unwrap_or_else(|| panic!("bad #diag entry {part:?}"));
+        let value: usize = value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad #diag count {part:?}"));
+        match key {
+            "unknown-entities" => d.unknown_entities = value,
+            "stray-end-tags" => d.stray_end_tags = value,
+            "unclosed-tags" => d.unclosed_tags = value,
+            "implicit-closes" => d.implicit_closes = value,
+            other => panic!("unknown #diag counter {other:?}"),
+        }
+    }
+    d
+}
+
+/// Parses one `.dat` file into its cases.
+fn parse_dat(file_name: &str, content: &str) -> Vec<Case> {
+    let mut cases: Vec<Case> = Vec::new();
+    let mut section: Option<&str> = None;
+    for line in content.lines() {
+        match line {
+            l if l.starts_with("#case ") => {
+                cases.push(Case {
+                    id: format!("{file_name}::{}", l.trim_start_matches("#case ").trim()),
+                    data: String::new(),
+                    data_lines: Vec::new(),
+                    data_escaped: false,
+                    tree: String::new(),
+                    diag: ParseDiagnostics::default(),
+                    strict_error: None,
+                });
+                section = None;
+            }
+            "#data" | "#data-escaped" | "#tree" | "#diag" | "#strict-error" => {
+                assert!(!cases.is_empty(), "{file_name}: section before first #case");
+                section = Some(match line {
+                    "#data" => "data",
+                    "#data-escaped" => {
+                        cases.last_mut().expect("nonempty").data_escaped = true;
+                        "data"
+                    }
+                    other => other.trim_start_matches('#'),
+                });
+            }
+            _ => {
+                let Some(case) = cases.last_mut() else {
+                    assert!(
+                        line.trim().is_empty(),
+                        "{file_name}: content before first #case: {line:?}"
+                    );
+                    continue;
+                };
+                match section {
+                    Some("data") => case.data_lines.push(line.to_string()),
+                    // Tree dump lines always start with "| "; a blank line
+                    // is the separator before the next case.
+                    Some("tree") if !line.is_empty() => {
+                        if !case.tree.is_empty() {
+                            case.tree.push('\n');
+                        }
+                        case.tree.push_str(line);
+                    }
+                    Some("diag") if !line.trim().is_empty() => {
+                        case.diag = parse_diag(line);
+                    }
+                    Some("strict-error") if !line.trim().is_empty() => {
+                        case.strict_error = Some(line.to_string());
+                    }
+                    // Blank separator lines between cases / trailing.
+                    _ => assert!(
+                        line.trim().is_empty(),
+                        "{file_name}: stray content {line:?}"
+                    ),
+                }
+            }
+        }
+    }
+    for case in &mut cases {
+        // Trailing blank lines are case separators, not input — but an
+        // all-blank section (the empty-input case) keeps one line.
+        while case.data_lines.len() > 1 && case.data_lines.last().is_some_and(String::is_empty) {
+            case.data_lines.pop();
+        }
+        let lines: Vec<String> = if case.data_escaped {
+            case.data_lines.iter().map(|l| unescape(l)).collect()
+        } else {
+            case.data_lines.clone()
+        };
+        case.data = lines.join("\n");
+    }
+    cases
+}
+
+/// Loads every case of every `.dat` file, as `(file name, cases)`.
+fn load_corpus() -> Vec<(String, Vec<Case>)> {
+    let dir = fixture_dir();
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("fixture dir {}: {e}", dir.display()))
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "dat"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|path| {
+            let name = path
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .to_string();
+            let content = fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+            let cases = parse_dat(&name, &content);
+            (name, cases)
+        })
+        .collect()
+}
+
+/// Dumps a DOM in the corpus' line format: one node per line, `| ` prefix,
+/// two-space indent per depth, elements as `<tag attr="v">`, text via
+/// Rust's string escaping.
+fn dump(doc: &Document) -> String {
+    fn rec(doc: &Document, id: NodeId, depth: usize, out: &mut String) {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let _ = write!(out, "| {}", "  ".repeat(depth));
+        match &doc.node(id).data {
+            NodeData::Document => unreachable!("root is not dumped"),
+            NodeData::Text(t) => {
+                let _ = write!(out, "{t:?}");
+            }
+            NodeData::Element { tag, attrs } => {
+                let _ = write!(out, "<{tag}");
+                for a in attrs {
+                    let _ = write!(out, " {}={:?}", a.name, a.value);
+                }
+                out.push('>');
+            }
+        }
+        for &child in &doc.node(id).children {
+            rec(doc, child, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    for &child in &doc.node(doc.root()).children {
+        rec(doc, child, 0, &mut out);
+    }
+    out
+}
+
+/// Re-renders a `.dat` file with expectations regenerated from the
+/// implementation (bless mode). Inputs are kept verbatim.
+fn bless_file(cases: &[Case]) -> String {
+    let mut out = String::new();
+    for (i, case) in cases.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let name = case.id.split("::").nth(1).expect("file::name id");
+        let _ = writeln!(out, "#case {name}");
+        let _ = writeln!(
+            out,
+            "{}",
+            if case.data_escaped {
+                "#data-escaped"
+            } else {
+                "#data"
+            }
+        );
+        for line in &case.data_lines {
+            let _ = writeln!(out, "{line}");
+        }
+        let (doc, diag) = parse_html_report(&case.data);
+        let _ = writeln!(out, "#tree");
+        let tree = dump(&doc);
+        if !tree.is_empty() {
+            let _ = writeln!(out, "{tree}");
+        }
+        if !diag.is_clean() {
+            let _ = writeln!(out, "#diag");
+            let _ = writeln!(out, "{}", diag.summary());
+        }
+        if let Err(e) = try_parse_html(&case.data) {
+            let _ = writeln!(out, "#strict-error");
+            let _ = writeln!(out, "{e}");
+        }
+    }
+    out
+}
+
+/// When `WEBQA_BLESS=1`, rewrites every fixture from current behaviour
+/// and returns true (checks should then be skipped — the diff is the
+/// review artifact).
+fn bless_if_requested(corpus: &[(String, Vec<Case>)]) -> bool {
+    if std::env::var("WEBQA_BLESS").ok().as_deref() != Some("1") {
+        return false;
+    }
+    for (file, cases) in corpus {
+        fs::write(fixture_dir().join(file), bless_file(cases)).expect("writable fixture");
+    }
+    true
+}
+
+/// Runs `check` over every case, reporting all failures at once — one
+/// line per failing fixture.
+fn check_corpus(check: impl Fn(&Case) -> Option<String>) {
+    let guard = CORPUS_IO.lock().unwrap_or_else(|e| e.into_inner());
+    let corpus = load_corpus();
+    let blessed = bless_if_requested(&corpus);
+    drop(guard);
+    if blessed {
+        return;
+    }
+    let failures: Vec<String> = corpus
+        .iter()
+        .flat_map(|(_, cases)| cases.iter())
+        .filter_map(|case| check(case).map(|what| format!("{}: {what}", case.id)))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "{} conformance failure(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// First differing line of two dumps, for compact failure messages.
+fn first_diff(expected: &str, actual: &str) -> String {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!("line {}: expected {e:?}, got {a:?}", i + 1);
+        }
+    }
+    format!(
+        "expected {} line(s), got {}",
+        expected.lines().count(),
+        actual.lines().count()
+    )
+}
+
+#[test]
+fn corpus_is_present_and_large_enough() {
+    let _guard = CORPUS_IO.lock().unwrap_or_else(|e| e.into_inner());
+    let corpus = load_corpus();
+    let categories = corpus.len();
+    let cases: usize = corpus.iter().map(|(_, c)| c.len()).sum();
+    assert!(
+        categories >= 6,
+        "conformance corpus has {categories} category files; need >= 6"
+    );
+    assert!(
+        cases >= 60,
+        "conformance corpus has {cases} cases; need >= 60"
+    );
+    for (file, cases) in &corpus {
+        assert!(!cases.is_empty(), "{file}: no cases");
+        for case in cases {
+            assert!(
+                !case.data_lines.is_empty(),
+                "{}: empty #data section",
+                case.id
+            );
+        }
+    }
+}
+
+#[test]
+fn lenient_trees_match_fixtures_byte_for_byte() {
+    check_corpus(|case| {
+        let actual = dump(&parse_html(&case.data));
+        (actual != case.tree).then(|| first_diff(&case.tree, &actual))
+    });
+}
+
+#[test]
+fn lenient_diagnostics_match_fixtures() {
+    check_corpus(|case| {
+        let (_, diag) = parse_html_report(&case.data);
+        (diag != case.diag).then(|| {
+            format!(
+                "diagnostics: expected [{}], got [{}]",
+                case.diag.summary(),
+                diag.summary()
+            )
+        })
+    });
+}
+
+#[test]
+fn strict_mode_matches_fixtures() {
+    check_corpus(
+        |case| match (try_parse_html(&case.data), &case.strict_error) {
+            (Ok(doc), None) => {
+                let actual = dump(&doc);
+                (actual != case.tree)
+                    .then(|| format!("strict tree diverges: {}", first_diff(&case.tree, &actual)))
+            }
+            (Err(e), Some(expected)) => {
+                let actual = e.to_string();
+                (&actual != expected)
+                    .then(|| format!("strict error: expected {expected:?}, got {actual:?}"))
+            }
+            (Ok(_), Some(expected)) => {
+                Some(format!("strict parse succeeded; expected {expected:?}"))
+            }
+            (Err(e), None) => Some(format!("strict parse failed unexpectedly: {e}")),
+        },
+    );
+}
+
+#[test]
+fn every_case_reaches_serialization_fixpoint() {
+    check_corpus(|case| {
+        let doc = parse_html(&case.data);
+        let emitted = serialize(&doc);
+        let reparsed = parse_html(&emitted);
+        let redump = dump(&reparsed);
+        if redump != case.tree {
+            return Some(format!(
+                "serialize∘parse drifts: {}",
+                first_diff(&case.tree, &redump)
+            ));
+        }
+        let twice = serialize(&reparsed);
+        (twice != emitted).then(|| "second serialization differs from first".to_string())
+    });
+}
+
+#[test]
+fn page_trees_build_total_and_agree_with_strict_expectation() {
+    // The synthesis pipeline consumes PageTrees: every corpus case must
+    // build one leniently, and PageTree::try_parse must reject exactly
+    // when the fixture says strict parsing rejects.
+    check_corpus(|case| {
+        let _ = PageTree::parse(&case.data); // total: must not panic
+        match (PageTree::try_parse(&case.data), &case.strict_error) {
+            (Ok(_), None) | (Err(_), Some(_)) => None,
+            (Ok(_), Some(e)) => Some(format!("PageTree::try_parse succeeded; expected {e:?}")),
+            (Err(e), None) => Some(format!("PageTree::try_parse failed unexpectedly: {e}")),
+        }
+    });
+}

@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 use webqa_corpus::{generate_pages, Domain, TASKS};
 use webqa_dsl::{PageTree, Program, QueryContext};
+use webqa_html::{parse_html, parse_html_report, serialize, try_parse_html};
 use webqa_metrics::score_strings;
 use webqa_synth::{synthesize, Example, SynthConfig};
 
@@ -14,6 +15,40 @@ fn domain_strategy() -> impl Strategy<Value = Domain> {
         Just(Domain::Class),
         Just(Domain::Clinic),
     ]
+}
+
+/// One fragment of torture markup, concatenated into parser inputs:
+/// raw-text elements whose bodies look like markup, malformed character
+/// references, bogus declarations, and sloppy nesting — the noise
+/// classes the conformance corpus (`tests/fixtures/html5/`) pins case by
+/// case, here recombined arbitrarily.
+fn torture_fragment() -> BoxedStrategy<String> {
+    let frag = |s: &str| Just(s.to_string()).boxed();
+    prop_oneof![
+        frag("plain text "),
+        frag("&amp; a &lt; b &#65;&#x1F600; "),
+        // Malformed-entity noise: unknown names, bad digits, bare `&`.
+        frag("50&bogus;mg "),
+        frag("&#xZZ; &#; tom & jerry "),
+        frag("<p>para "),
+        frag("</p>"),
+        frag("<div class=x data-k=\"v>w\">"),
+        frag("</div>"),
+        frag("<li>item "),
+        frag("<ul><li>a<li>b</ul>"),
+        // Raw-text elements: bodies full of fake markup and fake
+        // entities; script/style are dropped, textarea is kept.
+        frag("<script>if (a < b && c) { s = \"</p>&bogus;\"; }</script>"),
+        frag("<style>p::before { content: \"<div>&copy;\"; }</style>"),
+        frag("<textarea>raw <b>kept</b> &amp; &bogus;</textarea>"),
+        frag("<!-- comment with <p> inside -->"),
+        frag("<![CDATA[ not html ]]>"),
+        frag("<?php echo '<p>'; ?>"),
+        // Depth noise: a few of these together cross MAX_OPEN_DEPTH, so
+        // strict mode's TooDeep path gets exercised too.
+        Just("<div>".repeat(60)).boxed(),
+    ]
+    .boxed()
 }
 
 proptest! {
@@ -104,5 +139,45 @@ proptest! {
             }
         }
         prop_assert!(seen.into_iter().all(|b| b));
+    }
+
+    /// Torture markup — raw-text elements, malformed entities, bogus
+    /// declarations, over-deep nesting — never panics the lenient
+    /// parser, and `serialize ∘ parse` is a fixpoint from the first
+    /// round trip on (the conformance corpus pins this case by case;
+    /// this recombines the same noise classes arbitrarily).
+    #[test]
+    fn torture_html_parses_totally_and_serialization_reaches_a_fixpoint(
+        parts in proptest::collection::vec(torture_fragment(), 1..12)
+    ) {
+        let input = parts.concat();
+        let (doc, diag) = parse_html_report(&input);
+        // The diagnostics render; `"clean"` iff every counter is zero.
+        let summary = diag.summary();
+        prop_assert_eq!(summary == "clean", diag.is_clean());
+
+        let emitted = serialize(&doc);
+        let reparsed = parse_html(&emitted);
+        prop_assert_eq!(
+            serialize(&reparsed),
+            emitted.clone(),
+            "serialize∘parse must be a fixpoint for {input:?}"
+        );
+
+        // Strict mode may reject (malformed entities, over-deep
+        // nesting), but whenever it accepts it must build the very tree
+        // lenient parsing builds.
+        if let Ok(strict) = try_parse_html(&input) {
+            prop_assert_eq!(
+                serialize(&strict),
+                serialize(&doc),
+                "strict and lenient parses diverge on accepted input {input:?}"
+            );
+        }
+
+        // The DSL-facing wrapper is total on the same inputs: the root
+        // always exists and the whole tree walks without panicking.
+        let page = PageTree::parse(&input);
+        let _ = page.subtree_text(page.root());
     }
 }

@@ -1039,3 +1039,98 @@ mod protocol_fuzz {
         }
     }
 }
+
+/// Real-page ingestion round-trip: the digests `webqa-cli import` prints
+/// for the checked-in sample pages are byte-identical to the `"digest"`
+/// field the server's `intern` op returns for the same bytes — over the
+/// line protocol *and* the HTTP facade. One content-addressing scheme,
+/// three doors.
+mod ingestion_round_trip {
+    use super::*;
+    use webqa_server::HttpClient;
+
+    /// The checked-in sample pages (`tests/fixtures/pages/`), sorted by
+    /// file name exactly like `import` walks them.
+    fn sample_pages() -> Vec<(String, String)> {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests")
+            .join("fixtures")
+            .join("pages");
+        let mut pages: Vec<(String, String)> = std::fs::read_dir(&dir)
+            .expect("sample page directory")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "html"))
+            .map(|p| {
+                let name = p.file_name().unwrap().to_string_lossy().into_owned();
+                let html = std::fs::read_to_string(&p).expect("readable page");
+                (name, html)
+            })
+            .collect();
+        pages.sort();
+        assert!(pages.len() >= 2, "expected checked-in sample pages");
+        pages
+    }
+
+    /// The `file: digest XXXX [..]` lines of an `import` run, as
+    /// `(file, digest)` pairs.
+    fn import_digests(out: &str) -> Vec<(String, String)> {
+        out.lines()
+            .filter_map(|l| {
+                let (name, rest) = l.split_once(": digest ")?;
+                let digest = rest.split_whitespace().next()?;
+                Some((name.to_string(), digest.to_string()))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn import_digests_match_server_intern_over_both_transports() {
+        let pages = sample_pages();
+
+        // CLI side: import the directory through the normal PageStore
+        // path (strict — the sample pages are sloppy but undamaged).
+        let dir = format!("{}/tests/fixtures/pages", env!("CARGO_MANIFEST_DIR"));
+        let out = webqa_cli::dispatch(&["import", &dir]).expect("sample pages import cleanly");
+        let cli = import_digests(&out);
+        assert_eq!(cli.len(), pages.len(), "one digest line per page:\n{out}");
+
+        // Server side: the same bytes through `intern`, on both doors.
+        let listening = Server::new(ServeOptions {
+            engine: engine_config(),
+            max_frame_bytes: 1 << 20,
+            ..ServeOptions::default()
+        })
+        .listen_all(Some("127.0.0.1:0"), None, Some("127.0.0.1:0"))
+        .expect("bind loopback");
+        let mut line =
+            Client::connect_tcp(listening.tcp_addr().expect("tcp endpoint")).expect("connect tcp");
+        let mut http =
+            HttpClient::connect(listening.http_addr().expect("http endpoint")).expect("connect");
+
+        for ((name, html), (cli_name, cli_digest)) in pages.iter().zip(&cli) {
+            assert_eq!(name, cli_name, "import must walk files in sorted order");
+            let mut req = serde_json::Map::new();
+            req.insert("op".to_string(), serde_json::json!("intern"));
+            req.insert("html".to_string(), serde_json::json!(html.clone()));
+            let req = serde_json::to_string(&serde_json::Value::Object(req)).unwrap();
+
+            let resp = line.request_line(&req).expect("line-protocol intern");
+            let v: serde_json::Value = serde_json::from_str(&resp).expect("valid envelope");
+            assert_eq!(
+                v["ok"]["digest"].as_str(),
+                Some(cli_digest.as_str()),
+                "{name}: line-protocol digest diverged from `import`: {resp}"
+            );
+
+            let (status, body) = http.post("/v1/intern", &req).expect("http intern");
+            assert_eq!(status, 200, "{name}: {body}");
+            let v: serde_json::Value = serde_json::from_str(&body).expect("valid envelope");
+            assert_eq!(
+                v["ok"]["digest"].as_str(),
+                Some(cli_digest.as_str()),
+                "{name}: HTTP digest diverged from `import`: {body}"
+            );
+        }
+        listening.shutdown();
+    }
+}
